@@ -1,0 +1,35 @@
+//! T3: end-to-end simulator throughput (events/second).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dmhpc_platform::PoolTopology;
+use dmhpc_sim::scenarios::{default_slowdown, policy_suite, preset_cluster, preset_workload};
+use dmhpc_sim::{SimConfig, Simulation};
+use dmhpc_workload::SystemPreset;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_end_to_end");
+    group.sample_size(10);
+    for preset in [SystemPreset::HighThroughput, SystemPreset::MidCluster] {
+        let n_jobs = 800usize;
+        let w = preset_workload(preset, n_jobs, 5, 0.9);
+        let cluster = preset_cluster(
+            preset,
+            PoolTopology::PerRack {
+                mib_per_rack: 512 * 1024,
+            },
+        );
+        // ≥ 2 events per job (arrival + finish).
+        group.throughput(Throughput::Elements(2 * n_jobs as u64));
+        for sched in policy_suite(default_slowdown()).into_iter().take(2) {
+            let sim = Simulation::new(SimConfig::new(cluster, sched));
+            let label = format!("{}/{}", preset.name(), sched.label());
+            group.bench_with_input(BenchmarkId::new(label, n_jobs), &w, |b, w| {
+                b.iter(|| black_box(sim.run(w)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

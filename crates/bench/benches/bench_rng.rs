@@ -1,0 +1,57 @@
+//! T3: generator and distribution sampling throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dmhpc_des::rng::dist::{Distribution, Exponential, Gamma, HyperGamma, LogNormal};
+use dmhpc_des::rng::Pcg64;
+
+fn bench_rng(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng");
+    group.sample_size(20);
+    group.bench_function("pcg64_next_u64_x1000", |b| {
+        let mut rng = Pcg64::new(7);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                acc = acc.wrapping_add(rng.next_u64());
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("exponential_x1000", |b| {
+        let mut rng = Pcg64::new(7);
+        let d = Exponential::with_mean(100.0);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1000 {
+                acc += d.sample(&mut rng);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("lognormal_x1000", |b| {
+        let mut rng = Pcg64::new(7);
+        let d = LogNormal::with_median(64.0, 0.8);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1000 {
+                acc += d.sample(&mut rng);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("hypergamma_x1000", |b| {
+        let mut rng = Pcg64::new(7);
+        let d = HyperGamma::new(0.7, Gamma::new(2.0, 800.0), Gamma::new(2.0, 6000.0));
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1000 {
+                acc += d.sample(&mut rng);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rng);
+criterion_main!(benches);

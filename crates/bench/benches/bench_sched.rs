@@ -1,0 +1,75 @@
+//! T3: scheduling-pass latency vs queue depth (EASY and conservative).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmhpc_des::time::SimTime;
+use dmhpc_platform::{Cluster, ClusterSpec, MemoryAssignment, NodeSpec, NodeId, PoolTopology};
+use dmhpc_sched::{
+    BackfillPolicy, MemoryPolicy, RunningRelease, Scheduler, SchedulerBuilder, WaitQueue,
+};
+use dmhpc_workload::SystemPreset;
+
+/// A mostly-full cluster with a populated queue: the worst case for a pass.
+fn setup(depth: usize) -> (Cluster, WaitQueue, Vec<RunningRelease>) {
+    let mut cluster = Cluster::new(ClusterSpec::new(
+        8,
+        32,
+        NodeSpec::new(64, 256 * 1024),
+        PoolTopology::PerRack {
+            mib_per_rack: 512 * 1024,
+        },
+    ));
+    // Fill 95% of nodes with running leases ending at staggered times.
+    let mut releases = Vec::new();
+    let busy = (cluster.total_nodes() as usize * 95) / 100;
+    for i in 0..busy {
+        let node = NodeId(i as u32);
+        let a = MemoryAssignment::local(vec![node], 64 * 1024);
+        cluster.allocate(1_000_000 + i as u64, a).unwrap();
+        let mut nodes_per_rack = vec![0u32; 8];
+        nodes_per_rack[i / 32] += 1;
+        releases.push(RunningRelease {
+            planned_end: SimTime::from_secs(600 + (i as u64 % 96) * 600),
+            nodes_per_rack,
+            pool_per_domain: vec![0; 8],
+        });
+    }
+    let spec = SystemPreset::MidCluster.synthetic_spec(depth);
+    let w = spec.generate(11);
+    let mut queue = WaitQueue::new();
+    for job in w.iter() {
+        queue.push(job.clone(), SimTime::ZERO);
+    }
+    (cluster, queue, releases)
+}
+
+fn pass(sched: &Scheduler, cluster: &Cluster, queue: &WaitQueue, releases: &[RunningRelease]) {
+    let mut c = cluster.clone();
+    let mut q = queue.clone();
+    black_box(sched.schedule(SimTime::from_secs(600_000), &mut q, &mut c, releases));
+}
+
+fn bench_sched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduling_pass");
+    group.sample_size(10);
+    for &depth in &[16usize, 128, 512] {
+        let (cluster, queue, releases) = setup(depth);
+        let easy = SchedulerBuilder::new()
+            .backfill(BackfillPolicy::Easy)
+            .memory(MemoryPolicy::SlowdownAware { max_dilation: 1.35 })
+            .build();
+        group.bench_with_input(BenchmarkId::new("easy", depth), &depth, |b, _| {
+            b.iter(|| pass(&easy, &cluster, &queue, &releases))
+        });
+        let cons = SchedulerBuilder::new()
+            .backfill(BackfillPolicy::Conservative)
+            .memory(MemoryPolicy::SlowdownAware { max_dilation: 1.35 })
+            .build();
+        group.bench_with_input(BenchmarkId::new("conservative", depth), &depth, |b, _| {
+            b.iter(|| pass(&cons, &cluster, &queue, &releases))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sched);
+criterion_main!(benches);

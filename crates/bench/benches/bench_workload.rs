@@ -1,0 +1,33 @@
+//! T3: workload generation and SWF parse throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dmhpc_workload::swf::{parse_str, write_string, SwfConfig};
+use dmhpc_workload::SystemPreset;
+
+fn bench_workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload");
+    group.sample_size(10);
+    let n = 10_000usize;
+    let spec = SystemPreset::MidCluster.synthetic_spec(n);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("generate_10k", |b| {
+        b.iter(|| black_box(spec.generate(123)))
+    });
+
+    let w = spec.generate(123);
+    let cfg = SwfConfig {
+        cores_per_node: 64,
+        ..SwfConfig::default()
+    };
+    let text = write_string(&w, &cfg);
+    group.bench_function("swf_parse_10k", |b| {
+        b.iter(|| black_box(parse_str(&text, &cfg).unwrap()))
+    });
+    group.bench_function("swf_write_10k", |b| {
+        b.iter(|| black_box(write_string(&w, &cfg)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_workload);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Reproduction harness: regenerate any table/figure of the evaluation.
+//!
+//! ```text
+//! cargo run --release -p dmhpc-bench --bin repro -- all
+//! cargo run --release -p dmhpc-bench --bin repro -- t2 f3 f6
+//! cargo run --release -p dmhpc-bench --bin repro -- --list
+//! ```
+//!
+//! Output is printed and mirrored to `results/<id>.txt`.
+
+use dmhpc_bench::experiments;
+use std::io::Write as _;
+use std::time::Instant;
+
+fn main() -> anyhow::Result<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: repro [--list] <id>... | all");
+        eprintln!("ids: {}", experiments::all_ids().join(" "));
+        return Ok(());
+    }
+    if args.iter().any(|a| a == "--list") {
+        for id in experiments::all_ids() {
+            println!("{id}");
+        }
+        return Ok(());
+    }
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        experiments::all_ids().to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    std::fs::create_dir_all("results")?;
+    for id in ids {
+        let start = Instant::now();
+        let Some(result) = experiments::run(id) else {
+            anyhow::bail!("unknown experiment id {id:?} (try --list)");
+        };
+        let elapsed = start.elapsed();
+        println!("== {} — {} [{:.1}s]", result.id, result.title, elapsed.as_secs_f64());
+        println!("{}", result.body);
+        let mut f = std::fs::File::create(format!("results/{}.txt", result.id))?;
+        writeln!(f, "# {} — {}", result.id, result.title)?;
+        f.write_all(result.body.as_bytes())?;
+    }
+    Ok(())
+}

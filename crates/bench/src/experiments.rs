@@ -1,0 +1,625 @@
+//! Experiment definitions: one function per reconstructed table/figure.
+//!
+//! Base configuration (unless a sweep varies it): `mid-256` preset
+//! (256 nodes × 64 cores × 256 GiB), per-rack pools of 512 GiB, offered
+//! load 0.9, 1,500 jobs, seed 42, saturating slowdown with a 1.5× worst
+//! case. Each experiment prints the same rows/series the corresponding
+//! figure plots.
+
+use dmhpc_metrics::{JobClass, SimReport};
+use dmhpc_platform::{PoolTopology, SlowdownModel};
+use dmhpc_sched::{BackfillPolicy, MemoryPolicy, OrderPolicy, SchedulerBuilder, SchedulerConfig};
+use dmhpc_sim::scenarios::{
+    default_slowdown, policy_suite, preset_cluster, preset_workload, run_policies,
+};
+use dmhpc_sim::{SimConfig, SimOutput, Simulation};
+use dmhpc_workload::{stats as wstats, SystemPreset, Workload};
+use std::fmt::Write as _;
+
+const GIB: u64 = 1024;
+const N_JOBS: usize = 1500;
+const SEED: u64 = 42;
+const LOAD: f64 = 0.9;
+const BASE_POOL_GIB: u64 = 512;
+const PRESET: SystemPreset = SystemPreset::MidCluster;
+
+/// A finished experiment: id, title, and the printed body.
+pub struct ExpResult {
+    /// Experiment id (`t1`, `f3`, `a2`, …).
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// Printed rows (also written to `results/<id>.txt`).
+    pub body: String,
+}
+
+/// All experiment ids in report order.
+pub fn all_ids() -> &'static [&'static str] {
+    &[
+        "t1", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "t2", "a1", "a2", "a3",
+    ]
+}
+
+/// Run one experiment by id.
+pub fn run(id: &str) -> Option<ExpResult> {
+    Some(match id {
+        "t1" => t1(),
+        "f1" => f1(),
+        "f2" => f2(),
+        "f3" => f3(),
+        "f4" => f4(),
+        "f5" => f5(),
+        "f6" => f6(),
+        "f7" => f7(),
+        "f8" => f8(),
+        "f9" => f9(),
+        "t2" => t2(),
+        "a1" => a1(),
+        "a2" => a2(),
+        "a3" => a3(),
+        _ => return None,
+    })
+}
+
+fn base_workload() -> Workload {
+    preset_workload(PRESET, N_JOBS, SEED, LOAD)
+}
+
+fn per_rack(gib: u64) -> PoolTopology {
+    PoolTopology::PerRack {
+        mib_per_rack: gib * GIB,
+    }
+}
+
+fn run_one(pool: PoolTopology, sched: SchedulerConfig, w: &Workload) -> SimOutput {
+    Simulation::new(SimConfig::new(preset_cluster(PRESET, pool), sched)).run(w)
+}
+
+fn sched_with(memory: MemoryPolicy, slowdown: SlowdownModel) -> SchedulerConfig {
+    *SchedulerBuilder::new()
+        .memory(memory)
+        .slowdown(slowdown)
+        .build()
+        .config()
+}
+
+fn policy_short(label: &str) -> &str {
+    label.rsplit('+').next().unwrap_or(label)
+}
+
+// ---------------------------------------------------------------- T1 / F1
+
+fn t1() -> ExpResult {
+    let mut body = String::new();
+    let _ = writeln!(
+        body,
+        "{:<10} {:>6} {:>9} {:>10} {:>7} {:>9} {:>9} {:>8} {:>9} {:>9}",
+        "trace", "jobs", "span_h", "node_h", "mean_n", "med_run_s", "med_mem%", "p95_mem%", "over_node", "over_work"
+    );
+    for preset in SystemPreset::ALL {
+        let spec = preset.synthetic_spec(8000);
+        let w = spec.generate(SEED);
+        let s = wstats::summarize(preset.name(), &w, spec.memory.node_mem_mib);
+        let _ = writeln!(
+            body,
+            "{:<10} {:>6} {:>9.1} {:>10.0} {:>7.1} {:>9.0} {:>8.1}% {:>7.1}% {:>8.1}% {:>8.1}%",
+            s.name,
+            s.jobs,
+            s.span_hours,
+            s.node_hours,
+            s.mean_nodes,
+            s.median_runtime_s,
+            100.0 * s.median_mem_frac,
+            100.0 * s.p95_mem_frac,
+            100.0 * s.over_node_fraction,
+            100.0 * s.over_node_work_fraction,
+        );
+    }
+    ExpResult {
+        id: "t1",
+        title: "Workload characterization (per synthetic system preset)",
+        body,
+    }
+}
+
+fn f1() -> ExpResult {
+    let spec = PRESET.synthetic_spec(8000);
+    let w = spec.generate(SEED);
+    let pts = wstats::memory_demand_cdf(&w, spec.memory.node_mem_mib, 25);
+    let mut body = String::from("mem_frac_of_node,cdf\n");
+    for (x, y) in pts {
+        let _ = writeln!(body, "{x:.4},{y:.4}");
+    }
+    ExpResult {
+        id: "f1",
+        title: "CDF of per-node memory demand (fraction of node DRAM)",
+        body,
+    }
+}
+
+// ---------------------------------------------------------------- F2
+
+fn f2() -> ExpResult {
+    let w = base_workload();
+    let out = run_one(
+        PoolTopology::None,
+        sched_with(MemoryPolicy::LocalOnly, SlowdownModel::None),
+        &w,
+    );
+    let mut body = String::new();
+    let _ = writeln!(
+        body,
+        "# motivation: CPU vs DRAM utilization gap under local-only scheduling"
+    );
+    let _ = writeln!(
+        body,
+        "node_util={:.3} dram_util={:.3} gap={:.3} inflated_jobs={:.1}%",
+        out.report.node_util,
+        out.report.dram_util,
+        out.report.node_util - out.report.dram_util,
+        100.0 * out.report.inflated_fraction,
+    );
+    let _ = writeln!(body, "hour,nodes_busy_frac,dram_used_frac");
+    let total_nodes = preset_cluster(PRESET, PoolTopology::None).total_nodes() as f64;
+    let total_dram = preset_cluster(PRESET, PoolTopology::None).total_local_mem() as f64;
+    let nodes = out.series.nodes_busy.resample(out.end_time, 25);
+    let dram = out.series.dram_used.resample(out.end_time, 25);
+    for (n, d) in nodes.iter().zip(dram.iter()) {
+        let _ = writeln!(
+            body,
+            "{:.2},{:.4},{:.4}",
+            n.0.as_hours_f64(),
+            n.1 / total_nodes,
+            d.1 / total_dram
+        );
+    }
+    ExpResult {
+        id: "f2",
+        title: "CPU vs memory utilization over time (local-only baseline)",
+        body,
+    }
+}
+
+// ---------------------------------------------------------------- F3
+
+fn f3() -> ExpResult {
+    let w = base_workload();
+    let sizes = [0u64, 128, 256, 512, 1024];
+    let suite = policy_suite(default_slowdown());
+    let mut body = String::new();
+    let _ = writeln!(
+        body,
+        "{:<14} {:>10} {:>12} {:>12} {:>10}",
+        "policy", "pool_gib", "mean_wait_s", "p95_wait_s", "p95_bsld"
+    );
+    for sched in &suite {
+        for &gib in &sizes {
+            let pool = if gib == 0 {
+                PoolTopology::None
+            } else {
+                per_rack(gib)
+            };
+            let out = run_one(pool, *sched, &w);
+            let _ = writeln!(
+                body,
+                "{:<14} {:>10} {:>12.0} {:>12.0} {:>10.2}",
+                policy_short(&sched.label()),
+                gib,
+                out.report.mean_wait_s,
+                out.report.p95_wait_s,
+                out.report.p95_bsld,
+            );
+        }
+    }
+    ExpResult {
+        id: "f3",
+        title: "Wait time vs per-rack pool capacity (4 policies)",
+        body,
+    }
+}
+
+// ---------------------------------------------------------------- F4
+
+fn f4() -> ExpResult {
+    let loads = [0.7, 0.8, 0.9, 1.0, 1.1];
+    let suite = policy_suite(default_slowdown());
+    let mut body = String::new();
+    let _ = writeln!(
+        body,
+        "{:<14} {:>6} {:>12} {:>10} {:>10}",
+        "policy", "load", "mean_wait_s", "p95_bsld", "node_util"
+    );
+    for &load in &loads {
+        let w = preset_workload(PRESET, N_JOBS, SEED, load);
+        let outs = run_policies(preset_cluster(PRESET, per_rack(BASE_POOL_GIB)), &w, &suite, 0);
+        for (sched, out) in suite.iter().zip(outs.iter()) {
+            let _ = writeln!(
+                body,
+                "{:<14} {:>6.2} {:>12.0} {:>10.2} {:>10.3}",
+                policy_short(&sched.label()),
+                load,
+                out.report.mean_wait_s,
+                out.report.p95_bsld,
+                out.report.node_util,
+            );
+        }
+    }
+    ExpResult {
+        id: "f4",
+        title: "Bounded slowdown vs offered load (4 policies, pool 512 GiB/rack)",
+        body,
+    }
+}
+
+// ---------------------------------------------------------------- F5
+
+fn f5() -> ExpResult {
+    // Shrink node DRAM while a fixed pool compensates: does disaggregation
+    // let you buy thinner nodes?
+    let drams = [128u64, 192, 256, 384, 512];
+    let w = base_workload();
+    let mut body = String::new();
+    let _ = writeln!(
+        body,
+        "{:<14} {:>9} {:>10} {:>12} {:>12} {:>10}",
+        "policy", "dram_gib", "node_util", "mean_wait_s", "jobs_per_day", "borrowed%"
+    );
+    for memory in [MemoryPolicy::LocalOnly, MemoryPolicy::SlowdownAware { max_dilation: 1.35 }] {
+        for &dram in &drams {
+            let (racks, npr, cores, _) = PRESET.machine();
+            let cluster = dmhpc_platform::ClusterSpec::new(
+                racks,
+                npr,
+                dmhpc_platform::NodeSpec::new(cores, dram * GIB),
+                per_rack(BASE_POOL_GIB),
+            );
+            let sched = sched_with(memory, default_slowdown());
+            let out = Simulation::new(SimConfig::new(cluster, sched)).run(&w);
+            let _ = writeln!(
+                body,
+                "{:<14} {:>9} {:>10.3} {:>12.0} {:>12.0} {:>9.1}%",
+                memory.name(),
+                dram,
+                out.report.node_util,
+                out.report.mean_wait_s,
+                out.report.throughput_jobs_per_day,
+                100.0 * out.report.borrowed_fraction,
+            );
+        }
+    }
+    ExpResult {
+        id: "f5",
+        title: "Utilization & throughput vs node DRAM (pool fixed at 512 GiB/rack)",
+        body,
+    }
+}
+
+// ---------------------------------------------------------------- F6
+
+fn f6() -> ExpResult {
+    let w = base_workload();
+    let penalties = [1.0, 1.2, 1.4, 1.6, 1.8, 2.0];
+    let mut body = String::new();
+    let _ = writeln!(
+        body,
+        "{:<14} {:>8} {:>11} {:>12} {:>11} {:>10}",
+        "policy", "penalty", "makespan_h", "mean_wait_s", "mean_dil", "borrowed%"
+    );
+    // Local-only reference (penalty-independent).
+    let base = run_one(
+        PoolTopology::None,
+        sched_with(MemoryPolicy::LocalOnly, SlowdownModel::None),
+        &w,
+    );
+    let _ = writeln!(
+        body,
+        "{:<14} {:>8} {:>11.1} {:>12.0} {:>11.3} {:>9.1}%",
+        "local-only", "-", base.report.makespan_h, base.report.mean_wait_s, 1.0, 0.0
+    );
+    for memory in [MemoryPolicy::PoolFirstFit, MemoryPolicy::SlowdownAware { max_dilation: 1.35 }] {
+        for &penalty in &penalties {
+            let model = SlowdownModel::Saturating {
+                penalty,
+                curvature: 3.0,
+            };
+            let out = run_one(per_rack(BASE_POOL_GIB), sched_with(memory, model), &w);
+            let _ = writeln!(
+                body,
+                "{:<14} {:>8.1} {:>11.1} {:>12.0} {:>11.3} {:>9.1}%",
+                memory.name(),
+                penalty,
+                out.report.makespan_h,
+                out.report.mean_wait_s,
+                out.report.mean_dilation_borrowers.max(1.0),
+                100.0 * out.report.borrowed_fraction,
+            );
+        }
+    }
+    ExpResult {
+        id: "f6",
+        title: "Crossover vs far-memory penalty (does borrowing stop paying?)",
+        body,
+    }
+}
+
+// ---------------------------------------------------------------- F7
+
+fn f7() -> ExpResult {
+    let w = base_workload();
+    let mut body = String::from("pool_gib,hour,pool_util\n");
+    for gib in [128u64, 512] {
+        let out = run_one(
+            per_rack(gib),
+            sched_with(MemoryPolicy::PoolFirstFit, default_slowdown()),
+            &w,
+        );
+        for (h, u) in out.series.pool_util_series(out.end_time, 25) {
+            let _ = writeln!(body, "{gib},{h:.2},{u:.4}");
+        }
+    }
+    ExpResult {
+        id: "f7",
+        title: "Pool utilization over time (128 vs 512 GiB/rack)",
+        body,
+    }
+}
+
+// ---------------------------------------------------------------- F8
+
+fn f8() -> ExpResult {
+    let w = base_workload();
+    let baseline = run_one(
+        PoolTopology::None,
+        sched_with(MemoryPolicy::LocalOnly, SlowdownModel::None),
+        &w,
+    );
+    let aware = run_one(
+        per_rack(BASE_POOL_GIB),
+        sched_with(MemoryPolicy::SlowdownAware { max_dilation: 1.35 }, default_slowdown()),
+        &w,
+    );
+    let mut body = String::new();
+    let _ = writeln!(
+        body,
+        "{:<12} {:>6} {:>14} {:>14} {:>9} {:>10} {:>10}",
+        "class", "jobs", "wait_local_s", "wait_aware_s", "speedup", "borrowed%", "inflated%"
+    );
+    for class in JobClass::ALL {
+        let b = baseline.report.classes.row(class);
+        let a = aware.report.classes.row(class);
+        let speedup = if a.mean_wait_s > 0.0 {
+            b.mean_wait_s / a.mean_wait_s
+        } else if b.mean_wait_s > 0.0 {
+            f64::INFINITY
+        } else {
+            1.0
+        };
+        let _ = writeln!(
+            body,
+            "{:<12} {:>6} {:>14.0} {:>14.0} {:>8.2}x {:>9.1}% {:>9.1}%",
+            class.name(),
+            b.jobs,
+            b.mean_wait_s,
+            a.mean_wait_s,
+            speedup,
+            100.0 * a.borrowed_fraction,
+            100.0 * b.inflated_fraction,
+        );
+    }
+    ExpResult {
+        id: "f8",
+        title: "Per-class wait: local-only vs slowdown-aware (who wins?)",
+        body,
+    }
+}
+
+// ---------------------------------------------------------------- F9
+
+fn f9() -> ExpResult {
+    let w = base_workload();
+    let total = BASE_POOL_GIB * 8; // same total capacity, different layout
+    let topologies = [
+        ("none", PoolTopology::None),
+        ("per-rack-512", per_rack(BASE_POOL_GIB)),
+        ("global-4096", PoolTopology::Global { mib: total * GIB }),
+    ];
+    let mut body = String::new();
+    let _ = writeln!(
+        body,
+        "{:<14} {:>12} {:>10} {:>10} {:>10} {:>10}",
+        "topology", "mean_wait_s", "p95_bsld", "node_util", "pool_util", "borrowed%"
+    );
+    for (name, pool) in topologies {
+        let out = run_one(
+            pool,
+            sched_with(MemoryPolicy::PoolBestFit, default_slowdown()),
+            &w,
+        );
+        let _ = writeln!(
+            body,
+            "{:<14} {:>12.0} {:>10.2} {:>10.3} {:>10.3} {:>9.1}%",
+            name,
+            out.report.mean_wait_s,
+            out.report.p95_bsld,
+            out.report.node_util,
+            out.report.pool_util,
+            100.0 * out.report.borrowed_fraction,
+        );
+    }
+    ExpResult {
+        id: "f9",
+        title: "Pool topology: none vs per-rack vs global (equal total capacity)",
+        body,
+    }
+}
+
+// ---------------------------------------------------------------- T2
+
+fn report_table(reports: &[&SimReport]) -> String {
+    let mut body = String::new();
+    let _ = writeln!(
+        body,
+        "{:<28} {:>5} {:>5} {:>4} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "policy", "done", "kill", "rej", "mean_w_s", "p95_w_s", "p95_bsld", "node_ut", "pool_ut", "borrow%", "infl%", "fair"
+    );
+    for r in reports {
+        let _ = writeln!(
+            body,
+            "{:<28} {:>5} {:>5} {:>4} {:>10.0} {:>10.0} {:>9.2} {:>9.3} {:>9.3} {:>8.1}% {:>8.1}% {:>9.3}",
+            r.label,
+            r.completed,
+            r.killed,
+            r.rejected,
+            r.mean_wait_s,
+            r.p95_wait_s,
+            r.p95_bsld,
+            r.node_util,
+            r.pool_util,
+            100.0 * r.borrowed_fraction,
+            100.0 * r.inflated_fraction,
+            r.user_fairness,
+        );
+    }
+    body
+}
+
+fn t2() -> ExpResult {
+    let w = base_workload();
+    let suite = policy_suite(default_slowdown());
+    let outs = run_policies(preset_cluster(PRESET, per_rack(BASE_POOL_GIB)), &w, &suite, 0);
+    let reports: Vec<&SimReport> = outs.iter().map(|o| &o.report).collect();
+    ExpResult {
+        id: "t2",
+        title: "Headline policy comparison (base config: load 0.9, 512 GiB/rack)",
+        body: report_table(&reports),
+    }
+}
+
+// ---------------------------------------------------------------- A1–A3
+
+fn a1() -> ExpResult {
+    let w = base_workload();
+    let mut reports = Vec::new();
+    for inflate in [true, false] {
+        let sched = *SchedulerBuilder::new()
+            .memory(MemoryPolicy::PoolFirstFit)
+            .slowdown(default_slowdown())
+            .inflate_walltime(inflate)
+            .build()
+            .config();
+        let mut out = run_one(per_rack(BASE_POOL_GIB), sched, &w);
+        out.report.label = format!("pool-ff inflate={inflate}");
+        reports.push(out.report);
+    }
+    let refs: Vec<&SimReport> = reports.iter().collect();
+    ExpResult {
+        id: "a1",
+        title: "Ablation A1: walltime inflation for dilated jobs (kill counts)",
+        body: report_table(&refs),
+    }
+}
+
+fn a2() -> ExpResult {
+    let w = base_workload();
+    let mut reports = Vec::new();
+    for backfill in [
+        BackfillPolicy::None,
+        BackfillPolicy::Easy,
+        BackfillPolicy::Conservative,
+    ] {
+        let sched = *SchedulerBuilder::new()
+            .order(OrderPolicy::Fcfs)
+            .backfill(backfill)
+            .memory(MemoryPolicy::PoolBestFit)
+            .slowdown(default_slowdown())
+            .build()
+            .config();
+        let out = run_one(per_rack(BASE_POOL_GIB), sched, &w);
+        reports.push(out.report);
+    }
+    let refs: Vec<&SimReport> = reports.iter().collect();
+    ExpResult {
+        id: "a2",
+        title: "Ablation A2: backfill flavour under disaggregation",
+        body: report_table(&refs),
+    }
+}
+
+fn a3() -> ExpResult {
+    let w = base_workload();
+    let mut reports = Vec::new();
+    let models: [(&str, SlowdownModel); 3] = [
+        ("static-linear-1.5", SlowdownModel::Linear { penalty: 1.5 }),
+        (
+            "contention-g1",
+            SlowdownModel::Contention {
+                penalty: 1.5,
+                gamma: 1.0,
+            },
+        ),
+        (
+            "contention-g2",
+            SlowdownModel::Contention {
+                penalty: 1.5,
+                gamma: 2.0,
+            },
+        ),
+    ];
+    for (name, model) in models {
+        let mut out = run_one(
+            per_rack(BASE_POOL_GIB),
+            sched_with(MemoryPolicy::PoolFirstFit, model),
+            &w,
+        );
+        out.report.label = name.to_string();
+        reports.push(out.report);
+    }
+    let mut body = String::new();
+    let _ = writeln!(
+        body,
+        "{:<20} {:>12} {:>10} {:>12} {:>6}",
+        "model", "mean_wait_s", "p95_bsld", "mean_dil", "kill"
+    );
+    for r in &reports {
+        let _ = writeln!(
+            body,
+            "{:<20} {:>12.0} {:>10.2} {:>12.3} {:>6}",
+            r.label,
+            r.mean_wait_s,
+            r.p95_bsld,
+            r.mean_dilation_borrowers.max(1.0),
+            r.killed,
+        );
+    }
+    ExpResult {
+        id: "a3",
+        title: "Ablation A3: static vs contention-aware dilation",
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_dispatch() {
+        assert_eq!(all_ids().len(), 14);
+        assert!(run("zzz").is_none());
+    }
+
+    #[test]
+    fn t1_runs_quickly_and_shapes() {
+        let r = run("t1").unwrap();
+        assert_eq!(r.id, "t1");
+        assert_eq!(r.body.lines().count(), 4, "header + 3 presets");
+    }
+
+    #[test]
+    fn f1_is_csv_cdf() {
+        let r = run("f1").unwrap();
+        let lines: Vec<&str> = r.body.trim().lines().collect();
+        assert_eq!(lines[0], "mem_frac_of_node,cdf");
+        assert!(lines.len() > 10);
+    }
+}

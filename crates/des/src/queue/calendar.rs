@@ -1,0 +1,340 @@
+//! Adaptive calendar queue (R. Brown, CACM 1988).
+//!
+//! The pending-event set is hashed into `nbuckets` "days" of width `w`; a
+//! full cycle of buckets is a "year" of length `nbuckets * w`. Extraction
+//! scans forward from the current day and only accepts events that fall
+//! inside the day's window of the *current* year, so far-future events
+//! parked in the same bucket are skipped until their year arrives. When the
+//! queue grows or shrinks past thresholds the calendar is rebuilt with a
+//! bucket count and width re-estimated from the observed event spacing,
+//! which is what gives the amortized O(1) behaviour on well-spaced
+//! workloads.
+//!
+//! This implementation is **stable** (FIFO among equal times) by ordering
+//! entries on `(time, seq)` with a monotone insertion counter — a property
+//! the plain textbook structure does not guarantee but the simulator
+//! requires for deterministic replay.
+
+use super::EventQueue;
+use crate::time::SimTime;
+
+struct Entry<T> {
+    time: u64, // microseconds; denormalized from SimTime for tight loops
+    seq: u64,
+    payload: T,
+}
+
+/// Adaptive calendar queue. See the module-level docs for the algorithm.
+pub struct CalendarQueue<T> {
+    /// Each bucket is sorted *descending* by `(time, seq)` so the minimum is
+    /// `last()` and removal is an O(1) `pop()`.
+    buckets: Vec<Vec<Entry<T>>>,
+    /// Bucket width in microseconds (>= 1).
+    width: u64,
+    /// Index of the day the extraction cursor is on.
+    cur: usize,
+    /// Exclusive upper edge of the cursor day's window in the current year.
+    /// u128: accumulating a year of scans past events near `u64::MAX` must
+    /// not wrap.
+    bucket_top: u128,
+    count: usize,
+    next_seq: u64,
+}
+
+const MIN_BUCKETS: usize = 8;
+const SAMPLE: usize = 32;
+
+impl<T> CalendarQueue<T> {
+    /// An empty queue with default geometry (8 buckets × 1 s); the geometry
+    /// adapts as events arrive.
+    pub fn new() -> Self {
+        Self::with_geometry(MIN_BUCKETS, 1_000_000)
+    }
+
+    /// An empty queue with an explicit initial bucket count and width
+    /// (microseconds). Both are clamped to sane minimums.
+    pub fn with_geometry(nbuckets: usize, width_micros: u64) -> Self {
+        let n = nbuckets.max(MIN_BUCKETS);
+        let width = width_micros.max(1);
+        CalendarQueue {
+            buckets: (0..n).map(|_| Vec::new()).collect(),
+            width,
+            cur: 0,
+            bucket_top: width as u128,
+            count: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// Current bucket count (exposed for the resize tests and benches).
+    pub fn nbuckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Current bucket width in microseconds.
+    pub fn width_micros(&self) -> u64 {
+        self.width
+    }
+
+    #[inline]
+    fn bucket_of(&self, time: u64) -> usize {
+        ((time / self.width) % self.buckets.len() as u64) as usize
+    }
+
+    /// Lower edge of the cursor day's window.
+    #[inline]
+    fn window_start(&self) -> u128 {
+        self.bucket_top - self.width as u128
+    }
+
+    fn insert_entry(buckets: &mut [Vec<Entry<T>>], width: u64, e: Entry<T>) {
+        let idx = ((e.time / width) % buckets.len() as u64) as usize;
+        let b = &mut buckets[idx];
+        // Descending order: find the first element strictly less than `e`
+        // (by (time, seq)) and insert before it. Most inserts hit the ends.
+        let pos = b.partition_point(|x| (x.time, x.seq) > (e.time, e.seq));
+        b.insert(pos, e);
+    }
+
+    /// Point the cursor at the day containing `time`.
+    fn rewind_to(&mut self, time: u64) {
+        self.cur = self.bucket_of(time);
+        self.bucket_top = (time as u128 / self.width as u128 + 1) * self.width as u128;
+    }
+
+    /// Locate the globally minimal entry (by `(time, seq)`) across buckets.
+    fn direct_min(&self) -> Option<(usize, u64, u64)> {
+        let mut best: Option<(usize, u64, u64)> = None;
+        for (i, b) in self.buckets.iter().enumerate() {
+            if let Some(e) = b.last() {
+                match best {
+                    Some((_, t, s)) if (e.time, e.seq) >= (t, s) => {}
+                    _ => best = Some((i, e.time, e.seq)),
+                }
+            }
+        }
+        best
+    }
+
+    fn maybe_resize(&mut self) {
+        let n = self.buckets.len();
+        if self.count > 2 * n {
+            self.rebuild(n * 2);
+        } else if n > MIN_BUCKETS && self.count < n / 2 {
+            self.rebuild((n / 2).max(MIN_BUCKETS));
+        }
+    }
+
+    /// Estimate a bucket width from the spacing of a sample of events, then
+    /// redistribute everything into `new_n` buckets.
+    fn rebuild(&mut self, new_n: usize) {
+        let mut sample: Vec<u64> = Vec::with_capacity(SAMPLE);
+        'outer: for b in &self.buckets {
+            for e in b {
+                sample.push(e.time);
+                if sample.len() == SAMPLE {
+                    break 'outer;
+                }
+            }
+        }
+        sample.sort_unstable();
+        sample.dedup();
+        let new_width = if sample.len() >= 2 {
+            let span = sample[sample.len() - 1] - sample[0];
+            let gaps = (sample.len() - 1) as u64;
+            // Heuristic from Brown: a few events per bucket on average.
+            ((span / gaps) * 3).max(1)
+        } else {
+            self.width
+        };
+
+        let mut new_buckets: Vec<Vec<Entry<T>>> = (0..new_n).map(|_| Vec::new()).collect();
+        for b in self.buckets.iter_mut() {
+            for e in b.drain(..) {
+                Self::insert_entry(&mut new_buckets, new_width, e);
+            }
+        }
+        self.buckets = new_buckets;
+        self.width = new_width;
+        if let Some((_, t, _)) = self.direct_min() {
+            self.rewind_to(t);
+        } else {
+            self.cur = 0;
+            self.bucket_top = self.width as u128;
+        }
+    }
+}
+
+impl<T> Default for CalendarQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> for CalendarQueue<T> {
+    fn schedule(&mut self, at: SimTime, payload: T) {
+        let time = at.as_micros();
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.count == 0 || (time as u128) < self.window_start() {
+            // Event lands before the cursor window: rewind so extraction
+            // cannot miss it.
+            self.rewind_to(time);
+        }
+        Self::insert_entry(&mut self.buckets, self.width, Entry { time, seq, payload });
+        self.count += 1;
+        self.maybe_resize();
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, T)> {
+        if self.count == 0 {
+            return None;
+        }
+        let n = self.buckets.len();
+        let mut i = self.cur;
+        let mut top = self.bucket_top;
+        for _ in 0..n {
+            let hit = self.buckets[i]
+                .last()
+                .is_some_and(|e| (e.time as u128) < top);
+            if hit {
+                let e = self.buckets[i].pop().expect("non-empty bucket");
+                self.cur = i;
+                self.bucket_top = top;
+                self.count -= 1;
+                self.maybe_resize();
+                return Some((SimTime::from_micros(e.time), e.payload));
+            }
+            i = (i + 1) % n;
+            top += self.width as u128;
+        }
+        // A whole year scanned with no event in-window: the next event is
+        // more than a year ahead. Find it directly and jump the calendar.
+        let (bi, t, _) = self.direct_min().expect("count > 0 implies an entry");
+        self.rewind_to(t);
+        let e = self.buckets[bi].pop().expect("bucket holds the minimum");
+        self.count -= 1;
+        self.maybe_resize();
+        Some((SimTime::from_micros(e.time), e.payload))
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        // Peek is O(nbuckets); the simulator only uses it on the hot path
+        // through the heap implementation, so simplicity wins here.
+        self.direct_min().map(|(_, t, _)| SimTime::from_micros(t))
+    }
+
+    fn len(&self) -> usize {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drains_in_order() {
+        let mut q = CalendarQueue::new();
+        let times = [5u64, 1, 1, 9, 0, 7, 3, 3, 3, 8, 2];
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_secs(t), i);
+        }
+        let mut prev = SimTime::ZERO;
+        let mut n = 0;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= prev, "out of order: {t} after {prev}");
+            prev = t;
+            n += 1;
+        }
+        assert_eq!(n, times.len());
+    }
+
+    #[test]
+    fn far_future_events_skip_years() {
+        let mut q = CalendarQueue::with_geometry(8, 1_000);
+        // Same bucket, different years.
+        q.schedule(SimTime::from_micros(500), "now");
+        q.schedule(SimTime::from_micros(500 + 8 * 1_000), "next-year");
+        q.schedule(SimTime::from_micros(500 + 80 * 1_000), "decade");
+        assert_eq!(q.pop().unwrap().1, "now");
+        assert_eq!(q.pop().unwrap().1, "next-year");
+        assert_eq!(q.pop().unwrap().1, "decade");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn rewind_on_earlier_insert() {
+        let mut q = CalendarQueue::with_geometry(8, 1_000);
+        q.schedule(SimTime::from_secs(100), "late");
+        assert_eq!(q.pop().unwrap().1, "late");
+        // Cursor now sits at t=100s; insert something much earlier.
+        q.schedule(SimTime::from_secs(1), "early");
+        q.schedule(SimTime::from_secs(50), "mid");
+        assert_eq!(q.pop().unwrap().1, "early");
+        assert_eq!(q.pop().unwrap().1, "mid");
+    }
+
+    #[test]
+    fn grows_and_shrinks() {
+        let mut q = CalendarQueue::new();
+        for i in 0..10_000u64 {
+            q.schedule(SimTime::from_micros(i * 37), i);
+        }
+        assert!(q.nbuckets() > MIN_BUCKETS, "queue should have grown");
+        for _ in 0..9_990 {
+            q.pop().unwrap();
+        }
+        assert!(
+            q.nbuckets() < 10_000 / 2,
+            "queue should have shrunk, has {} buckets",
+            q.nbuckets()
+        );
+        for _ in 0..10 {
+            q.pop().unwrap();
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn handles_max_time_sentinel() {
+        let mut q = CalendarQueue::new();
+        q.schedule(SimTime::MAX, "never");
+        q.schedule(SimTime::from_secs(1), "soon");
+        assert_eq!(q.pop().unwrap().1, "soon");
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(t, SimTime::MAX);
+        assert_eq!(e, "never");
+    }
+
+    #[test]
+    fn identical_times_fifo_across_resize() {
+        let mut q = CalendarQueue::new();
+        let t = SimTime::from_secs(42);
+        for i in 0..500u32 {
+            q.schedule(t, i);
+        }
+        for i in 0..500u32 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = CalendarQueue::new();
+        for &t in &[9u64, 4, 6, 2, 8] {
+            q.schedule(SimTime::from_secs(t), t);
+        }
+        while let Some(pt) = q.peek_time() {
+            let (t, _) = q.pop().unwrap();
+            assert_eq!(pt, t);
+        }
+    }
+
+    #[test]
+    fn zero_width_clamped() {
+        let q: CalendarQueue<()> = CalendarQueue::with_geometry(0, 0);
+        assert!(q.width_micros() >= 1);
+        assert!(q.nbuckets() >= MIN_BUCKETS);
+    }
+}

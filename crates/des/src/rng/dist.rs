@@ -1,0 +1,649 @@
+//! Statistical distributions for workload synthesis.
+//!
+//! All continuous distributions implement [`Distribution`] and draw from a
+//! [`Pcg64`]. Parameter validation happens at construction and panics with a
+//! clear message — distribution parameters come from static configuration,
+//! so an invalid parameter is a programming error, not a runtime condition.
+//!
+//! The set here is exactly what the workload models need: exponential
+//! inter-arrivals, lognormal/Pareto memory footprints, the two-stage
+//! hyper-Gamma runtime model of Lublin & Feitelson, Zipf user popularity,
+//! Walker-alias categorical mixes, and empirical resampling of trace columns.
+
+use super::Pcg64;
+
+/// A continuous distribution over `f64`.
+pub trait Distribution {
+    /// Draw one sample.
+    fn sample(&self, rng: &mut Pcg64) -> f64;
+
+    /// Draw `n` samples into a fresh vector.
+    fn sample_n(&self, rng: &mut Pcg64, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Degenerate distribution: always `value`. Useful for ablations that pin a
+/// parameter the full model samples.
+#[derive(Debug, Clone, Copy)]
+pub struct Constant {
+    value: f64,
+}
+
+impl Constant {
+    /// A distribution that always returns `value`.
+    pub fn new(value: f64) -> Self {
+        assert!(value.is_finite(), "Constant requires a finite value");
+        Constant { value }
+    }
+}
+
+impl Distribution for Constant {
+    fn sample(&self, _rng: &mut Pcg64) -> f64 {
+        self.value
+    }
+}
+
+/// Uniform on `[lo, hi)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Uniform on `[lo, hi)`; requires `lo < hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "Uniform requires finite lo < hi (got {lo}, {hi})"
+        );
+        Uniform { lo, hi }
+    }
+}
+
+impl Distribution for Uniform {
+    fn sample(&self, rng: &mut Pcg64) -> f64 {
+        rng.range_f64(self.lo, self.hi)
+    }
+}
+
+/// Exponential with rate `lambda` (mean `1/lambda`). The canonical
+/// inter-arrival model for Poisson job submission.
+#[derive(Debug, Clone, Copy)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Exponential with rate `rate > 0`.
+    pub fn new(rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "Exponential requires rate > 0 (got {rate})"
+        );
+        Exponential { rate }
+    }
+
+    /// Exponential with the given mean (`mean > 0`).
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "Exponential requires mean > 0 (got {mean})"
+        );
+        Exponential { rate: 1.0 / mean }
+    }
+}
+
+impl Distribution for Exponential {
+    fn sample(&self, rng: &mut Pcg64) -> f64 {
+        -rng.next_f64_open().ln() / self.rate
+    }
+}
+
+/// Normal (Gaussian) via the Box–Muller transform. Draws two uniforms per
+/// sample and discards the second variate — slightly wasteful but stateless,
+/// which keeps sampling order-independent for reproducibility.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std: f64,
+}
+
+impl Normal {
+    /// Normal with mean `mean` and standard deviation `std > 0`.
+    pub fn new(mean: f64, std: f64) -> Self {
+        assert!(
+            mean.is_finite() && std.is_finite() && std > 0.0,
+            "Normal requires finite mean and std > 0 (got {mean}, {std})"
+        );
+        Normal { mean, std }
+    }
+}
+
+impl Distribution for Normal {
+    fn sample(&self, rng: &mut Pcg64) -> f64 {
+        let u1 = rng.next_f64_open();
+        let u2 = rng.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.mean + self.std * r * theta.cos()
+    }
+}
+
+/// Lognormal: `exp(N(mu, sigma))`. The standard model for per-node memory
+/// footprints — most jobs are small, a heavy right tail is large.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    normal: Normal,
+}
+
+impl LogNormal {
+    /// Lognormal with log-space parameters `mu`, `sigma > 0`.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        LogNormal {
+            normal: Normal::new(mu, sigma),
+        }
+    }
+
+    /// Lognormal parameterized by the *linear-space* median and the
+    /// multiplicative spread `sigma` (log-space std). `median > 0`.
+    pub fn with_median(median: f64, sigma: f64) -> Self {
+        assert!(
+            median.is_finite() && median > 0.0,
+            "LogNormal requires median > 0 (got {median})"
+        );
+        Self::new(median.ln(), sigma)
+    }
+}
+
+impl Distribution for LogNormal {
+    fn sample(&self, rng: &mut Pcg64) -> f64 {
+        self.normal.sample(rng).exp()
+    }
+}
+
+/// Gamma with shape `k` and scale `theta` (mean `k*theta`), sampled with
+/// Marsaglia & Tsang's squeeze method; shapes below 1 use the standard
+/// `U^(1/k)` boost.
+#[derive(Debug, Clone, Copy)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Gamma with `shape > 0` and `scale > 0`.
+    pub fn new(shape: f64, scale: f64) -> Self {
+        assert!(
+            shape.is_finite() && shape > 0.0 && scale.is_finite() && scale > 0.0,
+            "Gamma requires shape > 0 and scale > 0 (got {shape}, {scale})"
+        );
+        Gamma { shape, scale }
+    }
+
+    fn sample_standard(shape: f64, rng: &mut Pcg64) -> f64 {
+        if shape < 1.0 {
+            // Boost: X ~ Gamma(shape+1), return X * U^(1/shape).
+            let x = Self::sample_standard(shape + 1.0, rng);
+            return x * rng.next_f64_open().powf(1.0 / shape);
+        }
+        let d = shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            // One standard normal via Box–Muller.
+            let u1 = rng.next_f64_open();
+            let u2 = rng.next_f64();
+            let x = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            let v = 1.0 + c * x;
+            if v <= 0.0 {
+                continue;
+            }
+            let v3 = v * v * v;
+            let u = rng.next_f64_open();
+            if u < 1.0 - 0.0331 * x.powi(4) {
+                return d * v3;
+            }
+            if u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln()) {
+                return d * v3;
+            }
+        }
+    }
+}
+
+impl Distribution for Gamma {
+    fn sample(&self, rng: &mut Pcg64) -> f64 {
+        Self::sample_standard(self.shape, rng) * self.scale
+    }
+}
+
+/// Weibull with shape `k` and scale `lambda`. Models job runtimes with
+/// either infant-mortality (`k < 1`) or wear-out (`k > 1`) shapes; also the
+/// standard hardware-failure inter-arrival model.
+#[derive(Debug, Clone, Copy)]
+pub struct Weibull {
+    shape: f64,
+    scale: f64,
+}
+
+impl Weibull {
+    /// Weibull with `shape > 0` and `scale > 0`.
+    pub fn new(shape: f64, scale: f64) -> Self {
+        assert!(
+            shape.is_finite() && shape > 0.0 && scale.is_finite() && scale > 0.0,
+            "Weibull requires shape > 0 and scale > 0 (got {shape}, {scale})"
+        );
+        Weibull { shape, scale }
+    }
+}
+
+impl Distribution for Weibull {
+    fn sample(&self, rng: &mut Pcg64) -> f64 {
+        self.scale * (-rng.next_f64_open().ln()).powf(1.0 / self.shape)
+    }
+}
+
+/// Pareto (type I) with minimum `xm` and tail index `alpha`. Heavy-tailed
+/// memory and runtime extremes.
+#[derive(Debug, Clone, Copy)]
+pub struct Pareto {
+    xm: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Pareto with scale `xm > 0` and shape `alpha > 0`.
+    pub fn new(xm: f64, alpha: f64) -> Self {
+        assert!(
+            xm.is_finite() && xm > 0.0 && alpha.is_finite() && alpha > 0.0,
+            "Pareto requires xm > 0 and alpha > 0 (got {xm}, {alpha})"
+        );
+        Pareto { xm, alpha }
+    }
+}
+
+impl Distribution for Pareto {
+    fn sample(&self, rng: &mut Pcg64) -> f64 {
+        self.xm / rng.next_f64_open().powf(1.0 / self.alpha)
+    }
+}
+
+/// Two-stage hyper-Gamma: with probability `p` draw from the first Gamma,
+/// otherwise from the second. This is the runtime model of Lublin &
+/// Feitelson's workload generator — the mixture captures the short-job mass
+/// and long-job tail that a single Gamma cannot.
+#[derive(Debug, Clone, Copy)]
+pub struct HyperGamma {
+    p: f64,
+    first: Gamma,
+    second: Gamma,
+}
+
+impl HyperGamma {
+    /// Mixture `p * first + (1-p) * second`; requires `0 <= p <= 1`.
+    pub fn new(p: f64, first: Gamma, second: Gamma) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "HyperGamma requires 0 <= p <= 1 (got {p})"
+        );
+        HyperGamma { p, first, second }
+    }
+}
+
+impl Distribution for HyperGamma {
+    fn sample(&self, rng: &mut Pcg64) -> f64 {
+        if rng.chance(self.p) {
+            self.first.sample(rng)
+        } else {
+            self.second.sample(rng)
+        }
+    }
+}
+
+/// Zipf over ranks `1..=n` with exponent `s`: `P(k) ∝ 1/k^s`. Models user
+/// submission popularity (a few users submit most jobs). Sampled by binary
+/// search over a precomputed cumulative table.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Zipf over `1..=n` ranks with exponent `s >= 0`; `n >= 1`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "Zipf requires n >= 1");
+        assert!(s.is_finite() && s >= 0.0, "Zipf requires s >= 0 (got {s})");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+            cumulative.push(total);
+        }
+        for c in cumulative.iter_mut() {
+            *c /= total;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Draw a rank in `[0, n)` (0-based).
+    pub fn sample_index(&self, rng: &mut Pcg64) -> usize {
+        let u = rng.next_f64();
+        self.cumulative.partition_point(|&c| c <= u)
+    }
+}
+
+/// Walker–Vose alias method: O(1) sampling from an arbitrary categorical
+/// distribution after O(n) setup. Used for job-class mixes.
+#[derive(Debug, Clone)]
+pub struct DiscreteAlias {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl DiscreteAlias {
+    /// Build from non-negative weights (not necessarily normalized). At
+    /// least one weight must be positive.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "DiscreteAlias requires weights");
+        assert!(
+            weights.iter().all(|&w| w.is_finite() && w >= 0.0),
+            "DiscreteAlias requires finite non-negative weights"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "DiscreteAlias requires a positive total weight");
+        let n = weights.len();
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
+        let mut prob = vec![0.0; n];
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::with_capacity(n);
+        let mut large: Vec<usize> = Vec::with_capacity(n);
+        for (i, &p) in scaled.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&l), Some(&g)) = (small.last(), large.last()) {
+            small.pop();
+            large.pop();
+            prob[l] = scaled[l];
+            alias[l] = g;
+            scaled[g] = (scaled[g] + scaled[l]) - 1.0;
+            if scaled[g] < 1.0 {
+                small.push(g);
+            } else {
+                large.push(g);
+            }
+        }
+        for &g in large.iter().chain(small.iter()) {
+            prob[g] = 1.0;
+        }
+        DiscreteAlias { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True if there are no categories (cannot occur post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw a category index.
+    pub fn sample_index(&self, rng: &mut Pcg64) -> usize {
+        let i = rng.index(self.prob.len());
+        if rng.next_f64() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+/// Empirical distribution: inverse-CDF resampling with linear interpolation
+/// between order statistics. This is how replayed trace columns (e.g. a real
+/// machine's memory-per-node histogram) drive the synthetic generator.
+#[derive(Debug, Clone)]
+pub struct Empirical {
+    sorted: Vec<f64>,
+}
+
+impl Empirical {
+    /// Build from observed samples (at least one, all finite).
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "Empirical requires samples");
+        assert!(
+            samples.iter().all(|x| x.is_finite()),
+            "Empirical requires finite samples"
+        );
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Empirical { sorted: samples }
+    }
+
+    /// The `q`-quantile (`0 <= q <= 1`) with linear interpolation.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        let n = self.sorted.len();
+        if n == 1 {
+            return self.sorted[0];
+        }
+        let pos = q * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+    }
+}
+
+impl Distribution for Empirical {
+    fn sample(&self, rng: &mut Pcg64) -> f64 {
+        self.quantile(rng.next_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn moments(d: &impl Distribution, seed: u64, n: usize) -> (f64, f64) {
+        let mut rng = Pcg64::new(seed);
+        let mut sum = 0.0;
+        let mut sq = 0.0;
+        for _ in 0..n {
+            let x = d.sample(&mut rng);
+            sum += x;
+            sq += x * x;
+        }
+        let mean = sum / n as f64;
+        (mean, sq / n as f64 - mean * mean)
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let d = Constant::new(3.25);
+        let mut rng = Pcg64::new(0);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 3.25);
+        }
+    }
+
+    #[test]
+    fn uniform_moments() {
+        let (mean, var) = moments(&Uniform::new(2.0, 6.0), 1, 200_000);
+        assert!((mean - 4.0).abs() < 0.02, "mean {mean}");
+        assert!((var - 16.0 / 12.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn exponential_moments() {
+        let (mean, var) = moments(&Exponential::new(0.5), 2, 200_000);
+        assert!((mean - 2.0).abs() < 0.03, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+        let (m2, _) = moments(&Exponential::with_mean(7.0), 3, 200_000);
+        assert!((m2 - 7.0).abs() < 0.1, "mean {m2}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let (mean, var) = moments(&Normal::new(-3.0, 2.0), 4, 200_000);
+        assert!((mean + 3.0).abs() < 0.02, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.06, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let d = LogNormal::with_median(64.0, 1.0);
+        let mut rng = Pcg64::new(5);
+        let mut v = d.sample_n(&mut rng, 100_001);
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = v[50_000];
+        assert!(
+            (median / 64.0 - 1.0).abs() < 0.05,
+            "median {median} should be near 64"
+        );
+        assert!(v[0] > 0.0, "lognormal is positive");
+    }
+
+    #[test]
+    fn gamma_moments_high_shape() {
+        // mean = k*theta, var = k*theta^2
+        let (mean, var) = moments(&Gamma::new(4.0, 3.0), 6, 200_000);
+        assert!((mean - 12.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 36.0).abs() < 1.2, "var {var}");
+    }
+
+    #[test]
+    fn gamma_moments_low_shape() {
+        let (mean, var) = moments(&Gamma::new(0.4, 2.0), 7, 400_000);
+        assert!((mean - 0.8).abs() < 0.02, "mean {mean}");
+        assert!((var - 1.6).abs() < 0.12, "var {var}");
+    }
+
+    #[test]
+    fn weibull_mean() {
+        // k=2, lambda=1: mean = Γ(1.5) = sqrt(pi)/2 ≈ 0.8862
+        let (mean, _) = moments(&Weibull::new(2.0, 1.0), 8, 200_000);
+        assert!((mean - 0.8862).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn pareto_bounds_and_mean() {
+        let d = Pareto::new(1.0, 3.0);
+        let mut rng = Pcg64::new(9);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= 1.0);
+        }
+        // mean = alpha*xm/(alpha-1) = 1.5
+        let (mean, _) = moments(&d, 10, 400_000);
+        assert!((mean - 1.5).abs() < 0.03, "mean {mean}");
+    }
+
+    #[test]
+    fn hypergamma_mixture_mean() {
+        let d = HyperGamma::new(
+            0.7,
+            Gamma::new(2.0, 1.0), // mean 2
+            Gamma::new(10.0, 2.0), // mean 20
+        );
+        let (mean, _) = moments(&d, 11, 200_000);
+        let expect = 0.7 * 2.0 + 0.3 * 20.0;
+        assert!((mean - expect).abs() < 0.1, "mean {mean} vs {expect}");
+    }
+
+    #[test]
+    fn zipf_rank_ordering() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = Pcg64::new(12);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..100_000 {
+            counts[z.sample_index(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[9], "rank 1 should beat rank 10");
+        assert!(counts[9] > counts[99], "rank 10 should beat rank 100");
+        // P(rank 1) = (1/1^1.2)/H where H = sum 1/k^1.2
+        let h: f64 = (1..=100).map(|k| 1.0 / (k as f64).powf(1.2)).sum();
+        let p1 = 1.0 / h;
+        let observed = counts[0] as f64 / 100_000.0;
+        assert!((observed - p1).abs() < 0.01, "observed {observed} vs {p1}");
+    }
+
+    #[test]
+    fn zipf_s_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = Pcg64::new(13);
+        let mut counts = vec![0u32; 10];
+        for _ in 0..100_000 {
+            counts[z.sample_index(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            let dev = (c as f64 - 10_000.0).abs() / 10_000.0;
+            assert!(dev < 0.05);
+        }
+    }
+
+    #[test]
+    fn alias_matches_weights() {
+        let d = DiscreteAlias::new(&[1.0, 0.0, 3.0, 6.0]);
+        assert_eq!(d.len(), 4);
+        let mut rng = Pcg64::new(14);
+        let mut counts = [0u32; 4];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[d.sample_index(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero-weight category must never fire");
+        let fracs: Vec<f64> = counts.iter().map(|&c| c as f64 / n as f64).collect();
+        assert!((fracs[0] - 0.1).abs() < 0.01);
+        assert!((fracs[2] - 0.3).abs() < 0.01);
+        assert!((fracs[3] - 0.6).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total weight")]
+    fn alias_rejects_all_zero() {
+        DiscreteAlias::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn empirical_resamples_range() {
+        let d = Empirical::new(vec![5.0, 1.0, 3.0]);
+        assert_eq!(d.quantile(0.0), 1.0);
+        assert_eq!(d.quantile(1.0), 5.0);
+        assert_eq!(d.quantile(0.5), 3.0);
+        let mut rng = Pcg64::new(15);
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!((1.0..=5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn empirical_single_sample() {
+        let d = Empirical::new(vec![2.5]);
+        assert_eq!(d.quantile(0.3), 2.5);
+    }
+
+    /// Kolmogorov–Smirnov sanity check of the exponential sampler against
+    /// the analytic CDF — catches subtle inversion bugs that moment tests
+    /// miss.
+    #[test]
+    fn exponential_ks_test() {
+        let d = Exponential::new(1.0);
+        let mut rng = Pcg64::new(16);
+        let n = 20_000;
+        let mut v = d.sample_n(&mut rng, n);
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut ks: f64 = 0.0;
+        for (i, &x) in v.iter().enumerate() {
+            let cdf = 1.0 - (-x).exp();
+            let emp_hi = (i + 1) as f64 / n as f64;
+            let emp_lo = i as f64 / n as f64;
+            ks = ks.max((cdf - emp_lo).abs()).max((emp_hi - cdf).abs());
+        }
+        // 1% critical value ≈ 1.63/sqrt(n) ≈ 0.0115
+        assert!(ks < 0.0115, "KS statistic {ks} too large");
+    }
+}

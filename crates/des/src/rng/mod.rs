@@ -1,0 +1,27 @@
+//! Deterministic random-number generation and statistical distributions.
+//!
+//! The RNG is part of the reproduction surface: synthetic workloads must be
+//! bit-identical across machines and releases, so the generator and every
+//! distribution are implemented here rather than pulled from a crate whose
+//! stream may change between versions.
+//!
+//! * [`SplitMix64`] — a tiny 64-bit seeder/stream-splitter (Steele et al.).
+//! * [`Pcg64`] — PCG XSL-RR 128/64 (O'Neill), the workhorse generator.
+//! * [`dist`] — the distributions workload synthesis needs, all sampled
+//!   through the [`Distribution`](dist::Distribution) trait.
+//!
+//! ## Stream splitting
+//!
+//! Parallel parameter sweeps need independent streams per simulation.
+//! [`Pcg64::fork`] derives a child generator from the parent's seed material
+//! and a caller-supplied label, so a sweep indexed by `(seed, run_id)` gets a
+//! reproducible, statistically independent stream regardless of thread
+//! scheduling.
+
+mod pcg;
+mod splitmix;
+
+pub mod dist;
+
+pub use pcg::Pcg64;
+pub use splitmix::SplitMix64;

@@ -1,0 +1,219 @@
+//! Fixed-width and logarithmic histograms.
+
+use serde::{Deserialize, Serialize};
+
+/// Fixed-width histogram over `[lo, hi)` with explicit under/overflow bins.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// A histogram with `nbins` equal-width bins spanning `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "Histogram requires finite lo < hi (got {lo}, {hi})"
+        );
+        assert!(nbins > 0, "Histogram requires at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; nbins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let frac = (x - self.lo) / (self.hi - self.lo);
+            let idx = ((frac * self.bins.len() as f64) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total observations including under/overflow.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// In-range bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// `(bin center, count)` pairs for figure output.
+    pub fn centers(&self) -> Vec<(f64, u64)> {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + width * (i as f64 + 0.5), c))
+            .collect()
+    }
+
+    /// Fraction of in-range mass at or below `x` (empirical CDF over bins).
+    pub fn cdf_at(&self, x: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let mut cum = self.underflow;
+        if x >= self.hi {
+            cum += self.bins.iter().sum::<u64>() + self.overflow;
+        } else if x >= self.lo {
+            let frac = (x - self.lo) / (self.hi - self.lo);
+            let idx = ((frac * self.bins.len() as f64) as usize).min(self.bins.len() - 1);
+            cum += self.bins[..=idx].iter().sum::<u64>();
+        }
+        cum as f64 / self.count as f64
+    }
+}
+
+/// Log₂ histogram: bin *k* covers `[2^k, 2^(k+1))`, with a dedicated zero
+/// bin. Natural for job sizes (1, 2, 4, … nodes) and memory footprints.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LogHistogram {
+    zero: u64,
+    /// `bins[k]` counts values in `[2^k, 2^(k+1))`.
+    bins: Vec<u64>,
+    count: u64,
+}
+
+impl LogHistogram {
+    /// An empty log histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a non-negative integer observation.
+    pub fn record(&mut self, x: u64) {
+        self.count += 1;
+        if x == 0 {
+            self.zero += 1;
+            return;
+        }
+        let k = 63 - x.leading_zeros() as usize; // floor(log2(x))
+        if self.bins.len() <= k {
+            self.bins.resize(k + 1, 0);
+        }
+        self.bins[k] += 1;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Count of zero-valued observations.
+    pub fn zero_count(&self) -> u64 {
+        self.zero
+    }
+
+    /// `(lower bound of bin, count)` pairs, zero bin first when present.
+    pub fn rows(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::with_capacity(self.bins.len() + 1);
+        if self.zero > 0 {
+            out.push((0, self.zero));
+        }
+        for (k, &c) in self.bins.iter().enumerate() {
+            if c > 0 {
+                out.push((1u64 << k, c));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_and_edges() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(-1.0); // underflow
+        h.record(0.0); // bin 0
+        h.record(0.999); // bin 0
+        h.record(5.0); // bin 5
+        h.record(9.999); // bin 9
+        h.record(10.0); // overflow
+        h.record(100.0); // overflow
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.bins()[0], 2);
+        assert_eq!(h.bins()[5], 1);
+        assert_eq!(h.bins()[9], 1);
+    }
+
+    #[test]
+    fn centers_are_midpoints() {
+        let h = Histogram::new(0.0, 4.0, 4);
+        let centers: Vec<f64> = h.centers().iter().map(|&(c, _)| c).collect();
+        assert_eq!(centers, vec![0.5, 1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn cdf_monotone() {
+        let mut h = Histogram::new(0.0, 100.0, 20);
+        for i in 0..100 {
+            h.record(i as f64);
+        }
+        let mut prev = 0.0;
+        for x in [0.0, 10.0, 25.0, 50.0, 99.0, 100.0, 1000.0] {
+            let c = h.cdf_at(x);
+            assert!(c >= prev, "CDF must be monotone");
+            prev = c;
+        }
+        assert!((h.cdf_at(1e9) - 1.0).abs() < 1e-12);
+        assert_eq!(Histogram::new(0.0, 1.0, 2).cdf_at(0.5), 0.0, "empty CDF");
+    }
+
+    #[test]
+    fn log_histogram_buckets() {
+        let mut h = LogHistogram::new();
+        for x in [0u64, 1, 1, 2, 3, 4, 7, 8, 1024, 1025] {
+            h.record(x);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.zero_count(), 1);
+        let rows = h.rows();
+        // bins: 0 -> 1, [1,2) -> 2, [2,4) -> 2, [4,8) -> 2, [8,16) -> 1, [1024,2048) -> 2
+        assert_eq!(rows[0], (0, 1));
+        assert_eq!(rows[1], (1, 2));
+        assert_eq!(rows[2], (2, 2));
+        assert_eq!(rows[3], (4, 2));
+        assert_eq!(rows[4], (8, 1));
+        assert_eq!(rows[5], (1024, 2));
+    }
+
+    #[test]
+    fn log_histogram_powers_of_two_boundary() {
+        let mut h = LogHistogram::new();
+        h.record(u64::MAX); // top bin must not panic
+        assert_eq!(h.rows()[0].0, 1u64 << 63);
+    }
+}

@@ -1,0 +1,217 @@
+//! Welford's single-pass mean/variance with parallel merge.
+
+use serde::{Deserialize, Serialize};
+
+/// Numerically stable streaming moments: count, mean, variance, min, max.
+///
+/// `merge` implements Chan et al.'s pairwise combination, so per-thread
+/// accumulators from a parallel sweep can be reduced exactly.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance; 0 with fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample (Bessel-corrected) variance; 0 with fewer than two observations.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation; +∞ when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; −∞ when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.count as f64
+    }
+
+    /// Coefficient of variation (std/mean); 0 when the mean is 0.
+    pub fn cv(&self) -> f64 {
+        if self.mean() == 0.0 {
+            0.0
+        } else {
+            self.std_dev() / self.mean().abs()
+        }
+    }
+
+    /// Exact combination of two accumulators (Chan's parallel formula).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_defaults() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.sum(), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.sum() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut s = OnlineStats::new();
+        s.push(3.0);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..1000).map(|i| ((i * 7919) % 1000) as f64 / 3.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for &x in &data[..311] {
+            left.push(x);
+        }
+        for &x in &data[311..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        a.push(2.0);
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a.count(), before.count());
+        assert_eq!(a.mean(), before.mean());
+
+        let mut empty = OnlineStats::new();
+        empty.merge(&before);
+        assert_eq!(empty.count(), 2);
+        assert!((empty.mean() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cv_zero_mean() {
+        let mut s = OnlineStats::new();
+        s.push(-1.0);
+        s.push(1.0);
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn numerical_stability_large_offset() {
+        // Naive sum-of-squares catastrophically cancels here; Welford must not.
+        let mut s = OnlineStats::new();
+        let offset = 1e9;
+        for x in [offset + 1.0, offset + 2.0, offset + 3.0] {
+            s.push(x);
+        }
+        assert!((s.mean() - (offset + 2.0)).abs() < 1e-3);
+        assert!((s.variance() - 2.0 / 3.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,235 @@
+//! Time-weighted integration of step functions over simulated time.
+//!
+//! Utilization, queue depth, and pool occupancy are piecewise-constant in a
+//! DES: they change only at events. [`TimeWeighted`] integrates such a step
+//! function exactly; [`StepSeries`] additionally records the steps for
+//! figure output.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Exact integrator for a piecewise-constant signal.
+///
+/// Call [`update`](TimeWeighted::update) whenever the signal changes;
+/// [`mean_until`](TimeWeighted::mean_until) closes the last segment at the
+/// query time. Out-of-order updates panic — events in a DES are causal.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    start: SimTime,
+    last_time: SimTime,
+    last_value: f64,
+    /// ∫ value dt over closed segments, in value·seconds.
+    integral: f64,
+    max: f64,
+    min: f64,
+}
+
+impl TimeWeighted {
+    /// A signal with value `initial` from time `start`.
+    pub fn new(start: SimTime, initial: f64) -> Self {
+        TimeWeighted {
+            start,
+            last_time: start,
+            last_value: initial,
+            integral: 0.0,
+            max: initial,
+            min: initial,
+        }
+    }
+
+    /// Record that the signal takes `value` from time `at` onward.
+    ///
+    /// # Panics
+    /// Panics if `at` precedes the previous update.
+    pub fn update(&mut self, at: SimTime, value: f64) {
+        let dt = at
+            .checked_since(self.last_time)
+            .expect("TimeWeighted updates must be causal (non-decreasing time)");
+        self.integral += self.last_value * dt.as_secs_f64();
+        self.last_time = at;
+        self.last_value = value;
+        self.max = self.max.max(value);
+        self.min = self.min.min(value);
+    }
+
+    /// Add `delta` to the current value at time `at` (convenience for
+    /// counters like queue depth).
+    pub fn add(&mut self, at: SimTime, delta: f64) {
+        let v = self.last_value + delta;
+        self.update(at, v);
+    }
+
+    /// The current (most recently set) value.
+    pub fn current(&self) -> f64 {
+        self.last_value
+    }
+
+    /// The largest value ever set.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// The smallest value ever set.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// ∫ value dt from `start` to `end`, in value·seconds.
+    pub fn integral_until(&self, end: SimTime) -> f64 {
+        let tail = end.saturating_since(self.last_time);
+        self.integral + self.last_value * tail.as_secs_f64()
+    }
+
+    /// Time-weighted mean over `[start, end]`; 0 for an empty interval.
+    pub fn mean_until(&self, end: SimTime) -> f64 {
+        let span: SimDuration = end.saturating_since(self.start);
+        if span.is_zero() {
+            return 0.0;
+        }
+        self.integral_until(end) / span.as_secs_f64()
+    }
+}
+
+/// A recorded step series: [`TimeWeighted`] integration plus the actual
+/// `(time, value)` breakpoints, for time-series figures.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StepSeries {
+    tw: TimeWeighted,
+    points: Vec<(SimTime, f64)>,
+}
+
+impl StepSeries {
+    /// A series starting at `start` with value `initial`.
+    pub fn new(start: SimTime, initial: f64) -> Self {
+        StepSeries {
+            tw: TimeWeighted::new(start, initial),
+            points: vec![(start, initial)],
+        }
+    }
+
+    /// Record a new value at `at` (coalesces no-op changes).
+    pub fn update(&mut self, at: SimTime, value: f64) {
+        if value == self.tw.current() {
+            return;
+        }
+        self.tw.update(at, value);
+        self.points.push((at, value));
+    }
+
+    /// Add `delta` to the current value.
+    pub fn add(&mut self, at: SimTime, delta: f64) {
+        let v = self.tw.current() + delta;
+        self.update(at, v);
+    }
+
+    /// The underlying integrator.
+    pub fn stats(&self) -> &TimeWeighted {
+        &self.tw
+    }
+
+    /// All recorded breakpoints.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// The series resampled onto at most `n` evenly spaced points over
+    /// `[start, end]` (step semantics: value at a sample time is the value
+    /// of the most recent breakpoint at or before it). Used to keep figure
+    /// output bounded regardless of event count.
+    pub fn resample(&self, end: SimTime, n: usize) -> Vec<(SimTime, f64)> {
+        assert!(n >= 2, "resample requires at least 2 points");
+        let start = self.points[0].0;
+        let span = end.saturating_since(start);
+        if span.is_zero() {
+            return vec![(start, self.points[0].1)];
+        }
+        let mut out = Vec::with_capacity(n);
+        let mut idx = 0usize;
+        for i in 0..n {
+            let t = start + SimDuration::from_micros(span.as_micros() / (n as u64 - 1) * i as u64);
+            while idx + 1 < self.points.len() && self.points[idx + 1].0 <= t {
+                idx += 1;
+            }
+            out.push((t, self.points[idx].1));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrates_steps_exactly() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        tw.update(SimTime::from_secs(10), 5.0); // 0 for 10 s
+        tw.update(SimTime::from_secs(20), 2.0); // 5 for 10 s
+        // then 2 until t=30: mean = (0*10 + 5*10 + 2*10)/30 = 70/30
+        let mean = tw.mean_until(SimTime::from_secs(30));
+        assert!((mean - 70.0 / 30.0).abs() < 1e-9);
+        assert_eq!(tw.max(), 5.0);
+        assert_eq!(tw.min(), 0.0);
+        assert_eq!(tw.current(), 2.0);
+    }
+
+    #[test]
+    fn empty_interval_mean_is_zero() {
+        let tw = TimeWeighted::new(SimTime::from_secs(5), 3.0);
+        assert_eq!(tw.mean_until(SimTime::from_secs(5)), 0.0);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        tw.add(SimTime::from_secs(1), 2.0);
+        tw.add(SimTime::from_secs(2), 3.0);
+        tw.add(SimTime::from_secs(3), -4.0);
+        assert_eq!(tw.current(), 1.0);
+        assert_eq!(tw.max(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "causal")]
+    fn rejects_time_travel() {
+        let mut tw = TimeWeighted::new(SimTime::from_secs(10), 0.0);
+        tw.update(SimTime::from_secs(5), 1.0);
+    }
+
+    #[test]
+    fn same_time_update_is_fine() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 1.0);
+        tw.update(SimTime::from_secs(1), 2.0);
+        tw.update(SimTime::from_secs(1), 3.0); // zero-width segment
+        assert_eq!(tw.current(), 3.0);
+        let mean = tw.mean_until(SimTime::from_secs(2));
+        assert!((mean - (1.0 + 3.0) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_coalesces_and_resamples() {
+        let mut s = StepSeries::new(SimTime::ZERO, 0.0);
+        s.update(SimTime::from_secs(10), 4.0);
+        s.update(SimTime::from_secs(10), 4.0); // no-op: coalesced
+        s.update(SimTime::from_secs(30), 1.0);
+        assert_eq!(s.points().len(), 3);
+
+        let rs = s.resample(SimTime::from_secs(40), 5);
+        assert_eq!(rs.len(), 5);
+        assert_eq!(rs[0], (SimTime::ZERO, 0.0));
+        assert_eq!(rs[1], (SimTime::from_secs(10), 4.0));
+        assert_eq!(rs[2], (SimTime::from_secs(20), 4.0));
+        assert_eq!(rs[3], (SimTime::from_secs(30), 1.0));
+        assert_eq!(rs[4], (SimTime::from_secs(40), 1.0));
+    }
+
+    #[test]
+    fn series_integral_matches_tw() {
+        let mut s = StepSeries::new(SimTime::ZERO, 1.0);
+        s.add(SimTime::from_secs(5), 1.0);
+        s.add(SimTime::from_secs(10), -2.0);
+        let mean = s.stats().mean_until(SimTime::from_secs(20));
+        // 1*5 + 2*5 + 0*10 = 15 over 20 s
+        assert!((mean - 0.75).abs() < 1e-9);
+    }
+}

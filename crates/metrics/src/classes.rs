@@ -1,0 +1,226 @@
+//! Job classification: who does disaggregation actually help?
+
+use crate::jobstats::{JobOutcome, JobRecord};
+use dmhpc_des::stats::OnlineStats;
+use dmhpc_workload::Job;
+use serde::{Deserialize, Serialize};
+
+/// Classification thresholds.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ClassThresholds {
+    /// Jobs with at least this many nodes are "large".
+    pub large_nodes: u32,
+    /// Jobs whose per-node footprint exceeds `heavy_frac × node_mem_mib`
+    /// are "memory-heavy".
+    pub heavy_frac: f64,
+    /// Reference node DRAM, MiB.
+    pub node_mem_mib: u64,
+}
+
+impl ClassThresholds {
+    /// Conventional thresholds: large ≥ 16 nodes, heavy > 50% of DRAM.
+    pub fn standard(node_mem_mib: u64) -> Self {
+        ClassThresholds {
+            large_nodes: 16,
+            heavy_frac: 0.5,
+            node_mem_mib,
+        }
+    }
+
+    /// Classify one job.
+    pub fn classify(&self, job: &Job) -> JobClass {
+        let large = job.nodes >= self.large_nodes;
+        let heavy = job.mem_per_node as f64 > self.heavy_frac * self.node_mem_mib as f64;
+        match (large, heavy) {
+            (false, false) => JobClass::SmallLight,
+            (false, true) => JobClass::SmallHeavy,
+            (true, false) => JobClass::LargeLight,
+            (true, true) => JobClass::LargeHeavy,
+        }
+    }
+}
+
+/// The 2×2 job taxonomy used by reproduction figure F8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JobClass {
+    /// < large_nodes, light memory.
+    SmallLight,
+    /// < large_nodes, heavy memory.
+    SmallHeavy,
+    /// ≥ large_nodes, light memory.
+    LargeLight,
+    /// ≥ large_nodes, heavy memory.
+    LargeHeavy,
+}
+
+impl JobClass {
+    /// All classes in display order.
+    pub const ALL: [JobClass; 4] = [
+        JobClass::SmallLight,
+        JobClass::SmallHeavy,
+        JobClass::LargeLight,
+        JobClass::LargeHeavy,
+    ];
+
+    /// Stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobClass::SmallLight => "small-light",
+            JobClass::SmallHeavy => "small-heavy",
+            JobClass::LargeLight => "large-light",
+            JobClass::LargeHeavy => "large-heavy",
+        }
+    }
+}
+
+/// Aggregated outcomes for one class.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassRow {
+    /// Which class.
+    pub class: JobClass,
+    /// Jobs in the class (including rejected).
+    pub jobs: usize,
+    /// Mean wait, seconds (ran jobs only).
+    pub mean_wait_s: f64,
+    /// Mean bounded slowdown.
+    pub mean_bsld: f64,
+    /// Fraction of the class that borrowed pool memory.
+    pub borrowed_fraction: f64,
+    /// Fraction of the class that was inflated.
+    pub inflated_fraction: f64,
+}
+
+/// Per-class aggregation over a run's records.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassBreakdown {
+    /// One row per class, in [`JobClass::ALL`] order.
+    pub rows: Vec<ClassRow>,
+}
+
+impl ClassBreakdown {
+    /// Aggregate `records` under `thresholds`.
+    pub fn compute(records: &[JobRecord], thresholds: &ClassThresholds) -> Self {
+        let mut rows = Vec::with_capacity(4);
+        for class in JobClass::ALL {
+            let mut wait = OnlineStats::new();
+            let mut bsld = OnlineStats::new();
+            let mut jobs = 0usize;
+            let mut borrowed = 0usize;
+            let mut inflated = 0usize;
+            for r in records {
+                if thresholds.classify(&r.job) != class {
+                    continue;
+                }
+                jobs += 1;
+                if r.outcome == JobOutcome::Rejected {
+                    continue;
+                }
+                if let Some(w) = r.wait() {
+                    wait.push(w.as_secs_f64());
+                }
+                if let Some(b) = r.bounded_slowdown() {
+                    bsld.push(b);
+                }
+                if r.borrowed_pool() {
+                    borrowed += 1;
+                }
+                if r.inflated() {
+                    inflated += 1;
+                }
+            }
+            rows.push(ClassRow {
+                class,
+                jobs,
+                mean_wait_s: wait.mean(),
+                mean_bsld: bsld.mean(),
+                borrowed_fraction: frac(borrowed, jobs),
+                inflated_fraction: frac(inflated, jobs),
+            });
+        }
+        ClassBreakdown { rows }
+    }
+
+    /// Row for one class.
+    pub fn row(&self, class: JobClass) -> &ClassRow {
+        self.rows
+            .iter()
+            .find(|r| r.class == class)
+            .expect("all classes present")
+    }
+}
+
+fn frac(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmhpc_des::time::SimTime;
+    use dmhpc_workload::JobBuilder;
+
+    fn thresholds() -> ClassThresholds {
+        ClassThresholds::standard(1000)
+    }
+
+    fn rec(id: u64, nodes: u32, mem: u64, wait_s: u64, remote: u64, alloc: u32) -> JobRecord {
+        let job = JobBuilder::new(id)
+            .nodes(nodes)
+            .mem_per_node(mem)
+            .runtime_secs(100, 200)
+            .build();
+        JobRecord {
+            job,
+            outcome: JobOutcome::Completed,
+            start: Some(SimTime::from_secs(wait_s)),
+            finish: Some(SimTime::from_secs(wait_s + 100)),
+            nodes_allocated: alloc,
+            remote_per_node: remote,
+            dilation_planned: 1.0,
+            dilation_actual: 1.0,
+        }
+    }
+
+    #[test]
+    fn classification_quadrants() {
+        let t = thresholds();
+        assert_eq!(t.classify(&JobBuilder::new(1).nodes(1).mem_per_node(100).build()), JobClass::SmallLight);
+        assert_eq!(t.classify(&JobBuilder::new(2).nodes(1).mem_per_node(900).build()), JobClass::SmallHeavy);
+        assert_eq!(t.classify(&JobBuilder::new(3).nodes(32).mem_per_node(100).build()), JobClass::LargeLight);
+        assert_eq!(t.classify(&JobBuilder::new(4).nodes(32).mem_per_node(900).build()), JobClass::LargeHeavy);
+        // Boundary: exactly 50% is light; exactly large_nodes is large.
+        assert_eq!(t.classify(&JobBuilder::new(5).nodes(16).mem_per_node(500).build()), JobClass::LargeLight);
+    }
+
+    #[test]
+    fn breakdown_aggregates_by_class() {
+        let records = vec![
+            rec(1, 1, 100, 50, 0, 1),    // small-light
+            rec(2, 1, 100, 150, 0, 1),   // small-light
+            rec(3, 1, 900, 400, 200, 1), // small-heavy, borrowed
+            rec(4, 32, 900, 1000, 0, 40), // large-heavy, inflated
+        ];
+        let b = ClassBreakdown::compute(&records, &thresholds());
+        let sl = b.row(JobClass::SmallLight);
+        assert_eq!(sl.jobs, 2);
+        assert!((sl.mean_wait_s - 100.0).abs() < 1e-9);
+        let sh = b.row(JobClass::SmallHeavy);
+        assert_eq!(sh.jobs, 1);
+        assert_eq!(sh.borrowed_fraction, 1.0);
+        assert_eq!(sh.inflated_fraction, 0.0);
+        let lh = b.row(JobClass::LargeHeavy);
+        assert_eq!(lh.inflated_fraction, 1.0);
+        assert_eq!(b.row(JobClass::LargeLight).jobs, 0);
+        assert_eq!(b.row(JobClass::LargeLight).mean_wait_s, 0.0);
+    }
+
+    #[test]
+    fn class_names() {
+        assert_eq!(JobClass::SmallHeavy.name(), "small-heavy");
+        assert_eq!(JobClass::ALL.len(), 4);
+    }
+}

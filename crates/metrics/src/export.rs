@@ -1,0 +1,187 @@
+//! CSV and JSON export of reports and series.
+//!
+//! CSV output is deliberately hand-rolled (the format here is numeric and
+//! label-safe, no quoting edge cases) to avoid a dependency; JSON goes
+//! through `serde_json`.
+
+use crate::summary::SimReport;
+use std::fmt::Write as _;
+
+/// Column headers matching [`report_csv_row`].
+pub const REPORT_CSV_HEADER: &str = "label,completed,killed,rejected,mean_wait_s,p50_wait_s,\
+p95_wait_s,max_wait_s,mean_bsld,p95_bsld,mean_turnaround_s,makespan_h,throughput_jobs_per_day,\
+node_util,pool_util,dram_util,queue_depth_mean,queue_depth_max,borrowed_fraction,\
+mean_far_fraction,mean_dilation_borrowers,inflated_fraction,inflation_overhead_node_h,\
+user_fairness";
+
+/// One CSV row for a report (no trailing newline).
+pub fn report_csv_row(r: &SimReport) -> String {
+    format!(
+        "{},{},{},{},{:.2},{:.2},{:.2},{:.2},{:.4},{:.4},{:.2},{:.3},{:.2},{:.4},{:.4},{:.4},{:.3},{:.0},{:.4},{:.4},{:.4},{:.4},{:.3},{:.4}",
+        sanitize(&r.label),
+        r.completed,
+        r.killed,
+        r.rejected,
+        r.mean_wait_s,
+        r.p50_wait_s,
+        r.p95_wait_s,
+        r.max_wait_s,
+        r.mean_bsld,
+        r.p95_bsld,
+        r.mean_turnaround_s,
+        r.makespan_h,
+        r.throughput_jobs_per_day,
+        r.node_util,
+        r.pool_util,
+        r.dram_util,
+        r.queue_depth_mean,
+        r.queue_depth_max,
+        r.borrowed_fraction,
+        r.mean_far_fraction,
+        r.mean_dilation_borrowers,
+        r.inflated_fraction,
+        r.inflation_overhead_node_h,
+        r.user_fairness,
+    )
+}
+
+/// Full CSV document for a set of reports.
+pub fn reports_to_csv(reports: &[SimReport]) -> String {
+    let mut out = String::with_capacity(256 * (reports.len() + 1));
+    out.push_str(REPORT_CSV_HEADER);
+    out.push('\n');
+    for r in reports {
+        out.push_str(&report_csv_row(r));
+        out.push('\n');
+    }
+    out
+}
+
+/// Pretty JSON for one report.
+pub fn report_to_json(r: &SimReport) -> String {
+    serde_json::to_string_pretty(r).expect("SimReport serializes")
+}
+
+/// CSV for an `(x, y)` series with custom column names.
+pub fn series_to_csv(x_name: &str, y_name: &str, points: &[(f64, f64)]) -> String {
+    let mut out = String::with_capacity(16 * (points.len() + 1));
+    let _ = writeln!(out, "{},{}", sanitize(x_name), sanitize(y_name));
+    for &(x, y) in points {
+        let _ = writeln!(out, "{x:.6},{y:.6}");
+    }
+    out
+}
+
+/// CSV for multiple named `y` series sharing `x` values (figure output: one
+/// column per policy). Series must be equal-length.
+pub fn multi_series_to_csv(
+    x_name: &str,
+    xs: &[f64],
+    series: &[(&str, Vec<f64>)],
+) -> String {
+    for (name, ys) in series {
+        assert_eq!(
+            ys.len(),
+            xs.len(),
+            "series {name} length {} != x length {}",
+            ys.len(),
+            xs.len()
+        );
+    }
+    let mut out = String::new();
+    let _ = write!(out, "{}", sanitize(x_name));
+    for (name, _) in series {
+        let _ = write!(out, ",{}", sanitize(name));
+    }
+    out.push('\n');
+    for (i, &x) in xs.iter().enumerate() {
+        let _ = write!(out, "{x:.6}");
+        for (_, ys) in series {
+            let _ = write!(out, ",{:.6}", ys[i]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Strip CSV-hostile characters from labels.
+fn sanitize(s: &str) -> String {
+    s.replace([',', '\n', '\r', '"'], "_")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::ClassThresholds;
+    use crate::summary::RunData;
+
+    fn report(label: &str) -> SimReport {
+        SimReport::compute(
+            &RunData {
+                label: label.into(),
+                records: vec![],
+                makespan_s: 3600.0,
+                node_util: 0.5,
+                pool_util: 0.0,
+                dram_util: 0.25,
+                queue_depth_mean: 0.0,
+                queue_depth_max: 0.0,
+            },
+            &ClassThresholds::standard(1024),
+        )
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = reports_to_csv(&[report("a"), report("b")]);
+        let lines: Vec<&str> = csv.trim_end().lines().collect();
+        assert_eq!(lines.len(), 3);
+        let ncols = lines[0].split(',').count();
+        for l in &lines[1..] {
+            assert_eq!(l.split(',').count(), ncols, "row arity matches header");
+        }
+        assert!(lines[1].starts_with("a,"));
+    }
+
+    #[test]
+    fn labels_sanitized() {
+        let row = report_csv_row(&report("has,comma\nand newline"));
+        assert!(!row.contains("has,comma"));
+        assert!(row.starts_with("has_comma_and newline,"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = report("x");
+        let json = report_to_json(&r);
+        let back: SimReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.label, "x");
+        assert_eq!(back.node_util, 0.5);
+    }
+
+    #[test]
+    fn series_csv() {
+        let csv = series_to_csv("pool_gib", "wait_s", &[(0.0, 100.0), (512.0, 40.0)]);
+        let lines: Vec<&str> = csv.trim_end().lines().collect();
+        assert_eq!(lines[0], "pool_gib,wait_s");
+        assert!(lines[1].starts_with("0.000000,100.000000"));
+    }
+
+    #[test]
+    fn multi_series_csv() {
+        let csv = multi_series_to_csv(
+            "load",
+            &[0.5, 0.9],
+            &[("fcfs", vec![1.0, 5.0]), ("easy", vec![0.5, 2.0])],
+        );
+        let lines: Vec<&str> = csv.trim_end().lines().collect();
+        assert_eq!(lines[0], "load,fcfs,easy");
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn multi_series_arity_checked() {
+        multi_series_to_csv("x", &[1.0], &[("bad", vec![1.0, 2.0])]);
+    }
+}

@@ -1,0 +1,82 @@
+//! User-level fairness.
+
+use crate::jobstats::JobRecord;
+use std::collections::BTreeMap;
+
+/// Jain's fairness index over non-negative allocations:
+/// `(Σx)² / (n · Σx²)`. 1 when all equal; → 1/n under total unfairness.
+/// Returns 1.0 for empty or all-zero input (nothing to be unfair about).
+pub fn jain_index(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = values.iter().sum();
+    let sq: f64 = values.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (values.len() as f64 * sq)
+}
+
+/// Mean wait per user (seconds), users in ascending id order. Jobs that
+/// never started are excluded.
+pub fn per_user_mean_waits(records: &[JobRecord]) -> Vec<f64> {
+    let mut acc: BTreeMap<u32, (f64, u32)> = BTreeMap::new();
+    for r in records {
+        if let Some(w) = r.wait() {
+            let e = acc.entry(r.job.user).or_insert((0.0, 0));
+            e.0 += w.as_secs_f64();
+            e.1 += 1;
+        }
+    }
+    acc.values().map(|&(sum, n)| sum / n as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobstats::JobOutcome;
+    use dmhpc_des::time::SimTime;
+    use dmhpc_workload::JobBuilder;
+
+    #[test]
+    fn jain_bounds() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert!((jain_index(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        // One user hogs everything: index → 1/n.
+        let idx = jain_index(&[10.0, 0.0, 0.0, 0.0]);
+        assert!((idx - 0.25).abs() < 1e-12);
+        // Moderate skew lands strictly between.
+        let idx = jain_index(&[1.0, 2.0, 3.0]);
+        assert!(idx > 1.0 / 3.0 && idx < 1.0);
+    }
+
+    #[test]
+    fn per_user_aggregation() {
+        let mk = |id: u64, user: u32, arrival: u64, start: Option<u64>| JobRecord {
+            job: JobBuilder::new(id).user(user).arrival_secs(arrival).build(),
+            outcome: if start.is_some() {
+                JobOutcome::Completed
+            } else {
+                JobOutcome::Rejected
+            },
+            start: start.map(SimTime::from_secs),
+            finish: start.map(|s| SimTime::from_secs(s + 10)),
+            nodes_allocated: 1,
+            remote_per_node: 0,
+            dilation_planned: 1.0,
+            dilation_actual: 1.0,
+        };
+        let records = vec![
+            mk(1, 0, 0, Some(100)),  // user 0 waits 100
+            mk(2, 0, 0, Some(300)),  // user 0 waits 300 → mean 200
+            mk(3, 7, 0, Some(50)),   // user 7 waits 50
+            mk(4, 7, 0, None),       // rejected: excluded
+        ];
+        let waits = per_user_mean_waits(&records);
+        assert_eq!(waits, vec![200.0, 50.0]);
+        let j = jain_index(&waits);
+        assert!(j < 1.0 && j > 0.5);
+    }
+}

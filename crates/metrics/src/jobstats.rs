@@ -1,0 +1,182 @@
+//! Per-job outcome records and derived metrics.
+
+use dmhpc_des::time::{SimDuration, SimTime};
+use dmhpc_workload::Job;
+use serde::{Deserialize, Serialize};
+
+/// Terminal state of a job in one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobOutcome {
+    /// Ran to completion.
+    Completed,
+    /// Hit its (possibly inflated) walltime limit and was killed.
+    Killed,
+    /// Could never run on this machine under this policy.
+    Rejected,
+}
+
+/// Everything the simulator knows about one finished job.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// The job as submitted.
+    pub job: Job,
+    /// Terminal state.
+    pub outcome: JobOutcome,
+    /// Start time (None for rejected jobs).
+    pub start: Option<SimTime>,
+    /// Finish/kill time (None for rejected jobs).
+    pub finish: Option<SimTime>,
+    /// Nodes actually allocated (≥ `job.nodes` when inflated).
+    pub nodes_allocated: u32,
+    /// Pool MiB borrowed per node (0 = fully local).
+    pub remote_per_node: u64,
+    /// Dilation the scheduler predicted at start.
+    pub dilation_planned: f64,
+    /// Dilation actually experienced (wall clock ÷ work consumed).
+    pub dilation_actual: f64,
+}
+
+impl JobRecord {
+    /// A record for a job that never ran.
+    pub fn rejected(job: Job) -> Self {
+        JobRecord {
+            job,
+            outcome: JobOutcome::Rejected,
+            start: None,
+            finish: None,
+            nodes_allocated: 0,
+            remote_per_node: 0,
+            dilation_planned: 1.0,
+            dilation_actual: 1.0,
+        }
+    }
+
+    /// Queue wait (start − arrival); `None` if the job never started.
+    pub fn wait(&self) -> Option<SimDuration> {
+        self.start.map(|s| s - self.job.arrival)
+    }
+
+    /// Wall-clock residence on nodes (finish − start).
+    pub fn residence(&self) -> Option<SimDuration> {
+        match (self.start, self.finish) {
+            (Some(s), Some(f)) => Some(f - s),
+            _ => None,
+        }
+    }
+
+    /// Turnaround (finish − arrival).
+    pub fn turnaround(&self) -> Option<SimDuration> {
+        self.finish.map(|f| f - self.job.arrival)
+    }
+
+    /// Bounded slowdown with the standard 10 s threshold:
+    /// `max(1, (wait + residence) / max(residence, 10 s))`. `None` if the
+    /// job never ran.
+    pub fn bounded_slowdown(&self) -> Option<f64> {
+        let wait = self.wait()?.as_secs_f64();
+        let res = self.residence()?.as_secs_f64();
+        Some(((wait + res) / res.max(10.0)).max(1.0))
+    }
+
+    /// True if the scheduler gave it more nodes than requested (memory
+    /// inflation).
+    pub fn inflated(&self) -> bool {
+        self.nodes_allocated > self.job.nodes
+    }
+
+    /// Extra node-seconds paid to inflation, at actual residence.
+    pub fn inflation_overhead_node_secs(&self) -> f64 {
+        if !self.inflated() {
+            return 0.0;
+        }
+        let res = self.residence().map(|r| r.as_secs_f64()).unwrap_or(0.0);
+        (self.nodes_allocated - self.job.nodes) as f64 * res
+    }
+
+    /// True if any pool memory was borrowed.
+    pub fn borrowed_pool(&self) -> bool {
+        self.remote_per_node > 0
+    }
+
+    /// Fraction of the per-node footprint served remotely.
+    pub fn far_fraction(&self) -> f64 {
+        let total = self.job.mem_per_node_at(self.nodes_allocated.max(1));
+        if total == 0 || self.remote_per_node == 0 {
+            0.0
+        } else {
+            self.remote_per_node as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmhpc_workload::JobBuilder;
+
+    fn record(arrival: u64, start: u64, finish: u64) -> JobRecord {
+        JobRecord {
+            job: JobBuilder::new(1)
+                .arrival_secs(arrival)
+                .nodes(4)
+                .runtime_secs(finish - start, 2 * (finish - start))
+                .build(),
+            outcome: JobOutcome::Completed,
+            start: Some(SimTime::from_secs(start)),
+            finish: Some(SimTime::from_secs(finish)),
+            nodes_allocated: 4,
+            remote_per_node: 0,
+            dilation_planned: 1.0,
+            dilation_actual: 1.0,
+        }
+    }
+
+    #[test]
+    fn wait_turnaround_slowdown() {
+        let r = record(100, 400, 1000);
+        assert_eq!(r.wait().unwrap().as_secs(), 300);
+        assert_eq!(r.residence().unwrap().as_secs(), 600);
+        assert_eq!(r.turnaround().unwrap().as_secs(), 900);
+        let bsld = r.bounded_slowdown().unwrap();
+        assert!((bsld - 900.0 / 600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_slowdown_floors_short_jobs() {
+        // 1-second job waiting 100 s: divisor is 10 s, not 1 s.
+        let r = record(0, 100, 101);
+        let bsld = r.bounded_slowdown().unwrap();
+        assert!((bsld - 101.0 / 10.0).abs() < 1e-12);
+        // Zero wait: slowdown is exactly 1 even for instant jobs.
+        let r = record(50, 50, 51);
+        assert_eq!(r.bounded_slowdown().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn rejected_has_no_metrics() {
+        let r = JobRecord::rejected(JobBuilder::new(2).build());
+        assert_eq!(r.outcome, JobOutcome::Rejected);
+        assert!(r.wait().is_none());
+        assert!(r.bounded_slowdown().is_none());
+        assert!(!r.inflated());
+    }
+
+    #[test]
+    fn inflation_accounting() {
+        let mut r = record(0, 0, 100);
+        r.nodes_allocated = 6; // job asked for 4
+        assert!(r.inflated());
+        assert!((r.inflation_overhead_node_secs() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn far_fraction() {
+        let mut r = record(0, 0, 100);
+        r.job = JobBuilder::new(3).nodes(4).mem_per_node(1000).build();
+        r.remote_per_node = 250;
+        assert!(r.borrowed_pool());
+        assert!((r.far_fraction() - 0.25).abs() < 1e-12);
+        r.remote_per_node = 0;
+        assert_eq!(r.far_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! # dmhpc-metrics — scheduling metrics and reporting
+//!
+//! Turns raw simulation output (per-job [`JobRecord`]s plus time-weighted
+//! system series) into the numbers every table and figure of the
+//! reproduction reports:
+//!
+//! * per-job: wait, turnaround, **bounded slowdown** (the standard
+//!   `max(1, (wait+run)/max(run, 10s))`), actual dilation;
+//! * per-system: node/pool/DRAM utilization, makespan, throughput;
+//! * per-class: the small/large × memory-light/heavy breakdown
+//!   ([`ClassBreakdown`]) that shows *who* disaggregation helps;
+//! * fairness: Jain's index over per-user mean waits;
+//! * export: CSV rows and JSON documents ([`export`]).
+//!
+//! Everything is computed from value types with no simulator dependencies,
+//! so the analysis layer is unit-testable in isolation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod classes;
+pub mod export;
+mod fairness;
+mod jobstats;
+mod summary;
+
+pub use classes::{ClassBreakdown, ClassThresholds, JobClass};
+pub use fairness::{jain_index, per_user_mean_waits};
+pub use jobstats::{JobOutcome, JobRecord};
+pub use summary::{RunData, SimReport};

@@ -1,0 +1,111 @@
+//! Memory assignments: how a lease's footprint is composed.
+
+use crate::units::{MiB, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A concrete placement decision for one job: which nodes it gets and how
+/// each node's share of the memory footprint splits between node-local DRAM
+/// and the node's pool domain.
+///
+/// The split is uniform across nodes — matching how MPI jobs are launched
+/// (one rank layout everywhere) and how the paper's policies reason.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryAssignment {
+    /// Nodes granted to the lease (whole-node allocation).
+    pub nodes: Vec<NodeId>,
+    /// Local DRAM used on each node, MiB.
+    pub local_per_node: MiB,
+    /// Pool memory charged to each node's domain, MiB.
+    pub remote_per_node: MiB,
+}
+
+impl MemoryAssignment {
+    /// An assignment served purely from node-local DRAM.
+    pub fn local(nodes: Vec<NodeId>, local_per_node: MiB) -> Self {
+        MemoryAssignment {
+            nodes,
+            local_per_node,
+            remote_per_node: 0,
+        }
+    }
+
+    /// An assignment borrowing `remote_per_node` MiB per node from pools.
+    pub fn hybrid(nodes: Vec<NodeId>, local_per_node: MiB, remote_per_node: MiB) -> Self {
+        MemoryAssignment {
+            nodes,
+            local_per_node,
+            remote_per_node,
+        }
+    }
+
+    /// Number of nodes in the assignment.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total memory per node, MiB.
+    pub fn mem_per_node(&self) -> MiB {
+        self.local_per_node + self.remote_per_node
+    }
+
+    /// Total memory across all nodes, MiB.
+    pub fn total_mem(&self) -> MiB {
+        self.mem_per_node() * self.nodes.len() as u64
+    }
+
+    /// Total pool memory across all nodes, MiB.
+    pub fn total_remote(&self) -> MiB {
+        self.remote_per_node * self.nodes.len() as u64
+    }
+
+    /// Fraction of the footprint served from pools (0 when footprint is 0).
+    pub fn far_fraction(&self) -> f64 {
+        let total = self.mem_per_node();
+        if total == 0 {
+            0.0
+        } else {
+            self.remote_per_node as f64 / total as f64
+        }
+    }
+
+    /// True if any pool memory is involved.
+    pub fn uses_pool(&self) -> bool {
+        self.remote_per_node > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn local_assignment() {
+        let a = MemoryAssignment::local(nodes(4), 1000);
+        assert_eq!(a.node_count(), 4);
+        assert_eq!(a.mem_per_node(), 1000);
+        assert_eq!(a.total_mem(), 4000);
+        assert_eq!(a.total_remote(), 0);
+        assert_eq!(a.far_fraction(), 0.0);
+        assert!(!a.uses_pool());
+    }
+
+    #[test]
+    fn hybrid_assignment() {
+        let a = MemoryAssignment::hybrid(nodes(2), 600, 400);
+        assert_eq!(a.mem_per_node(), 1000);
+        assert_eq!(a.total_mem(), 2000);
+        assert_eq!(a.total_remote(), 800);
+        assert!((a.far_fraction() - 0.4).abs() < 1e-12);
+        assert!(a.uses_pool());
+    }
+
+    #[test]
+    fn zero_footprint() {
+        let a = MemoryAssignment::local(nodes(1), 0);
+        assert_eq!(a.far_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,623 @@
+//! Cluster runtime state: nodes, racks, pools, and the allocation ledger.
+
+use crate::alloc::MemoryAssignment;
+use crate::error::PlatformError;
+use crate::node::NodeSpec;
+use crate::pool::MemoryPool;
+use crate::topology::PoolTopology;
+use crate::units::{MiB, NodeId, PoolId, RackId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Static description of a whole machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of racks.
+    pub racks: u32,
+    /// Compute nodes per rack.
+    pub nodes_per_rack: u32,
+    /// Per-node hardware.
+    pub node: NodeSpec,
+    /// Disaggregated-memory layout.
+    pub pool: PoolTopology,
+}
+
+impl ClusterSpec {
+    /// A spec with the given shape; panics on a zero-sized machine.
+    pub fn new(racks: u32, nodes_per_rack: u32, node: NodeSpec, pool: PoolTopology) -> Self {
+        assert!(racks > 0, "cluster needs at least one rack");
+        assert!(nodes_per_rack > 0, "racks need at least one node");
+        ClusterSpec {
+            racks,
+            nodes_per_rack,
+            node,
+            pool,
+        }
+    }
+
+    /// Total compute nodes.
+    pub fn total_nodes(&self) -> u32 {
+        self.racks * self.nodes_per_rack
+    }
+
+    /// Total CPU cores.
+    pub fn total_cores(&self) -> u64 {
+        self.total_nodes() as u64 * self.node.cores as u64
+    }
+
+    /// Total node-local DRAM, MiB.
+    pub fn total_local_mem(&self) -> MiB {
+        self.total_nodes() as u64 * self.node.local_mem
+    }
+
+    /// Total disaggregated memory, MiB.
+    pub fn total_pool_mem(&self) -> MiB {
+        self.pool.total_capacity(self.racks)
+    }
+
+    /// Total memory of any kind, MiB.
+    pub fn total_mem(&self) -> MiB {
+        self.total_local_mem() + self.total_pool_mem()
+    }
+}
+
+/// Live cluster state. All mutation goes through [`allocate`](Cluster::allocate)
+/// and [`release`](Cluster::release), which either fully succeed or leave the
+/// state untouched (check-then-commit), so a failed scheduling attempt can
+/// never corrupt the ledger.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    spec: ClusterSpec,
+    /// `holders[node] = Some(lease)` when the node is allocated.
+    holders: Vec<Option<u64>>,
+    free_count: usize,
+    /// Free-node count per rack, kept in sync with `holders`.
+    rack_free: Vec<u32>,
+    pools: Vec<MemoryPool>,
+    /// Active leases in insertion-independent (sorted) order.
+    leases: BTreeMap<u64, MemoryAssignment>,
+}
+
+impl Cluster {
+    /// An idle cluster matching `spec`.
+    pub fn new(spec: ClusterSpec) -> Self {
+        let n = spec.total_nodes() as usize;
+        let pools = match spec.pool {
+            PoolTopology::None => Vec::new(),
+            PoolTopology::PerRack { mib_per_rack } => (0..spec.racks)
+                .map(|r| MemoryPool::new(PoolId(r), mib_per_rack))
+                .collect(),
+            PoolTopology::Global { mib } => vec![MemoryPool::new(PoolId(0), mib)],
+        };
+        Cluster {
+            spec,
+            holders: vec![None; n],
+            free_count: n,
+            rack_free: vec![spec.nodes_per_rack; spec.racks as usize],
+            pools,
+            leases: BTreeMap::new(),
+        }
+    }
+
+    /// The machine description.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Total compute nodes.
+    pub fn total_nodes(&self) -> u32 {
+        self.spec.total_nodes()
+    }
+
+    /// Rack containing `node`.
+    pub fn rack_of(&self, node: NodeId) -> RackId {
+        RackId(node.0 / self.spec.nodes_per_rack)
+    }
+
+    /// Pool domain covering `node`, if any.
+    pub fn pool_of(&self, node: NodeId) -> Option<PoolId> {
+        match self.spec.pool {
+            PoolTopology::None => None,
+            PoolTopology::PerRack { .. } => Some(PoolId(self.rack_of(node).0)),
+            PoolTopology::Global { .. } => Some(PoolId(0)),
+        }
+    }
+
+    /// Number of free nodes.
+    pub fn free_nodes(&self) -> usize {
+        self.free_count
+    }
+
+    /// Number of allocated nodes.
+    pub fn used_nodes(&self) -> usize {
+        self.holders.len() - self.free_count
+    }
+
+    /// Free nodes in one rack.
+    pub fn free_nodes_in_rack(&self, rack: RackId) -> u32 {
+        self.rack_free[rack.0 as usize]
+    }
+
+    /// True if `node` is unallocated.
+    pub fn is_free(&self, node: NodeId) -> bool {
+        self.holders
+            .get(node.0 as usize)
+            .map(|h| h.is_none())
+            .unwrap_or(false)
+    }
+
+    /// The lease holding `node`, if any.
+    pub fn holder(&self, node: NodeId) -> Option<u64> {
+        self.holders.get(node.0 as usize).copied().flatten()
+    }
+
+    /// Iterator over free node ids in ascending order.
+    pub fn free_node_iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.holders
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.is_none())
+            .map(|(i, _)| NodeId(i as u32))
+    }
+
+    /// The lowest-indexed `n` free nodes, or `None` if fewer are free.
+    pub fn first_fit_nodes(&self, n: usize) -> Option<Vec<NodeId>> {
+        if self.free_count < n {
+            return None;
+        }
+        Some(self.free_node_iter().take(n).collect())
+    }
+
+    /// All pools (empty when the topology has none).
+    pub fn pools(&self) -> &[MemoryPool] {
+        &self.pools
+    }
+
+    /// One pool by id.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range id — pool ids come from
+    /// [`pool_of`](Cluster::pool_of), so this is a caller bug.
+    pub fn pool(&self, id: PoolId) -> &MemoryPool {
+        &self.pools[id.0 as usize]
+    }
+
+    /// Free MiB in a pool.
+    pub fn pool_free(&self, id: PoolId) -> MiB {
+        self.pools[id.0 as usize].free()
+    }
+
+    /// Total pool MiB in use across the system.
+    pub fn total_pool_used(&self) -> MiB {
+        self.pools.iter().map(|p| p.used()).sum()
+    }
+
+    /// Total pool capacity across the system.
+    pub fn total_pool_capacity(&self) -> MiB {
+        self.pools.iter().map(|p| p.capacity()).sum()
+    }
+
+    /// Total node-local MiB currently pinned by leases.
+    pub fn total_local_used(&self) -> MiB {
+        self.leases
+            .values()
+            .map(|a| a.local_per_node * a.nodes.len() as u64)
+            .sum()
+    }
+
+    /// Number of active leases.
+    pub fn lease_count(&self) -> usize {
+        self.leases.len()
+    }
+
+    /// The assignment held by `lease`, if active.
+    pub fn lease_assignment(&self, lease: u64) -> Option<&MemoryAssignment> {
+        self.leases.get(&lease)
+    }
+
+    /// Iterator over `(lease, assignment)` in lease-id order.
+    pub fn active_leases(&self) -> impl Iterator<Item = (u64, &MemoryAssignment)> {
+        self.leases.iter().map(|(&l, a)| (l, a))
+    }
+
+    /// Group an assignment's remote demand by pool domain. Errors if any
+    /// node with remote demand lacks a pool.
+    fn remote_by_pool(
+        &self,
+        a: &MemoryAssignment,
+    ) -> Result<Vec<(PoolId, MiB)>, PlatformError> {
+        let mut by_pool: Vec<(PoolId, MiB)> = Vec::new();
+        if a.remote_per_node == 0 {
+            return Ok(by_pool);
+        }
+        for &node in &a.nodes {
+            let pool = self
+                .pool_of(node)
+                .ok_or(PlatformError::NoPoolForNode { node })?;
+            match by_pool.iter_mut().find(|(p, _)| *p == pool) {
+                Some((_, amt)) => *amt += a.remote_per_node,
+                None => by_pool.push((pool, a.remote_per_node)),
+            }
+        }
+        Ok(by_pool)
+    }
+
+    /// Check whether `assignment` could be granted right now, without
+    /// mutating anything. Scheduling policies use this as their feasibility
+    /// oracle.
+    pub fn can_allocate(&self, assignment: &MemoryAssignment) -> Result<(), PlatformError> {
+        if assignment.nodes.is_empty() {
+            return Err(PlatformError::EmptyAssignment);
+        }
+        let mut seen = vec![false; self.holders.len()];
+        for &node in &assignment.nodes {
+            let idx = node.0 as usize;
+            if idx >= self.holders.len() {
+                return Err(PlatformError::NoSuchNode { node });
+            }
+            if seen[idx] {
+                return Err(PlatformError::DuplicateNode { node });
+            }
+            seen[idx] = true;
+            if let Some(held_by) = self.holders[idx] {
+                return Err(PlatformError::NodeBusy { node, held_by });
+            }
+            if assignment.local_per_node > self.spec.node.local_mem {
+                return Err(PlatformError::LocalMemoryExceeded {
+                    node,
+                    requested: assignment.local_per_node,
+                    capacity: self.spec.node.local_mem,
+                });
+            }
+        }
+        for (pool, amount) in self.remote_by_pool(assignment)? {
+            let free = self.pool_free(pool);
+            if amount > free {
+                return Err(PlatformError::PoolExhausted {
+                    pool,
+                    requested: amount,
+                    free,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Grant `assignment` to `lease`. Atomic: on error nothing changed.
+    pub fn allocate(
+        &mut self,
+        lease: u64,
+        assignment: MemoryAssignment,
+    ) -> Result<(), PlatformError> {
+        if self.leases.contains_key(&lease) {
+            return Err(PlatformError::DuplicateLease { lease });
+        }
+        self.can_allocate(&assignment)?;
+        // Commit: can_allocate proved every step below succeeds.
+        for &node in &assignment.nodes {
+            let rack = self.rack_of(node).0 as usize;
+            self.holders[node.0 as usize] = Some(lease);
+            self.rack_free[rack] -= 1;
+        }
+        self.free_count -= assignment.nodes.len();
+        for (pool, amount) in self
+            .remote_by_pool(&assignment)
+            .expect("validated by can_allocate")
+        {
+            self.pools[pool.0 as usize]
+                .grab(lease, amount)
+                .expect("validated by can_allocate");
+        }
+        self.leases.insert(lease, assignment);
+        Ok(())
+    }
+
+    /// Return everything `lease` holds; yields the released assignment.
+    pub fn release(&mut self, lease: u64) -> Result<MemoryAssignment, PlatformError> {
+        let assignment = self
+            .leases
+            .remove(&lease)
+            .ok_or(PlatformError::NoSuchLease { lease })?;
+        for &node in &assignment.nodes {
+            let rack = self.rack_of(node).0 as usize;
+            debug_assert_eq!(self.holders[node.0 as usize], Some(lease));
+            self.holders[node.0 as usize] = None;
+            self.rack_free[rack] += 1;
+        }
+        self.free_count += assignment.nodes.len();
+        for pool in self.pools.iter_mut() {
+            pool.release(lease);
+        }
+        Ok(assignment)
+    }
+
+    /// Full-state consistency check: holder counts, rack counters, pool
+    /// ledgers, and lease↔node cross-references all agree. O(nodes+leases);
+    /// meant for tests and debug builds, not the hot path.
+    pub fn verify_invariants(&self) -> Result<(), String> {
+        let free = self.holders.iter().filter(|h| h.is_none()).count();
+        if free != self.free_count {
+            return Err(format!(
+                "free_count {} != actual {}",
+                self.free_count, free
+            ));
+        }
+        for (r, &rf) in self.rack_free.iter().enumerate() {
+            let actual = self
+                .holders
+                .iter()
+                .enumerate()
+                .filter(|(i, h)| {
+                    h.is_none() && *i as u32 / self.spec.nodes_per_rack == r as u32
+                })
+                .count() as u32;
+            if rf != actual {
+                return Err(format!("rack {r}: rack_free {rf} != actual {actual}"));
+            }
+        }
+        for (lease, a) in &self.leases {
+            for &node in &a.nodes {
+                if self.holders[node.0 as usize] != Some(*lease) {
+                    return Err(format!("lease {lease}: node {node} not held by it"));
+                }
+            }
+        }
+        for (i, h) in self.holders.iter().enumerate() {
+            if let Some(lease) = h {
+                let a = self
+                    .leases
+                    .get(lease)
+                    .ok_or_else(|| format!("node n{i} held by unknown lease {lease}"))?;
+                if !a.nodes.contains(&NodeId(i as u32)) {
+                    return Err(format!("node n{i} not in lease {lease}'s assignment"));
+                }
+            }
+        }
+        for p in &self.pools {
+            if !p.verify() {
+                return Err(format!("pool {} ledger inconsistent", p.id()));
+            }
+        }
+        // Pool ledgers must exactly reflect lease assignments.
+        for (lease, a) in &self.leases {
+            let mut expected: BTreeMap<PoolId, MiB> = BTreeMap::new();
+            if a.remote_per_node > 0 {
+                for &node in &a.nodes {
+                    let pool = self
+                        .pool_of(node)
+                        .ok_or_else(|| format!("lease {lease}: node {node} lacks a pool"))?;
+                    *expected.entry(pool).or_insert(0) += a.remote_per_node;
+                }
+            }
+            for p in &self.pools {
+                let want = expected.get(&p.id()).copied().unwrap_or(0);
+                if p.held_by(*lease) != want {
+                    return Err(format!(
+                        "lease {lease}: pool {} holds {} MiB, expected {want}",
+                        p.id(),
+                        p.held_by(*lease)
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::gib;
+
+    fn small_cluster(pool: PoolTopology) -> Cluster {
+        // 2 racks × 4 nodes, 64 cores, 256 GiB DRAM each.
+        Cluster::new(ClusterSpec::new(2, 4, NodeSpec::new(64, gib(256)), pool))
+    }
+
+    fn ids(v: &[u32]) -> Vec<NodeId> {
+        v.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn spec_totals() {
+        let s = ClusterSpec::new(
+            4,
+            16,
+            NodeSpec::new(64, gib(256)),
+            PoolTopology::PerRack {
+                mib_per_rack: gib(512),
+            },
+        );
+        assert_eq!(s.total_nodes(), 64);
+        assert_eq!(s.total_cores(), 4096);
+        assert_eq!(s.total_local_mem(), 64 * gib(256));
+        assert_eq!(s.total_pool_mem(), gib(2048));
+        assert_eq!(s.total_mem(), 64 * gib(256) + gib(2048));
+    }
+
+    #[test]
+    fn rack_and_pool_mapping() {
+        let c = small_cluster(PoolTopology::PerRack {
+            mib_per_rack: gib(512),
+        });
+        assert_eq!(c.rack_of(NodeId(0)), RackId(0));
+        assert_eq!(c.rack_of(NodeId(3)), RackId(0));
+        assert_eq!(c.rack_of(NodeId(4)), RackId(1));
+        assert_eq!(c.pool_of(NodeId(0)), Some(PoolId(0)));
+        assert_eq!(c.pool_of(NodeId(7)), Some(PoolId(1)));
+
+        let g = small_cluster(PoolTopology::Global { mib: gib(512) });
+        assert_eq!(g.pool_of(NodeId(7)), Some(PoolId(0)));
+        let n = small_cluster(PoolTopology::None);
+        assert_eq!(n.pool_of(NodeId(0)), None);
+    }
+
+    #[test]
+    fn allocate_local_roundtrip() {
+        let mut c = small_cluster(PoolTopology::None);
+        let a = MemoryAssignment::local(ids(&[0, 1, 5]), gib(100));
+        c.allocate(42, a.clone()).unwrap();
+        assert_eq!(c.free_nodes(), 5);
+        assert_eq!(c.used_nodes(), 3);
+        assert!(!c.is_free(NodeId(0)));
+        assert_eq!(c.holder(NodeId(5)), Some(42));
+        assert_eq!(c.free_nodes_in_rack(RackId(0)), 2);
+        assert_eq!(c.free_nodes_in_rack(RackId(1)), 3);
+        assert_eq!(c.total_local_used(), 3 * gib(100));
+        c.verify_invariants().unwrap();
+
+        let released = c.release(42).unwrap();
+        assert_eq!(released, a);
+        assert_eq!(c.free_nodes(), 8);
+        assert_eq!(c.total_local_used(), 0);
+        c.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn allocate_with_pool_memory() {
+        let mut c = small_cluster(PoolTopology::PerRack {
+            mib_per_rack: gib(512),
+        });
+        // 2 nodes in rack 0, 1 in rack 1; 100 GiB remote each.
+        let a = MemoryAssignment::hybrid(ids(&[0, 1, 4]), gib(256), gib(100));
+        c.allocate(1, a).unwrap();
+        assert_eq!(c.pool(PoolId(0)).used(), gib(200));
+        assert_eq!(c.pool(PoolId(1)).used(), gib(100));
+        assert_eq!(c.total_pool_used(), gib(300));
+        c.verify_invariants().unwrap();
+
+        c.release(1).unwrap();
+        assert_eq!(c.total_pool_used(), 0);
+        c.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn atomic_failure_on_pool_exhaustion() {
+        let mut c = small_cluster(PoolTopology::PerRack {
+            mib_per_rack: gib(150),
+        });
+        // Rack-0 pool is 150 GiB; two nodes × 100 GiB = 200 GiB > 150.
+        let a = MemoryAssignment::hybrid(ids(&[0, 1]), gib(256), gib(100));
+        let err = c.allocate(1, a).unwrap_err();
+        assert!(matches!(err, PlatformError::PoolExhausted { .. }));
+        // Nothing leaked.
+        assert_eq!(c.free_nodes(), 8);
+        assert_eq!(c.total_pool_used(), 0);
+        assert_eq!(c.lease_count(), 0);
+        c.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn rejects_busy_and_unknown_nodes() {
+        let mut c = small_cluster(PoolTopology::None);
+        c.allocate(1, MemoryAssignment::local(ids(&[2]), 1)).unwrap();
+        let err = c
+            .allocate(2, MemoryAssignment::local(ids(&[2]), 1))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            PlatformError::NodeBusy {
+                node: NodeId(2),
+                held_by: 1
+            }
+        );
+        let err = c
+            .allocate(3, MemoryAssignment::local(ids(&[99]), 1))
+            .unwrap_err();
+        assert_eq!(err, PlatformError::NoSuchNode { node: NodeId(99) });
+    }
+
+    #[test]
+    fn rejects_duplicates_and_empties() {
+        let mut c = small_cluster(PoolTopology::None);
+        let err = c
+            .allocate(1, MemoryAssignment::local(ids(&[3, 3]), 1))
+            .unwrap_err();
+        assert_eq!(err, PlatformError::DuplicateNode { node: NodeId(3) });
+        let err = c
+            .allocate(1, MemoryAssignment::local(vec![], 1))
+            .unwrap_err();
+        assert_eq!(err, PlatformError::EmptyAssignment);
+        c.allocate(1, MemoryAssignment::local(ids(&[0]), 1)).unwrap();
+        let err = c
+            .allocate(1, MemoryAssignment::local(ids(&[1]), 1))
+            .unwrap_err();
+        assert_eq!(err, PlatformError::DuplicateLease { lease: 1 });
+    }
+
+    #[test]
+    fn rejects_oversized_local_memory() {
+        let mut c = small_cluster(PoolTopology::None);
+        let err = c
+            .allocate(1, MemoryAssignment::local(ids(&[0]), gib(257)))
+            .unwrap_err();
+        assert!(matches!(err, PlatformError::LocalMemoryExceeded { .. }));
+    }
+
+    #[test]
+    fn remote_without_pool_is_an_error() {
+        let mut c = small_cluster(PoolTopology::None);
+        let err = c
+            .allocate(1, MemoryAssignment::hybrid(ids(&[0]), gib(256), gib(1)))
+            .unwrap_err();
+        assert_eq!(err, PlatformError::NoPoolForNode { node: NodeId(0) });
+    }
+
+    #[test]
+    fn release_unknown_lease() {
+        let mut c = small_cluster(PoolTopology::None);
+        assert_eq!(
+            c.release(9).unwrap_err(),
+            PlatformError::NoSuchLease { lease: 9 }
+        );
+    }
+
+    #[test]
+    fn first_fit_selection() {
+        let mut c = small_cluster(PoolTopology::None);
+        c.allocate(1, MemoryAssignment::local(ids(&[0, 2]), 1)).unwrap();
+        assert_eq!(c.first_fit_nodes(3), Some(ids(&[1, 3, 4])));
+        assert_eq!(c.first_fit_nodes(7), None);
+        assert_eq!(c.free_node_iter().count(), 6);
+    }
+
+    #[test]
+    fn global_pool_spans_racks() {
+        let mut c = small_cluster(PoolTopology::Global { mib: gib(300) });
+        let a = MemoryAssignment::hybrid(ids(&[0, 4]), gib(256), gib(150));
+        c.allocate(1, a).unwrap();
+        assert_eq!(c.pool(PoolId(0)).used(), gib(300));
+        assert_eq!(c.pool_free(PoolId(0)), 0);
+        c.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn many_leases_stress_invariants() {
+        let mut c = Cluster::new(ClusterSpec::new(
+            4,
+            8,
+            NodeSpec::new(32, gib(128)),
+            PoolTopology::PerRack {
+                mib_per_rack: gib(256),
+            },
+        ));
+        // Allocate 16 single-node leases with varying remote shares, then
+        // free the even ones, then reallocate.
+        for i in 0..16u64 {
+            let a = MemoryAssignment::hybrid(ids(&[i as u32]), gib(64), gib((i % 4) * 16));
+            c.allocate(i, a).unwrap();
+        }
+        c.verify_invariants().unwrap();
+        for i in (0..16u64).step_by(2) {
+            c.release(i).unwrap();
+        }
+        c.verify_invariants().unwrap();
+        assert_eq!(c.lease_count(), 8);
+        for i in 16..24u64 {
+            let nodes = c.first_fit_nodes(1).unwrap();
+            c.allocate(i, MemoryAssignment::local(nodes, gib(10))).unwrap();
+        }
+        c.verify_invariants().unwrap();
+        assert_eq!(c.lease_count(), 16);
+    }
+}

@@ -1,0 +1,120 @@
+//! Typed platform errors.
+
+use crate::units::{MiB, NodeId, PoolId};
+use std::fmt;
+
+/// Everything that can go wrong when mutating cluster state. Allocation
+/// errors indicate scheduler bugs (policies must check feasibility before
+/// committing), so the simulator treats them as fatal; they are typed so
+/// tests can assert on the precise failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlatformError {
+    /// The node is already held by another lease.
+    NodeBusy {
+        /// Node that was requested.
+        node: NodeId,
+        /// Lease currently holding it.
+        held_by: u64,
+    },
+    /// The node index does not exist in this cluster.
+    NoSuchNode {
+        /// Offending index.
+        node: NodeId,
+    },
+    /// Requested local memory exceeds the node's DRAM.
+    LocalMemoryExceeded {
+        /// Node that was requested.
+        node: NodeId,
+        /// Requested local MiB.
+        requested: MiB,
+        /// The node's DRAM capacity.
+        capacity: MiB,
+    },
+    /// A pool lacks free capacity for the requested remote memory.
+    PoolExhausted {
+        /// Pool that was charged.
+        pool: PoolId,
+        /// Remote MiB requested from it (total across nodes).
+        requested: MiB,
+        /// MiB actually free.
+        free: MiB,
+    },
+    /// Remote memory was requested but no pool covers the node.
+    NoPoolForNode {
+        /// Node without a pool domain.
+        node: NodeId,
+    },
+    /// The lease id is already active.
+    DuplicateLease {
+        /// Offending lease.
+        lease: u64,
+    },
+    /// The lease id is not active.
+    NoSuchLease {
+        /// Offending lease.
+        lease: u64,
+    },
+    /// An assignment listed the same node twice.
+    DuplicateNode {
+        /// Offending node.
+        node: NodeId,
+    },
+    /// An assignment requested zero nodes.
+    EmptyAssignment,
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::NodeBusy { node, held_by } => {
+                write!(f, "node {node} is held by lease {held_by}")
+            }
+            PlatformError::NoSuchNode { node } => write!(f, "node {node} does not exist"),
+            PlatformError::LocalMemoryExceeded {
+                node,
+                requested,
+                capacity,
+            } => write!(
+                f,
+                "node {node}: requested {requested} MiB local > capacity {capacity} MiB"
+            ),
+            PlatformError::PoolExhausted {
+                pool,
+                requested,
+                free,
+            } => write!(f, "pool {pool}: requested {requested} MiB > free {free} MiB"),
+            PlatformError::NoPoolForNode { node } => {
+                write!(f, "node {node} has no memory pool but remote MiB requested")
+            }
+            PlatformError::DuplicateLease { lease } => write!(f, "lease {lease} already active"),
+            PlatformError::NoSuchLease { lease } => write!(f, "lease {lease} not active"),
+            PlatformError::DuplicateNode { node } => {
+                write!(f, "node {node} listed twice in assignment")
+            }
+            PlatformError::EmptyAssignment => write!(f, "assignment contains no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = PlatformError::PoolExhausted {
+            pool: PoolId(2),
+            requested: 100,
+            free: 50,
+        };
+        assert_eq!(e.to_string(), "pool p2: requested 100 MiB > free 50 MiB");
+        let e = PlatformError::NodeBusy {
+            node: NodeId(7),
+            held_by: 99,
+        };
+        assert!(e.to_string().contains("n7"));
+        assert!(e.to_string().contains("99"));
+    }
+}

@@ -1,0 +1,40 @@
+//! # dmhpc-platform — cluster model with disaggregated memory
+//!
+//! The hardware substrate the scheduler allocates against:
+//!
+//! * [`NodeSpec`]/[`ClusterSpec`] — homogeneous compute nodes (cores + local
+//!   DRAM) grouped into racks.
+//! * [`PoolTopology`] — where disaggregated memory lives: nowhere
+//!   (conventional cluster), one pool per rack, or one system-global pool.
+//! * [`Cluster`] — runtime state: which node belongs to which lease, how
+//!   much local and pool memory each lease holds, with conservation checked
+//!   on every transition ([`Cluster::verify_invariants`] is cheap enough to
+//!   run in tests after every step).
+//! * [`SlowdownModel`] — the cost of far memory: how much a job's runtime
+//!   dilates as a function of its far-memory fraction, its memory-access
+//!   intensity, and (for the contention model) instantaneous pool pressure.
+//!
+//! The crate is deliberately ignorant of jobs and schedulers: allocations
+//! are held by opaque `u64` lease ids, so the platform can be reused under
+//! any scheduling layer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alloc;
+mod cluster;
+mod error;
+mod node;
+mod pool;
+mod slowdown;
+mod topology;
+pub mod units;
+
+pub use alloc::MemoryAssignment;
+pub use cluster::{Cluster, ClusterSpec};
+pub use error::PlatformError;
+pub use node::NodeSpec;
+pub use pool::MemoryPool;
+pub use slowdown::{DilationInputs, SlowdownModel};
+pub use topology::PoolTopology;
+pub use units::{MiB, NodeId, PoolId, RackId, GIB};

@@ -1,0 +1,61 @@
+//! Compute-node specification.
+
+use crate::units::{fmt_mib, MiB};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Static description of one compute node. Clusters here are homogeneous —
+/// the norm for the capability systems this study targets — so one spec
+/// describes every node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// CPU cores per node (informational: jobs allocate whole nodes, but
+    /// core counts drive the core-hour accounting in metrics).
+    pub cores: u32,
+    /// Node-local DRAM in MiB.
+    pub local_mem: MiB,
+}
+
+impl NodeSpec {
+    /// A node with `cores` cores and `local_mem_mib` MiB of DRAM.
+    pub fn new(cores: u32, local_mem_mib: MiB) -> Self {
+        assert!(cores > 0, "a node needs at least one core");
+        assert!(local_mem_mib > 0, "a node needs some local memory");
+        NodeSpec {
+            cores,
+            local_mem: local_mem_mib,
+        }
+    }
+}
+
+impl fmt::Display for NodeSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}c/{}", self.cores, fmt_mib(self.local_mem))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::gib;
+
+    #[test]
+    fn construction() {
+        let n = NodeSpec::new(64, gib(256));
+        assert_eq!(n.cores, 64);
+        assert_eq!(n.local_mem, 262_144);
+        assert_eq!(n.to_string(), "64c/256 GiB");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        NodeSpec::new(0, 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "some local memory")]
+    fn zero_memory_rejected() {
+        NodeSpec::new(4, 0);
+    }
+}

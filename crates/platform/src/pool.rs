@@ -1,0 +1,193 @@
+//! A disaggregated memory pool with a per-lease ledger.
+
+use crate::error::PlatformError;
+use crate::units::{MiB, PoolId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One fabric-attached memory pool. Tracks capacity, current usage, a
+/// high-water mark, and exactly which lease holds how much — the ledger is
+/// what makes end-of-simulation conservation checks possible.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemoryPool {
+    id: PoolId,
+    capacity: MiB,
+    used: MiB,
+    peak: MiB,
+    /// Lease → MiB held. BTreeMap for deterministic iteration order.
+    ledger: BTreeMap<u64, MiB>,
+}
+
+impl MemoryPool {
+    /// An empty pool with the given capacity (may be zero: a "no pool here"
+    /// placeholder that rejects every grab).
+    pub fn new(id: PoolId, capacity: MiB) -> Self {
+        MemoryPool {
+            id,
+            capacity,
+            used: 0,
+            peak: 0,
+            ledger: BTreeMap::new(),
+        }
+    }
+
+    /// This pool's identifier.
+    pub fn id(&self) -> PoolId {
+        self.id
+    }
+
+    /// Total capacity in MiB.
+    pub fn capacity(&self) -> MiB {
+        self.capacity
+    }
+
+    /// Currently allocated MiB.
+    pub fn used(&self) -> MiB {
+        self.used
+    }
+
+    /// Free MiB.
+    pub fn free(&self) -> MiB {
+        self.capacity - self.used
+    }
+
+    /// High-water mark of `used` over the pool's lifetime.
+    pub fn peak(&self) -> MiB {
+        self.peak
+    }
+
+    /// Fraction of capacity in use (0 for a zero-capacity pool).
+    pub fn pressure(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.used as f64 / self.capacity as f64
+        }
+    }
+
+    /// MiB held by `lease` (0 if none).
+    pub fn held_by(&self, lease: u64) -> MiB {
+        self.ledger.get(&lease).copied().unwrap_or(0)
+    }
+
+    /// Number of leases currently holding pool memory.
+    pub fn lease_count(&self) -> usize {
+        self.ledger.len()
+    }
+
+    /// Reserve `amount` MiB for `lease` (additive if the lease already holds
+    /// some). Zero-amount grabs are no-ops.
+    pub fn grab(&mut self, lease: u64, amount: MiB) -> Result<(), PlatformError> {
+        if amount == 0 {
+            return Ok(());
+        }
+        if amount > self.free() {
+            return Err(PlatformError::PoolExhausted {
+                pool: self.id,
+                requested: amount,
+                free: self.free(),
+            });
+        }
+        self.used += amount;
+        self.peak = self.peak.max(self.used);
+        *self.ledger.entry(lease).or_insert(0) += amount;
+        Ok(())
+    }
+
+    /// Release everything `lease` holds; returns the amount released.
+    pub fn release(&mut self, lease: u64) -> MiB {
+        let amount = self.ledger.remove(&lease).unwrap_or(0);
+        debug_assert!(self.used >= amount, "pool ledger out of sync");
+        self.used -= amount;
+        amount
+    }
+
+    /// Ledger consistency: `used` equals the ledger sum and never exceeds
+    /// capacity.
+    pub fn verify(&self) -> bool {
+        let sum: MiB = self.ledger.values().sum();
+        sum == self.used && self.used <= self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(cap: MiB) -> MemoryPool {
+        MemoryPool::new(PoolId(0), cap)
+    }
+
+    #[test]
+    fn grab_and_release_roundtrip() {
+        let mut p = pool(1000);
+        p.grab(1, 300).unwrap();
+        p.grab(2, 500).unwrap();
+        assert_eq!(p.used(), 800);
+        assert_eq!(p.free(), 200);
+        assert_eq!(p.held_by(1), 300);
+        assert_eq!(p.lease_count(), 2);
+        assert!(p.verify());
+
+        assert_eq!(p.release(1), 300);
+        assert_eq!(p.used(), 500);
+        assert_eq!(p.release(1), 0, "double release is a no-op");
+        assert_eq!(p.release(2), 500);
+        assert_eq!(p.used(), 0);
+        assert!(p.verify());
+    }
+
+    #[test]
+    fn exhaustion_is_typed() {
+        let mut p = pool(100);
+        p.grab(1, 60).unwrap();
+        let err = p.grab(2, 50).unwrap_err();
+        assert_eq!(
+            err,
+            PlatformError::PoolExhausted {
+                pool: PoolId(0),
+                requested: 50,
+                free: 40
+            }
+        );
+        // Failed grab must not mutate state.
+        assert_eq!(p.used(), 60);
+        assert_eq!(p.held_by(2), 0);
+        assert!(p.verify());
+    }
+
+    #[test]
+    fn additive_grabs() {
+        let mut p = pool(100);
+        p.grab(7, 10).unwrap();
+        p.grab(7, 20).unwrap();
+        assert_eq!(p.held_by(7), 30);
+        assert_eq!(p.release(7), 30);
+    }
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let mut p = pool(100);
+        p.grab(1, 80).unwrap();
+        p.release(1);
+        p.grab(2, 30).unwrap();
+        assert_eq!(p.peak(), 80);
+        assert_eq!(p.used(), 30);
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let mut p = pool(0);
+        assert_eq!(p.pressure(), 0.0);
+        assert!(p.grab(1, 1).is_err());
+        p.grab(1, 0).unwrap(); // zero grab is fine
+        assert_eq!(p.lease_count(), 0);
+    }
+
+    #[test]
+    fn pressure_fraction() {
+        let mut p = pool(200);
+        p.grab(1, 50).unwrap();
+        assert!((p.pressure() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,231 @@
+//! Far-memory slowdown models.
+//!
+//! Borrowed pool memory is slower than node DRAM. The *dilation factor* is
+//! the multiplier on a job's runtime: 1.0 means unaffected, 1.5 means the
+//! job takes 50% longer. Dilation depends on
+//!
+//! * **far fraction** — what share of the job's footprint is remote,
+//! * **memory intensity** — how bound the job is on memory traffic
+//!   (a per-job workload attribute in `[0, 1]`; a compute-bound job barely
+//!   notices far memory, a stream-like job feels all of it),
+//! * **pool pressure** (contention model only) — instantaneous fraction of
+//!   the pool in use, a proxy for fabric bandwidth contention.
+//!
+//! The models are deliberately parametric: the reproduction sweeps the
+//! worst-case penalty (F6/A3) rather than claiming one hardware truth.
+
+use serde::{Deserialize, Serialize};
+
+/// Inputs to a dilation computation, bundled so signatures survive model
+/// extensions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DilationInputs {
+    /// Share of the job's memory served from pools, `[0, 1]`.
+    pub far_fraction: f64,
+    /// The job's sensitivity to memory latency/bandwidth, `[0, 1]`.
+    pub intensity: f64,
+    /// Fraction of the charged pool's capacity currently in use, `[0, 1]`.
+    /// Only the contention model reads this.
+    pub pool_pressure: f64,
+}
+
+/// How far-memory use dilates runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SlowdownModel {
+    /// Far memory is free (idealized upper bound for disaggregation).
+    None,
+    /// Dilation grows linearly in the far fraction:
+    /// `1 + (penalty-1) · far · intensity`. `penalty` is the worst case —
+    /// a fully-remote, fully-memory-bound job.
+    Linear {
+        /// Worst-case dilation factor (≥ 1), e.g. 1.5 for "+50%".
+        penalty: f64,
+    },
+    /// Concave ("saturating") dilation: the first borrowed bytes are cheap
+    /// because smart tiering sends cold pages far; the curve is
+    /// `1 + (penalty-1) · intensity · (1 - e^(-k·far)) / (1 - e^(-k))`.
+    Saturating {
+        /// Worst-case dilation factor (≥ 1).
+        penalty: f64,
+        /// Curvature `k > 0`; larger = earlier saturation. 3 is a good
+        /// default for tiered allocators.
+        curvature: f64,
+    },
+    /// Linear dilation amplified by pool pressure (fabric contention):
+    /// `1 + (penalty-1) · far · intensity · (1 + gamma · pressure)`.
+    /// Under this model the simulator re-dilates running jobs whenever a
+    /// pool's pressure changes.
+    Contention {
+        /// Uncontended worst-case dilation factor (≥ 1).
+        penalty: f64,
+        /// Pressure amplification `gamma ≥ 0`: extra dilation at a full
+        /// pool, as a multiple of the uncontended excess.
+        gamma: f64,
+    },
+}
+
+impl SlowdownModel {
+    /// The dilation factor (≥ 1) for the given inputs.
+    pub fn dilation(&self, inp: DilationInputs) -> f64 {
+        let far = inp.far_fraction.clamp(0.0, 1.0);
+        let intensity = inp.intensity.clamp(0.0, 1.0);
+        let pressure = inp.pool_pressure.clamp(0.0, 1.0);
+        let d = match *self {
+            SlowdownModel::None => 1.0,
+            SlowdownModel::Linear { penalty } => 1.0 + (penalty - 1.0) * far * intensity,
+            SlowdownModel::Saturating { penalty, curvature } => {
+                let denom = 1.0 - (-curvature).exp();
+                let shape = (1.0 - (-curvature * far).exp()) / denom;
+                1.0 + (penalty - 1.0) * intensity * shape
+            }
+            SlowdownModel::Contention { penalty, gamma } => {
+                1.0 + (penalty - 1.0) * far * intensity * (1.0 + gamma * pressure)
+            }
+        };
+        debug_assert!(d >= 1.0, "dilation {d} < 1");
+        d
+    }
+
+    /// Whether dilation depends on pool pressure, i.e. whether the engine
+    /// must re-dilate running jobs when pool occupancy changes.
+    pub fn is_dynamic(&self) -> bool {
+        matches!(self, SlowdownModel::Contention { .. })
+    }
+
+    /// The worst dilation this model can produce (used by slowdown-aware
+    /// policies to budget walltime inflation).
+    pub fn worst_case(&self) -> f64 {
+        match *self {
+            SlowdownModel::None => 1.0,
+            SlowdownModel::Linear { penalty } | SlowdownModel::Saturating { penalty, .. } => {
+                penalty
+            }
+            SlowdownModel::Contention { penalty, gamma } => {
+                1.0 + (penalty - 1.0) * (1.0 + gamma)
+            }
+        }
+    }
+
+    /// Validate parameters; called by cluster/simulation constructors.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            SlowdownModel::None => Ok(()),
+            SlowdownModel::Linear { penalty } => {
+                if penalty >= 1.0 && penalty.is_finite() {
+                    Ok(())
+                } else {
+                    Err(format!("Linear penalty must be >= 1, got {penalty}"))
+                }
+            }
+            SlowdownModel::Saturating { penalty, curvature } => {
+                if !(penalty >= 1.0 && penalty.is_finite()) {
+                    Err(format!("Saturating penalty must be >= 1, got {penalty}"))
+                } else if !(curvature > 0.0 && curvature.is_finite()) {
+                    Err(format!("Saturating curvature must be > 0, got {curvature}"))
+                } else {
+                    Ok(())
+                }
+            }
+            SlowdownModel::Contention { penalty, gamma } => {
+                if !(penalty >= 1.0 && penalty.is_finite()) {
+                    Err(format!("Contention penalty must be >= 1, got {penalty}"))
+                } else if !(gamma >= 0.0 && gamma.is_finite()) {
+                    Err(format!("Contention gamma must be >= 0, got {gamma}"))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inp(far: f64, intensity: f64, pressure: f64) -> DilationInputs {
+        DilationInputs {
+            far_fraction: far,
+            intensity,
+            pool_pressure: pressure,
+        }
+    }
+
+    #[test]
+    fn none_is_identity() {
+        assert_eq!(SlowdownModel::None.dilation(inp(1.0, 1.0, 1.0)), 1.0);
+        assert_eq!(SlowdownModel::None.worst_case(), 1.0);
+        assert!(!SlowdownModel::None.is_dynamic());
+    }
+
+    #[test]
+    fn linear_endpoints() {
+        let m = SlowdownModel::Linear { penalty: 1.5 };
+        assert_eq!(m.dilation(inp(0.0, 1.0, 0.0)), 1.0);
+        assert_eq!(m.dilation(inp(1.0, 1.0, 0.0)), 1.5);
+        assert_eq!(m.dilation(inp(1.0, 0.0, 0.0)), 1.0);
+        assert!((m.dilation(inp(0.5, 0.5, 0.0)) - 1.125).abs() < 1e-12);
+        assert_eq!(m.worst_case(), 1.5);
+    }
+
+    #[test]
+    fn saturating_is_concave_and_bounded() {
+        let m = SlowdownModel::Saturating {
+            penalty: 2.0,
+            curvature: 3.0,
+        };
+        assert_eq!(m.dilation(inp(0.0, 1.0, 0.0)), 1.0);
+        assert!((m.dilation(inp(1.0, 1.0, 0.0)) - 2.0).abs() < 1e-12);
+        // Concavity: the half-way dilation exceeds the linear midpoint.
+        let half = m.dilation(inp(0.5, 1.0, 0.0));
+        assert!(half > 1.5, "saturating at 0.5 should exceed linear (got {half})");
+        assert!(half < 2.0);
+        // Monotone in far fraction.
+        let mut prev = 1.0;
+        for i in 0..=10 {
+            let d = m.dilation(inp(i as f64 / 10.0, 1.0, 0.0));
+            assert!(d >= prev);
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn contention_amplifies_with_pressure() {
+        let m = SlowdownModel::Contention {
+            penalty: 1.4,
+            gamma: 1.0,
+        };
+        assert!(m.is_dynamic());
+        let idle = m.dilation(inp(1.0, 1.0, 0.0));
+        let full = m.dilation(inp(1.0, 1.0, 1.0));
+        assert!((idle - 1.4).abs() < 1e-12);
+        assert!((full - 1.8).abs() < 1e-12);
+        assert!((m.worst_case() - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inputs_clamped() {
+        let m = SlowdownModel::Linear { penalty: 2.0 };
+        assert_eq!(m.dilation(inp(7.0, 3.0, 0.0)), 2.0);
+        assert_eq!(m.dilation(inp(-1.0, 1.0, 0.0)), 1.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(SlowdownModel::Linear { penalty: 0.5 }.validate().is_err());
+        assert!(SlowdownModel::Linear { penalty: 1.0 }.validate().is_ok());
+        assert!(SlowdownModel::Saturating {
+            penalty: 1.5,
+            curvature: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(SlowdownModel::Contention {
+            penalty: 1.5,
+            gamma: -0.1
+        }
+        .validate()
+        .is_err());
+        assert!(SlowdownModel::None.validate().is_ok());
+    }
+}

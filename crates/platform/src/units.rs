@@ -1,0 +1,81 @@
+//! Capacity units and entity identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Memory capacity in mebibytes. All platform accounting is integral MiB;
+/// that granularity is far below anything a batch scheduler allocates and
+/// keeps conservation checks exact.
+pub type MiB = u64;
+
+/// One gibibyte in MiB.
+pub const GIB: MiB = 1024;
+
+/// Convert GiB to MiB.
+#[inline]
+pub const fn gib(n: u64) -> MiB {
+    n * GIB
+}
+
+/// Render a MiB quantity human-readably (MiB/GiB/TiB).
+pub fn fmt_mib(m: MiB) -> String {
+    if m >= 1024 * 1024 && m.is_multiple_of(1024 * 1024) {
+        format!("{} TiB", m / (1024 * 1024))
+    } else if m >= 1024 && m.is_multiple_of(1024) {
+        format!("{} GiB", m / 1024)
+    } else {
+        format!("{m} MiB")
+    }
+}
+
+/// Index of a compute node within a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Index of a rack within a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RackId(pub u32);
+
+/// Index of a memory pool within a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PoolId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for RackId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for PoolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gib_conversion() {
+        assert_eq!(gib(2), 2048);
+        assert_eq!(GIB, 1024);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_mib(512), "512 MiB");
+        assert_eq!(fmt_mib(2048), "2 GiB");
+        assert_eq!(fmt_mib(3 * 1024 * 1024), "3 TiB");
+        assert_eq!(fmt_mib(1536), "1536 MiB");
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(RackId(1).to_string(), "r1");
+        assert_eq!(PoolId(0).to_string(), "p0");
+    }
+}

@@ -1,0 +1,41 @@
+//! # dmhpc-sched — batch scheduling with disaggregated memory
+//!
+//! The paper's contribution: schedulers that order, backfill, and place jobs
+//! on a cluster whose memory is partly disaggregated.
+//!
+//! The crate decomposes a scheduler into three orthogonal policies, combined
+//! by [`Scheduler`]:
+//!
+//! * [`OrderPolicy`] — who goes first: FCFS, shortest-job-first, or the
+//!   WFP-style utility function used on leadership systems.
+//! * [`MemoryPolicy`] — how a job's footprint is placed: `LocalOnly`
+//!   (conventional cluster: memory-hungry jobs inflate their node count),
+//!   `PoolFirstFit` / `PoolBestFit` (borrow pool memory, first-fit or
+//!   best-fit across rack pools), and `SlowdownAware` (borrow only when the
+//!   predicted dilation is worth the saved nodes, budgeted by a dilation
+//!   cap).
+//! * [`BackfillPolicy`] — EASY or conservative backfilling, both running
+//!   against the **two-resource** [`AvailabilityProfile`] that forecasts
+//!   free nodes *and* free pool bytes per domain, so a backfilled job can
+//!   never steal the pool memory a reservation depends on.
+//!
+//! Scheduling passes mutate a [`dmhpc_platform::Cluster`] directly and
+//! return the jobs started; the simulation engine in `dmhpc-sim` wires
+//! passes to events.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod memory;
+mod order;
+mod policy;
+mod profile;
+mod queue;
+
+pub use memory::{MemoryPolicy, PlannedAllocation};
+pub use order::OrderPolicy;
+pub use policy::{
+    BackfillPolicy, RunningRelease, Scheduler, SchedulerBuilder, SchedulerConfig, StartedJob,
+};
+pub use profile::{AvailabilityProfile, Demand, Release};
+pub use queue::{QueuedJob, WaitQueue};

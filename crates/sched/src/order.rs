@@ -1,0 +1,184 @@
+//! Queue-ordering policies.
+
+use crate::queue::QueuedJob;
+use dmhpc_des::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// How the wait queue is ordered before each scheduling pass.
+///
+/// All orderings are total and deterministic: ties fall back to
+/// `(arrival, id)` so two runs of the same seed schedule identically.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OrderPolicy {
+    /// First-come first-served: ascending arrival.
+    Fcfs,
+    /// Shortest (requested) job first: ascending walltime. Starvation of
+    /// long jobs is bounded by backfill reservations, not by the order.
+    Sjf,
+    /// Largest job first: descending node count — the capability-system
+    /// ordering that keeps big science in front.
+    LargestFirst,
+    /// WFP-style utility (ALCF): `(wait / walltime)^exponent × nodes`,
+    /// descending. Grows super-linearly for old jobs, so large-and-old wins.
+    Wfp {
+        /// Exponent on the normalized wait (3 at ALCF).
+        exponent: f64,
+    },
+}
+
+impl OrderPolicy {
+    /// Stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OrderPolicy::Fcfs => "fcfs",
+            OrderPolicy::Sjf => "sjf",
+            OrderPolicy::LargestFirst => "largest-first",
+            OrderPolicy::Wfp { .. } => "wfp",
+        }
+    }
+
+    /// Sort the queue in scheduling order (front = next to run).
+    pub fn order(&self, entries: &mut [QueuedJob], now: SimTime) {
+        match *self {
+            OrderPolicy::Fcfs => {
+                entries.sort_by_key(|e| (e.job.arrival, e.job.id));
+            }
+            OrderPolicy::Sjf => {
+                entries.sort_by_key(|e| (e.job.walltime, e.job.arrival, e.job.id));
+            }
+            OrderPolicy::LargestFirst => {
+                entries.sort_by_key(|e| {
+                    (std::cmp::Reverse(e.job.nodes), e.job.arrival, e.job.id)
+                });
+            }
+            OrderPolicy::Wfp { exponent } => {
+                // Score is recomputed against `now` each pass; cache it so
+                // the comparator stays cheap and consistent.
+                let mut scored: Vec<(f64, usize)> = entries
+                    .iter()
+                    .enumerate()
+                    .map(|(i, e)| {
+                        let wait = now.saturating_since(e.job.arrival).as_secs_f64();
+                        let wall = e.job.walltime.as_secs_f64().max(1.0);
+                        let score = (wait / wall).powf(exponent) * e.job.nodes as f64;
+                        (score, i)
+                    })
+                    .collect();
+                scored.sort_by(|a, b| {
+                    b.0.partial_cmp(&a.0)
+                        .expect("finite scores")
+                        .then_with(|| {
+                            let (ja, jb) = (&entries[a.1].job, &entries[b.1].job);
+                            (ja.arrival, ja.id).cmp(&(jb.arrival, jb.id))
+                        })
+                });
+                let order: Vec<usize> = scored.into_iter().map(|(_, i)| i).collect();
+                apply_permutation(entries, &order);
+            }
+        }
+    }
+}
+
+/// Reorder `entries` so that `entries_new[k] = entries_old[order[k]]`.
+fn apply_permutation(entries: &mut [QueuedJob], order: &[usize]) {
+    let snapshot: Vec<QueuedJob> = entries.to_vec();
+    for (dst, &src) in order.iter().enumerate() {
+        entries[dst] = snapshot[src].clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmhpc_des::time::SimDuration;
+    use dmhpc_workload::{JobBuilder, JobId};
+
+    fn queued(id: u64, arrival_s: u64, nodes: u32, wall_s: u64) -> QueuedJob {
+        QueuedJob {
+            job: JobBuilder::new(id)
+                .arrival_secs(arrival_s)
+                .nodes(nodes)
+                .runtime(SimDuration::from_secs(wall_s.min(60)))
+                .walltime(SimDuration::from_secs(wall_s))
+                .build(),
+            enqueued: SimTime::from_secs(arrival_s),
+        }
+    }
+
+    fn ids(entries: &[QueuedJob]) -> Vec<u64> {
+        entries.iter().map(|e| e.job.id.0).collect()
+    }
+
+    #[test]
+    fn fcfs_by_arrival() {
+        let mut q = vec![queued(1, 30, 1, 100), queued(2, 10, 1, 100), queued(3, 20, 1, 100)];
+        OrderPolicy::Fcfs.order(&mut q, SimTime::from_secs(100));
+        assert_eq!(ids(&q), vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn sjf_by_walltime() {
+        let mut q = vec![queued(1, 0, 1, 500), queued(2, 1, 1, 100), queued(3, 2, 1, 300)];
+        OrderPolicy::Sjf.order(&mut q, SimTime::from_secs(100));
+        assert_eq!(ids(&q), vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn largest_first_by_nodes() {
+        let mut q = vec![queued(1, 0, 4, 100), queued(2, 1, 64, 100), queued(3, 2, 16, 100)];
+        OrderPolicy::LargestFirst.order(&mut q, SimTime::from_secs(100));
+        assert_eq!(ids(&q), vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn wfp_favors_old_large_jobs() {
+        // Same walltime; job 1 is old and large, job 2 fresh and large,
+        // job 3 old but small.
+        let mut q = vec![
+            queued(1, 0, 32, 3600),
+            queued(2, 3500, 32, 3600),
+            queued(3, 0, 1, 3600),
+        ];
+        OrderPolicy::Wfp { exponent: 3.0 }.order(&mut q, SimTime::from_secs(3600));
+        assert_eq!(ids(&q)[0], 1, "old+large first");
+        // Old small beats fresh large here: (1·1)·1 = 1 vs (0.027)^3·32 ≈ 6e-4.
+        assert_eq!(ids(&q), vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn wfp_ties_fall_back_to_fcfs() {
+        let mut q = vec![queued(2, 5, 1, 100), queued(1, 5, 1, 100)];
+        OrderPolicy::Wfp { exponent: 3.0 }.order(&mut q, SimTime::from_secs(5));
+        // Zero wait for both → scores equal → arrival/id order.
+        assert_eq!(ids(&q), vec![1, 2]);
+    }
+
+    #[test]
+    fn ordering_is_stable_under_equal_keys() {
+        let mut q = vec![queued(5, 7, 2, 100), queued(6, 7, 2, 100), queued(7, 7, 2, 100)];
+        for policy in [
+            OrderPolicy::Fcfs,
+            OrderPolicy::Sjf,
+            OrderPolicy::LargestFirst,
+            OrderPolicy::Wfp { exponent: 3.0 },
+        ] {
+            policy.order(&mut q, SimTime::from_secs(50));
+            assert_eq!(ids(&q), vec![5, 6, 7], "{}", policy.name());
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(OrderPolicy::Fcfs.name(), "fcfs");
+        assert_eq!(OrderPolicy::Wfp { exponent: 3.0 }.name(), "wfp");
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let mut q: Vec<QueuedJob> = vec![];
+        OrderPolicy::Fcfs.order(&mut q, SimTime::ZERO);
+        let mut q = vec![queued(1, 0, 1, 10)];
+        OrderPolicy::Wfp { exponent: 2.0 }.order(&mut q, SimTime::ZERO);
+        assert_eq!(q[0].job.id, JobId(1));
+    }
+}

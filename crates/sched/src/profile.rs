@@ -1,0 +1,635 @@
+//! The two-resource availability profile.
+//!
+//! Backfilling needs to answer: *"when will `n` nodes **and** the pool
+//! memory they'd borrow be simultaneously free for `d` seconds?"* On a
+//! conventional cluster the profile is one step function (free nodes over
+//! time). With disaggregated memory it is a vector-valued step function —
+//! free nodes **per rack** and free MiB **per pool domain** — because a node
+//! can only borrow from its own rack's pool.
+//!
+//! ## Feasibility with a fixed rack split
+//!
+//! A job does not migrate between racks mid-run, so a placement is a *fixed
+//! split* `k = (k_0, …, k_{R-1})` of its `n` nodes across racks, each node
+//! borrowing `r` MiB from its rack's domain. A window `[s, s+d)` admits the
+//! job iff some split satisfies, at **every** profile point in the window,
+//! `k_i ≤ free_nodes_i` and the pool constraint. Taking per-rack minima over
+//! the window reduces this to a one-shot greedy fill, which is exact.
+//!
+//! ## Why scanning point times is exact
+//!
+//! [`earliest_fit`](AvailabilityProfile::earliest_fit) only tries window
+//! starts at profile breakpoints (plus the query time): if a start `s`
+//! strictly inside a segment is feasible, the segment's own start `t* ≤ s`
+//! is feasible too — the window `[t*, t*+d)` is contained in
+//! `[t*, s) ∪ [s, s+d)`, both parts of which the `s`-window already proved
+//! feasible. So breakpoint scanning finds the true earliest start.
+
+use dmhpc_des::time::{SimDuration, SimTime};
+use dmhpc_platform::{Cluster, MiB, PoolTopology, RackId};
+
+/// What a job needs from the profile: `nodes` spread over racks, each
+/// borrowing `remote_per_node` MiB from its rack's pool domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Demand {
+    /// Node count.
+    pub nodes: u32,
+    /// Pool MiB per node (0 = purely local job).
+    pub remote_per_node: MiB,
+}
+
+/// A future capacity release (a running job's planned end).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Release {
+    /// When the capacity returns.
+    pub time: SimTime,
+    /// Nodes returned, per rack.
+    pub nodes_per_rack: Vec<u32>,
+    /// Pool MiB returned, per domain.
+    pub pool_per_domain: Vec<MiB>,
+}
+
+/// Pool-domain structure, mirrored from [`PoolTopology`] without capacities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DomainKind {
+    None,
+    PerRack,
+    Global,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Point {
+    time: SimTime,
+    free_nodes: Vec<u32>,
+    free_pool: Vec<MiB>,
+}
+
+/// Piecewise-constant forecast of free capacity. See module docs.
+#[derive(Debug, Clone)]
+pub struct AvailabilityProfile {
+    kind: DomainKind,
+    racks: usize,
+    /// Sorted by time; `points[0].time` is the profile origin ("now"); the
+    /// last point extends to infinity.
+    points: Vec<Point>,
+}
+
+impl AvailabilityProfile {
+    /// Build from a cluster's current state plus the planned releases of
+    /// running jobs. Releases at or before `now` are folded into the origin.
+    pub fn from_cluster(now: SimTime, cluster: &Cluster, releases: &[Release]) -> Self {
+        let spec = cluster.spec();
+        let kind = match spec.pool {
+            PoolTopology::None => DomainKind::None,
+            PoolTopology::PerRack { .. } => DomainKind::PerRack,
+            PoolTopology::Global { .. } => DomainKind::Global,
+        };
+        let free_nodes: Vec<u32> = (0..spec.racks)
+            .map(|r| cluster.free_nodes_in_rack(RackId(r)))
+            .collect();
+        let free_pool: Vec<MiB> = cluster.pools().iter().map(|p| p.free()).collect();
+        Self::from_parts(now, kind, free_nodes, free_pool, releases)
+    }
+
+    fn from_parts(
+        now: SimTime,
+        kind: DomainKind,
+        free_nodes: Vec<u32>,
+        free_pool: Vec<MiB>,
+        releases: &[Release],
+    ) -> Self {
+        let racks = free_nodes.len();
+        let mut sorted: Vec<&Release> = releases.iter().collect();
+        sorted.sort_by_key(|r| r.time);
+        let mut points = vec![Point {
+            time: now,
+            free_nodes,
+            free_pool,
+        }];
+        for rel in sorted {
+            debug_assert_eq!(rel.nodes_per_rack.len(), racks, "release rack arity");
+            let last = points.last().expect("origin exists");
+            let mut next = if rel.time <= last.time {
+                // Late or simultaneous release: merge into the last point.
+                points.pop().expect("origin exists")
+            } else {
+                Point {
+                    time: rel.time,
+                    ..last.clone()
+                }
+            };
+            for (f, &add) in next.free_nodes.iter_mut().zip(&rel.nodes_per_rack) {
+                *f += add;
+            }
+            for (f, &add) in next.free_pool.iter_mut().zip(&rel.pool_per_domain) {
+                *f += add;
+            }
+            points.push(next);
+        }
+        AvailabilityProfile {
+            kind,
+            racks,
+            points,
+        }
+    }
+
+    /// Number of breakpoints (diagnostics/benches).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Always false: a profile has at least its origin point.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The profile origin.
+    pub fn origin(&self) -> SimTime {
+        self.points[0].time
+    }
+
+    /// Index of the last point with `time <= t` (clamped to the origin).
+    fn segment_at(&self, t: SimTime) -> usize {
+        match self.points.binary_search_by(|p| p.time.cmp(&t)) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        }
+    }
+
+    /// Per-rack node minima and per-domain pool minima over `[start, end)`.
+    fn window_minima(&self, start: SimTime, end: SimTime) -> (Vec<u32>, Vec<MiB>) {
+        let first = self.segment_at(start);
+        let mut node_min = self.points[first].free_nodes.clone();
+        let mut pool_min = self.points[first].free_pool.clone();
+        for p in &self.points[first + 1..] {
+            if p.time >= end {
+                break;
+            }
+            for (m, &v) in node_min.iter_mut().zip(&p.free_nodes) {
+                *m = (*m).min(v);
+            }
+            for (m, &v) in pool_min.iter_mut().zip(&p.free_pool) {
+                *m = (*m).min(v);
+            }
+        }
+        (node_min, pool_min)
+    }
+
+    /// Find a fixed rack split serving `demand` throughout `[start,
+    /// start+dur)`, or `None`. The split is built greedily in ascending rack
+    /// order (deterministic; concrete node choice is the memory policy's
+    /// job).
+    pub fn usable_split(
+        &self,
+        start: SimTime,
+        dur: SimDuration,
+        demand: &Demand,
+    ) -> Option<Vec<u32>> {
+        let end = start.saturating_add(dur);
+        let (node_min, pool_min) = self.window_minima(start, end);
+        let r = demand.remote_per_node;
+        let n = demand.nodes;
+        if r > 0 && self.kind == DomainKind::None {
+            return None;
+        }
+        // Per-rack usable node counts under the pool constraint.
+        let usable: Vec<u32> = match self.kind {
+            DomainKind::None | DomainKind::Global => node_min.clone(),
+            DomainKind::PerRack => node_min
+                .iter()
+                .zip(&pool_min)
+                .map(|(&nm, &pm)| {
+                    pm.checked_div(r)
+                        .map_or(nm, |per_rack| nm.min(per_rack.min(u32::MAX as u64) as u32))
+                })
+                .collect(),
+        };
+        if self.kind == DomainKind::Global && r > 0 {
+            let pool_nodes = (pool_min[0] / r).min(u32::MAX as u64) as u32;
+            if pool_nodes < n {
+                return None;
+            }
+        }
+        let total: u64 = usable.iter().map(|&u| u as u64).sum();
+        if total < n as u64 {
+            return None;
+        }
+        let mut split = vec![0u32; self.racks];
+        let mut remaining = n;
+        for (i, &u) in usable.iter().enumerate() {
+            let take = u.min(remaining);
+            split[i] = take;
+            remaining -= take;
+            if remaining == 0 {
+                break;
+            }
+        }
+        debug_assert_eq!(remaining, 0);
+        Some(split)
+    }
+
+    /// True iff the *specific* split fits throughout the window. Used to
+    /// validate a memory policy's concrete placement against reservations.
+    pub fn fits_split(
+        &self,
+        start: SimTime,
+        dur: SimDuration,
+        split: &[u32],
+        remote_per_node: MiB,
+    ) -> bool {
+        let end = start.saturating_add(dur);
+        let (node_min, pool_min) = self.window_minima(start, end);
+        if split.iter().zip(&node_min).any(|(&k, &m)| k > m) {
+            return false;
+        }
+        if remote_per_node == 0 {
+            return true;
+        }
+        match self.kind {
+            DomainKind::None => false,
+            DomainKind::PerRack => split
+                .iter()
+                .zip(&pool_min)
+                .all(|(&k, &pm)| k as u64 * remote_per_node <= pm),
+            DomainKind::Global => {
+                let total: u64 = split.iter().map(|&k| k as u64).sum();
+                total * remote_per_node <= pool_min[0]
+            }
+        }
+    }
+
+    /// Earliest start `>= from` at which `demand` fits for `dur`, together
+    /// with a witness split. `None` only if the demand can never fit (even
+    /// an idle machine is too small). Exact — see module docs.
+    pub fn earliest_fit(
+        &self,
+        from: SimTime,
+        dur: SimDuration,
+        demand: &Demand,
+    ) -> Option<(SimTime, Vec<u32>)> {
+        let from = from.max_of(self.origin());
+        if let Some(split) = self.usable_split(from, dur, demand) {
+            return Some((from, split));
+        }
+        for p in &self.points {
+            if p.time <= from {
+                continue;
+            }
+            if let Some(split) = self.usable_split(p.time, dur, demand) {
+                return Some((p.time, split));
+            }
+        }
+        None
+    }
+
+    /// Ensure a breakpoint exists at `t`; returns its index.
+    fn ensure_point(&mut self, t: SimTime) -> usize {
+        match self.points.binary_search_by(|p| p.time.cmp(&t)) {
+            Ok(i) => i,
+            Err(0) => {
+                // Before the origin: clamp to origin (reservations cannot
+                // start in the past).
+                0
+            }
+            Err(i) => {
+                let clone = Point {
+                    time: t,
+                    ..self.points[i - 1].clone()
+                };
+                self.points.insert(i, clone);
+                i
+            }
+        }
+    }
+
+    /// Subtract a reservation: `split` nodes per rack, each borrowing
+    /// `remote_per_node`, over `[start, start+dur)`.
+    ///
+    /// # Panics
+    /// Panics if the reservation does not fit — callers must have validated
+    /// with [`usable_split`](Self::usable_split)/[`fits_split`](Self::fits_split).
+    pub fn reserve(
+        &mut self,
+        start: SimTime,
+        dur: SimDuration,
+        split: &[u32],
+        remote_per_node: MiB,
+    ) {
+        assert_eq!(split.len(), self.racks, "split arity");
+        let end = start.saturating_add(dur);
+        let si = self.ensure_point(start);
+        if end != SimTime::MAX {
+            self.ensure_point(end);
+        }
+        let total_nodes: u64 = split.iter().map(|&k| k as u64).sum();
+        for p in &mut self.points[si..] {
+            if p.time >= end {
+                break;
+            }
+            for (f, &k) in p.free_nodes.iter_mut().zip(split) {
+                *f = f.checked_sub(k).expect("reservation exceeds free nodes");
+            }
+            if remote_per_node > 0 {
+                match self.kind {
+                    DomainKind::None => panic!("remote reservation without pools"),
+                    DomainKind::PerRack => {
+                        for (f, &k) in p.free_pool.iter_mut().zip(split) {
+                            *f = f
+                                .checked_sub(k as u64 * remote_per_node)
+                                .expect("reservation exceeds pool");
+                        }
+                    }
+                    DomainKind::Global => {
+                        p.free_pool[0] = p.free_pool[0]
+                            .checked_sub(total_nodes * remote_per_node)
+                            .expect("reservation exceeds pool");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Free nodes per rack at time `t` (diagnostics/tests).
+    pub fn free_nodes_at(&self, t: SimTime) -> Vec<u32> {
+        self.points[self.segment_at(t)].free_nodes.clone()
+    }
+
+    /// Free pool per domain at time `t` (diagnostics/tests).
+    pub fn free_pool_at(&self, t: SimTime) -> Vec<MiB> {
+        self.points[self.segment_at(t)].free_pool.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+    fn d(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    /// 2 racks × 4 nodes, per-rack pools of 1000 MiB, 2 nodes free in rack
+    /// 0 and 0 in rack 1 now; releases at t=100 (2 nodes r1 + 500 pool r1)
+    /// and t=200 (2 nodes r0, 2 nodes r1, 500 pool each).
+    fn profile() -> AvailabilityProfile {
+        AvailabilityProfile::from_parts(
+            t(0),
+            DomainKind::PerRack,
+            vec![2, 0],
+            vec![1000, 0],
+            &[
+                Release {
+                    time: t(100),
+                    nodes_per_rack: vec![0, 2],
+                    pool_per_domain: vec![0, 500],
+                },
+                Release {
+                    time: t(200),
+                    nodes_per_rack: vec![2, 2],
+                    pool_per_domain: vec![0, 500],
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn builds_cumulative_points() {
+        let p = profile();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.free_nodes_at(t(0)), vec![2, 0]);
+        assert_eq!(p.free_nodes_at(t(150)), vec![2, 2]);
+        assert_eq!(p.free_nodes_at(t(500)), vec![4, 4]);
+        assert_eq!(p.free_pool_at(t(150)), vec![1000, 500]);
+        assert_eq!(p.free_pool_at(t(500)), vec![1000, 1000]);
+    }
+
+    #[test]
+    fn merges_simultaneous_and_past_releases() {
+        let p = AvailabilityProfile::from_parts(
+            t(10),
+            DomainKind::None,
+            vec![1],
+            vec![],
+            &[
+                Release {
+                    time: t(5), // in the past: folded into origin
+                    nodes_per_rack: vec![1],
+                    pool_per_domain: vec![],
+                },
+                Release {
+                    time: t(20),
+                    nodes_per_rack: vec![1],
+                    pool_per_domain: vec![],
+                },
+                Release {
+                    time: t(20),
+                    nodes_per_rack: vec![1],
+                    pool_per_domain: vec![],
+                },
+            ],
+        );
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.free_nodes_at(t(10)), vec![2]);
+        assert_eq!(p.free_nodes_at(t(20)), vec![4]);
+    }
+
+    #[test]
+    fn usable_split_respects_pool_per_rack() {
+        let p = profile();
+        // 2 nodes, 400 MiB each: rack 0 pool 1000 allows floor(1000/400)=2.
+        let split = p.usable_split(t(0), d(50), &Demand { nodes: 2, remote_per_node: 400 });
+        assert_eq!(split, Some(vec![2, 0]));
+        // 3 nodes now: only 2 free anywhere.
+        assert_eq!(
+            p.usable_split(t(0), d(50), &Demand { nodes: 3, remote_per_node: 0 }),
+            None
+        );
+        // At t=100: 2+2 nodes, but rack-1 pool 500 allows only 1 node at 400.
+        let split = p.usable_split(t(100), d(50), &Demand { nodes: 3, remote_per_node: 400 });
+        assert_eq!(split, Some(vec![2, 1]));
+    }
+
+    #[test]
+    fn window_minima_span_segments() {
+        let p = profile();
+        // Window [0, 150) includes the t=100 release; minima are the t=0
+        // values, so 3 nodes never fit in that window.
+        assert_eq!(
+            p.usable_split(t(0), d(150), &Demand { nodes: 3, remote_per_node: 0 }),
+            None
+        );
+        // Window [100, 90s) fits 4 nodes.
+        assert!(p
+            .usable_split(t(100), d(90), &Demand { nodes: 4, remote_per_node: 0 })
+            .is_some());
+    }
+
+    #[test]
+    fn earliest_fit_scans_breakpoints() {
+        let p = profile();
+        let (start, split) = p
+            .earliest_fit(t(0), d(50), &Demand { nodes: 4, remote_per_node: 0 })
+            .unwrap();
+        assert_eq!(start, t(100));
+        assert_eq!(split.iter().sum::<u32>(), 4);
+
+        let (start, _) = p
+            .earliest_fit(t(0), d(50), &Demand { nodes: 8, remote_per_node: 0 })
+            .unwrap();
+        assert_eq!(start, t(200));
+
+        // Demand that never fits: 9 nodes on an 8-node machine.
+        assert!(p
+            .earliest_fit(t(0), d(50), &Demand { nodes: 9, remote_per_node: 0 })
+            .is_none());
+    }
+
+    #[test]
+    fn earliest_fit_honors_from_mid_segment() {
+        let p = profile();
+        let (start, _) = p
+            .earliest_fit(t(150), d(10), &Demand { nodes: 4, remote_per_node: 0 })
+            .unwrap();
+        assert_eq!(start, t(150), "already feasible at the query time");
+    }
+
+    #[test]
+    fn reserve_subtracts_and_restores() {
+        let mut p = profile();
+        // Reserve 2 nodes in rack 0 with 300 MiB each over [0, 120).
+        p.reserve(t(0), d(120), &[2, 0], 300);
+        assert_eq!(p.free_nodes_at(t(0)), vec![0, 0]);
+        assert_eq!(p.free_pool_at(t(0)), vec![400, 0]);
+        assert_eq!(p.free_nodes_at(t(110)), vec![0, 2]);
+        // After the reservation ends capacity returns.
+        assert_eq!(p.free_nodes_at(t(120)), vec![2, 2]);
+        assert_eq!(p.free_pool_at(t(120)), vec![1000, 500]);
+        assert_eq!(p.free_nodes_at(t(300)), vec![4, 4]);
+    }
+
+    #[test]
+    fn reserve_then_earliest_fit_is_pushed_back() {
+        let mut p = profile();
+        // Head job: 4 nodes at t=100 for 200 s.
+        let (s, split) = p
+            .earliest_fit(t(0), d(200), &Demand { nodes: 4, remote_per_node: 0 })
+            .unwrap();
+        assert_eq!(s, t(100));
+        p.reserve(s, d(200), &split, 0);
+        // A 1-node backfill of 100 s fits immediately (rack 0 has 2 free).
+        let (s2, _) = p
+            .earliest_fit(t(0), d(100), &Demand { nodes: 1, remote_per_node: 0 })
+            .unwrap();
+        assert_eq!(s2, t(0));
+        // But 8 nodes now only fit after the head finishes at 300.
+        let (s3, _) = p
+            .earliest_fit(t(0), d(10), &Demand { nodes: 8, remote_per_node: 0 })
+            .unwrap();
+        assert_eq!(s3, t(300));
+    }
+
+    #[test]
+    fn fits_split_validates_specific_placement() {
+        let p = profile();
+        assert!(p.fits_split(t(0), d(50), &[2, 0], 400));
+        assert!(!p.fits_split(t(0), d(50), &[2, 0], 600), "2×600 > 1000 pool");
+        assert!(!p.fits_split(t(0), d(50), &[1, 1], 0), "rack 1 empty now");
+        assert!(p.fits_split(t(100), d(50), &[1, 1], 400));
+        assert!(!p.fits_split(t(100), d(50), &[0, 2], 400), "rack-1 pool 500");
+    }
+
+    #[test]
+    fn global_pool_semantics() {
+        let p = AvailabilityProfile::from_parts(
+            t(0),
+            DomainKind::Global,
+            vec![2, 2],
+            vec![1000],
+            &[],
+        );
+        // 4 nodes × 300 = 1200 > 1000: infeasible.
+        assert!(p
+            .usable_split(t(0), d(10), &Demand { nodes: 4, remote_per_node: 300 })
+            .is_none());
+        // 3 nodes × 300 = 900 <= 1000: feasible, spread 2+1.
+        let split = p
+            .usable_split(t(0), d(10), &Demand { nodes: 3, remote_per_node: 300 })
+            .unwrap();
+        assert_eq!(split, vec![2, 1]);
+        assert!(p.fits_split(t(0), d(10), &[2, 1], 300));
+        assert!(!p.fits_split(t(0), d(10), &[2, 2], 300));
+    }
+
+    #[test]
+    fn no_pool_topology_rejects_remote() {
+        let p = AvailabilityProfile::from_parts(t(0), DomainKind::None, vec![4], vec![], &[]);
+        assert!(p
+            .usable_split(t(0), d(10), &Demand { nodes: 1, remote_per_node: 1 })
+            .is_none());
+        assert!(!p.fits_split(t(0), d(10), &[1], 1));
+        assert!(p
+            .usable_split(t(0), d(10), &Demand { nodes: 4, remote_per_node: 0 })
+            .is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds free nodes")]
+    fn over_reserve_panics() {
+        let mut p = profile();
+        p.reserve(t(0), d(10), &[3, 0], 0);
+    }
+
+    #[test]
+    fn reserve_to_infinity() {
+        let mut p = AvailabilityProfile::from_parts(t(0), DomainKind::None, vec![4], vec![], &[]);
+        p.reserve(t(5), SimDuration::MAX, &[2], 0);
+        assert_eq!(p.free_nodes_at(t(4)), vec![4]);
+        assert_eq!(p.free_nodes_at(t(1_000_000)), vec![2]);
+    }
+
+    /// Differential test: earliest_fit against a brute-force oracle that
+    /// tries every breakpoint on randomized profiles.
+    #[test]
+    fn earliest_fit_matches_bruteforce() {
+        use dmhpc_des::rng::Pcg64;
+        let mut rng = Pcg64::new(71);
+        for case in 0..200 {
+            let racks = 1 + rng.index(3);
+            let base: Vec<u32> = (0..racks).map(|_| rng.bounded_u64(4) as u32).collect();
+            let pool: Vec<MiB> = (0..racks).map(|_| rng.bounded_u64(1000)).collect();
+            let releases: Vec<Release> = (0..rng.index(5))
+                .map(|_| Release {
+                    time: t(rng.bounded_u64(500)),
+                    nodes_per_rack: (0..racks).map(|_| rng.bounded_u64(3) as u32).collect(),
+                    pool_per_domain: (0..racks).map(|_| rng.bounded_u64(400)).collect(),
+                })
+                .collect();
+            let p = AvailabilityProfile::from_parts(
+                t(0),
+                DomainKind::PerRack,
+                base.clone(),
+                pool.clone(),
+                &releases,
+            );
+            let demand = Demand {
+                nodes: 1 + rng.bounded_u64(6) as u32,
+                remote_per_node: rng.bounded_u64(300),
+            };
+            let dur = d(1 + rng.bounded_u64(300));
+            let got = p.earliest_fit(t(0), dur, &demand).map(|(s, _)| s);
+            // Oracle: scan a fine time grid (1 s) up to beyond the horizon.
+            let mut oracle = None;
+            for s in 0..1000u64 {
+                if p.usable_split(t(s), dur, &demand).is_some() {
+                    oracle = Some(t(s));
+                    break;
+                }
+            }
+            assert_eq!(got, oracle, "case {case}: demand {demand:?} dur {dur}");
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! The wait queue.
+
+use dmhpc_des::time::SimTime;
+use dmhpc_workload::{Job, JobId};
+
+/// A job waiting to run, with queue metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueuedJob {
+    /// The job as submitted.
+    pub job: Job,
+    /// When it entered the queue (== arrival for normal submissions).
+    pub enqueued: SimTime,
+}
+
+/// FIFO-backed wait queue that scheduling passes reorder in place.
+///
+/// The queue deliberately stores jobs by value: a scheduling pass removes
+/// started jobs and the engine owns them thereafter, so there is no shared
+/// mutable job state anywhere in the simulator.
+#[derive(Debug, Clone, Default)]
+pub struct WaitQueue {
+    entries: Vec<QueuedJob>,
+}
+
+impl WaitQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of waiting jobs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no jobs wait.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Enqueue a job at time `now`.
+    pub fn push(&mut self, job: Job, now: SimTime) {
+        self.entries.push(QueuedJob {
+            job,
+            enqueued: now,
+        });
+    }
+
+    /// Waiting jobs in current order.
+    pub fn entries(&self) -> &[QueuedJob] {
+        &self.entries
+    }
+
+    /// Mutable access for order policies.
+    pub fn entries_mut(&mut self) -> &mut Vec<QueuedJob> {
+        &mut self.entries
+    }
+
+    /// Remove and return the entry at `idx`.
+    pub fn remove(&mut self, idx: usize) -> QueuedJob {
+        self.entries.remove(idx)
+    }
+
+    /// Position of a job by id.
+    pub fn position(&self, id: JobId) -> Option<usize> {
+        self.entries.iter().position(|e| e.job.id == id)
+    }
+
+    /// Total nodes requested by waiting jobs (queue-pressure metric).
+    pub fn total_requested_nodes(&self) -> u64 {
+        self.entries.iter().map(|e| e.job.nodes as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmhpc_workload::JobBuilder;
+
+    #[test]
+    fn push_remove_position() {
+        let mut q = WaitQueue::new();
+        assert!(q.is_empty());
+        q.push(JobBuilder::new(1).nodes(2).build(), SimTime::from_secs(5));
+        q.push(JobBuilder::new(2).nodes(3).build(), SimTime::from_secs(6));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.total_requested_nodes(), 5);
+        assert_eq!(q.position(JobId(2)), Some(1));
+        assert_eq!(q.position(JobId(9)), None);
+        let removed = q.remove(0);
+        assert_eq!(removed.job.id, JobId(1));
+        assert_eq!(removed.enqueued, SimTime::from_secs(5));
+        assert_eq!(q.len(), 1);
+    }
+}

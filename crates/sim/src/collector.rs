@@ -1,0 +1,164 @@
+//! Exact time-weighted series collection.
+
+use dmhpc_des::stats::StepSeries;
+use dmhpc_des::time::SimTime;
+use dmhpc_platform::ClusterSpec;
+use serde::{Deserialize, Serialize};
+
+/// The system-level step series a run records — each updated exactly at the
+/// event that changes it, so time-weighted means are exact, and each
+/// resamplable for time-series figures (F7).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SeriesBundle {
+    /// Busy node count.
+    pub nodes_busy: StepSeries,
+    /// Pool MiB in use (all domains).
+    pub pool_used: StepSeries,
+    /// Node-local DRAM MiB pinned by running jobs.
+    pub dram_used: StepSeries,
+    /// Wait-queue depth.
+    pub queue_depth: StepSeries,
+    /// Machine constants for normalization.
+    total_nodes: f64,
+    total_pool: f64,
+    total_dram: f64,
+}
+
+impl SeriesBundle {
+    /// Fresh series for a machine, starting at `start`.
+    pub fn new(start: SimTime, spec: &ClusterSpec) -> Self {
+        SeriesBundle {
+            nodes_busy: StepSeries::new(start, 0.0),
+            pool_used: StepSeries::new(start, 0.0),
+            dram_used: StepSeries::new(start, 0.0),
+            queue_depth: StepSeries::new(start, 0.0),
+            total_nodes: spec.total_nodes() as f64,
+            total_pool: spec.total_pool_mem() as f64,
+            total_dram: spec.total_local_mem() as f64,
+        }
+    }
+
+    /// Record a job start.
+    pub fn on_start(&mut self, at: SimTime, nodes: u32, local_mib: u64, remote_mib: u64) {
+        self.nodes_busy.add(at, nodes as f64);
+        self.dram_used.add(at, local_mib as f64);
+        self.pool_used.add(at, remote_mib as f64);
+    }
+
+    /// Record a job finish.
+    pub fn on_finish(&mut self, at: SimTime, nodes: u32, local_mib: u64, remote_mib: u64) {
+        self.nodes_busy.add(at, -(nodes as f64));
+        self.dram_used.add(at, -(local_mib as f64));
+        self.pool_used.add(at, -(remote_mib as f64));
+    }
+
+    /// Record a queue-depth change (`delta` of ±1 usually).
+    pub fn on_queue_change(&mut self, at: SimTime, delta: f64) {
+        self.queue_depth.add(at, delta);
+    }
+
+    /// Time-weighted node utilization over `[start, end]`.
+    pub fn node_util(&self, end: SimTime) -> f64 {
+        if self.total_nodes == 0.0 {
+            return 0.0;
+        }
+        self.nodes_busy.stats().mean_until(end) / self.total_nodes
+    }
+
+    /// Time-weighted pool utilization (0 without pools).
+    pub fn pool_util(&self, end: SimTime) -> f64 {
+        if self.total_pool == 0.0 {
+            return 0.0;
+        }
+        self.pool_used.stats().mean_until(end) / self.total_pool
+    }
+
+    /// Time-weighted DRAM utilization.
+    pub fn dram_util(&self, end: SimTime) -> f64 {
+        if self.total_dram == 0.0 {
+            return 0.0;
+        }
+        self.dram_used.stats().mean_until(end) / self.total_dram
+    }
+
+    /// Time-weighted mean queue depth.
+    pub fn queue_depth_mean(&self, end: SimTime) -> f64 {
+        self.queue_depth.stats().mean_until(end)
+    }
+
+    /// Peak queue depth.
+    pub fn queue_depth_max(&self) -> f64 {
+        self.queue_depth.stats().max()
+    }
+
+    /// Pool utilization as a resampled fraction series (for F7).
+    pub fn pool_util_series(&self, end: SimTime, points: usize) -> Vec<(f64, f64)> {
+        if self.total_pool == 0.0 {
+            return Vec::new();
+        }
+        self.pool_used
+            .resample(end, points)
+            .into_iter()
+            .map(|(t, v)| (t.as_hours_f64(), v / self.total_pool))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmhpc_platform::{NodeSpec, PoolTopology};
+
+    fn spec() -> ClusterSpec {
+        ClusterSpec::new(
+            2,
+            2,
+            NodeSpec::new(4, 1000),
+            PoolTopology::PerRack { mib_per_rack: 500 },
+        )
+    }
+
+    #[test]
+    fn utilization_math() {
+        let mut s = SeriesBundle::new(SimTime::ZERO, &spec());
+        // 2 of 4 nodes busy for the first half of a 100 s window.
+        s.on_start(SimTime::ZERO, 2, 800, 200);
+        s.on_finish(SimTime::from_secs(50), 2, 800, 200);
+        let end = SimTime::from_secs(100);
+        assert!((s.node_util(end) - 0.25).abs() < 1e-9);
+        // DRAM: 800 of 4000 for half the time = 0.1.
+        assert!((s.dram_util(end) - 0.1).abs() < 1e-9);
+        // Pool: 200 of 1000 for half = 0.1.
+        assert!((s.pool_util(end) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn queue_depth_tracking() {
+        let mut s = SeriesBundle::new(SimTime::ZERO, &spec());
+        s.on_queue_change(SimTime::ZERO, 1.0);
+        s.on_queue_change(SimTime::from_secs(10), 1.0);
+        s.on_queue_change(SimTime::from_secs(20), -2.0);
+        let end = SimTime::from_secs(40);
+        // 1×10 + 2×10 + 0×20 = 30 over 40 s.
+        assert!((s.queue_depth_mean(end) - 0.75).abs() < 1e-9);
+        assert_eq!(s.queue_depth_max(), 2.0);
+    }
+
+    #[test]
+    fn pool_series_normalized() {
+        let mut s = SeriesBundle::new(SimTime::ZERO, &spec());
+        s.on_start(SimTime::ZERO, 1, 0, 500);
+        let pts = s.pool_util_series(SimTime::from_secs(3600), 4);
+        assert_eq!(pts.len(), 4);
+        assert!((pts[0].1 - 0.5).abs() < 1e-9);
+        assert!((pts[3].0 - 1.0).abs() < 1e-9, "x in hours");
+    }
+
+    #[test]
+    fn no_pool_machine() {
+        let spec = ClusterSpec::new(1, 2, NodeSpec::new(4, 1000), PoolTopology::None);
+        let s = SeriesBundle::new(SimTime::ZERO, &spec);
+        assert_eq!(s.pool_util(SimTime::from_secs(10)), 0.0);
+        assert!(s.pool_util_series(SimTime::from_secs(10), 4).is_empty());
+    }
+}

@@ -1,0 +1,789 @@
+//! The simulation engine.
+//!
+//! Event loop over a stable binary-heap pending-event set. Two event kinds:
+//! job arrival and job finish. After every batch of same-instant events the
+//! engine runs one scheduling pass; under the contention slowdown model it
+//! additionally **re-dilates** running borrowers whenever pool pressure
+//! changed, converting elapsed wall time into consumed work and
+//! rescheduling the finish event (the superseded event is invalidated by a
+//! generation stamp). Work accounting is exact: a completed job's consumed
+//! work equals its base runtime by construction.
+
+use crate::collector::SeriesBundle;
+use crate::config::SimConfig;
+use dmhpc_des::queue::{BinaryHeapQueue, EventQueue};
+use dmhpc_des::time::{SimDuration, SimTime};
+use dmhpc_metrics::{ClassThresholds, JobOutcome, JobRecord, RunData, SimReport};
+use dmhpc_platform::{Cluster, DilationInputs, MemoryAssignment};
+use dmhpc_sched::{RunningRelease, Scheduler, StartedJob, WaitQueue};
+use dmhpc_workload::{Job, JobId, Workload};
+use std::collections::BTreeMap;
+
+/// One simulation event.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// Index into the workload's job list.
+    Arrival(usize),
+    /// A running job reached its (possibly superseded) end time.
+    Finish { job: JobId, generation: u32 },
+}
+
+/// Execution state of a running job.
+#[derive(Debug, Clone)]
+struct RunningJob {
+    job: Job,
+    start: SimTime,
+    assignment: MemoryAssignment,
+    planned_walltime: SimDuration,
+    kill_time: SimTime,
+    dilation_planned: f64,
+    /// Current dilation factor (changes only under the contention model).
+    dilation: f64,
+    /// Undilated work left, exact as of `last_update`.
+    work_remaining: SimDuration,
+    last_update: SimTime,
+    /// Valid finish-event stamp; older events are stale.
+    generation: u32,
+    /// Whether the currently-scheduled finish is a walltime kill.
+    ends_by_kill: bool,
+}
+
+/// Everything a run produces.
+#[derive(Debug, Clone)]
+pub struct SimOutput {
+    /// Headline metrics (T2 row).
+    pub report: SimReport,
+    /// Per-job outcomes, in completion order (rejected jobs at rejection
+    /// time).
+    pub records: Vec<JobRecord>,
+    /// System time series.
+    pub series: SeriesBundle,
+    /// Events processed (arrivals + non-stale finishes).
+    pub events_processed: u64,
+    /// Scheduling passes executed.
+    pub passes: u64,
+    /// FNV-1a hash of the event trace; equal hashes ⇒ identical runs.
+    pub trace_hash: u64,
+    /// Time of the last processed event.
+    pub end_time: SimTime,
+}
+
+/// A configured simulator. `run` is a pure function of the workload.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    cfg: SimConfig,
+}
+
+impl Simulation {
+    /// Build a simulator; validates the slowdown model.
+    pub fn new(cfg: SimConfig) -> Self {
+        cfg.scheduler
+            .slowdown
+            .validate()
+            .expect("invalid slowdown model");
+        Simulation { cfg }
+    }
+
+    /// This simulator's configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Simulate the workload to completion.
+    pub fn run(&self, workload: &Workload) -> SimOutput {
+        let mut engine = Engine::new(&self.cfg, workload);
+        engine.drive(workload);
+        engine.finalize()
+    }
+}
+
+struct Engine<'a> {
+    cfg: &'a SimConfig,
+    scheduler: Scheduler,
+    cluster: Cluster,
+    queue: WaitQueue,
+    events: BinaryHeapQueue<Event>,
+    running: BTreeMap<JobId, RunningJob>,
+    records: Vec<JobRecord>,
+    series: SeriesBundle,
+    now: SimTime,
+    start_time: SimTime,
+    events_processed: u64,
+    passes: u64,
+    trace_hash: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl<'a> Engine<'a> {
+    fn new(cfg: &'a SimConfig, workload: &Workload) -> Self {
+        let cluster = Cluster::new(cfg.cluster);
+        let start_time = workload.first_arrival().unwrap_or(SimTime::ZERO);
+        let mut events = BinaryHeapQueue::with_capacity(workload.len() * 2);
+        for (i, job) in workload.iter().enumerate() {
+            events.schedule(job.arrival, Event::Arrival(i));
+        }
+        Engine {
+            cfg,
+            scheduler: Scheduler::new(cfg.scheduler),
+            cluster,
+            queue: WaitQueue::new(),
+            events,
+            running: BTreeMap::new(),
+            records: Vec::with_capacity(workload.len()),
+            series: SeriesBundle::new(start_time, &cfg.cluster),
+            now: start_time,
+            start_time,
+            events_processed: 0,
+            passes: 0,
+            trace_hash: FNV_OFFSET,
+        }
+    }
+
+    fn hash_mix(&mut self, vals: [u64; 3]) {
+        for v in vals {
+            for byte in v.to_le_bytes() {
+                self.trace_hash ^= byte as u64;
+                self.trace_hash = self.trace_hash.wrapping_mul(FNV_PRIME);
+            }
+        }
+    }
+
+    fn drive(&mut self, workload: &Workload) {
+        loop {
+            let Some((t, ev)) = self.events.pop() else {
+                if self.queue.is_empty() {
+                    break;
+                }
+                // Events drained but jobs still queued: they must start on
+                // the (partially) empty machine now.
+                let started = self.pass();
+                assert!(
+                    started > 0,
+                    "scheduler wedged: {} queued jobs, {} running, no events",
+                    self.queue.len(),
+                    self.running.len()
+                );
+                continue;
+            };
+            debug_assert!(t >= self.now, "event time went backwards");
+            self.now = t;
+            let mut changed = self.process(ev, workload);
+            while self.events.peek_time() == Some(self.now) {
+                let (_, ev) = self.events.pop().expect("peeked");
+                changed |= self.process(ev, workload);
+            }
+            if changed {
+                self.batch_end();
+            }
+        }
+        assert!(self.running.is_empty(), "jobs still running at drain");
+        assert_eq!(self.cluster.lease_count(), 0, "leaked leases");
+    }
+
+    /// Process one event; returns whether system state changed.
+    fn process(&mut self, ev: Event, workload: &Workload) -> bool {
+        match ev {
+            Event::Arrival(idx) => {
+                let job = workload.jobs()[idx].clone();
+                self.hash_mix([1, self.now.as_micros(), job.id.0]);
+                self.series.on_queue_change(self.now, 1.0);
+                self.queue.push(job, self.now);
+                self.events_processed += 1;
+                true
+            }
+            Event::Finish { job, generation } => {
+                let stale = self
+                    .running
+                    .get(&job)
+                    .map(|r| r.generation != generation)
+                    .unwrap_or(true);
+                if stale {
+                    return false;
+                }
+                self.finish_job(job);
+                self.events_processed += 1;
+                true
+            }
+        }
+    }
+
+    fn finish_job(&mut self, id: JobId) {
+        let mut r = self.running.remove(&id).expect("finish of unknown job");
+        // Convert elapsed wall time into consumed work.
+        let elapsed = self.now - r.last_update;
+        let consumed_now = elapsed.scale(1.0 / r.dilation);
+        r.work_remaining = r.work_remaining.saturating_sub(consumed_now);
+
+        let (outcome, consumed_total) = if r.ends_by_kill {
+            (
+                JobOutcome::Killed,
+                r.job.runtime.saturating_sub(r.work_remaining),
+            )
+        } else {
+            // Natural completion: work is consumed exactly.
+            (JobOutcome::Completed, r.job.runtime)
+        };
+        let residence = self.now - r.start;
+        let dilation_actual = if consumed_total.is_zero() {
+            r.dilation
+        } else {
+            residence.ratio(consumed_total)
+        };
+
+        self.cluster
+            .release(id.as_u64())
+            .expect("running job holds a lease");
+        self.series.on_finish(
+            self.now,
+            r.assignment.node_count() as u32,
+            r.assignment.local_per_node * r.assignment.node_count() as u64,
+            r.assignment.total_remote(),
+        );
+        self.hash_mix([2, self.now.as_micros(), id.0]);
+        self.records.push(JobRecord {
+            nodes_allocated: r.assignment.node_count() as u32,
+            remote_per_node: r.assignment.remote_per_node,
+            job: r.job,
+            outcome,
+            start: Some(r.start),
+            finish: Some(self.now),
+            dilation_planned: r.dilation_planned,
+            dilation_actual,
+        });
+    }
+
+    /// Pressure input for a running job: the highest pressure among the pool
+    /// domains its nodes charge.
+    fn job_pressure(&self, assignment: &MemoryAssignment) -> f64 {
+        if assignment.remote_per_node == 0 {
+            return 0.0;
+        }
+        let mut max_p = 0.0f64;
+        for &node in &assignment.nodes {
+            if let Some(pool) = self.cluster.pool_of(node) {
+                max_p = max_p.max(self.cluster.pool(pool).pressure());
+            }
+        }
+        max_p
+    }
+
+    /// Recompute dilation of running borrowers under the contention model;
+    /// reschedule finishes whose dilation changed.
+    fn re_dilate(&mut self) {
+        if !self.cfg.scheduler.slowdown.is_dynamic() {
+            return;
+        }
+        let ids: Vec<JobId> = self
+            .running
+            .iter()
+            .filter(|(_, r)| r.assignment.uses_pool())
+            .map(|(&id, _)| id)
+            .collect();
+        for id in ids {
+            let pressure = {
+                let r = &self.running[&id];
+                self.job_pressure(&r.assignment)
+            };
+            let r = self.running.get_mut(&id).expect("listed above");
+            let new_dilation = self.cfg.scheduler.slowdown.dilation(DilationInputs {
+                far_fraction: r.assignment.far_fraction(),
+                intensity: r.job.intensity,
+                pool_pressure: pressure,
+            });
+            if (new_dilation - r.dilation).abs() < 1e-9 {
+                continue;
+            }
+            // Settle work at the old rate, then switch rates.
+            let elapsed = self.now - r.last_update;
+            let consumed = elapsed.scale(1.0 / r.dilation);
+            r.work_remaining = r.work_remaining.saturating_sub(consumed);
+            r.last_update = self.now;
+            r.dilation = new_dilation;
+            r.generation += 1;
+            let natural = self.now + r.work_remaining.scale(new_dilation);
+            let effective = natural.min_of(r.kill_time);
+            r.ends_by_kill = r.kill_time < natural;
+            let generation = r.generation;
+            self.events.schedule(effective, Event::Finish { job: id, generation });
+        }
+    }
+
+    /// One scheduling pass; returns how many jobs started.
+    fn pass(&mut self) -> usize {
+        let releases: Vec<RunningRelease> = self
+            .running
+            .values()
+            .map(|r| {
+                let planned_end = r.start + r.planned_walltime;
+                release_info(&self.cluster, &r.assignment, planned_end)
+            })
+            .collect();
+        let result =
+            self.scheduler
+                .schedule(self.now, &mut self.queue, &mut self.cluster, &releases);
+        self.passes += 1;
+        for (job, _reason) in result.rejected {
+            self.series.on_queue_change(self.now, -1.0);
+            self.hash_mix([3, self.now.as_micros(), job.id.0]);
+            self.records.push(JobRecord::rejected(job));
+        }
+        let n = result.started.len();
+        for started in result.started {
+            self.start_job(started);
+        }
+        n
+    }
+
+    fn start_job(&mut self, s: StartedJob) {
+        let StartedJob {
+            job,
+            assignment,
+            dilation,
+            planned_walltime,
+        } = s;
+        self.series.on_queue_change(self.now, -1.0);
+        self.series.on_start(
+            self.now,
+            assignment.node_count() as u32,
+            assignment.local_per_node * assignment.node_count() as u64,
+            assignment.total_remote(),
+        );
+        self.hash_mix([4, self.now.as_micros(), job.id.0]);
+        let kill_time = if self.cfg.enforce_walltime {
+            self.now + planned_walltime
+        } else {
+            SimTime::MAX
+        };
+        let natural = self.now + job.runtime.scale(dilation);
+        let effective = natural.min_of(kill_time);
+        let running = RunningJob {
+            work_remaining: job.runtime,
+            job,
+            start: self.now,
+            assignment,
+            planned_walltime,
+            kill_time,
+            dilation_planned: dilation,
+            dilation,
+            last_update: self.now,
+            generation: 0,
+            ends_by_kill: kill_time < natural,
+        };
+        let id = running.job.id;
+        self.events
+            .schedule(effective, Event::Finish { job: id, generation: 0 });
+        self.running.insert(id, running);
+    }
+
+    fn batch_end(&mut self) {
+        // Pressure may have dropped (finishes): settle borrowers first so
+        // the pass plans against up-to-date state.
+        self.re_dilate();
+        let started = self.pass();
+        if started > 0 {
+            // New borrowers raise pressure for everyone already running.
+            self.re_dilate();
+        }
+        if self.cfg.check_invariants {
+            self.cluster
+                .verify_invariants()
+                .expect("cluster invariants violated");
+            let busy = self.cluster.used_nodes() as f64;
+            assert_eq!(
+                self.series.nodes_busy.stats().current(),
+                busy,
+                "series out of sync with cluster"
+            );
+        }
+    }
+
+    fn finalize(self) -> SimOutput {
+        let makespan = self.now.saturating_since(self.start_time);
+        let data = RunData {
+            label: self.cfg.label(),
+            records: self.records.clone(),
+            makespan_s: makespan.as_secs_f64(),
+            node_util: self.series.node_util(self.now),
+            pool_util: self.series.pool_util(self.now),
+            dram_util: self.series.dram_util(self.now),
+            queue_depth_mean: self.series.queue_depth_mean(self.now),
+            queue_depth_max: self.series.queue_depth_max(),
+        };
+        let thresholds = ClassThresholds::standard(self.cfg.cluster.node.local_mem);
+        SimOutput {
+            report: SimReport::compute(&data, &thresholds),
+            records: self.records,
+            series: self.series,
+            events_processed: self.events_processed,
+            passes: self.passes,
+            trace_hash: self.trace_hash,
+            end_time: self.now,
+        }
+    }
+}
+
+/// Build the scheduler-visible release record for an assignment.
+fn release_info(
+    cluster: &Cluster,
+    assignment: &MemoryAssignment,
+    planned_end: SimTime,
+) -> RunningRelease {
+    let racks = cluster.spec().racks as usize;
+    let domains = cluster.pools().len();
+    let mut nodes_per_rack = vec![0u32; racks];
+    let mut pool_per_domain = vec![0u64; domains];
+    for &node in &assignment.nodes {
+        nodes_per_rack[cluster.rack_of(node).0 as usize] += 1;
+        if assignment.remote_per_node > 0 {
+            let pool = cluster.pool_of(node).expect("borrower has a pool");
+            pool_per_domain[pool.0 as usize] += assignment.remote_per_node;
+        }
+    }
+    RunningRelease {
+        planned_end,
+        nodes_per_rack,
+        pool_per_domain,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmhpc_platform::{ClusterSpec, NodeSpec, PoolTopology, SlowdownModel};
+    use dmhpc_sched::{MemoryPolicy, SchedulerBuilder};
+    use dmhpc_workload::JobBuilder;
+
+    const GIB: u64 = 1024;
+
+    fn machine(pool: PoolTopology) -> ClusterSpec {
+        ClusterSpec::new(1, 4, NodeSpec::new(64, 256 * GIB), pool)
+    }
+
+    fn sim(pool: PoolTopology, memory: MemoryPolicy, slowdown: SlowdownModel) -> Simulation {
+        let sched = SchedulerBuilder::new()
+            .memory(memory)
+            .slowdown(slowdown)
+            .build();
+        Simulation::new(SimConfig::new(machine(pool), *sched.config()).checked())
+    }
+
+    fn local_sim() -> Simulation {
+        sim(
+            PoolTopology::None,
+            MemoryPolicy::LocalOnly,
+            SlowdownModel::None,
+        )
+    }
+
+    #[test]
+    fn single_job_lifecycle() {
+        let w = Workload::from_jobs(vec![JobBuilder::new(1)
+            .arrival_secs(10)
+            .nodes(2)
+            .runtime_secs(100, 200)
+            .mem_per_node(GIB)
+            .build()]);
+        let out = local_sim().run(&w);
+        assert_eq!(out.records.len(), 1);
+        let r = &out.records[0];
+        assert_eq!(r.outcome, JobOutcome::Completed);
+        assert_eq!(r.start.unwrap().as_secs(), 10, "starts immediately");
+        assert_eq!(r.finish.unwrap().as_secs(), 110);
+        assert_eq!(r.wait().unwrap().as_secs(), 0);
+        assert_eq!(out.report.completed, 1);
+        // 2 of 4 nodes busy for the full 100 s makespan.
+        assert!((out.report.node_util - 0.5).abs() < 1e-9);
+        assert_eq!(out.end_time.as_secs(), 110);
+    }
+
+    #[test]
+    fn fcfs_serializes_full_machine_jobs() {
+        let mk = |id: u64, arr: u64| {
+            JobBuilder::new(id)
+                .arrival_secs(arr)
+                .nodes(4)
+                .runtime_secs(100, 150)
+                .mem_per_node(GIB)
+                .build()
+        };
+        let w = Workload::from_jobs(vec![mk(1, 0), mk(2, 0), mk(3, 0)]);
+        let out = local_sim().run(&w);
+        let waits: Vec<u64> = out
+            .records
+            .iter()
+            .map(|r| r.wait().unwrap().as_secs())
+            .collect();
+        assert_eq!(waits, vec![0, 100, 200]);
+        assert_eq!(out.report.completed, 3);
+        assert!((out.report.node_util - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn easy_backfill_improves_small_job_wait() {
+        // Head needs 4 nodes blocked behind a 2-node job; a 1-node short
+        // job backfills.
+        let w = Workload::from_jobs(vec![
+            JobBuilder::new(1)
+                .arrival_secs(0)
+                .nodes(2)
+                .runtime_secs(1000, 1200)
+                .mem_per_node(GIB)
+                .build(),
+            JobBuilder::new(2)
+                .arrival_secs(10)
+                .nodes(4)
+                .runtime_secs(500, 600)
+                .mem_per_node(GIB)
+                .build(),
+            JobBuilder::new(3)
+                .arrival_secs(20)
+                .nodes(1)
+                .runtime_secs(100, 200)
+                .mem_per_node(GIB)
+                .build(),
+        ]);
+        let out = local_sim().run(&w);
+        let by_id = |id: u64| {
+            out.records
+                .iter()
+                .find(|r| r.job.id.0 == id)
+                .unwrap()
+        };
+        assert_eq!(by_id(3).start.unwrap().as_secs(), 20, "backfilled at arrival");
+        assert_eq!(by_id(2).start.unwrap().as_secs(), 1000, "head at release");
+    }
+
+    #[test]
+    fn walltime_kill() {
+        // Runtime 500 but walltime 100: killed at 100.
+        let mut job = JobBuilder::new(1)
+            .nodes(1)
+            .runtime_secs(500, 3600)
+            .mem_per_node(GIB)
+            .build();
+        job.walltime = SimDuration::from_secs(100);
+        let w = Workload::from_jobs(vec![job]);
+        let out = local_sim().run(&w);
+        let r = &out.records[0];
+        assert_eq!(r.outcome, JobOutcome::Killed);
+        assert_eq!(r.finish.unwrap().as_secs(), 100);
+        assert_eq!(out.report.killed, 1);
+    }
+
+    #[test]
+    fn no_enforcement_lets_jobs_finish() {
+        let mut job = JobBuilder::new(1)
+            .nodes(1)
+            .runtime_secs(500, 3600)
+            .mem_per_node(GIB)
+            .build();
+        job.walltime = SimDuration::from_secs(100);
+        let w = Workload::from_jobs(vec![job]);
+        let sched = SchedulerBuilder::new().build();
+        let mut cfg = SimConfig::new(machine(PoolTopology::None), *sched.config()).checked();
+        cfg.enforce_walltime = false;
+        let out = Simulation::new(cfg).run(&w);
+        assert_eq!(out.records[0].outcome, JobOutcome::Completed);
+        assert_eq!(out.records[0].finish.unwrap().as_secs(), 500);
+    }
+
+    #[test]
+    fn static_dilation_stretches_runtime() {
+        // Borrower: 384 GiB/node on a 256 GiB node → far = 1/3. With
+        // penalty 1.6 and intensity 0.75: dilation = 1 + 0.6·(1/3)·0.75 = 1.15.
+        let job = JobBuilder::new(1)
+            .nodes(1)
+            .runtime_secs(1000, 4000)
+            .mem_per_node(384 * GIB)
+            .intensity(0.75)
+            .build();
+        let w = Workload::from_jobs(vec![job]);
+        let out = sim(
+            PoolTopology::PerRack {
+                mib_per_rack: 512 * GIB,
+            },
+            MemoryPolicy::PoolFirstFit,
+            SlowdownModel::Linear { penalty: 1.6 },
+        )
+        .run(&w);
+        let r = &out.records[0];
+        assert_eq!(r.outcome, JobOutcome::Completed);
+        assert_eq!(r.residence().unwrap().as_secs(), 1150);
+        assert!((r.dilation_actual - 1.15).abs() < 1e-6);
+        assert!((r.dilation_planned - 1.15).abs() < 1e-6);
+        assert!(r.borrowed_pool());
+    }
+
+    #[test]
+    fn walltime_inflation_saves_dilated_jobs() {
+        // Runtime 1000, walltime 1100, dilation 1.15 → natural 1150 > 1100.
+        // With inflation the kill limit stretches to 1100×1.15 = 1265 → OK.
+        let job = JobBuilder::new(1)
+            .nodes(1)
+            .runtime_secs(1000, 1100)
+            .mem_per_node(384 * GIB)
+            .intensity(0.75)
+            .build();
+        let w = Workload::from_jobs(vec![job.clone()]);
+        let pool = PoolTopology::PerRack {
+            mib_per_rack: 512 * GIB,
+        };
+        let model = SlowdownModel::Linear { penalty: 1.6 };
+
+        let with = sim(pool, MemoryPolicy::PoolFirstFit, model).run(&w);
+        assert_eq!(with.records[0].outcome, JobOutcome::Completed);
+
+        let sched = SchedulerBuilder::new()
+            .memory(MemoryPolicy::PoolFirstFit)
+            .slowdown(model)
+            .inflate_walltime(false)
+            .build();
+        let without =
+            Simulation::new(SimConfig::new(machine(pool), *sched.config()).checked()).run(&w);
+        assert_eq!(
+            without.records[0].outcome,
+            JobOutcome::Killed,
+            "ablation A1: without inflation the dilated job dies"
+        );
+        assert_eq!(without.records[0].finish.unwrap().as_secs(), 1100);
+    }
+
+    #[test]
+    fn contention_redilation_slows_first_borrower() {
+        let pool = PoolTopology::PerRack {
+            mib_per_rack: 512 * GIB,
+        };
+        let model = SlowdownModel::Contention {
+            penalty: 1.5,
+            gamma: 1.0,
+        };
+        let a = JobBuilder::new(1)
+            .arrival_secs(0)
+            .nodes(1)
+            .runtime_secs(1000, 4000)
+            .mem_per_node(384 * GIB)
+            .intensity(1.0)
+            .build();
+        let b = JobBuilder::new(2)
+            .arrival_secs(200)
+            .nodes(1)
+            .runtime_secs(1000, 4000)
+            .mem_per_node(384 * GIB)
+            .intensity(1.0)
+            .build();
+
+        let solo = sim(pool, MemoryPolicy::PoolFirstFit, model)
+            .run(&Workload::from_jobs(vec![a.clone()]));
+        let duo = sim(pool, MemoryPolicy::PoolFirstFit, model)
+            .run(&Workload::from_jobs(vec![a, b]));
+        let solo_res = solo.records[0].residence().unwrap();
+        let duo_a = duo
+            .records
+            .iter()
+            .find(|r| r.job.id.0 == 1)
+            .unwrap()
+            .residence()
+            .unwrap();
+        assert!(
+            duo_a > solo_res,
+            "contention from job 2 must slow job 1 ({duo_a} vs {solo_res})"
+        );
+        // And consumed work stayed conserved: both completed.
+        assert!(duo.records.iter().all(|r| r.outcome == JobOutcome::Completed));
+        // Dilation bounded by the model's worst case.
+        let worst = model.worst_case();
+        for r in &duo.records {
+            assert!(r.dilation_actual <= worst + 1e-6);
+            assert!(r.dilation_actual >= 1.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejected_job_recorded() {
+        let w = Workload::from_jobs(vec![
+            JobBuilder::new(1).nodes(99).runtime_secs(10, 20).build(),
+            JobBuilder::new(2).nodes(1).runtime_secs(10, 20).mem_per_node(GIB).build(),
+        ]);
+        let out = local_sim().run(&w);
+        assert_eq!(out.report.rejected, 1);
+        assert_eq!(out.report.completed, 1);
+    }
+
+    #[test]
+    fn deterministic_trace_hash() {
+        let spec = dmhpc_workload::SystemPreset::HighThroughput.synthetic_spec(300);
+        let w = spec.generate(42);
+        let cluster = ClusterSpec::new(
+            4,
+            32,
+            NodeSpec::new(32, 192 * GIB),
+            PoolTopology::PerRack {
+                mib_per_rack: 512 * GIB,
+            },
+        );
+        let sched = SchedulerBuilder::new()
+            .memory(MemoryPolicy::PoolBestFit)
+            .slowdown(SlowdownModel::Saturating {
+                penalty: 1.5,
+                curvature: 3.0,
+            })
+            .build();
+        let cfg = SimConfig::new(cluster, *sched.config());
+        let a = Simulation::new(cfg).run(&w);
+        let b = Simulation::new(cfg).run(&w);
+        assert_eq!(a.trace_hash, b.trace_hash);
+        assert_eq!(a.report.mean_wait_s, b.report.mean_wait_s);
+        assert_eq!(a.events_processed, b.events_processed);
+        assert!(a.events_processed >= 600, "arrivals + finishes");
+    }
+
+    #[test]
+    fn end_to_end_synthetic_with_invariants() {
+        let spec = dmhpc_workload::SystemPreset::HighThroughput.synthetic_spec(200);
+        let w = spec.generate(7);
+        let cluster = ClusterSpec::new(
+            4,
+            32,
+            NodeSpec::new(32, 192 * GIB),
+            PoolTopology::PerRack {
+                mib_per_rack: 384 * GIB,
+            },
+        );
+        for memory in [
+            MemoryPolicy::LocalOnly,
+            MemoryPolicy::PoolFirstFit,
+            MemoryPolicy::PoolBestFit,
+            MemoryPolicy::SlowdownAware { max_dilation: 1.3 },
+        ] {
+            let sched = SchedulerBuilder::new()
+                .memory(memory)
+                .slowdown(SlowdownModel::Linear { penalty: 1.5 })
+                .build();
+            let cfg = SimConfig::new(cluster, *sched.config()).checked();
+            let out = Simulation::new(cfg).run(&w);
+            assert_eq!(
+                out.report.completed + out.report.killed + out.report.rejected,
+                200,
+                "{}: every job accounted for",
+                memory.name()
+            );
+            assert!(out.report.node_util > 0.0 && out.report.node_util <= 1.0);
+            // All waits non-negative and starts after arrivals by contract.
+            for r in &out.records {
+                if let Some(s) = r.start {
+                    assert!(s >= r.job.arrival);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_workload() {
+        let out = local_sim().run(&Workload::new());
+        assert_eq!(out.records.len(), 0);
+        assert_eq!(out.report.completed, 0);
+        assert_eq!(out.events_processed, 0);
+    }
+}

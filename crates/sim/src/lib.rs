@@ -1,0 +1,36 @@
+//! # dmhpc-sim — the end-to-end batch-scheduling simulator
+//!
+//! Binds the DES kernel, platform, workload, scheduler and metrics crates
+//! into a deterministic simulator:
+//!
+//! * [`Simulation`] — the event loop: arrivals enqueue jobs, completions
+//!   release capacity, and a scheduling pass runs after every event batch.
+//!   Running jobs carry **work-remaining** state, so the contention-aware
+//!   slowdown model can re-dilate in-flight jobs exactly whenever pool
+//!   pressure changes (stale finish events are invalidated by generation
+//!   stamps).
+//! * [`SimConfig`] — machine × scheduler × execution-model configuration.
+//! * [`collector`] — time-weighted series (busy nodes, pool use, DRAM use,
+//!   queue depth) recorded exactly at every change.
+//! * [`sweep`] — crossbeam-based parallel parameter sweeps with
+//!   deterministic result ordering.
+//! * [`scenarios`] — canned preset → (cluster, workload, policy suite)
+//!   builders shared by the examples and the reproduction harness.
+//!
+//! Determinism: a run is a pure function of `(SimConfig, Workload)`. The
+//! output carries a trace hash; two runs of the same inputs produce the
+//! same hash (tested), which is what makes the experiment tables
+//! trustworthy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collector;
+mod config;
+mod engine;
+pub mod scenarios;
+pub mod sweep;
+
+pub use collector::SeriesBundle;
+pub use config::SimConfig;
+pub use engine::{SimOutput, Simulation};

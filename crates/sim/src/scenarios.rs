@@ -1,0 +1,139 @@
+//! Canned experiment scenarios shared by examples and the reproduction
+//! harness.
+//!
+//! The experiment design is: take a [`SystemPreset`], build its machine
+//! with a chosen pool topology, generate its calibrated workload, rescale
+//! the workload to an exact offered load, and run one simulation per
+//! scheduler configuration in the *policy suite* (the paper's four-way
+//! comparison).
+
+use crate::config::SimConfig;
+use crate::engine::{SimOutput, Simulation};
+use crate::sweep::run_parallel;
+use dmhpc_platform::{ClusterSpec, NodeSpec, PoolTopology, SlowdownModel};
+use dmhpc_sched::{BackfillPolicy, MemoryPolicy, OrderPolicy, SchedulerBuilder, SchedulerConfig};
+use dmhpc_workload::{transform, SystemPreset, Workload};
+
+/// Build a preset's machine with an explicit pool topology.
+pub fn preset_cluster(preset: SystemPreset, pool: PoolTopology) -> ClusterSpec {
+    let (racks, nodes_per_rack, cores, node_mem) = preset.machine();
+    ClusterSpec::new(racks, nodes_per_rack, NodeSpec::new(cores, node_mem), pool)
+}
+
+/// Generate a preset's workload, rescaled to an exact offered load on the
+/// preset machine.
+pub fn preset_workload(preset: SystemPreset, n_jobs: usize, seed: u64, load: f64) -> Workload {
+    let spec = preset.synthetic_spec(n_jobs);
+    let w = spec.generate(seed);
+    let (racks, npr, _, _) = preset.machine();
+    let w = transform::rescale_load(&w, racks * npr, load);
+    transform::shift_to_origin(&w)
+}
+
+/// The four-policy comparison suite the paper's evaluation revolves around:
+/// the conventional baseline plus three disaggregation-aware policies, all
+/// under FCFS + EASY.
+pub fn policy_suite(slowdown: SlowdownModel) -> Vec<SchedulerConfig> {
+    [
+        MemoryPolicy::LocalOnly,
+        MemoryPolicy::PoolFirstFit,
+        MemoryPolicy::PoolBestFit,
+        MemoryPolicy::SlowdownAware { max_dilation: 1.35 },
+    ]
+    .into_iter()
+    .map(|memory| {
+        *SchedulerBuilder::new()
+            .order(OrderPolicy::Fcfs)
+            .backfill(BackfillPolicy::Easy)
+            .memory(memory)
+            .slowdown(slowdown)
+            .build()
+            .config()
+    })
+    .collect()
+}
+
+/// The default slowdown model used by the experiments: saturating with a
+/// 1.5× worst case — the mid-range of published far-memory penalties.
+pub fn default_slowdown() -> SlowdownModel {
+    SlowdownModel::Saturating {
+        penalty: 1.5,
+        curvature: 3.0,
+    }
+}
+
+/// Run one simulation per scheduler config over the same workload/machine,
+/// in parallel. Results in config order.
+pub fn run_policies(
+    cluster: ClusterSpec,
+    workload: &Workload,
+    configs: &[SchedulerConfig],
+    threads: usize,
+) -> Vec<SimOutput> {
+    let inputs: Vec<SchedulerConfig> = configs.to_vec();
+    run_parallel(inputs, threads, |sched| {
+        Simulation::new(SimConfig::new(cluster, *sched)).run(workload)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_cluster_shapes() {
+        let c = preset_cluster(
+            SystemPreset::MidCluster,
+            PoolTopology::PerRack {
+                mib_per_rack: 512 * 1024,
+            },
+        );
+        assert_eq!(c.total_nodes(), 256);
+        assert_eq!(c.total_pool_mem(), 8 * 512 * 1024);
+    }
+
+    #[test]
+    fn preset_workload_hits_load() {
+        let w = preset_workload(SystemPreset::HighThroughput, 800, 3, 0.7);
+        let (racks, npr, _, _) = SystemPreset::HighThroughput.machine();
+        let load = w.offered_load(racks * npr);
+        assert!((load - 0.7).abs() < 0.02, "load {load}");
+        assert_eq!(w.first_arrival().unwrap().as_micros(), 0);
+    }
+
+    #[test]
+    fn suite_has_four_distinct_policies() {
+        let suite = policy_suite(default_slowdown());
+        assert_eq!(suite.len(), 4);
+        let labels: Vec<String> = suite.iter().map(|c| c.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.dedup();
+        assert_eq!(labels, dedup);
+        assert!(labels[0].contains("local-only"));
+        assert!(labels[3].contains("slowdown-aware"));
+    }
+
+    #[test]
+    fn run_policies_end_to_end() {
+        let preset = SystemPreset::HighThroughput;
+        let w = preset_workload(preset, 120, 9, 0.7);
+        let cluster = preset_cluster(
+            preset,
+            PoolTopology::PerRack {
+                mib_per_rack: 384 * 1024,
+            },
+        );
+        let outs = run_policies(cluster, &w, &policy_suite(default_slowdown()), 2);
+        assert_eq!(outs.len(), 4);
+        for out in &outs {
+            assert_eq!(
+                out.report.completed + out.report.killed + out.report.rejected,
+                120
+            );
+        }
+        // The local-only baseline inflates; pool policies borrow.
+        assert!(outs[0].report.inflated_fraction > 0.0);
+        assert_eq!(outs[0].report.borrowed_fraction, 0.0);
+        assert!(outs[1].report.borrowed_fraction > 0.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # dmhpc-workload — jobs, traces, and synthetic workload models
+//!
+//! Batch-scheduling evaluation stands or falls on its workload. This crate
+//! provides:
+//!
+//! * [`Job`]/[`Workload`] — the job model: arrival, node count, user
+//!   walltime request, actual runtime, **per-node memory footprint**, and
+//!   **memory intensity** (how hard the job hits memory, which drives the
+//!   far-memory dilation models).
+//! * [`swf`] — a complete Standard Workload Format (SWF) reader/writer, so
+//!   real traces from the Parallel Workloads Archive (or site-private ones)
+//!   drop in directly. SWF carries per-processor memory, which we map to
+//!   per-node footprints.
+//! * [`synthetic`] — generators in the Lublin–Feitelson tradition
+//!   (power-of-two-biased sizes, hyper-Gamma runtimes, daily-cycle arrivals)
+//!   extended with the lognormal-mixture memory model that production
+//!   characterization studies report (most jobs use a small fraction of node
+//!   DRAM; a few percent need more than the node has). Three
+//!   [`SystemPreset`]s package calibrations used throughout the experiments.
+//! * [`transform`] — trace surgery: load rescaling against a target
+//!   machine, truncation, filtering, arrival-origin shifts.
+//! * [`stats`] — workload characterization tables (T1/F1 in the
+//!   reproduction).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod job;
+pub mod stats;
+pub mod swf;
+pub mod synthetic;
+pub mod transform;
+mod workload_set;
+
+pub use job::{Job, JobBuilder, JobId};
+pub use synthetic::{SyntheticSpec, SystemPreset};
+pub use workload_set::{Workload, WorkloadBuilder};

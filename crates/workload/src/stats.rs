@@ -1,0 +1,179 @@
+//! Workload characterization (reproduction targets T1 and F1).
+
+use crate::workload_set::Workload;
+use dmhpc_des::stats::{CdfCollector, OnlineStats};
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of one workload, relative to a reference node size.
+/// This is one row of reproduction table T1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadSummary {
+    /// Workload label.
+    pub name: String,
+    /// Job count.
+    pub jobs: usize,
+    /// Arrival span in hours.
+    pub span_hours: f64,
+    /// Total base node-hours.
+    pub node_hours: f64,
+    /// Mean node request.
+    pub mean_nodes: f64,
+    /// Largest node request.
+    pub max_nodes: u32,
+    /// Median runtime, seconds.
+    pub median_runtime_s: f64,
+    /// Mean runtime, seconds.
+    pub mean_runtime_s: f64,
+    /// Mean walltime-estimate accuracy (runtime/walltime).
+    pub mean_accuracy: f64,
+    /// Median per-node footprint as a fraction of the reference node DRAM.
+    pub median_mem_frac: f64,
+    /// 95th-percentile footprint fraction.
+    pub p95_mem_frac: f64,
+    /// Fraction of jobs whose per-node footprint exceeds node DRAM (the
+    /// stranding class).
+    pub over_node_fraction: f64,
+    /// Fraction of total node-hours contributed by the stranding class.
+    pub over_node_work_fraction: f64,
+}
+
+/// Compute the T1 row for a workload against a node of `node_mem_mib`.
+pub fn summarize(name: &str, w: &Workload, node_mem_mib: u64) -> WorkloadSummary {
+    assert!(node_mem_mib > 0, "reference node memory must be positive");
+    let mut nodes = OnlineStats::new();
+    let mut runtime = OnlineStats::new();
+    let mut accuracy = OnlineStats::new();
+    let mut runtime_cdf = CdfCollector::with_capacity(w.len());
+    let mut mem_cdf = CdfCollector::with_capacity(w.len());
+    let mut over = 0usize;
+    let mut over_work = 0.0f64;
+    for j in w.iter() {
+        nodes.push(j.nodes as f64);
+        runtime.push(j.runtime.as_secs_f64());
+        accuracy.push(j.estimate_accuracy());
+        runtime_cdf.push(j.runtime.as_secs_f64());
+        mem_cdf.push(j.mem_per_node as f64 / node_mem_mib as f64);
+        if j.mem_per_node > node_mem_mib {
+            over += 1;
+            over_work += j.node_seconds();
+        }
+    }
+    let total_work = w.total_node_seconds();
+    WorkloadSummary {
+        name: name.to_owned(),
+        jobs: w.len(),
+        span_hours: w.arrival_span().as_hours_f64(),
+        node_hours: total_work / 3600.0,
+        mean_nodes: nodes.mean(),
+        max_nodes: w.max_nodes(),
+        median_runtime_s: runtime_cdf.quantile(0.5),
+        mean_runtime_s: runtime.mean(),
+        mean_accuracy: accuracy.mean(),
+        median_mem_frac: mem_cdf.quantile(0.5),
+        p95_mem_frac: mem_cdf.quantile(0.95),
+        over_node_fraction: if w.is_empty() {
+            0.0
+        } else {
+            over as f64 / w.len() as f64
+        },
+        over_node_work_fraction: if total_work == 0.0 {
+            0.0
+        } else {
+            over_work / total_work
+        },
+    }
+}
+
+/// The per-node memory-demand CDF (fractions of reference node DRAM), at
+/// most `points` figure-ready points. This is reproduction figure F1.
+pub fn memory_demand_cdf(w: &Workload, node_mem_mib: u64, points: usize) -> Vec<(f64, f64)> {
+    let mut cdf = CdfCollector::with_capacity(w.len());
+    for j in w.iter() {
+        cdf.push(j.mem_per_node as f64 / node_mem_mib as f64);
+    }
+    if cdf.is_empty() {
+        return Vec::new();
+    }
+    cdf.points(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SystemPreset;
+    use crate::JobBuilder;
+
+    #[test]
+    fn summary_of_handmade_workload() {
+        let w = Workload::from_jobs(vec![
+            JobBuilder::new(1)
+                .arrival_secs(0)
+                .nodes(2)
+                .runtime_secs(100, 200)
+                .mem_per_node(500)
+                .build(),
+            JobBuilder::new(2)
+                .arrival_secs(3600)
+                .nodes(4)
+                .runtime_secs(300, 300)
+                .mem_per_node(1500)
+                .build(),
+        ]);
+        let s = summarize("test", &w, 1000);
+        assert_eq!(s.jobs, 2);
+        assert!((s.span_hours - 1.0).abs() < 1e-9);
+        assert!((s.mean_nodes - 3.0).abs() < 1e-12);
+        assert_eq!(s.max_nodes, 4);
+        assert!((s.node_hours - (200.0 + 1200.0) / 3600.0).abs() < 1e-9);
+        assert!((s.mean_accuracy - (0.5 + 1.0) / 2.0).abs() < 1e-12);
+        assert!((s.over_node_fraction - 0.5).abs() < 1e-12);
+        // Job 2 contributes 1200 of 1400 node-seconds.
+        assert!((s.over_node_work_fraction - 1200.0 / 1400.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_covers() {
+        let spec = SystemPreset::MidCluster.synthetic_spec(2000);
+        let w = spec.generate(5);
+        let pts = memory_demand_cdf(&w, spec.memory.node_mem_mib, 50);
+        assert!(!pts.is_empty());
+        assert!(pts.len() <= 50);
+        for win in pts.windows(2) {
+            assert!(win[1].0 >= win[0].0);
+            assert!(win[1].1 >= win[0].1);
+        }
+        assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-9);
+        // The stranding class exists: the CDF's last values exceed 1× node.
+        assert!(pts.last().unwrap().0 > 1.0);
+    }
+
+    #[test]
+    fn empty_workload_summary() {
+        let s = summarize("empty", &Workload::new(), 1000);
+        assert_eq!(s.jobs, 0);
+        assert_eq!(s.over_node_fraction, 0.0);
+        assert!(memory_demand_cdf(&Workload::new(), 1000, 10).is_empty());
+    }
+
+    #[test]
+    fn presets_show_memory_underutilization_story() {
+        // The motivation figure: median well under node DRAM, tail above it.
+        for preset in SystemPreset::ALL {
+            let spec = preset.synthetic_spec(3000);
+            let w = spec.generate(17);
+            let s = summarize(preset.name(), &w, spec.memory.node_mem_mib);
+            assert!(
+                s.median_mem_frac < 0.5,
+                "{}: median fraction {} should be small",
+                preset.name(),
+                s.median_mem_frac
+            );
+            assert!(
+                s.over_node_fraction > 0.02,
+                "{}: stranding class missing ({})",
+                preset.name(),
+                s.over_node_fraction
+            );
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Standard Workload Format (SWF) support.
+//!
+//! SWF is the lingua franca of the Parallel Workloads Archive: one line per
+//! job, 18 whitespace-separated integer fields, `-1` for missing values,
+//! header lines starting with `;`. This module reads SWF into
+//! [`Workload`](crate::Workload)s and writes workloads back out, so
+//! evaluations can run on real traces unchanged.
+//!
+//! Field reference (1-based, per Feitelson's spec):
+//!
+//! | # | Field | Use here |
+//! |---|-------|----------|
+//! | 1 | Job number | [`JobId`] |
+//! | 2 | Submit time (s) | arrival |
+//! | 3 | Wait time (s) | ignored (scheduler output, not input) |
+//! | 4 | Run time (s) | base runtime |
+//! | 5 | Allocated processors | node count fallback |
+//! | 6 | Average CPU time | ignored |
+//! | 7 | Used memory (KiB/proc) | per-node footprint (preferred) |
+//! | 8 | Requested processors | node count (preferred) |
+//! | 9 | Requested time (s) | walltime |
+//! | 10 | Requested memory (KiB/proc) | footprint fallback |
+//! | 11 | Status | filter (configurable) |
+//! | 12 | User id | user |
+//! | 13–18 | group/app/queue/partition/dependency/think | ignored |
+//!
+//! SWF counts *processors*; we convert to nodes with
+//! [`SwfConfig::cores_per_node`]. SWF has no memory-intensity column, so a
+//! deterministic per-job intensity is derived from the job id (stable across
+//! parses, configurable range).
+//!
+//! [`JobId`]: crate::JobId
+
+mod parse;
+mod write;
+
+pub use parse::{parse_reader, parse_str, SwfTrace};
+pub use write::{write_string, write_to};
+
+use serde::{Deserialize, Serialize};
+
+/// How to map SWF's processor-oriented fields onto the node-oriented job
+/// model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SwfConfig {
+    /// Processors per node on the traced machine.
+    pub cores_per_node: u32,
+    /// Per-node footprint (MiB) when the trace carries no memory fields.
+    pub default_mem_per_node: u64,
+    /// Intensity is drawn deterministically per job id from this range.
+    pub intensity_range: (f64, f64),
+    /// Seed for the intensity derivation (so two parses agree).
+    pub intensity_seed: u64,
+    /// Keep jobs whose status is failed/cancelled (they still consumed
+    /// resources in the original system).
+    pub include_failed: bool,
+}
+
+impl Default for SwfConfig {
+    fn default() -> Self {
+        SwfConfig {
+            cores_per_node: 1,
+            default_mem_per_node: 1024,
+            intensity_range: (0.2, 0.8),
+            intensity_seed: 0x5u64,
+            include_failed: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::JobBuilder;
+
+    const SAMPLE: &str = "\
+; Version: 2.2
+; Computer: Test Machine
+; MaxNodes: 64
+  1   0  10  3600  128  -1  2097152  128  7200  -1  1  3  1  1  1  1 -1 -1
+  2  60  -1  1800   64  -1  -1        64  3600  1048576  1  4  1  1  1  1 -1 -1
+  3 120  -1    -1   64  -1  -1        64  3600  -1  1  4  1  1  1  1 -1 -1
+  4 180  -1   900   -1  -1  -1        32  1800  -1  0  5  1  1  1  1 -1 -1
+";
+
+    #[test]
+    fn parse_sample_trace() {
+        let cfg = SwfConfig {
+            cores_per_node: 64,
+            ..SwfConfig::default()
+        };
+        let trace = parse_str(SAMPLE, &cfg).unwrap();
+        // Job 3 has no runtime -> skipped. Job 4 failed -> skipped by default.
+        assert_eq!(trace.workload.len(), 2);
+        assert_eq!(trace.skipped, 2);
+        assert_eq!(trace.header.get("Computer").map(String::as_str), Some("Test Machine"));
+
+        let j1 = &trace.workload.jobs()[0];
+        assert_eq!(j1.id.0, 1);
+        assert_eq!(j1.nodes, 2, "128 procs / 64 cores");
+        assert_eq!(j1.runtime.as_secs(), 3600);
+        assert_eq!(j1.walltime.as_secs(), 7200);
+        // 2 GiB/proc × 64 procs/node = 128 GiB/node = 131072 MiB
+        assert_eq!(j1.mem_per_node, 131072);
+        assert_eq!(j1.user, 3);
+
+        let j2 = &trace.workload.jobs()[1];
+        assert_eq!(j2.nodes, 1);
+        // requested memory fallback: 1 GiB/proc × 64 = 64 GiB/node
+        assert_eq!(j2.mem_per_node, 65536);
+    }
+
+    #[test]
+    fn include_failed_keeps_job4() {
+        let cfg = SwfConfig {
+            cores_per_node: 64,
+            include_failed: true,
+            ..SwfConfig::default()
+        };
+        let trace = parse_str(SAMPLE, &cfg).unwrap();
+        assert_eq!(trace.workload.len(), 3);
+    }
+
+    #[test]
+    fn intensity_is_deterministic_and_in_range() {
+        let cfg = SwfConfig {
+            cores_per_node: 64,
+            intensity_range: (0.3, 0.6),
+            ..SwfConfig::default()
+        };
+        let a = parse_str(SAMPLE, &cfg).unwrap();
+        let b = parse_str(SAMPLE, &cfg).unwrap();
+        for (x, y) in a.workload.iter().zip(b.workload.iter()) {
+            assert_eq!(x.intensity, y.intensity);
+            assert!((0.3..=0.6).contains(&x.intensity));
+        }
+    }
+
+    #[test]
+    fn roundtrip_write_parse() {
+        let jobs = vec![
+            JobBuilder::new(1)
+                .arrival_secs(100)
+                .nodes(4)
+                .runtime_secs(500, 1000)
+                .mem_per_node(2048)
+                .user(7)
+                .build(),
+            JobBuilder::new(2)
+                .arrival_secs(200)
+                .nodes(1)
+                .runtime_secs(50, 100)
+                .mem_per_node(512)
+                .user(8)
+                .build(),
+        ];
+        let w = crate::Workload::from_jobs(jobs);
+        let cfg = SwfConfig {
+            cores_per_node: 32,
+            ..SwfConfig::default()
+        };
+        let text = write_string(&w, &cfg);
+        let back = parse_str(&text, &cfg).unwrap();
+        assert_eq!(back.workload.len(), 2);
+        for (orig, parsed) in w.iter().zip(back.workload.iter()) {
+            assert_eq!(orig.id, parsed.id);
+            assert_eq!(orig.arrival, parsed.arrival);
+            assert_eq!(orig.nodes, parsed.nodes);
+            assert_eq!(orig.runtime, parsed.runtime);
+            assert_eq!(orig.walltime, parsed.walltime);
+            assert_eq!(orig.mem_per_node, parsed.mem_per_node);
+            assert_eq!(orig.user, parsed.user);
+        }
+    }
+}

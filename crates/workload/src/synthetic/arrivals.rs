@@ -1,0 +1,149 @@
+//! Job arrival processes.
+
+use dmhpc_des::rng::Pcg64;
+use dmhpc_des::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+const SECS_PER_DAY: f64 = 86_400.0;
+
+/// Arrival process: homogeneous Poisson, optionally modulated by the daily
+/// submission cycle every production trace shows (quiet nights, busy
+/// afternoons). The modulated process is sampled exactly with Lewis–Shedler
+/// thinning against the peak rate.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ArrivalModel {
+    /// Mean seconds between submissions (before modulation; the cycle
+    /// preserves this mean).
+    pub mean_interarrival_secs: f64,
+    /// Enable the sinusoidal daily cycle.
+    pub daily_cycle: bool,
+    /// Ratio of peak rate to trough rate (≥ 1); 3 is typical of production
+    /// systems. Ignored unless `daily_cycle`.
+    pub peak_to_trough: f64,
+}
+
+impl ArrivalModel {
+    /// A plain Poisson process with the given mean inter-arrival.
+    pub fn poisson(mean_interarrival_secs: f64) -> Self {
+        ArrivalModel {
+            mean_interarrival_secs,
+            daily_cycle: false,
+            peak_to_trough: 1.0,
+        }
+    }
+
+    /// A daily-cycle-modulated process.
+    pub fn daily(mean_interarrival_secs: f64, peak_to_trough: f64) -> Self {
+        ArrivalModel {
+            mean_interarrival_secs,
+            daily_cycle: true,
+            peak_to_trough,
+        }
+    }
+
+    /// Relative rate multiplier at time `t` (mean 1 over a day). Peak is at
+    /// 15:00, matching the afternoon submission maximum in archive traces.
+    pub fn rate_multiplier(&self, t_secs: f64) -> f64 {
+        if !self.daily_cycle || self.peak_to_trough <= 1.0 {
+            return 1.0;
+        }
+        let a = (self.peak_to_trough - 1.0) / (self.peak_to_trough + 1.0);
+        let phase = 2.0 * std::f64::consts::PI * (t_secs / SECS_PER_DAY - 15.0 / 24.0);
+        1.0 + a * phase.cos()
+    }
+
+    /// Generate `n` arrival instants starting from t=0.
+    pub fn generate(&self, rng: &mut Pcg64, n: usize) -> Vec<SimTime> {
+        assert!(
+            self.mean_interarrival_secs > 0.0 && self.mean_interarrival_secs.is_finite(),
+            "mean inter-arrival must be positive"
+        );
+        assert!(self.peak_to_trough >= 1.0, "peak_to_trough must be >= 1");
+        let base_rate = 1.0 / self.mean_interarrival_secs;
+        let a = if self.daily_cycle {
+            (self.peak_to_trough - 1.0) / (self.peak_to_trough + 1.0)
+        } else {
+            0.0
+        };
+        let max_rate = base_rate * (1.0 + a);
+        let mut out = Vec::with_capacity(n);
+        let mut t = 0.0f64;
+        while out.len() < n {
+            // Candidate from the dominating homogeneous process…
+            t += -rng.next_f64_open().ln() / max_rate;
+            // …thinned by the instantaneous relative rate.
+            let keep = self.rate_multiplier(t) / (1.0 + a);
+            if rng.next_f64() < keep {
+                out.push(SimTime::from_secs_f64(t));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_mean_interarrival() {
+        let m = ArrivalModel::poisson(100.0);
+        let mut rng = Pcg64::new(31);
+        let arr = m.generate(&mut rng, 20_000);
+        assert_eq!(arr.len(), 20_000);
+        let span = (arr.last().unwrap().as_secs_f64()) - arr[0].as_secs_f64();
+        let mean = span / (arr.len() - 1) as f64;
+        assert!((mean - 100.0).abs() < 3.0, "mean inter-arrival {mean}");
+        // Strictly increasing (ties virtually impossible at f64 precision,
+        // but non-decreasing is the contract).
+        for w in arr.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn daily_cycle_preserves_mean_rate() {
+        let m = ArrivalModel::daily(60.0, 3.0);
+        let mut rng = Pcg64::new(32);
+        let n = 50_000;
+        let arr = m.generate(&mut rng, n);
+        let span = arr.last().unwrap().as_secs_f64();
+        let mean = span / n as f64;
+        assert!(
+            (mean - 60.0).abs() < 3.0,
+            "thinning must preserve the base rate, got mean {mean}"
+        );
+    }
+
+    #[test]
+    fn daily_cycle_concentrates_afternoons() {
+        let m = ArrivalModel::daily(30.0, 4.0);
+        let mut rng = Pcg64::new(33);
+        let arr = m.generate(&mut rng, 100_000);
+        let mut day = [0u32; 24];
+        for t in &arr {
+            day[(t.as_secs() % 86_400 / 3600) as usize] += 1;
+        }
+        let peak = day[15];
+        let trough = day[3];
+        let ratio = peak as f64 / trough.max(1) as f64;
+        assert!(
+            ratio > 2.0,
+            "15:00 ({peak}) should see far more arrivals than 03:00 ({trough})"
+        );
+    }
+
+    #[test]
+    fn multiplier_mean_is_one() {
+        let m = ArrivalModel::daily(10.0, 3.0);
+        let mean: f64 =
+            (0..86_400).step_by(60).map(|t| m.rate_multiplier(t as f64)).sum::<f64>() / 1440.0;
+        assert!((mean - 1.0).abs() < 1e-6, "cycle mean {mean}");
+    }
+
+    #[test]
+    fn no_cycle_multiplier_is_one() {
+        let m = ArrivalModel::poisson(10.0);
+        assert_eq!(m.rate_multiplier(12_345.0), 1.0);
+    }
+}

@@ -1,0 +1,386 @@
+//! Synthetic workload generation.
+//!
+//! [`SyntheticSpec`] composes the component models (arrivals, sizes,
+//! runtimes, walltime requests, memory, intensity, user population) and
+//! generates a reproducible [`Workload`]: every component draws from its own
+//! forked PCG64 stream, so changing one model never perturbs the samples of
+//! another, and a `(spec, seed)` pair is a complete experiment description.
+//!
+//! [`SystemPreset`] packages three calibrations used throughout the
+//! reproduction (see `DESIGN.md` §5 for why synthetic stands in for
+//! production traces).
+
+mod arrivals;
+mod memory;
+mod runtime;
+mod sizes;
+
+pub use arrivals::ArrivalModel;
+pub use memory::{IntensityModel, MemoryModel};
+pub use runtime::{round_up_to_bucket, RuntimeModel, WalltimeModel, WALLTIME_BUCKETS};
+pub use sizes::SizeModel;
+
+use crate::job::{Job, JobId};
+use crate::workload_set::Workload;
+use dmhpc_des::rng::dist::Zipf;
+use dmhpc_des::rng::Pcg64;
+use serde::{Deserialize, Serialize};
+
+/// A complete synthetic-workload description.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SyntheticSpec {
+    /// Number of jobs to generate.
+    pub n_jobs: usize,
+    /// Size of the user population.
+    pub users: usize,
+    /// Zipf exponent of user submission popularity (0 = uniform).
+    pub user_zipf_s: f64,
+    /// Arrival process.
+    pub arrivals: ArrivalModel,
+    /// Node-count model.
+    pub sizes: SizeModel,
+    /// Base-runtime model.
+    pub runtime: RuntimeModel,
+    /// Walltime-request model.
+    pub walltime: WalltimeModel,
+    /// Per-node memory model.
+    pub memory: MemoryModel,
+    /// Memory-intensity model.
+    pub intensity: IntensityModel,
+}
+
+impl SyntheticSpec {
+    /// Validate every component model.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_jobs == 0 {
+            return Err("n_jobs must be positive".into());
+        }
+        if self.users == 0 {
+            return Err("users must be positive".into());
+        }
+        self.sizes.validate()?;
+        self.runtime.validate()?;
+        self.walltime.validate()?;
+        self.memory.validate()?;
+        self.intensity.validate()?;
+        Ok(())
+    }
+
+    /// Generate the workload for `seed`. Deterministic: the same
+    /// `(spec, seed)` always yields the identical job list.
+    pub fn generate(&self, seed: u64) -> Workload {
+        self.validate().expect("invalid SyntheticSpec");
+        let root = Pcg64::new(seed);
+        // Independent streams per component: stream labels are stable ABI.
+        let mut r_arrival = root.fork(1);
+        let mut r_size = root.fork(2);
+        let mut r_runtime = root.fork(3);
+        let mut r_walltime = root.fork(4);
+        let mut r_memory = root.fork(5);
+        let mut r_intensity = root.fork(6);
+        let mut r_user = root.fork(7);
+
+        let arrivals = self.arrivals.generate(&mut r_arrival, self.n_jobs);
+        let user_dist = Zipf::new(self.users, self.user_zipf_s);
+
+        let mut jobs = Vec::with_capacity(self.n_jobs);
+        for (i, &arrival) in arrivals.iter().enumerate() {
+            let nodes = self.sizes.sample(&mut r_size);
+            let runtime = self.runtime.sample(&mut r_runtime);
+            let walltime = self.walltime.sample(&mut r_walltime, runtime);
+            let mem_per_node = self.memory.sample(&mut r_memory);
+            let mem_frac = mem_per_node as f64 / self.memory.node_mem_mib as f64;
+            let intensity = self.intensity.sample(&mut r_intensity, mem_frac);
+            let user = user_dist.sample_index(&mut r_user) as u32;
+            jobs.push(Job {
+                id: JobId(i as u64),
+                user,
+                arrival,
+                nodes,
+                walltime,
+                runtime,
+                mem_per_node,
+                intensity,
+            });
+        }
+        Workload::from_jobs(jobs)
+    }
+}
+
+/// Pre-calibrated system models used by the reproduction experiments.
+///
+/// Each preset pairs a machine shape (consumed by `dmhpc-platform` builders
+/// in the `sim` crate) with a workload calibration whose memory model is
+/// expressed relative to that machine's node DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SystemPreset {
+    /// Mid-size capacity system: 256 nodes × 64 cores × 256 GiB. The
+    /// reproduction's base configuration.
+    MidCluster,
+    /// Capability system: 1024 nodes × 128 cores × 512 GiB, larger jobs,
+    /// lighter relative memory pressure.
+    Capability,
+    /// Throughput system: 128 nodes × 32 cores × 192 GiB, small short jobs,
+    /// heavier data-intensive memory tail.
+    HighThroughput,
+}
+
+impl SystemPreset {
+    /// All presets, for sweep harnesses.
+    pub const ALL: [SystemPreset; 3] = [
+        SystemPreset::MidCluster,
+        SystemPreset::Capability,
+        SystemPreset::HighThroughput,
+    ];
+
+    /// Stable name used in reports and CSV output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SystemPreset::MidCluster => "mid-256",
+            SystemPreset::Capability => "cap-1024",
+            SystemPreset::HighThroughput => "htc-128",
+        }
+    }
+
+    /// Machine shape: `(racks, nodes_per_rack, cores, node_mem_mib)`.
+    pub fn machine(&self) -> (u32, u32, u32, u64) {
+        match self {
+            SystemPreset::MidCluster => (8, 32, 64, 256 * 1024),
+            SystemPreset::Capability => (16, 64, 128, 512 * 1024),
+            SystemPreset::HighThroughput => (4, 32, 32, 192 * 1024),
+        }
+    }
+
+    /// Workload calibration producing `n_jobs` jobs. Arrival rates are set
+    /// so the offered load is roughly 0.8–0.9 on the preset's machine;
+    /// experiments that sweep load rescale from there
+    /// (`transform::rescale_load`).
+    pub fn synthetic_spec(&self, n_jobs: usize) -> SyntheticSpec {
+        let (racks, npr, _, node_mem) = self.machine();
+        let total_nodes = (racks * npr) as f64;
+        match self {
+            SystemPreset::MidCluster => SyntheticSpec {
+                n_jobs,
+                users: 200,
+                user_zipf_s: 1.1,
+                arrivals: ArrivalModel::daily(
+                    // mean job ≈ 14.4 nodes × ~4200 s ⇒ interarrival for ~0.85 load
+                    14.4 * 4200.0 / (total_nodes * 0.85),
+                    3.0,
+                ),
+                sizes: SizeModel {
+                    max_nodes: 64,
+                    serial_fraction: 0.25,
+                    power_of_two_bias: 0.75,
+                    log_mean: 2.2,
+                    log_std: 1.2,
+                },
+                runtime: RuntimeModel {
+                    p_short: 0.65,
+                    short: (2.0, 800.0),
+                    long: (2.0, 6000.0),
+                    min_secs: 60.0,
+                    max_secs: 172_800.0,
+                },
+                walltime: WalltimeModel {
+                    overestimate_mean_excess: 1.2,
+                    round_to_buckets: true,
+                    underestimate_fraction: 0.0,
+                    max_secs: 172_800,
+                },
+                memory: MemoryModel {
+                    node_mem_mib: node_mem,
+                    light_median_frac: 0.15,
+                    light_sigma: 0.8,
+                    heavy_fraction: 0.12,
+                    heavy_median_frac: 1.3,
+                    heavy_sigma: 0.5,
+                    cap_frac: 4.0,
+                    min_mib: 256,
+                },
+                intensity: IntensityModel {
+                    base: 0.25,
+                    mem_coupling: 0.55,
+                    noise: 0.1,
+                },
+            },
+            SystemPreset::Capability => SyntheticSpec {
+                n_jobs,
+                users: 400,
+                user_zipf_s: 1.2,
+                arrivals: ArrivalModel::daily(58.0 * 7000.0 / (total_nodes * 0.85), 3.0),
+                sizes: SizeModel {
+                    max_nodes: 512,
+                    serial_fraction: 0.08,
+                    power_of_two_bias: 0.85,
+                    log_mean: 3.6,
+                    log_std: 1.4,
+                },
+                runtime: RuntimeModel {
+                    p_short: 0.5,
+                    short: (2.0, 1500.0),
+                    long: (2.5, 8000.0),
+                    min_secs: 120.0,
+                    max_secs: 172_800.0,
+                },
+                walltime: WalltimeModel {
+                    overestimate_mean_excess: 1.0,
+                    round_to_buckets: true,
+                    underestimate_fraction: 0.0,
+                    max_secs: 172_800,
+                },
+                memory: MemoryModel {
+                    node_mem_mib: node_mem,
+                    light_median_frac: 0.12,
+                    light_sigma: 0.7,
+                    heavy_fraction: 0.08,
+                    heavy_median_frac: 1.15,
+                    heavy_sigma: 0.45,
+                    cap_frac: 3.0,
+                    min_mib: 512,
+                },
+                intensity: IntensityModel {
+                    base: 0.2,
+                    mem_coupling: 0.5,
+                    noise: 0.1,
+                },
+            },
+            SystemPreset::HighThroughput => SyntheticSpec {
+                n_jobs,
+                users: 120,
+                user_zipf_s: 1.0,
+                arrivals: ArrivalModel::daily(3.2 * 2500.0 / (total_nodes * 0.85), 2.5),
+                sizes: SizeModel {
+                    max_nodes: 16,
+                    serial_fraction: 0.55,
+                    power_of_two_bias: 0.6,
+                    log_mean: 1.0,
+                    log_std: 0.9,
+                },
+                runtime: RuntimeModel {
+                    p_short: 0.8,
+                    short: (1.5, 900.0),
+                    long: (2.0, 4000.0),
+                    min_secs: 30.0,
+                    max_secs: 86_400.0,
+                },
+                walltime: WalltimeModel {
+                    overestimate_mean_excess: 1.6,
+                    round_to_buckets: true,
+                    underestimate_fraction: 0.0,
+                    max_secs: 86_400,
+                },
+                memory: MemoryModel {
+                    node_mem_mib: node_mem,
+                    light_median_frac: 0.2,
+                    light_sigma: 0.9,
+                    heavy_fraction: 0.2,
+                    heavy_median_frac: 1.5,
+                    heavy_sigma: 0.6,
+                    cap_frac: 6.0,
+                    min_mib: 128,
+                },
+                intensity: IntensityModel {
+                    base: 0.3,
+                    mem_coupling: 0.6,
+                    noise: 0.12,
+                },
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = SystemPreset::MidCluster.synthetic_spec(500);
+        let a = spec.generate(7);
+        let b = spec.generate(7);
+        assert_eq!(a, b);
+        let c = spec.generate(8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generates_requested_count_with_valid_jobs() {
+        for preset in SystemPreset::ALL {
+            let spec = preset.synthetic_spec(1000);
+            let w = spec.generate(1);
+            assert_eq!(w.len(), 1000, "{}", preset.name());
+            for j in w.iter() {
+                j.validate().unwrap();
+                assert!(j.nodes <= spec.sizes.max_nodes);
+                assert!(j.walltime >= j.runtime, "no underestimates configured");
+            }
+        }
+    }
+
+    #[test]
+    fn offered_load_in_target_band() {
+        let preset = SystemPreset::MidCluster;
+        let spec = preset.synthetic_spec(4000);
+        let w = spec.generate(3);
+        let (racks, npr, _, _) = preset.machine();
+        let load = w.offered_load(racks * npr);
+        // Calibration is approximate; experiments rescale. Just require the
+        // right order of magnitude.
+        assert!(
+            load > 0.4 && load < 1.6,
+            "offered load {load} wildly off calibration"
+        );
+    }
+
+    #[test]
+    fn heavy_memory_class_present() {
+        let spec = SystemPreset::MidCluster.synthetic_spec(5000);
+        let w = spec.generate(11);
+        let node_mem = spec.memory.node_mem_mib;
+        let over = w.iter().filter(|j| j.mem_per_node > node_mem).count();
+        let frac = over as f64 / w.len() as f64;
+        assert!(frac > 0.04 && frac < 0.15, "over-node fraction {frac}");
+    }
+
+    #[test]
+    fn changing_one_model_keeps_other_streams() {
+        // Stream independence: a different memory model must not change
+        // arrival times or node counts.
+        let spec_a = SystemPreset::MidCluster.synthetic_spec(200);
+        let mut spec_b = spec_a.clone();
+        spec_b.memory.heavy_fraction = 0.5;
+        let wa = spec_a.generate(9);
+        let wb = spec_b.generate(9);
+        for (a, b) in wa.iter().zip(wb.iter()) {
+            assert_eq!(a.arrival, b.arrival);
+            assert_eq!(a.nodes, b.nodes);
+            assert_eq!(a.runtime, b.runtime);
+        }
+    }
+
+    #[test]
+    fn user_popularity_is_skewed() {
+        let spec = SystemPreset::MidCluster.synthetic_spec(5000);
+        let w = spec.generate(13);
+        let mut counts = vec![0u32; spec.users];
+        for j in w.iter() {
+            counts[j.user as usize] += 1;
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: u32 = counts.iter().take(10).sum();
+        assert!(
+            top10 as f64 / 5000.0 > 0.2,
+            "top-10 users should dominate submissions"
+        );
+    }
+
+    #[test]
+    fn preset_names_and_machines() {
+        assert_eq!(SystemPreset::MidCluster.name(), "mid-256");
+        let (racks, npr, cores, mem) = SystemPreset::MidCluster.machine();
+        assert_eq!(racks * npr, 256);
+        assert_eq!(cores, 64);
+        assert_eq!(mem, 256 * 1024);
+    }
+}

@@ -1,0 +1,241 @@
+//! Runtime and walltime-request models.
+
+use dmhpc_des::rng::dist::{Distribution, Exponential, Gamma, HyperGamma};
+use dmhpc_des::rng::Pcg64;
+use dmhpc_des::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Actual-runtime model: the two-stage hyper-Gamma of Lublin & Feitelson,
+/// which captures the short-job mass and the long tail that one Gamma
+/// cannot. Samples are in seconds, clamped to `[min_secs, max_secs]`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RuntimeModel {
+    /// Mixture weight of the short-job Gamma.
+    pub p_short: f64,
+    /// Short-job Gamma `(shape, scale)`, seconds.
+    pub short: (f64, f64),
+    /// Long-job Gamma `(shape, scale)`, seconds.
+    pub long: (f64, f64),
+    /// Floor, seconds (batch systems rarely see sub-minute jobs).
+    pub min_secs: f64,
+    /// Ceiling, seconds (site maximum walltime).
+    pub max_secs: f64,
+}
+
+impl RuntimeModel {
+    /// Validate parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.p_short) {
+            return Err(format!("p_short {} outside [0,1]", self.p_short));
+        }
+        for (name, (shape, scale)) in [("short", self.short), ("long", self.long)] {
+            if !(shape > 0.0 && scale > 0.0) {
+                return Err(format!("{name} Gamma requires positive shape/scale"));
+            }
+        }
+        if !(self.min_secs > 0.0 && self.max_secs > self.min_secs) {
+            return Err("need 0 < min_secs < max_secs".into());
+        }
+        Ok(())
+    }
+
+    /// Draw one base runtime.
+    pub fn sample(&self, rng: &mut Pcg64) -> SimDuration {
+        let d = HyperGamma::new(
+            self.p_short,
+            Gamma::new(self.short.0, self.short.1),
+            Gamma::new(self.long.0, self.long.1),
+        );
+        let secs = d.sample(rng).clamp(self.min_secs, self.max_secs);
+        SimDuration::from_secs_f64(secs)
+    }
+}
+
+/// Walltime-request model. Users overestimate, cluster their requests on
+/// round values, and occasionally underestimate (those jobs get killed).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct WalltimeModel {
+    /// Mean of the multiplicative overestimation factor minus one; the
+    /// factor is `1 + Exp(mean = overestimate_mean_excess)`. Production
+    /// accuracy studies put mean accuracy below 60%, i.e. excess ≳ 1.
+    pub overestimate_mean_excess: f64,
+    /// Snap requests up to the canonical site buckets (15 m … 48 h, then
+    /// whole days).
+    pub round_to_buckets: bool,
+    /// Fraction of jobs whose request *under*-estimates the runtime
+    /// (walltime < runtime ⇒ the scheduler kills them at the limit).
+    pub underestimate_fraction: f64,
+    /// Hard site maximum, seconds. Requests are capped here.
+    pub max_secs: u64,
+}
+
+/// Canonical walltime buckets (seconds): 15 m, 30 m, 1 h, 2 h, 4 h, 6 h,
+/// 8 h, 12 h, 24 h, 48 h.
+pub const WALLTIME_BUCKETS: [u64; 10] =
+    [900, 1800, 3600, 7200, 14_400, 21_600, 28_800, 43_200, 86_400, 172_800];
+
+impl WalltimeModel {
+    /// Validate parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.overestimate_mean_excess.is_nan() || self.overestimate_mean_excess < 0.0 {
+            return Err("overestimate_mean_excess must be >= 0".into());
+        }
+        if !(0.0..=1.0).contains(&self.underestimate_fraction) {
+            return Err(format!(
+                "underestimate_fraction {} outside [0,1]",
+                self.underestimate_fraction
+            ));
+        }
+        if self.max_secs == 0 {
+            return Err("max_secs must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// Draw the user's walltime request for a job with the given base
+    /// runtime.
+    pub fn sample(&self, rng: &mut Pcg64, runtime: SimDuration) -> SimDuration {
+        let run_secs = runtime.as_secs_f64();
+        if self.underestimate_fraction > 0.0 && rng.chance(self.underestimate_fraction) {
+            // Underestimate: request 50–95% of the true runtime, at least a
+            // minute so the job is schedulable at all.
+            let secs = (run_secs * rng.range_f64(0.5, 0.95)).max(60.0);
+            return SimDuration::from_secs_f64(secs.min(self.max_secs as f64));
+        }
+        let factor = if self.overestimate_mean_excess > 0.0 {
+            1.0 + Exponential::with_mean(self.overestimate_mean_excess).sample(rng)
+        } else {
+            1.0
+        };
+        let mut secs = (run_secs * factor).ceil() as u64;
+        if self.round_to_buckets {
+            secs = round_up_to_bucket(secs);
+        }
+        SimDuration::from_secs(secs.clamp(1, self.max_secs))
+    }
+}
+
+/// The smallest canonical bucket ≥ `secs`; beyond 48 h, the next whole day.
+pub fn round_up_to_bucket(secs: u64) -> u64 {
+    for &b in &WALLTIME_BUCKETS {
+        if secs <= b {
+            return b;
+        }
+    }
+    secs.div_ceil(86_400) * 86_400
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runtime_model() -> RuntimeModel {
+        RuntimeModel {
+            p_short: 0.7,
+            short: (2.0, 600.0),  // mean 20 min
+            long: (2.0, 7200.0),  // mean 4 h
+            min_secs: 60.0,
+            max_secs: 172_800.0,
+        }
+    }
+
+    #[test]
+    fn runtime_within_bounds_and_mixture_mean() {
+        let m = runtime_model();
+        m.validate().unwrap();
+        let mut rng = Pcg64::new(51);
+        let mut sum = 0.0;
+        let n = 50_000;
+        for _ in 0..n {
+            let r = m.sample(&mut rng).as_secs_f64();
+            assert!((60.0..=172_800.0).contains(&r));
+            sum += r;
+        }
+        let mean = sum / n as f64;
+        // Unclamped mixture mean = 0.7·1200 + 0.3·14400 = 5160.
+        assert!(
+            (mean - 5160.0).abs() < 260.0,
+            "mixture mean {mean} far from 5160"
+        );
+    }
+
+    #[test]
+    fn bucket_rounding() {
+        assert_eq!(round_up_to_bucket(1), 900);
+        assert_eq!(round_up_to_bucket(900), 900);
+        assert_eq!(round_up_to_bucket(901), 1800);
+        assert_eq!(round_up_to_bucket(4000), 7200);
+        assert_eq!(round_up_to_bucket(100_000), 172_800);
+        // Past the largest bucket: next whole day.
+        assert_eq!(round_up_to_bucket(172_801), 3 * 86_400);
+        assert_eq!(round_up_to_bucket(200_000), 3 * 86_400);
+        assert_eq!(round_up_to_bucket(3 * 86_400 + 1), 4 * 86_400);
+    }
+
+    #[test]
+    fn walltime_overestimates() {
+        let m = WalltimeModel {
+            overestimate_mean_excess: 1.5,
+            round_to_buckets: true,
+            underestimate_fraction: 0.0,
+            max_secs: 172_800,
+        };
+        m.validate().unwrap();
+        let mut rng = Pcg64::new(52);
+        let runtime = SimDuration::from_secs(3000);
+        for _ in 0..5000 {
+            let w = m.sample(&mut rng, runtime);
+            assert!(w >= runtime, "no underestimates configured");
+            assert!(w.as_secs() <= 172_800);
+            let s = w.as_secs();
+            assert!(
+                WALLTIME_BUCKETS.contains(&s) || s.is_multiple_of(86_400),
+                "{s} not a bucket"
+            );
+        }
+    }
+
+    #[test]
+    fn underestimates_happen_when_asked() {
+        let m = WalltimeModel {
+            overestimate_mean_excess: 1.0,
+            round_to_buckets: false,
+            underestimate_fraction: 0.3,
+            max_secs: 172_800,
+        };
+        let mut rng = Pcg64::new(53);
+        let runtime = SimDuration::from_secs(10_000);
+        let n = 10_000;
+        let under = (0..n)
+            .filter(|_| m.sample(&mut rng, runtime) < runtime)
+            .count();
+        let frac = under as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.02, "underestimate fraction {frac}");
+    }
+
+    #[test]
+    fn perfect_estimates_without_excess() {
+        let m = WalltimeModel {
+            overestimate_mean_excess: 0.0,
+            round_to_buckets: false,
+            underestimate_fraction: 0.0,
+            max_secs: 172_800,
+        };
+        let mut rng = Pcg64::new(54);
+        let runtime = SimDuration::from_secs(1234);
+        assert_eq!(m.sample(&mut rng, runtime).as_secs(), 1234);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(RuntimeModel { p_short: -0.1, ..runtime_model() }.validate().is_err());
+        assert!(RuntimeModel { min_secs: 0.0, ..runtime_model() }.validate().is_err());
+        let wt = WalltimeModel {
+            overestimate_mean_excess: -1.0,
+            round_to_buckets: false,
+            underestimate_fraction: 0.0,
+            max_secs: 100,
+        };
+        assert!(wt.validate().is_err());
+    }
+}

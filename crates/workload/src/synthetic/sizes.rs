@@ -1,0 +1,160 @@
+//! Job node-count model.
+
+use dmhpc_des::rng::dist::{Distribution, Normal};
+use dmhpc_des::rng::Pcg64;
+use serde::{Deserialize, Serialize};
+
+/// Node-count model in the Lublin–Feitelson tradition: a serial-job point
+/// mass, a lognormal body over parallel sizes, and a strong bias toward
+/// powers of two (users think in powers of two; archive traces confirm it).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SizeModel {
+    /// Largest permitted request (jobs are clamped here).
+    pub max_nodes: u32,
+    /// Probability of a single-node job.
+    pub serial_fraction: f64,
+    /// Probability that a parallel size is snapped to the nearest power of
+    /// two.
+    pub power_of_two_bias: f64,
+    /// Mean of `ln(nodes)` for parallel jobs.
+    pub log_mean: f64,
+    /// Std of `ln(nodes)` for parallel jobs.
+    pub log_std: f64,
+}
+
+impl SizeModel {
+    /// Validate parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_nodes < 1 {
+            return Err("max_nodes must be >= 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.serial_fraction) {
+            return Err(format!("serial_fraction {} outside [0,1]", self.serial_fraction));
+        }
+        if !(0.0..=1.0).contains(&self.power_of_two_bias) {
+            return Err(format!(
+                "power_of_two_bias {} outside [0,1]",
+                self.power_of_two_bias
+            ));
+        }
+        if self.log_std.is_nan() || self.log_std <= 0.0 {
+            return Err("log_std must be > 0".into());
+        }
+        Ok(())
+    }
+
+    /// Draw one node count in `[1, max_nodes]`.
+    pub fn sample(&self, rng: &mut Pcg64) -> u32 {
+        if self.max_nodes == 1 || rng.chance(self.serial_fraction) {
+            return 1;
+        }
+        let normal = Normal::new(self.log_mean, self.log_std);
+        let raw = normal.sample(rng).exp();
+        let mut nodes = raw.round().clamp(2.0, self.max_nodes as f64) as u32;
+        if rng.chance(self.power_of_two_bias) {
+            nodes = nearest_power_of_two(nodes).min(prev_power_of_two(self.max_nodes));
+        }
+        nodes.clamp(1, self.max_nodes)
+    }
+}
+
+/// Nearest power of two to `n` (ties round up). `n >= 1`.
+fn nearest_power_of_two(n: u32) -> u32 {
+    debug_assert!(n >= 1);
+    let lower = prev_power_of_two(n);
+    let upper = lower.saturating_mul(2);
+    if (n - lower) < (upper - n) {
+        lower
+    } else {
+        upper
+    }
+}
+
+/// Largest power of two ≤ `n`. `n >= 1`.
+fn prev_power_of_two(n: u32) -> u32 {
+    debug_assert!(n >= 1);
+    1u32 << (31 - n.leading_zeros())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> SizeModel {
+        SizeModel {
+            max_nodes: 256,
+            serial_fraction: 0.25,
+            power_of_two_bias: 0.75,
+            log_mean: 2.5,
+            log_std: 1.3,
+        }
+    }
+
+    #[test]
+    fn power_helpers() {
+        assert_eq!(prev_power_of_two(1), 1);
+        assert_eq!(prev_power_of_two(5), 4);
+        assert_eq!(prev_power_of_two(64), 64);
+        assert_eq!(nearest_power_of_two(5), 4);
+        assert_eq!(nearest_power_of_two(6), 8); // tie rounds up
+        assert_eq!(nearest_power_of_two(7), 8);
+        assert_eq!(nearest_power_of_two(3), 4);
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let m = model();
+        let mut rng = Pcg64::new(41);
+        for _ in 0..50_000 {
+            let n = m.sample(&mut rng);
+            assert!((1..=256).contains(&n));
+        }
+    }
+
+    #[test]
+    fn serial_fraction_observed() {
+        let m = model();
+        let mut rng = Pcg64::new(42);
+        let n = 100_000;
+        let serial = (0..n).filter(|_| m.sample(&mut rng) == 1).count();
+        let frac = serial as f64 / n as f64;
+        // Serial point mass plus a little lognormal mass that lands on 1.
+        assert!(
+            frac > 0.24 && frac < 0.35,
+            "serial fraction {frac} out of expected band"
+        );
+    }
+
+    #[test]
+    fn power_of_two_dominates() {
+        let m = model();
+        let mut rng = Pcg64::new(43);
+        let n = 100_000;
+        let pow2 = (0..n)
+            .map(|_| m.sample(&mut rng))
+            .filter(|&s| s.is_power_of_two())
+            .count();
+        let frac = pow2 as f64 / n as f64;
+        assert!(frac > 0.7, "power-of-two fraction {frac} too low");
+    }
+
+    #[test]
+    fn max_nodes_one_degenerates() {
+        let m = SizeModel {
+            max_nodes: 1,
+            ..model()
+        };
+        let mut rng = Pcg64::new(44);
+        for _ in 0..100 {
+            assert_eq!(m.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(model().validate().is_ok());
+        assert!(SizeModel { serial_fraction: 1.5, ..model() }.validate().is_err());
+        assert!(SizeModel { log_std: 0.0, ..model() }.validate().is_err());
+        assert!(SizeModel { max_nodes: 0, ..model() }.validate().is_err());
+    }
+}

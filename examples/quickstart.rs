@@ -1,0 +1,67 @@
+//! Quickstart: simulate one day of jobs on a disaggregated-memory cluster.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dmhpc::prelude::*;
+
+fn main() {
+    // 1. A machine: 4 racks × 32 nodes (64 cores, 256 GiB DRAM each), with
+    //    a 512 GiB CXL memory pool per rack.
+    let cluster = ClusterSpec::new(
+        4,
+        32,
+        NodeSpec::new(64, 256 * 1024),
+        PoolTopology::PerRack {
+            mib_per_rack: 512 * 1024,
+        },
+    );
+
+    // 2. A workload: 500 jobs from the calibrated mid-cluster model. Most
+    //    jobs use a small slice of node DRAM; a heavy tail needs more per
+    //    node than the node has.
+    let workload = SystemPreset::MidCluster.synthetic_spec(500).generate(7);
+    println!(
+        "workload: {} jobs, {:.1} h span, offered load {:.2}",
+        workload.len(),
+        workload.arrival_span().as_hours_f64(),
+        workload.offered_load(cluster.total_nodes()),
+    );
+
+    // 3. A scheduler: FCFS order, EASY backfilling against the two-resource
+    //    availability profile, and the slowdown-aware memory policy that
+    //    borrows pool memory when the predicted dilation is worth the saved
+    //    nodes.
+    let scheduler = SchedulerBuilder::new()
+        .order(OrderPolicy::Fcfs)
+        .backfill(BackfillPolicy::Easy)
+        .memory(MemoryPolicy::SlowdownAware { max_dilation: 1.35 })
+        .slowdown(SlowdownModel::Saturating {
+            penalty: 1.5,
+            curvature: 3.0,
+        })
+        .build();
+
+    // 4. Run.
+    let sim = Simulation::new(SimConfig::new(cluster, *scheduler.config()));
+    let out = sim.run(&workload);
+
+    // 5. Read the report.
+    let r = &out.report;
+    println!("policy:            {}", r.label);
+    println!("completed/killed:  {}/{}", r.completed, r.killed);
+    println!("mean wait:         {:.0} s", r.mean_wait_s);
+    println!("P95 bounded sld:   {:.2}", r.p95_bsld);
+    println!("node utilization:  {:.1}%", 100.0 * r.node_util);
+    println!("pool utilization:  {:.1}%", 100.0 * r.pool_util);
+    println!(
+        "borrowers:         {:.1}% of jobs (mean dilation {:.3})",
+        100.0 * r.borrowed_fraction,
+        r.mean_dilation_borrowers.max(1.0),
+    );
+    println!(
+        "simulated {} events in {} scheduling passes",
+        out.events_processed, out.passes
+    );
+}

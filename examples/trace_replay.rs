@@ -1,0 +1,92 @@
+//! Trace replay: run a Standard Workload Format (SWF) trace through two
+//! schedulers and compare.
+//!
+//! Pass a path to any SWF file (Parallel Workloads Archive format); without
+//! an argument the example writes a synthetic trace to SWF first and replays
+//! that, demonstrating the full round trip real deployments use.
+//!
+//! ```text
+//! cargo run --release --example trace_replay [-- /path/to/trace.swf]
+//! ```
+
+use dmhpc::prelude::*;
+use dmhpc::workload::swf::{parse_reader, write_string, SwfConfig};
+use dmhpc::workload::transform;
+use std::io::BufReader;
+
+fn main() {
+    let swf_cfg = SwfConfig {
+        cores_per_node: 64,
+        default_mem_per_node: 64 * 1024,
+        ..SwfConfig::default()
+    };
+
+    let (trace_name, workload) = match std::env::args().nth(1) {
+        Some(path) => {
+            let file = std::fs::File::open(&path).expect("cannot open SWF file");
+            let trace = parse_reader(BufReader::new(file), &swf_cfg).expect("SWF parse error");
+            println!(
+                "parsed {} jobs ({} lines skipped) from {path}",
+                trace.workload.len(),
+                trace.skipped
+            );
+            for (k, v) in trace.header.iter().take(5) {
+                println!("  header {k}: {v}");
+            }
+            (path, trace.workload)
+        }
+        None => {
+            // Round trip: synthesize → write SWF → parse SWF.
+            let w = SystemPreset::MidCluster.synthetic_spec(800).generate(21);
+            let text = write_string(&w, &swf_cfg);
+            let trace = dmhpc::workload::swf::parse_str(&text, &swf_cfg).unwrap();
+            println!(
+                "no SWF given: synthesized {} jobs and round-tripped through SWF",
+                trace.workload.len()
+            );
+            ("synthetic".to_string(), trace.workload)
+        }
+    };
+
+    // Normalize the trace for the target machine: cap node requests, shift
+    // to t=0, and pin the offered load at 0.9.
+    let cluster = ClusterSpec::new(
+        8,
+        32,
+        NodeSpec::new(64, 256 * 1024),
+        PoolTopology::PerRack {
+            mib_per_rack: 512 * 1024,
+        },
+    );
+    let workload = transform::cap_nodes(&workload, cluster.total_nodes());
+    let workload = transform::shift_to_origin(&workload);
+    let workload = transform::rescale_load(&workload, cluster.total_nodes(), 0.9);
+
+    println!(
+        "replaying {trace_name}: {} jobs, load {:.2}\n",
+        workload.len(),
+        workload.offered_load(cluster.total_nodes())
+    );
+
+    let slowdown = SlowdownModel::Saturating {
+        penalty: 1.5,
+        curvature: 3.0,
+    };
+    for memory in [
+        MemoryPolicy::LocalOnly,
+        MemoryPolicy::SlowdownAware { max_dilation: 1.35 },
+    ] {
+        let sched = SchedulerBuilder::new().memory(memory).slowdown(slowdown).build();
+        let out = Simulation::new(SimConfig::new(cluster, *sched.config())).run(&workload);
+        let r = &out.report;
+        println!(
+            "{:<28} wait {:>7.0} s   p95 bsld {:>6.2}   util {:>5.1}%   inflated {:>4.1}%   borrowed {:>4.1}%",
+            r.label,
+            r.mean_wait_s,
+            r.p95_bsld,
+            100.0 * r.node_util,
+            100.0 * r.inflated_fraction,
+            100.0 * r.borrowed_fraction,
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! # dmhpc — job scheduling for HPC systems with disaggregated memory
+//!
+//! Facade crate: re-exports the whole workspace behind one dependency and
+//! provides a [`prelude`] for examples and downstream users.
+//!
+//! See `README.md` for the architecture overview and `DESIGN.md` for the
+//! system inventory and experiment index.
+
+#![forbid(unsafe_code)]
+
+pub use dmhpc_des as des;
+pub use dmhpc_metrics as metrics;
+pub use dmhpc_platform as platform;
+pub use dmhpc_sched as sched;
+pub use dmhpc_sim as sim;
+pub use dmhpc_workload as workload;
+
+/// Everything a typical simulation script needs, in one import.
+pub mod prelude {
+    pub use dmhpc_des::queue::{BinaryHeapQueue, CalendarQueue, EventQueue};
+    pub use dmhpc_des::rng::Pcg64;
+    pub use dmhpc_des::stats::{CdfCollector, OnlineStats, P2Quantile, StepSeries, TimeWeighted};
+    pub use dmhpc_des::time::{SimDuration, SimTime};
+    pub use dmhpc_metrics::{ClassBreakdown, JobClass, SimReport};
+    pub use dmhpc_platform::{
+        Cluster, ClusterSpec, MemoryPool, MiB, NodeSpec, PoolTopology, SlowdownModel,
+    };
+    pub use dmhpc_sched::{
+        BackfillPolicy, MemoryPolicy, OrderPolicy, SchedulerBuilder, SchedulerConfig,
+    };
+    pub use dmhpc_sim::{SimConfig, Simulation};
+    pub use dmhpc_workload::{
+        Job, JobId, SyntheticSpec, SystemPreset, Workload, WorkloadBuilder,
+    };
+}

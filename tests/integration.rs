@@ -1,0 +1,282 @@
+//! Cross-crate integration tests: full simulations through the public API.
+
+use dmhpc::prelude::*;
+use dmhpc::sim::scenarios::{
+    default_slowdown, policy_suite, preset_cluster, preset_workload, run_policies,
+};
+use dmhpc::workload::swf::{parse_str, write_string, SwfConfig};
+use dmhpc::workload::transform;
+use dmhpc_metrics::JobOutcome;
+
+fn per_rack(gib: u64) -> PoolTopology {
+    PoolTopology::PerRack {
+        mib_per_rack: gib * 1024,
+    }
+}
+
+/// Every job is accounted for exactly once under every policy, and the
+/// books balance: Σ per-job node·residence equals the busy-nodes integral.
+#[test]
+fn conservation_across_policy_suite() {
+    let preset = SystemPreset::MidCluster;
+    let w = preset_workload(preset, 400, 1, 0.85);
+    let cluster = preset_cluster(preset, per_rack(512));
+    for sched in policy_suite(default_slowdown()) {
+        let sim = Simulation::new(SimConfig::new(cluster, sched).checked());
+        let out = sim.run(&w);
+        assert_eq!(
+            out.report.completed + out.report.killed + out.report.rejected,
+            w.len(),
+            "{}",
+            sched.label()
+        );
+        // Node-second books.
+        let per_job: f64 = out
+            .records
+            .iter()
+            .filter_map(|r| {
+                r.residence()
+                    .map(|res| res.as_secs_f64() * r.nodes_allocated as f64)
+            })
+            .sum();
+        let integral = out
+            .series
+            .nodes_busy
+            .stats()
+            .integral_until(out.end_time);
+        let rel = (per_job - integral).abs() / integral.max(1.0);
+        assert!(
+            rel < 1e-6,
+            "{}: node-second books differ by {rel}",
+            sched.label()
+        );
+    }
+}
+
+/// Causality: no job starts before arrival or finishes before start; a
+/// completed job's residence is exactly its dilated runtime.
+#[test]
+fn causality_and_exact_residence() {
+    let preset = SystemPreset::HighThroughput;
+    let w = preset_workload(preset, 300, 2, 0.9);
+    let cluster = preset_cluster(preset, per_rack(384));
+    let sched = SchedulerBuilder::new()
+        .memory(MemoryPolicy::PoolFirstFit)
+        .slowdown(SlowdownModel::Linear { penalty: 1.4 })
+        .build();
+    let out = Simulation::new(SimConfig::new(cluster, *sched.config()).checked()).run(&w);
+    for r in &out.records {
+        let (Some(start), Some(finish)) = (r.start, r.finish) else {
+            continue;
+        };
+        assert!(start >= r.job.arrival, "{}", r.job.id);
+        assert!(finish > start, "{}", r.job.id);
+        if r.outcome == JobOutcome::Completed {
+            // Static model ⇒ residence = runtime × dilation exactly (±1 µs
+            // rounding).
+            let expect = r.job.runtime.scale(r.dilation_planned);
+            let got = finish - start;
+            assert!(
+                got.as_micros().abs_diff(expect.as_micros()) <= 1,
+                "{}: residence {} vs dilated runtime {}",
+                r.job.id,
+                got,
+                expect
+            );
+        }
+    }
+}
+
+/// EASY backfilling can only help mean wait relative to no backfilling
+/// under FCFS (same workload, same machine).
+#[test]
+fn easy_no_worse_than_no_backfill() {
+    let preset = SystemPreset::MidCluster;
+    let w = preset_workload(preset, 500, 3, 0.95);
+    let cluster = preset_cluster(preset, per_rack(512));
+    let mut waits = Vec::new();
+    for backfill in [BackfillPolicy::None, BackfillPolicy::Easy] {
+        let sched = SchedulerBuilder::new()
+            .backfill(backfill)
+            .memory(MemoryPolicy::PoolBestFit)
+            .slowdown(default_slowdown())
+            .build();
+        let out = Simulation::new(SimConfig::new(cluster, *sched.config())).run(&w);
+        waits.push(out.report.mean_wait_s);
+    }
+    assert!(
+        waits[1] <= waits[0] * 1.02,
+        "EASY ({}) must not be materially worse than none ({})",
+        waits[1],
+        waits[0]
+    );
+}
+
+/// The headline claim, end to end: on a memory-stranded workload the
+/// disaggregation-aware policy beats the local-only baseline on mean wait,
+/// and the baseline inflates jobs while the aware policy borrows instead.
+#[test]
+fn disaggregation_beats_inflation_on_stranded_workload() {
+    let preset = SystemPreset::MidCluster;
+    let w = preset_workload(preset, 800, 42, 0.9);
+    let cluster = preset_cluster(preset, per_rack(512));
+    let suite = policy_suite(default_slowdown());
+    let outs = run_policies(cluster, &w, &suite, 0);
+    let local = &outs[0].report;
+    let aware = &outs[3].report;
+    assert!(local.inflated_fraction > 0.03, "baseline must inflate");
+    assert_eq!(local.borrowed_fraction, 0.0);
+    assert!(aware.borrowed_fraction > 0.03, "aware must borrow");
+    assert!(
+        aware.mean_wait_s < local.mean_wait_s,
+        "aware {} must beat local {}",
+        aware.mean_wait_s,
+        local.mean_wait_s
+    );
+    assert!(
+        aware.inflated_fraction < local.inflated_fraction,
+        "borrowing displaces inflation"
+    );
+}
+
+/// SWF round trip through the full simulator: synthesize → write → parse →
+/// simulate gives identical results to simulating the original (fields SWF
+/// carries are second-resolution, so the generator's whole-second times
+/// survive exactly; intensity differs, so compare under an
+/// intensity-insensitive model).
+#[test]
+fn swf_roundtrip_preserves_simulation() {
+    let spec = SystemPreset::MidCluster.synthetic_spec(200);
+    let mut w = spec.generate(5);
+    // SWF stores whole seconds: truncate generator times first.
+    let jobs: Vec<_> = w
+        .iter()
+        .map(|j| {
+            let mut j = j.clone();
+            j.arrival = dmhpc::des::SimTime::from_secs(j.arrival.as_secs());
+            j.runtime = dmhpc::des::SimDuration::from_secs(j.runtime.as_secs().max(1));
+            j.walltime = dmhpc::des::SimDuration::from_secs(j.walltime.as_secs().max(1));
+            j
+        })
+        .collect();
+    w = dmhpc::workload::Workload::from_jobs(jobs);
+
+    let cfg = SwfConfig {
+        cores_per_node: 64,
+        ..SwfConfig::default()
+    };
+    let text = write_string(&w, &cfg);
+    let back = parse_str(&text, &cfg).unwrap().workload;
+    assert_eq!(back.len(), w.len());
+
+    let cluster = preset_cluster(SystemPreset::MidCluster, per_rack(512));
+    // SlowdownModel::None makes results independent of the intensity
+    // column SWF cannot carry.
+    let sched = SchedulerBuilder::new()
+        .memory(MemoryPolicy::PoolBestFit)
+        .slowdown(SlowdownModel::None)
+        .build();
+    let sim = Simulation::new(SimConfig::new(cluster, *sched.config()));
+    let a = sim.run(&w);
+    let b = sim.run(&back);
+    assert_eq!(a.report.completed, b.report.completed);
+    assert_eq!(a.report.mean_wait_s, b.report.mean_wait_s);
+    assert_eq!(a.trace_hash, b.trace_hash);
+}
+
+/// Load rescaling drives waits monotonically (higher offered load ⇒ no less
+/// waiting) on a fixed machine and policy.
+#[test]
+fn wait_grows_with_load() {
+    let preset = SystemPreset::MidCluster;
+    let cluster = preset_cluster(preset, per_rack(512));
+    let sched = SchedulerBuilder::new()
+        .memory(MemoryPolicy::PoolBestFit)
+        .slowdown(default_slowdown())
+        .build();
+    let mut prev = 0.0;
+    for load in [0.5, 0.8, 1.1] {
+        let w = preset_workload(preset, 600, 7, load);
+        let out = Simulation::new(SimConfig::new(cluster, *sched.config())).run(&w);
+        assert!(
+            out.report.mean_wait_s >= prev * 0.8,
+            "load {load}: wait {} collapsed below previous {prev}",
+            out.report.mean_wait_s
+        );
+        prev = out.report.mean_wait_s;
+    }
+    assert!(prev > 0.0, "high load must produce queueing");
+}
+
+/// Underestimating users get their jobs killed; kills are bounded by the
+/// configured underestimate fraction.
+#[test]
+fn underestimates_cause_kills() {
+    let mut spec = SystemPreset::HighThroughput.synthetic_spec(400);
+    spec.walltime.underestimate_fraction = 0.2;
+    let w = spec.generate(9);
+    let w = transform::rescale_load(&w, 128, 0.7);
+    let cluster = preset_cluster(SystemPreset::HighThroughput, per_rack(384));
+    let sched = SchedulerBuilder::new()
+        .memory(MemoryPolicy::PoolFirstFit)
+        .slowdown(default_slowdown())
+        .build();
+    let out = Simulation::new(SimConfig::new(cluster, *sched.config())).run(&w);
+    let kill_frac = out.report.killed as f64 / 400.0;
+    assert!(
+        kill_frac > 0.1 && kill_frac < 0.3,
+        "kill fraction {kill_frac} should track the 20% underestimate rate"
+    );
+    // Killed jobs end exactly at their planned walltime.
+    for r in out.records.iter().filter(|r| r.outcome == JobOutcome::Killed) {
+        let residence = r.residence().unwrap();
+        assert!(residence <= r.job.walltime.scale(default_slowdown().worst_case()) + dmhpc::des::SimDuration::from_secs(1));
+    }
+}
+
+/// All three presets simulate cleanly under all four policies (matrix smoke
+/// test with invariant checking on).
+#[test]
+fn preset_policy_matrix() {
+    for preset in SystemPreset::ALL {
+        let w = preset_workload(preset, 150, 11, 0.8);
+        let cluster = preset_cluster(preset, per_rack(512));
+        for sched in policy_suite(default_slowdown()) {
+            let out = Simulation::new(SimConfig::new(cluster, sched).checked()).run(&w);
+            assert_eq!(
+                out.report.completed + out.report.killed + out.report.rejected,
+                150,
+                "{} × {}",
+                preset.name(),
+                sched.label()
+            );
+        }
+    }
+}
+
+/// Rejections only ever happen for jobs that genuinely cannot fit the
+/// machine under the policy's nominal shape.
+#[test]
+fn rejections_are_justified() {
+    let preset = SystemPreset::MidCluster;
+    let w = preset_workload(preset, 600, 13, 0.9);
+    let cluster = preset_cluster(preset, per_rack(256));
+    let sched = SchedulerBuilder::new()
+        .memory(MemoryPolicy::LocalOnly)
+        .slowdown(SlowdownModel::None)
+        .build();
+    let out = Simulation::new(SimConfig::new(cluster, *sched.config())).run(&w);
+    let node_mem = cluster.node.local_mem;
+    for r in &out.records {
+        if r.outcome == JobOutcome::Rejected {
+            let inflated = r.job.total_mem().div_ceil(node_mem).max(r.job.nodes as u64);
+            assert!(
+                inflated > cluster.total_nodes() as u64,
+                "{} rejected but inflated size {} fits {} nodes",
+                r.job.id,
+                inflated,
+                cluster.total_nodes()
+            );
+        }
+    }
+}
