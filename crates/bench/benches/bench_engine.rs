@@ -21,7 +21,7 @@ fn bench_engine(c: &mut Criterion) {
         // ≥ 2 events per job (arrival + finish).
         group.throughput(Throughput::Elements(2 * n_jobs as u64));
         for sched in policy_suite(default_slowdown()).into_iter().take(2) {
-            let sim = Simulation::new(SimConfig::new(cluster, sched));
+            let sim = Simulation::new(SimConfig::new(cluster, sched)).expect("valid config");
             let label = format!("{}/{}", preset.name(), sched.label());
             group.bench_with_input(BenchmarkId::new(label, n_jobs), &w, |b, w| {
                 b.iter(|| black_box(sim.run(w)))

@@ -10,7 +10,10 @@ use dmhpc_des::time::SimTime;
 fn hold<Q: EventQueue<u64>>(q: &mut Q, rng: &mut Pcg64, ops: usize) {
     for i in 0..ops {
         let (t, _) = q.pop().expect("queue non-empty");
-        q.schedule(t + dmhpc_des::time::SimDuration::from_micros(rng.bounded_u64(10_000_000)), i as u64);
+        q.schedule(
+            t + dmhpc_des::time::SimDuration::from_micros(rng.bounded_u64(10_000_000)),
+            i as u64,
+        );
     }
 }
 

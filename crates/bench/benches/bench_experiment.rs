@@ -1,0 +1,99 @@
+//! Experiment-runner overhead on a small grid.
+//!
+//! Measures the full declarative path — grid compilation, workload
+//! materialization/caching, parallel fan-out, result labelling — against
+//! the raw per-cell simulation cost, so later sweep-scaling work (sharding,
+//! result caching, incremental grids) has a baseline to beat. The grid is
+//! deliberately small and the workload short: the interesting number is
+//! the fixed overhead around the simulations, not the simulations.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dmhpc_platform::PoolTopology;
+use dmhpc_sim::scenarios::{default_slowdown, policy_suite};
+use dmhpc_sim::{ExperimentRunner, ExperimentSpec, Simulation};
+use dmhpc_workload::SystemPreset;
+
+const JOBS: usize = 120;
+
+fn small_grid() -> ExperimentSpec {
+    ExperimentSpec::builder("bench-grid")
+        .preset(SystemPreset::HighThroughput, JOBS)
+        .pools([
+            PoolTopology::None,
+            PoolTopology::PerRack {
+                mib_per_rack: 384 * 1024,
+            },
+        ])
+        .load(0.8)
+        .seed(17)
+        .schedulers(policy_suite(default_slowdown()))
+        .build()
+        .expect("bench grid is well-formed")
+}
+
+fn bench_experiment(c: &mut Criterion) {
+    let spec = small_grid();
+    let cells = spec.cell_count() as u64;
+
+    let mut group = c.benchmark_group("experiment_runner");
+    group.sample_size(10);
+
+    // Compilation alone: pure grid expansion + validation, no simulation.
+    group.throughput(Throughput::Elements(cells));
+    group.bench_function("compile", |b| {
+        b.iter(|| black_box(spec.compile().expect("valid grid")))
+    });
+
+    // Spec (de)serialization: the config-file path.
+    group.bench_function("json_round_trip", |b| {
+        b.iter(|| {
+            let json = spec.to_json().expect("serializable");
+            black_box(ExperimentSpec::from_json(&json).expect("parses back"))
+        })
+    });
+
+    // Whole grid, serial vs parallel: the difference is the fan-out win;
+    // `serial` vs `raw_cells` below is the runner's bookkeeping overhead.
+    for threads in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("run", threads), &threads, |b, &t| {
+            let runner = ExperimentRunner::with_threads(t);
+            b.iter(|| black_box(runner.run(&spec).expect("validated grid runs")))
+        });
+    }
+
+    // The same cells simulated by hand against a pre-materialized
+    // workload: the floor the runner's overhead sits on.
+    let compiled = spec.compile().expect("valid grid");
+    let workload = SystemPreset::HighThroughput
+        .synthetic_spec(JOBS)
+        .generate(17);
+    group.bench_function("raw_cells", |b| {
+        b.iter(|| {
+            for cell in &compiled {
+                let sim = Simulation::new(black_box(cell.config)).expect("valid config");
+                black_box(sim.run(&workload));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_single_cell(c: &mut Criterion) {
+    // Reference: one simulation outside any grid machinery.
+    let spec = small_grid();
+    let cell = spec.compile().expect("valid grid").remove(0);
+    let workload = SystemPreset::HighThroughput
+        .synthetic_spec(JOBS)
+        .generate(17);
+    let mut group = c.benchmark_group("experiment_cell");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(2 * JOBS as u64));
+    group.bench_function("single_cell", |b| {
+        let sim = Simulation::new(cell.config).expect("valid config");
+        b.iter(|| black_box(sim.run(&workload)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiment, bench_single_cell);
+criterion_main!(benches);

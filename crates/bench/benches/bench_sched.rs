@@ -2,7 +2,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use dmhpc_des::time::SimTime;
-use dmhpc_platform::{Cluster, ClusterSpec, MemoryAssignment, NodeSpec, NodeId, PoolTopology};
+use dmhpc_platform::{Cluster, ClusterSpec, MemoryAssignment, NodeId, NodeSpec, PoolTopology};
 use dmhpc_sched::{
     BackfillPolicy, MemoryPolicy, RunningRelease, Scheduler, SchedulerBuilder, WaitQueue,
 };
@@ -53,17 +53,23 @@ fn bench_sched(c: &mut Criterion) {
     group.sample_size(10);
     for &depth in &[16usize, 128, 512] {
         let (cluster, queue, releases) = setup(depth);
-        let easy = SchedulerBuilder::new()
-            .backfill(BackfillPolicy::Easy)
-            .memory(MemoryPolicy::SlowdownAware { max_dilation: 1.35 })
-            .build();
+        let easy = Scheduler::new(
+            SchedulerBuilder::new()
+                .backfill(BackfillPolicy::Easy)
+                .memory(MemoryPolicy::SlowdownAware { max_dilation: 1.35 })
+                .build(),
+        )
+        .expect("valid config");
         group.bench_with_input(BenchmarkId::new("easy", depth), &depth, |b, _| {
             b.iter(|| pass(&easy, &cluster, &queue, &releases))
         });
-        let cons = SchedulerBuilder::new()
-            .backfill(BackfillPolicy::Conservative)
-            .memory(MemoryPolicy::SlowdownAware { max_dilation: 1.35 })
-            .build();
+        let cons = Scheduler::new(
+            SchedulerBuilder::new()
+                .backfill(BackfillPolicy::Conservative)
+                .memory(MemoryPolicy::SlowdownAware { max_dilation: 1.35 })
+                .build(),
+        )
+        .expect("valid config");
         group.bench_with_input(BenchmarkId::new("conservative", depth), &depth, |b, _| {
             b.iter(|| pass(&cons, &cluster, &queue, &releases))
         });

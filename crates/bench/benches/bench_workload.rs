@@ -10,9 +10,7 @@ fn bench_workload(c: &mut Criterion) {
     let n = 10_000usize;
     let spec = SystemPreset::MidCluster.synthetic_spec(n);
     group.throughput(Throughput::Elements(n as u64));
-    group.bench_function("generate_10k", |b| {
-        b.iter(|| black_box(spec.generate(123)))
-    });
+    group.bench_function("generate_10k", |b| b.iter(|| black_box(spec.generate(123))));
 
     let w = spec.generate(123);
     let cfg = SwfConfig {

@@ -12,7 +12,7 @@ use dmhpc_bench::experiments;
 use std::io::Write as _;
 use std::time::Instant;
 
-fn main() -> anyhow::Result<()> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!("usage: repro [--list] <id>... | all");
@@ -35,10 +35,15 @@ fn main() -> anyhow::Result<()> {
     for id in ids {
         let start = Instant::now();
         let Some(result) = experiments::run(id) else {
-            anyhow::bail!("unknown experiment id {id:?} (try --list)");
+            return Err(format!("unknown experiment id {id:?} (try --list)").into());
         };
         let elapsed = start.elapsed();
-        println!("== {} — {} [{:.1}s]", result.id, result.title, elapsed.as_secs_f64());
+        println!(
+            "== {} — {} [{:.1}s]",
+            result.id,
+            result.title,
+            elapsed.as_secs_f64()
+        );
         println!("{}", result.body);
         let mut f = std::fs::File::create(format!("results/{}.txt", result.id))?;
         writeln!(f, "# {} — {}", result.id, result.title)?;

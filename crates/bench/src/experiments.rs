@@ -5,15 +5,17 @@
 //! load 0.9, 1,500 jobs, seed 42, saturating slowdown with a 1.5× worst
 //! case. Each experiment prints the same rows/series the corresponding
 //! figure plots.
+//!
+//! Every simulation-backed experiment is a declarative
+//! [`ExperimentSpec`] grid executed by [`ExperimentRunner`]; the functions
+//! here only declare axes and format the resulting table.
 
 use dmhpc_metrics::{JobClass, SimReport};
-use dmhpc_platform::{PoolTopology, SlowdownModel};
+use dmhpc_platform::{NodeSpec, PoolTopology, SlowdownModel};
 use dmhpc_sched::{BackfillPolicy, MemoryPolicy, OrderPolicy, SchedulerBuilder, SchedulerConfig};
-use dmhpc_sim::scenarios::{
-    default_slowdown, policy_suite, preset_cluster, preset_workload, run_policies,
-};
-use dmhpc_sim::{SimConfig, SimOutput, Simulation};
-use dmhpc_workload::{stats as wstats, SystemPreset, Workload};
+use dmhpc_sim::scenarios::{default_slowdown, preset_cluster};
+use dmhpc_sim::{ExperimentBuilder, ExperimentResults, ExperimentRunner, ExperimentSpec};
+use dmhpc_workload::{stats as wstats, SystemPreset};
 use std::fmt::Write as _;
 
 const GIB: u64 = 1024;
@@ -61,8 +63,21 @@ pub fn run(id: &str) -> Option<ExpResult> {
     })
 }
 
-fn base_workload() -> Workload {
-    preset_workload(PRESET, N_JOBS, SEED, LOAD)
+/// The shared base grid: `mid-256` preset, 1,500 jobs, seed 42, load 0.9.
+/// Experiments add their own cluster/scheduler axes on top.
+fn base(name: &'static str) -> ExperimentBuilder {
+    ExperimentSpec::builder(name)
+        .preset(PRESET, N_JOBS)
+        .load(LOAD)
+        .seed(SEED)
+}
+
+/// Declare-and-run: every experiment goes through the same runner.
+fn execute(builder: ExperimentBuilder) -> ExperimentResults {
+    let spec = builder.build().expect("experiment grid is well-formed");
+    ExperimentRunner::new()
+        .run(&spec)
+        .expect("validated grid runs")
 }
 
 fn per_rack(gib: u64) -> PoolTopology {
@@ -71,16 +86,11 @@ fn per_rack(gib: u64) -> PoolTopology {
     }
 }
 
-fn run_one(pool: PoolTopology, sched: SchedulerConfig, w: &Workload) -> SimOutput {
-    Simulation::new(SimConfig::new(preset_cluster(PRESET, pool), sched)).run(w)
-}
-
 fn sched_with(memory: MemoryPolicy, slowdown: SlowdownModel) -> SchedulerConfig {
-    *SchedulerBuilder::new()
+    SchedulerBuilder::new()
         .memory(memory)
         .slowdown(slowdown)
         .build()
-        .config()
 }
 
 fn policy_short(label: &str) -> &str {
@@ -94,7 +104,16 @@ fn t1() -> ExpResult {
     let _ = writeln!(
         body,
         "{:<10} {:>6} {:>9} {:>10} {:>7} {:>9} {:>9} {:>8} {:>9} {:>9}",
-        "trace", "jobs", "span_h", "node_h", "mean_n", "med_run_s", "med_mem%", "p95_mem%", "over_node", "over_work"
+        "trace",
+        "jobs",
+        "span_h",
+        "node_h",
+        "mean_n",
+        "med_run_s",
+        "med_mem%",
+        "p95_mem%",
+        "over_node",
+        "over_work"
     );
     for preset in SystemPreset::ALL {
         let spec = preset.synthetic_spec(8000);
@@ -140,12 +159,12 @@ fn f1() -> ExpResult {
 // ---------------------------------------------------------------- F2
 
 fn f2() -> ExpResult {
-    let w = base_workload();
-    let out = run_one(
-        PoolTopology::None,
-        sched_with(MemoryPolicy::LocalOnly, SlowdownModel::None),
-        &w,
+    let outs = execute(
+        base("f2")
+            .pool(PoolTopology::None)
+            .scheduler(sched_with(MemoryPolicy::LocalOnly, SlowdownModel::None)),
     );
+    let out = &outs.cells()[0].output;
     let mut body = String::new();
     let _ = writeln!(
         body,
@@ -183,31 +202,39 @@ fn f2() -> ExpResult {
 // ---------------------------------------------------------------- F3
 
 fn f3() -> ExpResult {
-    let w = base_workload();
     let sizes = [0u64, 128, 256, 512, 1024];
-    let suite = policy_suite(default_slowdown());
+    let outs = execute(
+        base("f3")
+            .pools(sizes.iter().map(|&gib| {
+                if gib == 0 {
+                    PoolTopology::None
+                } else {
+                    per_rack(gib)
+                }
+            }))
+            .policy_suite(default_slowdown()),
+    );
     let mut body = String::new();
     let _ = writeln!(
         body,
         "{:<14} {:>10} {:>12} {:>12} {:>10}",
         "policy", "pool_gib", "mean_wait_s", "p95_wait_s", "p95_bsld"
     );
-    for sched in &suite {
-        for &gib in &sizes {
-            let pool = if gib == 0 {
-                PoolTopology::None
-            } else {
-                per_rack(gib)
-            };
-            let out = run_one(pool, *sched, &w);
+    // Policy-major rows (the figure draws one line per policy). Grid order
+    // is cluster-outer/scheduler-inner, so cell (ci, si) sits at
+    // `ci * n_policies + si`.
+    let n_policies = outs.len() / sizes.len();
+    for si in 0..n_policies {
+        for (ci, &gib) in sizes.iter().enumerate() {
+            let cell = &outs.cells()[ci * n_policies + si];
             let _ = writeln!(
                 body,
                 "{:<14} {:>10} {:>12.0} {:>12.0} {:>10.2}",
-                policy_short(&sched.label()),
+                policy_short(&cell.output.report.label),
                 gib,
-                out.report.mean_wait_s,
-                out.report.p95_wait_s,
-                out.report.p95_bsld,
+                cell.output.report.mean_wait_s,
+                cell.output.report.p95_wait_s,
+                cell.output.report.p95_bsld,
             );
         }
     }
@@ -221,26 +248,31 @@ fn f3() -> ExpResult {
 // ---------------------------------------------------------------- F4
 
 fn f4() -> ExpResult {
-    let loads = [0.7, 0.8, 0.9, 1.0, 1.1];
-    let suite = policy_suite(default_slowdown());
+    let outs = execute(
+        base("f4")
+            .pool(per_rack(BASE_POOL_GIB))
+            .loads([0.7, 0.8, 1.0, 1.1]) // 0.9 comes from base()
+            .policy_suite(default_slowdown()),
+    );
     let mut body = String::new();
     let _ = writeln!(
         body,
         "{:<14} {:>6} {:>12} {:>10} {:>10}",
         "policy", "load", "mean_wait_s", "p95_bsld", "node_util"
     );
+    let mut loads: Vec<f64> = outs.cells().iter().filter_map(|c| c.key.load).collect();
+    loads.sort_by(|a, b| a.partial_cmp(b).expect("finite loads"));
+    loads.dedup();
     for &load in &loads {
-        let w = preset_workload(PRESET, N_JOBS, SEED, load);
-        let outs = run_policies(preset_cluster(PRESET, per_rack(BASE_POOL_GIB)), &w, &suite, 0);
-        for (sched, out) in suite.iter().zip(outs.iter()) {
+        for cell in outs.select(|k| k.load == Some(load)) {
             let _ = writeln!(
                 body,
                 "{:<14} {:>6.2} {:>12.0} {:>10.2} {:>10.3}",
-                policy_short(&sched.label()),
+                policy_short(&cell.output.report.label),
                 load,
-                out.report.mean_wait_s,
-                out.report.p95_bsld,
-                out.report.node_util,
+                cell.output.report.mean_wait_s,
+                cell.output.report.p95_bsld,
+                cell.output.report.node_util,
             );
         }
     }
@@ -257,33 +289,49 @@ fn f5() -> ExpResult {
     // Shrink node DRAM while a fixed pool compensates: does disaggregation
     // let you buy thinner nodes?
     let drams = [128u64, 192, 256, 384, 512];
-    let w = base_workload();
+    let (racks, npr, cores, _) = PRESET.machine();
+    let mut builder = base("f5");
+    for &dram in &drams {
+        builder = builder.cluster(
+            format!("dram-{dram}gib"),
+            dmhpc_platform::ClusterSpec::new(
+                racks,
+                npr,
+                NodeSpec::new(cores, dram * GIB),
+                per_rack(BASE_POOL_GIB),
+            ),
+        );
+    }
+    let outs = execute(builder.schedulers([
+        sched_with(MemoryPolicy::LocalOnly, default_slowdown()),
+        sched_with(
+            MemoryPolicy::SlowdownAware { max_dilation: 1.35 },
+            default_slowdown(),
+        ),
+    ]));
     let mut body = String::new();
     let _ = writeln!(
         body,
         "{:<14} {:>9} {:>10} {:>12} {:>12} {:>10}",
         "policy", "dram_gib", "node_util", "mean_wait_s", "jobs_per_day", "borrowed%"
     );
-    for memory in [MemoryPolicy::LocalOnly, MemoryPolicy::SlowdownAware { max_dilation: 1.35 }] {
+    for memory in ["local-only", "slowdown-aware"] {
         for &dram in &drams {
-            let (racks, npr, cores, _) = PRESET.machine();
-            let cluster = dmhpc_platform::ClusterSpec::new(
-                racks,
-                npr,
-                dmhpc_platform::NodeSpec::new(cores, dram * GIB),
-                per_rack(BASE_POOL_GIB),
-            );
-            let sched = sched_with(memory, default_slowdown());
-            let out = Simulation::new(SimConfig::new(cluster, sched)).run(&w);
+            let cell = outs
+                .select(|k| k.cluster == format!("dram-{dram}gib") && k.scheduler.contains(memory))
+                .into_iter()
+                .next()
+                .expect("every (dram, policy) cell ran");
+            let r = &cell.output.report;
             let _ = writeln!(
                 body,
                 "{:<14} {:>9} {:>10.3} {:>12.0} {:>12.0} {:>9.1}%",
-                memory.name(),
+                memory,
                 dram,
-                out.report.node_util,
-                out.report.mean_wait_s,
-                out.report.throughput_jobs_per_day,
-                100.0 * out.report.borrowed_fraction,
+                r.node_util,
+                r.mean_wait_s,
+                r.throughput_jobs_per_day,
+                100.0 * r.borrowed_fraction,
             );
         }
     }
@@ -297,7 +345,6 @@ fn f5() -> ExpResult {
 // ---------------------------------------------------------------- F6
 
 fn f6() -> ExpResult {
-    let w = base_workload();
     let penalties = [1.0, 1.2, 1.4, 1.6, 1.8, 2.0];
     let mut body = String::new();
     let _ = writeln!(
@@ -306,34 +353,51 @@ fn f6() -> ExpResult {
         "policy", "penalty", "makespan_h", "mean_wait_s", "mean_dil", "borrowed%"
     );
     // Local-only reference (penalty-independent).
-    let base = run_one(
-        PoolTopology::None,
-        sched_with(MemoryPolicy::LocalOnly, SlowdownModel::None),
-        &w,
+    let base_outs = execute(
+        base("f6-baseline")
+            .pool(PoolTopology::None)
+            .scheduler(sched_with(MemoryPolicy::LocalOnly, SlowdownModel::None)),
     );
+    let b = &base_outs.cells()[0].output.report;
     let _ = writeln!(
         body,
         "{:<14} {:>8} {:>11.1} {:>12.0} {:>11.3} {:>9.1}%",
-        "local-only", "-", base.report.makespan_h, base.report.mean_wait_s, 1.0, 0.0
+        "local-only", "-", b.makespan_h, b.mean_wait_s, 1.0, 0.0
     );
-    for memory in [MemoryPolicy::PoolFirstFit, MemoryPolicy::SlowdownAware { max_dilation: 1.35 }] {
-        for &penalty in &penalties {
-            let model = SlowdownModel::Saturating {
-                penalty,
-                curvature: 3.0,
-            };
-            let out = run_one(per_rack(BASE_POOL_GIB), sched_with(memory, model), &w);
-            let _ = writeln!(
-                body,
-                "{:<14} {:>8.1} {:>11.1} {:>12.0} {:>11.3} {:>9.1}%",
-                memory.name(),
-                penalty,
-                out.report.makespan_h,
-                out.report.mean_wait_s,
-                out.report.mean_dilation_borrowers.max(1.0),
-                100.0 * out.report.borrowed_fraction,
-            );
-        }
+    // The penalty sweep is a scheduler axis: memory policy × slowdown model.
+    let memories = [
+        MemoryPolicy::PoolFirstFit,
+        MemoryPolicy::SlowdownAware { max_dilation: 1.35 },
+    ];
+    let outs = execute(base("f6").pool(per_rack(BASE_POOL_GIB)).schedulers(
+        memories.iter().flat_map(|&memory| {
+            penalties.map(move |penalty| {
+                sched_with(
+                    memory,
+                    SlowdownModel::Saturating {
+                        penalty,
+                        curvature: 3.0,
+                    },
+                )
+            })
+        }),
+    ));
+    for (cell, (memory, penalty)) in outs.cells().iter().zip(
+        memories
+            .iter()
+            .flat_map(|&m| penalties.map(move |p| (m, p))),
+    ) {
+        let r = &cell.output.report;
+        let _ = writeln!(
+            body,
+            "{:<14} {:>8.1} {:>11.1} {:>12.0} {:>11.3} {:>9.1}%",
+            memory.name(),
+            penalty,
+            r.makespan_h,
+            r.mean_wait_s,
+            r.mean_dilation_borrowers.max(1.0),
+            100.0 * r.borrowed_fraction,
+        );
     }
     ExpResult {
         id: "f6",
@@ -345,14 +409,14 @@ fn f6() -> ExpResult {
 // ---------------------------------------------------------------- F7
 
 fn f7() -> ExpResult {
-    let w = base_workload();
+    let outs = execute(
+        base("f7")
+            .pools([per_rack(128), per_rack(512)])
+            .scheduler(sched_with(MemoryPolicy::PoolFirstFit, default_slowdown())),
+    );
     let mut body = String::from("pool_gib,hour,pool_util\n");
-    for gib in [128u64, 512] {
-        let out = run_one(
-            per_rack(gib),
-            sched_with(MemoryPolicy::PoolFirstFit, default_slowdown()),
-            &w,
-        );
+    for (cell, gib) in outs.cells().iter().zip([128u64, 512]) {
+        let out = &cell.output;
         for (h, u) in out.series.pool_util_series(out.end_time, 25) {
             let _ = writeln!(body, "{gib},{h:.2},{u:.4}");
         }
@@ -367,17 +431,21 @@ fn f7() -> ExpResult {
 // ---------------------------------------------------------------- F8
 
 fn f8() -> ExpResult {
-    let w = base_workload();
-    let baseline = run_one(
-        PoolTopology::None,
-        sched_with(MemoryPolicy::LocalOnly, SlowdownModel::None),
-        &w,
+    let baseline = execute(
+        base("f8-baseline")
+            .pool(PoolTopology::None)
+            .scheduler(sched_with(MemoryPolicy::LocalOnly, SlowdownModel::None)),
     );
-    let aware = run_one(
-        per_rack(BASE_POOL_GIB),
-        sched_with(MemoryPolicy::SlowdownAware { max_dilation: 1.35 }, default_slowdown()),
-        &w,
+    let aware = execute(
+        base("f8-aware")
+            .pool(per_rack(BASE_POOL_GIB))
+            .scheduler(sched_with(
+                MemoryPolicy::SlowdownAware { max_dilation: 1.35 },
+                default_slowdown(),
+            )),
     );
+    let baseline = &baseline.cells()[0].output;
+    let aware = &aware.cells()[0].output;
     let mut body = String::new();
     let _ = writeln!(
         body,
@@ -416,34 +484,37 @@ fn f8() -> ExpResult {
 // ---------------------------------------------------------------- F9
 
 fn f9() -> ExpResult {
-    let w = base_workload();
     let total = BASE_POOL_GIB * 8; // same total capacity, different layout
-    let topologies = [
-        ("none", PoolTopology::None),
-        ("per-rack-512", per_rack(BASE_POOL_GIB)),
-        ("global-4096", PoolTopology::Global { mib: total * GIB }),
-    ];
+    let outs = execute(
+        base("f9")
+            .pools([
+                PoolTopology::None,
+                per_rack(BASE_POOL_GIB),
+                PoolTopology::Global { mib: total * GIB },
+            ])
+            .scheduler(sched_with(MemoryPolicy::PoolBestFit, default_slowdown())),
+    );
     let mut body = String::new();
     let _ = writeln!(
         body,
         "{:<14} {:>12} {:>10} {:>10} {:>10} {:>10}",
         "topology", "mean_wait_s", "p95_bsld", "node_util", "pool_util", "borrowed%"
     );
-    for (name, pool) in topologies {
-        let out = run_one(
-            pool,
-            sched_with(MemoryPolicy::PoolBestFit, default_slowdown()),
-            &w,
-        );
+    for (cell, name) in outs
+        .cells()
+        .iter()
+        .zip(["none", "per-rack-512", "global-4096"])
+    {
+        let r = &cell.output.report;
         let _ = writeln!(
             body,
             "{:<14} {:>12.0} {:>10.2} {:>10.3} {:>10.3} {:>9.1}%",
             name,
-            out.report.mean_wait_s,
-            out.report.p95_bsld,
-            out.report.node_util,
-            out.report.pool_util,
-            100.0 * out.report.borrowed_fraction,
+            r.mean_wait_s,
+            r.p95_bsld,
+            r.node_util,
+            r.pool_util,
+            100.0 * r.borrowed_fraction,
         );
     }
     ExpResult {
@@ -460,7 +531,18 @@ fn report_table(reports: &[&SimReport]) -> String {
     let _ = writeln!(
         body,
         "{:<28} {:>5} {:>5} {:>4} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
-        "policy", "done", "kill", "rej", "mean_w_s", "p95_w_s", "p95_bsld", "node_ut", "pool_ut", "borrow%", "infl%", "fair"
+        "policy",
+        "done",
+        "kill",
+        "rej",
+        "mean_w_s",
+        "p95_w_s",
+        "p95_bsld",
+        "node_ut",
+        "pool_ut",
+        "borrow%",
+        "infl%",
+        "fair"
     );
     for r in reports {
         let _ = writeln!(
@@ -484,10 +566,12 @@ fn report_table(reports: &[&SimReport]) -> String {
 }
 
 fn t2() -> ExpResult {
-    let w = base_workload();
-    let suite = policy_suite(default_slowdown());
-    let outs = run_policies(preset_cluster(PRESET, per_rack(BASE_POOL_GIB)), &w, &suite, 0);
-    let reports: Vec<&SimReport> = outs.iter().map(|o| &o.report).collect();
+    let outs = execute(
+        base("t2")
+            .pool(per_rack(BASE_POOL_GIB))
+            .policy_suite(default_slowdown()),
+    );
+    let reports: Vec<&SimReport> = outs.cells().iter().map(|c| &c.output.report).collect();
     ExpResult {
         id: "t2",
         title: "Headline policy comparison (base config: load 0.9, 512 GiB/rack)",
@@ -498,18 +582,22 @@ fn t2() -> ExpResult {
 // ---------------------------------------------------------------- A1–A3
 
 fn a1() -> ExpResult {
-    let w = base_workload();
+    let outs = execute(
+        base("a1")
+            .pool(per_rack(BASE_POOL_GIB))
+            .schedulers([true, false].map(|inflate| {
+                SchedulerBuilder::new()
+                    .memory(MemoryPolicy::PoolFirstFit)
+                    .slowdown(default_slowdown())
+                    .inflate_walltime(inflate)
+                    .build()
+            })),
+    );
     let mut reports = Vec::new();
-    for inflate in [true, false] {
-        let sched = *SchedulerBuilder::new()
-            .memory(MemoryPolicy::PoolFirstFit)
-            .slowdown(default_slowdown())
-            .inflate_walltime(inflate)
-            .build()
-            .config();
-        let mut out = run_one(per_rack(BASE_POOL_GIB), sched, &w);
-        out.report.label = format!("pool-ff inflate={inflate}");
-        reports.push(out.report);
+    for (cell, inflate) in outs.cells().iter().zip([true, false]) {
+        let mut r = cell.output.report.clone();
+        r.label = format!("pool-ff inflate={inflate}");
+        reports.push(r);
     }
     let refs: Vec<&SimReport> = reports.iter().collect();
     ExpResult {
@@ -520,34 +608,32 @@ fn a1() -> ExpResult {
 }
 
 fn a2() -> ExpResult {
-    let w = base_workload();
-    let mut reports = Vec::new();
-    for backfill in [
-        BackfillPolicy::None,
-        BackfillPolicy::Easy,
-        BackfillPolicy::Conservative,
-    ] {
-        let sched = *SchedulerBuilder::new()
-            .order(OrderPolicy::Fcfs)
-            .backfill(backfill)
-            .memory(MemoryPolicy::PoolBestFit)
-            .slowdown(default_slowdown())
-            .build()
-            .config();
-        let out = run_one(per_rack(BASE_POOL_GIB), sched, &w);
-        reports.push(out.report);
-    }
-    let refs: Vec<&SimReport> = reports.iter().collect();
+    let outs = execute(
+        base("a2").pool(per_rack(BASE_POOL_GIB)).schedulers(
+            [
+                BackfillPolicy::None,
+                BackfillPolicy::Easy,
+                BackfillPolicy::Conservative,
+            ]
+            .map(|backfill| {
+                SchedulerBuilder::new()
+                    .order(OrderPolicy::Fcfs)
+                    .backfill(backfill)
+                    .memory(MemoryPolicy::PoolBestFit)
+                    .slowdown(default_slowdown())
+                    .build()
+            }),
+        ),
+    );
+    let reports: Vec<&SimReport> = outs.cells().iter().map(|c| &c.output.report).collect();
     ExpResult {
         id: "a2",
         title: "Ablation A2: backfill flavour under disaggregation",
-        body: report_table(&refs),
+        body: report_table(&reports),
     }
 }
 
 fn a3() -> ExpResult {
-    let w = base_workload();
-    let mut reports = Vec::new();
     let models: [(&str, SlowdownModel); 3] = [
         ("static-linear-1.5", SlowdownModel::Linear { penalty: 1.5 }),
         (
@@ -565,26 +651,23 @@ fn a3() -> ExpResult {
             },
         ),
     ];
-    for (name, model) in models {
-        let mut out = run_one(
-            per_rack(BASE_POOL_GIB),
-            sched_with(MemoryPolicy::PoolFirstFit, model),
-            &w,
-        );
-        out.report.label = name.to_string();
-        reports.push(out.report);
-    }
+    let outs = execute(
+        base("a3")
+            .pool(per_rack(BASE_POOL_GIB))
+            .schedulers(models.map(|(_, model)| sched_with(MemoryPolicy::PoolFirstFit, model))),
+    );
     let mut body = String::new();
     let _ = writeln!(
         body,
         "{:<20} {:>12} {:>10} {:>12} {:>6}",
         "model", "mean_wait_s", "p95_bsld", "mean_dil", "kill"
     );
-    for r in &reports {
+    for (cell, (name, _)) in outs.cells().iter().zip(models) {
+        let r = &cell.output.report;
         let _ = writeln!(
             body,
             "{:<20} {:>12.0} {:>10.2} {:>12.3} {:>6}",
-            r.label,
+            name,
             r.mean_wait_s,
             r.p95_bsld,
             r.mean_dilation_borrowers.max(1.0),
@@ -621,5 +704,17 @@ mod tests {
         let lines: Vec<&str> = r.body.trim().lines().collect();
         assert_eq!(lines[0], "mem_frac_of_node,cdf");
         assert!(lines.len() > 10);
+    }
+
+    #[test]
+    fn base_grid_declares_the_standard_cell() {
+        let spec = base("probe")
+            .pool(per_rack(BASE_POOL_GIB))
+            .policy_suite(default_slowdown())
+            .build()
+            .unwrap();
+        assert_eq!(spec.cell_count(), 4, "1 cluster × 1 load × 1 seed × suite");
+        assert_eq!(spec.seeds, vec![SEED]);
+        assert_eq!(spec.loads, vec![LOAD]);
     }
 }

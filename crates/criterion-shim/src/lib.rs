@@ -1,0 +1,310 @@
+//! A minimal, dependency-free stand-in for the subset of the `criterion`
+//! API this workspace's benches use.
+//!
+//! The real criterion crate cannot be vendored in offline builds, so the
+//! bench targets depend on this shim under the name `criterion` (see
+//! `crates/bench/Cargo.toml`). It keeps the familiar surface —
+//! [`Criterion`], [`black_box`], [`criterion_group!`], [`criterion_main!`],
+//! benchmark groups with throughput annotations — and prints one
+//! `name ... mean ± spread` line per benchmark.
+//!
+//! Methodology (simplified): each benchmark is warmed up briefly, then
+//! timed over `sample_size` samples; a sample is as many iterations as fit
+//! a fixed slice of wall time. Numbers are indicative, not
+//! statistically rigorous — good enough to compare runner overhead across
+//! commits on the same machine.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: prevents the optimizer from deleting benchmark work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup cost. The shim re-runs setup per
+/// batch regardless; the variants exist for API compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier: function name plus a parameter value.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, as criterion renders it.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just a parameter (used with `bench_with_input` on anonymous fns).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by `iter`.
+    samples_ns: Vec<f64>,
+    sample_size: usize,
+    measure_time: Duration,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            samples_ns: Vec::new(),
+            sample_size,
+            measure_time: Duration::from_millis(300),
+        }
+    }
+
+    /// Time `routine` repeatedly.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warmup + calibration: how many iterations fit ~1/sample of the
+        // measurement budget?
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+        let per_sample = self.measure_time / self.sample_size as u32;
+        let iters = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let dt = start.elapsed();
+            self.samples_ns.push(dt.as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup` (setup excluded from the
+    /// timing by measuring per-call and subtracting nothing — the shim
+    /// simply times only the routine body).
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples_ns.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+fn mean_std(samples: &[f64]) -> (f64, f64) {
+    let n = samples.len().max(1) as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn report(name: &str, samples: &[f64], throughput: Option<Throughput>) {
+    let (mean, std) = mean_std(samples);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean > 0.0 => {
+            format!("  ({:.0} elem/s)", n as f64 / (mean / 1e9))
+        }
+        Some(Throughput::Bytes(n)) if mean > 0.0 => {
+            format!(
+                "  ({:.1} MiB/s)",
+                n as f64 / (mean / 1e9) / (1024.0 * 1024.0)
+            )
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{name:<52} {:>12} ± {:>10}{rate}",
+        human_ns(mean),
+        human_ns(std)
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run a benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        report(
+            &format!("{}/{}", self.name, id.name),
+            &b.samples_ns,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Run a benchmark.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, name),
+            &b.samples_ns,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Finish the group (prints nothing extra; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Driver with default settings.
+    pub fn new() -> Self {
+        Criterion { sample_size: 20 }
+    }
+
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(&name.to_string(), &b.samples_ns, None);
+        self
+    }
+}
+
+/// Collect benchmark functions into a runnable group, as criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::new();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running every group, as criterion does.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher::new(5);
+        b.iter(|| black_box(3u64 * 7));
+        assert_eq!(b.samples_ns.len(), 5);
+        assert!(b.samples_ns.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn group_runs_to_completion() {
+        let mut c = Criterion::new();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3)
+            .throughput(Throughput::Elements(10))
+            .bench_with_input(BenchmarkId::new("mul", 4), &4u64, |b, &x| {
+                b.iter(|| black_box(x * x))
+            });
+        g.finish();
+    }
+
+    #[test]
+    fn human_units() {
+        assert!(human_ns(12.0).ends_with("ns"));
+        assert!(human_ns(12_000.0).ends_with("µs"));
+        assert!(human_ns(12_000_000.0).ends_with("ms"));
+        assert!(human_ns(2e9).ends_with(" s"));
+    }
+}

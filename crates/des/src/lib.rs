@@ -18,8 +18,8 @@
 //! * [`stats`] — online statistics: Welford moments, P² streaming quantiles,
 //!   linear/log histograms, time-weighted step functions, CDF collection.
 //!
-//! Everything is `#![forbid(unsafe_code)]` and has no non-`serde`
-//! dependencies, so determinism cannot rot underneath the simulator.
+//! Everything is `#![forbid(unsafe_code)]` and dependency-free, so
+//! determinism cannot rot underneath the simulator.
 //!
 //! ## Example
 //!

@@ -350,7 +350,10 @@ impl DiscreteAlias {
             "DiscreteAlias requires finite non-negative weights"
         );
         let total: f64 = weights.iter().sum();
-        assert!(total > 0.0, "DiscreteAlias requires a positive total weight");
+        assert!(
+            total > 0.0,
+            "DiscreteAlias requires a positive total weight"
+        );
         let n = weights.len();
         let mut scaled: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
         let mut prob = vec![0.0; n];
@@ -545,7 +548,7 @@ mod tests {
     fn hypergamma_mixture_mean() {
         let d = HyperGamma::new(
             0.7,
-            Gamma::new(2.0, 1.0), // mean 2
+            Gamma::new(2.0, 1.0),  // mean 2
             Gamma::new(10.0, 2.0), // mean 20
         );
         let (mean, _) = moments(&d, 11, 200_000);

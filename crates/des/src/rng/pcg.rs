@@ -189,7 +189,9 @@ mod tests {
             assert_eq!(c1.next_u64(), c2.next_u64());
         }
         let mut other = parent.fork(4);
-        let equal = (0..256).filter(|_| parent.fork(3).next_u64() == other.next_u64()).count();
+        let equal = (0..256)
+            .filter(|_| parent.fork(3).next_u64() == other.next_u64())
+            .count();
         assert!(equal <= 1);
     }
 

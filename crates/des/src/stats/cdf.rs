@@ -1,10 +1,8 @@
 //! Exact empirical CDFs for figure output.
 
-use serde::{Deserialize, Serialize};
-
 /// Collects samples and answers exact quantile/CDF queries. Sorting is done
 /// lazily and cached; pushing after a query re-dirties the cache.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct CdfCollector {
     samples: Vec<f64>,
     sorted: bool,

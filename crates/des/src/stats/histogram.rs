@@ -1,9 +1,7 @@
 //! Fixed-width and logarithmic histograms.
 
-use serde::{Deserialize, Serialize};
-
 /// Fixed-width histogram over `[lo, hi)` with explicit under/overflow bins.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
@@ -94,7 +92,7 @@ impl Histogram {
 
 /// Log₂ histogram: bin *k* covers `[2^k, 2^(k+1))`, with a dedicated zero
 /// bin. Natural for job sizes (1, 2, 4, … nodes) and memory footprints.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct LogHistogram {
     zero: u64,
     /// `bins[k]` counts values in `[2^k, 2^(k+1))`.

@@ -1,12 +1,10 @@
 //! Welford's single-pass mean/variance with parallel merge.
 
-use serde::{Deserialize, Serialize};
-
 /// Numerically stable streaming moments: count, mean, variance, min, max.
 ///
 /// `merge` implements Chan et al.'s pairwise combination, so per-thread
 /// accumulators from a parallel sweep can be reduced exactly.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct OnlineStats {
     count: u64,
     mean: f64,
@@ -158,7 +156,9 @@ mod tests {
 
     #[test]
     fn merge_equals_sequential() {
-        let data: Vec<f64> = (0..1000).map(|i| ((i * 7919) % 1000) as f64 / 3.0).collect();
+        let data: Vec<f64> = (0..1000)
+            .map(|i| ((i * 7919) % 1000) as f64 / 3.0)
+            .collect();
         let mut whole = OnlineStats::new();
         for &x in &data {
             whole.push(x);

@@ -7,10 +7,8 @@
 //! percent for smooth distributions; the exact [`CdfCollector`]
 //! (super::CdfCollector) is used when figures need exact tails.
 
-use serde::{Deserialize, Serialize};
-
 /// Streaming estimator for a single quantile `q`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct P2Quantile {
     q: f64,
     /// Marker heights.

@@ -6,14 +6,13 @@
 //! figure output.
 
 use crate::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Exact integrator for a piecewise-constant signal.
 ///
 /// Call [`update`](TimeWeighted::update) whenever the signal changes;
 /// [`mean_until`](TimeWeighted::mean_until) closes the last segment at the
 /// query time. Out-of-order updates panic — events in a DES are causal.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TimeWeighted {
     start: SimTime,
     last_time: SimTime,
@@ -92,7 +91,7 @@ impl TimeWeighted {
 
 /// A recorded step series: [`TimeWeighted`] integration plus the actual
 /// `(time, value)` breakpoints, for time-series figures.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct StepSeries {
     tw: TimeWeighted,
     points: Vec<(SimTime, f64)>,
@@ -165,7 +164,7 @@ mod tests {
         let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
         tw.update(SimTime::from_secs(10), 5.0); // 0 for 10 s
         tw.update(SimTime::from_secs(20), 2.0); // 5 for 10 s
-        // then 2 until t=30: mean = (0*10 + 5*10 + 2*10)/30 = 70/30
+                                                // then 2 until t=30: mean = (0*10 + 5*10 + 2*10)/30 = 70/30
         let mean = tw.mean_until(SimTime::from_secs(30));
         assert!((mean - 70.0 / 30.0).abs() < 1e-9);
         assert_eq!(tw.max(), 5.0);

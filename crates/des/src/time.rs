@@ -7,7 +7,6 @@
 //! (a 1e-6 relative error on a 30-day job is ~2.6 s) while `u64` range allows
 //! ~584,000 simulated years.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
@@ -21,13 +20,11 @@ pub const MICROS_PER_HOUR: u64 = 60 * MICROS_PER_MIN;
 pub const MICROS_PER_DAY: u64 = 24 * MICROS_PER_HOUR;
 
 /// An absolute instant on the simulation clock (microseconds since t=0).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 /// A span of simulated time (microseconds).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -460,10 +457,7 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert_eq!(
-            SimDuration::from_secs(3661).to_string(),
-            "01:01:01"
-        );
+        assert_eq!(SimDuration::from_secs(3661).to_string(), "01:01:01");
         assert_eq!(
             SimDuration::from_micros(MICROS_PER_DAY + 500_000).to_string(),
             "1d00:00:00.500000"

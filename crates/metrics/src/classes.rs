@@ -3,10 +3,9 @@
 use crate::jobstats::{JobOutcome, JobRecord};
 use dmhpc_des::stats::OnlineStats;
 use dmhpc_workload::Job;
-use serde::{Deserialize, Serialize};
 
 /// Classification thresholds.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ClassThresholds {
     /// Jobs with at least this many nodes are "large".
     pub large_nodes: u32,
@@ -41,7 +40,7 @@ impl ClassThresholds {
 }
 
 /// The 2×2 job taxonomy used by reproduction figure F8.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum JobClass {
     /// < large_nodes, light memory.
     SmallLight,
@@ -74,7 +73,7 @@ impl JobClass {
 }
 
 /// Aggregated outcomes for one class.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ClassRow {
     /// Which class.
     pub class: JobClass,
@@ -91,7 +90,7 @@ pub struct ClassRow {
 }
 
 /// Per-class aggregation over a run's records.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ClassBreakdown {
     /// One row per class, in [`JobClass::ALL`] order.
     pub rows: Vec<ClassRow>,
@@ -188,20 +187,35 @@ mod tests {
     #[test]
     fn classification_quadrants() {
         let t = thresholds();
-        assert_eq!(t.classify(&JobBuilder::new(1).nodes(1).mem_per_node(100).build()), JobClass::SmallLight);
-        assert_eq!(t.classify(&JobBuilder::new(2).nodes(1).mem_per_node(900).build()), JobClass::SmallHeavy);
-        assert_eq!(t.classify(&JobBuilder::new(3).nodes(32).mem_per_node(100).build()), JobClass::LargeLight);
-        assert_eq!(t.classify(&JobBuilder::new(4).nodes(32).mem_per_node(900).build()), JobClass::LargeHeavy);
+        assert_eq!(
+            t.classify(&JobBuilder::new(1).nodes(1).mem_per_node(100).build()),
+            JobClass::SmallLight
+        );
+        assert_eq!(
+            t.classify(&JobBuilder::new(2).nodes(1).mem_per_node(900).build()),
+            JobClass::SmallHeavy
+        );
+        assert_eq!(
+            t.classify(&JobBuilder::new(3).nodes(32).mem_per_node(100).build()),
+            JobClass::LargeLight
+        );
+        assert_eq!(
+            t.classify(&JobBuilder::new(4).nodes(32).mem_per_node(900).build()),
+            JobClass::LargeHeavy
+        );
         // Boundary: exactly 50% is light; exactly large_nodes is large.
-        assert_eq!(t.classify(&JobBuilder::new(5).nodes(16).mem_per_node(500).build()), JobClass::LargeLight);
+        assert_eq!(
+            t.classify(&JobBuilder::new(5).nodes(16).mem_per_node(500).build()),
+            JobClass::LargeLight
+        );
     }
 
     #[test]
     fn breakdown_aggregates_by_class() {
         let records = vec![
-            rec(1, 1, 100, 50, 0, 1),    // small-light
-            rec(2, 1, 100, 150, 0, 1),   // small-light
-            rec(3, 1, 900, 400, 200, 1), // small-heavy, borrowed
+            rec(1, 1, 100, 50, 0, 1),     // small-light
+            rec(2, 1, 100, 150, 0, 1),    // small-light
+            rec(3, 1, 900, 400, 200, 1),  // small-heavy, borrowed
             rec(4, 32, 900, 1000, 0, 40), // large-heavy, inflated
         ];
         let b = ClassBreakdown::compute(&records, &thresholds());

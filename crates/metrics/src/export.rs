@@ -1,9 +1,11 @@
 //! CSV and JSON export of reports and series.
 //!
 //! CSV output is deliberately hand-rolled (the format here is numeric and
-//! label-safe, no quoting edge cases) to avoid a dependency; JSON goes
-//! through `serde_json`.
+//! label-safe, no quoting edge cases); JSON goes through the in-tree
+//! [`crate::json`] module, so the whole export layer is dependency-free.
 
+use crate::classes::{ClassBreakdown, ClassRow, JobClass};
+use crate::json::{Json, JsonError};
 use crate::summary::SimReport;
 use std::fmt::Write as _;
 
@@ -57,9 +59,126 @@ pub fn reports_to_csv(reports: &[SimReport]) -> String {
     out
 }
 
+/// The JSON document model for one report.
+pub fn report_to_value(r: &SimReport) -> Json {
+    let classes = Json::Arr(
+        r.classes
+            .rows
+            .iter()
+            .map(|row| {
+                Json::obj(vec![
+                    ("class", Json::Str(row.class.name().into())),
+                    ("jobs", Json::UInt(row.jobs as u64)),
+                    ("mean_wait_s", Json::F64(row.mean_wait_s)),
+                    ("mean_bsld", Json::F64(row.mean_bsld)),
+                    ("borrowed_fraction", Json::F64(row.borrowed_fraction)),
+                    ("inflated_fraction", Json::F64(row.inflated_fraction)),
+                ])
+            })
+            .collect(),
+    );
+    Json::obj(vec![
+        ("label", Json::Str(r.label.clone())),
+        ("completed", Json::UInt(r.completed as u64)),
+        ("killed", Json::UInt(r.killed as u64)),
+        ("rejected", Json::UInt(r.rejected as u64)),
+        ("mean_wait_s", Json::F64(r.mean_wait_s)),
+        ("p50_wait_s", Json::F64(r.p50_wait_s)),
+        ("p95_wait_s", Json::F64(r.p95_wait_s)),
+        ("max_wait_s", Json::F64(r.max_wait_s)),
+        ("mean_bsld", Json::F64(r.mean_bsld)),
+        ("p95_bsld", Json::F64(r.p95_bsld)),
+        ("mean_turnaround_s", Json::F64(r.mean_turnaround_s)),
+        ("makespan_h", Json::F64(r.makespan_h)),
+        (
+            "throughput_jobs_per_day",
+            Json::F64(r.throughput_jobs_per_day),
+        ),
+        ("node_util", Json::F64(r.node_util)),
+        ("pool_util", Json::F64(r.pool_util)),
+        ("dram_util", Json::F64(r.dram_util)),
+        ("queue_depth_mean", Json::F64(r.queue_depth_mean)),
+        ("queue_depth_max", Json::F64(r.queue_depth_max)),
+        ("borrowed_fraction", Json::F64(r.borrowed_fraction)),
+        ("mean_far_fraction", Json::F64(r.mean_far_fraction)),
+        (
+            "mean_dilation_borrowers",
+            Json::F64(r.mean_dilation_borrowers),
+        ),
+        ("inflated_fraction", Json::F64(r.inflated_fraction)),
+        (
+            "inflation_overhead_node_h",
+            Json::F64(r.inflation_overhead_node_h),
+        ),
+        ("user_fairness", Json::F64(r.user_fairness)),
+        ("classes", classes),
+    ])
+}
+
 /// Pretty JSON for one report.
 pub fn report_to_json(r: &SimReport) -> String {
-    serde_json::to_string_pretty(r).expect("SimReport serializes")
+    report_to_value(r).to_string_pretty()
+}
+
+/// Rebuild a report from its JSON document model.
+pub fn report_from_value(v: &Json) -> Result<SimReport, JsonError> {
+    let f = |key: &str| -> Result<f64, JsonError> { v.expect_key(key)?.to_f64() };
+    let n = |key: &str| -> Result<usize, JsonError> { v.expect_key(key)?.to_usize() };
+    let rows = v
+        .expect_key("classes")?
+        .to_arr()?
+        .iter()
+        .map(|row| {
+            let name = row.expect_key("class")?.to_str()?;
+            let class = JobClass::ALL
+                .into_iter()
+                .find(|c| c.name() == name)
+                .ok_or_else(|| JsonError {
+                    message: format!("unknown job class {name:?}"),
+                    offset: 0,
+                })?;
+            Ok(ClassRow {
+                class,
+                jobs: row.expect_key("jobs")?.to_usize()?,
+                mean_wait_s: row.expect_key("mean_wait_s")?.to_f64()?,
+                mean_bsld: row.expect_key("mean_bsld")?.to_f64()?,
+                borrowed_fraction: row.expect_key("borrowed_fraction")?.to_f64()?,
+                inflated_fraction: row.expect_key("inflated_fraction")?.to_f64()?,
+            })
+        })
+        .collect::<Result<Vec<_>, JsonError>>()?;
+    Ok(SimReport {
+        label: v.expect_key("label")?.to_str()?.to_string(),
+        completed: n("completed")?,
+        killed: n("killed")?,
+        rejected: n("rejected")?,
+        mean_wait_s: f("mean_wait_s")?,
+        p50_wait_s: f("p50_wait_s")?,
+        p95_wait_s: f("p95_wait_s")?,
+        max_wait_s: f("max_wait_s")?,
+        mean_bsld: f("mean_bsld")?,
+        p95_bsld: f("p95_bsld")?,
+        mean_turnaround_s: f("mean_turnaround_s")?,
+        makespan_h: f("makespan_h")?,
+        throughput_jobs_per_day: f("throughput_jobs_per_day")?,
+        node_util: f("node_util")?,
+        pool_util: f("pool_util")?,
+        dram_util: f("dram_util")?,
+        queue_depth_mean: f("queue_depth_mean")?,
+        queue_depth_max: f("queue_depth_max")?,
+        borrowed_fraction: f("borrowed_fraction")?,
+        mean_far_fraction: f("mean_far_fraction")?,
+        mean_dilation_borrowers: f("mean_dilation_borrowers")?,
+        inflated_fraction: f("inflated_fraction")?,
+        inflation_overhead_node_h: f("inflation_overhead_node_h")?,
+        user_fairness: f("user_fairness")?,
+        classes: ClassBreakdown { rows },
+    })
+}
+
+/// Parse a report previously written by [`report_to_json`].
+pub fn report_from_json(text: &str) -> Result<SimReport, JsonError> {
+    report_from_value(&crate::json::parse(text)?)
 }
 
 /// CSV for an `(x, y)` series with custom column names.
@@ -74,11 +193,7 @@ pub fn series_to_csv(x_name: &str, y_name: &str, points: &[(f64, f64)]) -> Strin
 
 /// CSV for multiple named `y` series sharing `x` values (figure output: one
 /// column per policy). Series must be equal-length.
-pub fn multi_series_to_csv(
-    x_name: &str,
-    xs: &[f64],
-    series: &[(&str, Vec<f64>)],
-) -> String {
+pub fn multi_series_to_csv(x_name: &str, xs: &[f64], series: &[(&str, Vec<f64>)]) -> String {
     for (name, ys) in series {
         assert_eq!(
             ys.len(),
@@ -104,8 +219,10 @@ pub fn multi_series_to_csv(
     out
 }
 
-/// Strip CSV-hostile characters from labels.
-fn sanitize(s: &str) -> String {
+/// Strip CSV-hostile characters from labels. Public so other table
+/// writers (e.g. experiment-result export) keep row arity intact for
+/// arbitrary user-supplied labels.
+pub fn sanitize(s: &str) -> String {
     s.replace([',', '\n', '\r', '"'], "_")
 }
 
@@ -154,9 +271,13 @@ mod tests {
     fn json_roundtrip() {
         let r = report("x");
         let json = report_to_json(&r);
-        let back: SimReport = serde_json::from_str(&json).unwrap();
+        let back = report_from_json(&json).unwrap();
         assert_eq!(back.label, "x");
         assert_eq!(back.node_util, 0.5);
+        assert_eq!(back.classes.rows.len(), r.classes.rows.len());
+        // Bit-exact field round trip through the shortest-float writer.
+        assert_eq!(back.p95_bsld, r.p95_bsld);
+        assert_eq!(back.user_fairness, r.user_fairness);
     }
 
     #[test]

@@ -69,10 +69,10 @@ mod tests {
             dilation_actual: 1.0,
         };
         let records = vec![
-            mk(1, 0, 0, Some(100)),  // user 0 waits 100
-            mk(2, 0, 0, Some(300)),  // user 0 waits 300 → mean 200
-            mk(3, 7, 0, Some(50)),   // user 7 waits 50
-            mk(4, 7, 0, None),       // rejected: excluded
+            mk(1, 0, 0, Some(100)), // user 0 waits 100
+            mk(2, 0, 0, Some(300)), // user 0 waits 300 → mean 200
+            mk(3, 7, 0, Some(50)),  // user 7 waits 50
+            mk(4, 7, 0, None),      // rejected: excluded
         ];
         let waits = per_user_mean_waits(&records);
         assert_eq!(waits, vec![200.0, 50.0]);

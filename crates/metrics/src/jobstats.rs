@@ -2,10 +2,9 @@
 
 use dmhpc_des::time::{SimDuration, SimTime};
 use dmhpc_workload::Job;
-use serde::{Deserialize, Serialize};
 
 /// Terminal state of a job in one simulation run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JobOutcome {
     /// Ran to completion.
     Completed,
@@ -16,7 +15,7 @@ pub enum JobOutcome {
 }
 
 /// Everything the simulator knows about one finished job.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct JobRecord {
     /// The job as submitted.
     pub job: Job,

@@ -1,0 +1,593 @@
+//! A minimal JSON document model with parser and writer.
+//!
+//! The workspace builds offline, so (de)serialization of experiment specs
+//! and reports goes through this hand-rolled module instead of `serde`.
+//! It supports the full JSON grammar with two deliberate simplifications:
+//!
+//! * Numbers are kept **exact for integers**: literals without a fraction
+//!   or exponent parse to [`Json::UInt`]/[`Json::Int`], so `u64` seeds and
+//!   MiB capacities round-trip bit-exactly; everything else is an `f64`
+//!   written with Rust's shortest round-trip formatting.
+//! * Objects preserve insertion order (a `Vec` of pairs, not a map), so
+//!   output is deterministic.
+
+use std::fmt::Write as _;
+
+/// A parsed or constructed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Non-negative integer literal (exact).
+    UInt(u64),
+    /// Negative integer literal (exact).
+    Int(i64),
+    /// Any number with a fraction or exponent.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+/// A JSON syntax or shape error, with byte offset for syntax errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input (0 for shape errors on parsed values).
+    pub offset: usize,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Build an object from key/value pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Look up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Require a key in an object (shape error otherwise).
+    pub fn expect_key(&self, key: &str) -> Result<&Json, JsonError> {
+        self.get(key)
+            .ok_or_else(|| shape(format!("missing key {key:?}")))
+    }
+
+    /// The value as a float, coercing exact integers.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::UInt(u) => Some(u as f64),
+            Json::Int(i) => Some(i as f64),
+            Json::F64(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::UInt(u) => Some(u),
+            Json::Int(i) if i >= 0 => Some(i as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Typed accessors that produce shape errors, for deserializers.
+    pub fn to_f64(&self) -> Result<f64, JsonError> {
+        self.as_f64()
+            .ok_or_else(|| shape(format!("expected number, got {self:?}")))
+    }
+
+    /// Exact `u64` or shape error.
+    pub fn to_u64(&self) -> Result<u64, JsonError> {
+        self.as_u64()
+            .ok_or_else(|| shape(format!("expected unsigned integer, got {self:?}")))
+    }
+
+    /// Exact `usize` or shape error.
+    pub fn to_usize(&self) -> Result<usize, JsonError> {
+        Ok(self.to_u64()? as usize)
+    }
+
+    /// Bool or shape error.
+    pub fn to_bool(&self) -> Result<bool, JsonError> {
+        self.as_bool()
+            .ok_or_else(|| shape(format!("expected bool, got {self:?}")))
+    }
+
+    /// String or shape error.
+    pub fn to_str(&self) -> Result<&str, JsonError> {
+        self.as_str()
+            .ok_or_else(|| shape(format!("expected string, got {self:?}")))
+    }
+
+    /// Array or shape error.
+    pub fn to_arr(&self) -> Result<&[Json], JsonError> {
+        self.as_arr()
+            .ok_or_else(|| shape(format!("expected array, got {self:?}")))
+    }
+
+    /// Serialize compactly (no whitespace).
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serialize with 2-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::F64(x) => {
+                if x.is_finite() {
+                    // `{:?}` is Rust's shortest round-trip float repr.
+                    let _ = write!(out, "{x:?}");
+                } else {
+                    // JSON has no Inf/NaN; null is the conventional fallback.
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                write_seq(out, indent, depth, items.len(), '[', ']', |out, i, d| {
+                    items[i].write(out, indent, d);
+                });
+            }
+            Json::Obj(pairs) => {
+                write_seq(out, indent, depth, pairs.len(), '{', '}', |out, i, d| {
+                    write_escaped(out, &pairs[i].0);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    pairs[i].1.write(out, indent, d);
+                });
+            }
+        }
+    }
+}
+
+fn shape(message: String) -> JsonError {
+    JsonError { message, offset: 0 }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    len: usize,
+    open: char,
+    close: char,
+    mut item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            for _ in 0..(depth + 1) * width {
+                out.push(' ');
+            }
+        }
+        item(out, i, depth + 1);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse a JSON document. Exactly one value is expected (trailing
+/// whitespace allowed).
+pub fn parse(text: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.eat(b'[', "expected [")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected , or ] in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.eat(b'{', "expected {")?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "expected : after object key")?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected , or } in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"', "expected string")?;
+        let mut s = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(s),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'b' => s.push('\u{0008}'),
+                        b'f' => s.push('\u{000c}'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                self.eat(b'\\', "expected low surrogate")?;
+                                self.eat(b'u', "expected low surrogate")?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            let Some(c) = char::from_u32(code) else {
+                                return Err(self.err("invalid unicode escape"));
+                            };
+                            s.push(c);
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 from the byte stream: step back and
+                    // take the whole char.
+                    self.pos -= 1;
+                    let rest = &self.bytes[self.pos..];
+                    let text = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
+                    let c = text.chars().next().expect("non-empty");
+                    if (c as u32) < 0x20 {
+                        return Err(self.err("unescaped control character"));
+                    }
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let Some(b) = self.peek() else {
+                return Err(self.err("truncated \\u escape"));
+            };
+            let d = match b {
+                b'0'..=b'9' => (b - b'0') as u32,
+                b'a'..=b'f' => (b - b'a') as u32 + 10,
+                b'A'..=b'F' => (b - b'A') as u32 + 10,
+                _ => return Err(self.err("invalid hex digit")),
+            };
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number bytes");
+        if integral {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Json::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::F64)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in [
+            "null",
+            "true",
+            "false",
+            "0",
+            "42",
+            "-7",
+            "18446744073709551615",
+        ] {
+            let v = parse(text).unwrap();
+            assert_eq!(v.to_string_compact(), text, "{text}");
+        }
+    }
+
+    #[test]
+    fn u64_is_exact() {
+        let v = parse("9007199254740993").unwrap(); // 2^53 + 1: not f64-safe
+        assert_eq!(v.as_u64(), Some(9007199254740993));
+        assert_eq!(v.to_string_compact(), "9007199254740993");
+    }
+
+    #[test]
+    fn floats_round_trip() {
+        for x in [0.9, 1.35, -2.5e-3, 1e20] {
+            let text = Json::F64(x).to_string_compact();
+            let back = parse(&text).unwrap();
+            assert_eq!(back.as_f64(), Some(x), "{text}");
+        }
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = "a\"b\\c\nd\te\u{1F600}";
+        let text = Json::Str(s.into()).to_string_compact();
+        assert_eq!(parse(&text).unwrap().as_str(), Some(s));
+        // And explicit \u escapes parse, including surrogate pairs.
+        assert_eq!(
+            parse("\"\\u0041\\ud83d\\ude00\"").unwrap().as_str(),
+            Some("A\u{1F600}")
+        );
+    }
+
+    #[test]
+    fn nested_structure() {
+        let text = r#"{"a": [1, 2.5, {"b": null}], "c": "x"}"#;
+        let v = parse(text).unwrap();
+        assert_eq!(v.get("a").unwrap().to_arr().unwrap().len(), 3);
+        assert_eq!(v.get("c").unwrap().as_str(), Some("x"));
+        let pretty = v.to_string_pretty();
+        assert_eq!(parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn object_order_preserved() {
+        let v = Json::obj(vec![("z", Json::UInt(1)), ("a", Json::UInt(2))]);
+        assert_eq!(v.to_string_compact(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn errors_carry_offset() {
+        let e = parse("{\"a\": }").unwrap_err();
+        assert!(e.offset > 0);
+        assert!(parse("[1, 2").is_err());
+        assert!(parse("01x").is_err());
+        assert!(parse("\"\u{0001}\"").is_err());
+        assert!(parse("12 34").unwrap_err().message.contains("trailing"));
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let v = parse(r#"{"n": 3, "s": "x", "b": true, "a": [1]}"#).unwrap();
+        assert_eq!(v.expect_key("n").unwrap().to_u64().unwrap(), 3);
+        assert_eq!(v.expect_key("s").unwrap().to_str().unwrap(), "x");
+        assert!(v.expect_key("b").unwrap().to_bool().unwrap());
+        assert_eq!(v.expect_key("a").unwrap().to_arr().unwrap().len(), 1);
+        assert!(v.expect_key("zzz").is_err());
+        assert!(v.expect_key("s").unwrap().to_f64().is_err());
+    }
+}

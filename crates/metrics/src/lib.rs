@@ -22,9 +22,10 @@ mod classes;
 pub mod export;
 mod fairness;
 mod jobstats;
+pub mod json;
 mod summary;
 
-pub use classes::{ClassBreakdown, ClassThresholds, JobClass};
+pub use classes::{ClassBreakdown, ClassRow, ClassThresholds, JobClass};
 pub use fairness::{jain_index, per_user_mean_waits};
 pub use jobstats::{JobOutcome, JobRecord};
 pub use summary::{RunData, SimReport};

@@ -4,7 +4,6 @@ use crate::classes::{ClassBreakdown, ClassThresholds};
 use crate::fairness::{jain_index, per_user_mean_waits};
 use crate::jobstats::{JobOutcome, JobRecord};
 use dmhpc_des::stats::{CdfCollector, OnlineStats};
-use serde::{Deserialize, Serialize};
 
 /// Raw inputs a simulation run hands to report computation. System-level
 /// utilizations are computed by the engine's collector (it owns the
@@ -30,7 +29,7 @@ pub struct RunData {
 }
 
 /// The headline metrics of one run (one row of reproduction table T2).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimReport {
     /// Run label.
     pub label: String,
@@ -148,7 +147,11 @@ impl SimReport {
             p95_bsld: bsld_cdf.quantile(0.95),
             mean_turnaround_s: turnaround.mean(),
             makespan_h: data.makespan_s / 3600.0,
-            throughput_jobs_per_day: if days > 0.0 { completed as f64 / days } else { 0.0 },
+            throughput_jobs_per_day: if days > 0.0 {
+                completed as f64 / days
+            } else {
+                0.0
+            },
             node_util: data.node_util,
             pool_util: data.pool_util,
             dram_util: data.dram_util,
@@ -211,8 +214,8 @@ mod tests {
     #[test]
     fn report_aggregates() {
         let mut records = vec![
-            rec(1, 0, 100, 1100),  // wait 100
-            rec(2, 0, 300, 1300),  // wait 300
+            rec(1, 0, 100, 1100), // wait 100
+            rec(2, 0, 300, 1300), // wait 300
         ];
         records.push(JobRecord::rejected(JobBuilder::new(3).build()));
         let mut killed = rec(4, 0, 0, 500);
@@ -235,7 +238,11 @@ mod tests {
     #[test]
     fn borrower_stats() {
         let mut a = rec(1, 0, 0, 100);
-        a.job = JobBuilder::new(1).nodes(1).mem_per_node(1000).runtime_secs(100, 200).build();
+        a.job = JobBuilder::new(1)
+            .nodes(1)
+            .mem_per_node(1000)
+            .runtime_secs(100, 200)
+            .build();
         a.remote_per_node = 500;
         a.dilation_actual = 1.2;
         let b = rec(2, 0, 0, 100);
@@ -255,9 +262,12 @@ mod tests {
 
     #[test]
     fn report_serializes() {
-        let r = SimReport::compute(&data(vec![rec(1, 0, 10, 110)]), &ClassThresholds::standard(1024));
-        let json = serde_json::to_string(&r).unwrap();
-        assert!(json.contains("\"label\":\"test\""));
+        let r = SimReport::compute(
+            &data(vec![rec(1, 0, 10, 110)]),
+            &ClassThresholds::standard(1024),
+        );
+        let json = crate::export::report_to_json(&r);
+        assert!(json.contains("\"label\": \"test\""));
         assert!(json.contains("mean_wait_s"));
     }
 }

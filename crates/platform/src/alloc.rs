@@ -1,7 +1,6 @@
 //! Memory assignments: how a lease's footprint is composed.
 
 use crate::units::{MiB, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// A concrete placement decision for one job: which nodes it gets and how
 /// each node's share of the memory footprint splits between node-local DRAM
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// The split is uniform across nodes — matching how MPI jobs are launched
 /// (one rank layout everywhere) and how the paper's policies reason.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MemoryAssignment {
     /// Nodes granted to the lease (whole-node allocation).
     pub nodes: Vec<NodeId>,

@@ -6,11 +6,10 @@ use crate::node::NodeSpec;
 use crate::pool::MemoryPool;
 use crate::topology::PoolTopology;
 use crate::units::{MiB, NodeId, PoolId, RackId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Static description of a whole machine.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClusterSpec {
     /// Number of racks.
     pub racks: u32,
@@ -24,15 +23,46 @@ pub struct ClusterSpec {
 
 impl ClusterSpec {
     /// A spec with the given shape; panics on a zero-sized machine.
+    ///
+    /// Panicking shorthand for [`ClusterSpec::try_new`], for specs written
+    /// as literals. Fallible paths (config files, experiment grids) should
+    /// use `try_new`.
     pub fn new(racks: u32, nodes_per_rack: u32, node: NodeSpec, pool: PoolTopology) -> Self {
-        assert!(racks > 0, "cluster needs at least one rack");
-        assert!(nodes_per_rack > 0, "racks need at least one node");
-        ClusterSpec {
+        Self::try_new(racks, nodes_per_rack, node, pool).expect("invalid ClusterSpec")
+    }
+
+    /// A spec with the given shape, rejecting zero-sized machines with a
+    /// typed error.
+    pub fn try_new(
+        racks: u32,
+        nodes_per_rack: u32,
+        node: NodeSpec,
+        pool: PoolTopology,
+    ) -> Result<Self, PlatformError> {
+        let spec = ClusterSpec {
             racks,
             nodes_per_rack,
             node,
             pool,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Check the machine shape (used by `try_new` and by simulator
+    /// constructors that accept a spec built by hand).
+    pub fn validate(&self) -> Result<(), PlatformError> {
+        if self.racks == 0 {
+            return Err(PlatformError::InvalidSpec {
+                reason: "cluster needs at least one rack".into(),
+            });
         }
+        if self.nodes_per_rack == 0 {
+            return Err(PlatformError::InvalidSpec {
+                reason: "racks need at least one node".into(),
+            });
+        }
+        self.node.validate()
     }
 
     /// Total compute nodes.
@@ -222,10 +252,7 @@ impl Cluster {
 
     /// Group an assignment's remote demand by pool domain. Errors if any
     /// node with remote demand lacks a pool.
-    fn remote_by_pool(
-        &self,
-        a: &MemoryAssignment,
-    ) -> Result<Vec<(PoolId, MiB)>, PlatformError> {
+    fn remote_by_pool(&self, a: &MemoryAssignment) -> Result<Vec<(PoolId, MiB)>, PlatformError> {
         let mut by_pool: Vec<(PoolId, MiB)> = Vec::new();
         if a.remote_per_node == 0 {
             return Ok(by_pool);
@@ -337,19 +364,14 @@ impl Cluster {
     pub fn verify_invariants(&self) -> Result<(), String> {
         let free = self.holders.iter().filter(|h| h.is_none()).count();
         if free != self.free_count {
-            return Err(format!(
-                "free_count {} != actual {}",
-                self.free_count, free
-            ));
+            return Err(format!("free_count {} != actual {}", self.free_count, free));
         }
         for (r, &rf) in self.rack_free.iter().enumerate() {
             let actual = self
                 .holders
                 .iter()
                 .enumerate()
-                .filter(|(i, h)| {
-                    h.is_none() && *i as u32 / self.spec.nodes_per_rack == r as u32
-                })
+                .filter(|(i, h)| h.is_none() && *i as u32 / self.spec.nodes_per_rack == r as u32)
                 .count() as u32;
             if rf != actual {
                 return Err(format!("rack {r}: rack_free {rf} != actual {actual}"));
@@ -510,7 +532,8 @@ mod tests {
     #[test]
     fn rejects_busy_and_unknown_nodes() {
         let mut c = small_cluster(PoolTopology::None);
-        c.allocate(1, MemoryAssignment::local(ids(&[2]), 1)).unwrap();
+        c.allocate(1, MemoryAssignment::local(ids(&[2]), 1))
+            .unwrap();
         let err = c
             .allocate(2, MemoryAssignment::local(ids(&[2]), 1))
             .unwrap_err();
@@ -538,7 +561,8 @@ mod tests {
             .allocate(1, MemoryAssignment::local(vec![], 1))
             .unwrap_err();
         assert_eq!(err, PlatformError::EmptyAssignment);
-        c.allocate(1, MemoryAssignment::local(ids(&[0]), 1)).unwrap();
+        c.allocate(1, MemoryAssignment::local(ids(&[0]), 1))
+            .unwrap();
         let err = c
             .allocate(1, MemoryAssignment::local(ids(&[1]), 1))
             .unwrap_err();
@@ -575,7 +599,8 @@ mod tests {
     #[test]
     fn first_fit_selection() {
         let mut c = small_cluster(PoolTopology::None);
-        c.allocate(1, MemoryAssignment::local(ids(&[0, 2]), 1)).unwrap();
+        c.allocate(1, MemoryAssignment::local(ids(&[0, 2]), 1))
+            .unwrap();
         assert_eq!(c.first_fit_nodes(3), Some(ids(&[1, 3, 4])));
         assert_eq!(c.first_fit_nodes(7), None);
         assert_eq!(c.free_node_iter().count(), 6);
@@ -615,7 +640,8 @@ mod tests {
         assert_eq!(c.lease_count(), 8);
         for i in 16..24u64 {
             let nodes = c.first_fit_nodes(1).unwrap();
-            c.allocate(i, MemoryAssignment::local(nodes, gib(10))).unwrap();
+            c.allocate(i, MemoryAssignment::local(nodes, gib(10)))
+                .unwrap();
         }
         c.verify_invariants().unwrap();
         assert_eq!(c.lease_count(), 16);

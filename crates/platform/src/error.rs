@@ -61,6 +61,13 @@ pub enum PlatformError {
     },
     /// An assignment requested zero nodes.
     EmptyAssignment,
+    /// A static description (cluster shape, node spec, slowdown model) is
+    /// ill-formed. Produced by the fallible `try_new`/`validate`
+    /// constructors.
+    InvalidSpec {
+        /// What was wrong, human-readable.
+        reason: String,
+    },
 }
 
 impl fmt::Display for PlatformError {
@@ -82,7 +89,10 @@ impl fmt::Display for PlatformError {
                 pool,
                 requested,
                 free,
-            } => write!(f, "pool {pool}: requested {requested} MiB > free {free} MiB"),
+            } => write!(
+                f,
+                "pool {pool}: requested {requested} MiB > free {free} MiB"
+            ),
             PlatformError::NoPoolForNode { node } => {
                 write!(f, "node {node} has no memory pool but remote MiB requested")
             }
@@ -92,6 +102,7 @@ impl fmt::Display for PlatformError {
                 write!(f, "node {node} listed twice in assignment")
             }
             PlatformError::EmptyAssignment => write!(f, "assignment contains no nodes"),
+            PlatformError::InvalidSpec { reason } => write!(f, "invalid spec: {reason}"),
         }
     }
 }

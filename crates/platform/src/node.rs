@@ -1,13 +1,12 @@
 //! Compute-node specification.
 
 use crate::units::{fmt_mib, MiB};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Static description of one compute node. Clusters here are homogeneous —
 /// the norm for the capability systems this study targets — so one spec
 /// describes every node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NodeSpec {
     /// CPU cores per node (informational: jobs allocate whole nodes, but
     /// core counts drive the core-hour accounting in metrics).
@@ -18,13 +17,38 @@ pub struct NodeSpec {
 
 impl NodeSpec {
     /// A node with `cores` cores and `local_mem_mib` MiB of DRAM.
+    ///
+    /// Panicking shorthand for [`NodeSpec::try_new`], for specs written as
+    /// literals. Fallible paths (config files, experiment grids) should use
+    /// `try_new`.
     pub fn new(cores: u32, local_mem_mib: MiB) -> Self {
-        assert!(cores > 0, "a node needs at least one core");
-        assert!(local_mem_mib > 0, "a node needs some local memory");
-        NodeSpec {
+        Self::try_new(cores, local_mem_mib).expect("invalid NodeSpec")
+    }
+
+    /// A node with `cores` cores and `local_mem_mib` MiB of DRAM, rejecting
+    /// zero-sized hardware with a typed error.
+    pub fn try_new(cores: u32, local_mem_mib: MiB) -> Result<Self, crate::PlatformError> {
+        let spec = NodeSpec {
             cores,
             local_mem: local_mem_mib,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Check the spec for zero-sized hardware.
+    pub fn validate(&self) -> Result<(), crate::PlatformError> {
+        if self.cores == 0 {
+            return Err(crate::PlatformError::InvalidSpec {
+                reason: "a node needs at least one core".into(),
+            });
         }
+        if self.local_mem == 0 {
+            return Err(crate::PlatformError::InvalidSpec {
+                reason: "a node needs some local memory".into(),
+            });
+        }
+        Ok(())
     }
 }
 

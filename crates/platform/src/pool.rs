@@ -2,13 +2,12 @@
 
 use crate::error::PlatformError;
 use crate::units::{MiB, PoolId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One fabric-attached memory pool. Tracks capacity, current usage, a
 /// high-water mark, and exactly which lease holds how much — the ledger is
 /// what makes end-of-simulation conservation checks possible.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MemoryPool {
     id: PoolId,
     capacity: MiB,

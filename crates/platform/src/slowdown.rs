@@ -14,8 +14,6 @@
 //! The models are deliberately parametric: the reproduction sweeps the
 //! worst-case penalty (F6/A3) rather than claiming one hardware truth.
 
-use serde::{Deserialize, Serialize};
-
 /// Inputs to a dilation computation, bundled so signatures survive model
 /// extensions.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,7 +28,7 @@ pub struct DilationInputs {
 }
 
 /// How far-memory use dilates runtime.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SlowdownModel {
     /// Far memory is free (idealized upper bound for disaggregation).
     None,
@@ -100,37 +98,46 @@ impl SlowdownModel {
             SlowdownModel::Linear { penalty } | SlowdownModel::Saturating { penalty, .. } => {
                 penalty
             }
-            SlowdownModel::Contention { penalty, gamma } => {
-                1.0 + (penalty - 1.0) * (1.0 + gamma)
-            }
+            SlowdownModel::Contention { penalty, gamma } => 1.0 + (penalty - 1.0) * (1.0 + gamma),
         }
     }
 
     /// Validate parameters; called by cluster/simulation constructors.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), crate::PlatformError> {
+        let invalid = |reason: String| crate::PlatformError::InvalidSpec { reason };
         match *self {
             SlowdownModel::None => Ok(()),
             SlowdownModel::Linear { penalty } => {
                 if penalty >= 1.0 && penalty.is_finite() {
                     Ok(())
                 } else {
-                    Err(format!("Linear penalty must be >= 1, got {penalty}"))
+                    Err(invalid(format!(
+                        "Linear penalty must be >= 1, got {penalty}"
+                    )))
                 }
             }
             SlowdownModel::Saturating { penalty, curvature } => {
                 if !(penalty >= 1.0 && penalty.is_finite()) {
-                    Err(format!("Saturating penalty must be >= 1, got {penalty}"))
+                    Err(invalid(format!(
+                        "Saturating penalty must be >= 1, got {penalty}"
+                    )))
                 } else if !(curvature > 0.0 && curvature.is_finite()) {
-                    Err(format!("Saturating curvature must be > 0, got {curvature}"))
+                    Err(invalid(format!(
+                        "Saturating curvature must be > 0, got {curvature}"
+                    )))
                 } else {
                     Ok(())
                 }
             }
             SlowdownModel::Contention { penalty, gamma } => {
                 if !(penalty >= 1.0 && penalty.is_finite()) {
-                    Err(format!("Contention penalty must be >= 1, got {penalty}"))
+                    Err(invalid(format!(
+                        "Contention penalty must be >= 1, got {penalty}"
+                    )))
                 } else if !(gamma >= 0.0 && gamma.is_finite()) {
-                    Err(format!("Contention gamma must be >= 0, got {gamma}"))
+                    Err(invalid(format!(
+                        "Contention gamma must be >= 0, got {gamma}"
+                    )))
                 } else {
                     Ok(())
                 }
@@ -178,7 +185,10 @@ mod tests {
         assert!((m.dilation(inp(1.0, 1.0, 0.0)) - 2.0).abs() < 1e-12);
         // Concavity: the half-way dilation exceeds the linear midpoint.
         let half = m.dilation(inp(0.5, 1.0, 0.0));
-        assert!(half > 1.5, "saturating at 0.5 should exceed linear (got {half})");
+        assert!(
+            half > 1.5,
+            "saturating at 0.5 should exceed linear (got {half})"
+        );
         assert!(half < 2.0);
         // Monotone in far fraction.
         let mut prev = 1.0;

@@ -1,7 +1,6 @@
 //! Where disaggregated memory lives.
 
 use crate::units::MiB;
-use serde::{Deserialize, Serialize};
 
 /// Placement of disaggregated memory in the system.
 ///
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// deployment: a memory shelf per rack, reachable at rack-local latency),
 /// and an idealized system-wide pool (`Global` — an upper bound that removes
 /// placement constraints entirely).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PoolTopology {
     /// No disaggregated memory: jobs live on node DRAM alone.
     None,
@@ -79,10 +78,7 @@ mod tests {
     #[test]
     fn pool_counts() {
         assert_eq!(PoolTopology::None.pool_count(8), 0);
-        assert_eq!(
-            PoolTopology::PerRack { mib_per_rack: 1 }.pool_count(8),
-            8
-        );
+        assert_eq!(PoolTopology::PerRack { mib_per_rack: 1 }.pool_count(8), 8);
         assert_eq!(PoolTopology::Global { mib: 1 }.pool_count(8), 1);
     }
 

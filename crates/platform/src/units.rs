@@ -1,6 +1,5 @@
 //! Capacity units and entity identifiers.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Memory capacity in mebibytes. All platform accounting is integral MiB;
@@ -29,15 +28,15 @@ pub fn fmt_mib(m: MiB) -> String {
 }
 
 /// Index of a compute node within a cluster.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 /// Index of a rack within a cluster.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RackId(pub u32);
 
 /// Index of a memory pool within a cluster.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PoolId(pub u32);
 
 impl fmt::Display for NodeId {

@@ -19,6 +19,15 @@
 //!   free nodes *and* free pool bytes per domain, so a backfilled job can
 //!   never steal the pool memory a reservation depends on.
 //!
+//! Ordering and placement are **pluggable**: the [`Ordering`] and
+//! [`Placement`] traits define the behaviour, the enums above are the
+//! built-in implementations, and [`Scheduler::with_policies`] accepts any
+//! boxed pair — downstream users add policies without forking the enums.
+//!
+//! Construction is fallible: [`SchedulerBuilder::build`] yields a plain
+//! [`SchedulerConfig`] value, and [`Scheduler::new`] validates it with
+//! typed [`dmhpc_platform::PlatformError`]s instead of panicking.
+//!
 //! Scheduling passes mutate a [`dmhpc_platform::Cluster`] directly and
 //! return the jobs started; the simulation engine in `dmhpc-sim` wires
 //! passes to events.
@@ -31,11 +40,14 @@ mod order;
 mod policy;
 mod profile;
 mod queue;
+mod traits;
 
 pub use memory::{MemoryPolicy, PlannedAllocation};
 pub use order::OrderPolicy;
 pub use policy::{
-    BackfillPolicy, RunningRelease, Scheduler, SchedulerBuilder, SchedulerConfig, StartedJob,
+    BackfillPolicy, PassResult, RunningRelease, Scheduler, SchedulerBuilder, SchedulerConfig,
+    StartedJob,
 };
 pub use profile::{AvailabilityProfile, Demand, Release};
 pub use queue::{QueuedJob, WaitQueue};
+pub use traits::{Ordering, Placement};

@@ -25,7 +25,6 @@ use dmhpc_platform::{
     Cluster, DilationInputs, MemoryAssignment, MiB, NodeId, RackId, SlowdownModel,
 };
 use dmhpc_workload::Job;
-use serde::{Deserialize, Serialize};
 
 /// A concrete, placeable allocation decision for one job.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,7 +38,7 @@ pub struct PlannedAllocation {
 }
 
 /// How a job's memory footprint is placed. See module docs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum MemoryPolicy {
     /// Node-local DRAM only; memory-hungry jobs inflate their node count.
     LocalOnly,
@@ -92,11 +91,23 @@ impl MemoryPolicy {
         let shape = match self {
             MemoryPolicy::LocalOnly => {
                 let k = Self::inflated_nodes(job, node_local);
-                (Demand { nodes: k, remote_per_node: 0 }, 1.0)
+                (
+                    Demand {
+                        nodes: k,
+                        remote_per_node: 0,
+                    },
+                    1.0,
+                )
             }
             MemoryPolicy::PoolFirstFit | MemoryPolicy::PoolBestFit => {
                 if fits_locally {
-                    (Demand { nodes: job.nodes, remote_per_node: 0 }, 1.0)
+                    (
+                        Demand {
+                            nodes: job.nodes,
+                            remote_per_node: 0,
+                        },
+                        1.0,
+                    )
                 } else {
                     let remote = job.mem_per_node - node_local;
                     if pool_can_ever_serve(cluster, job.nodes, remote) {
@@ -106,10 +117,22 @@ impl MemoryPolicy {
                             intensity: job.intensity,
                             pool_pressure: 0.0,
                         });
-                        (Demand { nodes: job.nodes, remote_per_node: remote }, dil)
+                        (
+                            Demand {
+                                nodes: job.nodes,
+                                remote_per_node: remote,
+                            },
+                            dil,
+                        )
                     } else {
                         let k = Self::inflated_nodes(job, node_local);
-                        (Demand { nodes: k, remote_per_node: 0 }, 1.0)
+                        (
+                            Demand {
+                                nodes: k,
+                                remote_per_node: 0,
+                            },
+                            1.0,
+                        )
                     }
                 }
             }
@@ -189,6 +212,30 @@ impl MemoryPolicy {
     }
 }
 
+impl crate::traits::Placement for MemoryPolicy {
+    fn name(&self) -> &str {
+        MemoryPolicy::name(self)
+    }
+
+    fn nominal_shape(
+        &self,
+        job: &Job,
+        cluster: &Cluster,
+        model: &SlowdownModel,
+    ) -> Option<(Demand, f64)> {
+        MemoryPolicy::nominal_shape(self, job, cluster, model)
+    }
+
+    fn plan(
+        &self,
+        job: &Job,
+        cluster: &Cluster,
+        model: &SlowdownModel,
+    ) -> Option<PlannedAllocation> {
+        MemoryPolicy::plan(self, job, cluster, model)
+    }
+}
+
 /// Current system-wide pool pressure (0 when no pools).
 fn current_pressure(cluster: &Cluster) -> f64 {
     let cap = cluster.total_pool_capacity();
@@ -232,7 +279,13 @@ fn enumerate_shapes(
     for k in job.nodes..=k_full.max(job.nodes) {
         let per_node = job.mem_per_node_at(k);
         if per_node <= node_local {
-            shapes.push((Demand { nodes: k, remote_per_node: 0 }, 1.0));
+            shapes.push((
+                Demand {
+                    nodes: k,
+                    remote_per_node: 0,
+                },
+                1.0,
+            ));
             // Any larger k costs strictly more node-seconds at dilation 1.
             break;
         }
@@ -247,7 +300,13 @@ fn enumerate_shapes(
             pool_pressure: pressure,
         });
         if dil <= max_dilation {
-            shapes.push((Demand { nodes: k, remote_per_node: remote }, dil));
+            shapes.push((
+                Demand {
+                    nodes: k,
+                    remote_per_node: remote,
+                },
+                dil,
+            ));
         }
     }
     shapes
@@ -383,12 +442,7 @@ mod tests {
 
     /// 2 racks × 4 nodes, 256 GiB DRAM, per-rack 512 GiB pools.
     fn cluster(pool: PoolTopology) -> Cluster {
-        Cluster::new(ClusterSpec::new(
-            2,
-            4,
-            NodeSpec::new(64, 256 * GIB),
-            pool,
-        ))
+        Cluster::new(ClusterSpec::new(2, 4, NodeSpec::new(64, 256 * GIB), pool))
     }
 
     fn per_rack() -> PoolTopology {
@@ -419,7 +473,9 @@ mod tests {
     #[test]
     fn local_only_natural_size() {
         let c = cluster(PoolTopology::None);
-        let plan = MemoryPolicy::LocalOnly.plan(&light_job(3), &c, &LINEAR).unwrap();
+        let plan = MemoryPolicy::LocalOnly
+            .plan(&light_job(3), &c, &LINEAR)
+            .unwrap();
         assert_eq!(plan.assignment.node_count(), 3);
         assert_eq!(plan.assignment.remote_per_node, 0);
         assert_eq!(plan.dilation, 1.0);
@@ -429,7 +485,9 @@ mod tests {
     fn local_only_inflates_memory_hungry_jobs() {
         let c = cluster(PoolTopology::None);
         // 2 × 384 GiB = 768 GiB total → ceil(768/256) = 3 nodes.
-        let plan = MemoryPolicy::LocalOnly.plan(&heavy_job(), &c, &LINEAR).unwrap();
+        let plan = MemoryPolicy::LocalOnly
+            .plan(&heavy_job(), &c, &LINEAR)
+            .unwrap();
         assert_eq!(plan.assignment.node_count(), 3);
         assert!(plan.assignment.local_per_node <= 256 * GIB);
         assert_eq!(plan.assignment.remote_per_node, 0);
@@ -440,7 +498,9 @@ mod tests {
     #[test]
     fn pool_ff_borrows_instead_of_inflating() {
         let c = cluster(per_rack());
-        let plan = MemoryPolicy::PoolFirstFit.plan(&heavy_job(), &c, &LINEAR).unwrap();
+        let plan = MemoryPolicy::PoolFirstFit
+            .plan(&heavy_job(), &c, &LINEAR)
+            .unwrap();
         assert_eq!(plan.assignment.node_count(), 2, "natural size");
         assert_eq!(plan.assignment.local_per_node, 256 * GIB);
         assert_eq!(plan.assignment.remote_per_node, 128 * GIB);
@@ -454,7 +514,9 @@ mod tests {
         let c = cluster(PoolTopology::PerRack {
             mib_per_rack: 64 * GIB, // too small for 128 GiB/node borrowing
         });
-        let plan = MemoryPolicy::PoolFirstFit.plan(&heavy_job(), &c, &LINEAR).unwrap();
+        let plan = MemoryPolicy::PoolFirstFit
+            .plan(&heavy_job(), &c, &LINEAR)
+            .unwrap();
         assert_eq!(plan.assignment.node_count(), 3, "inflation fallback");
         assert_eq!(plan.assignment.remote_per_node, 0);
     }
@@ -471,10 +533,7 @@ mod tests {
         .unwrap();
         // Job borrowing 128 GiB/node on 1 node: best-fit should choose rack
         // 0 (200 GiB free < rack 1's 512 GiB) — tightest sufficient.
-        let job = JobBuilder::new(3)
-            .nodes(1)
-            .mem_per_node(384 * GIB)
-            .build();
+        let job = JobBuilder::new(3).nodes(1).mem_per_node(384 * GIB).build();
         let plan = MemoryPolicy::PoolBestFit.plan(&job, &c, &LINEAR).unwrap();
         assert!(plan.assignment.nodes[0].0 < 4, "rack 0 expected");
         // First-fit would also pick rack 0 here; make them differ: drain
@@ -486,7 +545,10 @@ mod tests {
         .unwrap();
         // rack0 pool free = 512-312-150 = 50 GiB < 128 GiB.
         let plan = MemoryPolicy::PoolBestFit.plan(&job, &c, &LINEAR).unwrap();
-        assert!(plan.assignment.nodes[0].0 >= 4, "rack 1 after rack 0 drained");
+        assert!(
+            plan.assignment.nodes[0].0 >= 4,
+            "rack 1 after rack 0 drained"
+        );
     }
 
     #[test]
@@ -527,13 +589,25 @@ mod tests {
         let (d, dil) = MemoryPolicy::LocalOnly
             .nominal_shape(&heavy_job(), &c, &LINEAR)
             .unwrap();
-        assert_eq!(d, Demand { nodes: 3, remote_per_node: 0 });
+        assert_eq!(
+            d,
+            Demand {
+                nodes: 3,
+                remote_per_node: 0
+            }
+        );
         assert_eq!(dil, 1.0);
 
         let (d, dil) = MemoryPolicy::PoolFirstFit
             .nominal_shape(&heavy_job(), &c, &LINEAR)
             .unwrap();
-        assert_eq!(d, Demand { nodes: 2, remote_per_node: 128 * GIB });
+        assert_eq!(
+            d,
+            Demand {
+                nodes: 2,
+                remote_per_node: 128 * GIB
+            }
+        );
         assert!(dil > 1.0);
 
         let (d, _) = MemoryPolicy::SlowdownAware { max_dilation: 1.5 }
@@ -546,11 +620,10 @@ mod tests {
     fn nominal_shape_none_when_job_cannot_fit_machine() {
         let c = cluster(PoolTopology::None);
         // 8-node machine; job wants 6 nodes × 2 TiB → inflated 48 nodes.
-        let monster = JobBuilder::new(9)
-            .nodes(6)
-            .mem_per_node(2048 * GIB)
-            .build();
-        assert!(MemoryPolicy::LocalOnly.nominal_shape(&monster, &c, &LINEAR).is_none());
+        let monster = JobBuilder::new(9).nodes(6).mem_per_node(2048 * GIB).build();
+        assert!(MemoryPolicy::LocalOnly
+            .nominal_shape(&monster, &c, &LINEAR)
+            .is_none());
     }
 
     #[test]
@@ -558,7 +631,9 @@ mod tests {
         let mut c = cluster(PoolTopology::None);
         let all: Vec<NodeId> = (0..8).map(NodeId).collect();
         c.allocate(1, MemoryAssignment::local(all, 1)).unwrap();
-        assert!(MemoryPolicy::LocalOnly.plan(&light_job(1), &c, &LINEAR).is_none());
+        assert!(MemoryPolicy::LocalOnly
+            .plan(&light_job(1), &c, &LINEAR)
+            .is_none());
     }
 
     #[test]
@@ -584,7 +659,9 @@ mod tests {
     #[test]
     fn global_pool_placement() {
         let c = cluster(PoolTopology::Global { mib: 512 * GIB });
-        let plan = MemoryPolicy::PoolFirstFit.plan(&heavy_job(), &c, &LINEAR).unwrap();
+        let plan = MemoryPolicy::PoolFirstFit
+            .plan(&heavy_job(), &c, &LINEAR)
+            .unwrap();
         assert_eq!(plan.assignment.node_count(), 2);
         assert_eq!(plan.assignment.remote_per_node, 128 * GIB);
     }

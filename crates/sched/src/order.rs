@@ -2,13 +2,12 @@
 
 use crate::queue::QueuedJob;
 use dmhpc_des::time::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// How the wait queue is ordered before each scheduling pass.
 ///
 /// All orderings are total and deterministic: ties fall back to
 /// `(arrival, id)` so two runs of the same seed schedule identically.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum OrderPolicy {
     /// First-come first-served: ascending arrival.
     Fcfs,
@@ -47,9 +46,7 @@ impl OrderPolicy {
                 entries.sort_by_key(|e| (e.job.walltime, e.job.arrival, e.job.id));
             }
             OrderPolicy::LargestFirst => {
-                entries.sort_by_key(|e| {
-                    (std::cmp::Reverse(e.job.nodes), e.job.arrival, e.job.id)
-                });
+                entries.sort_by_key(|e| (std::cmp::Reverse(e.job.nodes), e.job.arrival, e.job.id));
             }
             OrderPolicy::Wfp { exponent } => {
                 // Score is recomputed against `now` each pass; cache it so
@@ -65,17 +62,25 @@ impl OrderPolicy {
                     })
                     .collect();
                 scored.sort_by(|a, b| {
-                    b.0.partial_cmp(&a.0)
-                        .expect("finite scores")
-                        .then_with(|| {
-                            let (ja, jb) = (&entries[a.1].job, &entries[b.1].job);
-                            (ja.arrival, ja.id).cmp(&(jb.arrival, jb.id))
-                        })
+                    b.0.partial_cmp(&a.0).expect("finite scores").then_with(|| {
+                        let (ja, jb) = (&entries[a.1].job, &entries[b.1].job);
+                        (ja.arrival, ja.id).cmp(&(jb.arrival, jb.id))
+                    })
                 });
                 let order: Vec<usize> = scored.into_iter().map(|(_, i)| i).collect();
                 apply_permutation(entries, &order);
             }
         }
+    }
+}
+
+impl crate::traits::Ordering for OrderPolicy {
+    fn name(&self) -> &str {
+        OrderPolicy::name(self)
+    }
+
+    fn order(&self, entries: &mut [QueuedJob], now: SimTime) {
+        OrderPolicy::order(self, entries, now)
     }
 }
 
@@ -111,21 +116,33 @@ mod tests {
 
     #[test]
     fn fcfs_by_arrival() {
-        let mut q = vec![queued(1, 30, 1, 100), queued(2, 10, 1, 100), queued(3, 20, 1, 100)];
+        let mut q = vec![
+            queued(1, 30, 1, 100),
+            queued(2, 10, 1, 100),
+            queued(3, 20, 1, 100),
+        ];
         OrderPolicy::Fcfs.order(&mut q, SimTime::from_secs(100));
         assert_eq!(ids(&q), vec![2, 3, 1]);
     }
 
     #[test]
     fn sjf_by_walltime() {
-        let mut q = vec![queued(1, 0, 1, 500), queued(2, 1, 1, 100), queued(3, 2, 1, 300)];
+        let mut q = vec![
+            queued(1, 0, 1, 500),
+            queued(2, 1, 1, 100),
+            queued(3, 2, 1, 300),
+        ];
         OrderPolicy::Sjf.order(&mut q, SimTime::from_secs(100));
         assert_eq!(ids(&q), vec![2, 3, 1]);
     }
 
     #[test]
     fn largest_first_by_nodes() {
-        let mut q = vec![queued(1, 0, 4, 100), queued(2, 1, 64, 100), queued(3, 2, 16, 100)];
+        let mut q = vec![
+            queued(1, 0, 4, 100),
+            queued(2, 1, 64, 100),
+            queued(3, 2, 16, 100),
+        ];
         OrderPolicy::LargestFirst.order(&mut q, SimTime::from_secs(100));
         assert_eq!(ids(&q), vec![2, 3, 1]);
     }
@@ -155,7 +172,11 @@ mod tests {
 
     #[test]
     fn ordering_is_stable_under_equal_keys() {
-        let mut q = vec![queued(5, 7, 2, 100), queued(6, 7, 2, 100), queued(7, 7, 2, 100)];
+        let mut q = vec![
+            queued(5, 7, 2, 100),
+            queued(6, 7, 2, 100),
+            queued(7, 7, 2, 100),
+        ];
         for policy in [
             OrderPolicy::Fcfs,
             OrderPolicy::Sjf,

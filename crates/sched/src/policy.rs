@@ -23,13 +23,13 @@ use crate::memory::MemoryPolicy;
 use crate::order::OrderPolicy;
 use crate::profile::{AvailabilityProfile, Release};
 use crate::queue::WaitQueue;
+use crate::traits::{Ordering, Placement};
 use dmhpc_des::time::{SimDuration, SimTime};
-use dmhpc_platform::{Cluster, MemoryAssignment, MiB, SlowdownModel};
+use dmhpc_platform::{Cluster, MemoryAssignment, MiB, PlatformError, SlowdownModel};
 use dmhpc_workload::Job;
-use serde::{Deserialize, Serialize};
 
 /// Backfilling flavour.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BackfillPolicy {
     /// No backfilling: strict queue order (head blocks everyone).
     None,
@@ -51,7 +51,7 @@ impl BackfillPolicy {
 }
 
 /// Full scheduler configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SchedulerConfig {
     /// Queue ordering.
     pub order: OrderPolicy,
@@ -77,10 +77,43 @@ impl SchedulerConfig {
             self.memory.name()
         )
     }
+
+    /// A label that distinguishes *every* field, including policy
+    /// parameters, the slowdown model, and the walltime-inflation switch —
+    /// e.g. `fcfs+easy+slowdown-aware1.35+sat1.5k3+noinfl`. Two configs
+    /// share a full label iff they are equal, which is what experiment
+    /// grids key cells on.
+    pub fn full_label(&self) -> String {
+        let order = match self.order {
+            OrderPolicy::Wfp { exponent } => format!("wfp{exponent}"),
+            other => other.name().to_string(),
+        };
+        let memory = match self.memory {
+            MemoryPolicy::SlowdownAware { max_dilation } => {
+                format!("slowdown-aware{max_dilation}")
+            }
+            other => other.name().to_string(),
+        };
+        let slowdown = match self.slowdown {
+            SlowdownModel::None => "sd-none".to_string(),
+            SlowdownModel::Linear { penalty } => format!("lin{penalty}"),
+            SlowdownModel::Saturating { penalty, curvature } => {
+                format!("sat{penalty}k{curvature}")
+            }
+            SlowdownModel::Contention { penalty, gamma } => format!("con{penalty}g{gamma}"),
+        };
+        let mut label = format!("{order}+{}+{memory}+{slowdown}", self.backfill.name());
+        if !self.inflate_walltime {
+            label.push_str("+noinfl");
+        }
+        label
+    }
 }
 
-/// Fluent builder with the conventional defaults (FCFS + EASY + LocalOnly +
-/// linear 1.5× slowdown + walltime inflation on).
+/// Fluent builder for [`SchedulerConfig`] with the conventional defaults
+/// (FCFS + EASY + LocalOnly + linear 1.5× slowdown + walltime inflation
+/// on). The result is plain data; validation happens when a [`Scheduler`]
+/// or simulation is constructed from it.
 #[derive(Debug, Clone)]
 pub struct SchedulerBuilder {
     cfg: SchedulerConfig,
@@ -136,13 +169,11 @@ impl SchedulerBuilder {
         self
     }
 
-    /// Finish.
-    pub fn build(self) -> Scheduler {
+    /// Finish, yielding the configuration value. Pass it to
+    /// [`Scheduler::new`] (or a `dmhpc-sim` constructor), which validates
+    /// it and reports problems as typed errors.
+    pub fn build(self) -> SchedulerConfig {
         self.cfg
-            .slowdown
-            .validate()
-            .expect("invalid slowdown model");
-        Scheduler { cfg: self.cfg }
     }
 }
 
@@ -183,21 +214,62 @@ pub struct PassResult {
 /// The scheduler. Stateless between passes: all state lives in the queue,
 /// the cluster, and the engine's running set, so passes are pure functions
 /// of the visible system state — a property the determinism tests rely on.
-#[derive(Debug, Clone)]
+///
+/// Ordering and placement behaviour are held as trait objects, so the
+/// built-in [`OrderPolicy`]/[`MemoryPolicy`] enums and user-supplied
+/// [`Ordering`]/[`Placement`] implementations schedule through the same
+/// code path.
+#[derive(Debug)]
 pub struct Scheduler {
     cfg: SchedulerConfig,
+    order: Box<dyn Ordering>,
+    placement: Box<dyn Placement>,
 }
 
 impl Scheduler {
-    /// A scheduler with the given configuration.
-    pub fn new(cfg: SchedulerConfig) -> Self {
-        cfg.slowdown.validate().expect("invalid slowdown model");
-        Scheduler { cfg }
+    /// A scheduler with the given configuration, using the built-in policy
+    /// enums. Fails with a typed error when the slowdown model is
+    /// ill-formed.
+    pub fn new(cfg: SchedulerConfig) -> Result<Self, PlatformError> {
+        Self::with_policies(cfg, Box::new(cfg.order), Box::new(cfg.memory))
+    }
+
+    /// A scheduler with custom ordering and placement behaviour. `cfg`
+    /// still supplies the backfill flavour, the slowdown model, and the
+    /// walltime-inflation switch; its `order`/`memory` enums are ignored
+    /// in favour of the supplied trait objects. Note the enums keep their
+    /// original values inside the config — `config().label()` and any
+    /// serialized form describe the *enums*, not the active custom
+    /// policies; use [`Scheduler::label`] (or the engine's report labels,
+    /// which go through it) for what actually ran.
+    pub fn with_policies(
+        cfg: SchedulerConfig,
+        order: Box<dyn Ordering>,
+        placement: Box<dyn Placement>,
+    ) -> Result<Self, PlatformError> {
+        cfg.slowdown.validate()?;
+        Ok(Scheduler {
+            cfg,
+            order,
+            placement,
+        })
     }
 
     /// This scheduler's configuration.
     pub fn config(&self) -> &SchedulerConfig {
         &self.cfg
+    }
+
+    /// Human-readable policy triple, using the *active* policies (which
+    /// differ from `config().label()` when custom trait objects are
+    /// plugged in).
+    pub fn label(&self) -> String {
+        format!(
+            "{}+{}+{}",
+            self.order.name(),
+            self.cfg.backfill.name(),
+            self.placement.name()
+        )
     }
 
     /// Planned walltime for a job at the given dilation.
@@ -219,7 +291,7 @@ impl Scheduler {
         running: &[RunningRelease],
     ) -> PassResult {
         let mut result = PassResult::default();
-        self.cfg.order.order(queue.entries_mut(), now);
+        self.order.order(queue.entries_mut(), now);
 
         // Phase 1: greedy head starts.
         while !queue.is_empty() {
@@ -227,8 +299,7 @@ impl Scheduler {
             // Jobs impossible even on an idle machine are rejected here so
             // they cannot block the queue forever.
             if self
-                .cfg
-                .memory
+                .placement
                 .nominal_shape(job, cluster, &self.cfg.slowdown)
                 .is_none()
             {
@@ -239,7 +310,7 @@ impl Scheduler {
                 ));
                 continue;
             }
-            let Some(plan) = self.cfg.memory.plan(job, cluster, &self.cfg.slowdown) else {
+            let Some(plan) = self.placement.plan(job, cluster, &self.cfg.slowdown) else {
                 break; // head blocked
             };
             let entry = queue.remove(0);
@@ -267,9 +338,12 @@ impl Scheduler {
                 pool_per_domain: r.pool_per_domain.clone(),
             })
             // Jobs started in phase 1 also release capacity later.
-            .chain(result.started.iter().map(|s| {
-                release_of(cluster, &s.assignment, now + s.planned_walltime)
-            }))
+            .chain(
+                result
+                    .started
+                    .iter()
+                    .map(|s| release_of(cluster, &s.assignment, now + s.planned_walltime)),
+            )
             .collect();
         let mut profile = AvailabilityProfile::from_cluster(now, cluster, &releases);
 
@@ -295,13 +369,11 @@ impl Scheduler {
         debug_assert!(!queue.is_empty());
         let head = &queue.entries()[0].job;
         let (head_demand, head_dilation) = self
-            .cfg
-            .memory
+            .placement
             .nominal_shape(head, cluster, &self.cfg.slowdown)
             .expect("head rejected in phase 1 if impossible");
         let head_wall = self.planned_walltime(head, head_dilation);
-        let Some((shadow, head_split)) = profile.earliest_fit(now, head_wall, &head_demand)
-        else {
+        let Some((shadow, head_split)) = profile.earliest_fit(now, head_wall, &head_demand) else {
             // Cannot ever fit (pool topology too small for the nominal
             // shape): reject rather than wedge the queue.
             let entry = queue.remove(0);
@@ -316,7 +388,7 @@ impl Scheduler {
         let mut idx = 1;
         while idx < queue.len() {
             let job = &queue.entries()[idx].job;
-            let Some(plan) = self.cfg.memory.plan(job, cluster, &self.cfg.slowdown) else {
+            let Some(plan) = self.placement.plan(job, cluster, &self.cfg.slowdown) else {
                 idx += 1;
                 continue;
             };
@@ -354,8 +426,7 @@ impl Scheduler {
         while idx < queue.len() {
             let job = &queue.entries()[idx].job;
             let (demand, dilation) = self
-                .cfg
-                .memory
+                .placement
                 .nominal_shape(job, cluster, &self.cfg.slowdown)
                 .expect("impossible jobs rejected in phase 1");
             let wall = self.planned_walltime(job, dilation);
@@ -367,16 +438,25 @@ impl Scheduler {
                 continue;
             };
             if start == now {
-                if let Some(plan) = self.cfg.memory.plan(job, cluster, &self.cfg.slowdown) {
+                if let Some(plan) = self.placement.plan(job, cluster, &self.cfg.slowdown) {
                     let plan_wall = self.planned_walltime(job, plan.dilation);
                     let plan_split = split_of(cluster, &plan.assignment);
-                    if profile.fits_split(now, plan_wall, &plan_split, plan.assignment.remote_per_node)
-                    {
+                    if profile.fits_split(
+                        now,
+                        plan_wall,
+                        &plan_split,
+                        plan.assignment.remote_per_node,
+                    ) {
                         let entry = queue.remove(idx);
                         cluster
                             .allocate(entry.job.id.as_u64(), plan.assignment.clone())
                             .expect("plan() returned an unallocatable assignment");
-                        profile.reserve(now, plan_wall, &plan_split, plan.assignment.remote_per_node);
+                        profile.reserve(
+                            now,
+                            plan_wall,
+                            &plan_split,
+                            plan.assignment.remote_per_node,
+                        );
                         result.started.push(StartedJob {
                             job: entry.job,
                             assignment: plan.assignment,
@@ -447,9 +527,12 @@ mod tests {
     }
 
     fn fcfs_easy() -> Scheduler {
-        SchedulerBuilder::new()
-            .memory(MemoryPolicy::PoolFirstFit)
-            .build()
+        Scheduler::new(
+            SchedulerBuilder::new()
+                .memory(MemoryPolicy::PoolFirstFit)
+                .build(),
+        )
+        .unwrap()
     }
 
     fn job(id: u64, nodes: u32, runtime_s: u64, wall_s: u64) -> Job {
@@ -525,10 +608,13 @@ mod tests {
 
     #[test]
     fn easy_pool_aware_backfill_blocks_pool_thieves() {
-        let sched = SchedulerBuilder::new()
-            .memory(MemoryPolicy::PoolFirstFit)
-            .inflate_walltime(false) // keep window arithmetic exact
-            .build();
+        let sched = Scheduler::new(
+            SchedulerBuilder::new()
+                .memory(MemoryPolicy::PoolFirstFit)
+                .inflate_walltime(false) // keep window arithmetic exact
+                .build(),
+        )
+        .unwrap();
         let mut cluster = small_cluster();
         // Node 0 borrows 60 GiB of the 100 GiB pool until t=100; nodes 1–2
         // are busy locally until t=100. Only node 3 and 40 GiB of pool are
@@ -574,10 +660,13 @@ mod tests {
 
     #[test]
     fn no_backfill_policy_blocks_strictly() {
-        let sched = SchedulerBuilder::new()
-            .backfill(BackfillPolicy::None)
-            .memory(MemoryPolicy::PoolFirstFit)
-            .build();
+        let sched = Scheduler::new(
+            SchedulerBuilder::new()
+                .backfill(BackfillPolicy::None)
+                .memory(MemoryPolicy::PoolFirstFit)
+                .build(),
+        )
+        .unwrap();
         let mut cluster = small_cluster();
         let running = vec![park(&mut cluster, 100, &[0, 1], 0, 100)];
         let mut queue = WaitQueue::new();
@@ -589,10 +678,13 @@ mod tests {
 
     #[test]
     fn conservative_never_delays_earlier_reservations() {
-        let sched = SchedulerBuilder::new()
-            .backfill(BackfillPolicy::Conservative)
-            .memory(MemoryPolicy::PoolFirstFit)
-            .build();
+        let sched = Scheduler::new(
+            SchedulerBuilder::new()
+                .backfill(BackfillPolicy::Conservative)
+                .memory(MemoryPolicy::PoolFirstFit)
+                .build(),
+        )
+        .unwrap();
         let mut cluster = small_cluster();
         let running = vec![park(&mut cluster, 100, &[0, 1], 0, 100)];
         let mut queue = WaitQueue::new();
@@ -641,10 +733,13 @@ mod tests {
             .runtime_secs(100, 1000)
             .build();
         for (inflate, expect_longer) in [(true, true), (false, false)] {
-            let sched = SchedulerBuilder::new()
-                .memory(MemoryPolicy::PoolFirstFit)
-                .inflate_walltime(inflate)
-                .build();
+            let sched = Scheduler::new(
+                SchedulerBuilder::new()
+                    .memory(MemoryPolicy::PoolFirstFit)
+                    .inflate_walltime(inflate)
+                    .build(),
+            )
+            .unwrap();
             let mut cluster = small_cluster();
             let mut queue = WaitQueue::new();
             queue.push(heavy.clone(), SimTime::ZERO);
@@ -661,10 +756,13 @@ mod tests {
 
     #[test]
     fn sjf_reorders_before_scheduling() {
-        let sched = SchedulerBuilder::new()
-            .order(OrderPolicy::Sjf)
-            .memory(MemoryPolicy::PoolFirstFit)
-            .build();
+        let sched = Scheduler::new(
+            SchedulerBuilder::new()
+                .order(OrderPolicy::Sjf)
+                .memory(MemoryPolicy::PoolFirstFit)
+                .build(),
+        )
+        .unwrap();
         let mut cluster = small_cluster();
         let mut queue = WaitQueue::new();
         queue.push(job(1, 1, 100, 10_000), SimTime::ZERO);
@@ -697,9 +795,6 @@ mod tests {
 
     #[test]
     fn config_label() {
-        assert_eq!(
-            fcfs_easy().config().label(),
-            "fcfs+easy+pool-ff"
-        );
+        assert_eq!(fcfs_easy().config().label(), "fcfs+easy+pool-ff");
     }
 }

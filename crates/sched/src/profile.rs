@@ -441,15 +441,36 @@ mod tests {
     fn usable_split_respects_pool_per_rack() {
         let p = profile();
         // 2 nodes, 400 MiB each: rack 0 pool 1000 allows floor(1000/400)=2.
-        let split = p.usable_split(t(0), d(50), &Demand { nodes: 2, remote_per_node: 400 });
+        let split = p.usable_split(
+            t(0),
+            d(50),
+            &Demand {
+                nodes: 2,
+                remote_per_node: 400,
+            },
+        );
         assert_eq!(split, Some(vec![2, 0]));
         // 3 nodes now: only 2 free anywhere.
         assert_eq!(
-            p.usable_split(t(0), d(50), &Demand { nodes: 3, remote_per_node: 0 }),
+            p.usable_split(
+                t(0),
+                d(50),
+                &Demand {
+                    nodes: 3,
+                    remote_per_node: 0
+                }
+            ),
             None
         );
         // At t=100: 2+2 nodes, but rack-1 pool 500 allows only 1 node at 400.
-        let split = p.usable_split(t(100), d(50), &Demand { nodes: 3, remote_per_node: 400 });
+        let split = p.usable_split(
+            t(100),
+            d(50),
+            &Demand {
+                nodes: 3,
+                remote_per_node: 400,
+            },
+        );
         assert_eq!(split, Some(vec![2, 1]));
     }
 
@@ -459,12 +480,26 @@ mod tests {
         // Window [0, 150) includes the t=100 release; minima are the t=0
         // values, so 3 nodes never fit in that window.
         assert_eq!(
-            p.usable_split(t(0), d(150), &Demand { nodes: 3, remote_per_node: 0 }),
+            p.usable_split(
+                t(0),
+                d(150),
+                &Demand {
+                    nodes: 3,
+                    remote_per_node: 0
+                }
+            ),
             None
         );
         // Window [100, 90s) fits 4 nodes.
         assert!(p
-            .usable_split(t(100), d(90), &Demand { nodes: 4, remote_per_node: 0 })
+            .usable_split(
+                t(100),
+                d(90),
+                &Demand {
+                    nodes: 4,
+                    remote_per_node: 0
+                }
+            )
             .is_some());
     }
 
@@ -472,19 +507,40 @@ mod tests {
     fn earliest_fit_scans_breakpoints() {
         let p = profile();
         let (start, split) = p
-            .earliest_fit(t(0), d(50), &Demand { nodes: 4, remote_per_node: 0 })
+            .earliest_fit(
+                t(0),
+                d(50),
+                &Demand {
+                    nodes: 4,
+                    remote_per_node: 0,
+                },
+            )
             .unwrap();
         assert_eq!(start, t(100));
         assert_eq!(split.iter().sum::<u32>(), 4);
 
         let (start, _) = p
-            .earliest_fit(t(0), d(50), &Demand { nodes: 8, remote_per_node: 0 })
+            .earliest_fit(
+                t(0),
+                d(50),
+                &Demand {
+                    nodes: 8,
+                    remote_per_node: 0,
+                },
+            )
             .unwrap();
         assert_eq!(start, t(200));
 
         // Demand that never fits: 9 nodes on an 8-node machine.
         assert!(p
-            .earliest_fit(t(0), d(50), &Demand { nodes: 9, remote_per_node: 0 })
+            .earliest_fit(
+                t(0),
+                d(50),
+                &Demand {
+                    nodes: 9,
+                    remote_per_node: 0
+                }
+            )
             .is_none());
     }
 
@@ -492,7 +548,14 @@ mod tests {
     fn earliest_fit_honors_from_mid_segment() {
         let p = profile();
         let (start, _) = p
-            .earliest_fit(t(150), d(10), &Demand { nodes: 4, remote_per_node: 0 })
+            .earliest_fit(
+                t(150),
+                d(10),
+                &Demand {
+                    nodes: 4,
+                    remote_per_node: 0,
+                },
+            )
             .unwrap();
         assert_eq!(start, t(150), "already feasible at the query time");
     }
@@ -516,18 +579,39 @@ mod tests {
         let mut p = profile();
         // Head job: 4 nodes at t=100 for 200 s.
         let (s, split) = p
-            .earliest_fit(t(0), d(200), &Demand { nodes: 4, remote_per_node: 0 })
+            .earliest_fit(
+                t(0),
+                d(200),
+                &Demand {
+                    nodes: 4,
+                    remote_per_node: 0,
+                },
+            )
             .unwrap();
         assert_eq!(s, t(100));
         p.reserve(s, d(200), &split, 0);
         // A 1-node backfill of 100 s fits immediately (rack 0 has 2 free).
         let (s2, _) = p
-            .earliest_fit(t(0), d(100), &Demand { nodes: 1, remote_per_node: 0 })
+            .earliest_fit(
+                t(0),
+                d(100),
+                &Demand {
+                    nodes: 1,
+                    remote_per_node: 0,
+                },
+            )
             .unwrap();
         assert_eq!(s2, t(0));
         // But 8 nodes now only fit after the head finishes at 300.
         let (s3, _) = p
-            .earliest_fit(t(0), d(10), &Demand { nodes: 8, remote_per_node: 0 })
+            .earliest_fit(
+                t(0),
+                d(10),
+                &Demand {
+                    nodes: 8,
+                    remote_per_node: 0,
+                },
+            )
             .unwrap();
         assert_eq!(s3, t(300));
     }
@@ -536,28 +620,43 @@ mod tests {
     fn fits_split_validates_specific_placement() {
         let p = profile();
         assert!(p.fits_split(t(0), d(50), &[2, 0], 400));
-        assert!(!p.fits_split(t(0), d(50), &[2, 0], 600), "2×600 > 1000 pool");
+        assert!(
+            !p.fits_split(t(0), d(50), &[2, 0], 600),
+            "2×600 > 1000 pool"
+        );
         assert!(!p.fits_split(t(0), d(50), &[1, 1], 0), "rack 1 empty now");
         assert!(p.fits_split(t(100), d(50), &[1, 1], 400));
-        assert!(!p.fits_split(t(100), d(50), &[0, 2], 400), "rack-1 pool 500");
+        assert!(
+            !p.fits_split(t(100), d(50), &[0, 2], 400),
+            "rack-1 pool 500"
+        );
     }
 
     #[test]
     fn global_pool_semantics() {
-        let p = AvailabilityProfile::from_parts(
-            t(0),
-            DomainKind::Global,
-            vec![2, 2],
-            vec![1000],
-            &[],
-        );
+        let p =
+            AvailabilityProfile::from_parts(t(0), DomainKind::Global, vec![2, 2], vec![1000], &[]);
         // 4 nodes × 300 = 1200 > 1000: infeasible.
         assert!(p
-            .usable_split(t(0), d(10), &Demand { nodes: 4, remote_per_node: 300 })
+            .usable_split(
+                t(0),
+                d(10),
+                &Demand {
+                    nodes: 4,
+                    remote_per_node: 300
+                }
+            )
             .is_none());
         // 3 nodes × 300 = 900 <= 1000: feasible, spread 2+1.
         let split = p
-            .usable_split(t(0), d(10), &Demand { nodes: 3, remote_per_node: 300 })
+            .usable_split(
+                t(0),
+                d(10),
+                &Demand {
+                    nodes: 3,
+                    remote_per_node: 300,
+                },
+            )
             .unwrap();
         assert_eq!(split, vec![2, 1]);
         assert!(p.fits_split(t(0), d(10), &[2, 1], 300));
@@ -568,11 +667,25 @@ mod tests {
     fn no_pool_topology_rejects_remote() {
         let p = AvailabilityProfile::from_parts(t(0), DomainKind::None, vec![4], vec![], &[]);
         assert!(p
-            .usable_split(t(0), d(10), &Demand { nodes: 1, remote_per_node: 1 })
+            .usable_split(
+                t(0),
+                d(10),
+                &Demand {
+                    nodes: 1,
+                    remote_per_node: 1
+                }
+            )
             .is_none());
         assert!(!p.fits_split(t(0), d(10), &[1], 1));
         assert!(p
-            .usable_split(t(0), d(10), &Demand { nodes: 4, remote_per_node: 0 })
+            .usable_split(
+                t(0),
+                d(10),
+                &Demand {
+                    nodes: 4,
+                    remote_per_node: 0
+                }
+            )
             .is_some());
     }
 

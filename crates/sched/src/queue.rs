@@ -40,10 +40,7 @@ impl WaitQueue {
 
     /// Enqueue a job at time `now`.
     pub fn push(&mut self, job: Job, now: SimTime) {
-        self.entries.push(QueuedJob {
-            job,
-            enqueued: now,
-        });
+        self.entries.push(QueuedJob { job, enqueued: now });
     }
 
     /// Waiting jobs in current order.

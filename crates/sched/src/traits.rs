@@ -1,0 +1,83 @@
+//! Pluggable policy traits.
+//!
+//! The scheduler decomposes into two behavioural axes that downstream
+//! users may want to replace without forking this crate:
+//!
+//! * [`Ordering`] — who goes first. The built-in implementation is the
+//!   [`crate::OrderPolicy`] enum (FCFS, SJF, largest-first, WFP).
+//! * [`Placement`] — how a job's memory footprint maps onto nodes and
+//!   pools. The built-in implementation is the [`crate::MemoryPolicy`]
+//!   enum (local-only, pool first/best fit, slowdown-aware).
+//!
+//! [`crate::Scheduler::with_policies`] accepts any pair of boxed
+//! implementations; [`crate::Scheduler::new`] wires up the enums from a
+//! plain [`crate::SchedulerConfig`]. Custom policies must be deterministic
+//! (pure functions of their inputs) or they void the simulator's
+//! reproducibility guarantees.
+
+use crate::memory::PlannedAllocation;
+use crate::profile::Demand;
+use crate::queue::QueuedJob;
+use dmhpc_des::time::SimTime;
+use dmhpc_platform::{Cluster, SlowdownModel};
+use dmhpc_workload::Job;
+
+/// Queue-ordering behaviour: sort the wait queue before each pass.
+///
+/// Implementations must produce a **total, deterministic** order; ties
+/// should fall back to `(arrival, id)` so identical runs schedule
+/// identically.
+pub trait Ordering: std::fmt::Debug + Send + Sync {
+    /// Stable name used in report labels.
+    fn name(&self) -> &str;
+
+    /// Sort `entries` into scheduling order (front = next to run) as of
+    /// simulated time `now`.
+    fn order(&self, entries: &mut [QueuedJob], now: SimTime);
+}
+
+/// Memory-placement behaviour: decide a job's shape (node count, node
+/// choice, local/remote split).
+///
+/// The scheduler calls [`Placement::nominal_shape`] to build backfill
+/// reservations (idle-machine shape) and [`Placement::plan`] to commit a
+/// concrete allocation right now. The two must agree: a job whose nominal
+/// shape exists must eventually be placeable on an emptied machine, or the
+/// queue wedges.
+pub trait Placement: std::fmt::Debug + Send + Sync {
+    /// Stable name used in report labels.
+    fn name(&self) -> &str;
+
+    /// The shape this policy would give `job` on an otherwise idle
+    /// machine, with its predicted dilation — what reservations are made
+    /// of. `None` means the job can never run on this machine.
+    fn nominal_shape(
+        &self,
+        job: &Job,
+        cluster: &Cluster,
+        model: &SlowdownModel,
+    ) -> Option<(Demand, f64)>;
+
+    /// Try to place `job` on the cluster **right now**. `None` when no
+    /// placement exists under this policy at this instant.
+    fn plan(
+        &self,
+        job: &Job,
+        cluster: &Cluster,
+        model: &SlowdownModel,
+    ) -> Option<PlannedAllocation>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MemoryPolicy, OrderPolicy};
+
+    #[test]
+    fn enums_are_object_safe_policies() {
+        let order: Box<dyn Ordering> = Box::new(OrderPolicy::Sjf);
+        let placement: Box<dyn Placement> = Box::new(MemoryPolicy::LocalOnly);
+        assert_eq!(order.name(), "sjf");
+        assert_eq!(placement.name(), "local-only");
+    }
+}

@@ -3,12 +3,11 @@
 use dmhpc_des::stats::StepSeries;
 use dmhpc_des::time::SimTime;
 use dmhpc_platform::ClusterSpec;
-use serde::{Deserialize, Serialize};
 
 /// The system-level step series a run records — each updated exactly at the
 /// event that changes it, so time-weighted means are exact, and each
 /// resamplable for time-series figures (F7).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SeriesBundle {
     /// Busy node count.
     pub nodes_busy: StepSeries,

@@ -2,10 +2,9 @@
 
 use dmhpc_platform::ClusterSpec;
 use dmhpc_sched::SchedulerConfig;
-use serde::{Deserialize, Serialize};
 
 /// Everything that defines a run besides the workload.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
     /// Machine shape.
     pub cluster: ClusterSpec,
@@ -54,7 +53,7 @@ mod tests {
     fn construction_and_label() {
         let cfg = SimConfig::new(
             ClusterSpec::new(1, 4, NodeSpec::new(8, 1024), PoolTopology::None),
-            *SchedulerBuilder::new().build().config(),
+            SchedulerBuilder::new().build(),
         );
         assert!(cfg.enforce_walltime);
         assert!(!cfg.check_invariants);

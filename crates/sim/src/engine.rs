@@ -11,6 +11,7 @@
 
 use crate::collector::SeriesBundle;
 use crate::config::SimConfig;
+use crate::error::SimError;
 use dmhpc_des::queue::{BinaryHeapQueue, EventQueue};
 use dmhpc_des::time::{SimDuration, SimTime};
 use dmhpc_metrics::{ClassThresholds, JobOutcome, JobRecord, RunData, SimReport};
@@ -69,19 +70,35 @@ pub struct SimOutput {
 }
 
 /// A configured simulator. `run` is a pure function of the workload.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Simulation {
     cfg: SimConfig,
+    scheduler: Scheduler,
 }
 
 impl Simulation {
-    /// Build a simulator; validates the slowdown model.
-    pub fn new(cfg: SimConfig) -> Self {
-        cfg.scheduler
-            .slowdown
-            .validate()
-            .expect("invalid slowdown model");
-        Simulation { cfg }
+    /// Build a simulator from a configuration, using the built-in policy
+    /// enums. Validates the cluster shape and the slowdown model; every
+    /// problem surfaces here as a typed [`SimError`], so `run` itself
+    /// cannot fail.
+    pub fn new(cfg: SimConfig) -> Result<Self, SimError> {
+        cfg.cluster.validate()?;
+        let scheduler = Scheduler::new(cfg.scheduler)?;
+        Ok(Simulation { cfg, scheduler })
+    }
+
+    /// Build a simulator with custom [`dmhpc_sched::Ordering`] /
+    /// [`dmhpc_sched::Placement`] implementations instead of the config's
+    /// policy enums. Custom policies must be deterministic or runs stop
+    /// being reproducible.
+    pub fn with_policies(
+        cfg: SimConfig,
+        order: Box<dyn dmhpc_sched::Ordering>,
+        placement: Box<dyn dmhpc_sched::Placement>,
+    ) -> Result<Self, SimError> {
+        cfg.cluster.validate()?;
+        let scheduler = Scheduler::with_policies(cfg.scheduler, order, placement)?;
+        Ok(Simulation { cfg, scheduler })
     }
 
     /// This simulator's configuration.
@@ -89,9 +106,15 @@ impl Simulation {
         &self.cfg
     }
 
+    /// The label reports carry: the active policy triple (reflects custom
+    /// policies when present).
+    pub fn label(&self) -> String {
+        self.scheduler.label()
+    }
+
     /// Simulate the workload to completion.
     pub fn run(&self, workload: &Workload) -> SimOutput {
-        let mut engine = Engine::new(&self.cfg, workload);
+        let mut engine = Engine::new(&self.cfg, &self.scheduler, workload);
         engine.drive(workload);
         engine.finalize()
     }
@@ -99,7 +122,7 @@ impl Simulation {
 
 struct Engine<'a> {
     cfg: &'a SimConfig,
-    scheduler: Scheduler,
+    scheduler: &'a Scheduler,
     cluster: Cluster,
     queue: WaitQueue,
     events: BinaryHeapQueue<Event>,
@@ -117,7 +140,7 @@ const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 impl<'a> Engine<'a> {
-    fn new(cfg: &'a SimConfig, workload: &Workload) -> Self {
+    fn new(cfg: &'a SimConfig, scheduler: &'a Scheduler, workload: &Workload) -> Self {
         let cluster = Cluster::new(cfg.cluster);
         let start_time = workload.first_arrival().unwrap_or(SimTime::ZERO);
         let mut events = BinaryHeapQueue::with_capacity(workload.len() * 2);
@@ -126,7 +149,7 @@ impl<'a> Engine<'a> {
         }
         Engine {
             cfg,
-            scheduler: Scheduler::new(cfg.scheduler),
+            scheduler,
             cluster,
             queue: WaitQueue::new(),
             events,
@@ -306,7 +329,13 @@ impl<'a> Engine<'a> {
             let effective = natural.min_of(r.kill_time);
             r.ends_by_kill = r.kill_time < natural;
             let generation = r.generation;
-            self.events.schedule(effective, Event::Finish { job: id, generation });
+            self.events.schedule(
+                effective,
+                Event::Finish {
+                    job: id,
+                    generation,
+                },
+            );
         }
     }
 
@@ -372,8 +401,13 @@ impl<'a> Engine<'a> {
             ends_by_kill: kill_time < natural,
         };
         let id = running.job.id;
-        self.events
-            .schedule(effective, Event::Finish { job: id, generation: 0 });
+        self.events.schedule(
+            effective,
+            Event::Finish {
+                job: id,
+                generation: 0,
+            },
+        );
         self.running.insert(id, running);
     }
 
@@ -402,7 +436,7 @@ impl<'a> Engine<'a> {
     fn finalize(self) -> SimOutput {
         let makespan = self.now.saturating_since(self.start_time);
         let data = RunData {
-            label: self.cfg.label(),
+            label: self.scheduler.label(),
             records: self.records.clone(),
             makespan_s: makespan.as_secs_f64(),
             node_util: self.series.node_util(self.now),
@@ -466,7 +500,7 @@ mod tests {
             .memory(memory)
             .slowdown(slowdown)
             .build();
-        Simulation::new(SimConfig::new(machine(pool), *sched.config()).checked())
+        Simulation::new(SimConfig::new(machine(pool), sched).checked()).unwrap()
     }
 
     fn local_sim() -> Simulation {
@@ -545,13 +579,12 @@ mod tests {
                 .build(),
         ]);
         let out = local_sim().run(&w);
-        let by_id = |id: u64| {
-            out.records
-                .iter()
-                .find(|r| r.job.id.0 == id)
-                .unwrap()
-        };
-        assert_eq!(by_id(3).start.unwrap().as_secs(), 20, "backfilled at arrival");
+        let by_id = |id: u64| out.records.iter().find(|r| r.job.id.0 == id).unwrap();
+        assert_eq!(
+            by_id(3).start.unwrap().as_secs(),
+            20,
+            "backfilled at arrival"
+        );
         assert_eq!(by_id(2).start.unwrap().as_secs(), 1000, "head at release");
     }
 
@@ -582,9 +615,9 @@ mod tests {
         job.walltime = SimDuration::from_secs(100);
         let w = Workload::from_jobs(vec![job]);
         let sched = SchedulerBuilder::new().build();
-        let mut cfg = SimConfig::new(machine(PoolTopology::None), *sched.config()).checked();
+        let mut cfg = SimConfig::new(machine(PoolTopology::None), sched).checked();
         cfg.enforce_walltime = false;
-        let out = Simulation::new(cfg).run(&w);
+        let out = Simulation::new(cfg).unwrap().run(&w);
         assert_eq!(out.records[0].outcome, JobOutcome::Completed);
         assert_eq!(out.records[0].finish.unwrap().as_secs(), 500);
     }
@@ -640,8 +673,9 @@ mod tests {
             .slowdown(model)
             .inflate_walltime(false)
             .build();
-        let without =
-            Simulation::new(SimConfig::new(machine(pool), *sched.config()).checked()).run(&w);
+        let without = Simulation::new(SimConfig::new(machine(pool), sched).checked())
+            .unwrap()
+            .run(&w);
         assert_eq!(
             without.records[0].outcome,
             JobOutcome::Killed,
@@ -674,10 +708,10 @@ mod tests {
             .intensity(1.0)
             .build();
 
-        let solo = sim(pool, MemoryPolicy::PoolFirstFit, model)
-            .run(&Workload::from_jobs(vec![a.clone()]));
-        let duo = sim(pool, MemoryPolicy::PoolFirstFit, model)
-            .run(&Workload::from_jobs(vec![a, b]));
+        let solo =
+            sim(pool, MemoryPolicy::PoolFirstFit, model).run(&Workload::from_jobs(vec![a.clone()]));
+        let duo =
+            sim(pool, MemoryPolicy::PoolFirstFit, model).run(&Workload::from_jobs(vec![a, b]));
         let solo_res = solo.records[0].residence().unwrap();
         let duo_a = duo
             .records
@@ -691,7 +725,10 @@ mod tests {
             "contention from job 2 must slow job 1 ({duo_a} vs {solo_res})"
         );
         // And consumed work stayed conserved: both completed.
-        assert!(duo.records.iter().all(|r| r.outcome == JobOutcome::Completed));
+        assert!(duo
+            .records
+            .iter()
+            .all(|r| r.outcome == JobOutcome::Completed));
         // Dilation bounded by the model's worst case.
         let worst = model.worst_case();
         for r in &duo.records {
@@ -704,7 +741,11 @@ mod tests {
     fn rejected_job_recorded() {
         let w = Workload::from_jobs(vec![
             JobBuilder::new(1).nodes(99).runtime_secs(10, 20).build(),
-            JobBuilder::new(2).nodes(1).runtime_secs(10, 20).mem_per_node(GIB).build(),
+            JobBuilder::new(2)
+                .nodes(1)
+                .runtime_secs(10, 20)
+                .mem_per_node(GIB)
+                .build(),
         ]);
         let out = local_sim().run(&w);
         assert_eq!(out.report.rejected, 1);
@@ -730,9 +771,9 @@ mod tests {
                 curvature: 3.0,
             })
             .build();
-        let cfg = SimConfig::new(cluster, *sched.config());
-        let a = Simulation::new(cfg).run(&w);
-        let b = Simulation::new(cfg).run(&w);
+        let cfg = SimConfig::new(cluster, sched);
+        let a = Simulation::new(cfg).unwrap().run(&w);
+        let b = Simulation::new(cfg).unwrap().run(&w);
         assert_eq!(a.trace_hash, b.trace_hash);
         assert_eq!(a.report.mean_wait_s, b.report.mean_wait_s);
         assert_eq!(a.events_processed, b.events_processed);
@@ -761,8 +802,8 @@ mod tests {
                 .memory(memory)
                 .slowdown(SlowdownModel::Linear { penalty: 1.5 })
                 .build();
-            let cfg = SimConfig::new(cluster, *sched.config()).checked();
-            let out = Simulation::new(cfg).run(&w);
+            let cfg = SimConfig::new(cluster, sched).checked();
+            let out = Simulation::new(cfg).unwrap().run(&w);
             assert_eq!(
                 out.report.completed + out.report.killed + out.report.rejected,
                 200,

@@ -1,0 +1,98 @@
+//! The simulator's error type.
+//!
+//! One enum covers everything that can go wrong **before** a run starts:
+//! ill-formed platform specs (cluster shape, slowdown model), malformed
+//! experiment grids, and experiment-spec (de)serialization. Runs themselves
+//! are infallible by construction — every fallible check happens at
+//! build time, which is what makes large sweep fan-outs safe.
+
+use dmhpc_metrics::json::JsonError;
+use dmhpc_platform::PlatformError;
+use std::fmt;
+
+/// Everything that can go wrong constructing a simulation or experiment.
+///
+/// Re-exported by the `dmhpc` facade as the workspace's single public
+/// error enum.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// An ill-formed platform description (cluster shape, node spec,
+    /// slowdown model), carrying the platform's typed error.
+    Platform(PlatformError),
+    /// A malformed experiment description: empty axis, unusable load,
+    /// contradictory settings.
+    Spec {
+        /// What was wrong, human-readable.
+        reason: String,
+    },
+    /// Experiment-spec (de)serialization failed.
+    Parse {
+        /// What was wrong, human-readable.
+        reason: String,
+    },
+}
+
+impl SimError {
+    /// Shorthand for a [`SimError::Spec`].
+    pub fn spec(reason: impl Into<String>) -> Self {
+        SimError::Spec {
+            reason: reason.into(),
+        }
+    }
+
+    /// Shorthand for a [`SimError::Parse`].
+    pub fn parse(reason: impl Into<String>) -> Self {
+        SimError::Parse {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Platform(e) => write!(f, "platform: {e}"),
+            SimError::Spec { reason } => write!(f, "experiment spec: {reason}"),
+            SimError::Parse { reason } => write!(f, "parse: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<PlatformError> for SimError {
+    fn from(e: PlatformError) -> Self {
+        SimError::Platform(e)
+    }
+}
+
+impl From<JsonError> for SimError {
+    fn from(e: JsonError) -> Self {
+        SimError::Parse {
+            reason: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_converts() {
+        let p: SimError = PlatformError::InvalidSpec {
+            reason: "bad".into(),
+        }
+        .into();
+        assert!(p.to_string().contains("bad"));
+        assert!(SimError::spec("empty grid")
+            .to_string()
+            .contains("empty grid"));
+        let j: SimError = JsonError {
+            message: "x".into(),
+            offset: 3,
+        }
+        .into();
+        assert!(matches!(j, SimError::Parse { .. }));
+    }
+}

@@ -1,0 +1,456 @@
+//! The declarative experiment API.
+//!
+//! The paper's evaluation — and every serious scheduling study — is a
+//! *grid*: a policy suite crossed with pool topologies, offered loads, and
+//! seeds. This module makes that grid a first-class value instead of a
+//! nest of hand-rolled loops:
+//!
+//! * [`ExperimentSpec`] — a declarative, JSON-(de)serializable description
+//!   of the run grid: a workload source ([`WorkloadSource`]), labelled
+//!   cluster shapes, load/seed axes, and scheduler configurations. Built
+//!   fluently via [`ExperimentSpec::builder`].
+//! * [`ExperimentSpec::compile`] — expands the grid into concrete
+//!   [`RunSpec`] cells (cluster × load × seed × scheduler), validating
+//!   every axis up front so execution cannot fail mid-sweep.
+//! * [`ExperimentRunner`] — executes the cells over the parallel sweep
+//!   machinery with deterministic result ordering and a shared workload
+//!   cache, yielding [`ExperimentResults`].
+//! * [`ExperimentResults`] — a labelled table of per-cell
+//!   [`crate::SimOutput`]s with CSV/JSON export.
+//!
+//! ```
+//! use dmhpc_sim::{ExperimentRunner, ExperimentSpec};
+//! use dmhpc_platform::PoolTopology;
+//! use dmhpc_workload::SystemPreset;
+//!
+//! let spec = ExperimentSpec::builder("demo")
+//!     .preset(SystemPreset::HighThroughput, 50)
+//!     .pools([
+//!         PoolTopology::None,
+//!         PoolTopology::PerRack { mib_per_rack: 512 * 1024 },
+//!     ])
+//!     .load(0.8)
+//!     .seed(42)
+//!     .policy_suite(dmhpc_sim::scenarios::default_slowdown())
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(spec.cell_count(), 2 * 1 * 1 * 4);
+//! let results = ExperimentRunner::new().run(&spec).unwrap();
+//! assert_eq!(results.len(), 8);
+//! ```
+
+mod builder;
+mod results;
+mod runner;
+mod serial;
+
+pub use builder::ExperimentBuilder;
+pub use results::{CellResult, ExperimentResults};
+pub use runner::ExperimentRunner;
+
+use crate::config::SimConfig;
+use crate::error::SimError;
+use dmhpc_platform::{ClusterSpec, PoolTopology};
+use dmhpc_sched::SchedulerConfig;
+use dmhpc_workload::{SystemPreset, Workload};
+use std::sync::Arc;
+
+/// Where an experiment's jobs come from.
+#[derive(Debug, Clone)]
+pub enum WorkloadSource {
+    /// Generate synthetically from a calibrated [`SystemPreset`], one
+    /// workload per `(seed, load)` grid point.
+    Preset {
+        /// The calibration to generate from.
+        preset: SystemPreset,
+        /// Number of jobs per generated workload.
+        jobs: usize,
+    },
+    /// Replay an externally supplied trace (SWF or hand-built). The seed
+    /// axis collapses — the trace is fixed — while the load axis still
+    /// rescales arrivals against each cluster's node count. Not
+    /// JSON-serializable (the trace itself lives outside the spec).
+    Fixed(Arc<Workload>),
+}
+
+/// One cell's coordinates in the experiment grid. Every field is a label
+/// axis; equality of keys means "same grid point".
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellKey {
+    /// Cluster-axis label.
+    pub cluster: String,
+    /// Offered-load axis (`None` = the workload's native load).
+    pub load: Option<f64>,
+    /// Seed axis (`None` for fixed traces).
+    pub seed: Option<u64>,
+    /// Scheduler-axis label: the config's *full* label
+    /// ([`SchedulerConfig::full_label`]), which distinguishes policy
+    /// parameters, the slowdown model, and the inflation switch — so keys
+    /// stay unique in grids that sweep those fields.
+    pub scheduler: String,
+}
+
+impl CellKey {
+    /// One-line label for reports: `cluster|load|seed|scheduler`.
+    pub fn label(&self) -> String {
+        let mut parts = vec![self.cluster.clone()];
+        if let Some(load) = self.load {
+            parts.push(format!("load{load:.2}"));
+        }
+        if let Some(seed) = self.seed {
+            parts.push(format!("seed{seed}"));
+        }
+        parts.push(self.scheduler.clone());
+        parts.join("|")
+    }
+}
+
+/// One fully concrete run: a grid cell compiled down to the simulator
+/// configuration that executes it.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Where this run sits in the grid.
+    pub key: CellKey,
+    /// The complete simulator configuration for the cell.
+    pub config: SimConfig,
+}
+
+/// A declarative description of a whole experiment grid.
+///
+/// The grid is the cross product `clusters × loads × seeds × schedulers`
+/// (with the load axis treated as a single "native load" point when empty,
+/// and the seed axis collapsed for [`WorkloadSource::Fixed`]). Construct
+/// via [`ExperimentSpec::builder`]; serialize with
+/// [`ExperimentSpec::to_json`] / [`ExperimentSpec::from_json`].
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec {
+    /// Experiment name (report/file prefix).
+    pub name: String,
+    /// Where jobs come from.
+    pub workload: WorkloadSource,
+    /// Cluster axis: `(label, machine shape)`.
+    pub clusters: Vec<(String, ClusterSpec)>,
+    /// Offered-load axis. Empty = run the workload at its native load.
+    pub loads: Vec<f64>,
+    /// Seed axis (ignored for fixed traces).
+    pub seeds: Vec<u64>,
+    /// Scheduler axis.
+    pub schedulers: Vec<SchedulerConfig>,
+    /// Kill jobs at their planned walltime (production behaviour).
+    pub enforce_walltime: bool,
+    /// Run cluster invariant checks after every event batch (tests only).
+    pub check_invariants: bool,
+}
+
+impl ExperimentSpec {
+    /// Start a fluent builder.
+    pub fn builder(name: impl Into<String>) -> ExperimentBuilder {
+        ExperimentBuilder::new(name)
+    }
+
+    /// Effective seed axis: the configured seeds, or a single `None` for
+    /// fixed traces.
+    fn seed_axis(&self) -> Vec<Option<u64>> {
+        match self.workload {
+            WorkloadSource::Preset { .. } => self.seeds.iter().map(|&s| Some(s)).collect(),
+            WorkloadSource::Fixed(_) => vec![None],
+        }
+    }
+
+    /// Effective load axis: the configured loads, or a single `None`.
+    fn load_axis(&self) -> Vec<Option<f64>> {
+        if self.loads.is_empty() {
+            vec![None]
+        } else {
+            self.loads.iter().map(|&l| Some(l)).collect()
+        }
+    }
+
+    /// Number of grid cells `compile` will produce.
+    pub fn cell_count(&self) -> usize {
+        self.clusters.len()
+            * self.load_axis().len()
+            * self.seed_axis().len()
+            * self.schedulers.len()
+    }
+
+    /// Check every axis. All failure modes of the whole experiment surface
+    /// here, before any simulation starts.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.name.is_empty() {
+            return Err(SimError::spec("experiment name must not be empty"));
+        }
+        if self.clusters.is_empty() {
+            return Err(SimError::spec(
+                "cluster axis is empty (add a preset/pool or cluster)",
+            ));
+        }
+        if self.schedulers.is_empty() {
+            return Err(SimError::spec("scheduler axis is empty"));
+        }
+        match &self.workload {
+            WorkloadSource::Preset { jobs, .. } => {
+                if *jobs == 0 {
+                    return Err(SimError::spec("preset workload needs jobs > 0"));
+                }
+                if self.seeds.is_empty() {
+                    return Err(SimError::spec("seed axis is empty"));
+                }
+            }
+            WorkloadSource::Fixed(w) => {
+                if w.is_empty() {
+                    return Err(SimError::spec("fixed workload contains no jobs"));
+                }
+                if !self.loads.is_empty() && w.arrival_span().is_zero() {
+                    return Err(SimError::spec("cannot rescale load of a zero-span trace"));
+                }
+            }
+        }
+        for (label, cluster) in &self.clusters {
+            if label.is_empty() {
+                return Err(SimError::spec("cluster label must not be empty"));
+            }
+            cluster.validate()?;
+        }
+        let mut labels: Vec<&str> = self.clusters.iter().map(|(l, _)| l.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        if labels.len() != self.clusters.len() {
+            return Err(SimError::spec("cluster labels must be unique"));
+        }
+        for &load in &self.loads {
+            if !(load.is_finite() && load > 0.0) {
+                return Err(SimError::spec(format!(
+                    "offered load must be > 0, got {load}"
+                )));
+            }
+        }
+        for sched in &self.schedulers {
+            sched.slowdown.validate()?;
+        }
+        let mut sched_labels: Vec<String> =
+            self.schedulers.iter().map(|s| s.full_label()).collect();
+        sched_labels.sort_unstable();
+        sched_labels.dedup();
+        if sched_labels.len() != self.schedulers.len() {
+            return Err(SimError::spec(
+                "scheduler axis contains duplicate configurations",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Expand the grid into concrete cells, in deterministic axis order
+    /// (clusters outermost, schedulers innermost).
+    pub fn compile(&self) -> Result<Vec<RunSpec>, SimError> {
+        self.validate()?;
+        let mut cells = Vec::with_capacity(self.cell_count());
+        for (cluster_label, cluster) in &self.clusters {
+            for load in self.load_axis() {
+                for seed in self.seed_axis() {
+                    for sched in &self.schedulers {
+                        let mut config = SimConfig::new(*cluster, *sched);
+                        config.enforce_walltime = self.enforce_walltime;
+                        config.check_invariants = self.check_invariants;
+                        cells.push(RunSpec {
+                            key: CellKey {
+                                cluster: cluster_label.clone(),
+                                load,
+                                seed,
+                                scheduler: sched.full_label(),
+                            },
+                            config,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(cells)
+    }
+
+    /// Serialize to pretty JSON. Fails for [`WorkloadSource::Fixed`]
+    /// (traces live outside the spec).
+    pub fn to_json(&self) -> Result<String, SimError> {
+        serial::spec_to_json(self)
+    }
+
+    /// Parse a spec previously written by [`ExperimentSpec::to_json`].
+    /// The result is validated before it is returned.
+    pub fn from_json(text: &str) -> Result<Self, SimError> {
+        let spec = serial::spec_from_json(text)?;
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+/// A stable human label for a pool topology (used for auto-generated
+/// cluster labels).
+pub(crate) fn pool_label(pool: &PoolTopology) -> String {
+    fn mib(m: u64) -> String {
+        if m > 0 && m.is_multiple_of(1024 * 1024) {
+            format!("{}tib", m / (1024 * 1024))
+        } else if m > 0 && m.is_multiple_of(1024) {
+            format!("{}gib", m / 1024)
+        } else {
+            format!("{m}mib")
+        }
+    }
+    match *pool {
+        PoolTopology::None => "no-pool".to_string(),
+        PoolTopology::PerRack { mib_per_rack } => format!("rack-{}", mib(mib_per_rack)),
+        PoolTopology::Global { mib: m } => format!("global-{}", mib(m)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::{default_slowdown, policy_suite};
+    use dmhpc_platform::NodeSpec;
+    use dmhpc_workload::JobBuilder;
+
+    fn tiny_spec() -> ExperimentSpec {
+        ExperimentSpec::builder("t")
+            .preset(SystemPreset::HighThroughput, 20)
+            .pools([
+                PoolTopology::None,
+                PoolTopology::PerRack {
+                    mib_per_rack: 512 * 1024,
+                },
+                PoolTopology::Global { mib: 2048 * 1024 },
+            ])
+            .loads([0.7, 0.9])
+            .seeds([1, 2])
+            .schedulers(policy_suite(default_slowdown()))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn grid_cardinality() {
+        let spec = tiny_spec();
+        assert_eq!(spec.cell_count(), 3 * 2 * 2 * 4);
+        let cells = spec.compile().unwrap();
+        assert_eq!(cells.len(), spec.cell_count());
+        // Every key is unique.
+        for (i, a) in cells.iter().enumerate() {
+            for b in &cells[i + 1..] {
+                assert_ne!(a.key, b.key);
+            }
+        }
+        // Axis order: schedulers innermost.
+        assert_eq!(cells[0].key.scheduler, cells[4].key.scheduler);
+        assert_eq!(cells[0].key.cluster, cells[4].key.cluster);
+        assert_ne!(cells[0].key.seed, cells[4].key.seed);
+    }
+
+    #[test]
+    fn empty_load_axis_means_native() {
+        let spec = ExperimentSpec::builder("native")
+            .preset(SystemPreset::HighThroughput, 10)
+            .pool(PoolTopology::None)
+            .seed(7)
+            .scheduler(dmhpc_sched::SchedulerBuilder::new().build())
+            .build()
+            .unwrap();
+        assert_eq!(spec.cell_count(), 1);
+        assert_eq!(spec.compile().unwrap()[0].key.load, None);
+    }
+
+    #[test]
+    fn fixed_workload_collapses_seed_axis() {
+        let w = Workload::from_jobs(vec![JobBuilder::new(1)
+            .nodes(1)
+            .runtime_secs(10, 20)
+            .mem_per_node(100)
+            .build()]);
+        let spec = ExperimentSpec::builder("trace")
+            .fixed_workload(w)
+            .cluster(
+                "tiny",
+                ClusterSpec::new(1, 2, NodeSpec::new(4, 1024), PoolTopology::None),
+            )
+            .seeds([1, 2, 3]) // ignored for fixed traces
+            .scheduler(dmhpc_sched::SchedulerBuilder::new().build())
+            .build()
+            .unwrap();
+        assert_eq!(spec.cell_count(), 1);
+        assert_eq!(spec.compile().unwrap()[0].key.seed, None);
+    }
+
+    #[test]
+    fn validation_rejects_bad_grids() {
+        // No schedulers.
+        let err = ExperimentSpec::builder("x")
+            .preset(SystemPreset::MidCluster, 10)
+            .pool(PoolTopology::None)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SimError::Spec { .. }), "{err}");
+
+        // Bad load.
+        let err = ExperimentSpec::builder("x")
+            .preset(SystemPreset::MidCluster, 10)
+            .pool(PoolTopology::None)
+            .load(-0.5)
+            .scheduler(dmhpc_sched::SchedulerBuilder::new().build())
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("load"), "{err}");
+
+        // Bad slowdown model lands as a typed platform error.
+        let bad = dmhpc_sched::SchedulerBuilder::new()
+            .slowdown(dmhpc_platform::SlowdownModel::Linear { penalty: 0.2 })
+            .build();
+        let err = ExperimentSpec::builder("x")
+            .preset(SystemPreset::MidCluster, 10)
+            .pool(PoolTopology::None)
+            .scheduler(bad)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SimError::Platform(_)), "{err}");
+
+        // Duplicate cluster labels.
+        let cs = ClusterSpec::new(1, 2, NodeSpec::new(4, 1024), PoolTopology::None);
+        let err = ExperimentSpec::builder("x")
+            .preset(SystemPreset::MidCluster, 10)
+            .cluster("same", cs)
+            .cluster("same", cs)
+            .scheduler(dmhpc_sched::SchedulerBuilder::new().build())
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("unique"), "{err}");
+    }
+
+    #[test]
+    fn pool_labels() {
+        assert_eq!(pool_label(&PoolTopology::None), "no-pool");
+        assert_eq!(
+            pool_label(&PoolTopology::PerRack {
+                mib_per_rack: 512 * 1024
+            }),
+            "rack-512gib"
+        );
+        assert_eq!(
+            pool_label(&PoolTopology::Global {
+                mib: 4 * 1024 * 1024
+            }),
+            "global-4tib"
+        );
+        assert_eq!(
+            pool_label(&PoolTopology::Global { mib: 100 }),
+            "global-100mib"
+        );
+    }
+
+    #[test]
+    fn cell_labels_read_well() {
+        let key = CellKey {
+            cluster: "mid".into(),
+            load: Some(0.9),
+            seed: Some(42),
+            scheduler: "fcfs+easy+pool-ff".into(),
+        };
+        assert_eq!(key.label(), "mid|load0.90|seed42|fcfs+easy+pool-ff");
+    }
+}

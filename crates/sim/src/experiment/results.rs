@@ -1,0 +1,227 @@
+//! The labelled result table an experiment produces.
+
+use super::CellKey;
+use crate::config::SimConfig;
+use crate::engine::SimOutput;
+use dmhpc_metrics::export;
+use dmhpc_metrics::json::Json;
+use dmhpc_metrics::SimReport;
+
+/// One executed grid cell: its coordinates, the exact configuration that
+/// ran, and everything the simulation produced.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Where this cell sits in the grid.
+    pub key: CellKey,
+    /// The configuration that ran.
+    pub config: SimConfig,
+    /// Full simulation output (report, records, series, trace hash).
+    pub output: SimOutput,
+}
+
+/// Results for a whole experiment, in grid order.
+#[derive(Debug, Clone)]
+pub struct ExperimentResults {
+    /// The experiment's name (from the spec).
+    pub name: String,
+    cells: Vec<CellResult>,
+}
+
+impl ExperimentResults {
+    pub(super) fn new(name: String, cells: Vec<CellResult>) -> Self {
+        ExperimentResults { name, cells }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the grid was empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// All cells, in grid order (clusters outermost, schedulers innermost).
+    pub fn cells(&self) -> &[CellResult] {
+        &self.cells
+    }
+
+    /// Cells whose key satisfies `pred`, in grid order.
+    pub fn select(&self, pred: impl Fn(&CellKey) -> bool) -> Vec<&CellResult> {
+        self.cells.iter().filter(|c| pred(&c.key)).collect()
+    }
+
+    /// The single cell at exactly these coordinates, if it exists.
+    pub fn get(
+        &self,
+        cluster: &str,
+        load: Option<f64>,
+        seed: Option<u64>,
+        scheduler: &str,
+    ) -> Option<&CellResult> {
+        self.cells.iter().find(|c| {
+            c.key.cluster == cluster
+                && c.key.load == load
+                && c.key.seed == seed
+                && c.key.scheduler == scheduler
+        })
+    }
+
+    /// Per-cell reports, relabelled with the full cell label
+    /// (`cluster|load|seed|scheduler`) so rows stay distinguishable in
+    /// flat tables.
+    pub fn reports(&self) -> Vec<SimReport> {
+        self.cells
+            .iter()
+            .map(|c| {
+                let mut r = c.output.report.clone();
+                r.label = c.key.label();
+                r
+            })
+            .collect()
+    }
+
+    /// CSV document: one row per cell, grid axes as leading columns, then
+    /// the full report column set from
+    /// [`dmhpc_metrics::export::REPORT_CSV_HEADER`].
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(256 * (self.cells.len() + 1));
+        out.push_str("experiment,cluster,load,seed,");
+        out.push_str(export::REPORT_CSV_HEADER);
+        out.push('\n');
+        for c in &self.cells {
+            let load = c.key.load.map(|l| format!("{l}")).unwrap_or_default();
+            let seed = c.key.seed.map(|s| s.to_string()).unwrap_or_default();
+            out.push_str(&format!(
+                "{},{},{},{},{}\n",
+                export::sanitize(&self.name),
+                export::sanitize(&c.key.cluster),
+                load,
+                seed,
+                export::report_csv_row(&c.output.report)
+            ));
+        }
+        out
+    }
+
+    /// Pretty JSON document: experiment name plus one object per cell with
+    /// its axes, trace hash, and the full report.
+    pub fn to_json(&self) -> String {
+        let cells = self
+            .cells
+            .iter()
+            .map(|c| {
+                Json::obj(vec![
+                    ("cluster", Json::Str(c.key.cluster.clone())),
+                    ("load", c.key.load.map(Json::F64).unwrap_or(Json::Null)),
+                    ("seed", c.key.seed.map(Json::UInt).unwrap_or(Json::Null)),
+                    ("scheduler", Json::Str(c.key.scheduler.clone())),
+                    ("trace_hash", Json::UInt(c.output.trace_hash)),
+                    ("report", export::report_to_value(&c.output.report)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("experiment", Json::Str(self.name.clone())),
+            ("cells", Json::Arr(cells)),
+        ])
+        .to_string_pretty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::scenarios::default_slowdown;
+    use crate::{ExperimentRunner, ExperimentSpec};
+    use dmhpc_platform::PoolTopology;
+    use dmhpc_sched::{MemoryPolicy, SchedulerBuilder};
+    use dmhpc_workload::SystemPreset;
+
+    fn results() -> crate::ExperimentResults {
+        let spec = ExperimentSpec::builder("table-test")
+            .preset(SystemPreset::HighThroughput, 40)
+            .pool(PoolTopology::PerRack {
+                mib_per_rack: 384 * 1024,
+            })
+            .loads([0.7, 0.9])
+            .seed(3)
+            .scheduler(SchedulerBuilder::new().slowdown(default_slowdown()).build())
+            .scheduler(
+                SchedulerBuilder::new()
+                    .memory(MemoryPolicy::PoolBestFit)
+                    .slowdown(default_slowdown())
+                    .build(),
+            )
+            .build()
+            .unwrap();
+        ExperimentRunner::with_threads(1).run(&spec).unwrap()
+    }
+
+    #[test]
+    fn csv_has_axis_columns_and_uniform_arity() {
+        let r = results();
+        let csv = r.to_csv();
+        let lines: Vec<&str> = csv.trim_end().lines().collect();
+        assert_eq!(lines.len(), 1 + r.len());
+        assert!(lines[0].starts_with("experiment,cluster,load,seed,label,"));
+        let arity = lines[0].split(',').count();
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), arity);
+            assert!(line.starts_with("table-test,rack-384gib,"));
+        }
+    }
+
+    #[test]
+    fn json_parses_back_and_carries_axes() {
+        let r = results();
+        let doc = dmhpc_metrics::json::parse(&r.to_json()).unwrap();
+        assert_eq!(
+            doc.expect_key("experiment").unwrap().as_str(),
+            Some("table-test")
+        );
+        let cells = doc.expect_key("cells").unwrap().to_arr().unwrap();
+        assert_eq!(cells.len(), r.len());
+        assert_eq!(cells[0].expect_key("seed").unwrap().as_u64(), Some(3));
+        assert!(cells[0]
+            .expect_key("trace_hash")
+            .unwrap()
+            .as_u64()
+            .is_some());
+    }
+
+    #[test]
+    fn select_and_get() {
+        let r = results();
+        let bf = r.select(|k| k.scheduler.contains("pool-bf"));
+        assert_eq!(bf.len(), 2);
+        let cell = r
+            .get(
+                "rack-384gib",
+                Some(0.9),
+                Some(3),
+                "fcfs+easy+pool-bf+sat1.5k3",
+            )
+            .unwrap();
+        assert_eq!(cell.key.load, Some(0.9));
+        assert!(r
+            .get(
+                "rack-384gib",
+                Some(0.8),
+                Some(3),
+                "fcfs+easy+pool-bf+sat1.5k3"
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn reports_are_relabelled() {
+        let r = results();
+        let reports = r.reports();
+        assert!(reports[0].label.contains("rack-384gib|load0.70|seed3|"));
+        let mut labels: Vec<String> = reports.iter().map(|x| x.label.clone()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), r.len(), "labels unique");
+    }
+}

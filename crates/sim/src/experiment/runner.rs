@@ -1,0 +1,183 @@
+//! Grid execution.
+
+use super::results::{CellResult, ExperimentResults};
+use super::{ExperimentSpec, RunSpec, WorkloadSource};
+use crate::engine::Simulation;
+use crate::error::SimError;
+use crate::sweep::run_parallel;
+use dmhpc_workload::{transform, Workload};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Executes every cell of an [`ExperimentSpec`] and returns the labelled
+/// result table.
+///
+/// Workloads are materialized once per distinct `(seed, load, node-count)`
+/// combination and shared across cells, then the cells fan out over the
+/// [`run_parallel`] worker pool. Results come back in grid order no matter
+/// how many threads run, and each cell's simulation is a pure function of
+/// its cell config and workload — so the whole experiment is deterministic
+/// (the 1-thread and N-thread runs produce identical per-cell trace
+/// hashes; tested).
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentRunner {
+    threads: usize,
+}
+
+/// Workload-cache key: `(seed, load bits, cluster node count)`. Loads are
+/// keyed by bit pattern — exact float identity is what the grid axes mean.
+type WorkloadKey = (Option<u64>, Option<u64>, u32);
+
+impl ExperimentRunner {
+    /// A runner using one worker per available core.
+    pub fn new() -> Self {
+        ExperimentRunner { threads: 0 }
+    }
+
+    /// A runner with an explicit worker count (`0` = one per core, `1` =
+    /// serial).
+    pub fn with_threads(threads: usize) -> Self {
+        ExperimentRunner { threads }
+    }
+
+    fn workload_key(cell: &RunSpec) -> WorkloadKey {
+        (
+            cell.key.seed,
+            cell.key.load.map(f64::to_bits),
+            cell.config.cluster.total_nodes(),
+        )
+    }
+
+    /// Materialize the workload for one cache key.
+    fn materialize(
+        source: &WorkloadSource,
+        seed: Option<u64>,
+        load: Option<f64>,
+        nodes: u32,
+    ) -> Arc<Workload> {
+        let base = match source {
+            WorkloadSource::Preset { preset, jobs } => {
+                let seed = seed.expect("preset cells carry a seed");
+                Arc::new(preset.synthetic_spec(*jobs).generate(seed))
+            }
+            WorkloadSource::Fixed(w) => Arc::clone(w),
+        };
+        match load {
+            None => match source {
+                // Generated workloads are shifted to t=0 even unscaled, so
+                // native-load and rescaled cells share a time origin.
+                WorkloadSource::Preset { .. } => Arc::new(transform::shift_to_origin(&base)),
+                WorkloadSource::Fixed(_) => base,
+            },
+            Some(load) => {
+                let scaled = transform::rescale_load(&base, nodes, load);
+                Arc::new(transform::shift_to_origin(&scaled))
+            }
+        }
+    }
+
+    /// Run the whole grid. Every fallible check happened in
+    /// [`ExperimentSpec::compile`], so execution itself cannot fail — the
+    /// `Result` covers grid validation only.
+    pub fn run(&self, spec: &ExperimentSpec) -> Result<ExperimentResults, SimError> {
+        let cells = spec.compile()?;
+
+        // Materialize each distinct workload once, serially: generation is
+        // cheap next to simulation and sharing maximizes cache reuse.
+        let mut workloads: HashMap<WorkloadKey, Arc<Workload>> = HashMap::new();
+        for cell in &cells {
+            let key = Self::workload_key(cell);
+            workloads.entry(key).or_insert_with(|| {
+                Self::materialize(&spec.workload, cell.key.seed, cell.key.load, key.2)
+            });
+        }
+
+        let outputs = run_parallel(cells, self.threads, |cell| {
+            let workload = &workloads[&Self::workload_key(cell)];
+            // compile() validated every cell config.
+            let sim = Simulation::new(cell.config).expect("cell config validated by compile()");
+            (cell.clone(), sim.run(workload))
+        });
+
+        Ok(ExperimentResults::new(
+            spec.name.clone(),
+            outputs
+                .into_iter()
+                .map(|(cell, output)| CellResult {
+                    key: cell.key,
+                    config: cell.config,
+                    output,
+                })
+                .collect(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::{default_slowdown, policy_suite};
+    use crate::ExperimentSpec;
+    use dmhpc_platform::PoolTopology;
+    use dmhpc_workload::SystemPreset;
+
+    fn small_spec() -> ExperimentSpec {
+        ExperimentSpec::builder("runner-test")
+            .preset(SystemPreset::HighThroughput, 60)
+            .pools([
+                PoolTopology::None,
+                PoolTopology::PerRack {
+                    mib_per_rack: 384 * 1024,
+                },
+            ])
+            .load(0.8)
+            .seed(9)
+            .schedulers(policy_suite(default_slowdown()))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn runs_whole_grid_in_order() {
+        let spec = small_spec();
+        let results = ExperimentRunner::with_threads(2).run(&spec).unwrap();
+        assert_eq!(results.len(), spec.cell_count());
+        let compiled = spec.compile().unwrap();
+        for (cell, result) in compiled.iter().zip(results.cells()) {
+            assert_eq!(cell.key, result.key, "grid order preserved");
+            let r = &result.output.report;
+            assert_eq!(r.completed + r.killed + r.rejected, 60);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let spec = small_spec();
+        let serial = ExperimentRunner::with_threads(1).run(&spec).unwrap();
+        let parallel = ExperimentRunner::with_threads(4).run(&spec).unwrap();
+        for (a, b) in serial.cells().iter().zip(parallel.cells()) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(
+                a.output.trace_hash,
+                b.output.trace_hash,
+                "{}",
+                a.key.label()
+            );
+            assert_eq!(a.output.report.mean_wait_s, b.output.report.mean_wait_s);
+        }
+    }
+
+    #[test]
+    fn workloads_are_shared_across_policies() {
+        // All four policies on one (cluster, load, seed) point must see the
+        // same jobs: equal totals.
+        let spec = small_spec();
+        let results = ExperimentRunner::new().run(&spec).unwrap();
+        let totals: Vec<usize> = results
+            .cells()
+            .iter()
+            .map(|c| c.output.records.len())
+            .collect();
+        assert!(totals.iter().all(|&t| t == totals[0]));
+    }
+}

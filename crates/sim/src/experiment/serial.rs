@@ -1,0 +1,433 @@
+//! JSON (de)serialization of [`ExperimentSpec`].
+//!
+//! The encoding is a stable, human-editable document — specs can live in
+//! version control next to the paper's tables and be replayed byte-exactly
+//! (integer seeds and MiB capacities round-trip exactly through
+//! [`dmhpc_metrics::json`]). Enum variants use externally tagged form:
+//! unit variants are strings (`"fcfs"`), data variants are single-key
+//! objects (`{"wfp": {"exponent": 3.0}}`).
+
+use super::{ExperimentSpec, WorkloadSource};
+use crate::error::SimError;
+use dmhpc_metrics::json::{parse, Json, JsonError};
+use dmhpc_platform::{ClusterSpec, NodeSpec, PoolTopology, SlowdownModel};
+use dmhpc_sched::{BackfillPolicy, MemoryPolicy, OrderPolicy, SchedulerConfig};
+use dmhpc_workload::SystemPreset;
+
+fn shape(reason: impl Into<String>) -> JsonError {
+    JsonError {
+        message: reason.into(),
+        offset: 0,
+    }
+}
+
+/// Tag of an externally tagged enum value: either the string itself or the
+/// single key of a one-entry object (returning its payload).
+fn tagged(v: &Json) -> Result<(&str, Option<&Json>), JsonError> {
+    match v {
+        Json::Str(s) => Ok((s, None)),
+        Json::Obj(pairs) if pairs.len() == 1 => Ok((&pairs[0].0, Some(&pairs[0].1))),
+        _ => Err(shape(format!("expected enum tag, got {v:?}"))),
+    }
+}
+
+fn payload<'a>(data: Option<&'a Json>, tag: &str) -> Result<&'a Json, JsonError> {
+    data.ok_or_else(|| shape(format!("variant {tag:?} needs a payload object")))
+}
+
+// ---------------------------------------------------------------- to json
+
+fn pool_to_json(pool: &PoolTopology) -> Json {
+    match *pool {
+        PoolTopology::None => Json::Str("none".into()),
+        PoolTopology::PerRack { mib_per_rack } => Json::obj(vec![(
+            "per-rack",
+            Json::obj(vec![("mib_per_rack", Json::UInt(mib_per_rack))]),
+        )]),
+        PoolTopology::Global { mib } => {
+            Json::obj(vec![("global", Json::obj(vec![("mib", Json::UInt(mib))]))])
+        }
+    }
+}
+
+fn cluster_to_json(label: &str, spec: &ClusterSpec) -> Json {
+    Json::obj(vec![
+        ("label", Json::Str(label.into())),
+        ("racks", Json::UInt(spec.racks as u64)),
+        ("nodes_per_rack", Json::UInt(spec.nodes_per_rack as u64)),
+        ("cores", Json::UInt(spec.node.cores as u64)),
+        ("node_mem_mib", Json::UInt(spec.node.local_mem)),
+        ("pool", pool_to_json(&spec.pool)),
+    ])
+}
+
+fn order_to_json(order: &OrderPolicy) -> Json {
+    match *order {
+        OrderPolicy::Wfp { exponent } => Json::obj(vec![(
+            "wfp",
+            Json::obj(vec![("exponent", Json::F64(exponent))]),
+        )]),
+        _ => Json::Str(order.name().into()),
+    }
+}
+
+fn memory_to_json(memory: &MemoryPolicy) -> Json {
+    match *memory {
+        MemoryPolicy::SlowdownAware { max_dilation } => Json::obj(vec![(
+            "slowdown-aware",
+            Json::obj(vec![("max_dilation", Json::F64(max_dilation))]),
+        )]),
+        _ => Json::Str(memory.name().into()),
+    }
+}
+
+fn slowdown_to_json(model: &SlowdownModel) -> Json {
+    match *model {
+        SlowdownModel::None => Json::Str("none".into()),
+        SlowdownModel::Linear { penalty } => Json::obj(vec![(
+            "linear",
+            Json::obj(vec![("penalty", Json::F64(penalty))]),
+        )]),
+        SlowdownModel::Saturating { penalty, curvature } => Json::obj(vec![(
+            "saturating",
+            Json::obj(vec![
+                ("penalty", Json::F64(penalty)),
+                ("curvature", Json::F64(curvature)),
+            ]),
+        )]),
+        SlowdownModel::Contention { penalty, gamma } => Json::obj(vec![(
+            "contention",
+            Json::obj(vec![
+                ("penalty", Json::F64(penalty)),
+                ("gamma", Json::F64(gamma)),
+            ]),
+        )]),
+    }
+}
+
+fn scheduler_to_json(cfg: &SchedulerConfig) -> Json {
+    Json::obj(vec![
+        ("order", order_to_json(&cfg.order)),
+        ("backfill", Json::Str(cfg.backfill.name().into())),
+        ("memory", memory_to_json(&cfg.memory)),
+        ("slowdown", slowdown_to_json(&cfg.slowdown)),
+        ("inflate_walltime", Json::Bool(cfg.inflate_walltime)),
+    ])
+}
+
+pub(super) fn spec_to_json(spec: &ExperimentSpec) -> Result<String, SimError> {
+    let workload = match &spec.workload {
+        WorkloadSource::Preset { preset, jobs } => Json::obj(vec![(
+            "preset",
+            Json::obj(vec![
+                ("system", Json::Str(preset.name().into())),
+                ("jobs", Json::UInt(*jobs as u64)),
+            ]),
+        )]),
+        WorkloadSource::Fixed(_) => return Err(SimError::parse(
+            "fixed-trace experiments are not JSON-serializable (the trace lives outside the spec)",
+        )),
+    };
+    let doc = Json::obj(vec![
+        ("name", Json::Str(spec.name.clone())),
+        ("workload", workload),
+        (
+            "clusters",
+            Json::Arr(
+                spec.clusters
+                    .iter()
+                    .map(|(label, c)| cluster_to_json(label, c))
+                    .collect(),
+            ),
+        ),
+        (
+            "loads",
+            Json::Arr(spec.loads.iter().map(|&l| Json::F64(l)).collect()),
+        ),
+        (
+            "seeds",
+            Json::Arr(spec.seeds.iter().map(|&s| Json::UInt(s)).collect()),
+        ),
+        (
+            "schedulers",
+            Json::Arr(spec.schedulers.iter().map(scheduler_to_json).collect()),
+        ),
+        ("enforce_walltime", Json::Bool(spec.enforce_walltime)),
+        ("check_invariants", Json::Bool(spec.check_invariants)),
+    ]);
+    Ok(doc.to_string_pretty())
+}
+
+// -------------------------------------------------------------- from json
+
+fn pool_from_json(v: &Json) -> Result<PoolTopology, JsonError> {
+    let (tag, data) = tagged(v)?;
+    match tag {
+        "none" => Ok(PoolTopology::None),
+        "per-rack" => Ok(PoolTopology::PerRack {
+            mib_per_rack: payload(data, tag)?.expect_key("mib_per_rack")?.to_u64()?,
+        }),
+        "global" => Ok(PoolTopology::Global {
+            mib: payload(data, tag)?.expect_key("mib")?.to_u64()?,
+        }),
+        other => Err(shape(format!("unknown pool topology {other:?}"))),
+    }
+}
+
+fn cluster_from_json(v: &Json) -> Result<(String, ClusterSpec), JsonError> {
+    let label = v.expect_key("label")?.to_str()?.to_string();
+    let node = NodeSpec::try_new(
+        v.expect_key("cores")?.to_u64()? as u32,
+        v.expect_key("node_mem_mib")?.to_u64()?,
+    )
+    .map_err(|e| shape(e.to_string()))?;
+    let spec = ClusterSpec::try_new(
+        v.expect_key("racks")?.to_u64()? as u32,
+        v.expect_key("nodes_per_rack")?.to_u64()? as u32,
+        node,
+        pool_from_json(v.expect_key("pool")?)?,
+    )
+    .map_err(|e| shape(e.to_string()))?;
+    Ok((label, spec))
+}
+
+fn order_from_json(v: &Json) -> Result<OrderPolicy, JsonError> {
+    let (tag, data) = tagged(v)?;
+    match tag {
+        "fcfs" => Ok(OrderPolicy::Fcfs),
+        "sjf" => Ok(OrderPolicy::Sjf),
+        "largest-first" => Ok(OrderPolicy::LargestFirst),
+        "wfp" => Ok(OrderPolicy::Wfp {
+            exponent: payload(data, tag)?.expect_key("exponent")?.to_f64()?,
+        }),
+        other => Err(shape(format!("unknown order policy {other:?}"))),
+    }
+}
+
+fn backfill_from_json(v: &Json) -> Result<BackfillPolicy, JsonError> {
+    match v.to_str()? {
+        "none" => Ok(BackfillPolicy::None),
+        "easy" => Ok(BackfillPolicy::Easy),
+        "conservative" => Ok(BackfillPolicy::Conservative),
+        other => Err(shape(format!("unknown backfill policy {other:?}"))),
+    }
+}
+
+fn memory_from_json(v: &Json) -> Result<MemoryPolicy, JsonError> {
+    let (tag, data) = tagged(v)?;
+    match tag {
+        "local-only" => Ok(MemoryPolicy::LocalOnly),
+        "pool-ff" => Ok(MemoryPolicy::PoolFirstFit),
+        "pool-bf" => Ok(MemoryPolicy::PoolBestFit),
+        "slowdown-aware" => Ok(MemoryPolicy::SlowdownAware {
+            max_dilation: payload(data, tag)?.expect_key("max_dilation")?.to_f64()?,
+        }),
+        other => Err(shape(format!("unknown memory policy {other:?}"))),
+    }
+}
+
+fn slowdown_from_json(v: &Json) -> Result<SlowdownModel, JsonError> {
+    let (tag, data) = tagged(v)?;
+    match tag {
+        "none" => Ok(SlowdownModel::None),
+        "linear" => Ok(SlowdownModel::Linear {
+            penalty: payload(data, tag)?.expect_key("penalty")?.to_f64()?,
+        }),
+        "saturating" => {
+            let p = payload(data, tag)?;
+            Ok(SlowdownModel::Saturating {
+                penalty: p.expect_key("penalty")?.to_f64()?,
+                curvature: p.expect_key("curvature")?.to_f64()?,
+            })
+        }
+        "contention" => {
+            let p = payload(data, tag)?;
+            Ok(SlowdownModel::Contention {
+                penalty: p.expect_key("penalty")?.to_f64()?,
+                gamma: p.expect_key("gamma")?.to_f64()?,
+            })
+        }
+        other => Err(shape(format!("unknown slowdown model {other:?}"))),
+    }
+}
+
+fn scheduler_from_json(v: &Json) -> Result<SchedulerConfig, JsonError> {
+    Ok(SchedulerConfig {
+        order: order_from_json(v.expect_key("order")?)?,
+        backfill: backfill_from_json(v.expect_key("backfill")?)?,
+        memory: memory_from_json(v.expect_key("memory")?)?,
+        slowdown: slowdown_from_json(v.expect_key("slowdown")?)?,
+        inflate_walltime: v.expect_key("inflate_walltime")?.to_bool()?,
+    })
+}
+
+fn preset_from_name(name: &str) -> Result<SystemPreset, JsonError> {
+    SystemPreset::ALL
+        .into_iter()
+        .find(|p| p.name() == name)
+        .ok_or_else(|| shape(format!("unknown system preset {name:?}")))
+}
+
+pub(super) fn spec_from_json(text: &str) -> Result<ExperimentSpec, SimError> {
+    let doc = parse(text)?;
+    let inner = || -> Result<ExperimentSpec, JsonError> {
+        let (tag, data) = tagged(doc.expect_key("workload")?)?;
+        let workload = match tag {
+            "preset" => {
+                let p = payload(data, tag)?;
+                WorkloadSource::Preset {
+                    preset: preset_from_name(p.expect_key("system")?.to_str()?)?,
+                    jobs: p.expect_key("jobs")?.to_usize()?,
+                }
+            }
+            other => return Err(shape(format!("unknown workload source {other:?}"))),
+        };
+        Ok(ExperimentSpec {
+            name: doc.expect_key("name")?.to_str()?.to_string(),
+            workload,
+            clusters: doc
+                .expect_key("clusters")?
+                .to_arr()?
+                .iter()
+                .map(cluster_from_json)
+                .collect::<Result<_, _>>()?,
+            loads: doc
+                .expect_key("loads")?
+                .to_arr()?
+                .iter()
+                .map(Json::to_f64)
+                .collect::<Result<_, _>>()?,
+            seeds: doc
+                .expect_key("seeds")?
+                .to_arr()?
+                .iter()
+                .map(Json::to_u64)
+                .collect::<Result<_, _>>()?,
+            schedulers: doc
+                .expect_key("schedulers")?
+                .to_arr()?
+                .iter()
+                .map(scheduler_from_json)
+                .collect::<Result<_, _>>()?,
+            enforce_walltime: doc.expect_key("enforce_walltime")?.to_bool()?,
+            check_invariants: doc.expect_key("check_invariants")?.to_bool()?,
+        })
+    };
+    inner().map_err(SimError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::default_slowdown;
+
+    fn full_spec() -> ExperimentSpec {
+        ExperimentSpec::builder("round-trip")
+            .preset(SystemPreset::MidCluster, 1500)
+            .pools([
+                PoolTopology::None,
+                PoolTopology::PerRack {
+                    mib_per_rack: 512 * 1024,
+                },
+                PoolTopology::Global { mib: 4096 * 1024 },
+            ])
+            .loads([0.7, 0.9, 1.1])
+            .seeds([42, 43])
+            .policy_suite(default_slowdown())
+            .scheduler(
+                dmhpc_sched::SchedulerBuilder::new()
+                    .order(OrderPolicy::Wfp { exponent: 3.0 })
+                    .backfill(BackfillPolicy::Conservative)
+                    .memory(MemoryPolicy::SlowdownAware { max_dilation: 1.35 })
+                    .slowdown(SlowdownModel::Contention {
+                        penalty: 1.5,
+                        gamma: 2.0,
+                    })
+                    .inflate_walltime(false)
+                    .build(),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn spec_round_trips_exactly() {
+        let spec = full_spec();
+        let json = spec.to_json().unwrap();
+        let back = ExperimentSpec::from_json(&json).unwrap();
+        assert_eq!(back.name, spec.name);
+        assert_eq!(back.clusters, spec.clusters);
+        assert_eq!(back.loads, spec.loads);
+        assert_eq!(back.seeds, spec.seeds);
+        assert_eq!(back.schedulers, spec.schedulers);
+        assert_eq!(back.enforce_walltime, spec.enforce_walltime);
+        assert_eq!(back.check_invariants, spec.check_invariants);
+        match (&back.workload, &spec.workload) {
+            (
+                WorkloadSource::Preset {
+                    preset: a,
+                    jobs: ja,
+                },
+                WorkloadSource::Preset {
+                    preset: b,
+                    jobs: jb,
+                },
+            ) => {
+                assert_eq!(a, b);
+                assert_eq!(ja, jb);
+            }
+            _ => panic!("workload source changed shape"),
+        }
+        // And a second trip is byte-identical (canonical form).
+        assert_eq!(back.to_json().unwrap(), json);
+    }
+
+    #[test]
+    fn compiled_grids_agree_after_round_trip() {
+        let spec = full_spec();
+        let back = ExperimentSpec::from_json(&spec.to_json().unwrap()).unwrap();
+        let a = spec.compile().unwrap();
+        let b = back.compile().unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.key, y.key);
+            assert_eq!(x.config, y.config);
+        }
+    }
+
+    #[test]
+    fn fixed_traces_refuse_to_serialize() {
+        let w = dmhpc_workload::Workload::from_jobs(vec![dmhpc_workload::JobBuilder::new(1)
+            .nodes(1)
+            .runtime_secs(5, 10)
+            .mem_per_node(64)
+            .build()]);
+        let spec = ExperimentSpec::builder("trace")
+            .fixed_workload(w)
+            .cluster(
+                "c",
+                ClusterSpec::new(1, 2, NodeSpec::new(2, 1024), PoolTopology::None),
+            )
+            .scheduler(dmhpc_sched::SchedulerBuilder::new().build())
+            .build()
+            .unwrap();
+        assert!(matches!(spec.to_json(), Err(SimError::Parse { .. })));
+    }
+
+    #[test]
+    fn malformed_documents_are_typed_errors() {
+        for text in [
+            "not json",
+            r#"{"name": "x"}"#,
+            r#"{"name": "x", "workload": {"preset": {"system": "who", "jobs": 5}},
+                "clusters": [], "loads": [], "seeds": [1], "schedulers": [],
+                "enforce_walltime": true, "check_invariants": false}"#,
+        ] {
+            let err = ExperimentSpec::from_json(text).unwrap_err();
+            assert!(
+                matches!(err, SimError::Parse { .. } | SimError::Spec { .. }),
+                "{err}"
+            );
+        }
+    }
+}

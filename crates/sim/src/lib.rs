@@ -1,26 +1,36 @@
 //! # dmhpc-sim — the end-to-end batch-scheduling simulator
 //!
 //! Binds the DES kernel, platform, workload, scheduler and metrics crates
-//! into a deterministic simulator:
+//! into a deterministic simulator behind a declarative experiment API:
 //!
-//! * [`Simulation`] — the event loop: arrivals enqueue jobs, completions
-//!   release capacity, and a scheduling pass runs after every event batch.
-//!   Running jobs carry **work-remaining** state, so the contention-aware
-//!   slowdown model can re-dilate in-flight jobs exactly whenever pool
-//!   pressure changes (stale finish events are invalidated by generation
-//!   stamps).
+//! * [`experiment`] — the public entry point for studies:
+//!   [`ExperimentSpec`] (a JSON-(de)serializable description of a run
+//!   grid: clusters × loads × seeds × schedulers), [`ExperimentRunner`]
+//!   (parallel execution with deterministic, grid-ordered results), and
+//!   [`ExperimentResults`] (labelled per-cell outputs with CSV/JSON
+//!   export).
+//! * [`Simulation`] — one run: the event loop where arrivals enqueue
+//!   jobs, completions release capacity, and a scheduling pass runs after
+//!   every event batch. Running jobs carry **work-remaining** state, so
+//!   the contention-aware slowdown model can re-dilate in-flight jobs
+//!   exactly whenever pool pressure changes (stale finish events are
+//!   invalidated by generation stamps). Construction is fallible
+//!   ([`SimError`]); custom [`dmhpc_sched::Ordering`]/
+//!   [`dmhpc_sched::Placement`] policies plug in via
+//!   [`Simulation::with_policies`].
 //! * [`SimConfig`] — machine × scheduler × execution-model configuration.
 //! * [`collector`] — time-weighted series (busy nodes, pool use, DRAM use,
 //!   queue depth) recorded exactly at every change.
-//! * [`sweep`] — crossbeam-based parallel parameter sweeps with
-//!   deterministic result ordering.
-//! * [`scenarios`] — canned preset → (cluster, workload, policy suite)
-//!   builders shared by the examples and the reproduction harness.
+//! * [`sweep`] — scoped-thread parallel fan-out with deterministic result
+//!   ordering (the runner's execution substrate).
+//! * [`scenarios`] — the axis vocabulary (preset machines, calibrated
+//!   workloads, the paper's policy suite) experiment specs compose.
 //!
 //! Determinism: a run is a pure function of `(SimConfig, Workload)`. The
 //! output carries a trace hash; two runs of the same inputs produce the
-//! same hash (tested), which is what makes the experiment tables
-//! trustworthy.
+//! same hash — and the experiment runner produces identical per-cell
+//! hashes at any thread count (both tested), which is what makes the
+//! experiment tables trustworthy.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,9 +38,16 @@
 pub mod collector;
 mod config;
 mod engine;
+mod error;
+pub mod experiment;
 pub mod scenarios;
 pub mod sweep;
 
 pub use collector::SeriesBundle;
 pub use config::SimConfig;
 pub use engine::{SimOutput, Simulation};
+pub use error::SimError;
+pub use experiment::{
+    CellKey, CellResult, ExperimentBuilder, ExperimentResults, ExperimentRunner, ExperimentSpec,
+    RunSpec, WorkloadSource,
+};

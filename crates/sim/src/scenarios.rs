@@ -1,15 +1,13 @@
-//! Canned experiment scenarios shared by examples and the reproduction
+//! Canned building blocks shared by experiment specs and the reproduction
 //! harness.
 //!
-//! The experiment design is: take a [`SystemPreset`], build its machine
-//! with a chosen pool topology, generate its calibrated workload, rescale
-//! the workload to an exact offered load, and run one simulation per
-//! scheduler configuration in the *policy suite* (the paper's four-way
-//! comparison).
+//! These are the *axis vocabularies* the declarative experiment API
+//! ([`crate::ExperimentSpec`]) composes: preset machines with a chosen pool
+//! topology, calibrated workloads rescaled to an exact offered load, and
+//! the paper's four-way policy suite. Orchestration itself — crossing the
+//! axes, fanning out runs, collecting labelled results — lives in
+//! [`crate::experiment`]; nothing here runs a simulation.
 
-use crate::config::SimConfig;
-use crate::engine::{SimOutput, Simulation};
-use crate::sweep::run_parallel;
 use dmhpc_platform::{ClusterSpec, NodeSpec, PoolTopology, SlowdownModel};
 use dmhpc_sched::{BackfillPolicy, MemoryPolicy, OrderPolicy, SchedulerBuilder, SchedulerConfig};
 use dmhpc_workload::{transform, SystemPreset, Workload};
@@ -42,13 +40,12 @@ pub fn policy_suite(slowdown: SlowdownModel) -> Vec<SchedulerConfig> {
     ]
     .into_iter()
     .map(|memory| {
-        *SchedulerBuilder::new()
+        SchedulerBuilder::new()
             .order(OrderPolicy::Fcfs)
             .backfill(BackfillPolicy::Easy)
             .memory(memory)
             .slowdown(slowdown)
             .build()
-            .config()
     })
     .collect()
 }
@@ -60,20 +57,6 @@ pub fn default_slowdown() -> SlowdownModel {
         penalty: 1.5,
         curvature: 3.0,
     }
-}
-
-/// Run one simulation per scheduler config over the same workload/machine,
-/// in parallel. Results in config order.
-pub fn run_policies(
-    cluster: ClusterSpec,
-    workload: &Workload,
-    configs: &[SchedulerConfig],
-    threads: usize,
-) -> Vec<SimOutput> {
-    let inputs: Vec<SchedulerConfig> = configs.to_vec();
-    run_parallel(inputs, threads, |sched| {
-        Simulation::new(SimConfig::new(cluster, *sched)).run(workload)
-    })
 }
 
 #[cfg(test)]
@@ -111,29 +94,5 @@ mod tests {
         assert_eq!(labels, dedup);
         assert!(labels[0].contains("local-only"));
         assert!(labels[3].contains("slowdown-aware"));
-    }
-
-    #[test]
-    fn run_policies_end_to_end() {
-        let preset = SystemPreset::HighThroughput;
-        let w = preset_workload(preset, 120, 9, 0.7);
-        let cluster = preset_cluster(
-            preset,
-            PoolTopology::PerRack {
-                mib_per_rack: 384 * 1024,
-            },
-        );
-        let outs = run_policies(cluster, &w, &policy_suite(default_slowdown()), 2);
-        assert_eq!(outs.len(), 4);
-        for out in &outs {
-            assert_eq!(
-                out.report.completed + out.report.killed + out.report.rejected,
-                120
-            );
-        }
-        // The local-only baseline inflates; pool policies borrow.
-        assert!(outs[0].report.inflated_fraction > 0.0);
-        assert_eq!(outs[0].report.borrowed_fraction, 0.0);
-        assert!(outs[1].report.borrowed_fraction > 0.0);
     }
 }

@@ -1,12 +1,12 @@
 //! Parallel parameter sweeps.
 //!
 //! Experiments run dozens of independent simulations (policies × pool sizes
-//! × loads). [`run_parallel`] fans them out over threads with
-//! `crossbeam::scope`; results come back **in input order** regardless of
-//! thread scheduling, so sweep output is deterministic given deterministic
-//! run functions.
+//! × loads). [`run_parallel`] fans them out over `std::thread::scope`
+//! workers; results come back **in input order** regardless of thread
+//! scheduling, so sweep output is deterministic given deterministic run
+//! functions.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Map `f` over `inputs` in parallel, preserving order. `threads = 0` means
 /// one per available core.
@@ -37,22 +37,22 @@ where
     let queue = Mutex::new(work);
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 // Self-scheduling work queue: long simulations don't stall
                 // a static partition.
-                let item = queue.lock().pop();
+                let item = queue.lock().expect("sweep queue poisoned").pop();
                 let Some((idx, input)) = item else { break };
                 let out = f(&input);
-                results.lock()[idx] = Some(out);
+                results.lock().expect("sweep results poisoned")[idx] = Some(out);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
     results
         .into_inner()
+        .expect("sweep results poisoned")
         .into_iter()
         .map(|r| r.expect("every index filled"))
         .collect()

@@ -1,11 +1,10 @@
 //! The job model.
 
 use dmhpc_des::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Unique job identifier. Also used as the platform lease id, so `u64`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct JobId(pub u64);
 
 impl JobId {
@@ -29,7 +28,7 @@ impl fmt::Display for JobId {
 /// policy runs the job on more nodes (memory-driven inflation on a
 /// conventional cluster), the per-node demand shrinks correspondingly via
 /// [`mem_per_node_at`](Job::mem_per_node_at).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Job {
     /// Unique id; also the platform lease id while running.
     pub id: JobId,
@@ -93,7 +92,10 @@ impl Job {
             return Err(format!("{}: zero runtime", self.id));
         }
         if !(0.0..=1.0).contains(&self.intensity) {
-            return Err(format!("{}: intensity {} outside [0,1]", self.id, self.intensity));
+            return Err(format!(
+                "{}: intensity {} outside [0,1]",
+                self.id, self.intensity
+            ));
         }
         if self.mem_per_node == 0 {
             return Err(format!("{}: zero memory", self.id));
@@ -185,7 +187,9 @@ impl JobBuilder {
 
     /// Finish; panics if the job is inconsistent (construction-time bug).
     pub fn build(self) -> Job {
-        self.job.validate().expect("JobBuilder produced invalid job");
+        self.job
+            .validate()
+            .expect("JobBuilder produced invalid job");
         self.job
     }
 }
@@ -214,10 +218,7 @@ mod tests {
 
     #[test]
     fn node_seconds() {
-        let j = JobBuilder::new(3)
-            .nodes(10)
-            .runtime_secs(600, 3600)
-            .build();
+        let j = JobBuilder::new(3).nodes(10).runtime_secs(600, 3600).build();
         assert!((j.node_seconds() - 6000.0).abs() < 1e-9);
         assert!((j.requested_node_seconds() - 36000.0).abs() < 1e-9);
         assert!((j.estimate_accuracy() - 600.0 / 3600.0).abs() < 1e-12);

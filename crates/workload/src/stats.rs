@@ -2,11 +2,10 @@
 
 use crate::workload_set::Workload;
 use dmhpc_des::stats::{CdfCollector, OnlineStats};
-use serde::{Deserialize, Serialize};
 
 /// Summary statistics of one workload, relative to a reference node size.
 /// This is one row of reproduction table T1.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WorkloadSummary {
     /// Workload label.
     pub name: String,

@@ -37,11 +37,9 @@ mod write;
 pub use parse::{parse_reader, parse_str, SwfTrace};
 pub use write::{write_string, write_to};
 
-use serde::{Deserialize, Serialize};
-
 /// How to map SWF's processor-oriented fields onto the node-oriented job
 /// model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SwfConfig {
     /// Processors per node on the traced machine.
     pub cores_per_node: u32,
@@ -93,7 +91,10 @@ mod tests {
         // Job 3 has no runtime -> skipped. Job 4 failed -> skipped by default.
         assert_eq!(trace.workload.len(), 2);
         assert_eq!(trace.skipped, 2);
-        assert_eq!(trace.header.get("Computer").map(String::as_str), Some("Test Machine"));
+        assert_eq!(
+            trace.header.get("Computer").map(String::as_str),
+            Some("Test Machine")
+        );
 
         let j1 = &trace.workload.jobs()[0];
         assert_eq!(j1.id.0, 1);

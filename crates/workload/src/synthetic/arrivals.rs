@@ -2,7 +2,6 @@
 
 use dmhpc_des::rng::Pcg64;
 use dmhpc_des::time::SimTime;
-use serde::{Deserialize, Serialize};
 
 const SECS_PER_DAY: f64 = 86_400.0;
 
@@ -10,7 +9,7 @@ const SECS_PER_DAY: f64 = 86_400.0;
 /// submission cycle every production trace shows (quiet nights, busy
 /// afternoons). The modulated process is sampled exactly with Lewis–Shedler
 /// thinning against the peak rate.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ArrivalModel {
     /// Mean seconds between submissions (before modulation; the cycle
     /// preserves this mean).
@@ -136,8 +135,11 @@ mod tests {
     #[test]
     fn multiplier_mean_is_one() {
         let m = ArrivalModel::daily(10.0, 3.0);
-        let mean: f64 =
-            (0..86_400).step_by(60).map(|t| m.rate_multiplier(t as f64)).sum::<f64>() / 1440.0;
+        let mean: f64 = (0..86_400)
+            .step_by(60)
+            .map(|t| m.rate_multiplier(t as f64))
+            .sum::<f64>()
+            / 1440.0;
         assert!((mean - 1.0).abs() < 1e-6, "cycle mean {mean}");
     }
 

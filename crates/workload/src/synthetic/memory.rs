@@ -10,11 +10,10 @@
 
 use dmhpc_des::rng::dist::{Distribution, LogNormal, Normal};
 use dmhpc_des::rng::Pcg64;
-use serde::{Deserialize, Serialize};
 
 /// Two-class lognormal mixture over per-node memory demand, expressed as a
 /// fraction of a reference node's DRAM and converted to MiB.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct MemoryModel {
     /// Reference node DRAM, MiB (the machine the fractions are calibrated
     /// against).
@@ -50,7 +49,10 @@ impl MemoryModel {
             return Err("sigmas must be positive".into());
         }
         if !(0.0..=1.0).contains(&self.heavy_fraction) {
-            return Err(format!("heavy_fraction {} outside [0,1]", self.heavy_fraction));
+            return Err(format!(
+                "heavy_fraction {} outside [0,1]",
+                self.heavy_fraction
+            ));
         }
         if self.cap_frac.is_nan() || self.cap_frac < self.light_median_frac {
             return Err("cap_frac below the light median makes no sense".into());
@@ -79,7 +81,7 @@ impl MemoryModel {
 
 /// Memory-access intensity coupled to footprint: big-footprint jobs tend to
 /// be the ones hammering memory, with noise so the correlation is loose.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct IntensityModel {
     /// Intensity of a zero-footprint job.
     pub base: f64,
@@ -182,7 +184,9 @@ mod tests {
         };
         let mut rng = Pcg64::new(64);
         let n = 50_000;
-        let over = (0..n).filter(|_| m.sample(&mut rng) > m.node_mem_mib).count();
+        let over = (0..n)
+            .filter(|_| m.sample(&mut rng) > m.node_mem_mib)
+            .count();
         // Light class at median 0.15, σ=0.8: P(>1.0) ≈ Φ(-ln(6.7)/0.8) ≈ 0.9%.
         assert!(over as f64 / (n as f64) < 0.03);
     }
@@ -196,10 +200,8 @@ mod tests {
         };
         im.validate().unwrap();
         let mut rng = Pcg64::new(65);
-        let small: f64 =
-            (0..5000).map(|_| im.sample(&mut rng, 0.05)).sum::<f64>() / 5000.0;
-        let large: f64 =
-            (0..5000).map(|_| im.sample(&mut rng, 1.4)).sum::<f64>() / 5000.0;
+        let small: f64 = (0..5000).map(|_| im.sample(&mut rng, 0.05)).sum::<f64>() / 5000.0;
+        let large: f64 = (0..5000).map(|_| im.sample(&mut rng, 1.4)).sum::<f64>() / 5000.0;
         assert!(
             large > small + 0.3,
             "intensity must rise with footprint ({small} vs {large})"
@@ -212,11 +214,30 @@ mod tests {
 
     #[test]
     fn validation_errors() {
-        assert!(MemoryModel { node_mem_mib: 0, ..model() }.validate().is_err());
-        assert!(MemoryModel { heavy_fraction: 2.0, ..model() }.validate().is_err());
-        assert!(MemoryModel { cap_frac: 0.01, ..model() }.validate().is_err());
-        assert!(IntensityModel { base: 1.5, mem_coupling: 0.0, noise: 0.0 }
-            .validate()
-            .is_err());
+        assert!(MemoryModel {
+            node_mem_mib: 0,
+            ..model()
+        }
+        .validate()
+        .is_err());
+        assert!(MemoryModel {
+            heavy_fraction: 2.0,
+            ..model()
+        }
+        .validate()
+        .is_err());
+        assert!(MemoryModel {
+            cap_frac: 0.01,
+            ..model()
+        }
+        .validate()
+        .is_err());
+        assert!(IntensityModel {
+            base: 1.5,
+            mem_coupling: 0.0,
+            noise: 0.0
+        }
+        .validate()
+        .is_err());
     }
 }

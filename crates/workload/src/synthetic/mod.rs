@@ -24,10 +24,9 @@ use crate::job::{Job, JobId};
 use crate::workload_set::Workload;
 use dmhpc_des::rng::dist::Zipf;
 use dmhpc_des::rng::Pcg64;
-use serde::{Deserialize, Serialize};
 
 /// A complete synthetic-workload description.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SyntheticSpec {
     /// Number of jobs to generate.
     pub n_jobs: usize,
@@ -112,7 +111,7 @@ impl SyntheticSpec {
 /// Each preset pairs a machine shape (consumed by `dmhpc-platform` builders
 /// in the `sim` crate) with a workload calibration whose memory model is
 /// expressed relative to that machine's node DRAM.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SystemPreset {
     /// Mid-size capacity system: 256 nodes × 64 cores × 256 GiB. The
     /// reproduction's base configuration.

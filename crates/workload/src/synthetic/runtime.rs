@@ -3,12 +3,11 @@
 use dmhpc_des::rng::dist::{Distribution, Exponential, Gamma, HyperGamma};
 use dmhpc_des::rng::Pcg64;
 use dmhpc_des::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Actual-runtime model: the two-stage hyper-Gamma of Lublin & Feitelson,
 /// which captures the short-job mass and the long tail that one Gamma
 /// cannot. Samples are in seconds, clamped to `[min_secs, max_secs]`.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct RuntimeModel {
     /// Mixture weight of the short-job Gamma.
     pub p_short: f64,
@@ -53,7 +52,7 @@ impl RuntimeModel {
 
 /// Walltime-request model. Users overestimate, cluster their requests on
 /// round values, and occasionally underestimate (those jobs get killed).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct WalltimeModel {
     /// Mean of the multiplicative overestimation factor minus one; the
     /// factor is `1 + Exp(mean = overestimate_mean_excess)`. Production
@@ -71,8 +70,9 @@ pub struct WalltimeModel {
 
 /// Canonical walltime buckets (seconds): 15 m, 30 m, 1 h, 2 h, 4 h, 6 h,
 /// 8 h, 12 h, 24 h, 48 h.
-pub const WALLTIME_BUCKETS: [u64; 10] =
-    [900, 1800, 3600, 7200, 14_400, 21_600, 28_800, 43_200, 86_400, 172_800];
+pub const WALLTIME_BUCKETS: [u64; 10] = [
+    900, 1800, 3600, 7200, 14_400, 21_600, 28_800, 43_200, 86_400, 172_800,
+];
 
 impl WalltimeModel {
     /// Validate parameters.
@@ -132,8 +132,8 @@ mod tests {
     fn runtime_model() -> RuntimeModel {
         RuntimeModel {
             p_short: 0.7,
-            short: (2.0, 600.0),  // mean 20 min
-            long: (2.0, 7200.0),  // mean 4 h
+            short: (2.0, 600.0), // mean 20 min
+            long: (2.0, 7200.0), // mean 4 h
             min_secs: 60.0,
             max_secs: 172_800.0,
         }
@@ -228,8 +228,18 @@ mod tests {
 
     #[test]
     fn validation_errors() {
-        assert!(RuntimeModel { p_short: -0.1, ..runtime_model() }.validate().is_err());
-        assert!(RuntimeModel { min_secs: 0.0, ..runtime_model() }.validate().is_err());
+        assert!(RuntimeModel {
+            p_short: -0.1,
+            ..runtime_model()
+        }
+        .validate()
+        .is_err());
+        assert!(RuntimeModel {
+            min_secs: 0.0,
+            ..runtime_model()
+        }
+        .validate()
+        .is_err());
         let wt = WalltimeModel {
             overestimate_mean_excess: -1.0,
             round_to_buckets: false,

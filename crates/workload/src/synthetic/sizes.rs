@@ -2,12 +2,11 @@
 
 use dmhpc_des::rng::dist::{Distribution, Normal};
 use dmhpc_des::rng::Pcg64;
-use serde::{Deserialize, Serialize};
 
 /// Node-count model in the Lublin–Feitelson tradition: a serial-job point
 /// mass, a lognormal body over parallel sizes, and a strong bias toward
 /// powers of two (users think in powers of two; archive traces confirm it).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct SizeModel {
     /// Largest permitted request (jobs are clamped here).
     pub max_nodes: u32,
@@ -29,7 +28,10 @@ impl SizeModel {
             return Err("max_nodes must be >= 1".into());
         }
         if !(0.0..=1.0).contains(&self.serial_fraction) {
-            return Err(format!("serial_fraction {} outside [0,1]", self.serial_fraction));
+            return Err(format!(
+                "serial_fraction {} outside [0,1]",
+                self.serial_fraction
+            ));
         }
         if !(0.0..=1.0).contains(&self.power_of_two_bias) {
             return Err(format!(
@@ -153,8 +155,23 @@ mod tests {
     #[test]
     fn validation() {
         assert!(model().validate().is_ok());
-        assert!(SizeModel { serial_fraction: 1.5, ..model() }.validate().is_err());
-        assert!(SizeModel { log_std: 0.0, ..model() }.validate().is_err());
-        assert!(SizeModel { max_nodes: 0, ..model() }.validate().is_err());
+        assert!(SizeModel {
+            serial_fraction: 1.5,
+            ..model()
+        }
+        .validate()
+        .is_err());
+        assert!(SizeModel {
+            log_std: 0.0,
+            ..model()
+        }
+        .validate()
+        .is_err());
+        assert!(SizeModel {
+            max_nodes: 0,
+            ..model()
+        }
+        .validate()
+        .is_err());
     }
 }

@@ -190,10 +190,7 @@ mod tests {
 
     #[test]
     fn cap_nodes_preserves_total_memory() {
-        let w = Workload::from_jobs(vec![JobBuilder::new(1)
-            .nodes(16)
-            .mem_per_node(100)
-            .build()]);
+        let w = Workload::from_jobs(vec![JobBuilder::new(1).nodes(16).mem_per_node(100).build()]);
         let capped = cap_nodes(&w, 4);
         let j = &capped.jobs()[0];
         assert_eq!(j.nodes, 4);

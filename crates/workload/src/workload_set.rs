@@ -2,12 +2,11 @@
 
 use crate::job::{Job, JobId};
 use dmhpc_des::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// A workload: jobs sorted by `(arrival, id)`. The simulator consumes jobs
 /// in this order; keeping the invariant here (rather than re-sorting in the
 /// engine) makes trace transforms cheap to compose.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Workload {
     jobs: Vec<Job>,
 }
@@ -182,10 +181,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate job id")]
     fn rejects_duplicate_ids() {
-        Workload::from_jobs(vec![
-            JobBuilder::new(1).build(),
-            JobBuilder::new(1).build(),
-        ]);
+        Workload::from_jobs(vec![JobBuilder::new(1).build(), JobBuilder::new(1).build()]);
     }
 
     #[test]

@@ -9,73 +9,74 @@
 //! ```
 
 use dmhpc::prelude::*;
-use dmhpc::sim::scenarios::{preset_cluster, preset_workload};
-use dmhpc::sim::sweep::run_parallel;
 
-fn main() {
-    let preset = SystemPreset::MidCluster;
-    let workload = preset_workload(preset, 1000, 42, 0.9);
-
+fn main() -> Result<(), SimError> {
     let pool_sizes_gib = [0u64, 64, 128, 256, 512, 1024];
-    let policies = [
-        ("local-only", MemoryPolicy::LocalOnly),
-        (
-            "slowdown-aware",
-            MemoryPolicy::SlowdownAware { max_dilation: 1.35 },
-        ),
-    ];
 
-    // Build the full cross product, then fan out over cores.
-    let mut inputs = Vec::new();
-    for &(name, memory) in &policies {
-        for &gib in &pool_sizes_gib {
-            inputs.push((name, memory, gib));
-        }
-    }
-    let results = run_parallel(inputs, 0, |&(name, memory, gib)| {
-        let pool = if gib == 0 {
-            PoolTopology::None
-        } else {
-            PoolTopology::PerRack {
-                mib_per_rack: gib * 1024,
+    // The cross product is declarative: pool-capacity axis × policy axis.
+    let spec = ExperimentSpec::builder("capacity-planning")
+        .preset(SystemPreset::MidCluster, 1000)
+        .pools(pool_sizes_gib.iter().map(|&gib| {
+            if gib == 0 {
+                PoolTopology::None
+            } else {
+                PoolTopology::PerRack {
+                    mib_per_rack: gib * 1024,
+                }
             }
-        };
-        let sched = SchedulerBuilder::new()
-            .memory(memory)
-            .slowdown(SlowdownModel::Saturating {
-                penalty: 1.5,
-                curvature: 3.0,
-            })
-            .build();
-        let out =
-            Simulation::new(SimConfig::new(preset_cluster(preset, pool), *sched.config()))
-                .run(&workload);
-        (name, gib, out.report)
-    });
+        }))
+        .load(0.9)
+        .seed(42)
+        .schedulers(
+            [
+                MemoryPolicy::LocalOnly,
+                MemoryPolicy::SlowdownAware { max_dilation: 1.35 },
+            ]
+            .map(|memory| {
+                SchedulerBuilder::new()
+                    .memory(memory)
+                    .slowdown(SlowdownModel::Saturating {
+                        penalty: 1.5,
+                        curvature: 3.0,
+                    })
+                    .build()
+            }),
+        )
+        .build()?;
+
+    let results = ExperimentRunner::new().run(&spec)?;
 
     println!(
-        "{:<16} {:>9} {:>12} {:>12} {:>10} {:>10}",
-        "policy", "pool_gib", "mean_wait_s", "p95_wait_s", "node_util", "pool_util"
+        "{:<16} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "policy", "pool", "mean_wait_s", "p95_wait_s", "node_util", "pool_util"
     );
-    for (name, gib, r) in &results {
+    for cell in results.cells() {
+        let r = &cell.output.report;
         println!(
-            "{:<16} {:>9} {:>12.0} {:>12.0} {:>10.3} {:>10.3}",
-            name, gib, r.mean_wait_s, r.p95_wait_s, r.node_util, r.pool_util
+            "{:<16} {:>12} {:>12.0} {:>12.0} {:>10.3} {:>10.3}",
+            cell.output.report.label.rsplit('+').next().unwrap_or(""),
+            cell.key.cluster,
+            r.mean_wait_s,
+            r.p95_wait_s,
+            r.node_util,
+            r.pool_util
         );
     }
 
     // Point out the knee: first pool size achieving ≥90% of the best
     // improvement for the aware policy.
-    let aware: Vec<_> = results.iter().filter(|(n, _, _)| *n == "slowdown-aware").collect();
-    let worst = aware.first().map(|(_, _, r)| r.mean_wait_s).unwrap_or(0.0);
-    let best = aware
+    let aware = results.select(|k| k.scheduler.contains("slowdown-aware"));
+    let waits: Vec<f64> = aware.iter().map(|c| c.output.report.mean_wait_s).collect();
+    let worst = waits.first().copied().unwrap_or(0.0);
+    let best = waits.iter().copied().fold(f64::INFINITY, f64::min);
+    if let Some(cell) = aware
         .iter()
-        .map(|(_, _, r)| r.mean_wait_s)
-        .fold(f64::INFINITY, f64::min);
-    if let Some((_, gib, _)) = aware
-        .iter()
-        .find(|(_, _, r)| worst - r.mean_wait_s >= 0.9 * (worst - best))
+        .find(|c| worst - c.output.report.mean_wait_s >= 0.9 * (worst - best))
     {
-        println!("\nknee: {gib} GiB/rack captures ≥90% of the achievable wait reduction");
+        println!(
+            "\nknee: {} captures ≥90% of the achievable wait reduction",
+            cell.key.cluster
+        );
     }
+    Ok(())
 }

@@ -9,14 +9,9 @@
 //! ```
 
 use dmhpc::prelude::*;
-use dmhpc::sim::scenarios::{preset_cluster, preset_workload};
-use dmhpc::sim::sweep::run_parallel;
 
-fn main() {
-    let preset = SystemPreset::MidCluster;
-    let workload = preset_workload(preset, 1000, 42, 0.9);
-
-    let models: Vec<(&str, SlowdownModel)> = vec![
+fn main() -> Result<(), SimError> {
+    let models: [(&str, SlowdownModel); 3] = [
         ("static-1.5x", SlowdownModel::Linear { penalty: 1.5 }),
         (
             "contention-γ1",
@@ -33,47 +28,50 @@ fn main() {
             },
         ),
     ];
-    let pools_gib = [128u64, 256, 512];
 
-    let mut inputs = Vec::new();
-    for &(name, model) in &models {
-        for &gib in &pools_gib {
-            inputs.push((name, model, gib));
-        }
-    }
-    let rows = run_parallel(inputs, 0, |&(name, model, gib)| {
-        let cluster = preset_cluster(
-            preset,
-            PoolTopology::PerRack {
-                mib_per_rack: gib * 1024,
-            },
-        );
-        let sched = SchedulerBuilder::new()
-            .memory(MemoryPolicy::PoolFirstFit)
-            .slowdown(model)
-            .build();
-        let out = Simulation::new(SimConfig::new(cluster, *sched.config())).run(&workload);
-        (name, gib, out.report)
-    });
+    // Pool-size axis × slowdown-model axis (the model rides in the
+    // scheduler config), all borrowing via pool first-fit.
+    let spec = ExperimentSpec::builder("contention-study")
+        .preset(SystemPreset::MidCluster, 1000)
+        .pools([128u64, 256, 512].map(|gib| PoolTopology::PerRack {
+            mib_per_rack: gib * 1024,
+        }))
+        .load(0.9)
+        .seed(42)
+        .schedulers(models.map(|(_, model)| {
+            SchedulerBuilder::new()
+                .memory(MemoryPolicy::PoolFirstFit)
+                .slowdown(model)
+                .build()
+        }))
+        .build()?;
+
+    let results = ExperimentRunner::new().run(&spec)?;
 
     println!(
-        "{:<16} {:>9} {:>12} {:>10} {:>11} {:>6}",
-        "model", "pool_gib", "mean_wait_s", "p95_bsld", "mean_dil", "kill"
+        "{:<16} {:>12} {:>12} {:>10} {:>11} {:>6}",
+        "model", "pool", "mean_wait_s", "p95_bsld", "mean_dil", "kill"
     );
-    for (name, gib, r) in &rows {
-        println!(
-            "{:<16} {:>9} {:>12.0} {:>10.2} {:>11.3} {:>6}",
-            name,
-            gib,
-            r.mean_wait_s,
-            r.p95_bsld,
-            r.mean_dilation_borrowers.max(1.0),
-            r.killed,
-        );
+    // Model-major rows: each pool size contributes one cell per model, in
+    // scheduler-axis order.
+    for (i, (name, _)) in models.iter().enumerate() {
+        for cell in results.cells().iter().skip(i).step_by(models.len()) {
+            let r = &cell.output.report;
+            println!(
+                "{:<16} {:>12} {:>12.0} {:>10.2} {:>11.3} {:>6}",
+                name,
+                cell.key.cluster,
+                r.mean_wait_s,
+                r.p95_bsld,
+                r.mean_dilation_borrowers.max(1.0),
+                r.killed,
+            );
+        }
     }
     println!(
         "\nreading: small pools under the contention model run hot, so borrowers\n\
          dilate harder — walltime inflation keeps them alive (kill=0), but the\n\
          effective far-memory cost rises with pressure."
     );
+    Ok(())
 }

@@ -1,59 +1,53 @@
 //! Policy comparison: the paper's four-way suite plus ordering/backfill
-//! variants, on one workload.
+//! variants, on one declared grid.
 //!
 //! ```text
 //! cargo run --release --example policy_comparison
 //! ```
 
-use dmhpc::metrics::export;
 use dmhpc::prelude::*;
-use dmhpc::sim::scenarios::{
-    default_slowdown, policy_suite, preset_cluster, preset_workload, run_policies,
-};
+use dmhpc::sim::scenarios::default_slowdown;
 
-fn main() {
-    let preset = SystemPreset::MidCluster;
-    let workload = preset_workload(preset, 1200, 42, 0.9);
-    let cluster = preset_cluster(
-        preset,
-        PoolTopology::PerRack {
-            mib_per_rack: 512 * 1024,
-        },
-    );
-
-    // The standard four-policy suite…
-    let mut configs = policy_suite(default_slowdown());
-    // …plus a WFP-ordered and a conservative-backfill variant of the
-    // slowdown-aware policy, to show the axes compose.
+fn main() -> Result<(), SimError> {
     let aware = MemoryPolicy::SlowdownAware { max_dilation: 1.35 };
-    configs.push(
-        *SchedulerBuilder::new()
-            .order(OrderPolicy::Wfp { exponent: 3.0 })
-            .memory(aware)
-            .slowdown(default_slowdown())
-            .build()
-            .config(),
-    );
-    configs.push(
-        *SchedulerBuilder::new()
-            .backfill(BackfillPolicy::Conservative)
-            .memory(aware)
-            .slowdown(default_slowdown())
-            .build()
-            .config(),
-    );
+    let spec = ExperimentSpec::builder("policy-comparison")
+        .preset(SystemPreset::MidCluster, 1200)
+        .pool(PoolTopology::PerRack {
+            mib_per_rack: 512 * 1024,
+        })
+        .load(0.9)
+        .seed(42)
+        // The standard four-policy suite…
+        .policy_suite(default_slowdown())
+        // …plus a WFP-ordered and a conservative-backfill variant of the
+        // slowdown-aware policy, to show the axes compose.
+        .scheduler(
+            SchedulerBuilder::new()
+                .order(OrderPolicy::Wfp { exponent: 3.0 })
+                .memory(aware)
+                .slowdown(default_slowdown())
+                .build(),
+        )
+        .scheduler(
+            SchedulerBuilder::new()
+                .backfill(BackfillPolicy::Conservative)
+                .memory(aware)
+                .slowdown(default_slowdown())
+                .build(),
+        )
+        .build()?;
 
-    let outs = run_policies(cluster, &workload, &configs, 0);
-    let reports: Vec<_> = outs.iter().map(|o| o.report.clone()).collect();
+    let results = ExperimentRunner::new().run(&spec)?;
 
     println!(
         "{:<34} {:>10} {:>9} {:>9} {:>9} {:>9}",
         "policy", "mean_w_s", "p95_bsld", "node_ut", "borrow%", "fair"
     );
-    for r in &reports {
+    for cell in results.cells() {
+        let r = &cell.output.report;
         println!(
             "{:<34} {:>10.0} {:>9.2} {:>9.3} {:>8.1}% {:>9.3}",
-            r.label,
+            cell.output.report.label,
             r.mean_wait_s,
             r.p95_bsld,
             r.node_util,
@@ -62,9 +56,9 @@ fn main() {
         );
     }
 
-    // Machine-readable output for downstream analysis.
+    // Machine-readable output for downstream analysis, grid axes included.
     std::fs::create_dir_all("results").ok();
-    std::fs::write("results/policy_comparison.csv", export::reports_to_csv(&reports))
-        .expect("write CSV");
+    std::fs::write("results/policy_comparison.csv", results.to_csv()).expect("write CSV");
     println!("\nwrote results/policy_comparison.csv");
+    Ok(())
 }

@@ -1,4 +1,8 @@
-//! Quickstart: simulate one day of jobs on a disaggregated-memory cluster.
+//! Quickstart: the minimal walkthrough of the experiment API.
+//!
+//! Declare a grid (machine × pools × load × seed × policies), run it, read
+//! the table. Everything fallible happens before the first simulation
+//! starts, as one typed [`SimError`].
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -6,62 +10,68 @@
 
 use dmhpc::prelude::*;
 
-fn main() {
-    // 1. A machine: 4 racks × 32 nodes (64 cores, 256 GiB DRAM each), with
-    //    a 512 GiB CXL memory pool per rack.
-    let cluster = ClusterSpec::new(
-        4,
-        32,
-        NodeSpec::new(64, 256 * 1024),
-        PoolTopology::PerRack {
-            mib_per_rack: 512 * 1024,
-        },
-    );
-
-    // 2. A workload: 500 jobs from the calibrated mid-cluster model. Most
-    //    jobs use a small slice of node DRAM; a heavy tail needs more per
-    //    node than the node has.
-    let workload = SystemPreset::MidCluster.synthetic_spec(500).generate(7);
-    println!(
-        "workload: {} jobs, {:.1} h span, offered load {:.2}",
-        workload.len(),
-        workload.arrival_span().as_hours_f64(),
-        workload.offered_load(cluster.total_nodes()),
-    );
-
-    // 3. A scheduler: FCFS order, EASY backfilling against the two-resource
-    //    availability profile, and the slowdown-aware memory policy that
-    //    borrows pool memory when the predicted dilation is worth the saved
-    //    nodes.
-    let scheduler = SchedulerBuilder::new()
-        .order(OrderPolicy::Fcfs)
-        .backfill(BackfillPolicy::Easy)
-        .memory(MemoryPolicy::SlowdownAware { max_dilation: 1.35 })
-        .slowdown(SlowdownModel::Saturating {
+fn main() -> Result<(), SimError> {
+    // 1. Declare the experiment: the calibrated mid-size system (256 nodes
+    //    × 64 cores × 256 GiB DRAM), 500 jobs at offered load 0.9, with and
+    //    without a 512 GiB CXL pool per rack, under the paper's four-way
+    //    policy suite.
+    let spec = ExperimentSpec::builder("quickstart")
+        .preset(SystemPreset::MidCluster, 500)
+        .pools([
+            PoolTopology::None,
+            PoolTopology::PerRack {
+                mib_per_rack: 512 * 1024,
+            },
+        ])
+        .load(0.9)
+        .seed(7)
+        .policy_suite(SlowdownModel::Saturating {
             penalty: 1.5,
             curvature: 3.0,
         })
-        .build();
+        .build()?; // every grid problem surfaces here, typed
 
-    // 4. Run.
-    let sim = Simulation::new(SimConfig::new(cluster, *scheduler.config()));
-    let out = sim.run(&workload);
+    println!(
+        "experiment {:?}: {} cells (2 pools × 4 policies)\n",
+        spec.name,
+        spec.cell_count()
+    );
 
-    // 5. Read the report.
-    let r = &out.report;
-    println!("policy:            {}", r.label);
-    println!("completed/killed:  {}/{}", r.completed, r.killed);
-    println!("mean wait:         {:.0} s", r.mean_wait_s);
-    println!("P95 bounded sld:   {:.2}", r.p95_bsld);
-    println!("node utilization:  {:.1}%", 100.0 * r.node_util);
-    println!("pool utilization:  {:.1}%", 100.0 * r.pool_util);
+    // 2. Run the whole grid in parallel. Results come back in grid order,
+    //    bit-identical no matter how many threads execute them.
+    let results = ExperimentRunner::new().run(&spec)?;
+
+    // 3. Read the table.
     println!(
-        "borrowers:         {:.1}% of jobs (mean dilation {:.3})",
-        100.0 * r.borrowed_fraction,
-        r.mean_dilation_borrowers.max(1.0),
+        "{:<12} {:<28} {:>10} {:>9} {:>9} {:>9}",
+        "pool", "policy", "mean_w_s", "p95_bsld", "node_ut", "borrow%"
     );
-    println!(
-        "simulated {} events in {} scheduling passes",
-        out.events_processed, out.passes
-    );
+    for cell in results.cells() {
+        let r = &cell.output.report;
+        println!(
+            "{:<12} {:<28} {:>10.0} {:>9.2} {:>9.3} {:>8.1}%",
+            cell.key.cluster,
+            cell.output.report.label,
+            r.mean_wait_s,
+            r.p95_bsld,
+            r.node_util,
+            100.0 * r.borrowed_fraction,
+        );
+    }
+
+    // 4. The same spec is a JSON document — check it into the repo next to
+    //    the figures it reproduces, reload it with
+    //    `ExperimentSpec::from_json`.
+    println!("\nspec as JSON (first 5 lines):");
+    for line in spec.to_json()?.lines().take(5) {
+        println!("  {line}");
+    }
+    println!("  ...");
+
+    // 5. Machine-readable results for notebooks: results.to_csv() /
+    //    results.to_json().
+    std::fs::create_dir_all("results").ok();
+    std::fs::write("results/quickstart.csv", results.to_csv()).expect("write CSV");
+    println!("\nwrote results/quickstart.csv");
+    Ok(())
 }

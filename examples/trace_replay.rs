@@ -3,7 +3,10 @@
 //!
 //! Pass a path to any SWF file (Parallel Workloads Archive format); without
 //! an argument the example writes a synthetic trace to SWF first and replays
-//! that, demonstrating the full round trip real deployments use.
+//! that, demonstrating the full round trip real deployments use. The trace
+//! enters the experiment grid as a fixed workload
+//! ([`dmhpc::sim::WorkloadSource::Fixed`]): the seed axis collapses, the
+//! load axis still pins offered load against the target machine.
 //!
 //! ```text
 //! cargo run --release --example trace_replay [-- /path/to/trace.swf]
@@ -14,7 +17,7 @@ use dmhpc::workload::swf::{parse_reader, write_string, SwfConfig};
 use dmhpc::workload::transform;
 use std::io::BufReader;
 
-fn main() {
+fn main() -> Result<(), SimError> {
     let swf_cfg = SwfConfig {
         cores_per_node: 64,
         default_mem_per_node: 64 * 1024,
@@ -48,40 +51,52 @@ fn main() {
         }
     };
 
-    // Normalize the trace for the target machine: cap node requests, shift
-    // to t=0, and pin the offered load at 0.9.
-    let cluster = ClusterSpec::new(
+    // Normalize the trace for the target machine: cap node requests and
+    // shift to t=0 (the grid's load axis pins offered load per cluster).
+    let cluster = ClusterSpec::try_new(
         8,
         32,
         NodeSpec::new(64, 256 * 1024),
         PoolTopology::PerRack {
             mib_per_rack: 512 * 1024,
         },
-    );
+    )?;
     let workload = transform::cap_nodes(&workload, cluster.total_nodes());
     let workload = transform::shift_to_origin(&workload);
-    let workload = transform::rescale_load(&workload, cluster.total_nodes(), 0.9);
 
     println!(
-        "replaying {trace_name}: {} jobs, load {:.2}\n",
-        workload.len(),
-        workload.offered_load(cluster.total_nodes())
+        "replaying {trace_name}: {} jobs at load 0.90\n",
+        workload.len()
     );
 
     let slowdown = SlowdownModel::Saturating {
         penalty: 1.5,
         curvature: 3.0,
     };
-    for memory in [
-        MemoryPolicy::LocalOnly,
-        MemoryPolicy::SlowdownAware { max_dilation: 1.35 },
-    ] {
-        let sched = SchedulerBuilder::new().memory(memory).slowdown(slowdown).build();
-        let out = Simulation::new(SimConfig::new(cluster, *sched.config())).run(&workload);
-        let r = &out.report;
+    let spec = ExperimentSpec::builder("trace-replay")
+        .fixed_workload(workload)
+        .cluster("replay-256", cluster)
+        .load(0.9)
+        .schedulers(
+            [
+                MemoryPolicy::LocalOnly,
+                MemoryPolicy::SlowdownAware { max_dilation: 1.35 },
+            ]
+            .map(|memory| {
+                SchedulerBuilder::new()
+                    .memory(memory)
+                    .slowdown(slowdown)
+                    .build()
+            }),
+        )
+        .build()?;
+    let results = ExperimentRunner::new().run(&spec)?;
+
+    for cell in results.cells() {
+        let r = &cell.output.report;
         println!(
             "{:<28} wait {:>7.0} s   p95 bsld {:>6.2}   util {:>5.1}%   inflated {:>4.1}%   borrowed {:>4.1}%",
-            r.label,
+            cell.output.report.label,
             r.mean_wait_s,
             r.p95_bsld,
             100.0 * r.node_util,
@@ -89,4 +104,5 @@ fn main() {
             100.0 * r.borrowed_fraction,
         );
     }
+    Ok(())
 }

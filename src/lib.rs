@@ -3,6 +3,49 @@
 //! Facade crate: re-exports the whole workspace behind one dependency and
 //! provides a [`prelude`] for examples and downstream users.
 //!
+//! ## The experiment API
+//!
+//! The public surface revolves around three types:
+//!
+//! * [`sim::ExperimentSpec`] — a declarative, JSON-(de)serializable
+//!   description of a run grid: workload source (calibrated preset or
+//!   fixed trace), labelled cluster shapes, offered-load and seed axes,
+//!   and scheduler configurations. Built fluently:
+//!
+//!   ```
+//!   use dmhpc::prelude::*;
+//!
+//!   let spec = ExperimentSpec::builder("pool-sweep")
+//!       .preset(SystemPreset::MidCluster, 500)
+//!       .pools([
+//!           PoolTopology::None,
+//!           PoolTopology::PerRack { mib_per_rack: 512 * 1024 },
+//!       ])
+//!       .load(0.9)
+//!       .seed(42)
+//!       .policy_suite(SlowdownModel::Saturating { penalty: 1.5, curvature: 3.0 })
+//!       .build()?;
+//!   assert_eq!(spec.cell_count(), 2 * 4);
+//!   # Ok::<(), dmhpc::SimError>(())
+//!   ```
+//!
+//! * [`sim::ExperimentRunner`] — compiles the grid into concrete cells and
+//!   executes them across threads with deterministic, grid-ordered
+//!   results (per-cell trace hashes are identical at any thread count).
+//!
+//! * [`sim::ExperimentResults`] — the labelled result table: per-cell
+//!   [`sim::SimOutput`]s plus CSV/JSON export for notebooks.
+//!
+//! Construction is fallible end to end: every ill-formed cluster shape,
+//! slowdown model, or grid axis surfaces as the single [`SimError`] enum
+//! before any simulation starts. Scheduling behaviour is pluggable through
+//! the [`sched::Ordering`] / [`sched::Placement`] traits — the built-in
+//! [`sched::OrderPolicy`] / [`sched::MemoryPolicy`] enums are just the
+//! bundled implementations (see [`sim::Simulation::with_policies`]).
+//!
+//! For one-off runs without a grid, [`sim::Simulation`] is still the
+//! entry point: `Simulation::new(SimConfig::new(cluster, scheduler))?`.
+//!
 //! See `README.md` for the architecture overview and `DESIGN.md` for the
 //! system inventory and experiment index.
 
@@ -15,6 +58,11 @@ pub use dmhpc_sched as sched;
 pub use dmhpc_sim as sim;
 pub use dmhpc_workload as workload;
 
+/// The workspace's single public error enum (re-exported from
+/// [`sim::SimError`]): platform spec problems, malformed experiment grids,
+/// and experiment-spec parse failures.
+pub use dmhpc_sim::SimError;
+
 /// Everything a typical simulation script needs, in one import.
 pub mod prelude {
     pub use dmhpc_des::queue::{BinaryHeapQueue, CalendarQueue, EventQueue};
@@ -23,13 +71,15 @@ pub mod prelude {
     pub use dmhpc_des::time::{SimDuration, SimTime};
     pub use dmhpc_metrics::{ClassBreakdown, JobClass, SimReport};
     pub use dmhpc_platform::{
-        Cluster, ClusterSpec, MemoryPool, MiB, NodeSpec, PoolTopology, SlowdownModel,
+        Cluster, ClusterSpec, MemoryPool, MiB, NodeSpec, PlatformError, PoolTopology, SlowdownModel,
     };
     pub use dmhpc_sched::{
-        BackfillPolicy, MemoryPolicy, OrderPolicy, SchedulerBuilder, SchedulerConfig,
+        BackfillPolicy, MemoryPolicy, OrderPolicy, Ordering, Placement, SchedulerBuilder,
+        SchedulerConfig,
     };
-    pub use dmhpc_sim::{SimConfig, Simulation};
-    pub use dmhpc_workload::{
-        Job, JobId, SyntheticSpec, SystemPreset, Workload, WorkloadBuilder,
+    pub use dmhpc_sim::{
+        CellKey, CellResult, ExperimentResults, ExperimentRunner, ExperimentSpec, SimConfig,
+        SimError, SimOutput, Simulation, WorkloadSource,
     };
+    pub use dmhpc_workload::{Job, JobId, SyntheticSpec, SystemPreset, Workload, WorkloadBuilder};
 }

@@ -1,9 +1,7 @@
 //! Cross-crate integration tests: full simulations through the public API.
 
 use dmhpc::prelude::*;
-use dmhpc::sim::scenarios::{
-    default_slowdown, policy_suite, preset_cluster, preset_workload, run_policies,
-};
+use dmhpc::sim::scenarios::{default_slowdown, policy_suite, preset_cluster, preset_workload};
 use dmhpc::workload::swf::{parse_str, write_string, SwfConfig};
 use dmhpc::workload::transform;
 use dmhpc_metrics::JobOutcome;
@@ -22,7 +20,7 @@ fn conservation_across_policy_suite() {
     let w = preset_workload(preset, 400, 1, 0.85);
     let cluster = preset_cluster(preset, per_rack(512));
     for sched in policy_suite(default_slowdown()) {
-        let sim = Simulation::new(SimConfig::new(cluster, sched).checked());
+        let sim = Simulation::new(SimConfig::new(cluster, sched).checked()).unwrap();
         let out = sim.run(&w);
         assert_eq!(
             out.report.completed + out.report.killed + out.report.rejected,
@@ -39,11 +37,7 @@ fn conservation_across_policy_suite() {
                     .map(|res| res.as_secs_f64() * r.nodes_allocated as f64)
             })
             .sum();
-        let integral = out
-            .series
-            .nodes_busy
-            .stats()
-            .integral_until(out.end_time);
+        let integral = out.series.nodes_busy.stats().integral_until(out.end_time);
         let rel = (per_job - integral).abs() / integral.max(1.0);
         assert!(
             rel < 1e-6,
@@ -64,7 +58,9 @@ fn causality_and_exact_residence() {
         .memory(MemoryPolicy::PoolFirstFit)
         .slowdown(SlowdownModel::Linear { penalty: 1.4 })
         .build();
-    let out = Simulation::new(SimConfig::new(cluster, *sched.config()).checked()).run(&w);
+    let out = Simulation::new(SimConfig::new(cluster, sched).checked())
+        .unwrap()
+        .run(&w);
     for r in &out.records {
         let (Some(start), Some(finish)) = (r.start, r.finish) else {
             continue;
@@ -101,7 +97,9 @@ fn easy_no_worse_than_no_backfill() {
             .memory(MemoryPolicy::PoolBestFit)
             .slowdown(default_slowdown())
             .build();
-        let out = Simulation::new(SimConfig::new(cluster, *sched.config())).run(&w);
+        let out = Simulation::new(SimConfig::new(cluster, sched))
+            .unwrap()
+            .run(&w);
         waits.push(out.report.mean_wait_s);
     }
     assert!(
@@ -115,15 +113,20 @@ fn easy_no_worse_than_no_backfill() {
 /// The headline claim, end to end: on a memory-stranded workload the
 /// disaggregation-aware policy beats the local-only baseline on mean wait,
 /// and the baseline inflates jobs while the aware policy borrows instead.
+/// Runs as a declared experiment grid through the public API.
 #[test]
 fn disaggregation_beats_inflation_on_stranded_workload() {
-    let preset = SystemPreset::MidCluster;
-    let w = preset_workload(preset, 800, 42, 0.9);
-    let cluster = preset_cluster(preset, per_rack(512));
-    let suite = policy_suite(default_slowdown());
-    let outs = run_policies(cluster, &w, &suite, 0);
-    let local = &outs[0].report;
-    let aware = &outs[3].report;
+    let spec = ExperimentSpec::builder("headline")
+        .preset(SystemPreset::MidCluster, 800)
+        .pool(per_rack(512))
+        .load(0.9)
+        .seed(42)
+        .policy_suite(default_slowdown())
+        .build()
+        .unwrap();
+    let results = ExperimentRunner::new().run(&spec).unwrap();
+    let local = &results.cells()[0].output.report;
+    let aware = &results.cells()[3].output.report;
     assert!(local.inflated_fraction > 0.03, "baseline must inflate");
     assert_eq!(local.borrowed_fraction, 0.0);
     assert!(aware.borrowed_fraction > 0.03, "aware must borrow");
@@ -176,7 +179,7 @@ fn swf_roundtrip_preserves_simulation() {
         .memory(MemoryPolicy::PoolBestFit)
         .slowdown(SlowdownModel::None)
         .build();
-    let sim = Simulation::new(SimConfig::new(cluster, *sched.config()));
+    let sim = Simulation::new(SimConfig::new(cluster, sched)).unwrap();
     let a = sim.run(&w);
     let b = sim.run(&back);
     assert_eq!(a.report.completed, b.report.completed);
@@ -197,7 +200,9 @@ fn wait_grows_with_load() {
     let mut prev = 0.0;
     for load in [0.5, 0.8, 1.1] {
         let w = preset_workload(preset, 600, 7, load);
-        let out = Simulation::new(SimConfig::new(cluster, *sched.config())).run(&w);
+        let out = Simulation::new(SimConfig::new(cluster, sched))
+            .unwrap()
+            .run(&w);
         assert!(
             out.report.mean_wait_s >= prev * 0.8,
             "load {load}: wait {} collapsed below previous {prev}",
@@ -221,16 +226,26 @@ fn underestimates_cause_kills() {
         .memory(MemoryPolicy::PoolFirstFit)
         .slowdown(default_slowdown())
         .build();
-    let out = Simulation::new(SimConfig::new(cluster, *sched.config())).run(&w);
+    let out = Simulation::new(SimConfig::new(cluster, sched))
+        .unwrap()
+        .run(&w);
     let kill_frac = out.report.killed as f64 / 400.0;
     assert!(
         kill_frac > 0.1 && kill_frac < 0.3,
         "kill fraction {kill_frac} should track the 20% underestimate rate"
     );
     // Killed jobs end exactly at their planned walltime.
-    for r in out.records.iter().filter(|r| r.outcome == JobOutcome::Killed) {
+    for r in out
+        .records
+        .iter()
+        .filter(|r| r.outcome == JobOutcome::Killed)
+    {
         let residence = r.residence().unwrap();
-        assert!(residence <= r.job.walltime.scale(default_slowdown().worst_case()) + dmhpc::des::SimDuration::from_secs(1));
+        assert!(
+            residence
+                <= r.job.walltime.scale(default_slowdown().worst_case())
+                    + dmhpc::des::SimDuration::from_secs(1)
+        );
     }
 }
 
@@ -242,7 +257,9 @@ fn preset_policy_matrix() {
         let w = preset_workload(preset, 150, 11, 0.8);
         let cluster = preset_cluster(preset, per_rack(512));
         for sched in policy_suite(default_slowdown()) {
-            let out = Simulation::new(SimConfig::new(cluster, sched).checked()).run(&w);
+            let out = Simulation::new(SimConfig::new(cluster, sched).checked())
+                .unwrap()
+                .run(&w);
             assert_eq!(
                 out.report.completed + out.report.killed + out.report.rejected,
                 150,
@@ -265,7 +282,9 @@ fn rejections_are_justified() {
         .memory(MemoryPolicy::LocalOnly)
         .slowdown(SlowdownModel::None)
         .build();
-    let out = Simulation::new(SimConfig::new(cluster, *sched.config())).run(&w);
+    let out = Simulation::new(SimConfig::new(cluster, sched))
+        .unwrap()
+        .run(&w);
     let node_mem = cluster.node.local_mem;
     for r in &out.records {
         if r.outcome == JobOutcome::Rejected {
@@ -279,4 +298,150 @@ fn rejections_are_justified() {
             );
         }
     }
+}
+
+// ------------------------------------------------------ experiment API
+
+/// The declarative grid produces identical per-cell trace hashes whether
+/// the runner uses one thread or many (ISSUE acceptance: 1 vs N).
+#[test]
+fn experiment_runner_thread_count_invariant() {
+    let spec = ExperimentSpec::builder("determinism")
+        .preset(SystemPreset::HighThroughput, 120)
+        .pools([PoolTopology::None, per_rack(384)])
+        .loads([0.8, 1.0])
+        .seeds([1, 2])
+        .policy_suite(default_slowdown())
+        .build()
+        .unwrap();
+    assert_eq!(spec.cell_count(), 2 * 2 * 2 * 4);
+    let serial = ExperimentRunner::with_threads(1).run(&spec).unwrap();
+    let parallel = ExperimentRunner::with_threads(8).run(&spec).unwrap();
+    assert_eq!(serial.len(), spec.cell_count());
+    for (a, b) in serial.cells().iter().zip(parallel.cells()) {
+        assert_eq!(a.key, b.key, "grid order must not depend on threads");
+        assert_eq!(
+            a.output.trace_hash,
+            b.output.trace_hash,
+            "{}",
+            a.key.label()
+        );
+        assert_eq!(a.output.events_processed, b.output.events_processed);
+    }
+}
+
+/// Specs round-trip through JSON via the facade, and the reloaded spec
+/// reproduces the same simulation results hash-for-hash.
+#[test]
+fn experiment_spec_json_round_trip_reproduces_runs() {
+    let spec = ExperimentSpec::builder("roundtrip")
+        .preset(SystemPreset::HighThroughput, 80)
+        .pool(per_rack(384))
+        .load(0.9)
+        .seed(5)
+        .policy_suite(default_slowdown())
+        .build()
+        .unwrap();
+    let json = spec.to_json().unwrap();
+    let reloaded = ExperimentSpec::from_json(&json).unwrap();
+    let a = ExperimentRunner::with_threads(2).run(&spec).unwrap();
+    let b = ExperimentRunner::with_threads(2).run(&reloaded).unwrap();
+    for (x, y) in a.cells().iter().zip(b.cells()) {
+        assert_eq!(x.key, y.key);
+        assert_eq!(x.output.trace_hash, y.output.trace_hash);
+    }
+}
+
+/// Construction is fallible end to end: bad grids and bad configs come
+/// back as the facade's single typed error, not as panics.
+#[test]
+fn invalid_configuration_is_a_typed_error() {
+    // Bad slowdown model through Simulation::new.
+    let sched = SchedulerBuilder::new()
+        .slowdown(SlowdownModel::Linear { penalty: 0.0 })
+        .build();
+    let cluster = preset_cluster(SystemPreset::HighThroughput, PoolTopology::None);
+    let err = Simulation::new(SimConfig::new(cluster, sched)).unwrap_err();
+    assert!(
+        matches!(err, SimError::Platform(PlatformError::InvalidSpec { .. })),
+        "{err}"
+    );
+
+    // Zero-sized machine through the typed spec constructor.
+    assert!(ClusterSpec::try_new(0, 4, NodeSpec::new(4, 1024), PoolTopology::None).is_err());
+
+    // Empty scheduler axis through the grid builder.
+    let err = ExperimentSpec::builder("empty")
+        .preset(SystemPreset::MidCluster, 10)
+        .pool(PoolTopology::None)
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, SimError::Spec { .. }), "{err}");
+}
+
+/// Custom scheduling policies plug in through the `Ordering`/`Placement`
+/// traits without forking the built-in enums: a LIFO ordering visibly
+/// changes who runs first, and the run stays deterministic.
+#[test]
+fn custom_ordering_plugs_into_simulation() {
+    #[derive(Debug)]
+    struct Lifo;
+    impl Ordering for Lifo {
+        fn name(&self) -> &str {
+            "lifo"
+        }
+        fn order(&self, entries: &mut [dmhpc::sched::QueuedJob], _now: SimTime) {
+            // Latest arrival first; ties by id to stay total.
+            entries.sort_by_key(|e| {
+                (
+                    std::cmp::Reverse(e.job.arrival),
+                    std::cmp::Reverse(e.job.id),
+                )
+            });
+        }
+    }
+
+    let cluster = ClusterSpec::new(1, 2, NodeSpec::new(8, 64 * 1024), PoolTopology::None);
+    let mk = |id: u64, arr: u64| {
+        dmhpc::workload::JobBuilder::new(id)
+            .arrival_secs(arr)
+            .nodes(2)
+            .runtime_secs(100, 200)
+            .mem_per_node(1024)
+            .build()
+    };
+    // Three full-machine jobs queued while the first runs: FCFS starts
+    // 2 before 3; LIFO must start 3 (the newest) first.
+    let w = Workload::from_jobs(vec![mk(1, 0), mk(2, 10), mk(3, 20)]);
+    let cfg = SimConfig::new(cluster, SchedulerBuilder::new().build());
+
+    let fcfs = Simulation::new(cfg).unwrap().run(&w);
+    let start = |out: &SimOutput, id: u64| {
+        out.records
+            .iter()
+            .find(|r| r.job.id.0 == id)
+            .unwrap()
+            .start
+            .unwrap()
+            .as_secs()
+    };
+    assert!(start(&fcfs, 2) < start(&fcfs, 3));
+
+    let lifo =
+        Simulation::with_policies(cfg, Box::new(Lifo), Box::new(MemoryPolicy::LocalOnly)).unwrap();
+    let out = lifo.run(&w);
+    assert!(
+        start(&out, 3) < start(&out, 2),
+        "LIFO runs the newest first"
+    );
+    assert!(
+        out.report.label.starts_with("lifo+"),
+        "{}",
+        out.report.label
+    );
+    // Determinism holds for custom policies too.
+    let again = Simulation::with_policies(cfg, Box::new(Lifo), Box::new(MemoryPolicy::LocalOnly))
+        .unwrap()
+        .run(&w);
+    assert_eq!(out.trace_hash, again.trace_hash);
 }

@@ -1,61 +1,60 @@
-//! Property-based tests (proptest) for the core invariants in DESIGN.md §7.
+//! Randomized invariant tests (DESIGN.md §7), driven by the workspace's own
+//! deterministic PCG64 streams instead of an external property-testing
+//! framework: each test fuzzes a fixed number of seeded cases, so failures
+//! reproduce exactly by seed.
 
-use dmhpc::des::{BinaryHeapQueue, CalendarQueue, EventQueue, SimDuration, SimTime};
+use dmhpc::des::{BinaryHeapQueue, CalendarQueue, EventQueue, Pcg64, SimDuration, SimTime};
 use dmhpc::platform::{Cluster, ClusterSpec, MemoryAssignment, NodeSpec, PoolTopology};
 use dmhpc::prelude::*;
 use dmhpc::sim::scenarios::preset_cluster;
 use dmhpc_metrics::JobOutcome;
 use dmhpc_workload::{Job, JobId, Workload};
-use proptest::prelude::*;
 
 // ------------------------------------------------------------------ queues
 
 /// Invariant 1: both pending-event sets are stable min-queues and agree
 /// with each other on arbitrary interleavings of schedules and pops.
-fn queue_ops() -> impl Strategy<Value = Vec<Option<u64>>> {
-    // Some(t) = schedule at time t; None = pop.
-    prop::collection::vec(prop::option::weighted(0.6, 0u64..10_000), 1..400)
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn heap_and_calendar_agree(ops in queue_ops()) {
+#[test]
+fn heap_and_calendar_agree() {
+    for case in 0..128u64 {
+        let mut rng = Pcg64::new_stream(0xCAFE, case);
         let mut heap: BinaryHeapQueue<usize> = BinaryHeapQueue::new();
         let mut cal: CalendarQueue<usize> = CalendarQueue::new();
-        for (i, op) in ops.into_iter().enumerate() {
-            match op {
-                Some(t) => {
-                    let at = SimTime::from_micros(t);
-                    heap.schedule(at, i);
-                    cal.schedule(at, i);
-                }
-                None => {
-                    // Note: dequeue times need not be monotone across
-                    // interleaved inserts of earlier events — only
-                    // implementation agreement is the invariant here.
-                    let a = heap.pop();
-                    let b = cal.pop();
-                    prop_assert_eq!(&a, &b, "implementations diverged");
-                }
+        let ops = 1 + rng.index(400);
+        for i in 0..ops {
+            if rng.chance(0.6) {
+                let at = SimTime::from_micros(rng.bounded_u64(10_000));
+                heap.schedule(at, i);
+                cal.schedule(at, i);
+            } else {
+                // Dequeue times need not be monotone across interleaved
+                // inserts of earlier events — only implementation agreement
+                // is the invariant here.
+                let a = heap.pop();
+                let b = cal.pop();
+                assert_eq!(a, b, "implementations diverged (case {case})");
             }
-            prop_assert_eq!(heap.len(), cal.len());
+            assert_eq!(heap.len(), cal.len());
         }
         // Drain: both empty in the same order.
         loop {
             let a = heap.pop();
             let b = cal.pop();
-            prop_assert_eq!(&a, &b);
+            assert_eq!(a, b, "case {case}");
             if a.is_none() {
                 break;
             }
         }
     }
+}
 
-    /// Dequeue order is (time, insertion) — stability over random inputs.
-    #[test]
-    fn queue_drain_is_stable_sorted(times in prop::collection::vec(0u64..1_000, 1..300)) {
+/// Dequeue order is (time, insertion) — stability over random inputs.
+#[test]
+fn queue_drain_is_stable_sorted() {
+    for case in 0..128u64 {
+        let mut rng = Pcg64::new_stream(0xBEEF, case);
+        let n = 1 + rng.index(300);
+        let times: Vec<u64> = (0..n).map(|_| rng.bounded_u64(1_000)).collect();
         let mut q: BinaryHeapQueue<usize> = BinaryHeapQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(SimTime::from_micros(t), i);
@@ -67,21 +66,18 @@ proptest! {
         let mut expect: Vec<(u64, usize)> =
             times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
         expect.sort();
-        prop_assert_eq!(out, expect);
+        assert_eq!(out, expect, "case {case}");
     }
 }
 
 // ----------------------------------------------------------------- cluster
 
-// Invariant 2: arbitrary allocate/release sequences never corrupt the
-// ledger, and at the end everything is released.
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn cluster_ledger_survives_random_churn(
-        ops in prop::collection::vec((0u64..24, 1u32..6, 0u64..96), 1..120)
-    ) {
+/// Invariant 2: arbitrary allocate/release sequences never corrupt the
+/// ledger, and at the end everything is released.
+#[test]
+fn cluster_ledger_survives_random_churn() {
+    for case in 0..64u64 {
+        let mut rng = Pcg64::new_stream(0xD00D, case);
         let mut cluster = Cluster::new(ClusterSpec::new(
             3,
             8,
@@ -89,167 +85,180 @@ proptest! {
             PoolTopology::PerRack { mib_per_rack: 256 },
         ));
         let mut active: Vec<u64> = Vec::new();
-        for (lease, nodes, remote) in ops {
+        let ops = 1 + rng.index(120);
+        for _ in 0..ops {
+            let lease = rng.bounded_u64(24);
+            let nodes = 1 + rng.index(5);
+            let remote = rng.bounded_u64(96);
             if active.contains(&lease) {
                 cluster.release(lease).unwrap();
                 active.retain(|&l| l != lease);
-            } else {
-                let nodes = cluster.first_fit_nodes(nodes as usize);
-                if let Some(ids) = nodes {
-                    let a = MemoryAssignment::hybrid(ids, 64, remote);
-                    if cluster.can_allocate(&a).is_ok() {
-                        cluster.allocate(lease, a).unwrap();
-                        active.push(lease);
-                    }
+            } else if let Some(ids) = cluster.first_fit_nodes(nodes) {
+                let a = MemoryAssignment::hybrid(ids, 64, remote);
+                if cluster.can_allocate(&a).is_ok() {
+                    cluster.allocate(lease, a).unwrap();
+                    active.push(lease);
                 }
             }
-            prop_assert!(cluster.verify_invariants().is_ok());
+            assert!(cluster.verify_invariants().is_ok(), "case {case}");
         }
         for lease in active {
             cluster.release(lease).unwrap();
         }
-        prop_assert_eq!(cluster.lease_count(), 0);
-        prop_assert_eq!(cluster.free_nodes(), 24);
-        prop_assert_eq!(cluster.total_pool_used(), 0);
+        assert_eq!(cluster.lease_count(), 0);
+        assert_eq!(cluster.free_nodes(), 24);
+        assert_eq!(cluster.total_pool_used(), 0);
     }
 }
 
 // ------------------------------------------------------------------ engine
 
-fn arb_job(max_nodes: u32) -> impl Strategy<Value = (u64, u32, u64, u64, u64, f64)> {
-    (
-        0u64..50_000,      // arrival s
-        1u32..=max_nodes,  // nodes
-        60u64..20_000,     // runtime s
-        1u64..4,           // walltime multiplier
-        256u64..400_000,   // mem per node MiB (node = 196608 MiB)
-        0.0f64..1.0,       // intensity
-    )
+/// One random job: arrival, nodes, runtime, walltime multiple, per-node
+/// memory, intensity.
+fn random_job(rng: &mut Pcg64, id: u64, max_nodes: u32) -> Job {
+    let runtime = 60 + rng.bounded_u64(20_000 - 60);
+    Job {
+        id: JobId(id),
+        user: (id % 7) as u32,
+        arrival: SimTime::from_secs(rng.bounded_u64(50_000)),
+        nodes: 1 + rng.index(max_nodes as usize) as u32,
+        walltime: SimDuration::from_secs(runtime * (1 + rng.bounded_u64(3))),
+        runtime: SimDuration::from_secs(runtime),
+        mem_per_node: 256 + rng.bounded_u64(400_000 - 256),
+        intensity: rng.next_f64(),
+    }
 }
 
-fn build_workload(raw: Vec<(u64, u32, u64, u64, u64, f64)>) -> Workload {
-    let jobs: Vec<Job> = raw
-        .into_iter()
-        .enumerate()
-        .map(|(i, (arr, nodes, run, wmul, mem, intensity))| Job {
-            id: JobId(i as u64),
-            user: (i % 7) as u32,
-            arrival: SimTime::from_secs(arr),
-            nodes,
-            walltime: SimDuration::from_secs(run * wmul),
-            runtime: SimDuration::from_secs(run),
-            mem_per_node: mem,
-            intensity,
-        })
+fn random_workload(rng: &mut Pcg64, max_jobs: usize, max_nodes: u32) -> Workload {
+    let n = 1 + rng.index(max_jobs);
+    let jobs: Vec<Job> = (0..n)
+        .map(|i| random_job(rng, i as u64, max_nodes))
         .collect();
     Workload::from_jobs(jobs)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Invariants 3 & 6 end to end on random workloads: causality holds,
-    /// every job is accounted for, completed jobs consume exactly their
-    /// work, and the cluster ends empty (checked mode panics otherwise).
-    #[test]
-    fn engine_invariants_on_random_workloads(
-        raw in prop::collection::vec(arb_job(32), 1..60),
-        policy_idx in 0usize..4,
-    ) {
-        let w = build_workload(raw);
+/// Invariants 3 & 6 end to end on random workloads: causality holds, every
+/// job is accounted for, completed jobs consume exactly their work, and the
+/// cluster ends empty (checked mode panics otherwise).
+#[test]
+fn engine_invariants_on_random_workloads() {
+    for case in 0..48u64 {
+        let mut rng = Pcg64::new_stream(0xE4617E, case);
+        let w = random_workload(&mut rng, 60, 32);
         let cluster = preset_cluster(
             SystemPreset::HighThroughput,
-            PoolTopology::PerRack { mib_per_rack: 512 * 1024 },
+            PoolTopology::PerRack {
+                mib_per_rack: 512 * 1024,
+            },
         );
         let memory = [
             MemoryPolicy::LocalOnly,
             MemoryPolicy::PoolFirstFit,
             MemoryPolicy::PoolBestFit,
             MemoryPolicy::SlowdownAware { max_dilation: 1.4 },
-        ][policy_idx];
+        ][rng.index(4)];
         let sched = SchedulerBuilder::new()
             .memory(memory)
-            .slowdown(SlowdownModel::Saturating { penalty: 1.5, curvature: 3.0 })
+            .slowdown(SlowdownModel::Saturating {
+                penalty: 1.5,
+                curvature: 3.0,
+            })
             .build();
-        let out = Simulation::new(SimConfig::new(cluster, *sched.config()).checked()).run(&w);
-        prop_assert_eq!(out.records.len(), w.len());
+        let out = Simulation::new(SimConfig::new(cluster, sched).checked())
+            .unwrap()
+            .run(&w);
+        assert_eq!(out.records.len(), w.len(), "case {case}");
         for r in &out.records {
             match r.outcome {
-                JobOutcome::Rejected => prop_assert!(r.start.is_none()),
+                JobOutcome::Rejected => assert!(r.start.is_none()),
                 JobOutcome::Completed => {
                     let res = r.residence().unwrap();
                     let expect = r.job.runtime.scale(r.dilation_actual);
-                    prop_assert!(
+                    assert!(
                         res.as_micros().abs_diff(expect.as_micros()) <= 2,
-                        "work conservation: {} vs {}", res, expect
+                        "case {case}: work conservation: {res} vs {expect}"
                     );
                 }
                 JobOutcome::Killed => {
-                    prop_assert!(r.residence().unwrap() <= r.job.walltime.scale(2.0));
+                    assert!(r.residence().unwrap() <= r.job.walltime.scale(2.0));
                 }
             }
             if let Some(s) = r.start {
-                prop_assert!(s >= r.job.arrival);
+                assert!(s >= r.job.arrival);
             }
         }
-        prop_assert!(out.report.node_util <= 1.0 + 1e-9);
+        assert!(out.report.node_util <= 1.0 + 1e-9);
     }
+}
 
-    /// Determinism (invariant 7): identical inputs give identical traces.
-    #[test]
-    fn engine_is_deterministic(
-        raw in prop::collection::vec(arb_job(16), 1..40),
-    ) {
-        let w = build_workload(raw);
+/// Determinism (invariant 7): identical inputs give identical traces.
+#[test]
+fn engine_is_deterministic() {
+    for case in 0..24u64 {
+        let mut rng = Pcg64::new_stream(0xDE7E12, case);
+        let w = random_workload(&mut rng, 40, 16);
         let cluster = preset_cluster(
             SystemPreset::HighThroughput,
             PoolTopology::Global { mib: 1024 * 1024 },
         );
         let sched = SchedulerBuilder::new()
             .memory(MemoryPolicy::PoolBestFit)
-            .slowdown(SlowdownModel::Contention { penalty: 1.5, gamma: 1.0 })
+            .slowdown(SlowdownModel::Contention {
+                penalty: 1.5,
+                gamma: 1.0,
+            })
             .build();
-        let sim = Simulation::new(SimConfig::new(cluster, *sched.config()));
+        let sim = Simulation::new(SimConfig::new(cluster, sched)).unwrap();
         let a = sim.run(&w);
         let b = sim.run(&w);
-        prop_assert_eq!(a.trace_hash, b.trace_hash);
-        prop_assert_eq!(a.passes, b.passes);
+        assert_eq!(a.trace_hash, b.trace_hash, "case {case}");
+        assert_eq!(a.passes, b.passes);
     }
 }
 
 // ---------------------------------------------------------------- workload
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// rescale_load hits its target for arbitrary workloads (within the
-    /// rounding of integer microsecond arrivals).
-    #[test]
-    fn rescale_load_is_exact(
-        raw in prop::collection::vec(arb_job(8), 3..50),
-        target in 0.2f64..1.5,
-    ) {
-        let w = build_workload(raw);
-        prop_assume!(w.arrival_span() > SimDuration::from_secs(10));
+/// rescale_load hits its target for arbitrary workloads (within the
+/// rounding of integer microsecond arrivals).
+#[test]
+fn rescale_load_is_exact() {
+    let mut tested = 0u32;
+    for case in 0..96u64 {
+        let mut rng = Pcg64::new_stream(0x10AD, case);
+        let n = 3 + rng.index(47);
+        let jobs: Vec<Job> = (0..n).map(|i| random_job(&mut rng, i as u64, 8)).collect();
+        let w = Workload::from_jobs(jobs);
+        let target = rng.range_f64(0.2, 1.5);
+        if w.arrival_span() <= SimDuration::from_secs(10) {
+            continue;
+        }
+        tested += 1;
         let scaled = dmhpc::workload::transform::rescale_load(&w, 64, target);
         let achieved = scaled.offered_load(64);
-        prop_assert!((achieved - target).abs() / target < 0.01,
-            "target {} achieved {}", target, achieved);
+        assert!(
+            (achieved - target).abs() / target < 0.01,
+            "case {case}: target {target} achieved {achieved}"
+        );
     }
+    assert!(
+        tested >= 32,
+        "most random workloads must exercise the check"
+    );
+}
 
-    /// Memory-preserving node capping (invariant 5 precondition).
-    #[test]
-    fn cap_nodes_preserves_footprint(
-        raw in prop::collection::vec(arb_job(64), 1..40),
-        cap in 1u32..32,
-    ) {
-        let w = build_workload(raw);
+/// Memory-preserving node capping (invariant 5 precondition).
+#[test]
+fn cap_nodes_preserves_footprint() {
+    for case in 0..64u64 {
+        let mut rng = Pcg64::new_stream(0xCA9, case);
+        let w = random_workload(&mut rng, 40, 64);
+        let cap = 1 + rng.index(31) as u32;
         let capped = dmhpc::workload::transform::cap_nodes(&w, cap);
         for (a, b) in w.iter().zip(capped.iter()) {
-            prop_assert!(b.nodes <= cap.max(a.nodes.min(cap)));
+            assert!(b.nodes <= cap.max(a.nodes.min(cap)), "case {case}");
             // ceil rounding may only grow the total, never shrink it.
-            prop_assert!(b.total_mem() >= a.total_mem());
-            prop_assert!(b.total_mem() < a.total_mem() + b.nodes as u64);
+            assert!(b.total_mem() >= a.total_mem());
+            assert!(b.total_mem() < a.total_mem() + b.nodes as u64);
         }
     }
 }
