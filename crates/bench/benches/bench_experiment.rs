@@ -10,7 +10,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dmhpc_platform::PoolTopology;
 use dmhpc_sim::scenarios::{default_slowdown, policy_suite};
-use dmhpc_sim::{ExperimentRunner, ExperimentSpec, Simulation};
+use dmhpc_sim::{ExperimentRunner, ExperimentSpec, Shard, Simulation};
 use dmhpc_workload::SystemPreset;
 
 const JOBS: usize = 120;
@@ -78,6 +78,51 @@ fn bench_experiment(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_grid_scaling(c: &mut Criterion) {
+    // The scaling layer itself: what does a fully warm cached run cost
+    // relative to simulating (`run/1` above), and what does sharding the
+    // grid cost beyond compilation?
+    let spec = small_grid();
+    let cells = spec.cell_count() as u64;
+    let dir = std::env::temp_dir().join(format!("dmhpc-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut group = c.benchmark_group("grid_scaling");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(cells));
+
+    // Populate the cache once (cold run), then measure all-hit replays:
+    // the number every future "skip unchanged cells" feature banks on.
+    let runner = ExperimentRunner::with_threads(1)
+        .cache_dir(&dir)
+        .expect("temp cache dir is writable");
+    let cold = runner.run(&spec).expect("cold run populates the cache");
+    assert_eq!(cold.stats().cache_hits, 0);
+    group.bench_function("warm_cache_run", |b| {
+        b.iter(|| {
+            let results = runner.run(&spec).expect("warm run loads from cache");
+            assert_eq!(results.stats().simulated, 0, "warm run must not simulate");
+            black_box(results)
+        })
+    });
+
+    // Cell hashing alone: the per-cell cost every cached run pays even
+    // on a miss.
+    group.bench_function("cell_hashes", |b| {
+        b.iter(|| black_box(spec.cell_hashes().expect("valid grid")))
+    });
+
+    // Shard partitioning (compile + filter), the per-process startup cost
+    // of a fan-out.
+    group.bench_function("shard_partition", |b| {
+        let shard = Shard::new(0, 4).expect("valid shard");
+        b.iter(|| black_box(spec.shard(shard).expect("valid grid")))
+    });
+    group.finish();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn bench_single_cell(c: &mut Criterion) {
     // Reference: one simulation outside any grid machinery.
     let spec = small_grid();
@@ -95,5 +140,10 @@ fn bench_single_cell(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_experiment, bench_single_cell);
+criterion_group!(
+    benches,
+    bench_experiment,
+    bench_grid_scaling,
+    bench_single_cell
+);
 criterion_main!(benches);

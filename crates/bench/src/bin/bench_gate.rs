@@ -1,0 +1,82 @@
+//! CI bench-regression gate for the experiment-runner overhead.
+//!
+//! Reads the JSON-lines file the criterion-shim emits when `BENCH_JSON`
+//! is set (one `{"name", "mean_ns", "std_ns"}` object per benchmark) and
+//! compares the *runner overhead ratio* — the whole declarative path
+//! (`experiment_runner/run/1`) over the same cells simulated by hand
+//! (`experiment_runner/raw_cells`) — against a checked-in baseline.
+//!
+//! A ratio, not an absolute time: CI machines vary wildly in speed, but
+//! the runner's bookkeeping relative to raw simulation cost is a property
+//! of the code. Exits non-zero when the measured ratio exceeds
+//! `baseline × (1 + max_regression)`.
+//!
+//! ```text
+//! BENCH_JSON=BENCH_ci.json cargo bench -p dmhpc-bench --bench bench_experiment
+//! cargo run -p dmhpc-bench --bin bench_gate -- BENCH_ci.json crates/bench/BENCH_baseline.json
+//! ```
+
+use dmhpc_metrics::json::parse;
+
+const RUN_BENCH: &str = "experiment_runner/run/1";
+const RAW_BENCH: &str = "experiment_runner/raw_cells";
+
+fn mean_of(lines: &str, bench: &str) -> Result<f64, String> {
+    // Last occurrence wins: re-runs append.
+    let mut found = None;
+    for line in lines.lines().filter(|l| !l.trim().is_empty()) {
+        let doc = parse(line).map_err(|e| format!("bad bench-results line {line:?}: {e}"))?;
+        let name = doc
+            .expect_key("name")
+            .and_then(|n| n.to_str().map(str::to_string))
+            .map_err(|e| e.to_string())?;
+        if name == bench {
+            let mean = doc
+                .expect_key("mean_ns")
+                .and_then(|m| m.to_f64())
+                .map_err(|e| e.to_string())?;
+            found = Some(mean);
+        }
+    }
+    found.ok_or_else(|| {
+        format!("benchmark {bench:?} not found in results (did bench_experiment run?)")
+    })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [results_path, baseline_path] = args.as_slice() else {
+        return Err("usage: bench_gate <bench-results.jsonl> <baseline.json>".into());
+    };
+
+    let results = std::fs::read_to_string(results_path)
+        .map_err(|e| format!("reading {results_path}: {e}"))?;
+    let run_ns = mean_of(&results, RUN_BENCH)?;
+    let raw_ns = mean_of(&results, RAW_BENCH)?;
+    if raw_ns <= 0.0 {
+        return Err(format!("{RAW_BENCH} mean is not positive ({raw_ns} ns)").into());
+    }
+    let ratio = run_ns / raw_ns;
+
+    let baseline_text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("reading {baseline_path}: {e}"))?;
+    let baseline = parse(&baseline_text)?;
+    let baseline_ratio = baseline.expect_key("runner_overhead_ratio")?.to_f64()?;
+    let max_regression = baseline.expect_key("max_regression")?.to_f64()?;
+    let limit = baseline_ratio * (1.0 + max_regression);
+
+    println!("runner overhead: {RUN_BENCH} = {run_ns:.0} ns, {RAW_BENCH} = {raw_ns:.0} ns");
+    println!(
+        "measured ratio {ratio:.3} vs baseline {baseline_ratio:.3} \
+         (limit {limit:.3} = baseline × {:.2})",
+        1.0 + max_regression
+    );
+    if ratio > limit {
+        return Err(format!(
+            "runner overhead regressed: ratio {ratio:.3} exceeds limit {limit:.3}"
+        )
+        .into());
+    }
+    println!("bench gate OK");
+    Ok(())
+}

@@ -1,40 +1,228 @@
-//! Reproduction harness: regenerate any table/figure of the evaluation.
+//! Reproduction harness: regenerate any table/figure of the evaluation,
+//! and run/shard/merge declarative experiment grids at scale.
 //!
 //! ```text
+//! # Tables and figures (optionally accelerated by a result cache):
 //! cargo run --release -p dmhpc-bench --bin repro -- all
-//! cargo run --release -p dmhpc-bench --bin repro -- t2 f3 f6
-//! cargo run --release -p dmhpc-bench --bin repro -- --list
+//! cargo run --release -p dmhpc-bench --bin repro -- --cache-dir .cache t2 f3 f6
+//!
+//! # Grid mode: run a spec (JSON file or the built-in `smoke` grid),
+//! # optionally one shard of it, storing cells in the content-addressed
+//! # cache so independent shard processes/CI jobs share one store:
+//! cargo run --release -p dmhpc-bench --bin repro -- grid smoke --shard 0/2 --cache-dir .grid
+//! cargo run --release -p dmhpc-bench --bin repro -- grid smoke --shard 1/2 --cache-dir .grid
+//!
+//! # Merge: recombine shard outputs into the full grid-ordered table.
+//! # Every cell must already be cached (zero simulations) — a missing
+//! # cell means a shard did not run, and the merge fails loudly:
+//! cargo run --release -p dmhpc-bench --bin repro -- merge smoke --cache-dir .grid
 //! ```
 //!
-//! Output is printed and mirrored to `results/<id>.txt`.
+//! Table/figure output is printed and mirrored to `results/<id>.txt`;
+//! grid/merge output lands in `results/<name>.*.{csv,json}`.
 
-use dmhpc_bench::experiments;
+use dmhpc_bench::experiments::{self, RunOptions};
+use dmhpc_sim::{ExperimentResults, ExperimentRunner, ExperimentSpec, Shard, SimError};
 use std::io::Write as _;
+use std::path::PathBuf;
 use std::time::Instant;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: repro [--list] <id>... | all");
-        eprintln!("ids: {}", experiments::all_ids().join(" "));
-        return Ok(());
+fn usage() {
+    eprintln!("usage: repro [--list] [--cache-dir DIR] [--threads N] <id>... | all");
+    eprintln!("       repro grid  <spec.json|smoke> [--shard i/n] [--cache-dir DIR] [--threads N]");
+    eprintln!("       repro merge <spec.json|smoke> --cache-dir DIR");
+    eprintln!("ids: {}", experiments::all_ids().join(" "));
+}
+
+struct Cli {
+    mode: Mode,
+    list: bool,
+    cache_dir: Option<PathBuf>,
+    shard: Option<Shard>,
+    threads: usize,
+    args: Vec<String>,
+}
+
+enum Mode {
+    Tables,
+    Grid,
+    Merge,
+}
+
+fn parse_cli(raw: Vec<String>) -> Result<Cli, Box<dyn std::error::Error>> {
+    let mut cli = Cli {
+        mode: Mode::Tables,
+        list: false,
+        cache_dir: None,
+        shard: None,
+        threads: 0,
+        args: Vec::new(),
+    };
+    let mut it = raw.into_iter().peekable();
+    if let Some(first) = it.peek() {
+        match first.as_str() {
+            "grid" => {
+                cli.mode = Mode::Grid;
+                it.next();
+            }
+            "merge" => {
+                cli.mode = Mode::Merge;
+                it.next();
+            }
+            _ => {}
+        }
     }
-    if args.iter().any(|a| a == "--list") {
-        for id in experiments::all_ids() {
-            println!("{id}");
+    while let Some(arg) = it.next() {
+        let value = |it: &mut std::iter::Peekable<std::vec::IntoIter<String>>,
+                     flag: &str|
+         -> Result<String, Box<dyn std::error::Error>> {
+            it.next()
+                .ok_or_else(|| format!("{flag} needs a value").into())
+        };
+        match arg.as_str() {
+            "--list" => cli.list = true,
+            "--cache-dir" => cli.cache_dir = Some(PathBuf::from(value(&mut it, "--cache-dir")?)),
+            "--shard" => cli.shard = Some(Shard::parse(&value(&mut it, "--shard")?)?),
+            "--threads" => cli.threads = value(&mut it, "--threads")?.parse()?,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other:?}").into());
+            }
+            _ => cli.args.push(arg),
+        }
+    }
+    Ok(cli)
+}
+
+/// Resolve a grid-mode spec argument: a JSON file path, or the built-in
+/// `smoke` grid. Compile errors surface as `SimError` → non-zero exit.
+fn load_spec(arg: &str) -> Result<ExperimentSpec, Box<dyn std::error::Error>> {
+    if arg == "smoke" {
+        return Ok(experiments::smoke_spec()?);
+    }
+    let text =
+        std::fs::read_to_string(arg).map_err(|e| SimError::io(format!("reading spec {arg}"), e))?;
+    Ok(ExperimentSpec::from_json(&text)?)
+}
+
+fn export(results: &ExperimentResults, stem: &str) -> std::io::Result<()> {
+    std::fs::create_dir_all("results")?;
+    std::fs::write(format!("results/{stem}.csv"), results.to_csv())?;
+    std::fs::write(format!("results/{stem}.json"), results.to_json())?;
+    Ok(())
+}
+
+fn run_grid(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(spec_arg) = cli.args.first() else {
+        usage();
+        return Err("grid mode needs a spec (a JSON file or `smoke`)".into());
+    };
+    let spec = load_spec(spec_arg)?;
+    if cli.list {
+        // Listing compiles the grid, so an ill-formed spec fails loudly
+        // here instead of being discovered mid-CI. With --shard, list
+        // exactly the cells that shard would run.
+        for (i, (key, hash)) in spec.cell_hashes()?.into_iter().enumerate() {
+            if cli.shard.is_none_or(|s| s.owns(i)) {
+                println!("{:016x}  {}", hash, key.label());
+            }
         }
         return Ok(());
     }
-    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+    let mut runner = ExperimentRunner::with_threads(cli.threads);
+    if let Some(dir) = &cli.cache_dir {
+        runner = runner.cache_dir(dir)?;
+    }
+    let start = Instant::now();
+    let (results, stem) = match cli.shard {
+        Some(shard) => (
+            runner.run_shard(&spec, shard)?,
+            format!("{}.shard{}of{}", spec.name, shard.index(), shard.count()),
+        ),
+        None => (runner.run(&spec)?, spec.name.clone()),
+    };
+    export(&results, &stem)?;
+    let stats = results.stats();
+    println!(
+        "== grid {} — {} cells ({} simulated, {} cached) [{:.1}s] -> results/{stem}.{{csv,json}}",
+        spec.name,
+        results.len(),
+        stats.simulated,
+        stats.cache_hits,
+        start.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
+fn run_merge(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(spec_arg) = cli.args.first() else {
+        usage();
+        return Err("merge mode needs a spec (a JSON file or `smoke`)".into());
+    };
+    if cli.cache_dir.is_none() {
+        return Err("merge mode needs --cache-dir (where the shards stored cells)".into());
+    }
+    if cli.shard.is_some() {
+        return Err(
+            "--shard does not apply to merge mode (it always rebuilds the full grid)".into(),
+        );
+    }
+    let spec = load_spec(spec_arg)?;
+    let runner = ExperimentRunner::with_threads(cli.threads)
+        .cache_dir(cli.cache_dir.as_ref().expect("checked above"))?;
+    let start = Instant::now();
+    let results = runner.run(&spec)?;
+    let stats = results.stats();
+    if stats.simulated > 0 {
+        return Err(format!(
+            "merge expected every cell cached, but {} of {} cell(s) were missing \
+             (did all shards run against this cache dir?)",
+            stats.simulated,
+            results.len()
+        )
+        .into());
+    }
+    export(&results, &spec.name)?;
+    println!(
+        "== merge {} — {} cells, all from cache [{:.1}s] -> results/{}.{{csv,json}}",
+        spec.name,
+        results.len(),
+        start.elapsed().as_secs_f64(),
+        spec.name
+    );
+    Ok(())
+}
+
+fn run_tables(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
+    if cli.shard.is_some() {
+        // Silently running the *full* suite under a flag that promises a
+        // slice would double work in fan-out scripts; refuse instead.
+        return Err("--shard only applies to grid mode (tables always run whole grids)".into());
+    }
+    if cli.list {
+        for id in experiments::all_ids() {
+            println!("{id}");
+        }
+        // The built-in grid specs are part of the CLI surface; an
+        // ill-formed one must fail the listing (and therefore CI), not
+        // exit 0 silently.
+        let smoke = experiments::smoke_spec()?;
+        println!("grid: smoke ({} cells)", smoke.compile()?.len());
+        return Ok(());
+    }
+    let ids: Vec<&str> = if cli.args.iter().any(|a| a == "all") {
         experiments::all_ids().to_vec()
     } else {
-        args.iter().map(String::as_str).collect()
+        cli.args.iter().map(String::as_str).collect()
+    };
+    let options = RunOptions {
+        cache_dir: cli.cache_dir.clone(),
+        threads: cli.threads,
     };
 
     std::fs::create_dir_all("results")?;
     for id in ids {
         let start = Instant::now();
-        let Some(result) = experiments::run(id) else {
+        let Some(result) = experiments::run_with(id, &options)? else {
             return Err(format!("unknown experiment id {id:?} (try --list)").into());
         };
         let elapsed = start.elapsed();
@@ -50,4 +238,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         f.write_all(result.body.as_bytes())?;
     }
     Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+        return Ok(());
+    }
+    let cli = parse_cli(args)?;
+    match cli.mode {
+        Mode::Tables => run_tables(&cli),
+        Mode::Grid => run_grid(&cli),
+        Mode::Merge => run_merge(&cli),
+    }
 }

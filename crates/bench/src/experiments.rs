@@ -14,9 +14,11 @@ use dmhpc_metrics::{JobClass, SimReport};
 use dmhpc_platform::{NodeSpec, PoolTopology, SlowdownModel};
 use dmhpc_sched::{BackfillPolicy, MemoryPolicy, OrderPolicy, SchedulerBuilder, SchedulerConfig};
 use dmhpc_sim::scenarios::{default_slowdown, preset_cluster};
-use dmhpc_sim::{ExperimentBuilder, ExperimentResults, ExperimentRunner, ExperimentSpec};
+use dmhpc_sim::{ExperimentBuilder, ExperimentResults, ExperimentRunner, ExperimentSpec, SimError};
 use dmhpc_workload::{stats as wstats, SystemPreset};
+use std::cell::RefCell;
 use std::fmt::Write as _;
+use std::path::PathBuf;
 
 const GIB: u64 = 1024;
 const N_JOBS: usize = 1500;
@@ -42,8 +44,66 @@ pub fn all_ids() -> &'static [&'static str] {
     ]
 }
 
-/// Run one experiment by id.
+/// Execution knobs shared by every experiment in one `repro` invocation.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Attach a content-addressed result cache at this directory: cells
+    /// already stored there load instead of simulating, and fresh cells
+    /// are stored for the next invocation.
+    pub cache_dir: Option<PathBuf>,
+    /// Worker threads (`0` = one per available core).
+    pub threads: usize,
+}
+
+thread_local! {
+    // The experiment functions below are declarative tables; the runner
+    // they share is ambient so adding an execution knob does not churn
+    // every table definition.
+    static RUNNER: RefCell<ExperimentRunner> = RefCell::new(ExperimentRunner::new());
+}
+
+/// Run one experiment by id with default options (no cache, auto threads).
 pub fn run(id: &str) -> Option<ExpResult> {
+    run_with(id, &RunOptions::default()).expect("default options cannot fail")
+}
+
+/// Run one experiment by id under explicit [`RunOptions`]. `Ok(None)`
+/// means the id is unknown; `Err` surfaces cache-directory *setup*
+/// problems (unwritable/uncreatable dir). Store failures mid-run (disk
+/// filling up underneath a running sweep) abort with a panic — the
+/// experiment tables are deliberately infallible declarations; `repro
+/// grid` mode reports the same condition as a typed error.
+pub fn run_with(id: &str, options: &RunOptions) -> Result<Option<ExpResult>, SimError> {
+    let mut runner = ExperimentRunner::with_threads(options.threads);
+    if let Some(dir) = &options.cache_dir {
+        runner = runner.cache_dir(dir)?;
+    }
+    RUNNER.with(|r| *r.borrow_mut() = runner);
+    let result = dispatch(id);
+    RUNNER.with(|r| *r.borrow_mut() = ExperimentRunner::new());
+    Ok(result)
+}
+
+/// The CI smoke grid: small enough to finish in seconds, wide enough to
+/// exercise every axis (2 pools × 2 seeds × 2 schedulers) — the grid the
+/// sharded `repro grid`/`repro merge` smoke in CI runs on every PR.
+pub fn smoke_spec() -> Result<ExperimentSpec, SimError> {
+    ExperimentSpec::builder("smoke")
+        .preset(SystemPreset::HighThroughput, 80)
+        .pools([
+            PoolTopology::None,
+            PoolTopology::PerRack {
+                mib_per_rack: 384 * GIB,
+            },
+        ])
+        .load(0.8)
+        .seeds([1, 2])
+        .scheduler(sched_with(MemoryPolicy::LocalOnly, default_slowdown()))
+        .scheduler(sched_with(MemoryPolicy::PoolFirstFit, default_slowdown()))
+        .build()
+}
+
+fn dispatch(id: &str) -> Option<ExpResult> {
     Some(match id {
         "t1" => t1(),
         "f1" => f1(),
@@ -72,12 +132,15 @@ fn base(name: &'static str) -> ExperimentBuilder {
         .seed(SEED)
 }
 
-/// Declare-and-run: every experiment goes through the same runner.
+/// Declare-and-run: every experiment goes through the shared ambient
+/// runner (set up by [`run_with`]), so `repro --cache-dir` accelerates
+/// every table and figure without each one knowing about caching.
 fn execute(builder: ExperimentBuilder) -> ExperimentResults {
     let spec = builder.build().expect("experiment grid is well-formed");
-    ExperimentRunner::new()
+    RUNNER
+        .with(|r| r.borrow().clone())
         .run(&spec)
-        .expect("validated grid runs")
+        .expect("validated grid runs and the cache directory is writable")
 }
 
 fn per_rack(gib: u64) -> PoolTopology {
@@ -704,6 +767,36 @@ mod tests {
         let lines: Vec<&str> = r.body.trim().lines().collect();
         assert_eq!(lines[0], "mem_frac_of_node,cdf");
         assert!(lines.len() > 10);
+    }
+
+    #[test]
+    fn smoke_spec_compiles_and_serializes() {
+        let spec = smoke_spec().unwrap();
+        assert_eq!(
+            spec.cell_count(),
+            8,
+            "2 pools × 1 load × 2 seeds × 2 schedulers"
+        );
+        assert_eq!(spec.compile().unwrap().len(), spec.cell_count());
+        // The CI smoke writes/reads this spec as JSON.
+        let json = spec.to_json().unwrap();
+        let back = ExperimentSpec::from_json(&json).unwrap();
+        assert_eq!(back.cell_hashes().unwrap(), spec.cell_hashes().unwrap());
+    }
+
+    #[test]
+    fn run_with_cache_dir_reuses_results() {
+        let dir =
+            std::env::temp_dir().join(format!("dmhpc-repro-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let options = RunOptions {
+            cache_dir: Some(dir.clone()),
+            threads: 2,
+        };
+        let cold = run_with("f2", &options).unwrap().unwrap();
+        let warm = run_with("f2", &options).unwrap().unwrap();
+        assert_eq!(cold.body, warm.body, "cached replay reproduces the figure");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -13,10 +13,18 @@
 //! a fixed slice of wall time. Numbers are indicative, not
 //! statistically rigorous — good enough to compare runner overhead across
 //! commits on the same machine.
+//!
+//! When the `BENCH_JSON` environment variable names a file, every
+//! benchmark additionally appends one JSON object per line
+//! (`{"name": ..., "mean_ns": ..., "std_ns": ...}`) to it. Appending —
+//! rather than rewriting — lets the several bench binaries of a
+//! `cargo bench` invocation share one machine-readable results file,
+//! which is what the CI bench-regression gate consumes.
 
 #![forbid(unsafe_code)]
 
 use std::fmt;
+use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 /// Opaque value barrier: prevents the optimizer from deleting benchmark work.
@@ -139,8 +147,48 @@ fn human_ns(ns: f64) -> String {
     }
 }
 
+/// Escape a benchmark name for a JSON string literal. Names come from
+/// bench source code, but quotes/backslashes must still not corrupt the
+/// results file.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn append_json_line(name: &str, mean: f64, std: f64) {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let line = format!(
+        "{{\"name\": \"{}\", \"mean_ns\": {mean:.3}, \"std_ns\": {std:.3}}}\n",
+        json_escape(name)
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("criterion-shim: cannot append to BENCH_JSON={path}: {e}");
+    }
+}
+
 fn report(name: &str, samples: &[f64], throughput: Option<Throughput>) {
     let (mean, std) = mean_std(samples);
+    append_json_line(name, mean, std);
     let rate = match throughput {
         Some(Throughput::Elements(n)) if mean > 0.0 => {
             format!("  ({:.0} elem/s)", n as f64 / (mean / 1e9))
@@ -298,6 +346,13 @@ mod tests {
                 b.iter(|| black_box(x * x))
             });
         g.finish();
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("plain/name"), "plain/name");
+        assert_eq!(json_escape("q\"uote\\back"), "q\\\"uote\\\\back");
+        assert_eq!(json_escape("tab\there"), "tab\\u0009here");
     }
 
     #[test]

@@ -5,8 +5,11 @@
 //! [`crate::json`] module, so the whole export layer is dependency-free.
 
 use crate::classes::{ClassBreakdown, ClassRow, JobClass};
+use crate::jobstats::{JobOutcome, JobRecord};
 use crate::json::{Json, JsonError};
 use crate::summary::SimReport;
+use dmhpc_des::time::{SimDuration, SimTime};
+use dmhpc_workload::{Job, JobId};
 use std::fmt::Write as _;
 
 /// Column headers matching [`report_csv_row`].
@@ -181,6 +184,82 @@ pub fn report_from_json(text: &str) -> Result<SimReport, JsonError> {
     report_from_value(&crate::json::parse(text)?)
 }
 
+/// The JSON document model for one per-job record. Times are encoded as
+/// exact integer microseconds and floats via the shortest round-trip
+/// writer, so [`record_from_value`] rebuilds the record bit-exactly —
+/// which is what lets result caches replay runs without re-simulating.
+pub fn record_to_value(r: &JobRecord) -> Json {
+    let time = |t: Option<SimTime>| match t {
+        Some(t) => Json::UInt(t.as_micros()),
+        None => Json::Null,
+    };
+    Json::obj(vec![
+        ("id", Json::UInt(r.job.id.as_u64())),
+        ("user", Json::UInt(r.job.user as u64)),
+        ("arrival_us", Json::UInt(r.job.arrival.as_micros())),
+        ("nodes", Json::UInt(r.job.nodes as u64)),
+        ("walltime_us", Json::UInt(r.job.walltime.as_micros())),
+        ("runtime_us", Json::UInt(r.job.runtime.as_micros())),
+        ("mem_per_node", Json::UInt(r.job.mem_per_node)),
+        ("intensity", Json::F64(r.job.intensity)),
+        ("outcome", Json::Str(outcome_name(r.outcome).into())),
+        ("start_us", time(r.start)),
+        ("finish_us", time(r.finish)),
+        ("nodes_allocated", Json::UInt(r.nodes_allocated as u64)),
+        ("remote_per_node", Json::UInt(r.remote_per_node)),
+        ("dilation_planned", Json::F64(r.dilation_planned)),
+        ("dilation_actual", Json::F64(r.dilation_actual)),
+    ])
+}
+
+/// Rebuild a per-job record from its JSON document model.
+pub fn record_from_value(v: &Json) -> Result<JobRecord, JsonError> {
+    let time = |key: &str| -> Result<Option<SimTime>, JsonError> {
+        match v.expect_key(key)? {
+            Json::Null => Ok(None),
+            t => Ok(Some(SimTime::from_micros(t.to_u64()?))),
+        }
+    };
+    let outcome = match v.expect_key("outcome")?.to_str()? {
+        "completed" => JobOutcome::Completed,
+        "killed" => JobOutcome::Killed,
+        "rejected" => JobOutcome::Rejected,
+        other => {
+            return Err(JsonError {
+                message: format!("unknown job outcome {other:?}"),
+                offset: 0,
+            })
+        }
+    };
+    Ok(JobRecord {
+        job: Job {
+            id: JobId(v.expect_key("id")?.to_u64()?),
+            user: v.expect_key("user")?.to_u64()? as u32,
+            arrival: SimTime::from_micros(v.expect_key("arrival_us")?.to_u64()?),
+            nodes: v.expect_key("nodes")?.to_u64()? as u32,
+            walltime: SimDuration::from_micros(v.expect_key("walltime_us")?.to_u64()?),
+            runtime: SimDuration::from_micros(v.expect_key("runtime_us")?.to_u64()?),
+            mem_per_node: v.expect_key("mem_per_node")?.to_u64()?,
+            intensity: v.expect_key("intensity")?.to_f64()?,
+        },
+        outcome,
+        start: time("start_us")?,
+        finish: time("finish_us")?,
+        nodes_allocated: v.expect_key("nodes_allocated")?.to_u64()? as u32,
+        remote_per_node: v.expect_key("remote_per_node")?.to_u64()?,
+        dilation_planned: v.expect_key("dilation_planned")?.to_f64()?,
+        dilation_actual: v.expect_key("dilation_actual")?.to_f64()?,
+    })
+}
+
+fn outcome_name(o: JobOutcome) -> &'static str {
+    match o {
+        JobOutcome::Completed => "completed",
+        JobOutcome::Killed => "killed",
+        JobOutcome::Rejected => "rejected",
+    }
+}
+
 /// CSV for an `(x, y)` series with custom column names.
 pub fn series_to_csv(x_name: &str, y_name: &str, points: &[(f64, f64)]) -> String {
     let mut out = String::with_capacity(16 * (points.len() + 1));
@@ -278,6 +357,41 @@ mod tests {
         // Bit-exact field round trip through the shortest-float writer.
         assert_eq!(back.p95_bsld, r.p95_bsld);
         assert_eq!(back.user_fairness, r.user_fairness);
+    }
+
+    #[test]
+    fn record_roundtrip_is_bit_exact() {
+        let rec = JobRecord {
+            job: Job {
+                id: JobId(7),
+                user: 3,
+                arrival: SimTime::from_micros(123_456_789),
+                nodes: 4,
+                walltime: SimDuration::from_secs(3600),
+                runtime: SimDuration::from_micros(987_654_321),
+                mem_per_node: 96 * 1024,
+                intensity: 0.62,
+            },
+            outcome: JobOutcome::Killed,
+            start: Some(SimTime::from_micros(200_000_000)),
+            finish: None,
+            nodes_allocated: 5,
+            remote_per_node: 2048,
+            dilation_planned: 1.23456789,
+            dilation_actual: 1.3,
+        };
+        let back = record_from_value(
+            &crate::json::parse(&record_to_value(&rec).to_string_pretty()).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(back.job.id, rec.job.id);
+        assert_eq!(back.job.arrival, rec.job.arrival);
+        assert_eq!(back.job.walltime, rec.job.walltime);
+        assert_eq!(back.job.intensity, rec.job.intensity);
+        assert_eq!(back.outcome, rec.outcome);
+        assert_eq!(back.start, rec.start);
+        assert_eq!(back.finish, None);
+        assert_eq!(back.dilation_planned, rec.dilation_planned);
     }
 
     #[test]

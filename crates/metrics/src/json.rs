@@ -430,16 +430,24 @@ impl Parser<'_> {
                         _ => return Err(self.err("invalid escape")),
                     }
                 }
+                b if b < 0x20 => return Err(self.err("unescaped control character")),
+                b if b < 0x80 => s.push(b as char),
                 _ => {
-                    // Re-decode UTF-8 from the byte stream: step back and
-                    // take the whole char.
+                    // Multi-byte UTF-8: step back and validate exactly one
+                    // character's worth of bytes (validating the whole
+                    // remaining input here would make parsing quadratic in
+                    // document size).
                     self.pos -= 1;
-                    let rest = &self.bytes[self.pos..];
-                    let text = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
-                    let c = text.chars().next().expect("non-empty");
-                    if (c as u32) < 0x20 {
-                        return Err(self.err("unescaped control character"));
-                    }
+                    let len = match self.bytes[self.pos] {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(self.err("invalid utf-8")),
+                    };
+                    let end = (self.pos + len).min(self.bytes.len());
+                    let chunk = std::str::from_utf8(&self.bytes[self.pos..end])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = chunk.chars().next().expect("validated non-empty");
                     s.push(c);
                     self.pos += c.len_utf8();
                 }

@@ -37,6 +37,38 @@ impl SeriesBundle {
         }
     }
 
+    /// Rebuild a bundle from previously recorded breakpoints (the result
+    /// cache's load path). Replaying the breakpoints through the same
+    /// [`StepSeries`] update path reconstructs the integrators exactly, so
+    /// a cache-loaded bundle is indistinguishable from the live one.
+    /// Returns `None` if any series has no points (never produced by a
+    /// run: construction records the initial value).
+    pub fn from_points(
+        spec: &ClusterSpec,
+        nodes_busy: &[(SimTime, f64)],
+        pool_used: &[(SimTime, f64)],
+        dram_used: &[(SimTime, f64)],
+        queue_depth: &[(SimTime, f64)],
+    ) -> Option<Self> {
+        fn replay(points: &[(SimTime, f64)]) -> Option<StepSeries> {
+            let (&(start, initial), rest) = points.split_first()?;
+            let mut s = StepSeries::new(start, initial);
+            for &(at, value) in rest {
+                s.update(at, value);
+            }
+            Some(s)
+        }
+        Some(SeriesBundle {
+            nodes_busy: replay(nodes_busy)?,
+            pool_used: replay(pool_used)?,
+            dram_used: replay(dram_used)?,
+            queue_depth: replay(queue_depth)?,
+            total_nodes: spec.total_nodes() as f64,
+            total_pool: spec.total_pool_mem() as f64,
+            total_dram: spec.total_local_mem() as f64,
+        })
+    }
+
     /// Record a job start.
     pub fn on_start(&mut self, at: SimTime, nodes: u32, local_mib: u64, remote_mib: u64) {
         self.nodes_busy.add(at, nodes as f64);
@@ -151,6 +183,30 @@ mod tests {
         assert_eq!(pts.len(), 4);
         assert!((pts[0].1 - 0.5).abs() < 1e-9);
         assert!((pts[3].0 - 1.0).abs() < 1e-9, "x in hours");
+    }
+
+    #[test]
+    fn from_points_replays_exactly() {
+        let mut s = SeriesBundle::new(SimTime::ZERO, &spec());
+        s.on_start(SimTime::ZERO, 2, 800, 200);
+        s.on_queue_change(SimTime::from_secs(10), 3.0);
+        s.on_finish(SimTime::from_secs(50), 2, 800, 200);
+        let rebuilt = SeriesBundle::from_points(
+            &spec(),
+            s.nodes_busy.points(),
+            s.pool_used.points(),
+            s.dram_used.points(),
+            s.queue_depth.points(),
+        )
+        .unwrap();
+        let end = SimTime::from_secs(100);
+        assert_eq!(rebuilt.node_util(end), s.node_util(end));
+        assert_eq!(rebuilt.pool_util(end), s.pool_util(end));
+        assert_eq!(rebuilt.dram_util(end), s.dram_util(end));
+        assert_eq!(rebuilt.queue_depth_mean(end), s.queue_depth_mean(end));
+        assert_eq!(rebuilt.queue_depth_max(), s.queue_depth_max());
+        assert_eq!(rebuilt.nodes_busy.points(), s.nodes_busy.points());
+        assert!(SeriesBundle::from_points(&spec(), &[], &[], &[], &[]).is_none());
     }
 
     #[test]

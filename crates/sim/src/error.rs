@@ -30,6 +30,15 @@ pub enum SimError {
         /// What was wrong, human-readable.
         reason: String,
     },
+    /// Filesystem access (result cache, spec files, exports) failed. The
+    /// underlying `io::Error` is flattened to text so the enum stays
+    /// `Clone + PartialEq`.
+    Io {
+        /// What the simulator was doing when the I/O failed.
+        context: String,
+        /// The flattened `io::Error`.
+        reason: String,
+    },
 }
 
 impl SimError {
@@ -46,6 +55,14 @@ impl SimError {
             reason: reason.into(),
         }
     }
+
+    /// Wrap an `io::Error` with what was being attempted.
+    pub fn io(context: impl Into<String>, err: std::io::Error) -> Self {
+        SimError::Io {
+            context: context.into(),
+            reason: err.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -54,6 +71,7 @@ impl fmt::Display for SimError {
             SimError::Platform(e) => write!(f, "platform: {e}"),
             SimError::Spec { reason } => write!(f, "experiment spec: {reason}"),
             SimError::Parse { reason } => write!(f, "parse: {reason}"),
+            SimError::Io { context, reason } => write!(f, "io ({context}): {reason}"),
         }
     }
 }

@@ -61,6 +61,40 @@ impl ExperimentBuilder {
         }
     }
 
+    /// Reopen an existing spec for editing — the incremental-re-run path:
+    /// tweak an axis, `build()`, and a cached runner re-executes only the
+    /// cells whose content hash changed
+    /// ([`super::ExperimentSpec::cell_hashes`]).
+    ///
+    /// For preset-sourced specs the preset is restored, so
+    /// [`ExperimentBuilder::pool`]/[`ExperimentBuilder::pools`] keep
+    /// working on the reopened builder.
+    pub fn from_spec(spec: ExperimentSpec) -> Self {
+        let preset = match spec.workload {
+            WorkloadSource::Preset { preset, .. } => Some(preset),
+            WorkloadSource::Fixed(_) => None,
+        };
+        ExperimentBuilder {
+            name: spec.name,
+            workload: Some(spec.workload),
+            preset,
+            clusters: spec.clusters,
+            loads: spec.loads,
+            seeds: spec.seeds,
+            schedulers: spec.schedulers,
+            enforce_walltime: spec.enforce_walltime,
+            check_invariants: spec.check_invariants,
+            deferred_error: None,
+        }
+    }
+
+    /// Replace the experiment name (useful when deriving a variant spec
+    /// via [`ExperimentBuilder::from_spec`]).
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
     fn defer(&mut self, reason: String) {
         if self.deferred_error.is_none() {
             self.deferred_error = Some(reason);
@@ -228,6 +262,41 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(spec.seeds, vec![42]);
+    }
+
+    #[test]
+    fn from_spec_reopens_for_incremental_edits() {
+        let spec = ExperimentSpec::builder("incr")
+            .preset(SystemPreset::MidCluster, 10)
+            .pool(PoolTopology::None)
+            .seeds([1, 2])
+            .scheduler(SchedulerBuilder::new().build())
+            .build()
+            .unwrap();
+        let base_hashes = spec.cell_hashes().unwrap();
+
+        // Unchanged rebuild: identical hashes.
+        let same = ExperimentBuilder::from_spec(spec.clone()).build().unwrap();
+        assert_eq!(same.cell_hashes().unwrap(), base_hashes);
+
+        // Adding a seed (and renaming) keeps the old cells' hashes —
+        // only the new cell would simulate on a cached re-run.
+        let edited = ExperimentBuilder::from_spec(spec.clone())
+            .name("incr-v2")
+            .seed(3)
+            .pool(PoolTopology::PerRack {
+                mib_per_rack: 256 * 1024,
+            })
+            .build()
+            .unwrap();
+        let edited_hashes = edited.cell_hashes().unwrap();
+        assert_eq!(edited.cell_count(), 2 * 3);
+        for (_, h) in &base_hashes {
+            assert!(
+                edited_hashes.iter().any(|(_, eh)| eh == h),
+                "original cells keep their hashes under edits"
+            );
+        }
     }
 
     #[test]

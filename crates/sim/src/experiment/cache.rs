@@ -1,0 +1,567 @@
+//! Content-addressed result cache for experiment grids.
+//!
+//! Every grid cell is identified by a stable 64-bit FNV-1a hash of the
+//! *content that determines its result*: the workload source (preset
+//! parameters or the full trace), the cluster shape, the offered load,
+//! the seed, and the scheduler configuration. Presentation-only fields —
+//! the experiment name, cluster labels, `check_invariants` — are
+//! deliberately excluded, so relabelling a grid keeps its cache warm.
+//!
+//! The store is a directory of JSON files (one per cell, written through
+//! [`dmhpc_metrics::json`] — no new dependencies), each holding the
+//! complete [`SimOutput`]: report, per-job records, step series, and the
+//! trace hash. Loads rebuild the output bit-exactly (integer-microsecond
+//! times, shortest-round-trip floats, series replayed through the live
+//! [`SeriesBundle`] update path), so a warm run is indistinguishable from
+//! a cold one — including CSV/JSON export bytes — while performing zero
+//! simulations. That identity is what makes incremental re-runs safe:
+//! edit a spec and only cells whose hash changed are re-simulated.
+//!
+//! Unreadable, truncated, or version-mismatched cache files are treated
+//! as misses (the cell is simply re-simulated and re-stored); writes go
+//! through a per-process temporary file and an atomic rename, so
+//! concurrent shard processes can share one cache directory.
+
+use super::{RunSpec, WorkloadSource};
+use crate::collector::SeriesBundle;
+use crate::engine::SimOutput;
+use crate::error::SimError;
+use dmhpc_des::time::SimTime;
+use dmhpc_metrics::export;
+use dmhpc_metrics::json::{parse, Json, JsonError};
+use dmhpc_platform::{PoolTopology, SlowdownModel};
+use dmhpc_sched::{MemoryPolicy, OrderPolicy};
+use std::path::{Path, PathBuf};
+
+/// Bump when the cell-hash recipe or the on-disk layout changes; old
+/// entries then miss instead of deserializing garbage.
+const CACHE_FORMAT: u64 = 1;
+
+// ------------------------------------------------------------------ hashing
+
+/// Incremental FNV-1a (the same function the engine uses for trace
+/// hashes). Strings are length-prefixed and every field is tagged by
+/// write order, so distinct field sequences cannot collide by
+/// concatenation.
+struct Fnv64(u64);
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv64(Self::OFFSET)
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    fn write_opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(v) => {
+                self.write_u64(1);
+                self.write_u64(v);
+            }
+            None => self.write_u64(0),
+        }
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Digest of a workload source: what jobs the grid will see. Presets
+/// digest their calibration name and job count (the generator is
+/// deterministic per seed, and seeds hash per cell); fixed traces digest
+/// every job field.
+pub(super) fn workload_digest(source: &WorkloadSource) -> u64 {
+    let mut h = Fnv64::new();
+    match source {
+        WorkloadSource::Preset { preset, jobs } => {
+            h.write_str("preset");
+            h.write_str(preset.name());
+            h.write_u64(*jobs as u64);
+        }
+        WorkloadSource::Fixed(w) => {
+            h.write_str("fixed");
+            h.write_u64(w.len() as u64);
+            for job in w.iter() {
+                h.write_u64(job.id.as_u64());
+                h.write_u64(job.user as u64);
+                h.write_u64(job.arrival.as_micros());
+                h.write_u64(job.nodes as u64);
+                h.write_u64(job.walltime.as_micros());
+                h.write_u64(job.runtime.as_micros());
+                h.write_u64(job.mem_per_node);
+                h.write_f64(job.intensity);
+            }
+        }
+    }
+    h.finish()
+}
+
+/// The content hash of one compiled grid cell. Two cells with equal
+/// hashes run the same simulation and produce the same [`SimOutput`].
+pub(super) fn cell_hash(workload_digest: u64, cell: &RunSpec) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(CACHE_FORMAT);
+    h.write_u64(workload_digest);
+    h.write_opt_u64(cell.key.load.map(f64::to_bits));
+    h.write_opt_u64(cell.key.seed);
+
+    let cluster = &cell.config.cluster;
+    h.write_u64(cluster.racks as u64);
+    h.write_u64(cluster.nodes_per_rack as u64);
+    h.write_u64(cluster.node.cores as u64);
+    h.write_u64(cluster.node.local_mem);
+    match cluster.pool {
+        PoolTopology::None => h.write_str("none"),
+        PoolTopology::PerRack { mib_per_rack } => {
+            h.write_str("per-rack");
+            h.write_u64(mib_per_rack);
+        }
+        PoolTopology::Global { mib } => {
+            h.write_str("global");
+            h.write_u64(mib);
+        }
+    }
+
+    let sched = &cell.config.scheduler;
+    match sched.order {
+        OrderPolicy::Wfp { exponent } => {
+            h.write_str("wfp");
+            h.write_f64(exponent);
+        }
+        other => h.write_str(other.name()),
+    }
+    h.write_str(sched.backfill.name());
+    match sched.memory {
+        MemoryPolicy::SlowdownAware { max_dilation } => {
+            h.write_str("slowdown-aware");
+            h.write_f64(max_dilation);
+        }
+        other => h.write_str(other.name()),
+    }
+    match sched.slowdown {
+        SlowdownModel::None => h.write_str("none"),
+        SlowdownModel::Linear { penalty } => {
+            h.write_str("linear");
+            h.write_f64(penalty);
+        }
+        SlowdownModel::Saturating { penalty, curvature } => {
+            h.write_str("saturating");
+            h.write_f64(penalty);
+            h.write_f64(curvature);
+        }
+        SlowdownModel::Contention { penalty, gamma } => {
+            h.write_str("contention");
+            h.write_f64(penalty);
+            h.write_f64(gamma);
+        }
+    }
+    h.write_u64(sched.inflate_walltime as u64);
+    h.write_u64(cell.config.enforce_walltime as u64);
+    h.finish()
+}
+
+// --------------------------------------------------------- output documents
+
+fn series_to_json(points: &[(SimTime, f64)]) -> Json {
+    Json::Arr(
+        points
+            .iter()
+            .map(|&(t, v)| Json::Arr(vec![Json::UInt(t.as_micros()), Json::F64(v)]))
+            .collect(),
+    )
+}
+
+fn series_from_json(v: &Json) -> Result<Vec<(SimTime, f64)>, JsonError> {
+    let points: Vec<(SimTime, f64)> = v
+        .to_arr()?
+        .iter()
+        .map(|p| {
+            let pair = p.to_arr()?;
+            if pair.len() != 2 {
+                return Err(JsonError {
+                    message: format!("series point must be [t, v], got {} items", pair.len()),
+                    offset: 0,
+                });
+            }
+            Ok((SimTime::from_micros(pair[0].to_u64()?), pair[1].to_f64()?))
+        })
+        .collect::<Result<_, _>>()?;
+    // Replay feeds these into the causal `TimeWeighted` integrator, which
+    // panics on time going backwards — a corrupt entry must be a cache
+    // miss instead, so reject non-monotonic timestamps here.
+    if points.windows(2).any(|w| w[1].0 < w[0].0) {
+        return Err(JsonError {
+            message: "series timestamps are not monotonic".into(),
+            offset: 0,
+        });
+    }
+    Ok(points)
+}
+
+fn output_to_json(hash: u64, output: &SimOutput) -> Json {
+    Json::obj(vec![
+        ("format", Json::UInt(CACHE_FORMAT)),
+        ("cell_hash", Json::UInt(hash)),
+        ("report", export::report_to_value(&output.report)),
+        (
+            "records",
+            Json::Arr(output.records.iter().map(export::record_to_value).collect()),
+        ),
+        (
+            "series",
+            Json::obj(vec![
+                (
+                    "nodes_busy",
+                    series_to_json(output.series.nodes_busy.points()),
+                ),
+                (
+                    "pool_used",
+                    series_to_json(output.series.pool_used.points()),
+                ),
+                (
+                    "dram_used",
+                    series_to_json(output.series.dram_used.points()),
+                ),
+                (
+                    "queue_depth",
+                    series_to_json(output.series.queue_depth.points()),
+                ),
+            ]),
+        ),
+        ("events_processed", Json::UInt(output.events_processed)),
+        ("passes", Json::UInt(output.passes)),
+        ("trace_hash", Json::UInt(output.trace_hash)),
+        ("end_time_us", Json::UInt(output.end_time.as_micros())),
+    ])
+}
+
+fn output_from_json(doc: &Json, hash: u64, cell: &RunSpec) -> Result<SimOutput, JsonError> {
+    let mismatch = |what: &str| JsonError {
+        message: format!("cache entry {what} mismatch"),
+        offset: 0,
+    };
+    if doc.expect_key("format")?.to_u64()? != CACHE_FORMAT {
+        return Err(mismatch("format"));
+    }
+    if doc.expect_key("cell_hash")?.to_u64()? != hash {
+        return Err(mismatch("cell_hash"));
+    }
+    let series = doc.expect_key("series")?;
+    let bundle = SeriesBundle::from_points(
+        &cell.config.cluster,
+        &series_from_json(series.expect_key("nodes_busy")?)?,
+        &series_from_json(series.expect_key("pool_used")?)?,
+        &series_from_json(series.expect_key("dram_used")?)?,
+        &series_from_json(series.expect_key("queue_depth")?)?,
+    )
+    .ok_or_else(|| JsonError {
+        message: "cache entry has an empty step series".into(),
+        offset: 0,
+    })?;
+    Ok(SimOutput {
+        report: export::report_from_value(doc.expect_key("report")?)?,
+        records: doc
+            .expect_key("records")?
+            .to_arr()?
+            .iter()
+            .map(export::record_from_value)
+            .collect::<Result<_, _>>()?,
+        series: bundle,
+        events_processed: doc.expect_key("events_processed")?.to_u64()?,
+        passes: doc.expect_key("passes")?.to_u64()?,
+        trace_hash: doc.expect_key("trace_hash")?.to_u64()?,
+        end_time: SimTime::from_micros(doc.expect_key("end_time_us")?.to_u64()?),
+    })
+}
+
+// ----------------------------------------------------------------- the store
+
+/// A directory of content-addressed cell results.
+///
+/// Open with [`ResultCache::open`] and attach to an
+/// [`super::ExperimentRunner`]; the runner then loads unchanged cells
+/// instead of simulating them and stores every freshly simulated cell.
+/// One cache directory can back any number of specs and shard processes.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Open (creating if needed) a cache directory.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, SimError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| SimError::io(format!("creating cache dir {}", dir.display()), e))?;
+        Ok(ResultCache { dir })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path(&self, hash: u64) -> PathBuf {
+        self.dir.join(format!("cell-{hash:016x}.json"))
+    }
+
+    /// Whether a cell result is stored (cheap existence check; `load` may
+    /// still miss if the entry is corrupt).
+    pub fn contains(&self, hash: u64) -> bool {
+        self.path(hash).is_file()
+    }
+
+    /// Number of cell entries currently stored.
+    pub fn len(&self) -> usize {
+        std::fs::read_dir(&self.dir)
+            .map(|entries| {
+                entries
+                    .filter_map(|e| e.ok())
+                    .filter(|e| {
+                        e.file_name()
+                            .to_str()
+                            .is_some_and(|n| n.starts_with("cell-") && n.ends_with(".json"))
+                    })
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Load the output for a cell hash. Missing, unreadable, corrupt, or
+    /// format-mismatched entries all return `None` — the caller simply
+    /// re-simulates (and re-stores) the cell.
+    pub(super) fn load_cell(&self, hash: u64, cell: &RunSpec) -> Option<SimOutput> {
+        let text = std::fs::read_to_string(self.path(hash)).ok()?;
+        let doc = parse(&text).ok()?;
+        output_from_json(&doc, hash, cell).ok()
+    }
+
+    /// Store one cell's output under its content hash. Writes to a
+    /// process-unique temporary file then renames, so concurrent shard
+    /// processes never observe half-written entries.
+    pub(super) fn store_cell(&self, hash: u64, output: &SimOutput) -> Result<(), SimError> {
+        let final_path = self.path(hash);
+        let tmp_path = self
+            .dir
+            .join(format!("cell-{hash:016x}.tmp.{}", std::process::id()));
+        // Compact form: cache entries are machine artifacts, and they are
+        // read far more often than humans inspect them.
+        let text = output_to_json(hash, output).to_string_compact();
+        std::fs::write(&tmp_path, text)
+            .map_err(|e| SimError::io(format!("writing {}", tmp_path.display()), e))?;
+        std::fs::rename(&tmp_path, &final_path)
+            .map_err(|e| SimError::io(format!("publishing {}", final_path.display()), e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::{default_slowdown, policy_suite};
+    use crate::{ExperimentRunner, ExperimentSpec, Simulation};
+    use dmhpc_workload::SystemPreset;
+
+    fn spec() -> ExperimentSpec {
+        ExperimentSpec::builder("cache-test")
+            .preset(SystemPreset::HighThroughput, 40)
+            .pool(PoolTopology::PerRack {
+                mib_per_rack: 384 * 1024,
+            })
+            .load(0.8)
+            .seeds([1, 2])
+            .schedulers(policy_suite(default_slowdown()))
+            .build()
+            .unwrap()
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dmhpc-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn hashes_are_unique_per_cell_and_stable() {
+        let spec = spec();
+        let digest = workload_digest(&spec.workload);
+        let cells = spec.compile().unwrap();
+        let mut hashes: Vec<u64> = cells.iter().map(|c| cell_hash(digest, c)).collect();
+        // Stable across recompiles.
+        let again: Vec<u64> = spec
+            .compile()
+            .unwrap()
+            .iter()
+            .map(|c| cell_hash(digest, c))
+            .collect();
+        assert_eq!(hashes, again);
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), cells.len(), "cells hash distinctly");
+    }
+
+    #[test]
+    fn hash_ignores_labels_but_not_content() {
+        let spec = spec();
+        let digest = workload_digest(&spec.workload);
+        let cells = spec.compile().unwrap();
+        // Relabelling the cluster does not move the cell.
+        let mut relabelled = cells[0].clone();
+        relabelled.key.cluster = "renamed".into();
+        assert_eq!(cell_hash(digest, &cells[0]), cell_hash(digest, &relabelled));
+        // Changing real content does.
+        let mut edited = cells[0].clone();
+        edited.config.enforce_walltime = !edited.config.enforce_walltime;
+        assert_ne!(cell_hash(digest, &cells[0]), cell_hash(digest, &edited));
+        let mut reseeded = cells[0].clone();
+        reseeded.key.seed = Some(999);
+        assert_ne!(cell_hash(digest, &cells[0]), cell_hash(digest, &reseeded));
+    }
+
+    #[test]
+    fn workload_digest_tracks_source_content() {
+        let preset_40 = workload_digest(&WorkloadSource::Preset {
+            preset: SystemPreset::HighThroughput,
+            jobs: 40,
+        });
+        let preset_41 = workload_digest(&WorkloadSource::Preset {
+            preset: SystemPreset::HighThroughput,
+            jobs: 41,
+        });
+        assert_ne!(preset_40, preset_41);
+
+        let w = SystemPreset::HighThroughput.synthetic_spec(20).generate(7);
+        let fixed_a = workload_digest(&WorkloadSource::Fixed(std::sync::Arc::new(w.clone())));
+        let mut jobs: Vec<_> = w.iter().cloned().collect();
+        jobs[0].mem_per_node += 1;
+        let fixed_b = workload_digest(&WorkloadSource::Fixed(std::sync::Arc::new(
+            dmhpc_workload::Workload::from_jobs(jobs),
+        )));
+        assert_ne!(fixed_a, fixed_b, "one MiB of one job changes the digest");
+    }
+
+    #[test]
+    fn output_round_trips_through_the_store() {
+        let spec = spec();
+        let cell = spec.compile().unwrap().remove(0);
+        let workload = SystemPreset::HighThroughput.synthetic_spec(40).generate(1);
+        let output = Simulation::new(cell.config).unwrap().run(&workload);
+
+        let dir = tmp_dir("roundtrip");
+        let cache = ResultCache::open(&dir).unwrap();
+        let hash = cell_hash(workload_digest(&spec.workload), &cell);
+        assert!(!cache.contains(hash));
+        cache.store_cell(hash, &output).unwrap();
+        assert!(cache.contains(hash));
+        assert_eq!(cache.len(), 1);
+
+        let back = cache.load_cell(hash, &cell).expect("stored entry loads");
+        assert_eq!(back.trace_hash, output.trace_hash);
+        assert_eq!(back.events_processed, output.events_processed);
+        assert_eq!(back.passes, output.passes);
+        assert_eq!(back.end_time, output.end_time);
+        assert_eq!(back.records.len(), output.records.len());
+        for (a, b) in back.records.iter().zip(&output.records) {
+            assert_eq!(a.job.id, b.job.id);
+            assert_eq!(a.outcome, b.outcome);
+            assert_eq!(a.start, b.start);
+            assert_eq!(a.finish, b.finish);
+            assert_eq!(a.dilation_actual, b.dilation_actual);
+        }
+        assert_eq!(
+            back.series.nodes_busy.points(),
+            output.series.nodes_busy.points()
+        );
+        assert_eq!(
+            back.series.queue_depth.points(),
+            output.series.queue_depth.points()
+        );
+        assert_eq!(
+            export::report_csv_row(&back.report),
+            export::report_csv_row(&output.report)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_miss_instead_of_failing() {
+        let spec = spec();
+        let cell = spec.compile().unwrap().remove(0);
+        let dir = tmp_dir("corrupt");
+        let cache = ResultCache::open(&dir).unwrap();
+        let hash = cell_hash(workload_digest(&spec.workload), &cell);
+        std::fs::write(cache.path(hash), "{ not json").unwrap();
+        assert!(cache.load_cell(hash, &cell).is_none());
+        // Wrong hash inside the file (e.g. manual rename) also misses.
+        std::fs::write(cache.path(hash), r#"{"format": 1, "cell_hash": 12345}"#).unwrap();
+        assert!(cache.load_cell(hash, &cell).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_monotonic_series_is_a_parse_error_not_a_panic() {
+        // The replay path feeds the causal TimeWeighted integrator, so a
+        // parseable-but-corrupt entry with time going backwards must be
+        // rejected here (=> cache miss), never replayed.
+        let good = parse("[[0, 0.0], [10, 2.0], [10, 3.0]]").unwrap();
+        assert!(series_from_json(&good).is_ok());
+        let bad = parse("[[10000000, 1.0], [5000000, 2.0]]").unwrap();
+        let err = series_from_json(&bad).unwrap_err();
+        assert!(err.message.contains("monotonic"), "{err}");
+    }
+
+    #[test]
+    fn runner_integration_cold_then_warm() {
+        let dir = tmp_dir("runner");
+        let spec = spec();
+        let cold = ExperimentRunner::with_threads(2)
+            .cache_dir(&dir)
+            .unwrap()
+            .run(&spec)
+            .unwrap();
+        assert_eq!(cold.stats().simulated, spec.cell_count());
+        assert_eq!(cold.stats().cache_hits, 0);
+
+        let warm = ExperimentRunner::with_threads(2)
+            .cache_dir(&dir)
+            .unwrap()
+            .run(&spec)
+            .unwrap();
+        assert_eq!(warm.stats().simulated, 0, "warm run simulates nothing");
+        assert_eq!(warm.stats().cache_hits, spec.cell_count());
+        assert_eq!(warm.to_csv(), cold.to_csv(), "CSV export byte-identical");
+        assert_eq!(warm.to_json(), cold.to_json(), "JSON export byte-identical");
+        for (a, b) in warm.cells().iter().zip(cold.cells()) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.output.trace_hash, b.output.trace_hash);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -18,6 +18,20 @@
 //! * [`ExperimentResults`] — a labelled table of per-cell
 //!   [`crate::SimOutput`]s with CSV/JSON export.
 //!
+//! Large grids scale through two additional pieces:
+//!
+//! * [`ResultCache`] — a content-addressed on-disk store keyed by a
+//!   stable 64-bit hash of each cell's result-determining content
+//!   ([`ExperimentSpec::cell_hashes`]); attached via
+//!   [`ExperimentRunner::cache_dir`], unchanged cells load bit-identically
+//!   instead of simulating, so re-running an edited spec re-executes only
+//!   the cells whose hash changed.
+//! * [`Shard`] — deterministic round-robin grid partitioning
+//!   ([`ExperimentSpec::shard`], [`ExperimentRunner::run_shard`]) so N
+//!   processes or CI jobs each run a disjoint slice;
+//!   [`ExperimentResults::merge`] recombines the slices into one
+//!   grid-ordered table.
+//!
 //! ```
 //! use dmhpc_sim::{ExperimentRunner, ExperimentSpec};
 //! use dmhpc_platform::PoolTopology;
@@ -40,13 +54,17 @@
 //! ```
 
 mod builder;
+mod cache;
 mod results;
 mod runner;
 mod serial;
+mod shard;
 
 pub use builder::ExperimentBuilder;
-pub use results::{CellResult, ExperimentResults};
+pub use cache::ResultCache;
+pub use results::{CellResult, ExperimentResults, RunStats};
 pub use runner::ExperimentRunner;
+pub use shard::Shard;
 
 use crate::config::SimConfig;
 use crate::error::SimError;
@@ -266,6 +284,28 @@ impl ExperimentSpec {
             }
         }
         Ok(cells)
+    }
+
+    /// The content hash of every grid cell, in grid order — the keys a
+    /// [`ResultCache`] stores results under.
+    ///
+    /// The hash covers exactly what determines a cell's result: workload
+    /// source content, cluster shape, load, seed, scheduler configuration,
+    /// and walltime enforcement. Presentation-only fields (experiment
+    /// name, cluster labels, `check_invariants`) are excluded, and hashes
+    /// are computed from the parsed spec — not its JSON text — so
+    /// reordering fields in a spec file changes nothing. Diff two specs'
+    /// hashes to see which cells an edit would re-execute.
+    pub fn cell_hashes(&self) -> Result<Vec<(CellKey, u64)>, SimError> {
+        let digest = cache::workload_digest(&self.workload);
+        Ok(self
+            .compile()?
+            .into_iter()
+            .map(|cell| {
+                let hash = cache::cell_hash(digest, &cell);
+                (cell.key, hash)
+            })
+            .collect())
     }
 
     /// Serialize to pretty JSON. Fails for [`WorkloadSource::Fixed`]

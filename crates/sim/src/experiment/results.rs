@@ -19,17 +19,40 @@ pub struct CellResult {
     pub output: SimOutput,
 }
 
+/// How a result table was produced: how many cells were simulated versus
+/// loaded from a [`super::ResultCache`]. A warm re-run of an unchanged
+/// spec reports `simulated == 0` — the property the CI grid smoke
+/// asserts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Cells executed by the simulator this run.
+    pub simulated: usize,
+    /// Cells loaded from the result cache.
+    pub cache_hits: usize,
+}
+
 /// Results for a whole experiment, in grid order.
 #[derive(Debug, Clone)]
 pub struct ExperimentResults {
     /// The experiment's name (from the spec).
     pub name: String,
     cells: Vec<CellResult>,
+    stats: RunStats,
 }
 
 impl ExperimentResults {
-    pub(super) fn new(name: String, cells: Vec<CellResult>) -> Self {
-        ExperimentResults { name, cells }
+    pub(super) fn with_stats(name: String, cells: Vec<CellResult>, stats: RunStats) -> Self {
+        ExperimentResults { name, cells, stats }
+    }
+
+    /// Simulated-vs-cached provenance of this table.
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// Consume the table into its cells (grid order), e.g. for merging.
+    pub fn into_cells(self) -> Vec<CellResult> {
+        self.cells
     }
 
     /// Number of cells.

@@ -1,12 +1,15 @@
 //! Grid execution.
 
-use super::results::{CellResult, ExperimentResults};
+use super::cache::{self, ResultCache};
+use super::results::{CellResult, ExperimentResults, RunStats};
+use super::shard::Shard;
 use super::{ExperimentSpec, RunSpec, WorkloadSource};
 use crate::engine::Simulation;
 use crate::error::SimError;
 use crate::sweep::run_parallel;
 use dmhpc_workload::{transform, Workload};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Executes every cell of an [`ExperimentSpec`] and returns the labelled
@@ -19,9 +22,21 @@ use std::sync::Arc;
 /// its cell config and workload — so the whole experiment is deterministic
 /// (the 1-thread and N-thread runs produce identical per-cell trace
 /// hashes; tested).
+///
+/// Two scaling levers compose with that determinism:
+///
+/// * **Result caching** ([`ExperimentRunner::cache_dir`]): each cell is
+///   content-addressed by a stable hash of everything that determines its
+///   result; cached cells are loaded instead of simulated, bit-identically.
+///   Re-running an edited spec therefore re-executes only the cells whose
+///   hash changed — incremental re-runs for free.
+/// * **Sharding** ([`ExperimentRunner::run_shard`]): N processes each run
+///   a disjoint slice of the grid; [`ExperimentResults::merge`] (or a warm
+///   cached run over the full spec) recombines them.
 #[derive(Debug, Clone, Default)]
 pub struct ExperimentRunner {
     threads: usize,
+    cache: Option<ResultCache>,
 }
 
 /// Workload-cache key: `(seed, load bits, cluster node count)`. Loads are
@@ -31,13 +46,32 @@ type WorkloadKey = (Option<u64>, Option<u64>, u32);
 impl ExperimentRunner {
     /// A runner using one worker per available core.
     pub fn new() -> Self {
-        ExperimentRunner { threads: 0 }
+        ExperimentRunner {
+            threads: 0,
+            cache: None,
+        }
     }
 
     /// A runner with an explicit worker count (`0` = one per core, `1` =
     /// serial).
     pub fn with_threads(threads: usize) -> Self {
-        ExperimentRunner { threads }
+        ExperimentRunner {
+            threads,
+            cache: None,
+        }
+    }
+
+    /// Attach a content-addressed result cache rooted at `dir` (created if
+    /// missing). Subsequent runs load unchanged cells from the cache and
+    /// store every freshly simulated cell.
+    pub fn cache_dir(self, dir: impl Into<PathBuf>) -> Result<Self, SimError> {
+        Ok(self.cache(ResultCache::open(dir)?))
+    }
+
+    /// Attach an already opened [`ResultCache`].
+    pub fn cache(mut self, cache: ResultCache) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
     fn workload_key(cell: &RunSpec) -> WorkloadKey {
@@ -76,39 +110,95 @@ impl ExperimentRunner {
         }
     }
 
-    /// Run the whole grid. Every fallible check happened in
-    /// [`ExperimentSpec::compile`], so execution itself cannot fail — the
-    /// `Result` covers grid validation only.
+    /// Run the whole grid. Grid validation is the only fallible step of
+    /// execution itself; with a cache attached, store failures (disk
+    /// full, permissions) also surface here.
     pub fn run(&self, spec: &ExperimentSpec) -> Result<ExperimentResults, SimError> {
         let cells = spec.compile()?;
+        self.execute(spec, cells)
+    }
+
+    /// Run one shard of the grid (see [`Shard`]); the partial results are
+    /// in grid order and recombine via [`ExperimentResults::merge`].
+    pub fn run_shard(
+        &self,
+        spec: &ExperimentSpec,
+        shard: Shard,
+    ) -> Result<ExperimentResults, SimError> {
+        let cells = spec.shard(shard)?;
+        self.execute(spec, cells)
+    }
+
+    fn execute(
+        &self,
+        spec: &ExperimentSpec,
+        cells: Vec<RunSpec>,
+    ) -> Result<ExperimentResults, SimError> {
+        // Probe the cache first: hits skip both workload materialization
+        // and simulation.
+        let digest = self
+            .cache
+            .as_ref()
+            .map(|_| cache::workload_digest(&spec.workload));
+        let mut slots: Vec<Option<CellResult>> = (0..cells.len()).map(|_| None).collect();
+        let mut pending: Vec<(usize, RunSpec, Option<u64>)> = Vec::new();
+        for (i, cell) in cells.into_iter().enumerate() {
+            if let (Some(cache), Some(digest)) = (&self.cache, digest) {
+                let hash = cache::cell_hash(digest, &cell);
+                if let Some(output) = cache.load_cell(hash, &cell) {
+                    slots[i] = Some(CellResult {
+                        key: cell.key,
+                        config: cell.config,
+                        output,
+                    });
+                    continue;
+                }
+                pending.push((i, cell, Some(hash)));
+            } else {
+                pending.push((i, cell, None));
+            }
+        }
+        let cache_hits = slots.iter().filter(|s| s.is_some()).count();
+        let simulated = pending.len();
 
         // Materialize each distinct workload once, serially: generation is
         // cheap next to simulation and sharing maximizes cache reuse.
         let mut workloads: HashMap<WorkloadKey, Arc<Workload>> = HashMap::new();
-        for cell in &cells {
+        for (_, cell, _) in &pending {
             let key = Self::workload_key(cell);
             workloads.entry(key).or_insert_with(|| {
                 Self::materialize(&spec.workload, cell.key.seed, cell.key.load, key.2)
             });
         }
 
-        let outputs = run_parallel(cells, self.threads, |cell| {
+        let outputs = run_parallel(pending, self.threads, |(i, cell, hash)| {
             let workload = &workloads[&Self::workload_key(cell)];
             // compile() validated every cell config.
             let sim = Simulation::new(cell.config).expect("cell config validated by compile()");
-            (cell.clone(), sim.run(workload))
+            (*i, cell.clone(), *hash, sim.run(workload))
         });
 
-        Ok(ExperimentResults::new(
+        for (i, cell, hash, output) in outputs {
+            if let (Some(cache), Some(hash)) = (&self.cache, hash) {
+                cache.store_cell(hash, &output)?;
+            }
+            slots[i] = Some(CellResult {
+                key: cell.key,
+                config: cell.config,
+                output,
+            });
+        }
+
+        Ok(ExperimentResults::with_stats(
             spec.name.clone(),
-            outputs
+            slots
                 .into_iter()
-                .map(|(cell, output)| CellResult {
-                    key: cell.key,
-                    config: cell.config,
-                    output,
-                })
+                .map(|slot| slot.expect("every grid slot filled"))
                 .collect(),
+            RunStats {
+                simulated,
+                cache_hits,
+            },
         ))
     }
 }
@@ -142,6 +232,8 @@ mod tests {
         let spec = small_spec();
         let results = ExperimentRunner::with_threads(2).run(&spec).unwrap();
         assert_eq!(results.len(), spec.cell_count());
+        assert_eq!(results.stats().simulated, spec.cell_count());
+        assert_eq!(results.stats().cache_hits, 0);
         let compiled = spec.compile().unwrap();
         for (cell, result) in compiled.iter().zip(results.cells()) {
             assert_eq!(cell.key, result.key, "grid order preserved");
@@ -179,5 +271,22 @@ mod tests {
             .map(|c| c.output.records.len())
             .collect();
         assert!(totals.iter().all(|&t| t == totals[0]));
+    }
+
+    #[test]
+    fn shard_runs_are_slices_of_the_full_run() {
+        let spec = small_spec();
+        let runner = ExperimentRunner::with_threads(2);
+        let full = runner.run(&spec).unwrap();
+        let shard = runner.run_shard(&spec, Shard::new(1, 3).unwrap()).unwrap();
+        assert!(shard.len() < full.len());
+        for cell in shard.cells() {
+            let twin = full
+                .cells()
+                .iter()
+                .find(|c| c.key == cell.key)
+                .expect("shard cell exists in full grid");
+            assert_eq!(cell.output.trace_hash, twin.output.trace_hash);
+        }
     }
 }

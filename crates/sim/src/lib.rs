@@ -49,5 +49,5 @@ pub use engine::{SimOutput, Simulation};
 pub use error::SimError;
 pub use experiment::{
     CellKey, CellResult, ExperimentBuilder, ExperimentResults, ExperimentRunner, ExperimentSpec,
-    RunSpec, WorkloadSource,
+    ResultCache, RunSpec, RunStats, Shard, WorkloadSource,
 };

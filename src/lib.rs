@@ -43,6 +43,14 @@
 //! [`sched::OrderPolicy`] / [`sched::MemoryPolicy`] enums are just the
 //! bundled implementations (see [`sim::Simulation::with_policies`]).
 //!
+//! Large grids scale through two further pieces: a content-addressed
+//! [`sim::ResultCache`] (attach via [`sim::ExperimentRunner::cache_dir`];
+//! unchanged cells load bit-identically instead of simulating, so edited
+//! specs re-execute only changed cells) and deterministic [`sim::Shard`]
+//! partitioning ([`sim::ExperimentRunner::run_shard`] +
+//! [`sim::ExperimentResults::merge`]) for fanning a grid out across
+//! processes or CI jobs.
+//!
 //! For one-off runs without a grid, [`sim::Simulation`] is still the
 //! entry point: `Simulation::new(SimConfig::new(cluster, scheduler))?`.
 //!
@@ -78,8 +86,8 @@ pub mod prelude {
         SchedulerConfig,
     };
     pub use dmhpc_sim::{
-        CellKey, CellResult, ExperimentResults, ExperimentRunner, ExperimentSpec, SimConfig,
-        SimError, SimOutput, Simulation, WorkloadSource,
+        CellKey, CellResult, ExperimentResults, ExperimentRunner, ExperimentSpec, ResultCache,
+        RunStats, Shard, SimConfig, SimError, SimOutput, Simulation, WorkloadSource,
     };
     pub use dmhpc_workload::{Job, JobId, SyntheticSpec, SystemPreset, Workload, WorkloadBuilder};
 }

@@ -445,3 +445,131 @@ fn custom_ordering_plugs_into_simulation() {
         .run(&w);
     assert_eq!(out.trace_hash, again.trace_hash);
 }
+
+// ------------------------------------------------- grid-scaling layer
+
+/// The full scaling story through the facade: shard processes populate a
+/// shared content-addressed cache, the merge rebuilds the grid purely
+/// from cache with byte-identical exports, and an edited spec re-runs
+/// only its changed cells.
+#[test]
+fn cache_shard_merge_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("dmhpc-e2e-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let spec = ExperimentSpec::builder("e2e")
+        .preset(SystemPreset::HighThroughput, 100)
+        .pools([PoolTopology::None, per_rack(384)])
+        .load(0.85)
+        .seeds([1, 2])
+        .policy_suite(default_slowdown())
+        .build()
+        .unwrap();
+
+    // Reference: plain cold run, no cache.
+    let reference = ExperimentRunner::with_threads(2).run(&spec).unwrap();
+
+    // Three "processes" each run a disjoint shard into one cache.
+    let mut parts = Vec::new();
+    for i in 0..3 {
+        let runner = ExperimentRunner::with_threads(2).cache_dir(&dir).unwrap();
+        let part = runner.run_shard(&spec, Shard::new(i, 3).unwrap()).unwrap();
+        assert_eq!(part.stats().cache_hits, 0, "disjoint shards share no cells");
+        parts.push(part);
+    }
+
+    // In-memory merge matches the reference exactly.
+    let merged = ExperimentResults::merge(&spec, parts).unwrap();
+    assert_eq!(merged.to_csv(), reference.to_csv());
+    assert_eq!(merged.to_json(), reference.to_json());
+
+    // A warm full run over the same cache simulates nothing and exports
+    // the same bytes.
+    let warm = ExperimentRunner::with_threads(2)
+        .cache_dir(&dir)
+        .unwrap()
+        .run(&spec)
+        .unwrap();
+    assert_eq!(warm.stats().simulated, 0);
+    assert_eq!(warm.stats().cache_hits, spec.cell_count());
+    assert_eq!(warm.to_csv(), reference.to_csv());
+    assert_eq!(warm.to_json(), reference.to_json());
+
+    // Incremental re-run: add one seed; only the new cells simulate.
+    let edited = dmhpc::sim::ExperimentBuilder::from_spec(spec.clone())
+        .seed(3)
+        .build()
+        .unwrap();
+    let incremental = ExperimentRunner::with_threads(2)
+        .cache_dir(&dir)
+        .unwrap()
+        .run(&edited)
+        .unwrap();
+    let new_cells = edited.cell_count() - spec.cell_count();
+    assert_eq!(incremental.stats().cache_hits, spec.cell_count());
+    assert_eq!(incremental.stats().simulated, new_cells);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Cell content hashes are a function of the parsed spec, not its JSON
+/// text: reordering fields (and whole axis entries' keys) in the spec
+/// document changes nothing, while editing a value moves exactly the
+/// affected cells.
+#[test]
+fn cell_hashes_stable_across_json_field_reordering() {
+    let original = r#"{
+        "name": "reorder",
+        "workload": {"preset": {"system": "htc-128", "jobs": 50}},
+        "clusters": [{
+            "label": "c0", "racks": 2, "nodes_per_rack": 8,
+            "cores": 16, "node_mem_mib": 131072, "pool": "none"
+        }],
+        "loads": [0.9],
+        "seeds": [7],
+        "schedulers": [{
+            "order": "fcfs", "backfill": "easy", "memory": "local-only",
+            "slowdown": {"saturating": {"penalty": 1.5, "curvature": 3.0}},
+            "inflate_walltime": true
+        }],
+        "enforce_walltime": true,
+        "check_invariants": false
+    }"#;
+    // Same document, keys shuffled at every level.
+    let reordered = r#"{
+        "check_invariants": false,
+        "enforce_walltime": true,
+        "schedulers": [{
+            "inflate_walltime": true,
+            "slowdown": {"saturating": {"curvature": 3.0, "penalty": 1.5}},
+            "memory": "local-only", "backfill": "easy", "order": "fcfs"
+        }],
+        "seeds": [7],
+        "loads": [0.9],
+        "clusters": [{
+            "pool": "none", "node_mem_mib": 131072, "cores": 16,
+            "nodes_per_rack": 8, "racks": 2, "label": "c0"
+        }],
+        "workload": {"preset": {"jobs": 50, "system": "htc-128"}},
+        "name": "reorder"
+    }"#;
+    let a = ExperimentSpec::from_json(original).unwrap();
+    let b = ExperimentSpec::from_json(reordered).unwrap();
+    assert_eq!(a.cell_hashes().unwrap(), b.cell_hashes().unwrap());
+
+    // Relabelling is presentation-only: hashes unchanged.
+    let relabelled = ExperimentSpec::from_json(&original.replace("\"c0\"", "\"renamed\"")).unwrap();
+    let hashes = |s: &ExperimentSpec| -> Vec<u64> {
+        s.cell_hashes()
+            .unwrap()
+            .into_iter()
+            .map(|(_, h)| h)
+            .collect()
+    };
+    assert_eq!(hashes(&a), hashes(&relabelled));
+
+    // A real edit is not.
+    let edited =
+        ExperimentSpec::from_json(&original.replace("\"jobs\": 50", "\"jobs\": 51")).unwrap();
+    assert_ne!(hashes(&a), hashes(&edited));
+}
