@@ -8,9 +8,10 @@
 //! the fixed overhead around the simulations, not the simulations.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use dmhpc_platform::PoolTopology;
-use dmhpc_sim::scenarios::{default_slowdown, policy_suite};
-use dmhpc_sim::{ExperimentRunner, ExperimentSpec, Shard, Simulation};
+use dmhpc_platform::{PoolTopology, SlowdownModel};
+use dmhpc_sched::{MemoryPolicy, SchedulerBuilder};
+use dmhpc_sim::scenarios::{default_slowdown, policy_suite, preset_cluster};
+use dmhpc_sim::{EventQueueKind, ExperimentRunner, ExperimentSpec, Shard, SimConfig, Simulation};
 use dmhpc_workload::SystemPreset;
 
 const JOBS: usize = 120;
@@ -140,10 +141,59 @@ fn bench_single_cell(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_engine_kernel(c: &mut Criterion) {
+    // Engine throughput (events/sec) on a large high-load workload, heap
+    // vs calendar pending-event set — the number the incremental kernel
+    // moves. The contention model keeps the pool-scoped re-dilation path
+    // hot, which is the expensive regime.
+    const KERNEL_JOBS: usize = 2_000;
+    let workload = SystemPreset::HighThroughput
+        .synthetic_spec(KERNEL_JOBS)
+        .generate(23);
+    let cluster = preset_cluster(
+        SystemPreset::HighThroughput,
+        PoolTopology::PerRack {
+            mib_per_rack: 384 * 1024,
+        },
+    );
+    let sched = SchedulerBuilder::new()
+        .memory(MemoryPolicy::PoolBestFit)
+        .slowdown(SlowdownModel::Contention {
+            penalty: 1.5,
+            gamma: 1.0,
+        })
+        .build();
+    let cfg = SimConfig::new(cluster, sched);
+
+    // One reference run: fix the throughput denominator and report the
+    // pass sparsity the event-driven kernel achieves at this load.
+    let reference = Simulation::new(cfg).expect("valid config").run(&workload);
+    assert!(
+        reference.passes < reference.events_processed,
+        "kernel must schedule fewer passes than events"
+    );
+    eprintln!(
+        "engine_kernel: {} events, {} passes ({:.1}% of events)",
+        reference.events_processed,
+        reference.passes,
+        100.0 * reference.passes as f64 / reference.events_processed as f64
+    );
+
+    let mut group = c.benchmark_group("engine_kernel");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(reference.events_processed));
+    for kind in [EventQueueKind::BinaryHeap, EventQueueKind::Calendar] {
+        let sim = Simulation::new(cfg.with_event_queue(kind)).expect("valid config");
+        group.bench_function(kind.name(), |b| b.iter(|| black_box(sim.run(&workload))));
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_experiment,
     bench_grid_scaling,
-    bench_single_cell
+    bench_single_cell,
+    bench_engine_kernel
 );
 criterion_main!(benches);

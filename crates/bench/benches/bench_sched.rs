@@ -4,12 +4,13 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use dmhpc_des::time::SimTime;
 use dmhpc_platform::{Cluster, ClusterSpec, MemoryAssignment, NodeId, NodeSpec, PoolTopology};
 use dmhpc_sched::{
-    BackfillPolicy, MemoryPolicy, RunningRelease, Scheduler, SchedulerBuilder, WaitQueue,
+    BackfillPolicy, MemoryPolicy, ReleaseIndex, RunningRelease, Scheduler, SchedulerBuilder,
+    WaitQueue,
 };
 use dmhpc_workload::SystemPreset;
 
 /// A mostly-full cluster with a populated queue: the worst case for a pass.
-fn setup(depth: usize) -> (Cluster, WaitQueue, Vec<RunningRelease>) {
+fn setup(depth: usize) -> (Cluster, WaitQueue, ReleaseIndex) {
     let mut cluster = Cluster::new(ClusterSpec::new(
         8,
         32,
@@ -19,19 +20,23 @@ fn setup(depth: usize) -> (Cluster, WaitQueue, Vec<RunningRelease>) {
         },
     ));
     // Fill 95% of nodes with running leases ending at staggered times.
-    let mut releases = Vec::new();
+    let mut releases = ReleaseIndex::new();
     let busy = (cluster.total_nodes() as usize * 95) / 100;
     for i in 0..busy {
         let node = NodeId(i as u32);
         let a = MemoryAssignment::local(vec![node], 64 * 1024);
-        cluster.allocate(1_000_000 + i as u64, a).unwrap();
+        let lease = 1_000_000 + i as u64;
+        cluster.allocate(lease, a).unwrap();
         let mut nodes_per_rack = vec![0u32; 8];
         nodes_per_rack[i / 32] += 1;
-        releases.push(RunningRelease {
-            planned_end: SimTime::from_secs(600 + (i as u64 % 96) * 600),
-            nodes_per_rack,
-            pool_per_domain: vec![0; 8],
-        });
+        releases.insert(
+            lease,
+            RunningRelease {
+                planned_end: SimTime::from_secs(600 + (i as u64 % 96) * 600),
+                nodes_per_rack,
+                pool_per_domain: vec![0; 8],
+            },
+        );
     }
     let spec = SystemPreset::MidCluster.synthetic_spec(depth);
     let w = spec.generate(11);
@@ -42,10 +47,10 @@ fn setup(depth: usize) -> (Cluster, WaitQueue, Vec<RunningRelease>) {
     (cluster, queue, releases)
 }
 
-fn pass(sched: &Scheduler, cluster: &Cluster, queue: &WaitQueue, releases: &[RunningRelease]) {
+fn pass(sched: &Scheduler, cluster: &Cluster, queue: &WaitQueue, releases: &ReleaseIndex) {
     let mut c = cluster.clone();
     let mut q = queue.clone();
-    black_box(sched.schedule(SimTime::from_secs(600_000), &mut q, &mut c, releases));
+    black_box(sched.schedule(SimTime::from_secs(600_000), &mut q, &mut c, releases.view()));
 }
 
 fn bench_sched(c: &mut Criterion) {

@@ -1,15 +1,20 @@
-//! CI bench-regression gate for the experiment-runner overhead.
+//! CI bench-regression gate for the experiment runner and the engine
+//! kernel.
 //!
 //! Reads the JSON-lines file the criterion-shim emits when `BENCH_JSON`
 //! is set (one `{"name", "mean_ns", "std_ns"}` object per benchmark) and
-//! compares the *runner overhead ratio* — the whole declarative path
-//! (`experiment_runner/run/1`) over the same cells simulated by hand
-//! (`experiment_runner/raw_cells`) — against a checked-in baseline.
+//! compares two ratios against a checked-in baseline:
 //!
-//! A ratio, not an absolute time: CI machines vary wildly in speed, but
-//! the runner's bookkeeping relative to raw simulation cost is a property
-//! of the code. Exits non-zero when the measured ratio exceeds
-//! `baseline × (1 + max_regression)`.
+//! * **runner overhead** — the whole declarative path
+//!   (`experiment_runner/run/1`) over the same cells simulated by hand
+//!   (`experiment_runner/raw_cells`);
+//! * **kernel backend** — engine throughput on the calendar event queue
+//!   (`engine_kernel/calendar`) over the binary heap
+//!   (`engine_kernel/heap`), so the opt-in backend cannot silently rot.
+//!
+//! Ratios, not absolute times: CI machines vary wildly in speed, but cost
+//! relative to a same-machine reference is a property of the code. Exits
+//! non-zero when a measured ratio exceeds `baseline × (1 + max_regression)`.
 //!
 //! ```text
 //! BENCH_JSON=BENCH_ci.json cargo bench -p dmhpc-bench --bench bench_experiment
@@ -20,6 +25,8 @@ use dmhpc_metrics::json::parse;
 
 const RUN_BENCH: &str = "experiment_runner/run/1";
 const RAW_BENCH: &str = "experiment_runner/raw_cells";
+const KERNEL_CAL_BENCH: &str = "engine_kernel/calendar";
+const KERNEL_HEAP_BENCH: &str = "engine_kernel/heap";
 
 fn mean_of(lines: &str, bench: &str) -> Result<f64, String> {
     // Last occurrence wins: re-runs append.
@@ -43,6 +50,35 @@ fn mean_of(lines: &str, bench: &str) -> Result<f64, String> {
     })
 }
 
+/// Check one ratio gate; returns an error message when it regressed.
+fn gate(
+    label: &str,
+    num_name: &str,
+    den_name: &str,
+    num_ns: f64,
+    den_ns: f64,
+    baseline_ratio: f64,
+    max_regression: f64,
+) -> Result<(), String> {
+    if den_ns <= 0.0 {
+        return Err(format!("{den_name} mean is not positive ({den_ns} ns)"));
+    }
+    let ratio = num_ns / den_ns;
+    let limit = baseline_ratio * (1.0 + max_regression);
+    println!("{label}: {num_name} = {num_ns:.0} ns, {den_name} = {den_ns:.0} ns");
+    println!(
+        "measured ratio {ratio:.3} vs baseline {baseline_ratio:.3} \
+         (limit {limit:.3} = baseline × {:.2})",
+        1.0 + max_regression
+    );
+    if ratio > limit {
+        return Err(format!(
+            "{label} regressed: ratio {ratio:.3} exceeds limit {limit:.3}"
+        ));
+    }
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let [results_path, baseline_path] = args.as_slice() else {
@@ -51,32 +87,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let results = std::fs::read_to_string(results_path)
         .map_err(|e| format!("reading {results_path}: {e}"))?;
-    let run_ns = mean_of(&results, RUN_BENCH)?;
-    let raw_ns = mean_of(&results, RAW_BENCH)?;
-    if raw_ns <= 0.0 {
-        return Err(format!("{RAW_BENCH} mean is not positive ({raw_ns} ns)").into());
-    }
-    let ratio = run_ns / raw_ns;
-
     let baseline_text = std::fs::read_to_string(baseline_path)
         .map_err(|e| format!("reading {baseline_path}: {e}"))?;
     let baseline = parse(&baseline_text)?;
-    let baseline_ratio = baseline.expect_key("runner_overhead_ratio")?.to_f64()?;
     let max_regression = baseline.expect_key("max_regression")?.to_f64()?;
-    let limit = baseline_ratio * (1.0 + max_regression);
 
-    println!("runner overhead: {RUN_BENCH} = {run_ns:.0} ns, {RAW_BENCH} = {raw_ns:.0} ns");
-    println!(
-        "measured ratio {ratio:.3} vs baseline {baseline_ratio:.3} \
-         (limit {limit:.3} = baseline × {:.2})",
-        1.0 + max_regression
-    );
-    if ratio > limit {
-        return Err(format!(
-            "runner overhead regressed: ratio {ratio:.3} exceeds limit {limit:.3}"
-        )
-        .into());
-    }
+    gate(
+        "runner overhead",
+        RUN_BENCH,
+        RAW_BENCH,
+        mean_of(&results, RUN_BENCH)?,
+        mean_of(&results, RAW_BENCH)?,
+        baseline.expect_key("runner_overhead_ratio")?.to_f64()?,
+        max_regression,
+    )?;
+    gate(
+        "kernel calendar-vs-heap",
+        KERNEL_CAL_BENCH,
+        KERNEL_HEAP_BENCH,
+        mean_of(&results, KERNEL_CAL_BENCH)?,
+        mean_of(&results, KERNEL_HEAP_BENCH)?,
+        baseline
+            .expect_key("kernel_calendar_vs_heap_ratio")?
+            .to_f64()?,
+        max_regression,
+    )?;
     println!("bench gate OK");
     Ok(())
 }

@@ -22,27 +22,33 @@
 //! grid/merge output lands in `results/<name>.*.{csv,json}`.
 
 use dmhpc_bench::experiments::{self, RunOptions};
-use dmhpc_sim::{ExperimentResults, ExperimentRunner, ExperimentSpec, Shard, SimError};
+use dmhpc_sim::{
+    EventQueueKind, ExperimentResults, ExperimentRunner, ExperimentSpec, Shard, SimError,
+};
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
 
 fn usage() {
-    eprintln!("usage: repro [--list] [--cache-dir DIR] [--threads N] <id>... | all");
-    eprintln!("       repro grid  <spec.json|smoke> [--shard i/n] [--cache-dir DIR] [--threads N]");
-    eprintln!("       repro merge <spec.json|smoke> --cache-dir DIR");
+    eprintln!("usage: repro [--list] [--cache-dir DIR] [--threads N] [--queue heap|calendar] <id>... | all");
+    eprintln!("       repro grid  <spec.json|smoke|smoke-contention> [--shard i/n] [--cache-dir DIR] [--threads N] [--queue heap|calendar]");
+    eprintln!("       repro merge <spec.json|smoke|smoke-contention> --cache-dir DIR");
     eprintln!("ids: {}", experiments::all_ids().join(" "));
 }
 
+#[derive(Debug)]
 struct Cli {
     mode: Mode,
     list: bool,
     cache_dir: Option<PathBuf>,
     shard: Option<Shard>,
-    threads: usize,
+    /// `None` = auto (one worker per core); validated ≥ 1 when given.
+    threads: Option<usize>,
+    queue: Option<EventQueueKind>,
     args: Vec<String>,
 }
 
+#[derive(Debug)]
 enum Mode {
     Tables,
     Grid,
@@ -55,7 +61,8 @@ fn parse_cli(raw: Vec<String>) -> Result<Cli, Box<dyn std::error::Error>> {
         list: false,
         cache_dir: None,
         shard: None,
-        threads: 0,
+        threads: None,
+        queue: None,
         args: Vec::new(),
     };
     let mut it = raw.into_iter().peekable();
@@ -83,7 +90,31 @@ fn parse_cli(raw: Vec<String>) -> Result<Cli, Box<dyn std::error::Error>> {
             "--list" => cli.list = true,
             "--cache-dir" => cli.cache_dir = Some(PathBuf::from(value(&mut it, "--cache-dir")?)),
             "--shard" => cli.shard = Some(Shard::parse(&value(&mut it, "--shard")?)?),
-            "--threads" => cli.threads = value(&mut it, "--threads")?.parse()?,
+            "--threads" => {
+                let n: usize = value(&mut it, "--threads")?.parse()?;
+                if n == 0 {
+                    // `0` used to silently mean "auto" — ambiguous enough
+                    // that fan-out scripts passed it expecting "none".
+                    return Err(
+                        "--threads needs a positive worker count (omit the flag for one \
+                         worker per core)"
+                            .into(),
+                    );
+                }
+                cli.threads = Some(n);
+            }
+            "--queue" => {
+                cli.queue = Some(match value(&mut it, "--queue")?.as_str() {
+                    "heap" => EventQueueKind::BinaryHeap,
+                    "calendar" => EventQueueKind::Calendar,
+                    other => {
+                        return Err(format!(
+                            "unknown event-queue backend {other:?} (expected heap or calendar)"
+                        )
+                        .into())
+                    }
+                });
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other:?}").into());
             }
@@ -93,11 +124,14 @@ fn parse_cli(raw: Vec<String>) -> Result<Cli, Box<dyn std::error::Error>> {
     Ok(cli)
 }
 
-/// Resolve a grid-mode spec argument: a JSON file path, or the built-in
-/// `smoke` grid. Compile errors surface as `SimError` → non-zero exit.
+/// Resolve a grid-mode spec argument: a JSON file path, or one of the
+/// built-in grids (`smoke`, `smoke-contention`). Compile errors surface as
+/// `SimError` → non-zero exit.
 fn load_spec(arg: &str) -> Result<ExperimentSpec, Box<dyn std::error::Error>> {
-    if arg == "smoke" {
-        return Ok(experiments::smoke_spec()?);
+    match arg {
+        "smoke" => return Ok(experiments::smoke_spec()?),
+        "smoke-contention" => return Ok(experiments::smoke_contention_spec()?),
+        _ => {}
     }
     let text =
         std::fs::read_to_string(arg).map_err(|e| SimError::io(format!("reading spec {arg}"), e))?;
@@ -118,6 +152,14 @@ fn run_grid(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
     };
     let spec = load_spec(spec_arg)?;
     if cli.list {
+        // Listing never simulates, so execution knobs make no sense here:
+        // refuse instead of silently ignoring them.
+        if cli.threads.is_some() {
+            return Err("--threads does not apply to --list (listing never simulates)".into());
+        }
+        if cli.queue.is_some() {
+            return Err("--queue does not apply to --list (listing never simulates)".into());
+        }
         // Listing compiles the grid, so an ill-formed spec fails loudly
         // here instead of being discovered mid-CI. With --shard, list
         // exactly the cells that shard would run.
@@ -128,9 +170,12 @@ fn run_grid(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
         }
         return Ok(());
     }
-    let mut runner = ExperimentRunner::with_threads(cli.threads);
+    let mut runner = ExperimentRunner::with_threads(cli.threads.unwrap_or(0));
     if let Some(dir) = &cli.cache_dir {
         runner = runner.cache_dir(dir)?;
+    }
+    if let Some(kind) = cli.queue {
+        runner = runner.event_queue(kind);
     }
     let start = Instant::now();
     let (results, stem) = match cli.shard {
@@ -166,8 +211,22 @@ fn run_merge(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
             "--shard does not apply to merge mode (it always rebuilds the full grid)".into(),
         );
     }
+    if cli.threads.is_some() {
+        // Merge demands all-cache-hits and therefore simulates nothing:
+        // a worker count here means the caller expected simulations.
+        return Err(
+            "--threads does not apply to merge mode (merge loads cells, never simulates; \
+                    use `grid` to run missing cells)"
+                .into(),
+        );
+    }
+    if cli.queue.is_some() {
+        return Err(
+            "--queue does not apply to merge mode (merge loads cells, never simulates)".into(),
+        );
+    }
     let spec = load_spec(spec_arg)?;
-    let runner = ExperimentRunner::with_threads(cli.threads)
+    let runner = ExperimentRunner::with_threads(1)
         .cache_dir(cli.cache_dir.as_ref().expect("checked above"))?;
     let start = Instant::now();
     let results = runner.run(&spec)?;
@@ -199,6 +258,14 @@ fn run_tables(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
         return Err("--shard only applies to grid mode (tables always run whole grids)".into());
     }
     if cli.list {
+        // Same contract as `grid --list`: listing never simulates, so
+        // execution knobs are refused, not silently dropped.
+        if cli.threads.is_some() {
+            return Err("--threads does not apply to --list (listing never simulates)".into());
+        }
+        if cli.queue.is_some() {
+            return Err("--queue does not apply to --list (listing never simulates)".into());
+        }
         for id in experiments::all_ids() {
             println!("{id}");
         }
@@ -207,6 +274,11 @@ fn run_tables(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
         // exit 0 silently.
         let smoke = experiments::smoke_spec()?;
         println!("grid: smoke ({} cells)", smoke.compile()?.len());
+        let contention = experiments::smoke_contention_spec()?;
+        println!(
+            "grid: smoke-contention ({} cells)",
+            contention.compile()?.len()
+        );
         return Ok(());
     }
     let ids: Vec<&str> = if cli.args.iter().any(|a| a == "all") {
@@ -216,7 +288,8 @@ fn run_tables(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
     };
     let options = RunOptions {
         cache_dir: cli.cache_dir.clone(),
-        threads: cli.threads,
+        threads: cli.threads.unwrap_or(0),
+        event_queue: cli.queue,
     };
 
     std::fs::create_dir_all("results")?;
@@ -251,5 +324,74 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Mode::Tables => run_tables(&cli),
         Mode::Grid => run_grid(&cli),
         Mode::Merge => run_merge(&cli),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Cli, Box<dyn std::error::Error>> {
+        parse_cli(args.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn threads_zero_is_rejected() {
+        let err = parse(&["grid", "smoke", "--threads", "0"]).unwrap_err();
+        assert!(err.to_string().contains("positive worker count"), "{err}");
+        // Omitting the flag means auto; an explicit positive count parses.
+        assert_eq!(parse(&["grid", "smoke"]).unwrap().threads, None);
+        assert_eq!(
+            parse(&["grid", "smoke", "--threads", "3"]).unwrap().threads,
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn queue_flag_parses_and_validates() {
+        assert_eq!(
+            parse(&["grid", "smoke", "--queue", "calendar"])
+                .unwrap()
+                .queue,
+            Some(EventQueueKind::Calendar)
+        );
+        assert_eq!(
+            parse(&["grid", "smoke", "--queue", "heap"]).unwrap().queue,
+            Some(EventQueueKind::BinaryHeap)
+        );
+        let err = parse(&["grid", "smoke", "--queue", "fifo"]).unwrap_err();
+        assert!(err.to_string().contains("unknown event-queue"), "{err}");
+    }
+
+    #[test]
+    fn conflicting_modes_and_flags_error() {
+        // merge never simulates: worker counts and queue backends conflict.
+        let cli = parse(&["merge", "smoke", "--cache-dir", "/tmp/x", "--threads", "2"]).unwrap();
+        let err = run_merge(&cli).unwrap_err();
+        assert!(
+            err.to_string().contains("--threads does not apply"),
+            "{err}"
+        );
+        let cli = parse(&["merge", "smoke", "--cache-dir", "/tmp/x", "--queue", "heap"]).unwrap();
+        let err = run_merge(&cli).unwrap_err();
+        assert!(err.to_string().contains("--queue does not apply"), "{err}");
+        // merge still demands a cache dir and rejects shards.
+        let err = run_merge(&parse(&["merge", "smoke"]).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("needs --cache-dir"), "{err}");
+        let cli = parse(&["merge", "smoke", "--cache-dir", "/tmp/x", "--shard", "0/2"]).unwrap();
+        let err = run_merge(&cli).unwrap_err();
+        assert!(err.to_string().contains("--shard does not apply"), "{err}");
+        // --list never simulates, in grid mode or tables mode.
+        let cli = parse(&["grid", "smoke", "--list", "--threads", "2"]).unwrap();
+        let err = run_grid(&cli).unwrap_err();
+        assert!(
+            err.to_string().contains("--threads does not apply"),
+            "{err}"
+        );
+        let err = run_tables(&parse(&["--list", "--queue", "heap"]).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("--queue does not apply"), "{err}");
+        // tables mode still rejects --shard.
+        let err = run_tables(&parse(&["t1", "--shard", "0/2"]).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("only applies to grid"), "{err}");
     }
 }

@@ -53,6 +53,9 @@ pub struct RunOptions {
     pub cache_dir: Option<PathBuf>,
     /// Worker threads (`0` = one per available core).
     pub threads: usize,
+    /// Pending-event-set backend override for simulated cells (results
+    /// are identical on either; `None` = per-cell default).
+    pub event_queue: Option<dmhpc_sim::EventQueueKind>,
 }
 
 thread_local! {
@@ -78,6 +81,9 @@ pub fn run_with(id: &str, options: &RunOptions) -> Result<Option<ExpResult>, Sim
     if let Some(dir) = &options.cache_dir {
         runner = runner.cache_dir(dir)?;
     }
+    if let Some(kind) = options.event_queue {
+        runner = runner.event_queue(kind);
+    }
     RUNNER.with(|r| *r.borrow_mut() = runner);
     let result = dispatch(id);
     RUNNER.with(|r| *r.borrow_mut() = ExperimentRunner::new());
@@ -100,6 +106,33 @@ pub fn smoke_spec() -> Result<ExperimentSpec, SimError> {
         .seeds([1, 2])
         .scheduler(sched_with(MemoryPolicy::LocalOnly, default_slowdown()))
         .scheduler(sched_with(MemoryPolicy::PoolFirstFit, default_slowdown()))
+        .build()
+}
+
+/// The contention-model smoke grid: the same shape as [`smoke_spec`] but
+/// under the dynamic `Contention` slowdown, so re-dilation (and, via
+/// `repro grid smoke-contention --queue calendar` in CI, the calendar
+/// event-queue backend) is exercised end to end on every PR.
+pub fn smoke_contention_spec() -> Result<ExperimentSpec, SimError> {
+    let contention = SlowdownModel::Contention {
+        penalty: 1.5,
+        gamma: 1.0,
+    };
+    ExperimentSpec::builder("smoke-contention")
+        .preset(SystemPreset::HighThroughput, 80)
+        .pools([
+            PoolTopology::None,
+            PoolTopology::PerRack {
+                mib_per_rack: 384 * GIB,
+            },
+        ])
+        .load(0.8)
+        .seeds([1, 2])
+        .scheduler(sched_with(MemoryPolicy::PoolBestFit, contention))
+        .scheduler(sched_with(
+            MemoryPolicy::SlowdownAware { max_dilation: 1.4 },
+            contention,
+        ))
         .build()
 }
 
@@ -785,6 +818,27 @@ mod tests {
     }
 
     #[test]
+    fn smoke_contention_spec_compiles_and_differs_from_smoke() {
+        let spec = smoke_contention_spec().unwrap();
+        assert_eq!(spec.cell_count(), 8);
+        let cells = spec.compile().unwrap();
+        assert!(cells
+            .iter()
+            .all(|c| c.config.scheduler.slowdown.is_dynamic()));
+        // Distinct scheduler configs ⇒ disjoint cache keys from `smoke`.
+        let smoke_hashes: Vec<u64> = smoke_spec()
+            .unwrap()
+            .cell_hashes()
+            .unwrap()
+            .into_iter()
+            .map(|(_, h)| h)
+            .collect();
+        for (_, h) in spec.cell_hashes().unwrap() {
+            assert!(!smoke_hashes.contains(&h));
+        }
+    }
+
+    #[test]
     fn run_with_cache_dir_reuses_results() {
         let dir =
             std::env::temp_dir().join(format!("dmhpc-repro-cache-test-{}", std::process::id()));
@@ -792,6 +846,7 @@ mod tests {
         let options = RunOptions {
             cache_dir: Some(dir.clone()),
             threads: 2,
+            event_queue: None,
         };
         let cold = run_with("f2", &options).unwrap().unwrap();
         let warm = run_with("f2", &options).unwrap().unwrap();

@@ -17,6 +17,7 @@
 
 use super::EventQueue;
 use crate::time::SimTime;
+use std::cell::Cell;
 
 struct Entry<T> {
     time: u64, // microseconds; denormalized from SimTime for tight loops
@@ -39,6 +40,12 @@ pub struct CalendarQueue<T> {
     bucket_top: u128,
     count: usize,
     next_seq: u64,
+    /// Memoized current minimum as `(time, seq)`. `peek_time` on the hot
+    /// path is O(1) while this is populated; it stays valid across inserts
+    /// at-or-after the minimum (the common case — an insert *before* the
+    /// cached minimum simply replaces it) and is invalidated by pops and
+    /// rebuilds. Interior mutability because peeking is logically `&self`.
+    min_cache: Cell<Option<(u64, u64)>>,
 }
 
 const MIN_BUCKETS: usize = 8;
@@ -63,6 +70,7 @@ impl<T> CalendarQueue<T> {
             bucket_top: width as u128,
             count: 0,
             next_seq: 0,
+            min_cache: Cell::new(None),
         }
     }
 
@@ -116,6 +124,33 @@ impl<T> CalendarQueue<T> {
         best
     }
 
+    /// Locate the minimum the way `pop` would — scan forward from the
+    /// cursor accepting the first in-window entry (the calendar invariant
+    /// makes it the global minimum), falling back to [`direct_min`] only
+    /// when the next event is more than a year ahead. Non-destructive;
+    /// amortized O(1) on well-spaced workloads where `direct_min` alone
+    /// would be O(nbuckets) per call.
+    ///
+    /// [`direct_min`]: CalendarQueue::direct_min
+    fn scan_min(&self) -> Option<(usize, u64, u64)> {
+        if self.count == 0 {
+            return None;
+        }
+        let n = self.buckets.len();
+        let mut i = self.cur;
+        let mut top = self.bucket_top;
+        for _ in 0..n {
+            if let Some(e) = self.buckets[i].last() {
+                if (e.time as u128) < top {
+                    return Some((i, e.time, e.seq));
+                }
+            }
+            i = (i + 1) % n;
+            top += self.width as u128;
+        }
+        self.direct_min()
+    }
+
     fn maybe_resize(&mut self) {
         let n = self.buckets.len();
         if self.count > 2 * n {
@@ -156,6 +191,8 @@ impl<T> CalendarQueue<T> {
         }
         self.buckets = new_buckets;
         self.width = new_width;
+        // Bucket indices changed wholesale: the memoized minimum is stale.
+        self.min_cache.set(None);
         if let Some((_, t, _)) = self.direct_min() {
             self.rewind_to(t);
         } else {
@@ -183,6 +220,20 @@ impl<T> EventQueue<T> for CalendarQueue<T> {
         }
         Self::insert_entry(&mut self.buckets, self.width, Entry { time, seq, payload });
         self.count += 1;
+        // Keep the memoized minimum exact: an insert before it replaces
+        // it, an insert at-or-after leaves it valid. (seq is monotone, so
+        // a later insert at the same time never displaces it.)
+        match self.min_cache.get() {
+            Some((t, s)) if (time, seq) < (t, s) => {
+                self.min_cache.set(Some((time, seq)));
+            }
+            Some(_) => {}
+            None => {
+                if self.count == 1 {
+                    self.min_cache.set(Some((time, seq)));
+                }
+            }
+        }
         self.maybe_resize();
     }
 
@@ -190,6 +241,9 @@ impl<T> EventQueue<T> for CalendarQueue<T> {
         if self.count == 0 {
             return None;
         }
+        // The popped entry is the cached minimum; whatever follows it must
+        // be rediscovered.
+        self.min_cache.set(None);
         let n = self.buckets.len();
         let mut i = self.cur;
         let mut top = self.bucket_top;
@@ -219,9 +273,15 @@ impl<T> EventQueue<T> for CalendarQueue<T> {
     }
 
     fn peek_time(&self) -> Option<SimTime> {
-        // Peek is O(nbuckets); the simulator only uses it on the hot path
-        // through the heap implementation, so simplicity wins here.
-        self.direct_min().map(|(_, t, _)| SimTime::from_micros(t))
+        // O(1) while the memo is warm; a cursor scan — the same amortized
+        // O(1) walk `pop` does, not an O(nbuckets) sweep — refills it
+        // after a pop or rebuild.
+        if let Some((t, _)) = self.min_cache.get() {
+            return Some(SimTime::from_micros(t));
+        }
+        let found = self.scan_min();
+        self.min_cache.set(found.map(|(_, t, s)| (t, s)));
+        found.map(|(_, t, _)| SimTime::from_micros(t))
     }
 
     fn len(&self) -> usize {
@@ -329,6 +389,51 @@ mod tests {
             let (t, _) = q.pop().unwrap();
             assert_eq!(pt, t);
         }
+    }
+
+    #[test]
+    fn peek_cache_survives_inserts_on_either_side_of_min() {
+        let mut q = CalendarQueue::with_geometry(8, 1_000);
+        q.schedule(SimTime::from_secs(50), "mid");
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(50)));
+        // Insert after the minimum: memo stays valid and correct.
+        q.schedule(SimTime::from_secs(99), "late");
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(50)));
+        // Insert before the minimum: memo must be replaced.
+        q.schedule(SimTime::from_secs(1), "early");
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+        // Ties: the earlier insert keeps the minimum (FIFO).
+        q.schedule(SimTime::from_secs(1), "early-2");
+        assert_eq!(q.pop().unwrap().1, "early");
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+        assert_eq!(q.pop().unwrap().1, "early-2");
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(50)));
+        q.pop();
+        q.pop();
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn peek_across_resizes_and_years() {
+        // Push enough to force growth, spanning several "years", with
+        // peeks interleaved so the memo is exercised across rebuilds.
+        let mut q = CalendarQueue::with_geometry(8, 100);
+        let mut expected = Vec::new();
+        for i in 0..3_000u64 {
+            let t = (i * 7919) % 50_000; // scattered, many collisions
+            expected.push(t);
+            q.schedule(SimTime::from_micros(t), i);
+            if i % 17 == 0 {
+                let min = *expected.iter().min().unwrap();
+                assert_eq!(q.peek_time(), Some(SimTime::from_micros(min)));
+            }
+        }
+        expected.sort_unstable();
+        for &t in &expected {
+            assert_eq!(q.peek_time(), Some(SimTime::from_micros(t)));
+            assert_eq!(q.pop().unwrap().0, SimTime::from_micros(t));
+        }
+        assert_eq!(q.peek_time(), None);
     }
 
     #[test]

@@ -1,4 +1,17 @@
 //! Cluster runtime state: nodes, racks, pools, and the allocation ledger.
+//!
+//! Besides the ledger itself, the cluster maintains two **free-capacity
+//! indexes** that scheduling policies query on their hot path:
+//!
+//! * a sorted set of free node ids — first-fit node picks and per-rack
+//!   free-node iteration cost O(picked) instead of O(total nodes);
+//! * a pool ordering keyed by `(free space, pool id)` — best-fit pool
+//!   selection reads the tightest sufficient pool without re-sorting on
+//!   every planning call.
+//!
+//! Both are updated in [`allocate`](Cluster::allocate)/
+//! [`release`](Cluster::release) and cross-checked by
+//! [`verify_invariants`](Cluster::verify_invariants).
 
 use crate::alloc::MemoryAssignment;
 use crate::error::PlatformError;
@@ -6,7 +19,7 @@ use crate::node::NodeSpec;
 use crate::pool::MemoryPool;
 use crate::topology::PoolTopology;
 use crate::units::{MiB, NodeId, PoolId, RackId};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Static description of a whole machine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -103,7 +116,13 @@ pub struct Cluster {
     free_count: usize,
     /// Free-node count per rack, kept in sync with `holders`.
     rack_free: Vec<u32>,
+    /// Free node ids, sorted. Node ids within a rack are contiguous, so a
+    /// rack's free nodes are a range query on this set.
+    free_set: BTreeSet<u32>,
     pools: Vec<MemoryPool>,
+    /// Pools ordered by `(free MiB, pool id)`: ascending iteration is
+    /// exactly best-fit ("tightest sufficient pool first") order.
+    pool_order: BTreeSet<(MiB, u32)>,
     /// Active leases in insertion-independent (sorted) order.
     leases: BTreeMap<u64, MemoryAssignment>,
 }
@@ -119,12 +138,15 @@ impl Cluster {
                 .collect(),
             PoolTopology::Global { mib } => vec![MemoryPool::new(PoolId(0), mib)],
         };
+        let pool_order = pools.iter().map(|p| (p.free(), p.id().0)).collect();
         Cluster {
             spec,
             holders: vec![None; n],
             free_count: n,
             rack_free: vec![spec.nodes_per_rack; spec.racks as usize],
+            free_set: (0..n as u32).collect(),
             pools,
+            pool_order,
             leases: BTreeMap::new(),
         }
     }
@@ -181,13 +203,18 @@ impl Cluster {
         self.holders.get(node.0 as usize).copied().flatten()
     }
 
-    /// Iterator over free node ids in ascending order.
+    /// Iterator over free node ids in ascending order. Backed by the free
+    /// index: taking the first `k` nodes costs O(k), not O(total nodes).
     pub fn free_node_iter(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.holders
-            .iter()
-            .enumerate()
-            .filter(|(_, h)| h.is_none())
-            .map(|(i, _)| NodeId(i as u32))
+        self.free_set.iter().map(|&i| NodeId(i))
+    }
+
+    /// Iterator over the free node ids of one rack, ascending. A range
+    /// query on the free index (node ids within a rack are contiguous).
+    pub fn free_nodes_in_rack_iter(&self, rack: RackId) -> impl Iterator<Item = NodeId> + '_ {
+        let lo = rack.0 * self.spec.nodes_per_rack;
+        let hi = lo + self.spec.nodes_per_rack;
+        self.free_set.range(lo..hi).map(|&i| NodeId(i))
     }
 
     /// The lowest-indexed `n` free nodes, or `None` if fewer are free.
@@ -215,6 +242,14 @@ impl Cluster {
     /// Free MiB in a pool.
     pub fn pool_free(&self, id: PoolId) -> MiB {
         self.pools[id.0 as usize].free()
+    }
+
+    /// Pool ids ordered by ascending `(free MiB, pool id)` — best-fit
+    /// ("tightest pool first") order, maintained incrementally so callers
+    /// never re-sort. Ties break on pool id, which keeps the order fully
+    /// deterministic.
+    pub fn pools_by_free(&self) -> impl Iterator<Item = PoolId> + '_ {
+        self.pool_order.iter().map(|&(_, id)| PoolId(id))
     }
 
     /// Total pool MiB in use across the system.
@@ -276,16 +311,17 @@ impl Cluster {
         if assignment.nodes.is_empty() {
             return Err(PlatformError::EmptyAssignment);
         }
-        let mut seen = vec![false; self.holders.len()];
-        for &node in &assignment.nodes {
+        for (i, &node) in assignment.nodes.iter().enumerate() {
             let idx = node.0 as usize;
             if idx >= self.holders.len() {
                 return Err(PlatformError::NoSuchNode { node });
             }
-            if seen[idx] {
+            // Duplicate check against the prefix: assignments are small next
+            // to the machine, so this beats the O(total nodes) scratch
+            // bitmap it replaces and allocates nothing.
+            if assignment.nodes[..i].contains(&node) {
                 return Err(PlatformError::DuplicateNode { node });
             }
-            seen[idx] = true;
             if let Some(held_by) = self.holders[idx] {
                 return Err(PlatformError::NodeBusy { node, held_by });
             }
@@ -325,15 +361,17 @@ impl Cluster {
             let rack = self.rack_of(node).0 as usize;
             self.holders[node.0 as usize] = Some(lease);
             self.rack_free[rack] -= 1;
+            self.free_set.remove(&node.0);
         }
         self.free_count -= assignment.nodes.len();
         for (pool, amount) in self
             .remote_by_pool(&assignment)
             .expect("validated by can_allocate")
         {
-            self.pools[pool.0 as usize]
-                .grab(lease, amount)
-                .expect("validated by can_allocate");
+            let p = &mut self.pools[pool.0 as usize];
+            self.pool_order.remove(&(p.free(), pool.0));
+            p.grab(lease, amount).expect("validated by can_allocate");
+            self.pool_order.insert((p.free(), pool.0));
         }
         self.leases.insert(lease, assignment);
         Ok(())
@@ -350,10 +388,21 @@ impl Cluster {
             debug_assert_eq!(self.holders[node.0 as usize], Some(lease));
             self.holders[node.0 as usize] = None;
             self.rack_free[rack] += 1;
+            self.free_set.insert(node.0);
         }
         self.free_count += assignment.nodes.len();
-        for pool in self.pools.iter_mut() {
-            pool.release(lease);
+        // Touch only the pools this lease charged (computed from the
+        // assignment, as allocate did) — not every pool on the machine.
+        for (pool, _) in self
+            .remote_by_pool(&assignment)
+            .expect("released assignment was allocatable")
+        {
+            let p = &mut self.pools[pool.0 as usize];
+            let before = p.free();
+            if p.release(lease) > 0 {
+                self.pool_order.remove(&(before, pool.0));
+                self.pool_order.insert((p.free(), pool.0));
+            }
         }
         Ok(assignment)
     }
@@ -365,6 +414,21 @@ impl Cluster {
         let free = self.holders.iter().filter(|h| h.is_none()).count();
         if free != self.free_count {
             return Err(format!("free_count {} != actual {}", self.free_count, free));
+        }
+        let expect_free: BTreeSet<u32> = self
+            .holders
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.is_none())
+            .map(|(i, _)| i as u32)
+            .collect();
+        if expect_free != self.free_set {
+            return Err("free-node index out of sync with holders".into());
+        }
+        let expect_order: BTreeSet<(MiB, u32)> =
+            self.pools.iter().map(|p| (p.free(), p.id().0)).collect();
+        if expect_order != self.pool_order {
+            return Err("pool free-space ordering out of sync with pools".into());
         }
         for (r, &rf) in self.rack_free.iter().enumerate() {
             let actual = self
@@ -604,6 +668,40 @@ mod tests {
         assert_eq!(c.first_fit_nodes(3), Some(ids(&[1, 3, 4])));
         assert_eq!(c.first_fit_nodes(7), None);
         assert_eq!(c.free_node_iter().count(), 6);
+    }
+
+    #[test]
+    fn rack_free_iter_is_a_range_query() {
+        let mut c = small_cluster(PoolTopology::None);
+        c.allocate(1, MemoryAssignment::local(ids(&[0, 2, 5]), 1))
+            .unwrap();
+        let rack0: Vec<NodeId> = c.free_nodes_in_rack_iter(RackId(0)).collect();
+        assert_eq!(rack0, ids(&[1, 3]));
+        let rack1: Vec<NodeId> = c.free_nodes_in_rack_iter(RackId(1)).collect();
+        assert_eq!(rack1, ids(&[4, 6, 7]));
+        c.release(1).unwrap();
+        assert_eq!(c.free_nodes_in_rack_iter(RackId(0)).count(), 4);
+    }
+
+    #[test]
+    fn pool_order_tracks_best_fit() {
+        let mut c = small_cluster(PoolTopology::PerRack {
+            mib_per_rack: gib(512),
+        });
+        let order: Vec<PoolId> = c.pools_by_free().collect();
+        assert_eq!(order, vec![PoolId(0), PoolId(1)], "equal free: id order");
+        // Drain rack-1's pool harder than rack-0's.
+        c.allocate(1, MemoryAssignment::hybrid(ids(&[4]), gib(256), gib(300)))
+            .unwrap();
+        c.allocate(2, MemoryAssignment::hybrid(ids(&[0]), gib(256), gib(100)))
+            .unwrap();
+        let order: Vec<PoolId> = c.pools_by_free().collect();
+        assert_eq!(order, vec![PoolId(1), PoolId(0)], "tightest pool first");
+        c.verify_invariants().unwrap();
+        c.release(1).unwrap();
+        let order: Vec<PoolId> = c.pools_by_free().collect();
+        assert_eq!(order, vec![PoolId(0), PoolId(1)]);
+        c.verify_invariants().unwrap();
     }
 
     #[test]

@@ -30,7 +30,10 @@
 //!
 //! Scheduling passes mutate a [`dmhpc_platform::Cluster`] directly and
 //! return the jobs started; the simulation engine in `dmhpc-sim` wires
-//! passes to events.
+//! passes to events. Passes are **incremental** on the engine side: the
+//! planned releases of running jobs live in a persistent [`ReleaseIndex`]
+//! (sorted by planned end, updated on start/finish) and each pass receives
+//! a read-only [`ReleaseView`] instead of a freshly rebuilt release list.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,14 +43,15 @@ mod order;
 mod policy;
 mod profile;
 mod queue;
+mod release;
 mod traits;
 
 pub use memory::{MemoryPolicy, PlannedAllocation};
 pub use order::OrderPolicy;
 pub use policy::{
-    BackfillPolicy, PassResult, RunningRelease, Scheduler, SchedulerBuilder, SchedulerConfig,
-    StartedJob,
+    BackfillPolicy, PassResult, Scheduler, SchedulerBuilder, SchedulerConfig, StartedJob,
 };
 pub use profile::{AvailabilityProfile, Demand, Release};
 pub use queue::{QueuedJob, WaitQueue};
+pub use release::{ReleaseIndex, ReleaseView, RunningRelease};
 pub use traits::{Ordering, Placement};

@@ -369,7 +369,6 @@ fn place_with_pool(
     }
 
     // Per-rack capacity for this job.
-    let mut rack_order: Vec<u32> = (0..racks).collect();
     let usable = |rack: u32| -> u32 {
         let free_n = cluster.free_nodes_in_rack(RackId(rack));
         if global {
@@ -379,15 +378,20 @@ fn place_with_pool(
             free_n.min((pool_free / remote) as u32)
         }
     };
-    if best_fit {
-        if global {
-            // Pack racks with the fewest free nodes first.
-            rack_order.sort_by_key(|&r| (cluster.free_nodes_in_rack(RackId(r)), r));
-        } else {
-            // Tightest sufficient pool first.
-            rack_order.sort_by_key(|&r| (cluster.pool_free(dmhpc_platform::PoolId(r)), r));
-        }
-    }
+    let rack_order: Vec<u32> = if !best_fit {
+        // First fit: racks in index order.
+        (0..racks).collect()
+    } else if global {
+        // Pack racks with the fewest free nodes first.
+        let mut order: Vec<u32> = (0..racks).collect();
+        order.sort_by_key(|&r| (cluster.free_nodes_in_rack(RackId(r)), r));
+        order
+    } else {
+        // Tightest sufficient pool first: with per-rack pools, pool id r
+        // is rack r, and the cluster's free-space ordering is already
+        // ascending `(free, id)` — exactly best-fit order, no sort.
+        cluster.pools_by_free().map(|p| p.0).collect()
+    };
 
     let mut chosen: Vec<NodeId> = Vec::with_capacity(k as usize);
     let mut remaining = k;
@@ -399,20 +403,18 @@ fn place_with_pool(
         if take == 0 {
             continue;
         }
-        let lo = rack * spec.nodes_per_rack;
-        let hi = lo + spec.nodes_per_rack;
-        let mut got = 0;
-        for idx in lo..hi {
-            if got == take {
-                break;
-            }
-            let node = NodeId(idx);
-            if cluster.is_free(node) {
-                chosen.push(node);
-                got += 1;
-            }
-        }
-        debug_assert_eq!(got, take, "free_nodes_in_rack out of sync");
+        // Range query on the free-node index: O(take), not O(rack size).
+        let before = chosen.len();
+        chosen.extend(
+            cluster
+                .free_nodes_in_rack_iter(RackId(rack))
+                .take(take as usize),
+        );
+        debug_assert_eq!(
+            chosen.len() - before,
+            take as usize,
+            "free_nodes_in_rack out of sync"
+        );
         remaining -= take;
     }
     if remaining > 0 {

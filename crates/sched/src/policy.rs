@@ -23,9 +23,10 @@ use crate::memory::MemoryPolicy;
 use crate::order::OrderPolicy;
 use crate::profile::{AvailabilityProfile, Release};
 use crate::queue::WaitQueue;
+use crate::release::ReleaseView;
 use crate::traits::{Ordering, Placement};
 use dmhpc_des::time::{SimDuration, SimTime};
-use dmhpc_platform::{Cluster, MemoryAssignment, MiB, PlatformError, SlowdownModel};
+use dmhpc_platform::{Cluster, MemoryAssignment, PlatformError, SlowdownModel};
 use dmhpc_workload::Job;
 
 /// Backfilling flavour.
@@ -177,18 +178,6 @@ impl SchedulerBuilder {
     }
 }
 
-/// A running job's future release, as the engine reports it (walltime-based
-/// planned end — schedulers do not know true runtimes).
-#[derive(Debug, Clone)]
-pub struct RunningRelease {
-    /// Planned end (start + planned walltime).
-    pub planned_end: SimTime,
-    /// Nodes held, per rack.
-    pub nodes_per_rack: Vec<u32>,
-    /// Pool MiB held, per domain.
-    pub pool_per_domain: Vec<MiB>,
-}
-
 /// A job the pass decided to start, with everything the engine needs.
 #[derive(Debug, Clone)]
 pub struct StartedJob {
@@ -282,20 +271,23 @@ impl Scheduler {
     }
 
     /// Run one scheduling pass. Started jobs are allocated on `cluster`
-    /// (lease = job id) and removed from `queue`.
+    /// (lease = job id) and removed from `queue`. `running` is the
+    /// engine-maintained [`crate::ReleaseIndex`]'s view of planned
+    /// releases, already in ascending planned-end order — passes no longer
+    /// rebuild it.
     pub fn schedule(
         &self,
         now: SimTime,
         queue: &mut WaitQueue,
         cluster: &mut Cluster,
-        running: &[RunningRelease],
+        running: ReleaseView<'_>,
     ) -> PassResult {
         let mut result = PassResult::default();
         self.order.order(queue.entries_mut(), now);
 
         // Phase 1: greedy head starts.
-        while !queue.is_empty() {
-            let job = &queue.entries()[0].job;
+        while let Some(head) = queue.front() {
+            let job = &head.job;
             // Jobs impossible even on an idle machine are rejected here so
             // they cannot block the queue forever.
             if self
@@ -303,7 +295,7 @@ impl Scheduler {
                 .nominal_shape(job, cluster, &self.cfg.slowdown)
                 .is_none()
             {
-                let entry = queue.remove(0);
+                let entry = queue.pop_front();
                 result.rejected.push((
                     entry.job,
                     "demand exceeds machine capacity under this policy".into(),
@@ -313,7 +305,7 @@ impl Scheduler {
             let Some(plan) = self.placement.plan(job, cluster, &self.cfg.slowdown) else {
                 break; // head blocked
             };
-            let entry = queue.remove(0);
+            let entry = queue.pop_front();
             let planned_walltime = self.planned_walltime(&entry.job, plan.dilation);
             cluster
                 .allocate(entry.job.id.as_u64(), plan.assignment.clone())
@@ -330,6 +322,8 @@ impl Scheduler {
             return result;
         }
 
+        // View iteration is already (time, lease)-sorted; the profile's
+        // stable sort then sees pre-sorted input plus the started-jobs tail.
         let releases: Vec<Release> = running
             .iter()
             .map(|r| Release {
@@ -366,8 +360,7 @@ impl Scheduler {
         profile: &mut AvailabilityProfile,
         result: &mut PassResult,
     ) {
-        debug_assert!(!queue.is_empty());
-        let head = &queue.entries()[0].job;
+        let head = &queue.front().expect("easy pass needs a head").job;
         let (head_demand, head_dilation) = self
             .placement
             .nominal_shape(head, cluster, &self.cfg.slowdown)
@@ -376,7 +369,7 @@ impl Scheduler {
         let Some((shadow, head_split)) = profile.earliest_fit(now, head_wall, &head_demand) else {
             // Cannot ever fit (pool topology too small for the nominal
             // shape): reject rather than wedge the queue.
-            let entry = queue.remove(0);
+            let entry = queue.pop_front();
             result
                 .rejected
                 .push((entry.job, "nominal shape never fits the profile".into()));
@@ -387,7 +380,7 @@ impl Scheduler {
         // Scan the rest of the queue in order.
         let mut idx = 1;
         while idx < queue.len() {
-            let job = &queue.entries()[idx].job;
+            let job = &queue.get(idx).expect("idx < len").job;
             let Some(plan) = self.placement.plan(job, cluster, &self.cfg.slowdown) else {
                 idx += 1;
                 continue;
@@ -424,7 +417,7 @@ impl Scheduler {
     ) {
         let mut idx = 0;
         while idx < queue.len() {
-            let job = &queue.entries()[idx].job;
+            let job = &queue.get(idx).expect("idx < len").job;
             let (demand, dilation) = self
                 .placement
                 .nominal_shape(job, cluster, &self.cfg.slowdown)
@@ -509,6 +502,7 @@ fn release_of(cluster: &Cluster, assignment: &MemoryAssignment, end: SimTime) ->
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::release::{ReleaseIndex, RunningRelease};
     use dmhpc_platform::{ClusterSpec, NodeSpec, PoolTopology};
     use dmhpc_workload::{JobBuilder, JobId};
 
@@ -543,14 +537,15 @@ mod tests {
             .build()
     }
 
-    /// Park a lease and return its release record.
+    /// Park a lease on the cluster and track its release in the index.
     fn park(
         cluster: &mut Cluster,
+        running: &mut ReleaseIndex,
         lease: u64,
         nodes: &[u32],
         remote: u64,
         end_s: u64,
-    ) -> RunningRelease {
+    ) {
         let ids: Vec<_> = nodes.iter().map(|&n| dmhpc_platform::NodeId(n)).collect();
         let a = if remote > 0 {
             MemoryAssignment::hybrid(ids, 32 * GIB, remote)
@@ -559,11 +554,14 @@ mod tests {
         };
         cluster.allocate(lease, a.clone()).unwrap();
         let rel = release_of(cluster, &a, SimTime::from_secs(end_s));
-        RunningRelease {
-            planned_end: rel.time,
-            nodes_per_rack: rel.nodes_per_rack,
-            pool_per_domain: rel.pool_per_domain,
-        }
+        running.insert(
+            lease,
+            RunningRelease {
+                planned_end: rel.time,
+                nodes_per_rack: rel.nodes_per_rack,
+                pool_per_domain: rel.pool_per_domain,
+            },
+        );
     }
 
     fn ids(started: &[StartedJob]) -> Vec<u64> {
@@ -578,7 +576,12 @@ mod tests {
         for (id, nodes) in [(1, 2), (2, 1), (3, 4)] {
             queue.push(job(id, nodes, 100, 200), SimTime::ZERO);
         }
-        let result = sched.schedule(SimTime::ZERO, &mut queue, &mut cluster, &[]);
+        let result = sched.schedule(
+            SimTime::ZERO,
+            &mut queue,
+            &mut cluster,
+            ReleaseView::empty(),
+        );
         // Jobs 1 (2 nodes) and 2 (1 node) start; job 3 (4 nodes) blocks
         // (1 node free) and nothing is behind it to backfill.
         assert_eq!(ids(&result.started), vec![1, 2]);
@@ -592,7 +595,8 @@ mod tests {
         let sched = fcfs_easy();
         let mut cluster = small_cluster();
         // 2 nodes busy until t=100.
-        let running = vec![park(&mut cluster, 100, &[0, 1], 0, 100)];
+        let mut running = ReleaseIndex::new();
+        park(&mut cluster, &mut running, 100, &[0, 1], 0, 100);
         let mut queue = WaitQueue::new();
         // Head: needs all 4 nodes → shadow at t=100.
         queue.push(job(1, 4, 500, 1000), SimTime::ZERO);
@@ -600,10 +604,10 @@ mod tests {
         queue.push(job(2, 2, 50, 100), SimTime::ZERO);
         // Long filler (2 nodes, 400 s): would hold nodes past t=100 → no.
         queue.push(job(3, 2, 300, 400), SimTime::ZERO);
-        let result = sched.schedule(SimTime::ZERO, &mut queue, &mut cluster, &running);
+        let result = sched.schedule(SimTime::ZERO, &mut queue, &mut cluster, running.view());
         assert_eq!(ids(&result.started), vec![2]);
         assert_eq!(queue.len(), 2);
-        assert_eq!(queue.entries()[0].job.id, JobId(1), "head still first");
+        assert_eq!(queue.front().unwrap().job.id, JobId(1), "head still first");
     }
 
     #[test]
@@ -619,10 +623,9 @@ mod tests {
         // Node 0 borrows 60 GiB of the 100 GiB pool until t=100; nodes 1–2
         // are busy locally until t=100. Only node 3 and 40 GiB of pool are
         // free now.
-        let running = vec![
-            park(&mut cluster, 100, &[0], 60 * GIB, 100),
-            park(&mut cluster, 101, &[1, 2], 0, 100),
-        ];
+        let mut running = ReleaseIndex::new();
+        park(&mut cluster, &mut running, 100, &[0], 60 * GIB, 100);
+        park(&mut cluster, &mut running, 101, &[1, 2], 0, 100);
         let mut queue = WaitQueue::new();
         // Head: 1 node borrowing 100 GiB. Now: pool has only 40 free and
         // inflation (2 nodes) has only 1 free node → blocked. Shadow at
@@ -651,10 +654,10 @@ mod tests {
             .build();
         queue.push(polite, SimTime::ZERO);
 
-        let result = sched.schedule(SimTime::ZERO, &mut queue, &mut cluster, &running);
+        let result = sched.schedule(SimTime::ZERO, &mut queue, &mut cluster, running.view());
         assert_eq!(ids(&result.started), vec![3], "only the polite filler");
-        assert_eq!(queue.entries()[0].job.id, JobId(1));
-        assert_eq!(queue.entries()[1].job.id, JobId(2));
+        assert_eq!(queue.front().unwrap().job.id, JobId(1));
+        assert_eq!(queue.get(1).unwrap().job.id, JobId(2));
         cluster.verify_invariants().unwrap();
     }
 
@@ -668,11 +671,12 @@ mod tests {
         )
         .unwrap();
         let mut cluster = small_cluster();
-        let running = vec![park(&mut cluster, 100, &[0, 1], 0, 100)];
+        let mut running = ReleaseIndex::new();
+        park(&mut cluster, &mut running, 100, &[0, 1], 0, 100);
         let mut queue = WaitQueue::new();
         queue.push(job(1, 4, 500, 1000), SimTime::ZERO);
         queue.push(job(2, 1, 50, 100), SimTime::ZERO);
-        let result = sched.schedule(SimTime::ZERO, &mut queue, &mut cluster, &running);
+        let result = sched.schedule(SimTime::ZERO, &mut queue, &mut cluster, running.view());
         assert!(result.started.is_empty(), "head blocks everything");
     }
 
@@ -686,7 +690,8 @@ mod tests {
         )
         .unwrap();
         let mut cluster = small_cluster();
-        let running = vec![park(&mut cluster, 100, &[0, 1], 0, 100)];
+        let mut running = ReleaseIndex::new();
+        park(&mut cluster, &mut running, 100, &[0, 1], 0, 100);
         let mut queue = WaitQueue::new();
         // Head: all 4 nodes, reserved at t=100 for 1000 s.
         queue.push(job(1, 4, 500, 1000), SimTime::ZERO);
@@ -695,7 +700,7 @@ mod tests {
         // Third: 2 nodes, 100 s: fits NOW (2 free until t=100) without
         // delaying either reservation.
         queue.push(job(3, 2, 50, 100), SimTime::ZERO);
-        let result = sched.schedule(SimTime::ZERO, &mut queue, &mut cluster, &running);
+        let result = sched.schedule(SimTime::ZERO, &mut queue, &mut cluster, running.view());
         assert_eq!(ids(&result.started), vec![3]);
 
         // Under conservative, a job that EASY would admit but which delays
@@ -706,7 +711,7 @@ mod tests {
         queue2.push(job(4, 2, 100, 150), SimTime::ZERO);
         // (fresh pass on the mutated cluster: nodes 0-3 now: 0,1 parked +
         // job 3 on two → all busy)
-        let r2 = sched.schedule(SimTime::ZERO, &mut queue2, &mut cluster, &running);
+        let r2 = sched.schedule(SimTime::ZERO, &mut queue2, &mut cluster, running.view());
         assert!(r2.started.is_empty());
     }
 
@@ -718,7 +723,12 @@ mod tests {
         // 8 nodes on a 4-node machine.
         queue.push(job(1, 8, 100, 200), SimTime::ZERO);
         queue.push(job(2, 1, 100, 200), SimTime::ZERO);
-        let result = sched.schedule(SimTime::ZERO, &mut queue, &mut cluster, &[]);
+        let result = sched.schedule(
+            SimTime::ZERO,
+            &mut queue,
+            &mut cluster,
+            ReleaseView::empty(),
+        );
         assert_eq!(result.rejected.len(), 1);
         assert_eq!(result.rejected[0].0.id, JobId(1));
         assert_eq!(ids(&result.started), vec![2], "queue not wedged");
@@ -743,7 +753,12 @@ mod tests {
             let mut cluster = small_cluster();
             let mut queue = WaitQueue::new();
             queue.push(heavy.clone(), SimTime::ZERO);
-            let result = sched.schedule(SimTime::ZERO, &mut queue, &mut cluster, &[]);
+            let result = sched.schedule(
+                SimTime::ZERO,
+                &mut queue,
+                &mut cluster,
+                ReleaseView::empty(),
+            );
             let s = &result.started[0];
             assert!(s.dilation > 1.0);
             if expect_longer {
@@ -767,7 +782,12 @@ mod tests {
         let mut queue = WaitQueue::new();
         queue.push(job(1, 1, 100, 10_000), SimTime::ZERO);
         queue.push(job(2, 1, 100, 100), SimTime::ZERO);
-        let result = sched.schedule(SimTime::ZERO, &mut queue, &mut cluster, &[]);
+        let result = sched.schedule(
+            SimTime::ZERO,
+            &mut queue,
+            &mut cluster,
+            ReleaseView::empty(),
+        );
         assert_eq!(ids(&result.started), vec![2, 1], "short job first");
     }
 
@@ -776,7 +796,8 @@ mod tests {
         let sched = fcfs_easy();
         let build = || {
             let mut cluster = small_cluster();
-            let running = vec![park(&mut cluster, 100, &[0], 20 * GIB, 77)];
+            let mut running = ReleaseIndex::new();
+            park(&mut cluster, &mut running, 100, &[0], 20 * GIB, 77);
             let mut queue = WaitQueue::new();
             for i in 0..6 {
                 queue.push(job(i, 1 + (i % 3) as u32, 50 + i * 10, 200), SimTime::ZERO);
@@ -785,8 +806,8 @@ mod tests {
         };
         let (mut c1, r1, mut q1) = build();
         let (mut c2, r2, mut q2) = build();
-        let a = sched.schedule(SimTime::ZERO, &mut q1, &mut c1, &r1);
-        let b = sched.schedule(SimTime::ZERO, &mut q2, &mut c2, &r2);
+        let a = sched.schedule(SimTime::ZERO, &mut q1, &mut c1, r1.view());
+        let b = sched.schedule(SimTime::ZERO, &mut q2, &mut c2, r2.view());
         assert_eq!(ids(&a.started), ids(&b.started));
         for (x, y) in a.started.iter().zip(b.started.iter()) {
             assert_eq!(x.assignment, y.assignment);

@@ -14,6 +14,14 @@
 //! plain [`crate::SchedulerConfig`]. Custom policies must be deterministic
 //! (pure functions of their inputs) or they void the simulator's
 //! reproducibility guarantees.
+//!
+//! Policies run inside [`crate::Scheduler::schedule`], whose pass state is
+//! incremental: running-job releases arrive as a [`crate::ReleaseView`]
+//! over the engine's persistent [`crate::ReleaseIndex`], and placement
+//! implementations should prefer the cluster's free-capacity indexes
+//! ([`Cluster::free_node_iter`], [`Cluster::free_nodes_in_rack_iter`],
+//! [`Cluster::pools_by_free`]) over whole-machine scans — both are what
+//! keep a pass's cost proportional to what it touches.
 
 use crate::memory::PlannedAllocation;
 use crate::profile::Demand;

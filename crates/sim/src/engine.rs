@@ -1,24 +1,50 @@
-//! The simulation engine.
+//! The incremental scheduling kernel.
 //!
-//! Event loop over a stable binary-heap pending-event set. Two event kinds:
-//! job arrival and job finish. After every batch of same-instant events the
-//! engine runs one scheduling pass; under the contention slowdown model it
-//! additionally **re-dilates** running borrowers whenever pool pressure
-//! changed, converting elapsed wall time into consumed work and
-//! rescheduling the finish event (the superseded event is invalidated by a
-//! generation stamp). Work accounting is exact: a completed job's consumed
-//! work equals its base runtime by construction.
+//! Event loop over a stable pending-event set (binary heap by default,
+//! calendar queue opt-in via [`crate::EventQueueKind`]). Two event kinds:
+//! job arrival and job finish. Work done per event batch is proportional
+//! to **what changed**, not to cluster size:
+//!
+//! ## How the kernel schedules
+//!
+//! * **Event-driven passes.** A scheduling pass runs only when it can
+//!   matter: after a batch in which a job arrived or capacity was released
+//!   *and* the wait queue is non-empty. A finish that drains into an empty
+//!   queue settles re-dilation and moves on — no pass, no release-list
+//!   work. `SimOutput::passes` therefore counts at most one pass per
+//!   batch, strictly fewer than events under idle stretches.
+//! * **Persistent release index.** The planned releases backfilling
+//!   forecasts against live in a [`ReleaseIndex`] sorted by planned end,
+//!   updated when a job starts or finishes (planned ends are walltime-based
+//!   and fixed at start, so re-dilation never moves them). Each pass
+//!   receives a read-only [`dmhpc_sched::ReleaseView`] instead of a list
+//!   rebuilt from the running set — the pass's fixed cost no longer scales
+//!   with how much is running.
+//! * **Pool-scoped re-dilation.** Under the contention slowdown model the
+//!   engine keeps a per-pool borrower index plus a dirty-pool set (marked
+//!   when an allocation or release changes a pool's occupancy). Re-dilation
+//!   visits only borrowers charged to pools whose pressure actually
+//!   changed; everyone else's dilation inputs are unchanged by
+//!   construction, so skipping them is trace-exact. Re-stamped finishes
+//!   supersede the old event via a generation stamp.
+//!
+//! Determinism is unchanged: dirty-pool iteration and the borrower sets
+//! are ordered (`BTreeSet`), so the kernel reproduces the pre-incremental
+//! engine's trace hashes bit-for-bit on either queue backend (tested
+//! against golden hashes in `tests/integration.rs`). Work accounting is
+//! exact: a completed job's consumed work equals its base runtime by
+//! construction.
 
 use crate::collector::SeriesBundle;
-use crate::config::SimConfig;
+use crate::config::{EventQueueKind, SimConfig};
 use crate::error::SimError;
-use dmhpc_des::queue::{BinaryHeapQueue, EventQueue};
+use dmhpc_des::queue::{BinaryHeapQueue, CalendarQueue, EventQueue};
 use dmhpc_des::time::{SimDuration, SimTime};
 use dmhpc_metrics::{ClassThresholds, JobOutcome, JobRecord, RunData, SimReport};
 use dmhpc_platform::{Cluster, DilationInputs, MemoryAssignment};
-use dmhpc_sched::{RunningRelease, Scheduler, StartedJob, WaitQueue};
+use dmhpc_sched::{ReleaseIndex, RunningRelease, Scheduler, StartedJob, WaitQueue};
 use dmhpc_workload::{Job, JobId, Workload};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One simulation event.
 #[derive(Debug, Clone, Copy)]
@@ -35,7 +61,6 @@ struct RunningJob {
     job: Job,
     start: SimTime,
     assignment: MemoryAssignment,
-    planned_walltime: SimDuration,
     kill_time: SimTime,
     dilation_planned: f64,
     /// Current dilation factor (changes only under the contention model).
@@ -114,19 +139,40 @@ impl Simulation {
 
     /// Simulate the workload to completion.
     pub fn run(&self, workload: &Workload) -> SimOutput {
-        let mut engine = Engine::new(&self.cfg, &self.scheduler, workload);
+        match self.cfg.event_queue {
+            EventQueueKind::BinaryHeap => {
+                self.run_on(BinaryHeapQueue::with_capacity(workload.len() * 2), workload)
+            }
+            EventQueueKind::Calendar => self.run_on(CalendarQueue::new(), workload),
+        }
+    }
+
+    /// Drive the monomorphized engine on one event-queue backend.
+    fn run_on<Q: EventQueue<Event>>(&self, events: Q, workload: &Workload) -> SimOutput {
+        let mut engine = Engine::new(&self.cfg, &self.scheduler, events, workload);
         engine.drive(workload);
         engine.finalize()
     }
 }
 
-struct Engine<'a> {
+struct Engine<'a, Q: EventQueue<Event>> {
     cfg: &'a SimConfig,
     scheduler: &'a Scheduler,
     cluster: Cluster,
     queue: WaitQueue,
-    events: BinaryHeapQueue<Event>,
+    events: Q,
     running: BTreeMap<JobId, RunningJob>,
+    /// Planned releases of running jobs, sorted by planned end — handed to
+    /// every pass as a view instead of being rebuilt per pass.
+    releases: ReleaseIndex,
+    /// Per-pool-domain borrower sets (job ids charged to the pool).
+    /// Maintained only under dynamic slowdown models; empty otherwise.
+    borrowers: Vec<BTreeSet<JobId>>,
+    /// Pools whose occupancy changed since the last re-dilation.
+    dirty_pools: Vec<bool>,
+    any_dirty: bool,
+    /// Cached `slowdown.is_dynamic()`: whether re-dilation applies at all.
+    dynamic: bool,
     records: Vec<JobRecord>,
     series: SeriesBundle,
     now: SimTime,
@@ -139,14 +185,19 @@ struct Engine<'a> {
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
-impl<'a> Engine<'a> {
-    fn new(cfg: &'a SimConfig, scheduler: &'a Scheduler, workload: &Workload) -> Self {
+impl<'a, Q: EventQueue<Event>> Engine<'a, Q> {
+    fn new(
+        cfg: &'a SimConfig,
+        scheduler: &'a Scheduler,
+        mut events: Q,
+        workload: &Workload,
+    ) -> Self {
         let cluster = Cluster::new(cfg.cluster);
         let start_time = workload.first_arrival().unwrap_or(SimTime::ZERO);
-        let mut events = BinaryHeapQueue::with_capacity(workload.len() * 2);
         for (i, job) in workload.iter().enumerate() {
             events.schedule(job.arrival, Event::Arrival(i));
         }
+        let domains = cluster.pools().len();
         Engine {
             cfg,
             scheduler,
@@ -154,6 +205,11 @@ impl<'a> Engine<'a> {
             queue: WaitQueue::new(),
             events,
             running: BTreeMap::new(),
+            releases: ReleaseIndex::new(),
+            borrowers: vec![BTreeSet::new(); domains],
+            dirty_pools: vec![false; domains],
+            any_dirty: false,
+            dynamic: cfg.scheduler.slowdown.is_dynamic(),
             records: Vec::with_capacity(workload.len()),
             series: SeriesBundle::new(start_time, &cfg.cluster),
             now: start_time,
@@ -258,6 +314,11 @@ impl<'a> Engine<'a> {
         self.cluster
             .release(id.as_u64())
             .expect("running job holds a lease");
+        let release = self
+            .releases
+            .remove(id.as_u64())
+            .expect("running job is release-indexed");
+        self.note_pool_change(id, &release.pool_per_domain, false);
         self.series.on_finish(
             self.now,
             r.assignment.node_count() as u32,
@@ -292,18 +353,48 @@ impl<'a> Engine<'a> {
         max_p
     }
 
-    /// Recompute dilation of running borrowers under the contention model;
-    /// reschedule finishes whose dilation changed.
-    fn re_dilate(&mut self) {
-        if !self.cfg.scheduler.slowdown.is_dynamic() {
+    /// Record a pool-occupancy change for `job` under the dynamic model:
+    /// maintain the borrower index and mark the touched pools dirty.
+    /// `pool_per_domain` is the job's release record — exactly the pools
+    /// its nodes charge.
+    fn note_pool_change(&mut self, job: JobId, pool_per_domain: &[u64], starting: bool) {
+        if !self.dynamic {
             return;
         }
-        let ids: Vec<JobId> = self
-            .running
-            .iter()
-            .filter(|(_, r)| r.assignment.uses_pool())
-            .map(|(&id, _)| id)
-            .collect();
+        for (p, &amount) in pool_per_domain.iter().enumerate() {
+            if amount == 0 {
+                continue;
+            }
+            if starting {
+                self.borrowers[p].insert(job);
+            } else {
+                self.borrowers[p].remove(&job);
+            }
+            self.dirty_pools[p] = true;
+            self.any_dirty = true;
+        }
+    }
+
+    /// Recompute dilation of running borrowers under the contention model;
+    /// reschedule finishes whose dilation changed. Pool-scoped: only jobs
+    /// charged to pools whose occupancy changed since the last call are
+    /// visited — everyone else's dilation inputs are unchanged, so the old
+    /// whole-set sweep would have recomputed their dilation to the same
+    /// value and skipped them anyway.
+    fn re_dilate(&mut self) {
+        if !self.dynamic || !self.any_dirty {
+            return;
+        }
+        // Union of the dirty pools' borrowers, in ascending job-id order —
+        // the same deterministic order the full sweep used.
+        let mut ids: BTreeSet<JobId> = BTreeSet::new();
+        for (p, dirty) in self.dirty_pools.iter_mut().enumerate() {
+            if *dirty {
+                ids.extend(self.borrowers[p].iter().copied());
+                *dirty = false;
+            }
+        }
+        self.any_dirty = false;
         for id in ids {
             let pressure = {
                 let r = &self.running[&id];
@@ -339,19 +430,15 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// One scheduling pass; returns how many jobs started.
+    /// One scheduling pass; returns how many jobs started. The release
+    /// list is not rebuilt here — the pass reads the persistent index.
     fn pass(&mut self) -> usize {
-        let releases: Vec<RunningRelease> = self
-            .running
-            .values()
-            .map(|r| {
-                let planned_end = r.start + r.planned_walltime;
-                release_info(&self.cluster, &r.assignment, planned_end)
-            })
-            .collect();
-        let result =
-            self.scheduler
-                .schedule(self.now, &mut self.queue, &mut self.cluster, &releases);
+        let result = self.scheduler.schedule(
+            self.now,
+            &mut self.queue,
+            &mut self.cluster,
+            self.releases.view(),
+        );
         self.passes += 1;
         for (job, _reason) in result.rejected {
             self.series.on_queue_change(self.now, -1.0);
@@ -380,6 +467,13 @@ impl<'a> Engine<'a> {
             assignment.total_remote(),
         );
         self.hash_mix([4, self.now.as_micros(), job.id.0]);
+        // Index the planned release now; it never changes while running
+        // (planned ends are walltime-based, so re-dilation cannot move
+        // them) and is removed at finish.
+        let planned_end = self.now + planned_walltime;
+        let release = release_info(&self.cluster, &assignment, planned_end);
+        self.note_pool_change(job.id, &release.pool_per_domain, true);
+        self.releases.insert(job.id.as_u64(), release);
         let kill_time = if self.cfg.enforce_walltime {
             self.now + planned_walltime
         } else {
@@ -392,7 +486,6 @@ impl<'a> Engine<'a> {
             job,
             start: self.now,
             assignment,
-            planned_walltime,
             kill_time,
             dilation_planned: dilation,
             dilation,
@@ -415,10 +508,16 @@ impl<'a> Engine<'a> {
         // Pressure may have dropped (finishes): settle borrowers first so
         // the pass plans against up-to-date state.
         self.re_dilate();
-        let started = self.pass();
-        if started > 0 {
-            // New borrowers raise pressure for everyone already running.
-            self.re_dilate();
+        // Event-driven gating: with nothing queued, a pass cannot start or
+        // reject anything — skip it (and its release-view plumbing)
+        // entirely. This is what makes passes ≤ events, strictly fewer
+        // whenever finishes drain into an empty queue.
+        if !self.queue.is_empty() {
+            let started = self.pass();
+            if started > 0 {
+                // New borrowers raise pressure for everyone already running.
+                self.re_dilate();
+            }
         }
         if self.cfg.check_invariants {
             self.cluster
@@ -434,6 +533,11 @@ impl<'a> Engine<'a> {
     }
 
     fn finalize(self) -> SimOutput {
+        debug_assert!(self.releases.is_empty(), "release index drained");
+        debug_assert!(
+            self.borrowers.iter().all(BTreeSet::is_empty),
+            "borrower index drained"
+        );
         let makespan = self.now.saturating_since(self.start_time);
         let data = RunData {
             label: self.scheduler.label(),
@@ -826,5 +930,142 @@ mod tests {
         assert_eq!(out.records.len(), 0);
         assert_eq!(out.report.completed, 0);
         assert_eq!(out.events_processed, 0);
+    }
+
+    #[test]
+    fn passes_are_event_driven() {
+        // One isolated job: its arrival needs a pass, its finish drains
+        // into an empty queue and must NOT trigger one.
+        let w = Workload::from_jobs(vec![JobBuilder::new(1)
+            .nodes(1)
+            .runtime_secs(100, 200)
+            .mem_per_node(GIB)
+            .build()]);
+        let out = local_sim().run(&w);
+        assert_eq!(out.events_processed, 2, "arrival + finish");
+        assert_eq!(out.passes, 1, "only the arrival schedules");
+
+        // Widely spaced jobs (idle stretches): one pass per arrival, none
+        // per finish → passes == jobs, events == 2×jobs.
+        let spaced: Vec<_> = (0..20)
+            .map(|i| {
+                JobBuilder::new(i + 1)
+                    .arrival_secs(i * 10_000)
+                    .nodes(1)
+                    .runtime_secs(100, 200)
+                    .mem_per_node(GIB)
+                    .build()
+            })
+            .collect();
+        let out = local_sim().run(&Workload::from_jobs(spaced));
+        assert_eq!(out.events_processed, 40);
+        assert_eq!(out.passes, 20, "finishes into an empty queue skip");
+        assert!(out.passes < out.events_processed);
+    }
+
+    #[test]
+    fn calendar_backend_reproduces_heap_traces() {
+        let spec = dmhpc_workload::SystemPreset::HighThroughput.synthetic_spec(300);
+        let w = spec.generate(42);
+        let cluster = ClusterSpec::new(
+            4,
+            32,
+            NodeSpec::new(32, 192 * GIB),
+            PoolTopology::PerRack {
+                mib_per_rack: 512 * GIB,
+            },
+        );
+        // Cover both a static and the dynamic (re-dilating) model.
+        for slowdown in [
+            SlowdownModel::Saturating {
+                penalty: 1.5,
+                curvature: 3.0,
+            },
+            SlowdownModel::Contention {
+                penalty: 1.5,
+                gamma: 1.0,
+            },
+        ] {
+            let sched = SchedulerBuilder::new()
+                .memory(MemoryPolicy::PoolBestFit)
+                .slowdown(slowdown)
+                .build();
+            let cfg = SimConfig::new(cluster, sched);
+            let heap = Simulation::new(cfg).unwrap().run(&w);
+            let cal = Simulation::new(cfg.with_event_queue(crate::EventQueueKind::Calendar))
+                .unwrap()
+                .run(&w);
+            assert_eq!(heap.trace_hash, cal.trace_hash, "{slowdown:?}");
+            assert_eq!(heap.passes, cal.passes);
+            assert_eq!(heap.events_processed, cal.events_processed);
+            assert_eq!(heap.report.mean_wait_s, cal.report.mean_wait_s);
+        }
+    }
+
+    #[test]
+    fn contention_redilation_is_pool_scoped() {
+        // Two racks with separate pools. Job 9 fills rack 0 and borrows
+        // from its pool; jobs 1-4 churn rack 1's pool. Pool domains are
+        // independent, so rack-1 churn must not perturb job 9's trajectory:
+        // its record is identical whether or not the churn jobs exist.
+        let pool = PoolTopology::PerRack {
+            mib_per_rack: 512 * GIB,
+        };
+        let cluster = ClusterSpec::new(2, 4, NodeSpec::new(64, 256 * GIB), pool);
+        let model = SlowdownModel::Contention {
+            penalty: 1.5,
+            gamma: 1.0,
+        };
+        let sched = SchedulerBuilder::new()
+            .memory(MemoryPolicy::PoolBestFit)
+            .slowdown(model)
+            .build();
+        let anchor = JobBuilder::new(9)
+            .arrival_secs(0)
+            .nodes(4)
+            .runtime_secs(3000, 9000)
+            .mem_per_node(300 * GIB)
+            .intensity(1.0)
+            .build();
+        let churn: Vec<Job> = (1..=4)
+            .map(|id| {
+                JobBuilder::new(id)
+                    .arrival_secs(id * 50)
+                    .nodes(1)
+                    .runtime_secs(500, 2000)
+                    .mem_per_node(300 * GIB)
+                    .intensity(1.0)
+                    .build()
+            })
+            .collect();
+
+        let sim = |jobs: Vec<Job>| {
+            Simulation::new(SimConfig::new(cluster, sched).checked())
+                .unwrap()
+                .run(&Workload::from_jobs(jobs))
+        };
+        let alone = sim(vec![anchor.clone()]);
+        let mut with_churn_jobs = vec![anchor];
+        with_churn_jobs.extend(churn);
+        let with_churn = sim(with_churn_jobs);
+
+        assert_eq!(with_churn.report.completed, 5);
+        let solo = |out: &SimOutput| {
+            out.records
+                .iter()
+                .find(|r| r.job.id.0 == 9)
+                .cloned()
+                .unwrap()
+        };
+        let (a, b) = (solo(&alone), solo(&with_churn));
+        assert_eq!(a.finish, b.finish, "rack-1 churn leaked into rack 0");
+        assert_eq!(a.dilation_actual, b.dilation_actual);
+        // The rack-1 borrowers do contend with each other.
+        let churned = with_churn
+            .records
+            .iter()
+            .filter(|r| r.job.id.0 <= 4)
+            .any(|r| (r.dilation_actual - r.dilation_planned).abs() > 1e-9);
+        assert!(churned, "co-located borrowers should re-dilate");
     }
 }

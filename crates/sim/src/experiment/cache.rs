@@ -21,6 +21,15 @@
 //! as misses (the cell is simply re-simulated and re-stored); writes go
 //! through a per-process temporary file and an atomic rename, so
 //! concurrent shard processes can share one cache directory.
+//!
+//! One deliberate caveat: the stored output includes engine *performance
+//! counters* (`passes`), which are not part of any export (CSV/JSON carry
+//! the trace hash and the report only) and not part of the replay-identity
+//! guarantee. An engine upgrade that schedules fewer passes while
+//! producing bit-identical traces — e.g. the PR-3 incremental kernel —
+//! intentionally does **not** bump [`CACHE_FORMAT`]: old entries stay
+//! valid, their results are exact, and only the in-memory `passes` stat
+//! reflects the engine that originally simulated the cell.
 
 use super::{RunSpec, WorkloadSource};
 use crate::collector::SeriesBundle;

@@ -37,6 +37,7 @@ use std::sync::Arc;
 pub struct ExperimentRunner {
     threads: usize,
     cache: Option<ResultCache>,
+    event_queue: Option<crate::EventQueueKind>,
 }
 
 /// Workload-cache key: `(seed, load bits, cluster node count)`. Loads are
@@ -46,10 +47,7 @@ type WorkloadKey = (Option<u64>, Option<u64>, u32);
 impl ExperimentRunner {
     /// A runner using one worker per available core.
     pub fn new() -> Self {
-        ExperimentRunner {
-            threads: 0,
-            cache: None,
-        }
+        Self::default()
     }
 
     /// A runner with an explicit worker count (`0` = one per core, `1` =
@@ -57,8 +55,17 @@ impl ExperimentRunner {
     pub fn with_threads(threads: usize) -> Self {
         ExperimentRunner {
             threads,
-            cache: None,
+            ..Self::default()
         }
+    }
+
+    /// Override every simulated cell's pending-event-set backend (an
+    /// execution knob like `threads`: results — and therefore cell hashes
+    /// and cache entries — are identical on either backend, so this never
+    /// invalidates a cache).
+    pub fn event_queue(mut self, kind: crate::EventQueueKind) -> Self {
+        self.event_queue = Some(kind);
+        self
     }
 
     /// Attach a content-addressed result cache rooted at `dir` (created if
@@ -173,8 +180,12 @@ impl ExperimentRunner {
 
         let outputs = run_parallel(pending, self.threads, |(i, cell, hash)| {
             let workload = &workloads[&Self::workload_key(cell)];
+            let mut config = cell.config;
+            if let Some(kind) = self.event_queue {
+                config.event_queue = kind;
+            }
             // compile() validated every cell config.
-            let sim = Simulation::new(cell.config).expect("cell config validated by compile()");
+            let sim = Simulation::new(config).expect("cell config validated by compile()");
             (*i, cell.clone(), *hash, sim.run(workload))
         });
 
@@ -256,6 +267,26 @@ mod tests {
                 a.key.label()
             );
             assert_eq!(a.output.report.mean_wait_s, b.output.report.mean_wait_s);
+        }
+    }
+
+    #[test]
+    fn event_queue_backend_does_not_change_results() {
+        let spec = small_spec();
+        let heap = ExperimentRunner::with_threads(2).run(&spec).unwrap();
+        let calendar = ExperimentRunner::with_threads(2)
+            .event_queue(crate::EventQueueKind::Calendar)
+            .run(&spec)
+            .unwrap();
+        for (a, b) in heap.cells().iter().zip(calendar.cells()) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(
+                a.output.trace_hash,
+                b.output.trace_hash,
+                "{}",
+                a.key.label()
+            );
+            assert_eq!(a.output.passes, b.output.passes);
         }
     }
 

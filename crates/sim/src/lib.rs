@@ -44,7 +44,7 @@ pub mod scenarios;
 pub mod sweep;
 
 pub use collector::SeriesBundle;
-pub use config::SimConfig;
+pub use config::{EventQueueKind, SimConfig};
 pub use engine::{SimOutput, Simulation};
 pub use error::SimError;
 pub use experiment::{

@@ -82,12 +82,12 @@ pub mod prelude {
         Cluster, ClusterSpec, MemoryPool, MiB, NodeSpec, PlatformError, PoolTopology, SlowdownModel,
     };
     pub use dmhpc_sched::{
-        BackfillPolicy, MemoryPolicy, OrderPolicy, Ordering, Placement, SchedulerBuilder,
-        SchedulerConfig,
+        BackfillPolicy, MemoryPolicy, OrderPolicy, Ordering, Placement, ReleaseIndex, ReleaseView,
+        SchedulerBuilder, SchedulerConfig,
     };
     pub use dmhpc_sim::{
-        CellKey, CellResult, ExperimentResults, ExperimentRunner, ExperimentSpec, ResultCache,
-        RunStats, Shard, SimConfig, SimError, SimOutput, Simulation, WorkloadSource,
+        CellKey, CellResult, EventQueueKind, ExperimentResults, ExperimentRunner, ExperimentSpec,
+        ResultCache, RunStats, Shard, SimConfig, SimError, SimOutput, Simulation, WorkloadSource,
     };
     pub use dmhpc_workload::{Job, JobId, SyntheticSpec, SystemPreset, Workload, WorkloadBuilder};
 }

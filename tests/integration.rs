@@ -573,3 +573,132 @@ fn cell_hashes_stable_across_json_field_reordering() {
         ExperimentSpec::from_json(&original.replace("\"jobs\": 50", "\"jobs\": 51")).unwrap();
     assert_ne!(hashes(&a), hashes(&edited));
 }
+
+// ------------------------------------------------- incremental kernel parity
+
+/// The CI smoke grid, rebuilt through the public API (the `repro` binary
+/// owns the canonical copy; trace hashes do not depend on labels).
+fn smoke_grid() -> ExperimentSpec {
+    let saturating = SlowdownModel::Saturating {
+        penalty: 1.5,
+        curvature: 3.0,
+    };
+    let sched = |memory| {
+        SchedulerBuilder::new()
+            .memory(memory)
+            .slowdown(saturating)
+            .build()
+    };
+    ExperimentSpec::builder("smoke")
+        .preset(SystemPreset::HighThroughput, 80)
+        .pools([PoolTopology::None, per_rack(384)])
+        .load(0.8)
+        .seeds([1, 2])
+        .scheduler(sched(MemoryPolicy::LocalOnly))
+        .scheduler(sched(MemoryPolicy::PoolFirstFit))
+        .build()
+        .unwrap()
+}
+
+/// Golden trace hashes of the smoke grid, captured from the pre-incremental
+/// engine (PR 2, commit 3d49f30) in grid order. The incremental kernel must
+/// reproduce every run event-for-event: these values pin that down and
+/// also guarantee PR-2 result caches replay without invalidation.
+const SMOKE_GOLDEN_HASHES: [u64; 8] = [
+    0xf3b04e54bf756065, // no-pool   seed1 local-only
+    0xf3b04e54bf756065, // no-pool   seed1 pool-ff
+    0x7eec0cf3808dc8d9, // no-pool   seed2 local-only
+    0x7eec0cf3808dc8d9, // no-pool   seed2 pool-ff
+    0xf3b04e54bf756065, // rack pool seed1 local-only
+    0x4fff90df5dce1ecc, // rack pool seed1 pool-ff
+    0x7eec0cf3808dc8d9, // rack pool seed2 local-only
+    0xe5feb24d0cd6286a, // rack pool seed2 pool-ff
+];
+
+#[test]
+fn smoke_grid_matches_pre_refactor_golden_hashes() {
+    let spec = smoke_grid();
+    for kind in [EventQueueKind::BinaryHeap, EventQueueKind::Calendar] {
+        let results = ExperimentRunner::with_threads(1)
+            .event_queue(kind)
+            .run(&spec)
+            .unwrap();
+        assert_eq!(results.len(), SMOKE_GOLDEN_HASHES.len());
+        for (cell, &golden) in results.cells().iter().zip(&SMOKE_GOLDEN_HASHES) {
+            assert_eq!(
+                cell.output.trace_hash,
+                golden,
+                "{} on {:?} diverged from the pre-refactor engine",
+                cell.key.label(),
+                kind
+            );
+        }
+    }
+}
+
+/// Golden hashes for two contention-model runs (dynamic re-dilation is the
+/// path the pool-scoped borrower index rewrote): HighThroughput preset,
+/// 400 jobs, seed 11, on 4×32 nodes of 32 cores / 192 GiB with 384 GiB
+/// rack pools. Captured from the pre-incremental engine (PR 2).
+#[test]
+fn contention_runs_match_pre_refactor_golden_hashes() {
+    let w = SystemPreset::HighThroughput
+        .synthetic_spec(400)
+        .generate(11);
+    let cluster = ClusterSpec::new(4, 32, NodeSpec::new(32, 192 * 1024), per_rack(384));
+    let cases = [
+        (
+            MemoryPolicy::PoolBestFit,
+            SlowdownModel::Contention {
+                penalty: 1.5,
+                gamma: 1.0,
+            },
+            0x75eeea250dd55c3au64,
+        ),
+        (
+            MemoryPolicy::SlowdownAware { max_dilation: 1.4 },
+            SlowdownModel::Contention {
+                penalty: 1.6,
+                gamma: 2.0,
+            },
+            0xc150f12475f21123u64,
+        ),
+    ];
+    for (memory, slowdown, golden) in cases {
+        let sched = SchedulerBuilder::new()
+            .memory(memory)
+            .slowdown(slowdown)
+            .build();
+        let cfg = SimConfig::new(cluster, sched);
+        for kind in [EventQueueKind::BinaryHeap, EventQueueKind::Calendar] {
+            let out = Simulation::new(cfg.with_event_queue(kind)).unwrap().run(&w);
+            assert_eq!(
+                out.trace_hash,
+                golden,
+                "{}+{slowdown:?} on {kind:?} diverged from the pre-refactor engine",
+                memory.name()
+            );
+            assert!(out.passes <= out.events_processed);
+        }
+    }
+}
+
+/// The event-driven kernel schedules strictly fewer passes than events on
+/// every smoke cell (the pre-refactor engine ran exactly one per event
+/// batch — 160 of each on these cells), while reproducing its traces.
+#[test]
+fn kernel_passes_are_sparse_on_the_smoke_grid() {
+    let results = ExperimentRunner::with_threads(1)
+        .run(&smoke_grid())
+        .unwrap();
+    for cell in results.cells() {
+        assert!(
+            cell.output.passes < cell.output.events_processed,
+            "{}: {} passes for {} events — pass gating not engaged",
+            cell.key.label(),
+            cell.output.passes,
+            cell.output.events_processed
+        );
+        assert!(cell.output.passes > 0);
+    }
+}
