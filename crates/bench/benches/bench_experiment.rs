@@ -189,11 +189,65 @@ fn bench_engine_kernel(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_engine_faults(c: &mut Criterion) {
+    // Fault-path cost: the same high-load contention workload once
+    // fault-free and once under the canned fault storm (node failures,
+    // drains, pool degradations, checkpoint/restart). The `bench_gate`
+    // bounds the faults/clean throughput ratio so the availability
+    // subsystem cannot silently slow the kernel — on fault-free runs the
+    // path is dead code, and even under an active storm the overhead is
+    // interruption-work, not per-event tax.
+    const FAULT_JOBS: usize = 1_500;
+    let workload = SystemPreset::HighThroughput
+        .synthetic_spec(FAULT_JOBS)
+        .generate(29);
+    let cluster = preset_cluster(
+        SystemPreset::HighThroughput,
+        PoolTopology::PerRack {
+            mib_per_rack: 384 * 1024,
+        },
+    );
+    let sched = SchedulerBuilder::new()
+        .memory(MemoryPolicy::PoolBestFit)
+        .slowdown(SlowdownModel::Contention {
+            penalty: 1.5,
+            gamma: 1.0,
+        })
+        .build();
+    let cfg = SimConfig::new(cluster, sched);
+
+    let clean = Simulation::new(cfg).expect("valid config");
+    let faulty = Simulation::new(cfg)
+        .expect("valid config")
+        .with_fault_spec(dmhpc_bench::experiments::default_fault_scenario())
+        .expect("valid scenario");
+    let reference = faulty.run(&workload);
+    assert!(
+        reference.faults.interruptions > 0,
+        "fault storm must actually interrupt jobs at this load"
+    );
+    eprintln!(
+        "engine_faults: {} events, {} interruptions, {} resubmissions, {} failed",
+        reference.events_processed,
+        reference.faults.interruptions,
+        reference.faults.resubmissions,
+        reference.report.failed,
+    );
+
+    let mut group = c.benchmark_group("engine_faults");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(reference.events_processed));
+    group.bench_function("none", |b| b.iter(|| black_box(clean.run(&workload))));
+    group.bench_function("storm", |b| b.iter(|| black_box(faulty.run(&workload))));
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_experiment,
     bench_grid_scaling,
     bench_single_cell,
-    bench_engine_kernel
+    bench_engine_kernel,
+    bench_engine_faults
 );
 criterion_main!(benches);

@@ -10,7 +10,12 @@
 //!   (`experiment_runner/raw_cells`);
 //! * **kernel backend** — engine throughput on the calendar event queue
 //!   (`engine_kernel/calendar`) over the binary heap
-//!   (`engine_kernel/heap`), so the opt-in backend cannot silently rot.
+//!   (`engine_kernel/heap`), so the opt-in backend cannot silently rot;
+//! * **fault path** — the same workload under the canned fault storm
+//!   (`engine_faults/storm`) over its fault-free run
+//!   (`engine_faults/none`), bounding what the availability subsystem may
+//!   cost (it is dead code on fault-free runs; under faults the overhead
+//!   is interruption work plus the redone jobs, not a per-event tax).
 //!
 //! Ratios, not absolute times: CI machines vary wildly in speed, but cost
 //! relative to a same-machine reference is a property of the code. Exits
@@ -27,6 +32,8 @@ const RUN_BENCH: &str = "experiment_runner/run/1";
 const RAW_BENCH: &str = "experiment_runner/raw_cells";
 const KERNEL_CAL_BENCH: &str = "engine_kernel/calendar";
 const KERNEL_HEAP_BENCH: &str = "engine_kernel/heap";
+const FAULTS_STORM_BENCH: &str = "engine_faults/storm";
+const FAULTS_NONE_BENCH: &str = "engine_faults/none";
 
 fn mean_of(lines: &str, bench: &str) -> Result<f64, String> {
     // Last occurrence wins: re-runs append.
@@ -110,6 +117,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         baseline
             .expect_key("kernel_calendar_vs_heap_ratio")?
             .to_f64()?,
+        max_regression,
+    )?;
+    gate(
+        "fault storm vs clean kernel",
+        FAULTS_STORM_BENCH,
+        FAULTS_NONE_BENCH,
+        mean_of(&results, FAULTS_STORM_BENCH)?,
+        mean_of(&results, FAULTS_NONE_BENCH)?,
+        baseline.expect_key("faults_vs_clean_ratio")?.to_f64()?,
         max_regression,
     )?;
     println!("bench gate OK");

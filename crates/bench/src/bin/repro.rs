@@ -31,8 +31,10 @@ use std::time::Instant;
 
 fn usage() {
     eprintln!("usage: repro [--list] [--cache-dir DIR] [--threads N] [--queue heap|calendar] <id>... | all");
-    eprintln!("       repro grid  <spec.json|smoke|smoke-contention> [--shard i/n] [--cache-dir DIR] [--threads N] [--queue heap|calendar]");
-    eprintln!("       repro merge <spec.json|smoke|smoke-contention> --cache-dir DIR");
+    eprintln!("       repro grid  <spec.json|smoke|smoke-contention|smoke-faults> [--shard i/n] [--cache-dir DIR] [--threads N] [--queue heap|calendar] [--faults]");
+    eprintln!("       repro merge <spec.json|smoke|smoke-contention|smoke-faults> --cache-dir DIR [--faults]");
+    eprintln!("       --faults crosses the spec's grid with the built-in fault axis");
+    eprintln!("       (fault-free baseline + node failures/drains/pool degradations)");
     eprintln!("ids: {}", experiments::all_ids().join(" "));
 }
 
@@ -45,6 +47,8 @@ struct Cli {
     /// `None` = auto (one worker per core); validated ≥ 1 when given.
     threads: Option<usize>,
     queue: Option<EventQueueKind>,
+    /// Cross the grid with the built-in fault axis (grid/merge modes).
+    faults: bool,
     args: Vec<String>,
 }
 
@@ -63,6 +67,7 @@ fn parse_cli(raw: Vec<String>) -> Result<Cli, Box<dyn std::error::Error>> {
         shard: None,
         threads: None,
         queue: None,
+        faults: false,
         args: Vec::new(),
     };
     let mut it = raw.into_iter().peekable();
@@ -88,6 +93,7 @@ fn parse_cli(raw: Vec<String>) -> Result<Cli, Box<dyn std::error::Error>> {
         };
         match arg.as_str() {
             "--list" => cli.list = true,
+            "--faults" => cli.faults = true,
             "--cache-dir" => cli.cache_dir = Some(PathBuf::from(value(&mut it, "--cache-dir")?)),
             "--shard" => cli.shard = Some(Shard::parse(&value(&mut it, "--shard")?)?),
             "--threads" => {
@@ -131,6 +137,7 @@ fn load_spec(arg: &str) -> Result<ExperimentSpec, Box<dyn std::error::Error>> {
     match arg {
         "smoke" => return Ok(experiments::smoke_spec()?),
         "smoke-contention" => return Ok(experiments::smoke_contention_spec()?),
+        "smoke-faults" => return Ok(experiments::smoke_faults_spec()?),
         _ => {}
     }
     let text =
@@ -150,7 +157,10 @@ fn run_grid(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
         usage();
         return Err("grid mode needs a spec (a JSON file or `smoke`)".into());
     };
-    let spec = load_spec(spec_arg)?;
+    let mut spec = load_spec(spec_arg)?;
+    if cli.faults {
+        spec = experiments::with_default_faults(spec)?;
+    }
     if cli.list {
         // Listing never simulates, so execution knobs make no sense here:
         // refuse instead of silently ignoring them.
@@ -225,7 +235,11 @@ fn run_merge(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
             "--queue does not apply to merge mode (merge loads cells, never simulates)".into(),
         );
     }
-    let spec = load_spec(spec_arg)?;
+    let mut spec = load_spec(spec_arg)?;
+    if cli.faults {
+        // Merge must reconstruct exactly the grid the shards ran.
+        spec = experiments::with_default_faults(spec)?;
+    }
     let runner = ExperimentRunner::with_threads(1)
         .cache_dir(cli.cache_dir.as_ref().expect("checked above"))?;
     let start = Instant::now();
@@ -252,6 +266,9 @@ fn run_merge(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn run_tables(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
+    if cli.faults {
+        return Err("--faults only applies to grid/merge modes (tables run fixed grids)".into());
+    }
     if cli.shard.is_some() {
         // Silently running the *full* suite under a flag that promises a
         // slice would double work in fan-out scripts; refuse instead.
@@ -279,6 +296,8 @@ fn run_tables(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
             "grid: smoke-contention ({} cells)",
             contention.compile()?.len()
         );
+        let faults = experiments::smoke_faults_spec()?;
+        println!("grid: smoke-faults ({} cells)", faults.compile()?.len());
         return Ok(());
     }
     let ids: Vec<&str> = if cli.args.iter().any(|a| a == "all") {
@@ -361,6 +380,35 @@ mod tests {
         );
         let err = parse(&["grid", "smoke", "--queue", "fifo"]).unwrap_err();
         assert!(err.to_string().contains("unknown event-queue"), "{err}");
+    }
+
+    #[test]
+    fn faults_flag_parses_and_is_grid_only() {
+        assert!(parse(&["grid", "smoke", "--faults"]).unwrap().faults);
+        assert!(!parse(&["grid", "smoke"]).unwrap().faults);
+        assert!(
+            parse(&["merge", "smoke", "--cache-dir", "/tmp/x", "--faults"])
+                .unwrap()
+                .faults
+        );
+        let err = run_tables(&parse(&["t1", "--faults"]).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("grid/merge"), "{err}");
+        // Crossing a spec that already has a fault axis is refused.
+        let err = experiments::with_default_faults(experiments::smoke_faults_spec().unwrap())
+            .unwrap_err();
+        assert!(err.to_string().contains("already declares"), "{err}");
+    }
+
+    #[test]
+    fn smoke_faults_grid_compiles_with_baseline_cells() {
+        let spec = experiments::smoke_faults_spec().unwrap();
+        let cells = spec.compile().unwrap();
+        assert_eq!(
+            cells.len(),
+            2 * experiments::smoke_contention_spec().unwrap().cell_count()
+        );
+        let baseline = cells.iter().filter(|c| c.key.fault.is_none()).count();
+        assert_eq!(baseline * 2, cells.len(), "half the cells are fault-free");
     }
 
     #[test]

@@ -136,6 +136,55 @@ pub fn smoke_contention_spec() -> Result<ExperimentSpec, SimError> {
         .build()
 }
 
+/// The canned fault scenario `repro grid --faults` attaches and
+/// [`smoke_faults_spec`] builds in: a storm of node failures, periodic
+/// maintenance drains, and pool degradations, with checkpoint/restart
+/// handling. Aggressive timescales so even second-long smoke runs see
+/// interruptions.
+pub fn default_fault_scenario() -> dmhpc_sim::FaultSpec {
+    let mut gen = dmhpc_sim::FaultGenerator::quiet(21, 40_000);
+    gen.node_mtbf_s = 900;
+    gen.node_repair_s = 1_800;
+    gen.drain_interval_s = 3_000;
+    gen.drain_duration_s = 1_200;
+    gen.pool_degrade_interval_s = 5_000;
+    gen.pool_degrade_duration_s = 2_500;
+    gen.pool_degrade_factor = 0.4;
+    dmhpc_sim::FaultSpec::none()
+        .with_generator(gen)
+        .with_interrupt(dmhpc_sim::InterruptPolicy::Checkpoint { overhead_s: 120 })
+        .with_max_resubmits(2)
+}
+
+/// Cross a spec's grid with the default fault axis (a fault-free baseline
+/// plus [`default_fault_scenario`]) — what `repro grid <spec> --faults`
+/// applies. The baseline cells hash identically to the original grid's,
+/// so a shared cache serves both.
+pub fn with_default_faults(spec: ExperimentSpec) -> Result<ExperimentSpec, SimError> {
+    if !spec.faults.is_empty() {
+        return Err(SimError::spec(
+            "--faults conflicts with a spec that already declares a fault axis",
+        ));
+    }
+    ExperimentBuilder::from_spec(spec)
+        .fault(dmhpc_sim::FaultSpec::none())
+        .fault(default_fault_scenario())
+        .build()
+}
+
+/// The availability smoke grid: [`smoke_contention_spec`]'s shape crossed
+/// with the default fault axis (fault-free baseline + the canned storm),
+/// so node failures, drains, pool-degradation eviction, *and* dynamic
+/// re-dilation under faults run — sharded — on every PR.
+pub fn smoke_faults_spec() -> Result<ExperimentSpec, SimError> {
+    let base = smoke_contention_spec()?;
+    with_default_faults(
+        ExperimentBuilder::from_spec(base)
+            .name("smoke-faults")
+            .build()?,
+    )
+}
+
 fn dispatch(id: &str) -> Option<ExpResult> {
     Some(match id {
         "t1" => t1(),

@@ -13,7 +13,8 @@ use dmhpc_workload::{Job, JobId};
 use std::fmt::Write as _;
 
 /// Column headers matching [`report_csv_row`].
-pub const REPORT_CSV_HEADER: &str = "label,completed,killed,rejected,mean_wait_s,p50_wait_s,\
+pub const REPORT_CSV_HEADER: &str = "label,completed,killed,rejected,failed,interruptions,\
+rework_s,avail_util,mean_wait_s,p50_wait_s,\
 p95_wait_s,max_wait_s,mean_bsld,p95_bsld,mean_turnaround_s,makespan_h,throughput_jobs_per_day,\
 node_util,pool_util,dram_util,queue_depth_mean,queue_depth_max,borrowed_fraction,\
 mean_far_fraction,mean_dilation_borrowers,inflated_fraction,inflation_overhead_node_h,\
@@ -22,11 +23,15 @@ user_fairness";
 /// One CSV row for a report (no trailing newline).
 pub fn report_csv_row(r: &SimReport) -> String {
     format!(
-        "{},{},{},{},{:.2},{:.2},{:.2},{:.2},{:.4},{:.4},{:.2},{:.3},{:.2},{:.4},{:.4},{:.4},{:.3},{:.0},{:.4},{:.4},{:.4},{:.4},{:.3},{:.4}",
+        "{},{},{},{},{},{},{:.2},{:.4},{:.2},{:.2},{:.2},{:.2},{:.4},{:.4},{:.2},{:.3},{:.2},{:.4},{:.4},{:.4},{:.3},{:.0},{:.4},{:.4},{:.4},{:.4},{:.3},{:.4}",
         sanitize(&r.label),
         r.completed,
         r.killed,
         r.rejected,
+        r.failed,
+        r.interruptions,
+        r.rework_s,
+        r.avail_util,
         r.mean_wait_s,
         r.p50_wait_s,
         r.p95_wait_s,
@@ -85,6 +90,10 @@ pub fn report_to_value(r: &SimReport) -> Json {
         ("completed", Json::UInt(r.completed as u64)),
         ("killed", Json::UInt(r.killed as u64)),
         ("rejected", Json::UInt(r.rejected as u64)),
+        ("failed", Json::UInt(r.failed as u64)),
+        ("interruptions", Json::UInt(r.interruptions)),
+        ("rework_s", Json::F64(r.rework_s)),
+        ("avail_util", Json::F64(r.avail_util)),
         ("mean_wait_s", Json::F64(r.mean_wait_s)),
         ("p50_wait_s", Json::F64(r.p50_wait_s)),
         ("p95_wait_s", Json::F64(r.p95_wait_s)),
@@ -150,11 +159,32 @@ pub fn report_from_value(v: &Json) -> Result<SimReport, JsonError> {
             })
         })
         .collect::<Result<Vec<_>, JsonError>>()?;
+    let node_util = f("node_util")?;
     Ok(SimReport {
         label: v.expect_key("label")?.to_str()?.to_string(),
         completed: n("completed")?,
         killed: n("killed")?,
         rejected: n("rejected")?,
+        // Fault fields were introduced after PR-3; documents written by
+        // earlier engines (result-cache entries in particular) lack them
+        // and are by construction fault-free: zero counters, and
+        // availability-weighted utilization equal to plain utilization.
+        failed: match v.get("failed") {
+            Some(x) => x.to_usize()?,
+            None => 0,
+        },
+        interruptions: match v.get("interruptions") {
+            Some(x) => x.to_u64()?,
+            None => 0,
+        },
+        rework_s: match v.get("rework_s") {
+            Some(x) => x.to_f64()?,
+            None => 0.0,
+        },
+        avail_util: match v.get("avail_util") {
+            Some(x) => x.to_f64()?,
+            None => node_util,
+        },
         mean_wait_s: f("mean_wait_s")?,
         p50_wait_s: f("p50_wait_s")?,
         p95_wait_s: f("p95_wait_s")?,
@@ -164,7 +194,7 @@ pub fn report_from_value(v: &Json) -> Result<SimReport, JsonError> {
         mean_turnaround_s: f("mean_turnaround_s")?,
         makespan_h: f("makespan_h")?,
         throughput_jobs_per_day: f("throughput_jobs_per_day")?,
-        node_util: f("node_util")?,
+        node_util,
         pool_util: f("pool_util")?,
         dram_util: f("dram_util")?,
         queue_depth_mean: f("queue_depth_mean")?,
@@ -224,6 +254,7 @@ pub fn record_from_value(v: &Json) -> Result<JobRecord, JsonError> {
         "completed" => JobOutcome::Completed,
         "killed" => JobOutcome::Killed,
         "rejected" => JobOutcome::Rejected,
+        "failed" => JobOutcome::Failed,
         other => {
             return Err(JsonError {
                 message: format!("unknown job outcome {other:?}"),
@@ -257,6 +288,7 @@ fn outcome_name(o: JobOutcome) -> &'static str {
         JobOutcome::Completed => "completed",
         JobOutcome::Killed => "killed",
         JobOutcome::Rejected => "rejected",
+        JobOutcome::Failed => "failed",
     }
 }
 
@@ -322,6 +354,10 @@ mod tests {
                 dram_util: 0.25,
                 queue_depth_mean: 0.0,
                 queue_depth_max: 0.0,
+                faults: crate::FaultSummary {
+                    avail_util: 0.5,
+                    ..Default::default()
+                },
             },
             &ClassThresholds::standard(1024),
         )
@@ -392,6 +428,25 @@ mod tests {
         assert_eq!(back.start, rec.start);
         assert_eq!(back.finish, None);
         assert_eq!(back.dilation_planned, rec.dilation_planned);
+    }
+
+    #[test]
+    fn pre_fault_documents_parse_with_defaults() {
+        // A report written before the fault fields existed (PR-2/PR-3
+        // result-cache entries) must parse with zero fault counters and
+        // avail_util == node_util — not miss.
+        let mut doc = report_to_json(&report("old"));
+        for key in ["failed", "interruptions", "rework_s", "avail_util"] {
+            let needle = format!("\"{key}\"");
+            let start = doc.find(&needle).expect("field present");
+            let end = doc[start..].find('\n').unwrap() + start + 1;
+            doc.replace_range(start..end, "");
+        }
+        let back = report_from_json(&doc).unwrap();
+        assert_eq!(back.failed, 0);
+        assert_eq!(back.interruptions, 0);
+        assert_eq!(back.rework_s, 0.0);
+        assert_eq!(back.avail_util, back.node_util, "bit-equal default");
     }
 
     #[test]

@@ -12,6 +12,10 @@ pub enum JobOutcome {
     Killed,
     /// Could never run on this machine under this policy.
     Rejected,
+    /// Terminally failed under a fault scenario: interrupted more times
+    /// than the resubmission budget allows, or unservable after permanent
+    /// capacity loss. Never produced by fault-free runs.
+    Failed,
 }
 
 /// Everything the simulator knows about one finished job.
@@ -47,6 +51,17 @@ impl JobRecord {
             remote_per_node: 0,
             dilation_planned: 1.0,
             dilation_actual: 1.0,
+        }
+    }
+
+    /// A record for a job terminally failed by a fault scenario before it
+    /// ever started (e.g. permanent capacity loss left it unservable).
+    /// Jobs failed *while running* carry their final attempt's
+    /// start/finish instead — build those like completion records.
+    pub fn failed_unstarted(job: Job) -> Self {
+        JobRecord {
+            outcome: JobOutcome::Failed,
+            ..JobRecord::rejected(job)
         }
     }
 

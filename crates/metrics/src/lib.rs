@@ -28,4 +28,4 @@ mod summary;
 pub use classes::{ClassBreakdown, ClassRow, ClassThresholds, JobClass};
 pub use fairness::{jain_index, per_user_mean_waits};
 pub use jobstats::{JobOutcome, JobRecord};
-pub use summary::{RunData, SimReport};
+pub use summary::{FaultSummary, RunData, SimReport};

@@ -5,6 +5,31 @@ use crate::fairness::{jain_index, per_user_mean_waits};
 use crate::jobstats::{JobOutcome, JobRecord};
 use dmhpc_des::stats::{CdfCollector, OnlineStats};
 
+/// Fault/availability counters a run accumulates — all zero (and
+/// `avail_util == node_util`) for fault-free runs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultSummary {
+    /// Times a running job was interrupted (node failure, drain start, or
+    /// pool-degradation eviction).
+    pub interruptions: u64,
+    /// Interruptions that led to a resubmission (the rest failed
+    /// terminally).
+    pub resubmissions: u64,
+    /// Seconds of work thrown away by interruptions. Under
+    /// resubmit-from-scratch this is the aborted attempts' wall-clock
+    /// time; under checkpoint/restart it is the configured restore
+    /// overhead in work seconds (the restore itself dilates with the
+    /// restarted placement, so its realized wall cost can be higher).
+    pub rework_s: f64,
+    /// Node-seconds of capacity lost to downtime (Down/Draining nodes).
+    pub downtime_node_s: f64,
+    /// Availability-weighted node utilization: busy node-seconds over
+    /// *in-service* node-seconds. Equals plain `node_util` when no
+    /// downtime occurred; higher than it otherwise (the machine that
+    /// remained was busier than the raw denominator suggests).
+    pub avail_util: f64,
+}
+
 /// Raw inputs a simulation run hands to report computation. System-level
 /// utilizations are computed by the engine's collector (it owns the
 /// time-weighted series); everything job-derived is computed here.
@@ -26,6 +51,9 @@ pub struct RunData {
     pub queue_depth_mean: f64,
     /// Maximum queue depth.
     pub queue_depth_max: f64,
+    /// Fault/availability counters ([`FaultSummary::default`] when the run
+    /// had no fault scenario).
+    pub faults: FaultSummary,
 }
 
 /// The headline metrics of one run (one row of reproduction table T2).
@@ -39,6 +67,16 @@ pub struct SimReport {
     pub killed: usize,
     /// Jobs rejected as unrunnable.
     pub rejected: usize,
+    /// Jobs terminally failed by a fault scenario (0 for fault-free runs).
+    pub failed: usize,
+    /// Running-job interruptions by node failures, drains, and pool
+    /// degradations (0 for fault-free runs).
+    pub interruptions: u64,
+    /// Wall-clock seconds of work lost and redone due to interruptions.
+    pub rework_s: f64,
+    /// Availability-weighted node utilization (== `node_util` without
+    /// downtime).
+    pub avail_util: f64,
     /// Mean wait, seconds.
     pub mean_wait_s: f64,
     /// Median wait, seconds.
@@ -94,6 +132,7 @@ impl SimReport {
         let mut completed = 0usize;
         let mut killed = 0usize;
         let mut rejected = 0usize;
+        let mut failed = 0usize;
         let mut ran = 0usize;
         let mut borrowed = 0usize;
         let mut far = OnlineStats::new();
@@ -108,6 +147,13 @@ impl SimReport {
                 JobOutcome::Rejected => {
                     rejected += 1;
                     continue;
+                }
+                JobOutcome::Failed => {
+                    failed += 1;
+                    // Unstarted terminal failures have no wait/residence.
+                    if r.start.is_none() {
+                        continue;
+                    }
                 }
             }
             ran += 1;
@@ -139,6 +185,10 @@ impl SimReport {
             completed,
             killed,
             rejected,
+            failed,
+            interruptions: data.faults.interruptions,
+            rework_s: data.faults.rework_s,
+            avail_util: data.faults.avail_util,
             mean_wait_s: wait.mean(),
             p50_wait_s: wait_cdf.quantile(0.5),
             p95_wait_s: wait_cdf.quantile(0.95),
@@ -208,6 +258,10 @@ mod tests {
             dram_util: 0.4,
             queue_depth_mean: 2.5,
             queue_depth_max: 10.0,
+            faults: FaultSummary {
+                avail_util: 0.8,
+                ..FaultSummary::default()
+            },
         }
     }
 
@@ -222,12 +276,19 @@ mod tests {
         killed.outcome = JobOutcome::Killed;
         records.push(killed);
 
+        let mut failed = rec(5, 0, 0, 400);
+        failed.outcome = JobOutcome::Failed;
+        records.push(failed);
+        records.push(JobRecord::failed_unstarted(JobBuilder::new(6).build()));
+
         let r = SimReport::compute(&data(records), &ClassThresholds::standard(1024));
         assert_eq!(r.completed, 2);
         assert_eq!(r.killed, 1);
         assert_eq!(r.rejected, 1);
-        // Waits: 100, 300, 0 → mean 133.3
-        assert!((r.mean_wait_s - 400.0 / 3.0).abs() < 1e-9);
+        assert_eq!(r.failed, 2, "ran-then-failed plus never-started");
+        assert_eq!(r.avail_util, 0.8);
+        // Waits: 100, 300, 0 (killed), 0 (ran-then-failed) → mean 100.
+        assert!((r.mean_wait_s - 100.0).abs() < 1e-9);
         assert_eq!(r.max_wait_s, 300.0);
         assert!((r.throughput_jobs_per_day - 2.0).abs() < 1e-9);
         assert_eq!(r.node_util, 0.8);

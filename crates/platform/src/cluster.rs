@@ -12,10 +12,21 @@
 //! Both are updated in [`allocate`](Cluster::allocate)/
 //! [`release`](Cluster::release) and cross-checked by
 //! [`verify_invariants`](Cluster::verify_invariants).
+//!
+//! **Availability.** Every node carries a [`NodeState`]
+//! (`Up`/`Draining`/`Down`); the free-node indexes contain exactly the
+//! *unallocated `Up`* nodes, so the state machine and the indexes stay
+//! coherent on every transition ([`fail_node`](Cluster::fail_node),
+//! [`repair_node`](Cluster::repair_node),
+//! [`drain_node`](Cluster::drain_node),
+//! [`undrain_node`](Cluster::undrain_node)) and scheduling policies never
+//! see out-of-service capacity. Pools analogously carry a health factor
+//! ([`set_pool_health`](Cluster::set_pool_health)) that shrinks their
+//! effective capacity in the best-fit ordering.
 
 use crate::alloc::MemoryAssignment;
 use crate::error::PlatformError;
-use crate::node::NodeSpec;
+use crate::node::{NodeSpec, NodeState};
 use crate::pool::MemoryPool;
 use crate::topology::PoolTopology;
 use crate::units::{MiB, NodeId, PoolId, RackId};
@@ -113,11 +124,17 @@ pub struct Cluster {
     spec: ClusterSpec,
     /// `holders[node] = Some(lease)` when the node is allocated.
     holders: Vec<Option<u64>>,
-    free_count: usize,
-    /// Free-node count per rack, kept in sync with `holders`.
+    /// Availability state per node; only `Up` nodes are schedulable.
+    states: Vec<NodeState>,
+    /// Number of allocated nodes (independent of availability states).
+    busy_count: usize,
+    /// Number of `Up` nodes.
+    up_count: usize,
+    /// Free-node count per rack (unallocated **and** `Up`), kept in sync
+    /// with `holders` and `states`.
     rack_free: Vec<u32>,
-    /// Free node ids, sorted. Node ids within a rack are contiguous, so a
-    /// rack's free nodes are a range query on this set.
+    /// Unallocated `Up` node ids, sorted. Node ids within a rack are
+    /// contiguous, so a rack's free nodes are a range query on this set.
     free_set: BTreeSet<u32>,
     pools: Vec<MemoryPool>,
     /// Pools ordered by `(free MiB, pool id)`: ascending iteration is
@@ -142,7 +159,9 @@ impl Cluster {
         Cluster {
             spec,
             holders: vec![None; n],
-            free_count: n,
+            states: vec![NodeState::Up; n],
+            busy_count: 0,
+            up_count: n,
             rack_free: vec![spec.nodes_per_rack; spec.racks as usize],
             free_set: (0..n as u32).collect(),
             pools,
@@ -175,14 +194,20 @@ impl Cluster {
         }
     }
 
-    /// Number of free nodes.
+    /// Number of free nodes (unallocated and `Up`).
     pub fn free_nodes(&self) -> usize {
-        self.free_count
+        self.free_set.len()
     }
 
     /// Number of allocated nodes.
     pub fn used_nodes(&self) -> usize {
-        self.holders.len() - self.free_count
+        self.busy_count
+    }
+
+    /// Number of in-service (`Up`) nodes — the availability-weighted
+    /// capacity denominator.
+    pub fn available_nodes(&self) -> usize {
+        self.up_count
     }
 
     /// Free nodes in one rack.
@@ -190,17 +215,137 @@ impl Cluster {
         self.rack_free[rack.0 as usize]
     }
 
-    /// True if `node` is unallocated.
+    /// True if `node` is allocatable right now (unallocated and `Up`).
     pub fn is_free(&self, node: NodeId) -> bool {
-        self.holders
-            .get(node.0 as usize)
-            .map(|h| h.is_none())
-            .unwrap_or(false)
+        self.free_set.contains(&node.0)
     }
 
     /// The lease holding `node`, if any.
     pub fn holder(&self, node: NodeId) -> Option<u64> {
         self.holders.get(node.0 as usize).copied().flatten()
+    }
+
+    /// Availability state of `node`.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range node id — state queries come from the
+    /// engine's fault handling, which validates nodes up front.
+    pub fn node_state(&self, node: NodeId) -> NodeState {
+        self.states[node.0 as usize]
+    }
+
+    /// Take `node` out of the free indexes if it is currently free.
+    fn unindex_if_free(&mut self, node: NodeId) {
+        let rack = self.rack_of(node).0 as usize;
+        if self.free_set.remove(&node.0) {
+            self.rack_free[rack] -= 1;
+        }
+    }
+
+    /// Put `node` into the free indexes if it is unallocated and `Up`.
+    fn index_if_free(&mut self, node: NodeId) {
+        let idx = node.0 as usize;
+        let rack = self.rack_of(node).0 as usize;
+        if self.holders[idx].is_none()
+            && self.states[idx] == NodeState::Up
+            && self.free_set.insert(node.0)
+        {
+            self.rack_free[rack] += 1;
+        }
+    }
+
+    /// Move `node` to `Down` (failure). Legal from any state; returns
+    /// whether the state actually changed. The node leaves the free
+    /// indexes immediately; a lease holding it is **not** released —
+    /// interrupting that job is the engine's responsibility (check
+    /// [`holder`](Cluster::holder) before or after the transition).
+    pub fn fail_node(&mut self, node: NodeId) -> Result<bool, PlatformError> {
+        self.check_node(node)?;
+        let idx = node.0 as usize;
+        if self.states[idx] == NodeState::Down {
+            return Ok(false);
+        }
+        if self.states[idx] == NodeState::Up {
+            self.up_count -= 1;
+        }
+        self.states[idx] = NodeState::Down;
+        self.unindex_if_free(node);
+        Ok(true)
+    }
+
+    /// Return a `Down` node to service (`Down → Up`); no-op from other
+    /// states. Returns whether the state changed. An unallocated repaired
+    /// node rejoins the free indexes.
+    pub fn repair_node(&mut self, node: NodeId) -> Result<bool, PlatformError> {
+        self.check_node(node)?;
+        let idx = node.0 as usize;
+        if self.states[idx] != NodeState::Down {
+            return Ok(false);
+        }
+        self.states[idx] = NodeState::Up;
+        self.up_count += 1;
+        self.index_if_free(node);
+        Ok(true)
+    }
+
+    /// Start a maintenance drain (`Up → Draining`); no-op from other
+    /// states. Returns whether the state changed. Like
+    /// [`fail_node`](Cluster::fail_node), a lease holding the node stays
+    /// allocated until the engine interrupts it.
+    pub fn drain_node(&mut self, node: NodeId) -> Result<bool, PlatformError> {
+        self.check_node(node)?;
+        let idx = node.0 as usize;
+        if self.states[idx] != NodeState::Up {
+            return Ok(false);
+        }
+        self.states[idx] = NodeState::Draining;
+        self.up_count -= 1;
+        self.unindex_if_free(node);
+        Ok(true)
+    }
+
+    /// End a maintenance drain (`Draining → Up`); no-op from other states
+    /// (in particular a node that failed mid-drain stays `Down` until
+    /// repaired). Returns whether the state changed.
+    pub fn undrain_node(&mut self, node: NodeId) -> Result<bool, PlatformError> {
+        self.check_node(node)?;
+        let idx = node.0 as usize;
+        if self.states[idx] != NodeState::Draining {
+            return Ok(false);
+        }
+        self.states[idx] = NodeState::Up;
+        self.up_count += 1;
+        self.index_if_free(node);
+        Ok(true)
+    }
+
+    /// Set a pool's health factor (degradation: `factor < 1`, repair:
+    /// `factor = 1`), keeping the best-fit pool ordering coherent. Rejects
+    /// factors outside `(0, 1]` and unknown pools.
+    pub fn set_pool_health(&mut self, pool: PoolId, factor: f64) -> Result<(), PlatformError> {
+        if !(factor > 0.0 && factor <= 1.0) {
+            return Err(PlatformError::InvalidSpec {
+                reason: format!("pool health factor must be in (0, 1], got {factor}"),
+            });
+        }
+        let Some(p) = self.pools.get_mut(pool.0 as usize) else {
+            return Err(PlatformError::InvalidSpec {
+                reason: format!("no such pool {pool}"),
+            });
+        };
+        let before = p.free();
+        p.set_health(factor);
+        self.pool_order.remove(&(before, pool.0));
+        self.pool_order.insert((p.free(), pool.0));
+        Ok(())
+    }
+
+    fn check_node(&self, node: NodeId) -> Result<(), PlatformError> {
+        if (node.0 as usize) < self.holders.len() {
+            Ok(())
+        } else {
+            Err(PlatformError::NoSuchNode { node })
+        }
     }
 
     /// Iterator over free node ids in ascending order. Backed by the free
@@ -219,7 +364,7 @@ impl Cluster {
 
     /// The lowest-indexed `n` free nodes, or `None` if fewer are free.
     pub fn first_fit_nodes(&self, n: usize) -> Option<Vec<NodeId>> {
-        if self.free_count < n {
+        if self.free_set.len() < n {
             return None;
         }
         Some(self.free_node_iter().take(n).collect())
@@ -325,6 +470,12 @@ impl Cluster {
             if let Some(held_by) = self.holders[idx] {
                 return Err(PlatformError::NodeBusy { node, held_by });
             }
+            if self.states[idx] != NodeState::Up {
+                return Err(PlatformError::NodeUnavailable {
+                    node,
+                    state: self.states[idx].name(),
+                });
+            }
             if assignment.local_per_node > self.spec.node.local_mem {
                 return Err(PlatformError::LocalMemoryExceeded {
                     node,
@@ -356,14 +507,15 @@ impl Cluster {
             return Err(PlatformError::DuplicateLease { lease });
         }
         self.can_allocate(&assignment)?;
-        // Commit: can_allocate proved every step below succeeds.
+        // Commit: can_allocate proved every step below succeeds (every
+        // node free and Up, so each is present in the free indexes).
         for &node in &assignment.nodes {
             let rack = self.rack_of(node).0 as usize;
             self.holders[node.0 as usize] = Some(lease);
             self.rack_free[rack] -= 1;
             self.free_set.remove(&node.0);
         }
-        self.free_count -= assignment.nodes.len();
+        self.busy_count += assignment.nodes.len();
         for (pool, amount) in self
             .remote_by_pool(&assignment)
             .expect("validated by can_allocate")
@@ -384,13 +536,13 @@ impl Cluster {
             .remove(&lease)
             .ok_or(PlatformError::NoSuchLease { lease })?;
         for &node in &assignment.nodes {
-            let rack = self.rack_of(node).0 as usize;
             debug_assert_eq!(self.holders[node.0 as usize], Some(lease));
             self.holders[node.0 as usize] = None;
-            self.rack_free[rack] += 1;
-            self.free_set.insert(node.0);
+            // Only Up nodes return to the free indexes: a node that failed
+            // or started draining while allocated stays out of service.
+            self.index_if_free(node);
         }
-        self.free_count += assignment.nodes.len();
+        self.busy_count -= assignment.nodes.len();
         // Touch only the pools this lease charged (computed from the
         // assignment, as allocate did) — not every pool on the machine.
         for (pool, _) in self
@@ -407,35 +559,50 @@ impl Cluster {
         Ok(assignment)
     }
 
-    /// Full-state consistency check: holder counts, rack counters, pool
-    /// ledgers, and lease↔node cross-references all agree. O(nodes+leases);
-    /// meant for tests and debug builds, not the hot path.
+    /// Full-state consistency check: holder counts, availability states,
+    /// rack counters, pool ledgers, and lease↔node cross-references all
+    /// agree. O(nodes+leases); meant for tests and debug builds, not the
+    /// hot path.
     pub fn verify_invariants(&self) -> Result<(), String> {
-        let free = self.holders.iter().filter(|h| h.is_none()).count();
-        if free != self.free_count {
-            return Err(format!("free_count {} != actual {}", self.free_count, free));
+        let busy = self.holders.iter().filter(|h| h.is_some()).count();
+        if busy != self.busy_count {
+            return Err(format!("busy_count {} != actual {}", self.busy_count, busy));
+        }
+        let up = self.states.iter().filter(|&&s| s == NodeState::Up).count();
+        if up != self.up_count {
+            return Err(format!("up_count {} != actual {}", self.up_count, up));
         }
         let expect_free: BTreeSet<u32> = self
             .holders
             .iter()
+            .zip(&self.states)
             .enumerate()
-            .filter(|(_, h)| h.is_none())
+            .filter(|(_, (h, s))| h.is_none() && **s == NodeState::Up)
             .map(|(i, _)| i as u32)
             .collect();
         if expect_free != self.free_set {
-            return Err("free-node index out of sync with holders".into());
+            return Err("free-node index out of sync with holders/states".into());
         }
         let expect_order: BTreeSet<(MiB, u32)> =
             self.pools.iter().map(|p| (p.free(), p.id().0)).collect();
         if expect_order != self.pool_order {
             return Err("pool free-space ordering out of sync with pools".into());
         }
+        for p in &self.pools {
+            if p.used() > p.effective_capacity() {
+                return Err(format!(
+                    "pool {} over-committed: {} MiB used > {} MiB effective",
+                    p.id(),
+                    p.used(),
+                    p.effective_capacity()
+                ));
+            }
+        }
         for (r, &rf) in self.rack_free.iter().enumerate() {
             let actual = self
-                .holders
+                .free_set
                 .iter()
-                .enumerate()
-                .filter(|(i, h)| h.is_none() && *i as u32 / self.spec.nodes_per_rack == r as u32)
+                .filter(|&&i| i / self.spec.nodes_per_rack == r as u32)
                 .count() as u32;
             if rf != actual {
                 return Err(format!("rack {r}: rack_free {rf} != actual {actual}"));
@@ -448,6 +615,10 @@ impl Cluster {
                 }
             }
         }
+        // Note: a lease *may* hold a non-Up node transiently — between a
+        // fail/drain transition and the engine interrupting the job — so
+        // lease-on-Up-nodes is checked by the engine (which knows when the
+        // transition settles), not here.
         for (i, h) in self.holders.iter().enumerate() {
             if let Some(lease) = h {
                 let a = self
@@ -712,6 +883,106 @@ mod tests {
         assert_eq!(c.pool(PoolId(0)).used(), gib(300));
         assert_eq!(c.pool_free(PoolId(0)), 0);
         c.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn fail_and_repair_keep_indexes_coherent() {
+        let mut c = small_cluster(PoolTopology::None);
+        assert_eq!(c.available_nodes(), 8);
+        assert!(c.fail_node(NodeId(2)).unwrap());
+        assert!(!c.fail_node(NodeId(2)).unwrap(), "double fail is a no-op");
+        assert_eq!(c.node_state(NodeId(2)), NodeState::Down);
+        assert_eq!(c.free_nodes(), 7);
+        assert_eq!(c.available_nodes(), 7);
+        assert_eq!(c.free_nodes_in_rack(RackId(0)), 3);
+        assert!(!c.is_free(NodeId(2)));
+        c.verify_invariants().unwrap();
+
+        // A Down node cannot be allocated; first-fit skips it.
+        let err = c
+            .allocate(1, MemoryAssignment::local(ids(&[2]), 1))
+            .unwrap_err();
+        assert!(matches!(err, PlatformError::NodeUnavailable { .. }));
+        assert_eq!(c.first_fit_nodes(3), Some(ids(&[0, 1, 3])));
+
+        assert!(c.repair_node(NodeId(2)).unwrap());
+        assert!(
+            !c.repair_node(NodeId(2)).unwrap(),
+            "repairing Up is a no-op"
+        );
+        assert_eq!(c.free_nodes(), 8);
+        assert_eq!(c.available_nodes(), 8);
+        c.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn drain_state_machine() {
+        let mut c = small_cluster(PoolTopology::None);
+        assert!(c.drain_node(NodeId(5)).unwrap());
+        assert_eq!(c.node_state(NodeId(5)), NodeState::Draining);
+        assert_eq!(c.free_nodes(), 7);
+        assert!(!c.drain_node(NodeId(5)).unwrap(), "double drain no-op");
+        c.verify_invariants().unwrap();
+        // Fail during drain: node goes Down; drain-end then does nothing.
+        assert!(c.fail_node(NodeId(5)).unwrap());
+        assert!(!c.undrain_node(NodeId(5)).unwrap());
+        assert_eq!(c.node_state(NodeId(5)), NodeState::Down);
+        assert!(c.repair_node(NodeId(5)).unwrap());
+        assert_eq!(c.free_nodes(), 8);
+        c.verify_invariants().unwrap();
+        // Unknown node is a typed error.
+        assert!(matches!(
+            c.fail_node(NodeId(99)).unwrap_err(),
+            PlatformError::NoSuchNode { .. }
+        ));
+    }
+
+    #[test]
+    fn failed_busy_node_stays_out_of_service_after_release() {
+        let mut c = small_cluster(PoolTopology::None);
+        c.allocate(7, MemoryAssignment::local(ids(&[0, 1]), 1))
+            .unwrap();
+        assert!(c.fail_node(NodeId(0)).unwrap());
+        // Lease stays; the holder is still recorded (engine interrupts it).
+        assert_eq!(c.holder(NodeId(0)), Some(7));
+        assert_eq!(c.used_nodes(), 2);
+        // Release returns only the Up node to the free set.
+        c.release(7).unwrap();
+        assert_eq!(c.free_nodes(), 7);
+        assert!(!c.is_free(NodeId(0)));
+        assert!(c.is_free(NodeId(1)));
+        c.verify_invariants().unwrap();
+        c.repair_node(NodeId(0)).unwrap();
+        assert_eq!(c.free_nodes(), 8);
+        c.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn pool_degradation_feeds_best_fit_order() {
+        let mut c = small_cluster(PoolTopology::PerRack {
+            mib_per_rack: gib(512),
+        });
+        c.set_pool_health(PoolId(0), 0.25).unwrap();
+        assert_eq!(c.pool_free(PoolId(0)), gib(128));
+        let order: Vec<PoolId> = c.pools_by_free().collect();
+        assert_eq!(order, vec![PoolId(0), PoolId(1)], "degraded pool first");
+        c.verify_invariants().unwrap();
+        // Allocation is bounded by the degraded capacity.
+        let err = c
+            .allocate(1, MemoryAssignment::hybrid(ids(&[0]), gib(256), gib(200)))
+            .unwrap_err();
+        assert!(matches!(err, PlatformError::PoolExhausted { .. }));
+        c.allocate(1, MemoryAssignment::hybrid(ids(&[0]), gib(256), gib(100)))
+            .unwrap();
+        c.verify_invariants().unwrap();
+        // Restore health: full capacity returns to the ordering.
+        c.set_pool_health(PoolId(0), 1.0).unwrap();
+        assert_eq!(c.pool_free(PoolId(0)), gib(412));
+        c.verify_invariants().unwrap();
+        // Bad factors and unknown pools are typed errors.
+        assert!(c.set_pool_health(PoolId(0), 0.0).is_err());
+        assert!(c.set_pool_health(PoolId(0), 1.5).is_err());
+        assert!(c.set_pool_health(PoolId(9), 0.5).is_err());
     }
 
     #[test]

@@ -61,6 +61,14 @@ pub enum PlatformError {
     },
     /// An assignment requested zero nodes.
     EmptyAssignment,
+    /// The node exists but is not in service (`Draining` or `Down`), so it
+    /// cannot be allocated.
+    NodeUnavailable {
+        /// Offending node.
+        node: NodeId,
+        /// Its current availability state name (`draining`/`down`).
+        state: &'static str,
+    },
     /// A static description (cluster shape, node spec, slowdown model) is
     /// ill-formed. Produced by the fallible `try_new`/`validate`
     /// constructors.
@@ -102,6 +110,9 @@ impl fmt::Display for PlatformError {
                 write!(f, "node {node} listed twice in assignment")
             }
             PlatformError::EmptyAssignment => write!(f, "assignment contains no nodes"),
+            PlatformError::NodeUnavailable { node, state } => {
+                write!(f, "node {node} is {state}, not in service")
+            }
             PlatformError::InvalidSpec { reason } => write!(f, "invalid spec: {reason}"),
         }
     }

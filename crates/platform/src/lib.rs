@@ -13,6 +13,10 @@
 //! * [`SlowdownModel`] — the cost of far memory: how much a job's runtime
 //!   dilates as a function of its far-memory fraction, its memory-access
 //!   intensity, and (for the contention model) instantaneous pool pressure.
+//! * [`NodeState`] + pool health — the availability state machine: node
+//!   failures, maintenance drains, and pool bandwidth degradation, with
+//!   the cluster's free-capacity indexes kept coherent on every
+//!   transition so schedulers never place on out-of-service capacity.
 //!
 //! The crate is deliberately ignorant of jobs and schedulers: allocations
 //! are held by opaque `u64` lease ids, so the platform can be reused under
@@ -33,7 +37,7 @@ pub mod units;
 pub use alloc::MemoryAssignment;
 pub use cluster::{Cluster, ClusterSpec};
 pub use error::PlatformError;
-pub use node::NodeSpec;
+pub use node::{NodeSpec, NodeState};
 pub use pool::MemoryPool;
 pub use slowdown::{DilationInputs, SlowdownModel};
 pub use topology::PoolTopology;

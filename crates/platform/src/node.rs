@@ -1,7 +1,47 @@
-//! Compute-node specification.
+//! Compute-node specification and availability state.
 
 use crate::units::{fmt_mib, MiB};
 use std::fmt;
+
+/// Availability state of one compute node — the node half of the
+/// fault/availability state machine (the pool half is
+/// [`crate::MemoryPool`]'s health factor).
+///
+/// Transitions (enforced by [`crate::Cluster`]):
+///
+/// * `Up → Down` (failure) and `Draining → Down` — the node is lost; any
+///   job holding it is interrupted by the engine.
+/// * `Down → Up` (repair) — the node returns to service and, if
+///   unallocated, to the free-capacity indexes.
+/// * `Up → Draining` (maintenance drain start) — the node leaves the
+///   schedulable set; running work is interrupted (hard drain) so the
+///   node is free for maintenance immediately.
+/// * `Draining → Up` (drain end) — maintenance finished.
+///
+/// Only `Up` nodes are schedulable: the cluster's free-node indexes
+/// contain exactly the unallocated `Up` nodes, so placement policies are
+/// availability-aware without any extra checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NodeState {
+    /// In service and schedulable.
+    #[default]
+    Up,
+    /// Out of the schedulable set for maintenance; returns via drain-end.
+    Draining,
+    /// Failed; returns via repair.
+    Down,
+}
+
+impl NodeState {
+    /// Stable name for reports and errors.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NodeState::Up => "up",
+            NodeState::Draining => "draining",
+            NodeState::Down => "down",
+        }
+    }
+}
 
 /// Static description of one compute node. Clusters here are homogeneous —
 /// the norm for the capability systems this study targets — so one spec

@@ -7,12 +7,27 @@ use std::collections::BTreeMap;
 /// One fabric-attached memory pool. Tracks capacity, current usage, a
 /// high-water mark, and exactly which lease holds how much — the ledger is
 /// what makes end-of-simulation conservation checks possible.
+///
+/// A pool also carries a **health factor** in `(0, 1]`: the fraction of
+/// nominal capacity (and fabric bandwidth) currently available. Degrading
+/// a pool shrinks its [`effective_capacity`](MemoryPool::effective_capacity)
+/// — which both [`free`](MemoryPool::free) and
+/// [`pressure`](MemoryPool::pressure) are computed against — so placement
+/// stops counting the lost capacity and the contention slowdown model sees
+/// the elevated pressure. Degradation can leave `used` above the effective
+/// capacity momentarily; whoever degrades must evict borrowers (the
+/// engine interrupts them within the same event) **before** the next
+/// [`crate::Cluster::verify_invariants`] call, which treats an
+/// over-committed pool as an error — the check runs at settled points
+/// (batch ends), never mid-transition.
 #[derive(Debug, Clone)]
 pub struct MemoryPool {
     id: PoolId,
     capacity: MiB,
     used: MiB,
     peak: MiB,
+    /// Availability factor in `(0, 1]`; 1 = fully healthy.
+    health: f64,
     /// Lease → MiB held. BTreeMap for deterministic iteration order.
     ledger: BTreeMap<u64, MiB>,
 }
@@ -26,6 +41,7 @@ impl MemoryPool {
             capacity,
             used: 0,
             peak: 0,
+            health: 1.0,
             ledger: BTreeMap::new(),
         }
     }
@@ -35,9 +51,32 @@ impl MemoryPool {
         self.id
     }
 
-    /// Total capacity in MiB.
+    /// Nominal (healthy) capacity in MiB.
     pub fn capacity(&self) -> MiB {
         self.capacity
+    }
+
+    /// Current health factor in `(0, 1]`.
+    pub fn health(&self) -> f64 {
+        self.health
+    }
+
+    /// Capacity actually available at the current health:
+    /// `floor(capacity × health)`.
+    pub fn effective_capacity(&self) -> MiB {
+        if self.health >= 1.0 {
+            self.capacity
+        } else {
+            (self.capacity as f64 * self.health).floor() as MiB
+        }
+    }
+
+    /// Set the health factor. Callers must keep it in `(0, 1]`; the
+    /// cluster-level transition API validates. Does **not** evict
+    /// borrowers — `used` may exceed the new effective capacity until the
+    /// engine interrupts enough of them.
+    pub fn set_health(&mut self, health: f64) {
+        self.health = health;
     }
 
     /// Currently allocated MiB.
@@ -45,9 +84,10 @@ impl MemoryPool {
         self.used
     }
 
-    /// Free MiB.
+    /// Free MiB at the current health (0 while over-committed after a
+    /// degradation).
     pub fn free(&self) -> MiB {
-        self.capacity - self.used
+        self.effective_capacity().saturating_sub(self.used)
     }
 
     /// High-water mark of `used` over the pool's lifetime.
@@ -55,12 +95,17 @@ impl MemoryPool {
         self.peak
     }
 
-    /// Fraction of capacity in use (0 for a zero-capacity pool).
+    /// Fraction of the **effective** capacity in use (0 for a
+    /// zero-capacity pool). Degrading a pool therefore raises the pressure
+    /// its borrowers feed into the contention slowdown model — the
+    /// bandwidth-degradation effect. May exceed 1 transiently while the
+    /// engine evicts borrowers after a degradation.
     pub fn pressure(&self) -> f64 {
-        if self.capacity == 0 {
+        let effective = self.effective_capacity();
+        if effective == 0 {
             0.0
         } else {
-            self.used as f64 / self.capacity as f64
+            self.used as f64 / effective as f64
         }
     }
 
@@ -72,6 +117,13 @@ impl MemoryPool {
     /// Number of leases currently holding pool memory.
     pub fn lease_count(&self) -> usize {
         self.ledger.len()
+    }
+
+    /// `(lease, MiB held)` pairs in ascending lease order — the
+    /// deterministic order the engine evicts borrowers in when a
+    /// degradation leaves the pool over-committed.
+    pub fn holders(&self) -> impl Iterator<Item = (u64, MiB)> + '_ {
+        self.ledger.iter().map(|(&l, &m)| (l, m))
     }
 
     /// Reserve `amount` MiB for `lease` (additive if the lease already holds
@@ -188,5 +240,36 @@ mod tests {
         let mut p = pool(200);
         p.grab(1, 50).unwrap();
         assert!((p.pressure() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degradation_shrinks_effective_capacity_and_raises_pressure() {
+        let mut p = pool(1000);
+        p.grab(1, 400).unwrap();
+        assert_eq!(p.free(), 600);
+        p.set_health(0.5);
+        assert_eq!(p.effective_capacity(), 500);
+        assert_eq!(p.free(), 100);
+        assert!((p.pressure() - 0.8).abs() < 1e-12, "pressure vs effective");
+        // Grabs are bounded by the degraded capacity.
+        assert!(p.grab(2, 200).is_err());
+        p.grab(2, 100).unwrap();
+        assert_eq!(p.free(), 0);
+        // Restore: full capacity returns.
+        p.set_health(1.0);
+        assert_eq!(p.free(), 500);
+        assert!(p.verify());
+    }
+
+    #[test]
+    fn degradation_below_usage_reports_zero_free_not_underflow() {
+        let mut p = pool(1000);
+        p.grab(1, 800).unwrap();
+        p.set_health(0.5);
+        assert_eq!(p.free(), 0, "over-committed pool has nothing free");
+        assert!(p.pressure() > 1.0, "transiently over unit pressure");
+        assert!(p.verify(), "ledger itself stays consistent");
+        let holders: Vec<_> = p.holders().collect();
+        assert_eq!(holders, vec![(1, 800)]);
     }
 }

@@ -341,11 +341,24 @@ impl Scheduler {
             .collect();
         let mut profile = AvailabilityProfile::from_cluster(now, cluster, &releases);
 
+        // The profile only sees current free capacity plus running-job
+        // releases; it knows nothing about scheduled repairs or drain
+        // ends. On a degraded machine (out-of-service nodes or degraded
+        // pools), "never fits the profile" may therefore be transient —
+        // such jobs stay queued instead of being rejected, and the engine
+        // fails them terminally only once no event can restore capacity.
+        // On a healthy machine the predicate is always false, so the
+        // pre-fault rejection behaviour is untouched.
+        let degraded = cluster.available_nodes() < cluster.total_nodes() as usize
+            || cluster.pools().iter().any(|p| p.health() < 1.0);
+
         match self.cfg.backfill {
             BackfillPolicy::None => unreachable!("handled above"),
-            BackfillPolicy::Easy => self.easy_pass(now, queue, cluster, &mut profile, &mut result),
+            BackfillPolicy::Easy => {
+                self.easy_pass(now, queue, cluster, degraded, &mut profile, &mut result)
+            }
             BackfillPolicy::Conservative => {
-                self.conservative_pass(now, queue, cluster, &mut profile, &mut result)
+                self.conservative_pass(now, queue, cluster, degraded, &mut profile, &mut result)
             }
         }
         result
@@ -357,6 +370,7 @@ impl Scheduler {
         now: SimTime,
         queue: &mut WaitQueue,
         cluster: &mut Cluster,
+        degraded: bool,
         profile: &mut AvailabilityProfile,
         result: &mut PassResult,
     ) {
@@ -367,8 +381,14 @@ impl Scheduler {
             .expect("head rejected in phase 1 if impossible");
         let head_wall = self.planned_walltime(head, head_dilation);
         let Some((shadow, head_split)) = profile.earliest_fit(now, head_wall, &head_demand) else {
-            // Cannot ever fit (pool topology too small for the nominal
-            // shape): reject rather than wedge the queue.
+            if degraded {
+                // Capacity lost to faults may return (pending repair /
+                // drain-end): keep the head queued and skip backfilling
+                // (no reservation to protect it against).
+                return;
+            }
+            // Healthy machine: cannot ever fit (pool topology too small
+            // for the nominal shape) — reject rather than wedge the queue.
             let entry = queue.pop_front();
             result
                 .rejected
@@ -412,6 +432,7 @@ impl Scheduler {
         now: SimTime,
         queue: &mut WaitQueue,
         cluster: &mut Cluster,
+        degraded: bool,
         profile: &mut AvailabilityProfile,
         result: &mut PassResult,
     ) {
@@ -424,6 +445,12 @@ impl Scheduler {
                 .expect("impossible jobs rejected in phase 1");
             let wall = self.planned_walltime(job, dilation);
             let Some((start, split)) = profile.earliest_fit(now, wall, &demand) else {
+                if degraded {
+                    // Transiently unservable (see `schedule`): keep it
+                    // queued, unreserved, and move on.
+                    idx += 1;
+                    continue;
+                }
                 let entry = queue.remove(idx);
                 result
                     .rejected

@@ -34,14 +34,30 @@
 //! against golden hashes in `tests/integration.rs`). Work accounting is
 //! exact: a completed job's consumed work equals its base runtime by
 //! construction.
+//!
+//! ## Fault events
+//!
+//! A run may carry a [`FaultSpec`]: node failures/repairs, maintenance
+//! drain windows, and pool degradations arrive as a third event kind.
+//! Displaced jobs are interrupted *within* the event that displaced them
+//! (released, then resubmitted or checkpoint-restarted per
+//! [`InterruptPolicy`], or terminally failed once their resubmission
+//! budget is spent), so by every batch end no job occupies a non-`Up`
+//! node and no pool is over its degraded capacity — both checked in
+//! `check_invariants` mode. Restarted jobs resume at a generation above
+//! every earlier attempt's, so stale finish events stay stale. With
+//! [`FaultSpec::none`] (the default) no fault event exists and every
+//! fault branch is dead: traces are bit-identical to the pre-fault
+//! engine (golden-hash tested).
 
 use crate::collector::SeriesBundle;
 use crate::config::{EventQueueKind, SimConfig};
 use crate::error::SimError;
+use crate::faults::{FaultAction, FaultSpec, InterruptPolicy};
 use dmhpc_des::queue::{BinaryHeapQueue, CalendarQueue, EventQueue};
 use dmhpc_des::time::{SimDuration, SimTime};
-use dmhpc_metrics::{ClassThresholds, JobOutcome, JobRecord, RunData, SimReport};
-use dmhpc_platform::{Cluster, DilationInputs, MemoryAssignment};
+use dmhpc_metrics::{ClassThresholds, FaultSummary, JobOutcome, JobRecord, RunData, SimReport};
+use dmhpc_platform::{Cluster, DilationInputs, MemoryAssignment, NodeState};
 use dmhpc_sched::{ReleaseIndex, RunningRelease, Scheduler, StartedJob, WaitQueue};
 use dmhpc_workload::{Job, JobId, Workload};
 use std::collections::{BTreeMap, BTreeSet};
@@ -53,6 +69,21 @@ enum Event {
     Arrival(usize),
     /// A running job reached its (possibly superseded) end time.
     Finish { job: JobId, generation: u32 },
+    /// A machine perturbation from the run's [`FaultSpec`] (never
+    /// scheduled on fault-free runs, which keep the exact pre-fault code
+    /// path).
+    Fault(FaultAction),
+}
+
+/// Per-job fault bookkeeping, kept only for jobs that were interrupted.
+#[derive(Debug, Clone, Copy, Default)]
+struct FaultMeta {
+    /// Resubmissions consumed so far.
+    resubmits: u32,
+    /// Generation the job's *next* start begins at — strictly above every
+    /// generation of earlier attempts, so stale finish events from an
+    /// interrupted attempt can never match a later one.
+    next_gen: u32,
 }
 
 /// Execution state of a running job.
@@ -92,13 +123,18 @@ pub struct SimOutput {
     pub trace_hash: u64,
     /// Time of the last processed event.
     pub end_time: SimTime,
+    /// Fault/availability counters (all-default for fault-free runs,
+    /// where `faults.avail_util == report.node_util` exactly).
+    pub faults: FaultSummary,
 }
 
-/// A configured simulator. `run` is a pure function of the workload.
+/// A configured simulator. `run` is a pure function of the workload (and
+/// the attached [`FaultSpec`], itself pure data).
 #[derive(Debug)]
 pub struct Simulation {
     cfg: SimConfig,
     scheduler: Scheduler,
+    faults: FaultSpec,
 }
 
 impl Simulation {
@@ -109,7 +145,11 @@ impl Simulation {
     pub fn new(cfg: SimConfig) -> Result<Self, SimError> {
         cfg.cluster.validate()?;
         let scheduler = Scheduler::new(cfg.scheduler)?;
-        Ok(Simulation { cfg, scheduler })
+        Ok(Simulation {
+            cfg,
+            scheduler,
+            faults: FaultSpec::none(),
+        })
     }
 
     /// Build a simulator with custom [`dmhpc_sched::Ordering`] /
@@ -123,12 +163,31 @@ impl Simulation {
     ) -> Result<Self, SimError> {
         cfg.cluster.validate()?;
         let scheduler = Scheduler::with_policies(cfg.scheduler, order, placement)?;
-        Ok(Simulation { cfg, scheduler })
+        Ok(Simulation {
+            cfg,
+            scheduler,
+            faults: FaultSpec::none(),
+        })
+    }
+
+    /// Attach a fault/availability scenario, validating its parameters and
+    /// that every fixed action targets a node/pool this machine has.
+    /// [`FaultSpec::none`] (the default) reproduces fault-free behaviour
+    /// bit-for-bit.
+    pub fn with_fault_spec(mut self, faults: FaultSpec) -> Result<Self, SimError> {
+        faults.validate_for(&self.cfg.cluster)?;
+        self.faults = faults;
+        Ok(self)
     }
 
     /// This simulator's configuration.
     pub fn config(&self) -> &SimConfig {
         &self.cfg
+    }
+
+    /// The attached fault scenario ([`FaultSpec::none`] by default).
+    pub fn fault_spec(&self) -> &FaultSpec {
+        &self.faults
     }
 
     /// The label reports carry: the active policy triple (reflects custom
@@ -139,17 +198,34 @@ impl Simulation {
 
     /// Simulate the workload to completion.
     pub fn run(&self, workload: &Workload) -> SimOutput {
+        // Expanding the scenario is a pure function of (spec, machine);
+        // FaultSpec::none() yields an empty list and the pre-fault path.
+        let fault_events = self.faults.materialize(&self.cfg.cluster);
         match self.cfg.event_queue {
-            EventQueueKind::BinaryHeap => {
-                self.run_on(BinaryHeapQueue::with_capacity(workload.len() * 2), workload)
-            }
-            EventQueueKind::Calendar => self.run_on(CalendarQueue::new(), workload),
+            EventQueueKind::BinaryHeap => self.run_on(
+                BinaryHeapQueue::with_capacity(workload.len() * 2),
+                workload,
+                &fault_events,
+            ),
+            EventQueueKind::Calendar => self.run_on(CalendarQueue::new(), workload, &fault_events),
         }
     }
 
     /// Drive the monomorphized engine on one event-queue backend.
-    fn run_on<Q: EventQueue<Event>>(&self, events: Q, workload: &Workload) -> SimOutput {
-        let mut engine = Engine::new(&self.cfg, &self.scheduler, events, workload);
+    fn run_on<Q: EventQueue<Event>>(
+        &self,
+        events: Q,
+        workload: &Workload,
+        fault_events: &[(SimTime, FaultAction)],
+    ) -> SimOutput {
+        let mut engine = Engine::new(
+            &self.cfg,
+            &self.scheduler,
+            &self.faults,
+            events,
+            workload,
+            fault_events,
+        );
         engine.drive(workload);
         engine.finalize()
     }
@@ -158,6 +234,11 @@ impl Simulation {
 struct Engine<'a, Q: EventQueue<Event>> {
     cfg: &'a SimConfig,
     scheduler: &'a Scheduler,
+    faults: &'a FaultSpec,
+    /// Whether this run has any fault events at all: false keeps every
+    /// fault-handling branch dead, preserving bit-identical fault-free
+    /// traces.
+    faults_active: bool,
     cluster: Cluster,
     queue: WaitQueue,
     events: Q,
@@ -180,6 +261,21 @@ struct Engine<'a, Q: EventQueue<Event>> {
     events_processed: u64,
     passes: u64,
     trace_hash: u64,
+    /// Fault bookkeeping for interrupted jobs (empty on fault-free runs).
+    fault_meta: BTreeMap<JobId, FaultMeta>,
+    /// Accumulating fault counters (availability fields finalized last).
+    summary: FaultSummary,
+    /// Availability breakpoints `(time, in-service nodes)`, starting at
+    /// `(start_time, total)`; appended on every change. Only fault events
+    /// append, so the list stays tiny. Kept as breakpoints (not a running
+    /// integral) because the metrics window is clamped to the last
+    /// job-affecting event at finalize, which is unknown until then.
+    avail_points: Vec<(SimTime, usize)>,
+    /// Time of the last job-affecting event (arrival, finish, interrupt,
+    /// start, rejection). Fault runs clamp every time-based metric to
+    /// this instant: repair/drain-end events trailing the last job must
+    /// not stretch makespan and dilute the utilizations.
+    last_job_time: SimTime,
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -189,18 +285,33 @@ impl<'a, Q: EventQueue<Event>> Engine<'a, Q> {
     fn new(
         cfg: &'a SimConfig,
         scheduler: &'a Scheduler,
+        faults: &'a FaultSpec,
         mut events: Q,
         workload: &Workload,
+        fault_events: &[(SimTime, FaultAction)],
     ) -> Self {
         let cluster = Cluster::new(cfg.cluster);
-        let start_time = workload.first_arrival().unwrap_or(SimTime::ZERO);
+        let mut start_time = workload.first_arrival().unwrap_or(SimTime::ZERO);
+        if let Some(&(first_fault, _)) = fault_events.first() {
+            // Faults may precede the first arrival; the clock (and the
+            // series origin) must not jump backwards onto them.
+            start_time = start_time.min_of(first_fault);
+        }
         for (i, job) in workload.iter().enumerate() {
             events.schedule(job.arrival, Event::Arrival(i));
         }
+        // After arrivals, so a same-instant arrival processes before the
+        // fault that might take its capacity (both backends are stable).
+        for &(at, action) in fault_events {
+            events.schedule(at, Event::Fault(action));
+        }
         let domains = cluster.pools().len();
+        let avail_points = vec![(start_time, cluster.available_nodes())];
         Engine {
             cfg,
             scheduler,
+            faults,
+            faults_active: !fault_events.is_empty(),
             cluster,
             queue: WaitQueue::new(),
             events,
@@ -217,6 +328,10 @@ impl<'a, Q: EventQueue<Event>> Engine<'a, Q> {
             events_processed: 0,
             passes: 0,
             trace_hash: FNV_OFFSET,
+            fault_meta: BTreeMap::new(),
+            summary: FaultSummary::default(),
+            avail_points,
+            last_job_time: start_time,
         }
     }
 
@@ -237,13 +352,28 @@ impl<'a, Q: EventQueue<Event>> Engine<'a, Q> {
                 }
                 // Events drained but jobs still queued: they must start on
                 // the (partially) empty machine now.
+                let before = self.queue.len();
                 let started = self.pass();
-                assert!(
-                    started > 0,
-                    "scheduler wedged: {} queued jobs, {} running, no events",
-                    self.queue.len(),
-                    self.running.len()
-                );
+                if started == 0 && self.queue.len() == before {
+                    if self.faults_active {
+                        // Permanent capacity loss (failed nodes with no
+                        // pending repair) can leave a job unservable even
+                        // though it fit the healthy machine. No event can
+                        // change anything anymore, so it fails terminally
+                        // instead of wedging the drain.
+                        let entry = self.queue.pop_front();
+                        self.series.on_queue_change(self.now, -1.0);
+                        self.hash_mix([13, self.now.as_micros(), entry.job.id.0]);
+                        self.records.push(JobRecord::failed_unstarted(entry.job));
+                        self.last_job_time = self.now;
+                        continue;
+                    }
+                    panic!(
+                        "scheduler wedged: {} queued jobs, {} running, no events",
+                        self.queue.len(),
+                        self.running.len()
+                    );
+                }
                 continue;
             };
             debug_assert!(t >= self.now, "event time went backwards");
@@ -270,6 +400,7 @@ impl<'a, Q: EventQueue<Event>> Engine<'a, Q> {
                 self.series.on_queue_change(self.now, 1.0);
                 self.queue.push(job, self.now);
                 self.events_processed += 1;
+                self.last_job_time = self.now;
                 true
             }
             Event::Finish { job, generation } => {
@@ -285,10 +416,184 @@ impl<'a, Q: EventQueue<Event>> Engine<'a, Q> {
                 self.events_processed += 1;
                 true
             }
+            Event::Fault(action) => {
+                self.events_processed += 1;
+                self.apply_fault(action);
+                true
+            }
         }
     }
 
+    /// Apply one machine perturbation: drive the node/pool state machine,
+    /// interrupt displaced jobs, and keep the dilation bookkeeping dirty
+    /// where pressure changed.
+    fn apply_fault(&mut self, action: FaultAction) {
+        match action {
+            FaultAction::NodeFail(node) => {
+                self.hash_mix([5, self.now.as_micros(), node.0 as u64]);
+                if self.cluster.fail_node(node).expect("validated fault node") {
+                    if let Some(lease) = self.cluster.holder(node) {
+                        self.interrupt_job(JobId(lease));
+                    }
+                    self.note_avail_change();
+                }
+            }
+            FaultAction::NodeRepair(node) => {
+                self.hash_mix([6, self.now.as_micros(), node.0 as u64]);
+                if self
+                    .cluster
+                    .repair_node(node)
+                    .expect("validated fault node")
+                {
+                    self.note_avail_change();
+                }
+            }
+            FaultAction::DrainStart(node) => {
+                self.hash_mix([7, self.now.as_micros(), node.0 as u64]);
+                if self.cluster.drain_node(node).expect("validated fault node") {
+                    // Hard drain: running work is checkpointed/resubmitted
+                    // so the node frees for maintenance immediately.
+                    if let Some(lease) = self.cluster.holder(node) {
+                        self.interrupt_job(JobId(lease));
+                    }
+                    self.note_avail_change();
+                }
+            }
+            FaultAction::DrainEnd(node) => {
+                self.hash_mix([8, self.now.as_micros(), node.0 as u64]);
+                if self
+                    .cluster
+                    .undrain_node(node)
+                    .expect("validated fault node")
+                {
+                    self.note_avail_change();
+                }
+            }
+            FaultAction::PoolDegrade { pool, factor } => {
+                self.hash_mix([9, self.now.as_micros(), pool.0 as u64]);
+                self.cluster
+                    .set_pool_health(pool, factor)
+                    .expect("validated pool and factor");
+                // Evict borrowers — lowest lease id first, deterministic —
+                // until the remaining holdings fit the degraded capacity.
+                loop {
+                    let p = self.cluster.pool(pool);
+                    if p.used() <= p.effective_capacity() {
+                        break;
+                    }
+                    let (lease, _) = p.holders().next().expect("over-committed pool has holders");
+                    self.interrupt_job(JobId(lease));
+                }
+                self.mark_pool_dirty(pool);
+            }
+            FaultAction::PoolRepair(pool) => {
+                self.hash_mix([10, self.now.as_micros(), pool.0 as u64]);
+                self.cluster
+                    .set_pool_health(pool, 1.0)
+                    .expect("validated pool");
+                self.mark_pool_dirty(pool);
+            }
+        }
+    }
+
+    /// Mark a pool's pressure as changed (degradation moves pressure even
+    /// when occupancy is untouched), so re-dilation revisits its borrowers.
+    fn mark_pool_dirty(&mut self, pool: dmhpc_platform::PoolId) {
+        if self.dynamic {
+            self.dirty_pools[pool.0 as usize] = true;
+            self.any_dirty = true;
+        }
+    }
+
+    /// Record an availability change for the in-service node-seconds
+    /// integral.
+    fn note_avail_change(&mut self) {
+        let count = self.cluster.available_nodes();
+        if count != self.avail_points.last().expect("seeded at start").1 {
+            self.avail_points.push((self.now, count));
+        }
+    }
+
+    /// Interrupt a running job (fault displaced its capacity): release
+    /// everything it holds, then resubmit it per the scenario's
+    /// [`InterruptPolicy`] — or fail it terminally once its resubmission
+    /// budget is spent.
+    fn interrupt_job(&mut self, id: JobId) {
+        self.last_job_time = self.now;
+        let mut r = self.running.remove(&id).expect("interrupt of unknown job");
+        // Settle work consumed at the current rate up to the interruption.
+        let elapsed = self.now - r.last_update;
+        let consumed_now = elapsed.scale(1.0 / r.dilation);
+        r.work_remaining = r.work_remaining.saturating_sub(consumed_now);
+
+        self.cluster
+            .release(id.as_u64())
+            .expect("running job holds a lease");
+        let release = self
+            .releases
+            .remove(id.as_u64())
+            .expect("running job is release-indexed");
+        self.note_pool_change(id, &release.pool_per_domain, false);
+        self.series.on_finish(
+            self.now,
+            r.assignment.node_count() as u32,
+            r.assignment.local_per_node * r.assignment.node_count() as u64,
+            r.assignment.total_remote(),
+        );
+        self.hash_mix([11, self.now.as_micros(), id.0]);
+        self.summary.interruptions += 1;
+
+        let meta = self.fault_meta.entry(id).or_default();
+        meta.next_gen = r.generation + 1;
+        let attempt_wall = self.now - r.start;
+
+        if meta.resubmits >= self.faults.max_resubmits {
+            // Terminal failure: record the final attempt.
+            self.summary.rework_s += attempt_wall.as_secs_f64();
+            self.hash_mix([12, self.now.as_micros(), id.0]);
+            let consumed_total = r.job.runtime.saturating_sub(r.work_remaining);
+            let dilation_actual = if consumed_total.is_zero() {
+                r.dilation
+            } else {
+                attempt_wall.ratio(consumed_total)
+            };
+            self.records.push(JobRecord {
+                nodes_allocated: r.assignment.node_count() as u32,
+                remote_per_node: r.assignment.remote_per_node,
+                job: r.job,
+                outcome: JobOutcome::Failed,
+                start: Some(r.start),
+                finish: Some(self.now),
+                dilation_planned: r.dilation_planned,
+                dilation_actual,
+            });
+            return;
+        }
+        meta.resubmits += 1;
+        self.summary.resubmissions += 1;
+        let job = match self.faults.interrupt {
+            InterruptPolicy::Resubmit => {
+                // From scratch: the whole aborted attempt is rework.
+                self.summary.rework_s += attempt_wall.as_secs_f64();
+                r.job
+            }
+            InterruptPolicy::Checkpoint { overhead_s } => {
+                // Completed work survives; only the restore overhead is
+                // redone. The resubmitted job carries its remaining work.
+                let overhead = SimDuration::from_secs(overhead_s);
+                self.summary.rework_s += overhead.as_secs_f64();
+                let mut job = r.job;
+                job.runtime = r.work_remaining + overhead;
+                job
+            }
+        };
+        self.hash_mix([14, self.now.as_micros(), job.id.0]);
+        self.series.on_queue_change(self.now, 1.0);
+        self.queue.push(job, self.now);
+    }
+
     fn finish_job(&mut self, id: JobId) {
+        self.last_job_time = self.now;
         let mut r = self.running.remove(&id).expect("finish of unknown job");
         // Convert elapsed wall time into consumed work.
         let elapsed = self.now - r.last_update;
@@ -440,12 +745,16 @@ impl<'a, Q: EventQueue<Event>> Engine<'a, Q> {
             self.releases.view(),
         );
         self.passes += 1;
+        let rejected_any = !result.rejected.is_empty();
         for (job, _reason) in result.rejected {
             self.series.on_queue_change(self.now, -1.0);
             self.hash_mix([3, self.now.as_micros(), job.id.0]);
             self.records.push(JobRecord::rejected(job));
         }
         let n = result.started.len();
+        if n > 0 || rejected_any {
+            self.last_job_time = self.now;
+        }
         for started in result.started {
             self.start_job(started);
         }
@@ -481,6 +790,15 @@ impl<'a, Q: EventQueue<Event>> Engine<'a, Q> {
         };
         let natural = self.now + job.runtime.scale(dilation);
         let effective = natural.min_of(kill_time);
+        // Restarted-after-interruption jobs begin above every generation of
+        // their earlier attempts, so an aborted attempt's in-flight finish
+        // event can never be mistaken for this one's. Fault-free runs have
+        // an empty meta map and start at 0, as before.
+        let generation = self
+            .fault_meta
+            .get(&job.id)
+            .map(|m| m.next_gen)
+            .unwrap_or(0);
         let running = RunningJob {
             work_remaining: job.runtime,
             job,
@@ -490,7 +808,7 @@ impl<'a, Q: EventQueue<Event>> Engine<'a, Q> {
             dilation_planned: dilation,
             dilation,
             last_update: self.now,
-            generation: 0,
+            generation,
             ends_by_kill: kill_time < natural,
         };
         let id = running.job.id;
@@ -498,7 +816,7 @@ impl<'a, Q: EventQueue<Event>> Engine<'a, Q> {
             effective,
             Event::Finish {
                 job: id,
-                generation: 0,
+                generation,
             },
         );
         self.running.insert(id, running);
@@ -529,25 +847,83 @@ impl<'a, Q: EventQueue<Event>> Engine<'a, Q> {
                 busy,
                 "series out of sync with cluster"
             );
+            // Availability invariant: by the end of every batch, no job
+            // occupies a Down/Draining node (faults interrupt displaced
+            // jobs within the event that displaced them).
+            for r in self.running.values() {
+                for &node in &r.assignment.nodes {
+                    assert_eq!(
+                        self.cluster.node_state(node),
+                        NodeState::Up,
+                        "job {} occupies out-of-service node {node}",
+                        r.job.id
+                    );
+                }
+            }
         }
     }
 
-    fn finalize(self) -> SimOutput {
+    fn finalize(mut self) -> SimOutput {
         debug_assert!(self.releases.is_empty(), "release index drained");
         debug_assert!(
             self.borrowers.iter().all(BTreeSet::is_empty),
             "borrower index drained"
         );
-        let makespan = self.now.saturating_since(self.start_time);
+        // Fault runs clamp the metrics window to the last job-affecting
+        // event: repair/drain-end events trailing the last finish (the
+        // generator's horizon routinely outlives short workloads) would
+        // otherwise stretch makespan and dilute every time-weighted
+        // metric with idle tail. Fault-free runs keep `now` — their
+        // metrics are pinned by the golden-parity tests.
+        let end = if self.faults_active {
+            self.last_job_time.max_of(self.start_time)
+        } else {
+            self.now
+        };
+        let makespan = end.saturating_since(self.start_time);
+        let node_util = self.series.node_util(end);
+        // Derive the availability-weighted metrics over [start, end].
+        // Without downtime inside the window, avail_util is the *same
+        // expression* as node_util (bit-equal) and downtime is exactly
+        // zero — fault-free outputs are unchanged.
+        let had_downtime = self
+            .avail_points
+            .iter()
+            .any(|&(t, count)| t < end && count != self.avail_points[0].1);
+        if had_downtime {
+            let mut avail_node_s = 0.0f64;
+            for (i, &(t, count)) in self.avail_points.iter().enumerate() {
+                if t >= end {
+                    break;
+                }
+                let next = self
+                    .avail_points
+                    .get(i + 1)
+                    .map(|&(t, _)| t.min_of(end))
+                    .unwrap_or(end);
+                avail_node_s += count as f64 * (next - t).as_secs_f64();
+            }
+            let total = self.cfg.cluster.total_nodes() as f64;
+            self.summary.downtime_node_s = (total * makespan.as_secs_f64() - avail_node_s).max(0.0);
+            let busy_node_s = self.series.nodes_busy.stats().integral_until(end);
+            self.summary.avail_util = if avail_node_s > 0.0 {
+                busy_node_s / avail_node_s
+            } else {
+                0.0
+            };
+        } else {
+            self.summary.avail_util = node_util;
+        }
         let data = RunData {
             label: self.scheduler.label(),
             records: self.records.clone(),
             makespan_s: makespan.as_secs_f64(),
-            node_util: self.series.node_util(self.now),
-            pool_util: self.series.pool_util(self.now),
-            dram_util: self.series.dram_util(self.now),
-            queue_depth_mean: self.series.queue_depth_mean(self.now),
+            node_util,
+            pool_util: self.series.pool_util(end),
+            dram_util: self.series.dram_util(end),
+            queue_depth_mean: self.series.queue_depth_mean(end),
             queue_depth_max: self.series.queue_depth_max(),
+            faults: self.summary,
         };
         let thresholds = ClassThresholds::standard(self.cfg.cluster.node.local_mem);
         SimOutput {
@@ -558,6 +934,7 @@ impl<'a, Q: EventQueue<Event>> Engine<'a, Q> {
             passes: self.passes,
             trace_hash: self.trace_hash,
             end_time: self.now,
+            faults: self.summary,
         }
     }
 }
@@ -961,6 +1338,371 @@ mod tests {
         assert_eq!(out.events_processed, 40);
         assert_eq!(out.passes, 20, "finishes into an empty queue skip");
         assert!(out.passes < out.events_processed);
+    }
+
+    // ------------------------------------------------------------ faults
+
+    use crate::faults::{FaultAction, FaultGenerator, InterruptPolicy};
+    use dmhpc_platform::{NodeId, PoolId};
+
+    fn one_node_job(runtime_s: u64, wall_s: u64) -> Job {
+        JobBuilder::new(1)
+            .nodes(1)
+            .runtime_secs(runtime_s, wall_s)
+            .mem_per_node(GIB)
+            .build()
+    }
+
+    fn faulty_sim(faults: crate::FaultSpec) -> Simulation {
+        let sched = SchedulerBuilder::new().build();
+        Simulation::new(SimConfig::new(machine(PoolTopology::None), sched).checked())
+            .unwrap()
+            .with_fault_spec(faults)
+            .unwrap()
+    }
+
+    #[test]
+    fn node_failure_interrupts_and_resubmits_from_scratch() {
+        // Job on node 0 (first-fit), failed at t=300, repaired at t=800.
+        // Resubmit-from-scratch restarts immediately on node 1 at t=300.
+        let faults = crate::FaultSpec::none()
+            .with_action(SimTime::from_secs(300), FaultAction::NodeFail(NodeId(0)))
+            .with_action(SimTime::from_secs(800), FaultAction::NodeRepair(NodeId(0)));
+        let w = Workload::from_jobs(vec![one_node_job(1000, 2000)]);
+        let out = faulty_sim(faults).run(&w);
+        assert_eq!(out.records.len(), 1);
+        let r = &out.records[0];
+        assert_eq!(r.outcome, JobOutcome::Completed);
+        assert_eq!(r.start.unwrap().as_secs(), 300, "final attempt's start");
+        assert_eq!(r.finish.unwrap().as_secs(), 1300, "full runtime redone");
+        assert_eq!(out.faults.interruptions, 1);
+        assert_eq!(out.faults.resubmissions, 1);
+        assert!(
+            (out.faults.rework_s - 300.0).abs() < 1e-9,
+            "aborted attempt"
+        );
+        assert!(out.faults.downtime_node_s > 0.0);
+        assert_eq!(out.report.interruptions, 1);
+        assert_eq!(out.report.completed, 1);
+    }
+
+    #[test]
+    fn checkpoint_restart_preserves_completed_work() {
+        let faults = crate::FaultSpec::none()
+            .with_action(SimTime::from_secs(300), FaultAction::NodeFail(NodeId(0)))
+            .with_interrupt(InterruptPolicy::Checkpoint { overhead_s: 100 });
+        let w = Workload::from_jobs(vec![one_node_job(1000, 2000)]);
+        let out = faulty_sim(faults).run(&w);
+        let r = &out.records[0];
+        assert_eq!(r.outcome, JobOutcome::Completed);
+        // 300 s done, 700 s remain + 100 s restore → finishes at 1100.
+        assert_eq!(r.finish.unwrap().as_secs(), 1100);
+        assert!((out.faults.rework_s - 100.0).abs() < 1e-9, "only overhead");
+    }
+
+    #[test]
+    fn exhausted_resubmission_budget_fails_terminally() {
+        // First failure consumes the (default 1) resubmission; the second
+        // interruption is terminal.
+        let faults = crate::FaultSpec::none()
+            .with_action(SimTime::from_secs(300), FaultAction::NodeFail(NodeId(0)))
+            .with_action(SimTime::from_secs(600), FaultAction::NodeFail(NodeId(1)));
+        let w = Workload::from_jobs(vec![one_node_job(1000, 2000)]);
+        let out = faulty_sim(faults).run(&w);
+        let r = &out.records[0];
+        assert_eq!(r.outcome, JobOutcome::Failed);
+        assert_eq!(r.start.unwrap().as_secs(), 300);
+        assert_eq!(r.finish.unwrap().as_secs(), 600);
+        assert_eq!(out.faults.interruptions, 2);
+        assert_eq!(out.faults.resubmissions, 1);
+        assert_eq!(out.report.failed, 1);
+        assert_eq!(out.report.completed, 0);
+    }
+
+    #[test]
+    fn drain_window_interrupts_then_returns_capacity() {
+        // All four nodes busy; draining node 2 interrupts its job, which
+        // must wait (queue) until... node 2 is still draining, but another
+        // job finishes first — capacity returns via normal finishes.
+        let mk = |id: u64| {
+            JobBuilder::new(id)
+                .nodes(1)
+                .runtime_secs(1000, 2000)
+                .mem_per_node(GIB)
+                .build()
+        };
+        let faults = crate::FaultSpec::none()
+            .with_action(SimTime::from_secs(100), FaultAction::DrainStart(NodeId(2)))
+            .with_action(SimTime::from_secs(5000), FaultAction::DrainEnd(NodeId(2)));
+        let w = Workload::from_jobs(vec![mk(1), mk(2), mk(3), mk(4)]);
+        let sched = SchedulerBuilder::new().build();
+        let out = Simulation::new(SimConfig::new(machine(PoolTopology::None), sched).checked())
+            .unwrap()
+            .with_fault_spec(faults)
+            .unwrap()
+            .run(&w);
+        assert_eq!(out.report.completed, 4, "drained job reruns elsewhere");
+        assert_eq!(out.faults.interruptions, 1);
+        // Availability-weighted utilization exceeds the raw one: the
+        // denominator excludes the drained node-seconds.
+        assert!(out.faults.avail_util > out.report.node_util);
+        assert_eq!(out.report.avail_util, out.faults.avail_util);
+    }
+
+    #[test]
+    fn pool_degradation_evicts_borrowers_deterministically() {
+        // Borrower holds 300 GiB of a 512 GiB pool; degrading to 0.5
+        // leaves 256 GiB effective < 300 held → the borrower is evicted.
+        let pool = PoolTopology::PerRack {
+            mib_per_rack: 512 * GIB,
+        };
+        let job = JobBuilder::new(1)
+            .nodes(1)
+            .runtime_secs(1000, 4000)
+            .mem_per_node(556 * GIB) // 256 local + 300 remote
+            .intensity(0.5)
+            .build();
+        let faults = crate::FaultSpec::none()
+            .with_action(
+                SimTime::from_secs(200),
+                FaultAction::PoolDegrade {
+                    pool: PoolId(0),
+                    factor: 0.5,
+                },
+            )
+            .with_action(SimTime::from_secs(900), FaultAction::PoolRepair(PoolId(0)));
+        let sched = SchedulerBuilder::new()
+            .memory(MemoryPolicy::PoolFirstFit)
+            .slowdown(SlowdownModel::Linear { penalty: 1.5 })
+            .build();
+        let out = Simulation::new(SimConfig::new(machine(pool), sched).checked())
+            .unwrap()
+            .with_fault_spec(faults)
+            .unwrap()
+            .run(&w_of(job));
+        assert_eq!(out.faults.interruptions, 1, "borrower evicted");
+        assert_eq!(out.report.completed, 1, "restarts (inflated or later)");
+    }
+
+    fn w_of(job: Job) -> Workload {
+        Workload::from_jobs(vec![job])
+    }
+
+    #[test]
+    fn permanently_lost_capacity_fails_queued_jobs_instead_of_wedging() {
+        // 4-node machine, job needs all 4, node 0 fails for good before
+        // it can start; backfill=None has no rejection path, so the
+        // fault-aware drain handling must fail it terminally.
+        let faults = crate::FaultSpec::none()
+            .with_action(SimTime::from_secs(5), FaultAction::NodeFail(NodeId(0)));
+        let job = JobBuilder::new(1)
+            .arrival_secs(10)
+            .nodes(4)
+            .runtime_secs(100, 200)
+            .mem_per_node(GIB)
+            .build();
+        let sched = SchedulerBuilder::new()
+            .backfill(dmhpc_sched::BackfillPolicy::None)
+            .build();
+        let out = Simulation::new(SimConfig::new(machine(PoolTopology::None), sched).checked())
+            .unwrap()
+            .with_fault_spec(faults)
+            .unwrap()
+            .run(&w_of(job));
+        let r = &out.records[0];
+        assert_eq!(r.outcome, JobOutcome::Failed);
+        assert!(r.start.is_none(), "never ran");
+        assert_eq!(out.report.failed, 1);
+    }
+
+    #[test]
+    fn trailing_fault_events_do_not_stretch_the_metrics_window() {
+        // A repair scheduled long after the only job finishes must not
+        // inflate makespan or dilute utilization: metrics clamp to the
+        // last job-affecting event.
+        let w = Workload::from_jobs(vec![one_node_job(1000, 2000)]);
+        let clean = faulty_sim(crate::FaultSpec::none()).run(&w);
+        let faults = crate::FaultSpec::none()
+            .with_action(SimTime::from_secs(300), FaultAction::NodeFail(NodeId(3)))
+            .with_action(
+                SimTime::from_secs(50_000),
+                FaultAction::NodeRepair(NodeId(3)),
+            );
+        let out = faulty_sim(faults).run(&w);
+        // Node 3 is idle; the job (on node 0) is untouched.
+        assert_eq!(out.faults.interruptions, 0);
+        assert_eq!(out.report.completed, 1);
+        assert_eq!(
+            out.report.makespan_h, clean.report.makespan_h,
+            "trailing repair must not stretch makespan"
+        );
+        assert_eq!(out.report.node_util, clean.report.node_util);
+        // The outage (t=300..1000 within the window) shrinks the
+        // availability denominator: avail_util strictly above node_util.
+        assert!(out.report.avail_util > out.report.node_util);
+        // end_time still reports the true last event, for event-level
+        // accounting.
+        assert_eq!(out.end_time.as_secs(), 50_000);
+    }
+
+    #[test]
+    fn generated_outage_windows_never_overlap_per_target() {
+        let mut gen = FaultGenerator::quiet(5, 200_000);
+        gen.node_mtbf_s = 300; // brutal: many failures per node
+        gen.node_repair_s = 5_000;
+        let spec = crate::FaultSpec::none().with_generator(gen);
+        let cluster = machine(PoolTopology::None);
+        let events = spec.materialize(&cluster);
+        let mut down_until = std::collections::BTreeMap::new();
+        for (t, action) in &events {
+            match action {
+                FaultAction::NodeFail(n) => {
+                    let until = down_until.get(n).copied().unwrap_or(SimTime::ZERO);
+                    assert!(*t >= until, "failure of {n} inside its down window");
+                    down_until.insert(*n, *t + SimDuration::from_secs(5_000));
+                }
+                FaultAction::NodeRepair(_) => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(!down_until.is_empty(), "storm generated failures");
+    }
+
+    #[test]
+    fn transient_outage_delays_full_machine_jobs_instead_of_rejecting() {
+        // Node 0 drains at t=5 and returns at t=5000; a 4-node job
+        // arrives at t=10. The availability profile cannot see the
+        // pending drain-end, so pre-fix EASY rejected the job as "never
+        // fits"; it must instead wait and start once capacity returns.
+        let faults = crate::FaultSpec::none()
+            .with_action(SimTime::from_secs(5), FaultAction::DrainStart(NodeId(0)))
+            .with_action(SimTime::from_secs(5000), FaultAction::DrainEnd(NodeId(0)));
+        let job = JobBuilder::new(1)
+            .arrival_secs(10)
+            .nodes(4)
+            .runtime_secs(100, 200)
+            .mem_per_node(GIB)
+            .build();
+        let out = faulty_sim(faults).run(&w_of(job));
+        let r = &out.records[0];
+        assert_eq!(r.outcome, JobOutcome::Completed, "waits, not rejected");
+        assert_eq!(r.start.unwrap().as_secs(), 5000, "starts at drain end");
+        assert_eq!(out.report.rejected, 0);
+        assert_eq!(out.report.failed, 0);
+
+        // Permanent loss (no drain-end) still fails it terminally via the
+        // drained-events branch — under EASY too, not just backfill=None.
+        let permanent = crate::FaultSpec::none()
+            .with_action(SimTime::from_secs(5), FaultAction::DrainStart(NodeId(0)));
+        let job = JobBuilder::new(1)
+            .arrival_secs(10)
+            .nodes(4)
+            .runtime_secs(100, 200)
+            .mem_per_node(GIB)
+            .build();
+        let out = faulty_sim(permanent).run(&w_of(job));
+        assert_eq!(out.records[0].outcome, JobOutcome::Failed);
+        assert!(out.records[0].start.is_none());
+    }
+
+    #[test]
+    fn explicit_none_fault_spec_is_bit_identical() {
+        let spec = dmhpc_workload::SystemPreset::HighThroughput.synthetic_spec(200);
+        let w = spec.generate(13);
+        let cluster = ClusterSpec::new(
+            2,
+            16,
+            NodeSpec::new(32, 192 * GIB),
+            PoolTopology::PerRack {
+                mib_per_rack: 384 * GIB,
+            },
+        );
+        let sched = SchedulerBuilder::new()
+            .memory(MemoryPolicy::PoolBestFit)
+            .slowdown(SlowdownModel::Contention {
+                penalty: 1.5,
+                gamma: 1.0,
+            })
+            .build();
+        let cfg = SimConfig::new(cluster, sched);
+        let plain = Simulation::new(cfg).unwrap().run(&w);
+        let with_none = Simulation::new(cfg)
+            .unwrap()
+            .with_fault_spec(crate::FaultSpec::none())
+            .unwrap()
+            .run(&w);
+        // A quiet generator is also "none".
+        let with_quiet = Simulation::new(cfg)
+            .unwrap()
+            .with_fault_spec(
+                crate::FaultSpec::none().with_generator(FaultGenerator::quiet(7, 100_000)),
+            )
+            .unwrap()
+            .run(&w);
+        for other in [&with_none, &with_quiet] {
+            assert_eq!(plain.trace_hash, other.trace_hash);
+            assert_eq!(plain.passes, other.passes);
+            assert_eq!(plain.events_processed, other.events_processed);
+            assert_eq!(plain.report.mean_wait_s, other.report.mean_wait_s);
+            assert_eq!(plain.report.avail_util, other.report.avail_util);
+        }
+        let expected = FaultSummary {
+            avail_util: plain.report.node_util,
+            ..Default::default()
+        };
+        assert_eq!(plain.faults, expected);
+        assert_eq!(
+            plain.report.avail_util, plain.report.node_util,
+            "no downtime ⇒ identical expression"
+        );
+    }
+
+    #[test]
+    fn fault_scenarios_are_deterministic_across_backends() {
+        let spec = dmhpc_workload::SystemPreset::HighThroughput.synthetic_spec(250);
+        let w = spec.generate(3);
+        let cluster = ClusterSpec::new(
+            2,
+            16,
+            NodeSpec::new(32, 192 * GIB),
+            PoolTopology::PerRack {
+                mib_per_rack: 384 * GIB,
+            },
+        );
+        let mut gen = FaultGenerator::quiet(11, 400_000);
+        gen.node_mtbf_s = 40_000;
+        gen.node_repair_s = 10_000;
+        gen.drain_interval_s = 150_000;
+        gen.drain_duration_s = 20_000;
+        gen.pool_degrade_interval_s = 200_000;
+        gen.pool_degrade_factor = 0.5;
+        let faults = crate::FaultSpec::none()
+            .with_generator(gen)
+            .with_interrupt(InterruptPolicy::Checkpoint { overhead_s: 60 })
+            .with_max_resubmits(2);
+        let sched = SchedulerBuilder::new()
+            .memory(MemoryPolicy::PoolBestFit)
+            .slowdown(SlowdownModel::Contention {
+                penalty: 1.5,
+                gamma: 1.0,
+            })
+            .build();
+        let cfg = SimConfig::new(cluster, sched).checked();
+        let run = |kind: EventQueueKind| {
+            Simulation::new(cfg.with_event_queue(kind))
+                .unwrap()
+                .with_fault_spec(faults.clone())
+                .unwrap()
+                .run(&w)
+        };
+        let heap_a = run(EventQueueKind::BinaryHeap);
+        let heap_b = run(EventQueueKind::BinaryHeap);
+        let cal = run(EventQueueKind::Calendar);
+        assert_eq!(heap_a.trace_hash, heap_b.trace_hash, "repeatable");
+        assert_eq!(heap_a.trace_hash, cal.trace_hash, "backend-independent");
+        assert_eq!(heap_a.faults, cal.faults);
+        assert_eq!(heap_a.passes, cal.passes);
+        assert!(heap_a.faults.interruptions > 0, "scenario actually bites");
     }
 
     #[test]

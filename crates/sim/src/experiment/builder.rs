@@ -2,6 +2,7 @@
 
 use super::{pool_label, ExperimentSpec, WorkloadSource};
 use crate::error::SimError;
+use crate::faults::FaultSpec;
 use crate::scenarios;
 use dmhpc_platform::{ClusterSpec, PoolTopology, SlowdownModel};
 use dmhpc_sched::SchedulerConfig;
@@ -40,6 +41,7 @@ pub struct ExperimentBuilder {
     loads: Vec<f64>,
     seeds: Vec<u64>,
     schedulers: Vec<SchedulerConfig>,
+    faults: Vec<FaultSpec>,
     enforce_walltime: bool,
     check_invariants: bool,
     deferred_error: Option<String>,
@@ -55,6 +57,7 @@ impl ExperimentBuilder {
             loads: Vec::new(),
             seeds: Vec::new(),
             schedulers: Vec::new(),
+            faults: Vec::new(),
             enforce_walltime: true,
             check_invariants: false,
             deferred_error: None,
@@ -82,6 +85,7 @@ impl ExperimentBuilder {
             loads: spec.loads,
             seeds: spec.seeds,
             schedulers: spec.schedulers,
+            faults: spec.faults,
             enforce_walltime: spec.enforce_walltime,
             check_invariants: spec.check_invariants,
             deferred_error: None,
@@ -188,6 +192,23 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Add one fault-scenario axis point. An empty fault axis (the
+    /// default) means every cell runs fault-free; adding scenarios crosses
+    /// them into the grid like any other dimension. Add
+    /// [`FaultSpec::none`] explicitly to keep a fault-free baseline
+    /// alongside fault scenarios — its cells hash (and cache) identically
+    /// to a grid without the axis.
+    pub fn fault(mut self, spec: FaultSpec) -> Self {
+        self.faults.push(spec);
+        self
+    }
+
+    /// Add several fault-scenario axis points.
+    pub fn faults(mut self, specs: impl IntoIterator<Item = FaultSpec>) -> Self {
+        self.faults.extend(specs);
+        self
+    }
+
     /// Add the paper's four-way policy comparison suite (local-only, pool
     /// first/best fit, slowdown-aware; all FCFS + EASY) under the given
     /// slowdown model.
@@ -229,6 +250,7 @@ impl ExperimentBuilder {
             loads: self.loads,
             seeds,
             schedulers: self.schedulers,
+            faults: self.faults,
             enforce_walltime: self.enforce_walltime,
             check_invariants: self.check_invariants,
         };

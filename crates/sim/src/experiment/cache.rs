@@ -3,9 +3,11 @@
 //! Every grid cell is identified by a stable 64-bit FNV-1a hash of the
 //! *content that determines its result*: the workload source (preset
 //! parameters or the full trace), the cluster shape, the offered load,
-//! the seed, and the scheduler configuration. Presentation-only fields —
-//! the experiment name, cluster labels, `check_invariants` — are
-//! deliberately excluded, so relabelling a grid keeps its cache warm.
+//! the seed, the scheduler configuration, and the fault scenario (a
+//! fault-free cell hashes nothing for it, so pre-fault caches replay
+//! unchanged). Presentation-only fields — the experiment name, cluster
+//! labels, `check_invariants` — are deliberately excluded, so
+//! relabelling a grid keeps its cache warm.
 //!
 //! The store is a directory of JSON files (one per cell, written through
 //! [`dmhpc_metrics::json`] — no new dependencies), each holding the
@@ -188,6 +190,41 @@ pub(super) fn cell_hash(workload_digest: u64, cell: &RunSpec) -> u64 {
     }
     h.write_u64(sched.inflate_walltime as u64);
     h.write_u64(cell.config.enforce_walltime as u64);
+
+    // Fault scenario: a fault-free cell writes NOTHING, so its hash is
+    // bit-identical to what pre-fault engines computed — existing caches
+    // stay warm. Any non-none scenario appends its full content.
+    if !cell.faults.is_none() {
+        h.write_str("faults");
+        h.write_u64(cell.faults.schedule.len() as u64);
+        for (at, action) in &cell.faults.schedule {
+            h.write_u64(at.as_micros());
+            h.write_u64(crate::faults::action_tag(action));
+        }
+        match &cell.faults.generator {
+            None => h.write_u64(0),
+            Some(g) => {
+                h.write_u64(1);
+                h.write_u64(g.seed);
+                h.write_u64(g.horizon_s);
+                h.write_u64(g.node_mtbf_s);
+                h.write_u64(g.node_repair_s);
+                h.write_u64(g.drain_interval_s);
+                h.write_u64(g.drain_duration_s);
+                h.write_u64(g.pool_degrade_interval_s);
+                h.write_u64(g.pool_degrade_duration_s);
+                h.write_f64(g.pool_degrade_factor);
+            }
+        }
+        match cell.faults.interrupt {
+            crate::faults::InterruptPolicy::Resubmit => h.write_str("resubmit"),
+            crate::faults::InterruptPolicy::Checkpoint { overhead_s } => {
+                h.write_str("checkpoint");
+                h.write_u64(overhead_s);
+            }
+        }
+        h.write_u64(cell.faults.max_resubmits as u64);
+    }
     h.finish()
 }
 
@@ -263,6 +300,16 @@ fn output_to_json(hash: u64, output: &SimOutput) -> Json {
         ("passes", Json::UInt(output.passes)),
         ("trace_hash", Json::UInt(output.trace_hash)),
         ("end_time_us", Json::UInt(output.end_time.as_micros())),
+        (
+            "faults",
+            Json::obj(vec![
+                ("interruptions", Json::UInt(output.faults.interruptions)),
+                ("resubmissions", Json::UInt(output.faults.resubmissions)),
+                ("rework_s", Json::F64(output.faults.rework_s)),
+                ("downtime_node_s", Json::F64(output.faults.downtime_node_s)),
+                ("avail_util", Json::F64(output.faults.avail_util)),
+            ]),
+        ),
     ])
 }
 
@@ -289,8 +336,26 @@ fn output_from_json(doc: &Json, hash: u64, cell: &RunSpec) -> Result<SimOutput, 
         message: "cache entry has an empty step series".into(),
         offset: 0,
     })?;
+    let report = export::report_from_value(doc.expect_key("report")?)?;
+    // Entries stored before the fault subsystem existed lack the "faults"
+    // key; they are fault-free by construction, so the summary defaults
+    // to zero counters with avail_util == node_util — exactly what a
+    // fresh fault-free simulation would report.
+    let faults = match doc.get("faults") {
+        Some(f) => dmhpc_metrics::FaultSummary {
+            interruptions: f.expect_key("interruptions")?.to_u64()?,
+            resubmissions: f.expect_key("resubmissions")?.to_u64()?,
+            rework_s: f.expect_key("rework_s")?.to_f64()?,
+            downtime_node_s: f.expect_key("downtime_node_s")?.to_f64()?,
+            avail_util: f.expect_key("avail_util")?.to_f64()?,
+        },
+        None => dmhpc_metrics::FaultSummary {
+            avail_util: report.node_util,
+            ..Default::default()
+        },
+    };
     Ok(SimOutput {
-        report: export::report_from_value(doc.expect_key("report")?)?,
+        report,
         records: doc
             .expect_key("records")?
             .to_arr()?
@@ -302,6 +367,7 @@ fn output_from_json(doc: &Json, hash: u64, cell: &RunSpec) -> Result<SimOutput, 
         passes: doc.expect_key("passes")?.to_u64()?,
         trace_hash: doc.expect_key("trace_hash")?.to_u64()?,
         end_time: SimTime::from_micros(doc.expect_key("end_time_us")?.to_u64()?),
+        faults,
     })
 }
 

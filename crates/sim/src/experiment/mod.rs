@@ -68,6 +68,7 @@ pub use shard::Shard;
 
 use crate::config::SimConfig;
 use crate::error::SimError;
+use crate::faults::FaultSpec;
 use dmhpc_platform::{ClusterSpec, PoolTopology};
 use dmhpc_sched::SchedulerConfig;
 use dmhpc_workload::{SystemPreset, Workload};
@@ -101,6 +102,10 @@ pub struct CellKey {
     pub load: Option<f64>,
     /// Seed axis (`None` for fixed traces).
     pub seed: Option<u64>,
+    /// Fault-scenario axis label (`None` when the cell runs fault-free —
+    /// both when the axis is absent and for an explicit
+    /// [`FaultSpec::none`], which is the same run).
+    pub fault: Option<String>,
     /// Scheduler-axis label: the config's *full* label
     /// ([`SchedulerConfig::full_label`]), which distinguishes policy
     /// parameters, the slowdown model, and the inflation switch — so keys
@@ -109,7 +114,8 @@ pub struct CellKey {
 }
 
 impl CellKey {
-    /// One-line label for reports: `cluster|load|seed|scheduler`.
+    /// One-line label for reports: `cluster|load|seed|fault|scheduler`
+    /// (fault-free cells omit the fault part, as pre-fault grids did).
     pub fn label(&self) -> String {
         let mut parts = vec![self.cluster.clone()];
         if let Some(load) = self.load {
@@ -117,6 +123,9 @@ impl CellKey {
         }
         if let Some(seed) = self.seed {
             parts.push(format!("seed{seed}"));
+        }
+        if let Some(fault) = &self.fault {
+            parts.push(fault.clone());
         }
         parts.push(self.scheduler.clone());
         parts.join("|")
@@ -131,6 +140,9 @@ pub struct RunSpec {
     pub key: CellKey,
     /// The complete simulator configuration for the cell.
     pub config: SimConfig,
+    /// The cell's fault scenario ([`FaultSpec::none`] for fault-free
+    /// cells; hash-neutral then, so pre-fault caches stay warm).
+    pub faults: FaultSpec,
 }
 
 /// A declarative description of a whole experiment grid.
@@ -154,6 +166,9 @@ pub struct ExperimentSpec {
     pub seeds: Vec<u64>,
     /// Scheduler axis.
     pub schedulers: Vec<SchedulerConfig>,
+    /// Fault-scenario axis. Empty = every cell runs fault-free (identical
+    /// to the pre-fault grid, hash-for-hash).
+    pub faults: Vec<FaultSpec>,
     /// Kill jobs at their planned walltime (production behaviour).
     pub enforce_walltime: bool,
     /// Run cluster invariant checks after every event batch (tests only).
@@ -184,11 +199,22 @@ impl ExperimentSpec {
         }
     }
 
+    /// Effective fault axis: the configured scenarios, or a single
+    /// fault-free point.
+    fn fault_axis(&self) -> Vec<FaultSpec> {
+        if self.faults.is_empty() {
+            vec![FaultSpec::none()]
+        } else {
+            self.faults.clone()
+        }
+    }
+
     /// Number of grid cells `compile` will produce.
     pub fn cell_count(&self) -> usize {
         self.clusters.len()
             * self.load_axis().len()
             * self.seed_axis().len()
+            * self.fault_axis().len()
             * self.schedulers.len()
     }
 
@@ -255,30 +281,55 @@ impl ExperimentSpec {
                 "scheduler axis contains duplicate configurations",
             ));
         }
+        for fault in &self.faults {
+            // Machine-aware: fixed actions must fit every cluster on the
+            // axis, or compile() would hand the runner an unrunnable cell.
+            for (_, cluster) in &self.clusters {
+                fault.validate_for(cluster)?;
+            }
+        }
+        let mut fault_labels: Vec<String> = self.faults.iter().map(|f| f.label()).collect();
+        fault_labels.sort_unstable();
+        fault_labels.dedup();
+        if fault_labels.len() != self.faults.len() {
+            return Err(SimError::spec(
+                "fault axis contains scenarios with colliding labels \
+                 (duplicate or near-duplicate FaultSpecs)",
+            ));
+        }
         Ok(())
     }
 
     /// Expand the grid into concrete cells, in deterministic axis order
-    /// (clusters outermost, schedulers innermost).
+    /// (clusters outermost, then loads, seeds, fault scenarios, and
+    /// schedulers innermost).
     pub fn compile(&self) -> Result<Vec<RunSpec>, SimError> {
         self.validate()?;
         let mut cells = Vec::with_capacity(self.cell_count());
         for (cluster_label, cluster) in &self.clusters {
             for load in self.load_axis() {
                 for seed in self.seed_axis() {
-                    for sched in &self.schedulers {
-                        let mut config = SimConfig::new(*cluster, *sched);
-                        config.enforce_walltime = self.enforce_walltime;
-                        config.check_invariants = self.check_invariants;
-                        cells.push(RunSpec {
-                            key: CellKey {
-                                cluster: cluster_label.clone(),
-                                load,
-                                seed,
-                                scheduler: sched.full_label(),
-                            },
-                            config,
-                        });
+                    for faults in self.fault_axis() {
+                        for sched in &self.schedulers {
+                            let mut config = SimConfig::new(*cluster, *sched);
+                            config.enforce_walltime = self.enforce_walltime;
+                            config.check_invariants = self.check_invariants;
+                            cells.push(RunSpec {
+                                key: CellKey {
+                                    cluster: cluster_label.clone(),
+                                    load,
+                                    seed,
+                                    fault: if faults.is_none() {
+                                        None
+                                    } else {
+                                        Some(faults.label())
+                                    },
+                                    scheduler: sched.full_label(),
+                                },
+                                config,
+                                faults: faults.clone(),
+                            });
+                        }
                     }
                 }
             }
@@ -291,11 +342,14 @@ impl ExperimentSpec {
     ///
     /// The hash covers exactly what determines a cell's result: workload
     /// source content, cluster shape, load, seed, scheduler configuration,
-    /// and walltime enforcement. Presentation-only fields (experiment
-    /// name, cluster labels, `check_invariants`) are excluded, and hashes
-    /// are computed from the parsed spec — not its JSON text — so
-    /// reordering fields in a spec file changes nothing. Diff two specs'
-    /// hashes to see which cells an edit would re-execute.
+    /// walltime enforcement, and the fault scenario. Presentation-only
+    /// fields (experiment name, cluster labels, `check_invariants`) are
+    /// excluded, and hashes are computed from the parsed spec — not its
+    /// JSON text — so reordering fields in a spec file changes nothing. A
+    /// fault-free cell ([`FaultSpec::none`]) hashes exactly as pre-fault
+    /// grids did, so attaching an explicit no-fault axis keeps existing
+    /// caches warm. Diff two specs' hashes to see which cells an edit
+    /// would re-execute.
     pub fn cell_hashes(&self) -> Result<Vec<(CellKey, u64)>, SimError> {
         let digest = cache::workload_digest(&self.workload);
         Ok(self
@@ -485,12 +539,53 @@ mod tests {
 
     #[test]
     fn cell_labels_read_well() {
-        let key = CellKey {
+        let mut key = CellKey {
             cluster: "mid".into(),
             load: Some(0.9),
             seed: Some(42),
+            fault: None,
             scheduler: "fcfs+easy+pool-ff".into(),
         };
         assert_eq!(key.label(), "mid|load0.90|seed42|fcfs+easy+pool-ff");
+        key.fault = Some("gen7-mtbf3600-resub".into());
+        assert_eq!(
+            key.label(),
+            "mid|load0.90|seed42|gen7-mtbf3600-resub|fcfs+easy+pool-ff"
+        );
+    }
+
+    #[test]
+    fn fault_axis_multiplies_grid_and_labels_cells() {
+        let mut gen = crate::FaultGenerator::quiet(5, 40_000);
+        gen.node_mtbf_s = 8_000;
+        let spec = ExperimentSpec::builder("faulty")
+            .preset(SystemPreset::HighThroughput, 20)
+            .pool(PoolTopology::None)
+            .seed(1)
+            .scheduler(dmhpc_sched::SchedulerBuilder::new().build())
+            .fault(crate::FaultSpec::none())
+            .fault(crate::FaultSpec::none().with_generator(gen))
+            .build()
+            .unwrap();
+        assert_eq!(spec.cell_count(), 2);
+        let cells = spec.compile().unwrap();
+        assert_eq!(cells[0].key.fault, None, "explicit none stays unlabeled");
+        assert!(cells[1].key.fault.as_deref().unwrap().contains("gen5"));
+        assert!(cells[0].faults.is_none());
+        assert!(!cells[1].faults.is_none());
+    }
+
+    #[test]
+    fn colliding_fault_labels_rejected() {
+        let err = ExperimentSpec::builder("dup")
+            .preset(SystemPreset::HighThroughput, 20)
+            .pool(PoolTopology::None)
+            .seed(1)
+            .scheduler(dmhpc_sched::SchedulerBuilder::new().build())
+            .fault(crate::FaultSpec::none())
+            .fault(crate::FaultSpec::none())
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("colliding"), "{err}");
     }
 }

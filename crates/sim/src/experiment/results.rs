@@ -75,7 +75,10 @@ impl ExperimentResults {
         self.cells.iter().filter(|c| pred(&c.key)).collect()
     }
 
-    /// The single cell at exactly these coordinates, if it exists.
+    /// The first cell at these coordinates, if any (grids with a fault
+    /// axis have one cell per scenario at each point — use
+    /// [`select`](ExperimentResults::select) with `key.fault` to pick
+    /// among them).
     pub fn get(
         &self,
         cluster: &str,
@@ -110,18 +113,20 @@ impl ExperimentResults {
     /// [`dmhpc_metrics::export::REPORT_CSV_HEADER`].
     pub fn to_csv(&self) -> String {
         let mut out = String::with_capacity(256 * (self.cells.len() + 1));
-        out.push_str("experiment,cluster,load,seed,");
+        out.push_str("experiment,cluster,load,seed,fault,");
         out.push_str(export::REPORT_CSV_HEADER);
         out.push('\n');
         for c in &self.cells {
             let load = c.key.load.map(|l| format!("{l}")).unwrap_or_default();
             let seed = c.key.seed.map(|s| s.to_string()).unwrap_or_default();
+            let fault = c.key.fault.as_deref().unwrap_or_default();
             out.push_str(&format!(
-                "{},{},{},{},{}\n",
+                "{},{},{},{},{},{}\n",
                 export::sanitize(&self.name),
                 export::sanitize(&c.key.cluster),
                 load,
                 seed,
+                export::sanitize(fault),
                 export::report_csv_row(&c.output.report)
             ));
         }
@@ -139,6 +144,10 @@ impl ExperimentResults {
                     ("cluster", Json::Str(c.key.cluster.clone())),
                     ("load", c.key.load.map(Json::F64).unwrap_or(Json::Null)),
                     ("seed", c.key.seed.map(Json::UInt).unwrap_or(Json::Null)),
+                    (
+                        "fault",
+                        c.key.fault.clone().map(Json::Str).unwrap_or(Json::Null),
+                    ),
                     ("scheduler", Json::Str(c.key.scheduler.clone())),
                     ("trace_hash", Json::UInt(c.output.trace_hash)),
                     ("report", export::report_to_value(&c.output.report)),
@@ -187,7 +196,7 @@ mod tests {
         let csv = r.to_csv();
         let lines: Vec<&str> = csv.trim_end().lines().collect();
         assert_eq!(lines.len(), 1 + r.len());
-        assert!(lines[0].starts_with("experiment,cluster,load,seed,label,"));
+        assert!(lines[0].starts_with("experiment,cluster,load,seed,fault,label,"));
         let arity = lines[0].split(',').count();
         for line in &lines[1..] {
             assert_eq!(line.split(',').count(), arity);

@@ -184,8 +184,10 @@ impl ExperimentRunner {
             if let Some(kind) = self.event_queue {
                 config.event_queue = kind;
             }
-            // compile() validated every cell config.
-            let sim = Simulation::new(config).expect("cell config validated by compile()");
+            // compile() validated every cell config and fault scenario.
+            let sim = Simulation::new(config)
+                .and_then(|s| s.with_fault_spec(cell.faults.clone()))
+                .expect("cell config validated by compile()");
             (*i, cell.clone(), *hash, sim.run(workload))
         });
 

@@ -9,8 +9,10 @@
 
 use super::{ExperimentSpec, WorkloadSource};
 use crate::error::SimError;
+use crate::faults::{FaultAction, FaultGenerator, FaultSpec, InterruptPolicy};
+use dmhpc_des::time::SimTime;
 use dmhpc_metrics::json::{parse, Json, JsonError};
-use dmhpc_platform::{ClusterSpec, NodeSpec, PoolTopology, SlowdownModel};
+use dmhpc_platform::{ClusterSpec, NodeId, NodeSpec, PoolId, PoolTopology, SlowdownModel};
 use dmhpc_sched::{BackfillPolicy, MemoryPolicy, OrderPolicy, SchedulerConfig};
 use dmhpc_workload::SystemPreset;
 
@@ -115,6 +117,78 @@ fn scheduler_to_json(cfg: &SchedulerConfig) -> Json {
     ])
 }
 
+fn fault_action_to_json(at: SimTime, action: &FaultAction) -> Json {
+    let node = |tag: &str, n: NodeId| {
+        Json::obj(vec![(
+            tag,
+            Json::obj(vec![("node", Json::UInt(n.0 as u64))]),
+        )])
+    };
+    let act = match *action {
+        FaultAction::NodeFail(n) => node("node-fail", n),
+        FaultAction::NodeRepair(n) => node("node-repair", n),
+        FaultAction::DrainStart(n) => node("drain-start", n),
+        FaultAction::DrainEnd(n) => node("drain-end", n),
+        FaultAction::PoolDegrade { pool, factor } => Json::obj(vec![(
+            "pool-degrade",
+            Json::obj(vec![
+                ("pool", Json::UInt(pool.0 as u64)),
+                ("factor", Json::F64(factor)),
+            ]),
+        )]),
+        FaultAction::PoolRepair(p) => Json::obj(vec![(
+            "pool-repair",
+            Json::obj(vec![("pool", Json::UInt(p.0 as u64))]),
+        )]),
+    };
+    Json::obj(vec![("at_us", Json::UInt(at.as_micros())), ("action", act)])
+}
+
+fn fault_generator_to_json(g: &FaultGenerator) -> Json {
+    Json::obj(vec![
+        ("seed", Json::UInt(g.seed)),
+        ("horizon_s", Json::UInt(g.horizon_s)),
+        ("node_mtbf_s", Json::UInt(g.node_mtbf_s)),
+        ("node_repair_s", Json::UInt(g.node_repair_s)),
+        ("drain_interval_s", Json::UInt(g.drain_interval_s)),
+        ("drain_duration_s", Json::UInt(g.drain_duration_s)),
+        (
+            "pool_degrade_interval_s",
+            Json::UInt(g.pool_degrade_interval_s),
+        ),
+        (
+            "pool_degrade_duration_s",
+            Json::UInt(g.pool_degrade_duration_s),
+        ),
+        ("pool_degrade_factor", Json::F64(g.pool_degrade_factor)),
+    ])
+}
+
+fn fault_to_json(f: &FaultSpec) -> Json {
+    let interrupt = match f.interrupt {
+        InterruptPolicy::Resubmit => Json::Str("resubmit".into()),
+        InterruptPolicy::Checkpoint { overhead_s } => Json::obj(vec![(
+            "checkpoint",
+            Json::obj(vec![("overhead_s", Json::UInt(overhead_s))]),
+        )]),
+    };
+    let mut pairs = vec![(
+        "schedule",
+        Json::Arr(
+            f.schedule
+                .iter()
+                .map(|(at, action)| fault_action_to_json(*at, action))
+                .collect(),
+        ),
+    )];
+    if let Some(g) = &f.generator {
+        pairs.push(("generator", fault_generator_to_json(g)));
+    }
+    pairs.push(("interrupt", interrupt));
+    pairs.push(("max_resubmits", Json::UInt(f.max_resubmits as u64)));
+    Json::obj(pairs)
+}
+
 pub(super) fn spec_to_json(spec: &ExperimentSpec) -> Result<String, SimError> {
     let workload = match &spec.workload {
         WorkloadSource::Preset { preset, jobs } => Json::obj(vec![(
@@ -151,6 +225,10 @@ pub(super) fn spec_to_json(spec: &ExperimentSpec) -> Result<String, SimError> {
         (
             "schedulers",
             Json::Arr(spec.schedulers.iter().map(scheduler_to_json).collect()),
+        ),
+        (
+            "faults",
+            Json::Arr(spec.faults.iter().map(fault_to_json).collect()),
         ),
         ("enforce_walltime", Json::Bool(spec.enforce_walltime)),
         ("check_invariants", Json::Bool(spec.check_invariants)),
@@ -261,6 +339,74 @@ fn scheduler_from_json(v: &Json) -> Result<SchedulerConfig, JsonError> {
     })
 }
 
+fn fault_action_from_json(v: &Json) -> Result<(SimTime, FaultAction), JsonError> {
+    let at = SimTime::from_micros(v.expect_key("at_us")?.to_u64()?);
+    let (tag, data) = tagged(v.expect_key("action")?)?;
+    let node = |data: Option<&Json>| -> Result<NodeId, JsonError> {
+        Ok(NodeId(
+            payload(data, tag)?.expect_key("node")?.to_u64()? as u32
+        ))
+    };
+    let action = match tag {
+        "node-fail" => FaultAction::NodeFail(node(data)?),
+        "node-repair" => FaultAction::NodeRepair(node(data)?),
+        "drain-start" => FaultAction::DrainStart(node(data)?),
+        "drain-end" => FaultAction::DrainEnd(node(data)?),
+        "pool-degrade" => {
+            let p = payload(data, tag)?;
+            FaultAction::PoolDegrade {
+                pool: PoolId(p.expect_key("pool")?.to_u64()? as u32),
+                factor: p.expect_key("factor")?.to_f64()?,
+            }
+        }
+        "pool-repair" => FaultAction::PoolRepair(PoolId(
+            payload(data, tag)?.expect_key("pool")?.to_u64()? as u32,
+        )),
+        other => return Err(shape(format!("unknown fault action {other:?}"))),
+    };
+    Ok((at, action))
+}
+
+fn fault_generator_from_json(v: &Json) -> Result<FaultGenerator, JsonError> {
+    Ok(FaultGenerator {
+        seed: v.expect_key("seed")?.to_u64()?,
+        horizon_s: v.expect_key("horizon_s")?.to_u64()?,
+        node_mtbf_s: v.expect_key("node_mtbf_s")?.to_u64()?,
+        node_repair_s: v.expect_key("node_repair_s")?.to_u64()?,
+        drain_interval_s: v.expect_key("drain_interval_s")?.to_u64()?,
+        drain_duration_s: v.expect_key("drain_duration_s")?.to_u64()?,
+        pool_degrade_interval_s: v.expect_key("pool_degrade_interval_s")?.to_u64()?,
+        pool_degrade_duration_s: v.expect_key("pool_degrade_duration_s")?.to_u64()?,
+        pool_degrade_factor: v.expect_key("pool_degrade_factor")?.to_f64()?,
+    })
+}
+
+fn fault_from_json(v: &Json) -> Result<FaultSpec, JsonError> {
+    let interrupt = match tagged(v.expect_key("interrupt")?)? {
+        ("resubmit", _) => InterruptPolicy::Resubmit,
+        ("checkpoint", data) => InterruptPolicy::Checkpoint {
+            overhead_s: payload(data, "checkpoint")?
+                .expect_key("overhead_s")?
+                .to_u64()?,
+        },
+        (other, _) => return Err(shape(format!("unknown interrupt policy {other:?}"))),
+    };
+    Ok(FaultSpec {
+        schedule: v
+            .expect_key("schedule")?
+            .to_arr()?
+            .iter()
+            .map(fault_action_from_json)
+            .collect::<Result<_, _>>()?,
+        generator: match v.get("generator") {
+            Some(g) => Some(fault_generator_from_json(g)?),
+            None => None,
+        },
+        interrupt,
+        max_resubmits: v.expect_key("max_resubmits")?.to_u64()? as u32,
+    })
+}
+
 fn preset_from_name(name: &str) -> Result<SystemPreset, JsonError> {
     SystemPreset::ALL
         .into_iter()
@@ -309,6 +455,16 @@ pub(super) fn spec_from_json(text: &str) -> Result<ExperimentSpec, SimError> {
                 .iter()
                 .map(scheduler_from_json)
                 .collect::<Result<_, _>>()?,
+            // Absent in documents written before the fault axis existed:
+            // those grids are fault-free, exactly what an empty axis means.
+            faults: match doc.get("faults") {
+                Some(f) => f
+                    .to_arr()?
+                    .iter()
+                    .map(fault_from_json)
+                    .collect::<Result<_, _>>()?,
+                None => Vec::new(),
+            },
             enforce_walltime: doc.expect_key("enforce_walltime")?.to_bool()?,
             check_invariants: doc.expect_key("check_invariants")?.to_bool()?,
         })
@@ -320,6 +476,7 @@ pub(super) fn spec_from_json(text: &str) -> Result<ExperimentSpec, SimError> {
 mod tests {
     use super::*;
     use crate::scenarios::default_slowdown;
+    use crate::ExperimentBuilder;
 
     fn full_spec() -> ExperimentSpec {
         ExperimentSpec::builder("round-trip")
@@ -346,6 +503,20 @@ mod tests {
                     .inflate_walltime(false)
                     .build(),
             )
+            .fault(FaultSpec::none())
+            .fault(
+                FaultSpec::none()
+                    .with_action(SimTime::from_secs(3600), FaultAction::NodeFail(NodeId(3)))
+                    .with_action(SimTime::from_secs(7200), FaultAction::DrainStart(NodeId(5)))
+                    .with_generator({
+                        let mut g = FaultGenerator::quiet(9, 100_000);
+                        g.node_mtbf_s = 20_000;
+                        g.drain_interval_s = 40_000;
+                        g
+                    })
+                    .with_interrupt(InterruptPolicy::Checkpoint { overhead_s: 120 })
+                    .with_max_resubmits(3),
+            )
             .build()
             .unwrap()
     }
@@ -360,6 +531,7 @@ mod tests {
         assert_eq!(back.loads, spec.loads);
         assert_eq!(back.seeds, spec.seeds);
         assert_eq!(back.schedulers, spec.schedulers);
+        assert_eq!(back.faults, spec.faults, "fault axis round-trips exactly");
         assert_eq!(back.enforce_walltime, spec.enforce_walltime);
         assert_eq!(back.check_invariants, spec.check_invariants);
         match (&back.workload, &spec.workload) {
@@ -412,6 +584,63 @@ mod tests {
             .build()
             .unwrap();
         assert!(matches!(spec.to_json(), Err(SimError::Parse { .. })));
+    }
+
+    #[test]
+    fn pool_fault_actions_round_trip_on_pool_grids() {
+        let spec = ExperimentSpec::builder("pool-faults")
+            .preset(SystemPreset::MidCluster, 50)
+            .pool(PoolTopology::PerRack {
+                mib_per_rack: 512 * 1024,
+            })
+            .seed(1)
+            .scheduler(dmhpc_sched::SchedulerBuilder::new().build())
+            .fault(
+                FaultSpec::none()
+                    .with_action(
+                        SimTime::from_secs(100),
+                        FaultAction::PoolDegrade {
+                            pool: PoolId(0),
+                            factor: 0.25,
+                        },
+                    )
+                    .with_action(SimTime::from_secs(500), FaultAction::PoolRepair(PoolId(0))),
+            )
+            .build()
+            .unwrap();
+        let back = ExperimentSpec::from_json(&spec.to_json().unwrap()).unwrap();
+        assert_eq!(back.faults, spec.faults);
+        // A no-pool cluster with a pool fault is rejected up front.
+        let err = ExperimentBuilder::from_spec(spec)
+            .pool(PoolTopology::None)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("pool domain"), "{err}");
+    }
+
+    #[test]
+    fn pre_fault_documents_parse_as_fault_free() {
+        // Specs written before the fault axis existed have no "faults"
+        // key; they must keep parsing (as fault-free grids).
+        let old = r#"{
+            "name": "legacy",
+            "workload": {"preset": {"system": "htc-128", "jobs": 10}},
+            "clusters": [{
+                "label": "c0", "racks": 1, "nodes_per_rack": 4,
+                "cores": 8, "node_mem_mib": 65536, "pool": "none"
+            }],
+            "loads": [],
+            "seeds": [1],
+            "schedulers": [{
+                "order": "fcfs", "backfill": "easy", "memory": "local-only",
+                "slowdown": "none", "inflate_walltime": true
+            }],
+            "enforce_walltime": true,
+            "check_invariants": false
+        }"#;
+        let spec = ExperimentSpec::from_json(old).unwrap();
+        assert!(spec.faults.is_empty());
+        assert_eq!(spec.compile().unwrap()[0].key.fault, None);
     }
 
     #[test]

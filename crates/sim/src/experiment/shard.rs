@@ -76,13 +76,14 @@ impl fmt::Display for Shard {
 
 /// Exact-equality lookup key for a grid cell (loads compared by bit
 /// pattern, as the grid axes mean).
-type MergeKey = (String, Option<u64>, Option<u64>, String);
+type MergeKey = (String, Option<u64>, Option<u64>, Option<String>, String);
 
 fn merge_key(key: &CellKey) -> MergeKey {
     (
         key.cluster.clone(),
         key.load.map(f64::to_bits),
         key.seed,
+        key.fault.clone(),
         key.scheduler.clone(),
     )
 }

@@ -40,6 +40,7 @@ mod config;
 mod engine;
 mod error;
 pub mod experiment;
+pub mod faults;
 pub mod scenarios;
 pub mod sweep;
 
@@ -51,3 +52,4 @@ pub use experiment::{
     CellKey, CellResult, ExperimentBuilder, ExperimentResults, ExperimentRunner, ExperimentSpec,
     ResultCache, RunSpec, RunStats, Shard, WorkloadSource,
 };
+pub use faults::{FaultAction, FaultGenerator, FaultSpec, InterruptPolicy};

@@ -51,6 +51,13 @@
 //! [`sim::ExperimentResults::merge`]) for fanning a grid out across
 //! processes or CI jobs.
 //!
+//! Availability is a grid dimension too: a [`sim::FaultSpec`] (node
+//! failures, maintenance drains, pool degradations — fixed schedules or
+//! seeded generators, with resubmit or checkpoint/restart handling of
+//! interrupted jobs) crosses into a grid via
+//! `ExperimentSpec::builder(..).fault(..)`. Fault-free cells hash and
+//! cache exactly as before, so adding the axis never invalidates results.
+//!
 //! For one-off runs without a grid, [`sim::Simulation`] is still the
 //! entry point: `Simulation::new(SimConfig::new(cluster, scheduler))?`.
 //!
@@ -77,9 +84,10 @@ pub mod prelude {
     pub use dmhpc_des::rng::Pcg64;
     pub use dmhpc_des::stats::{CdfCollector, OnlineStats, P2Quantile, StepSeries, TimeWeighted};
     pub use dmhpc_des::time::{SimDuration, SimTime};
-    pub use dmhpc_metrics::{ClassBreakdown, JobClass, SimReport};
+    pub use dmhpc_metrics::{ClassBreakdown, FaultSummary, JobClass, SimReport};
     pub use dmhpc_platform::{
-        Cluster, ClusterSpec, MemoryPool, MiB, NodeSpec, PlatformError, PoolTopology, SlowdownModel,
+        Cluster, ClusterSpec, MemoryPool, MiB, NodeSpec, NodeState, PlatformError, PoolTopology,
+        SlowdownModel,
     };
     pub use dmhpc_sched::{
         BackfillPolicy, MemoryPolicy, OrderPolicy, Ordering, Placement, ReleaseIndex, ReleaseView,
@@ -87,7 +95,8 @@ pub mod prelude {
     };
     pub use dmhpc_sim::{
         CellKey, CellResult, EventQueueKind, ExperimentResults, ExperimentRunner, ExperimentSpec,
-        ResultCache, RunStats, Shard, SimConfig, SimError, SimOutput, Simulation, WorkloadSource,
+        FaultAction, FaultGenerator, FaultSpec, InterruptPolicy, ResultCache, RunStats, Shard,
+        SimConfig, SimError, SimOutput, Simulation, WorkloadSource,
     };
     pub use dmhpc_workload::{Job, JobId, SyntheticSpec, SystemPreset, Workload, WorkloadBuilder};
 }

@@ -636,6 +636,40 @@ fn smoke_grid_matches_pre_refactor_golden_hashes() {
     }
 }
 
+/// The same golden table with an *explicit* `FaultSpec::none()` axis, on
+/// both event-queue backends: the fault subsystem's identity scenario
+/// must be bit-identical to the PR-3 engine — same traces, same pass
+/// counts, and `avail_util == node_util` by the very same expression.
+#[test]
+fn smoke_grid_with_none_fault_spec_matches_golden_hashes() {
+    let spec = dmhpc::sim::ExperimentBuilder::from_spec(smoke_grid())
+        .fault(FaultSpec::none())
+        .build()
+        .unwrap();
+    assert_eq!(spec.cell_count(), SMOKE_GOLDEN_HASHES.len());
+    for kind in [EventQueueKind::BinaryHeap, EventQueueKind::Calendar] {
+        let results = ExperimentRunner::with_threads(1)
+            .event_queue(kind)
+            .run(&spec)
+            .unwrap();
+        for (cell, &golden) in results.cells().iter().zip(&SMOKE_GOLDEN_HASHES) {
+            assert_eq!(
+                cell.output.trace_hash,
+                golden,
+                "{} on {:?}: FaultSpec::none() diverged from the fault-free engine",
+                cell.key.label(),
+                kind
+            );
+            assert_eq!(cell.key.fault, None, "identity scenario is unlabeled");
+            assert_eq!(cell.output.faults.interruptions, 0);
+            assert_eq!(
+                cell.output.report.avail_util, cell.output.report.node_util,
+                "no downtime ⇒ identical utilization expressions"
+            );
+        }
+    }
+}
+
 /// Golden hashes for two contention-model runs (dynamic re-dilation is the
 /// path the pool-scoped borrower index rewrote): HighThroughput preset,
 /// 400 jobs, seed 11, on 4×32 nodes of 32 cores / 192 GiB with 384 GiB
@@ -701,4 +735,206 @@ fn kernel_passes_are_sparse_on_the_smoke_grid() {
         );
         assert!(cell.output.passes > 0);
     }
+}
+
+// ------------------------------------------------- fault & availability
+
+/// A representative active fault scenario for grid-level tests: node
+/// failures + drains + pool degradations, checkpoint/restart handling.
+fn stormy_faults() -> FaultSpec {
+    let mut gen = FaultGenerator::quiet(21, 40_000);
+    gen.node_mtbf_s = 900;
+    gen.node_repair_s = 1_800;
+    gen.drain_interval_s = 3_000;
+    gen.drain_duration_s = 1_200;
+    gen.pool_degrade_interval_s = 5_000;
+    gen.pool_degrade_duration_s = 2_500;
+    gen.pool_degrade_factor = 0.4;
+    FaultSpec::none()
+        .with_generator(gen)
+        .with_interrupt(InterruptPolicy::Checkpoint { overhead_s: 120 })
+        .with_max_resubmits(2)
+}
+
+/// Determinism under an active `FaultSpec`: identical per-cell traces for
+/// 1 vs N runner threads and for heap vs calendar event queues, with the
+/// fault counters agreeing too.
+#[test]
+fn fault_grids_are_deterministic_across_threads_and_backends() {
+    let spec = dmhpc::sim::ExperimentBuilder::from_spec(smoke_grid())
+        .name("smoke-faults-det")
+        .fault(FaultSpec::none())
+        .fault(stormy_faults())
+        .build()
+        .unwrap();
+    assert_eq!(spec.cell_count(), 2 * 8);
+    let serial = ExperimentRunner::with_threads(1).run(&spec).unwrap();
+    let parallel = ExperimentRunner::with_threads(8).run(&spec).unwrap();
+    let calendar = ExperimentRunner::with_threads(4)
+        .event_queue(EventQueueKind::Calendar)
+        .run(&spec)
+        .unwrap();
+    let mut faulty_cells_bitten = 0;
+    for ((a, b), c) in serial
+        .cells()
+        .iter()
+        .zip(parallel.cells())
+        .zip(calendar.cells())
+    {
+        assert_eq!(a.key, b.key, "grid order independent of threads");
+        assert_eq!(a.key, c.key, "grid order independent of backend");
+        assert_eq!(
+            a.output.trace_hash,
+            b.output.trace_hash,
+            "{}",
+            a.key.label()
+        );
+        assert_eq!(
+            a.output.trace_hash,
+            c.output.trace_hash,
+            "{}",
+            a.key.label()
+        );
+        assert_eq!(a.output.faults, b.output.faults);
+        assert_eq!(a.output.faults, c.output.faults);
+        assert_eq!(a.output.passes, c.output.passes);
+        if a.key.fault.is_some() && a.output.faults.interruptions > 0 {
+            faulty_cells_bitten += 1;
+        }
+    }
+    assert!(
+        faulty_cells_bitten > 0,
+        "the stormy scenario must actually interrupt something"
+    );
+    // And the fault axis changes results: a faulty cell's trace differs
+    // from its fault-free twin.
+    let twin = |fault: Option<&str>| {
+        serial
+            .cells()
+            .iter()
+            .find(|c| c.key.fault.as_deref() == fault)
+            .unwrap()
+    };
+    assert_ne!(
+        twin(None).output.trace_hash,
+        twin(Some(&stormy_faults().label())).output.trace_hash
+    );
+}
+
+/// Cache correctness (ISSUE satellite): changing any `FaultSpec` field
+/// moves the cell hash (cold re-run), while attaching `FaultSpec::none()`
+/// leaves hashes — and therefore existing PR-2/PR-3 caches — untouched.
+#[test]
+fn fault_spec_fields_move_cell_hashes_but_none_is_hash_neutral() {
+    let base = smoke_grid();
+    let hashes = |spec: &ExperimentSpec| -> Vec<u64> {
+        spec.cell_hashes()
+            .unwrap()
+            .into_iter()
+            .map(|(_, h)| h)
+            .collect()
+    };
+    let base_hashes = hashes(&base);
+
+    // Attaching the identity scenario: bit-identical hashes.
+    let with_none = dmhpc::sim::ExperimentBuilder::from_spec(base.clone())
+        .fault(FaultSpec::none())
+        .build()
+        .unwrap();
+    assert_eq!(hashes(&with_none), base_hashes);
+
+    // Every field of an active scenario is hash-relevant.
+    let stormy = stormy_faults();
+    let spec_with = |f: FaultSpec| {
+        dmhpc::sim::ExperimentBuilder::from_spec(base.clone())
+            .fault(f)
+            .build()
+            .unwrap()
+    };
+    let reference = hashes(&spec_with(stormy.clone()));
+    assert_ne!(reference, base_hashes, "active scenario re-keys cells");
+
+    let mut variants: Vec<FaultSpec> = vec![
+        stormy.clone().with_max_resubmits(3),
+        stormy.clone().with_interrupt(InterruptPolicy::Resubmit),
+        stormy
+            .clone()
+            .with_interrupt(InterruptPolicy::Checkpoint { overhead_s: 121 }),
+        stormy.clone().with_action(
+            dmhpc::des::SimTime::from_secs(50),
+            dmhpc::sim::FaultAction::NodeFail(dmhpc::platform::NodeId(0)),
+        ),
+    ];
+    type GeneratorEdit<'a> = (&'a str, Box<dyn Fn(&mut FaultGenerator)>);
+    let generator_edits: Vec<GeneratorEdit> = vec![
+        ("seed", Box::new(|g| g.seed += 1)),
+        ("horizon_s", Box::new(|g| g.horizon_s += 1)),
+        ("node_mtbf_s", Box::new(|g| g.node_mtbf_s += 1)),
+        ("node_repair_s", Box::new(|g| g.node_repair_s += 1)),
+        ("drain_interval_s", Box::new(|g| g.drain_interval_s += 1)),
+        ("drain_duration_s", Box::new(|g| g.drain_duration_s += 1)),
+        (
+            "pool_degrade_interval_s",
+            Box::new(|g| g.pool_degrade_interval_s += 1),
+        ),
+        (
+            "pool_degrade_duration_s",
+            Box::new(|g| g.pool_degrade_duration_s += 1),
+        ),
+        (
+            "pool_degrade_factor",
+            Box::new(|g| g.pool_degrade_factor = 0.6),
+        ),
+    ];
+    for (field, mutate) in &generator_edits {
+        let mut g = stormy.generator.unwrap();
+        mutate(&mut g);
+        let variant = stormy.clone().with_generator(g);
+        assert_ne!(
+            hashes(&spec_with(variant.clone())),
+            reference,
+            "generator field {field} must be hash-relevant"
+        );
+        variants.push(variant);
+    }
+    for variant in variants {
+        assert_ne!(
+            hashes(&spec_with(variant)),
+            reference,
+            "every FaultSpec edit re-keys cells"
+        );
+    }
+}
+
+/// Fault cells participate in the content-addressed cache end to end: a
+/// faulty grid populates it cold, replays warm with byte-identical
+/// exports, and never collides with the fault-free twin cells.
+#[test]
+fn fault_cells_cache_and_replay_byte_identically() {
+    let dir = std::env::temp_dir().join(format!("dmhpc-fault-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = dmhpc::sim::ExperimentBuilder::from_spec(smoke_grid())
+        .name("smoke-faults-cache")
+        .fault(FaultSpec::none())
+        .fault(stormy_faults())
+        .build()
+        .unwrap();
+    let cold = ExperimentRunner::with_threads(2)
+        .cache_dir(&dir)
+        .unwrap()
+        .run(&spec)
+        .unwrap();
+    assert_eq!(cold.stats().simulated, spec.cell_count());
+    let warm = ExperimentRunner::with_threads(2)
+        .cache_dir(&dir)
+        .unwrap()
+        .run(&spec)
+        .unwrap();
+    assert_eq!(warm.stats().simulated, 0, "all cells replay from cache");
+    assert_eq!(warm.to_csv(), cold.to_csv());
+    assert_eq!(warm.to_json(), cold.to_json());
+    for (a, b) in warm.cells().iter().zip(cold.cells()) {
+        assert_eq!(a.output.faults, b.output.faults, "summary round-trips");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }

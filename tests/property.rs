@@ -111,6 +111,94 @@ fn cluster_ledger_survives_random_churn() {
     }
 }
 
+/// Availability invariant 2b: arbitrary interleavings of allocation churn
+/// and node state transitions never desynchronize the free-capacity
+/// indexes, and out-of-service nodes never reenter them early.
+#[test]
+fn cluster_state_machine_survives_random_transitions() {
+    use dmhpc::platform::{NodeId, NodeState};
+    for case in 0..64u64 {
+        let mut rng = Pcg64::new_stream(0xFA11, case);
+        let mut cluster = Cluster::new(ClusterSpec::new(
+            2,
+            8,
+            NodeSpec::new(16, 128),
+            PoolTopology::PerRack { mib_per_rack: 256 },
+        ));
+        let mut active: Vec<u64> = Vec::new();
+        let ops = 1 + rng.index(200);
+        for _ in 0..ops {
+            match rng.index(6) {
+                0 => {
+                    let lease = rng.bounded_u64(24);
+                    if !active.contains(&lease) {
+                        if let Some(ids) = cluster.first_fit_nodes(1 + rng.index(3)) {
+                            let a = MemoryAssignment::hybrid(ids, 32, rng.bounded_u64(64));
+                            if cluster.can_allocate(&a).is_ok() {
+                                cluster.allocate(lease, a).unwrap();
+                                active.push(lease);
+                            }
+                        }
+                    }
+                }
+                1 => {
+                    if let Some(&lease) = active.first() {
+                        cluster.release(lease).unwrap();
+                        active.retain(|&l| l != lease);
+                    }
+                }
+                2 => {
+                    let node = NodeId(rng.index(16) as u32);
+                    cluster.fail_node(node).unwrap();
+                    // The engine contract: interrupt (release) any lease
+                    // holding a node that leaves service.
+                    if let Some(lease) = cluster.holder(node) {
+                        cluster.release(lease).unwrap();
+                        active.retain(|&l| l != lease);
+                    }
+                }
+                3 => {
+                    let node = NodeId(rng.index(16) as u32);
+                    cluster.repair_node(node).unwrap();
+                }
+                4 => {
+                    let node = NodeId(rng.index(16) as u32);
+                    cluster.drain_node(node).unwrap();
+                    if let Some(lease) = cluster.holder(node) {
+                        cluster.release(lease).unwrap();
+                        active.retain(|&l| l != lease);
+                    }
+                }
+                _ => {
+                    let node = NodeId(rng.index(16) as u32);
+                    cluster.undrain_node(node).unwrap();
+                }
+            }
+            cluster.verify_invariants().unwrap_or_else(|e| {
+                panic!("case {case}: {e}");
+            });
+            // Free nodes are exactly the allocatable ones.
+            for n in 0..16u32 {
+                let node = NodeId(n);
+                let expect =
+                    cluster.holder(node).is_none() && cluster.node_state(node) == NodeState::Up;
+                assert_eq!(cluster.is_free(node), expect, "case {case} node {n}");
+            }
+        }
+        // Repair everything, release everything: machine whole again.
+        for lease in active {
+            cluster.release(lease).unwrap();
+        }
+        for n in 0..16u32 {
+            cluster.undrain_node(NodeId(n)).unwrap();
+            cluster.repair_node(NodeId(n)).unwrap();
+        }
+        assert_eq!(cluster.free_nodes(), 16);
+        assert_eq!(cluster.available_nodes(), 16);
+        cluster.verify_invariants().unwrap();
+    }
+}
+
 // ------------------------------------------------------------------ engine
 
 /// One random job: arrival, nodes, runtime, walltime multiple, per-node
@@ -182,6 +270,9 @@ fn engine_invariants_on_random_workloads() {
                 JobOutcome::Killed => {
                     assert!(r.residence().unwrap() <= r.job.walltime.scale(2.0));
                 }
+                JobOutcome::Failed => {
+                    panic!("case {case}: fault-free run produced a Failed job")
+                }
             }
             if let Some(s) = r.start {
                 assert!(s >= r.job.arrival);
@@ -213,6 +304,114 @@ fn engine_is_deterministic() {
         let b = sim.run(&w);
         assert_eq!(a.trace_hash, b.trace_hash, "case {case}");
         assert_eq!(a.passes, b.passes);
+    }
+}
+
+/// A random fault scenario: some mix of failures, drains, and pool
+/// degradations with a random interrupt policy and budget.
+fn random_faults(rng: &mut Pcg64) -> dmhpc::sim::FaultSpec {
+    use dmhpc::sim::{FaultGenerator, FaultSpec, InterruptPolicy};
+    let mut gen =
+        FaultGenerator::quiet(rng.bounded_u64(1 << 20), 50_000 + rng.bounded_u64(150_000));
+    if rng.chance(0.8) {
+        gen.node_mtbf_s = 5_000 + rng.bounded_u64(40_000);
+        gen.node_repair_s = 500 + rng.bounded_u64(20_000);
+    }
+    if rng.chance(0.5) {
+        gen.drain_interval_s = 20_000 + rng.bounded_u64(80_000);
+        gen.drain_duration_s = 1_000 + rng.bounded_u64(30_000);
+    }
+    if rng.chance(0.5) {
+        gen.pool_degrade_interval_s = 20_000 + rng.bounded_u64(100_000);
+        gen.pool_degrade_duration_s = 1_000 + rng.bounded_u64(40_000);
+        gen.pool_degrade_factor = rng.range_f64(0.2, 0.9);
+    }
+    let interrupt = if rng.chance(0.5) {
+        InterruptPolicy::Resubmit
+    } else {
+        InterruptPolicy::Checkpoint {
+            overhead_s: rng.bounded_u64(600),
+        }
+    };
+    FaultSpec::none()
+        .with_generator(gen)
+        .with_interrupt(interrupt)
+        .with_max_resubmits(rng.index(4) as u32)
+}
+
+/// Fault-scenario invariants end to end on random workloads × random
+/// scenarios, with per-batch checks on (checked mode asserts that no job
+/// occupies a Down/Draining node and no pool exceeds its degraded
+/// capacity after every event batch):
+///
+/// * every job is accounted for exactly once
+///   (completed + killed + rejected + failed == submitted);
+/// * every interruption ends in exactly one of {resubmission, terminal
+///   failure}: `interruptions == resubmissions + failed-while-running`;
+/// * resubmissions never exceed the per-job budget;
+/// * identical inputs reproduce identical traces and fault counters.
+#[test]
+fn engine_fault_invariants_on_random_scenarios() {
+    for case in 0..32u64 {
+        let mut rng = Pcg64::new_stream(0xFA117E57, case);
+        let w = random_workload(&mut rng, 50, 24);
+        let faults = random_faults(&mut rng);
+        let cluster = preset_cluster(
+            SystemPreset::HighThroughput,
+            PoolTopology::PerRack {
+                mib_per_rack: 512 * 1024,
+            },
+        );
+        let memory = [
+            MemoryPolicy::LocalOnly,
+            MemoryPolicy::PoolFirstFit,
+            MemoryPolicy::PoolBestFit,
+            MemoryPolicy::SlowdownAware { max_dilation: 1.4 },
+        ][rng.index(4)];
+        let sched = SchedulerBuilder::new()
+            .memory(memory)
+            .slowdown(SlowdownModel::Contention {
+                penalty: 1.5,
+                gamma: 1.0,
+            })
+            .build();
+        let sim = Simulation::new(SimConfig::new(cluster, sched).checked())
+            .unwrap()
+            .with_fault_spec(faults.clone())
+            .unwrap();
+        let out = sim.run(&w);
+
+        assert_eq!(out.records.len(), w.len(), "case {case}");
+        let r = &out.report;
+        assert_eq!(
+            r.completed + r.killed + r.rejected + r.failed,
+            w.len(),
+            "case {case}: every job accounted for exactly once"
+        );
+        let failed_running = out
+            .records
+            .iter()
+            .filter(|rec| rec.outcome == JobOutcome::Failed && rec.start.is_some())
+            .count() as u64;
+        assert_eq!(
+            out.faults.interruptions,
+            out.faults.resubmissions + failed_running,
+            "case {case}: each interruption → one resubmission xor one terminal failure"
+        );
+        assert!(
+            out.faults.resubmissions <= out.faults.interruptions,
+            "case {case}"
+        );
+        if out.faults.interruptions > 0 {
+            assert!(out.faults.rework_s >= 0.0);
+        }
+        assert!(out.report.avail_util <= 1.0 + 1e-9, "case {case}");
+
+        // Determinism under faults (trace + counters).
+        let again = sim.run(&w);
+        assert_eq!(out.trace_hash, again.trace_hash, "case {case}");
+        assert_eq!(out.faults, again.faults, "case {case}");
+        assert_eq!(out.passes, again.passes, "case {case}");
     }
 }
 
