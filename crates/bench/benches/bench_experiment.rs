@@ -8,8 +8,10 @@
 //! the fixed overhead around the simulations, not the simulations.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dmhpc_des::time::SimDuration;
 use dmhpc_platform::{PoolTopology, SlowdownModel};
 use dmhpc_sched::{MemoryPolicy, SchedulerBuilder};
+use dmhpc_sim::observe::{EventCounter, SampledSeriesProbe, TraceSink};
 use dmhpc_sim::scenarios::{default_slowdown, policy_suite, preset_cluster};
 use dmhpc_sim::{EventQueueKind, ExperimentRunner, ExperimentSpec, Shard, SimConfig, Simulation};
 use dmhpc_workload::SystemPreset;
@@ -242,12 +244,83 @@ fn bench_engine_faults(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_engine_observers(c: &mut Criterion) {
+    // Observer overhead: the same high-load contention workload with the
+    // default observer set only (`none` — the built-ins that assemble
+    // SimOutput) versus the full extra set attached (`full`: a streaming
+    // JSONL TraceSink, a cadence-sampled series probe, and an event
+    // counter). `bench_gate` bounds the full/none throughput ratio so the
+    // observation layer cannot silently tax the kernel — extras pay one
+    // virtual dispatch per event plus their own work, never a change to
+    // the simulation itself (traces are bit-identical; asserted here).
+    const OBS_JOBS: usize = 1_500;
+    let workload = SystemPreset::HighThroughput
+        .synthetic_spec(OBS_JOBS)
+        .generate(31);
+    let cluster = preset_cluster(
+        SystemPreset::HighThroughput,
+        PoolTopology::PerRack {
+            mib_per_rack: 384 * 1024,
+        },
+    );
+    let sched = SchedulerBuilder::new()
+        .memory(MemoryPolicy::PoolBestFit)
+        .slowdown(SlowdownModel::Contention {
+            penalty: 1.5,
+            gamma: 1.0,
+        })
+        .build();
+    let cfg = SimConfig::new(cluster, sched);
+    let sim = Simulation::new(cfg).expect("valid config");
+    let reference = sim.run(&workload);
+    let trace_path = std::env::temp_dir().join(format!(
+        "dmhpc-bench-observers-{}.jsonl",
+        std::process::id()
+    ));
+
+    // One observed reference run: the attached extras must be trace- and
+    // metric-neutral, or the ratio below measures the wrong thing.
+    {
+        let mut trace = TraceSink::create(&trace_path).expect("temp trace");
+        let mut probe = SampledSeriesProbe::new(SimDuration::from_secs(3600));
+        let mut counter = EventCounter::new();
+        let observed = sim.run_observed(&workload, &mut [&mut trace, &mut probe, &mut counter]);
+        assert_eq!(
+            observed.trace_hash, reference.trace_hash,
+            "observers must be neutral"
+        );
+        let events = trace.finish().expect("trace flushes");
+        eprintln!(
+            "engine_observers: {} engine events -> {} observed events, {} samples",
+            reference.events_processed,
+            events,
+            probe.samples().len()
+        );
+    }
+
+    let mut group = c.benchmark_group("engine_observers");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(reference.events_processed));
+    group.bench_function("none", |b| b.iter(|| black_box(sim.run(&workload))));
+    group.bench_function("full", |b| {
+        b.iter(|| {
+            let mut trace = TraceSink::create(&trace_path).expect("temp trace");
+            let mut probe = SampledSeriesProbe::new(SimDuration::from_secs(3600));
+            let mut counter = EventCounter::new();
+            black_box(sim.run_observed(&workload, &mut [&mut trace, &mut probe, &mut counter]))
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_file(&trace_path);
+}
+
 criterion_group!(
     benches,
     bench_experiment,
     bench_grid_scaling,
     bench_single_cell,
     bench_engine_kernel,
-    bench_engine_faults
+    bench_engine_faults,
+    bench_engine_observers
 );
 criterion_main!(benches);

@@ -15,7 +15,12 @@
 //!   (`engine_faults/storm`) over its fault-free run
 //!   (`engine_faults/none`), bounding what the availability subsystem may
 //!   cost (it is dead code on fault-free runs; under faults the overhead
-//!   is interruption work plus the redone jobs, not a per-event tax).
+//!   is interruption work plus the redone jobs, not a per-event tax);
+//! * **observer overhead** — the same workload with the full extra
+//!   observer set attached (`engine_observers/full`: streaming JSONL
+//!   trace sink + sampled series probe + event counter) over the default
+//!   observer set alone (`engine_observers/none`), bounding what
+//!   attaching observers may cost per event.
 //!
 //! Ratios, not absolute times: CI machines vary wildly in speed, but cost
 //! relative to a same-machine reference is a property of the code. Exits
@@ -34,6 +39,8 @@ const KERNEL_CAL_BENCH: &str = "engine_kernel/calendar";
 const KERNEL_HEAP_BENCH: &str = "engine_kernel/heap";
 const FAULTS_STORM_BENCH: &str = "engine_faults/storm";
 const FAULTS_NONE_BENCH: &str = "engine_faults/none";
+const OBSERVERS_FULL_BENCH: &str = "engine_observers/full";
+const OBSERVERS_NONE_BENCH: &str = "engine_observers/none";
 
 fn mean_of(lines: &str, bench: &str) -> Result<f64, String> {
     // Last occurrence wins: re-runs append.
@@ -126,6 +133,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         mean_of(&results, FAULTS_STORM_BENCH)?,
         mean_of(&results, FAULTS_NONE_BENCH)?,
         baseline.expect_key("faults_vs_clean_ratio")?.to_f64()?,
+        max_regression,
+    )?;
+    gate(
+        "observer overhead",
+        OBSERVERS_FULL_BENCH,
+        OBSERVERS_NONE_BENCH,
+        mean_of(&results, OBSERVERS_FULL_BENCH)?,
+        mean_of(&results, OBSERVERS_NONE_BENCH)?,
+        baseline.expect_key("observer_overhead_ratio")?.to_f64()?,
         max_regression,
     )?;
     println!("bench gate OK");

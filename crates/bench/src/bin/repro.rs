@@ -30,11 +30,14 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 fn usage() {
-    eprintln!("usage: repro [--list] [--cache-dir DIR] [--threads N] [--queue heap|calendar] <id>... | all");
-    eprintln!("       repro grid  <spec.json|smoke|smoke-contention|smoke-faults> [--shard i/n] [--cache-dir DIR] [--threads N] [--queue heap|calendar] [--faults]");
+    eprintln!("usage: repro [--list] [--cache-dir DIR] [--threads N] [--queue heap|calendar] [--trace-out DIR] <id>... | all");
+    eprintln!("       repro grid  <spec.json|smoke|smoke-contention|smoke-faults> [--shard i/n] [--cache-dir DIR] [--threads N] [--queue heap|calendar] [--trace-out DIR] [--faults]");
     eprintln!("       repro merge <spec.json|smoke|smoke-contention|smoke-faults> --cache-dir DIR [--faults]");
     eprintln!("       --faults crosses the spec's grid with the built-in fault axis");
     eprintln!("       (fault-free baseline + node failures/drains/pool degradations)");
+    eprintln!("       --trace-out DIR streams one <spec>.<cell>.jsonl event trace per");
+    eprintln!("       simulated cell into DIR (constant memory per cell; hash-neutral,");
+    eprintln!("       so result caches stay warm — cache-hit cells emit no trace)");
     eprintln!("ids: {}", experiments::all_ids().join(" "));
 }
 
@@ -47,6 +50,8 @@ struct Cli {
     /// `None` = auto (one worker per core); validated ≥ 1 when given.
     threads: Option<usize>,
     queue: Option<EventQueueKind>,
+    /// Stream per-cell event traces into this directory.
+    trace_out: Option<PathBuf>,
     /// Cross the grid with the built-in fault axis (grid/merge modes).
     faults: bool,
     args: Vec<String>,
@@ -67,6 +72,7 @@ fn parse_cli(raw: Vec<String>) -> Result<Cli, Box<dyn std::error::Error>> {
         shard: None,
         threads: None,
         queue: None,
+        trace_out: None,
         faults: false,
         args: Vec::new(),
     };
@@ -95,6 +101,7 @@ fn parse_cli(raw: Vec<String>) -> Result<Cli, Box<dyn std::error::Error>> {
             "--list" => cli.list = true,
             "--faults" => cli.faults = true,
             "--cache-dir" => cli.cache_dir = Some(PathBuf::from(value(&mut it, "--cache-dir")?)),
+            "--trace-out" => cli.trace_out = Some(PathBuf::from(value(&mut it, "--trace-out")?)),
             "--shard" => cli.shard = Some(Shard::parse(&value(&mut it, "--shard")?)?),
             "--threads" => {
                 let n: usize = value(&mut it, "--threads")?.parse()?;
@@ -170,6 +177,9 @@ fn run_grid(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
         if cli.queue.is_some() {
             return Err("--queue does not apply to --list (listing never simulates)".into());
         }
+        if cli.trace_out.is_some() {
+            return Err("--trace-out does not apply to --list (listing never simulates)".into());
+        }
         // Listing compiles the grid, so an ill-formed spec fails loudly
         // here instead of being discovered mid-CI. With --shard, list
         // exactly the cells that shard would run.
@@ -187,6 +197,10 @@ fn run_grid(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(kind) = cli.queue {
         runner = runner.event_queue(kind);
     }
+    if let Some(dir) = &cli.trace_out {
+        runner = runner.trace_dir(dir)?;
+    }
+    let started_at = std::time::SystemTime::now();
     let start = Instant::now();
     let (results, stem) = match cli.shard {
         Some(shard) => (
@@ -204,6 +218,69 @@ fn run_grid(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
         stats.simulated,
         stats.cache_hits,
         start.elapsed().as_secs_f64()
+    );
+    if let Some(dir) = &cli.trace_out {
+        verify_traces(dir, stats.simulated, started_at)?;
+    }
+    Ok(())
+}
+
+/// Check the streamed traces after a `--trace-out` run: every `.jsonl`
+/// file must be non-empty and every line must parse as JSON. A run that
+/// simulated cells must have written at least one *fresh* trace (mtime
+/// at/after the run started, with a 1 s cushion for coarse filesystem
+/// timestamps) — stale files from earlier runs are still validated but
+/// cannot satisfy that check, and the totals distinguish the two so
+/// smoke logs show what this invocation actually exported.
+fn verify_traces(
+    dir: &PathBuf,
+    simulated: usize,
+    started_at: std::time::SystemTime,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let cutoff = started_at - std::time::Duration::from_secs(1);
+    let mut files = 0usize;
+    let mut fresh = 0usize;
+    let mut events = 0usize;
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.extension().is_none_or(|e| e != "jsonl") {
+            continue;
+        }
+        // Stream line by line: traces can be arbitrarily large (that is
+        // the point of the sink), so verification must not buffer one
+        // wholesale.
+        use std::io::BufRead as _;
+        let reader = std::io::BufReader::new(std::fs::File::open(&path)?);
+        let mut lines = 0usize;
+        for (i, line) in reader.lines().enumerate() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            dmhpc_sim::observe::parse_trace_line(&line)
+                .map_err(|e| format!("trace {} line {}: {e}", path.display(), i + 1))?;
+            lines += 1;
+        }
+        if lines == 0 {
+            return Err(format!("trace {} is empty", path.display()).into());
+        }
+        files += 1;
+        if entry.metadata()?.modified().is_ok_and(|m| m >= cutoff) {
+            fresh += 1;
+        }
+        events += lines.saturating_sub(2); // header + footer
+    }
+    if simulated > 0 && fresh == 0 {
+        return Err(format!(
+            "--trace-out {}: {simulated} cells simulated but no trace files written by this run",
+            dir.display()
+        )
+        .into());
+    }
+    println!(
+        "== traces: {files} files ({fresh} from this run), {events} events verified -> {}",
+        dir.display()
     );
     Ok(())
 }
@@ -233,6 +310,11 @@ fn run_merge(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
     if cli.queue.is_some() {
         return Err(
             "--queue does not apply to merge mode (merge loads cells, never simulates)".into(),
+        );
+    }
+    if cli.trace_out.is_some() {
+        return Err(
+            "--trace-out does not apply to merge mode (merge loads cells, never simulates)".into(),
         );
     }
     let mut spec = load_spec(spec_arg)?;
@@ -283,6 +365,9 @@ fn run_tables(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
         if cli.queue.is_some() {
             return Err("--queue does not apply to --list (listing never simulates)".into());
         }
+        if cli.trace_out.is_some() {
+            return Err("--trace-out does not apply to --list (listing never simulates)".into());
+        }
         for id in experiments::all_ids() {
             println!("{id}");
         }
@@ -300,6 +385,7 @@ fn run_tables(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
         println!("grid: smoke-faults ({} cells)", faults.compile()?.len());
         return Ok(());
     }
+    let started_at = std::time::SystemTime::now();
     let ids: Vec<&str> = if cli.args.iter().any(|a| a == "all") {
         experiments::all_ids().to_vec()
     } else {
@@ -309,6 +395,7 @@ fn run_tables(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
         cache_dir: cli.cache_dir.clone(),
         threads: cli.threads.unwrap_or(0),
         event_queue: cli.queue,
+        trace_dir: cli.trace_out.clone(),
     };
 
     std::fs::create_dir_all("results")?;
@@ -328,6 +415,11 @@ fn run_tables(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
         let mut f = std::fs::File::create(format!("results/{}.txt", result.id))?;
         writeln!(f, "# {} — {}", result.id, result.title)?;
         f.write_all(result.body.as_bytes())?;
+    }
+    if let Some(dir) = &cli.trace_out {
+        // Tables runs may be fully cache-served (zero simulations, zero
+        // traces): validate whatever was written without demanding files.
+        verify_traces(dir, 0, started_at)?;
     }
     Ok(())
 }
@@ -409,6 +501,44 @@ mod tests {
         );
         let baseline = cells.iter().filter(|c| c.key.fault.is_none()).count();
         assert_eq!(baseline * 2, cells.len(), "half the cells are fault-free");
+    }
+
+    #[test]
+    fn trace_out_parses_and_is_simulation_only() {
+        assert_eq!(
+            parse(&["grid", "smoke", "--trace-out", "/tmp/t"])
+                .unwrap()
+                .trace_out,
+            Some(PathBuf::from("/tmp/t"))
+        );
+        assert_eq!(parse(&["grid", "smoke"]).unwrap().trace_out, None);
+        // merge never simulates: nothing would produce a trace.
+        let cli = parse(&[
+            "merge",
+            "smoke",
+            "--cache-dir",
+            "/tmp/x",
+            "--trace-out",
+            "/tmp/t",
+        ])
+        .unwrap();
+        let err = run_merge(&cli).unwrap_err();
+        assert!(
+            err.to_string().contains("--trace-out does not apply"),
+            "{err}"
+        );
+        // Same for --list in both modes.
+        let cli = parse(&["grid", "smoke", "--list", "--trace-out", "/tmp/t"]).unwrap();
+        let err = run_grid(&cli).unwrap_err();
+        assert!(
+            err.to_string().contains("--trace-out does not apply"),
+            "{err}"
+        );
+        let err = run_tables(&parse(&["--list", "--trace-out", "/tmp/t"]).unwrap()).unwrap_err();
+        assert!(
+            err.to_string().contains("--trace-out does not apply"),
+            "{err}"
+        );
     }
 
     #[test]

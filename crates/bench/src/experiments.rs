@@ -13,7 +13,7 @@
 use dmhpc_metrics::{JobClass, SimReport};
 use dmhpc_platform::{NodeSpec, PoolTopology, SlowdownModel};
 use dmhpc_sched::{BackfillPolicy, MemoryPolicy, OrderPolicy, SchedulerBuilder, SchedulerConfig};
-use dmhpc_sim::scenarios::{default_slowdown, preset_cluster};
+use dmhpc_sim::scenarios::default_slowdown;
 use dmhpc_sim::{ExperimentBuilder, ExperimentResults, ExperimentRunner, ExperimentSpec, SimError};
 use dmhpc_workload::{stats as wstats, SystemPreset};
 use std::cell::RefCell;
@@ -56,6 +56,10 @@ pub struct RunOptions {
     /// Pending-event-set backend override for simulated cells (results
     /// are identical on either; `None` = per-cell default).
     pub event_queue: Option<dmhpc_sim::EventQueueKind>,
+    /// Stream every simulated cell's event trace to this directory as
+    /// JSONL (constant memory per cell; hash-neutral, so caches stay
+    /// warm). `None` = no trace export.
+    pub trace_dir: Option<PathBuf>,
 }
 
 thread_local! {
@@ -83,6 +87,9 @@ pub fn run_with(id: &str, options: &RunOptions) -> Result<Option<ExpResult>, Sim
     }
     if let Some(kind) = options.event_queue {
         runner = runner.event_queue(kind);
+    }
+    if let Some(dir) = &options.trace_dir {
+        runner = runner.trace_dir(dir)?;
     }
     RUNNER.with(|r| *r.borrow_mut() = runner);
     let result = dispatch(id);
@@ -324,18 +331,10 @@ fn f2() -> ExpResult {
         100.0 * out.report.inflated_fraction,
     );
     let _ = writeln!(body, "hour,nodes_busy_frac,dram_used_frac");
-    let total_nodes = preset_cluster(PRESET, PoolTopology::None).total_nodes() as f64;
-    let total_dram = preset_cluster(PRESET, PoolTopology::None).total_local_mem() as f64;
-    let nodes = out.series.nodes_busy.resample(out.end_time, 25);
-    let dram = out.series.dram_used.resample(out.end_time, 25);
-    for (n, d) in nodes.iter().zip(dram.iter()) {
-        let _ = writeln!(
-            body,
-            "{:.2},{:.4},{:.4}",
-            n.0.as_hours_f64(),
-            n.1 / total_nodes,
-            d.1 / total_dram
-        );
+    let nodes = out.series.node_util_series(out.end_time, 25);
+    let dram = out.series.dram_util_series(out.end_time, 25);
+    for ((h, n), (_, d)) in nodes.iter().zip(dram.iter()) {
+        let _ = writeln!(body, "{h:.2},{n:.4},{d:.4}");
     }
     ExpResult {
         id: "f2",
@@ -896,6 +895,7 @@ mod tests {
             cache_dir: Some(dir.clone()),
             threads: 2,
             event_queue: None,
+            trace_dir: None,
         };
         let cold = run_with("f2", &options).unwrap().unwrap();
         let warm = run_with("f2", &options).unwrap().unwrap();

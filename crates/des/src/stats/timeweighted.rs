@@ -153,6 +153,17 @@ impl StepSeries {
         }
         out
     }
+
+    /// [`resample`](StepSeries::resample), normalized for figure output:
+    /// sample times become fractional hours and every value is divided by
+    /// `denom` (pass `1.0` for raw values). This is the one shared
+    /// resample-to-N-points path every normalized series helper uses.
+    pub fn resample_over(&self, end: SimTime, n: usize, denom: f64) -> Vec<(f64, f64)> {
+        self.resample(end, n)
+            .into_iter()
+            .map(|(t, v)| (t.as_hours_f64(), v / denom))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -220,6 +231,20 @@ mod tests {
         assert_eq!(rs[2], (SimTime::from_secs(20), 4.0));
         assert_eq!(rs[3], (SimTime::from_secs(30), 1.0));
         assert_eq!(rs[4], (SimTime::from_secs(40), 1.0));
+    }
+
+    #[test]
+    fn resample_over_normalizes_and_converts_to_hours() {
+        let mut s = StepSeries::new(SimTime::ZERO, 0.0);
+        s.update(SimTime::from_secs(1800), 4.0);
+        let rs = s.resample_over(SimTime::from_secs(3600), 3, 8.0);
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs[0], (0.0, 0.0));
+        assert_eq!(rs[1], (0.5, 0.5)); // half an hour, 4/8
+        assert_eq!(rs[2], (1.0, 0.5));
+        // denom 1.0 is the raw series.
+        let raw = s.resample_over(SimTime::from_secs(3600), 3, 1.0);
+        assert_eq!(raw[1].1, 4.0);
     }
 
     #[test]

@@ -122,16 +122,35 @@ impl SeriesBundle {
         self.queue_depth.stats().max()
     }
 
-    /// Pool utilization as a resampled fraction series (for F7).
+    /// Pool utilization as a resampled fraction series (for F7). Like
+    /// every `*_series` helper, x is fractional hours and y a fraction of
+    /// capacity, via the shared [`StepSeries::resample_over`].
     pub fn pool_util_series(&self, end: SimTime, points: usize) -> Vec<(f64, f64)> {
         if self.total_pool == 0.0 {
             return Vec::new();
         }
-        self.pool_used
-            .resample(end, points)
-            .into_iter()
-            .map(|(t, v)| (t.as_hours_f64(), v / self.total_pool))
-            .collect()
+        self.pool_used.resample_over(end, points, self.total_pool)
+    }
+
+    /// Busy-node fraction as a resampled series (for F2).
+    pub fn node_util_series(&self, end: SimTime, points: usize) -> Vec<(f64, f64)> {
+        if self.total_nodes == 0.0 {
+            return Vec::new();
+        }
+        self.nodes_busy.resample_over(end, points, self.total_nodes)
+    }
+
+    /// Pinned-DRAM fraction as a resampled series (for F2).
+    pub fn dram_util_series(&self, end: SimTime, points: usize) -> Vec<(f64, f64)> {
+        if self.total_dram == 0.0 {
+            return Vec::new();
+        }
+        self.dram_used.resample_over(end, points, self.total_dram)
+    }
+
+    /// Queue depth as a resampled series (raw counts, x in hours).
+    pub fn queue_depth_series(&self, end: SimTime, points: usize) -> Vec<(f64, f64)> {
+        self.queue_depth.resample_over(end, points, 1.0)
     }
 }
 
@@ -183,6 +202,23 @@ mod tests {
         assert_eq!(pts.len(), 4);
         assert!((pts[0].1 - 0.5).abs() < 1e-9);
         assert!((pts[3].0 - 1.0).abs() < 1e-9, "x in hours");
+    }
+
+    #[test]
+    fn all_series_helpers_share_the_resample_path() {
+        let mut s = SeriesBundle::new(SimTime::ZERO, &spec());
+        s.on_start(SimTime::ZERO, 2, 2000, 500);
+        s.on_queue_change(SimTime::ZERO, 3.0);
+        let end = SimTime::from_secs(3600);
+        let nodes = s.node_util_series(end, 3);
+        let dram = s.dram_util_series(end, 3);
+        let queue = s.queue_depth_series(end, 3);
+        assert!((nodes[0].1 - 0.5).abs() < 1e-9, "2 of 4 nodes");
+        assert!((dram[0].1 - 0.5).abs() < 1e-9, "2000 of 4000 MiB");
+        assert_eq!(queue[0].1, 3.0, "queue depth is raw counts");
+        // x axes agree: one shared resample grid.
+        assert_eq!(nodes[1].0, dram[1].0);
+        assert_eq!(nodes[1].0, queue[1].0);
     }
 
     #[test]

@@ -35,6 +35,18 @@
 //! exact: a completed job's consumed work equals its base runtime by
 //! construction.
 //!
+//! ## Observation
+//!
+//! The engine never touches metric state directly: every state change is
+//! emitted as a typed [`SimEvent`] (see [`crate::observe`]) and consumed
+//! by observers. The built-in metric observers (series, job records,
+//! fault counters) are statically dispatched and always attached —
+//! [`SimOutput`] is assembled from their final state, performing exactly
+//! the operations the pre-observer engine performed, in the same order
+//! (golden-hash pinned). User observers ride the same stream through
+//! [`Simulation::run_observed`] / [`Simulation::with_observer`]; they are
+//! strictly read-only, so attaching any number of them is trace-exact.
+//!
 //! ## Fault events
 //!
 //! A run may carry a [`FaultSpec`]: node failures/repairs, maintenance
@@ -54,6 +66,10 @@ use crate::collector::SeriesBundle;
 use crate::config::{EventQueueKind, SimConfig};
 use crate::error::SimError;
 use crate::faults::{FaultAction, FaultSpec, InterruptPolicy};
+use crate::observe::{
+    FaultObserver, JobStatsObserver, Observer, ObserverFactory, ProgressObserver, RunContext,
+    RunEnd, RunLabel, SeriesObserver, SimEvent,
+};
 use dmhpc_des::queue::{BinaryHeapQueue, CalendarQueue, EventQueue};
 use dmhpc_des::time::{SimDuration, SimTime};
 use dmhpc_metrics::{ClassThresholds, FaultSummary, JobOutcome, JobRecord, RunData, SimReport};
@@ -61,6 +77,8 @@ use dmhpc_platform::{Cluster, DilationInputs, MemoryAssignment, NodeState};
 use dmhpc_sched::{ReleaseIndex, RunningRelease, Scheduler, StartedJob, WaitQueue};
 use dmhpc_workload::{Job, JobId, Workload};
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
 
 /// One simulation event.
 #[derive(Debug, Clone, Copy)]
@@ -129,12 +147,24 @@ pub struct SimOutput {
 }
 
 /// A configured simulator. `run` is a pure function of the workload (and
-/// the attached [`FaultSpec`], itself pure data).
-#[derive(Debug)]
+/// the attached [`FaultSpec`], itself pure data) — attached observers
+/// consume the run's event stream but can never change it.
 pub struct Simulation {
     cfg: SimConfig,
     scheduler: Scheduler,
     faults: FaultSpec,
+    observers: Vec<Arc<dyn ObserverFactory>>,
+}
+
+impl fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulation")
+            .field("cfg", &self.cfg)
+            .field("scheduler", &self.scheduler)
+            .field("faults", &self.faults)
+            .field("observers", &self.observers.len())
+            .finish()
+    }
 }
 
 impl Simulation {
@@ -149,6 +179,7 @@ impl Simulation {
             cfg,
             scheduler,
             faults: FaultSpec::none(),
+            observers: Vec::new(),
         })
     }
 
@@ -167,6 +198,7 @@ impl Simulation {
             cfg,
             scheduler,
             faults: FaultSpec::none(),
+            observers: Vec::new(),
         })
     }
 
@@ -196,19 +228,85 @@ impl Simulation {
         self.scheduler.label()
     }
 
-    /// Simulate the workload to completion.
+    /// Attach an observer factory: every subsequent run creates one fresh
+    /// observer from it and feeds it the run's event stream. Observers are
+    /// hash-neutral — they cannot change results, only watch them.
+    ///
+    /// Failures of factory-made observers panic: at creation (e.g. a
+    /// trace file that cannot be created) and at end of run (a deferred
+    /// sink I/O error would otherwise vanish with the observer — `run`
+    /// returns a plain [`SimOutput`] and has nowhere to report it). Use
+    /// [`Simulation::run_observed`] with pre-built, caller-owned
+    /// observers where errors must be handled instead.
+    pub fn with_observer(mut self, factory: Arc<dyn ObserverFactory>) -> Self {
+        self.observers.push(factory);
+        self
+    }
+
+    /// Simulate the workload to completion with the default observer set
+    /// (the built-in metric observers that assemble [`SimOutput`]).
     pub fn run(&self, workload: &Workload) -> SimOutput {
+        self.run_observed(workload, &mut [])
+    }
+
+    /// Simulate the workload with additional [`Observer`]s attached (on
+    /// top of the built-ins and any [`Simulation::with_observer`]
+    /// factories). The callers keep ownership, so sink state (samples,
+    /// trace files) is inspectable after the run; the output itself is
+    /// bit-identical to an unobserved run.
+    pub fn run_observed(
+        &self,
+        workload: &Workload,
+        observers: &mut [&mut dyn Observer],
+    ) -> SimOutput {
+        let mut made: Vec<Box<dyn Observer>> = self
+            .observers
+            .iter()
+            .map(|f| {
+                f.make(&RunLabel::new(self.scheduler.label()))
+                    .unwrap_or_else(|e| panic!("observer factory failed: {e}"))
+            })
+            .collect();
+        let mut extras: Vec<&mut dyn Observer> = Vec::with_capacity(observers.len() + made.len());
+        for o in observers.iter_mut() {
+            extras.push(&mut **o);
+        }
+        for b in made.iter_mut() {
+            extras.push(b.as_mut());
+        }
         // Expanding the scenario is a pure function of (spec, machine);
         // FaultSpec::none() yields an empty list and the pre-fault path.
         let fault_events = self.faults.materialize(&self.cfg.cluster);
-        match self.cfg.event_queue {
+        let output = match self.cfg.event_queue {
             EventQueueKind::BinaryHeap => self.run_on(
                 BinaryHeapQueue::with_capacity(workload.len() * 2),
                 workload,
                 &fault_events,
+                &mut extras,
             ),
-            EventQueueKind::Calendar => self.run_on(CalendarQueue::new(), workload, &fault_events),
+            EventQueueKind::Calendar => {
+                self.run_on(CalendarQueue::new(), workload, &fault_events, &mut extras)
+            }
+        };
+        drop(extras);
+        // Factory-made observers die with this call, so a deferred sink
+        // failure (e.g. trace disk full) would be silently lost — the
+        // caller keeps their own observers and can check those, but these
+        // are ours to account for.
+        if let Some(e) = made.iter().find_map(|o| o.failure()) {
+            panic!("observer attached via with_observer failed: {e}");
         }
+        output
+    }
+
+    /// [`Simulation::run_observed`] for observers owned as boxes (the
+    /// experiment runner's calling convention).
+    pub fn run_boxed(&self, workload: &Workload, observers: &mut [Box<dyn Observer>]) -> SimOutput {
+        let mut refs: Vec<&mut dyn Observer> = Vec::with_capacity(observers.len());
+        for b in observers.iter_mut() {
+            refs.push(&mut **b);
+        }
+        self.run_observed(workload, &mut refs)
     }
 
     /// Drive the monomorphized engine on one event-queue backend.
@@ -217,6 +315,7 @@ impl Simulation {
         events: Q,
         workload: &Workload,
         fault_events: &[(SimTime, FaultAction)],
+        extras: &mut [&mut dyn Observer],
     ) -> SimOutput {
         let mut engine = Engine::new(
             &self.cfg,
@@ -225,13 +324,23 @@ impl Simulation {
             events,
             workload,
             fault_events,
+            extras,
         );
         engine.drive(workload);
         engine.finalize()
     }
 }
 
-struct Engine<'a, Q: EventQueue<Event>> {
+/// The always-attached metric observers [`SimOutput`] is assembled from.
+/// Statically dispatched: the fast path pays no virtual calls for its own
+/// metrics, only user-attached extras go through `dyn Observer`.
+struct Builtins {
+    series: SeriesObserver,
+    stats: JobStatsObserver,
+    faults: FaultObserver,
+}
+
+struct Engine<'a, 'o, Q: EventQueue<Event>> {
     cfg: &'a SimConfig,
     scheduler: &'a Scheduler,
     faults: &'a FaultSpec,
@@ -254,8 +363,14 @@ struct Engine<'a, Q: EventQueue<Event>> {
     any_dirty: bool,
     /// Cached `slowdown.is_dynamic()`: whether re-dilation applies at all.
     dynamic: bool,
-    records: Vec<JobRecord>,
-    series: SeriesBundle,
+    /// Built-in metric observers (series, job records, fault counters) —
+    /// every state change reaches them as a [`SimEvent`].
+    obs: Builtins,
+    /// User-attached observers; an empty slice on plain runs, so the
+    /// dispatch loop is free then.
+    extras: &'a mut [&'o mut dyn Observer],
+    /// Config-declared progress heartbeat, if any.
+    progress: Option<ProgressObserver>,
     now: SimTime,
     start_time: SimTime,
     events_processed: u64,
@@ -263,14 +378,6 @@ struct Engine<'a, Q: EventQueue<Event>> {
     trace_hash: u64,
     /// Fault bookkeeping for interrupted jobs (empty on fault-free runs).
     fault_meta: BTreeMap<JobId, FaultMeta>,
-    /// Accumulating fault counters (availability fields finalized last).
-    summary: FaultSummary,
-    /// Availability breakpoints `(time, in-service nodes)`, starting at
-    /// `(start_time, total)`; appended on every change. Only fault events
-    /// append, so the list stays tiny. Kept as breakpoints (not a running
-    /// integral) because the metrics window is clamped to the last
-    /// job-affecting event at finalize, which is unknown until then.
-    avail_points: Vec<(SimTime, usize)>,
     /// Time of the last job-affecting event (arrival, finish, interrupt,
     /// start, rejection). Fault runs clamp every time-based metric to
     /// this instant: repair/drain-end events trailing the last job must
@@ -281,7 +388,7 @@ struct Engine<'a, Q: EventQueue<Event>> {
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
-impl<'a, Q: EventQueue<Event>> Engine<'a, Q> {
+impl<'a, 'o, Q: EventQueue<Event>> Engine<'a, 'o, Q> {
     fn new(
         cfg: &'a SimConfig,
         scheduler: &'a Scheduler,
@@ -289,6 +396,7 @@ impl<'a, Q: EventQueue<Event>> Engine<'a, Q> {
         mut events: Q,
         workload: &Workload,
         fault_events: &[(SimTime, FaultAction)],
+        extras: &'a mut [&'o mut dyn Observer],
     ) -> Self {
         let cluster = Cluster::new(cfg.cluster);
         let mut start_time = workload.first_arrival().unwrap_or(SimTime::ZERO);
@@ -306,13 +414,9 @@ impl<'a, Q: EventQueue<Event>> Engine<'a, Q> {
             events.schedule(at, Event::Fault(action));
         }
         let domains = cluster.pools().len();
-        let avail_points = vec![(start_time, cluster.available_nodes())];
-        Engine {
-            cfg,
-            scheduler,
-            faults,
+        let in_service = cluster.available_nodes();
+        let mut engine = Engine {
             faults_active: !fault_events.is_empty(),
-            cluster,
             queue: WaitQueue::new(),
             events,
             running: BTreeMap::new(),
@@ -321,17 +425,51 @@ impl<'a, Q: EventQueue<Event>> Engine<'a, Q> {
             dirty_pools: vec![false; domains],
             any_dirty: false,
             dynamic: cfg.scheduler.slowdown.is_dynamic(),
-            records: Vec::with_capacity(workload.len()),
-            series: SeriesBundle::new(start_time, &cfg.cluster),
+            obs: Builtins {
+                series: SeriesObserver::new(start_time, &cfg.cluster),
+                stats: JobStatsObserver::with_capacity(workload.len()),
+                faults: FaultObserver::new(start_time, in_service),
+            },
+            extras,
+            progress: cfg.observers.progress_every.map(ProgressObserver::every),
             now: start_time,
             start_time,
             events_processed: 0,
             passes: 0,
             trace_hash: FNV_OFFSET,
             fault_meta: BTreeMap::new(),
-            summary: FaultSummary::default(),
-            avail_points,
             last_job_time: start_time,
+            cfg,
+            scheduler,
+            faults,
+            cluster,
+        };
+        let ctx = RunContext {
+            start: start_time,
+            cluster: engine.cfg.cluster,
+            jobs: workload.len(),
+            in_service_nodes: in_service,
+            label: engine.scheduler.label(),
+        };
+        if let Some(p) = &mut engine.progress {
+            p.on_run_start(&ctx);
+        }
+        for o in engine.extras.iter_mut() {
+            o.on_run_start(&ctx);
+        }
+        engine
+    }
+
+    /// Fan one observation out to the built-ins and every extra observer.
+    fn emit(&mut self, ev: SimEvent) {
+        self.obs.series.on_event(&ev);
+        self.obs.stats.on_event(&ev);
+        self.obs.faults.on_event(&ev);
+        if let Some(p) = &mut self.progress {
+            p.on_event(&ev);
+        }
+        for o in self.extras.iter_mut() {
+            o.on_event(&ev);
         }
     }
 
@@ -362,9 +500,11 @@ impl<'a, Q: EventQueue<Event>> Engine<'a, Q> {
                         // change anything anymore, so it fails terminally
                         // instead of wedging the drain.
                         let entry = self.queue.pop_front();
-                        self.series.on_queue_change(self.now, -1.0);
                         self.hash_mix([13, self.now.as_micros(), entry.job.id.0]);
-                        self.records.push(JobRecord::failed_unstarted(entry.job));
+                        self.emit(SimEvent::JobFailed {
+                            at: self.now,
+                            record: JobRecord::failed_unstarted(entry.job),
+                        });
                         self.last_job_time = self.now;
                         continue;
                     }
@@ -397,7 +537,11 @@ impl<'a, Q: EventQueue<Event>> Engine<'a, Q> {
             Event::Arrival(idx) => {
                 let job = workload.jobs()[idx].clone();
                 self.hash_mix([1, self.now.as_micros(), job.id.0]);
-                self.series.on_queue_change(self.now, 1.0);
+                self.emit(SimEvent::JobSubmitted {
+                    at: self.now,
+                    job: job.clone(),
+                    resubmit: false,
+                });
                 self.queue.push(job, self.now);
                 self.events_processed += 1;
                 self.last_job_time = self.now;
@@ -432,10 +576,10 @@ impl<'a, Q: EventQueue<Event>> Engine<'a, Q> {
             FaultAction::NodeFail(node) => {
                 self.hash_mix([5, self.now.as_micros(), node.0 as u64]);
                 if self.cluster.fail_node(node).expect("validated fault node") {
+                    self.emit_fault(action, true);
                     if let Some(lease) = self.cluster.holder(node) {
                         self.interrupt_job(JobId(lease));
                     }
-                    self.note_avail_change();
                 }
             }
             FaultAction::NodeRepair(node) => {
@@ -445,18 +589,18 @@ impl<'a, Q: EventQueue<Event>> Engine<'a, Q> {
                     .repair_node(node)
                     .expect("validated fault node")
                 {
-                    self.note_avail_change();
+                    self.emit_fault(action, false);
                 }
             }
             FaultAction::DrainStart(node) => {
                 self.hash_mix([7, self.now.as_micros(), node.0 as u64]);
                 if self.cluster.drain_node(node).expect("validated fault node") {
+                    self.emit_fault(action, true);
                     // Hard drain: running work is checkpointed/resubmitted
                     // so the node frees for maintenance immediately.
                     if let Some(lease) = self.cluster.holder(node) {
                         self.interrupt_job(JobId(lease));
                     }
-                    self.note_avail_change();
                 }
             }
             FaultAction::DrainEnd(node) => {
@@ -466,7 +610,7 @@ impl<'a, Q: EventQueue<Event>> Engine<'a, Q> {
                     .undrain_node(node)
                     .expect("validated fault node")
                 {
-                    self.note_avail_change();
+                    self.emit_fault(action, false);
                 }
             }
             FaultAction::PoolDegrade { pool, factor } => {
@@ -474,6 +618,7 @@ impl<'a, Q: EventQueue<Event>> Engine<'a, Q> {
                 self.cluster
                     .set_pool_health(pool, factor)
                     .expect("validated pool and factor");
+                self.emit_fault(action, true);
                 // Evict borrowers — lowest lease id first, deterministic —
                 // until the remaining holdings fit the degraded capacity.
                 loop {
@@ -491,9 +636,34 @@ impl<'a, Q: EventQueue<Event>> Engine<'a, Q> {
                 self.cluster
                     .set_pool_health(pool, 1.0)
                     .expect("validated pool");
+                self.emit_fault(action, false);
                 self.mark_pool_dirty(pool);
             }
         }
+    }
+
+    /// Emit the observation for a fault transition that took hold,
+    /// carrying the post-transition in-service node count (the fault
+    /// observer keeps the availability integral from exactly these).
+    /// Emitted *before* the interruptions the fault causes, so traces
+    /// read cause-then-effect; node availability is unaffected by the
+    /// interruptions themselves.
+    fn emit_fault(&mut self, action: FaultAction, applied: bool) {
+        let nodes_in_service = self.cluster.available_nodes();
+        let ev = if applied {
+            SimEvent::FaultApplied {
+                at: self.now,
+                action,
+                nodes_in_service,
+            }
+        } else {
+            SimEvent::FaultCleared {
+                at: self.now,
+                action,
+                nodes_in_service,
+            }
+        };
+        self.emit(ev);
     }
 
     /// Mark a pool's pressure as changed (degradation moves pressure even
@@ -502,15 +672,6 @@ impl<'a, Q: EventQueue<Event>> Engine<'a, Q> {
         if self.dynamic {
             self.dirty_pools[pool.0 as usize] = true;
             self.any_dirty = true;
-        }
-    }
-
-    /// Record an availability change for the in-service node-seconds
-    /// integral.
-    fn note_avail_change(&mut self) {
-        let count = self.cluster.available_nodes();
-        if count != self.avail_points.last().expect("seeded at start").1 {
-            self.avail_points.push((self.now, count));
         }
     }
 
@@ -534,22 +695,28 @@ impl<'a, Q: EventQueue<Event>> Engine<'a, Q> {
             .remove(id.as_u64())
             .expect("running job is release-indexed");
         self.note_pool_change(id, &release.pool_per_domain, false);
-        self.series.on_finish(
-            self.now,
-            r.assignment.node_count() as u32,
-            r.assignment.local_per_node * r.assignment.node_count() as u64,
-            r.assignment.total_remote(),
-        );
+        self.emit(SimEvent::AllocationReleased {
+            at: self.now,
+            job: id,
+            nodes: r.assignment.node_count() as u32,
+            local_mib: r.assignment.local_per_node * r.assignment.node_count() as u64,
+            remote_mib: r.assignment.total_remote(),
+        });
         self.hash_mix([11, self.now.as_micros(), id.0]);
-        self.summary.interruptions += 1;
 
         let meta = self.fault_meta.entry(id).or_default();
         meta.next_gen = r.generation + 1;
         let attempt_wall = self.now - r.start;
 
         if meta.resubmits >= self.faults.max_resubmits {
-            // Terminal failure: record the final attempt.
-            self.summary.rework_s += attempt_wall.as_secs_f64();
+            // Terminal failure: record the final attempt. The aborted
+            // attempt's wall clock is rework.
+            self.emit(SimEvent::JobInterrupted {
+                at: self.now,
+                job: id,
+                rework_s: attempt_wall.as_secs_f64(),
+                resubmitted: false,
+            });
             self.hash_mix([12, self.now.as_micros(), id.0]);
             let consumed_total = r.job.runtime.saturating_sub(r.work_remaining);
             let dilation_actual = if consumed_total.is_zero() {
@@ -557,38 +724,48 @@ impl<'a, Q: EventQueue<Event>> Engine<'a, Q> {
             } else {
                 attempt_wall.ratio(consumed_total)
             };
-            self.records.push(JobRecord {
-                nodes_allocated: r.assignment.node_count() as u32,
-                remote_per_node: r.assignment.remote_per_node,
-                job: r.job,
-                outcome: JobOutcome::Failed,
-                start: Some(r.start),
-                finish: Some(self.now),
-                dilation_planned: r.dilation_planned,
-                dilation_actual,
+            self.emit(SimEvent::JobFailed {
+                at: self.now,
+                record: JobRecord {
+                    nodes_allocated: r.assignment.node_count() as u32,
+                    remote_per_node: r.assignment.remote_per_node,
+                    job: r.job,
+                    outcome: JobOutcome::Failed,
+                    start: Some(r.start),
+                    finish: Some(self.now),
+                    dilation_planned: r.dilation_planned,
+                    dilation_actual,
+                },
             });
             return;
         }
         meta.resubmits += 1;
-        self.summary.resubmissions += 1;
-        let job = match self.faults.interrupt {
+        let (job, rework_s) = match self.faults.interrupt {
             InterruptPolicy::Resubmit => {
                 // From scratch: the whole aborted attempt is rework.
-                self.summary.rework_s += attempt_wall.as_secs_f64();
-                r.job
+                (r.job, attempt_wall.as_secs_f64())
             }
             InterruptPolicy::Checkpoint { overhead_s } => {
                 // Completed work survives; only the restore overhead is
                 // redone. The resubmitted job carries its remaining work.
                 let overhead = SimDuration::from_secs(overhead_s);
-                self.summary.rework_s += overhead.as_secs_f64();
                 let mut job = r.job;
                 job.runtime = r.work_remaining + overhead;
-                job
+                (job, overhead.as_secs_f64())
             }
         };
+        self.emit(SimEvent::JobInterrupted {
+            at: self.now,
+            job: id,
+            rework_s,
+            resubmitted: true,
+        });
         self.hash_mix([14, self.now.as_micros(), job.id.0]);
-        self.series.on_queue_change(self.now, 1.0);
+        self.emit(SimEvent::JobSubmitted {
+            at: self.now,
+            job: job.clone(),
+            resubmit: true,
+        });
         self.queue.push(job, self.now);
     }
 
@@ -624,22 +801,26 @@ impl<'a, Q: EventQueue<Event>> Engine<'a, Q> {
             .remove(id.as_u64())
             .expect("running job is release-indexed");
         self.note_pool_change(id, &release.pool_per_domain, false);
-        self.series.on_finish(
-            self.now,
-            r.assignment.node_count() as u32,
-            r.assignment.local_per_node * r.assignment.node_count() as u64,
-            r.assignment.total_remote(),
-        );
+        self.emit(SimEvent::AllocationReleased {
+            at: self.now,
+            job: id,
+            nodes: r.assignment.node_count() as u32,
+            local_mib: r.assignment.local_per_node * r.assignment.node_count() as u64,
+            remote_mib: r.assignment.total_remote(),
+        });
         self.hash_mix([2, self.now.as_micros(), id.0]);
-        self.records.push(JobRecord {
-            nodes_allocated: r.assignment.node_count() as u32,
-            remote_per_node: r.assignment.remote_per_node,
-            job: r.job,
-            outcome,
-            start: Some(r.start),
-            finish: Some(self.now),
-            dilation_planned: r.dilation_planned,
-            dilation_actual,
+        self.emit(SimEvent::JobFinished {
+            at: self.now,
+            record: JobRecord {
+                nodes_allocated: r.assignment.node_count() as u32,
+                remote_per_node: r.assignment.remote_per_node,
+                job: r.job,
+                outcome,
+                start: Some(r.start),
+                finish: Some(self.now),
+                dilation_planned: r.dilation_planned,
+                dilation_actual,
+            },
         });
     }
 
@@ -745,19 +926,27 @@ impl<'a, Q: EventQueue<Event>> Engine<'a, Q> {
             self.releases.view(),
         );
         self.passes += 1;
-        let rejected_any = !result.rejected.is_empty();
+        let rejected = result.rejected.len();
         for (job, _reason) in result.rejected {
-            self.series.on_queue_change(self.now, -1.0);
             self.hash_mix([3, self.now.as_micros(), job.id.0]);
-            self.records.push(JobRecord::rejected(job));
+            self.emit(SimEvent::JobRejected {
+                at: self.now,
+                record: JobRecord::rejected(job),
+            });
         }
         let n = result.started.len();
-        if n > 0 || rejected_any {
+        if n > 0 || rejected > 0 {
             self.last_job_time = self.now;
         }
         for started in result.started {
             self.start_job(started);
         }
+        self.emit(SimEvent::PassCompleted {
+            at: self.now,
+            started: n,
+            rejected,
+            queued: self.queue.len(),
+        });
         n
     }
 
@@ -768,13 +957,19 @@ impl<'a, Q: EventQueue<Event>> Engine<'a, Q> {
             dilation,
             planned_walltime,
         } = s;
-        self.series.on_queue_change(self.now, -1.0);
-        self.series.on_start(
-            self.now,
-            assignment.node_count() as u32,
-            assignment.local_per_node * assignment.node_count() as u64,
-            assignment.total_remote(),
-        );
+        self.emit(SimEvent::JobStarted {
+            at: self.now,
+            job: job.id,
+            nodes: assignment.node_count() as u32,
+            dilation,
+        });
+        self.emit(SimEvent::AllocationGrabbed {
+            at: self.now,
+            job: job.id,
+            nodes: assignment.node_count() as u32,
+            local_mib: assignment.local_per_node * assignment.node_count() as u64,
+            remote_mib: assignment.total_remote(),
+        });
         self.hash_mix([4, self.now.as_micros(), job.id.0]);
         // Index the planned release now; it never changes while running
         // (planned ends are walltime-based, so re-dilation cannot move
@@ -843,7 +1038,7 @@ impl<'a, Q: EventQueue<Event>> Engine<'a, Q> {
                 .expect("cluster invariants violated");
             let busy = self.cluster.used_nodes() as f64;
             assert_eq!(
-                self.series.nodes_busy.stats().current(),
+                self.obs.series.bundle().nodes_busy.stats().current(),
                 busy,
                 "series out of sync with cluster"
             );
@@ -863,78 +1058,89 @@ impl<'a, Q: EventQueue<Event>> Engine<'a, Q> {
         }
     }
 
-    fn finalize(mut self) -> SimOutput {
+    fn finalize(self) -> SimOutput {
         debug_assert!(self.releases.is_empty(), "release index drained");
         debug_assert!(
             self.borrowers.iter().all(BTreeSet::is_empty),
             "borrower index drained"
         );
+        let Engine {
+            cfg,
+            scheduler,
+            faults_active,
+            obs,
+            extras,
+            mut progress,
+            now,
+            start_time,
+            events_processed,
+            passes,
+            trace_hash,
+            last_job_time,
+            ..
+        } = self;
         // Fault runs clamp the metrics window to the last job-affecting
         // event: repair/drain-end events trailing the last finish (the
         // generator's horizon routinely outlives short workloads) would
         // otherwise stretch makespan and dilute every time-weighted
         // metric with idle tail. Fault-free runs keep `now` — their
         // metrics are pinned by the golden-parity tests.
-        let end = if self.faults_active {
-            self.last_job_time.max_of(self.start_time)
+        let end = if faults_active {
+            last_job_time.max_of(start_time)
         } else {
-            self.now
+            now
         };
-        let makespan = end.saturating_since(self.start_time);
-        let node_util = self.series.node_util(end);
-        // Derive the availability-weighted metrics over [start, end].
-        // Without downtime inside the window, avail_util is the *same
-        // expression* as node_util (bit-equal) and downtime is exactly
-        // zero — fault-free outputs are unchanged.
-        let had_downtime = self
-            .avail_points
-            .iter()
-            .any(|&(t, count)| t < end && count != self.avail_points[0].1);
-        if had_downtime {
-            let mut avail_node_s = 0.0f64;
-            for (i, &(t, count)) in self.avail_points.iter().enumerate() {
-                if t >= end {
-                    break;
-                }
-                let next = self
-                    .avail_points
-                    .get(i + 1)
-                    .map(|&(t, _)| t.min_of(end))
-                    .unwrap_or(end);
-                avail_node_s += count as f64 * (next - t).as_secs_f64();
-            }
-            let total = self.cfg.cluster.total_nodes() as f64;
-            self.summary.downtime_node_s = (total * makespan.as_secs_f64() - avail_node_s).max(0.0);
-            let busy_node_s = self.series.nodes_busy.stats().integral_until(end);
-            self.summary.avail_util = if avail_node_s > 0.0 {
-                busy_node_s / avail_node_s
-            } else {
-                0.0
-            };
-        } else {
-            self.summary.avail_util = node_util;
+        let makespan = end.saturating_since(start_time);
+        // SimOutput is assembled from the built-in observers' final state:
+        // the series bundle, the record list, and the fault summary
+        // (whose availability-weighted metrics derive over [start, end] —
+        // without downtime inside the window, avail_util is the *same
+        // expression* as node_util, bit-equal, so fault-free outputs are
+        // unchanged).
+        let series = obs.series.into_bundle();
+        let records = obs.stats.into_records();
+        let node_util = series.node_util(end);
+        let summary = obs.faults.finalize(
+            end,
+            makespan,
+            cfg.cluster.total_nodes() as f64,
+            node_util,
+            &series,
+        );
+        let run_end = RunEnd {
+            at: now,
+            end,
+            events_processed,
+            passes,
+            trace_hash,
+        };
+        if let Some(p) = &mut progress {
+            p.on_run_end(&run_end);
+        }
+        for o in extras.iter_mut() {
+            o.on_run_end(&run_end);
         }
         let data = RunData {
-            label: self.scheduler.label(),
-            records: self.records.clone(),
+            label: scheduler.label(),
+            records: records.clone(),
             makespan_s: makespan.as_secs_f64(),
             node_util,
-            pool_util: self.series.pool_util(end),
-            dram_util: self.series.dram_util(end),
-            queue_depth_mean: self.series.queue_depth_mean(end),
-            queue_depth_max: self.series.queue_depth_max(),
-            faults: self.summary,
+            pool_util: series.pool_util(end),
+            dram_util: series.dram_util(end),
+            queue_depth_mean: series.queue_depth_mean(end),
+            queue_depth_max: series.queue_depth_max(),
+            faults: summary,
         };
-        let thresholds = ClassThresholds::standard(self.cfg.cluster.node.local_mem);
+        let thresholds = ClassThresholds::standard(cfg.cluster.node.local_mem);
         SimOutput {
             report: SimReport::compute(&data, &thresholds),
-            records: self.records,
-            series: self.series,
-            events_processed: self.events_processed,
-            passes: self.passes,
-            trace_hash: self.trace_hash,
-            end_time: self.now,
-            faults: self.summary,
+            records,
+            series,
+            events_processed,
+            passes,
+            trace_hash,
+            end_time: now,
+            faults: summary,
         }
     }
 }
@@ -1742,6 +1948,100 @@ mod tests {
             assert_eq!(heap.events_processed, cal.events_processed);
             assert_eq!(heap.report.mean_wait_s, cal.report.mean_wait_s);
         }
+    }
+
+    #[test]
+    fn observers_are_trace_neutral_and_see_every_event() {
+        use crate::observe::{EventCounter, Observer as _};
+        let spec = dmhpc_workload::SystemPreset::HighThroughput.synthetic_spec(200);
+        let w = spec.generate(5);
+        let cluster = ClusterSpec::new(
+            2,
+            16,
+            NodeSpec::new(32, 192 * GIB),
+            PoolTopology::PerRack {
+                mib_per_rack: 384 * GIB,
+            },
+        );
+        let sched = SchedulerBuilder::new()
+            .memory(MemoryPolicy::PoolBestFit)
+            .slowdown(SlowdownModel::Linear { penalty: 1.5 })
+            .build();
+        let cfg = SimConfig::new(cluster, sched);
+        let plain = Simulation::new(cfg).unwrap().run(&w);
+        let mut counter = EventCounter::new();
+        let mut probe = crate::observe::SampledSeriesProbe::new(SimDuration::from_secs(3600));
+        let observed = Simulation::new(cfg)
+            .unwrap()
+            .run_observed(&w, &mut [&mut counter, &mut probe]);
+        assert_eq!(
+            plain.trace_hash, observed.trace_hash,
+            "observers are neutral"
+        );
+        assert_eq!(plain.report.mean_wait_s, observed.report.mean_wait_s);
+        assert_eq!(plain.passes, observed.passes);
+        // Every job submits once; every submit eventually starts, rejects,
+        // or fails; every start grabs and releases exactly once.
+        assert_eq!(counter.count("submit"), 200);
+        assert_eq!(counter.count("grab"), counter.count("start"));
+        assert_eq!(counter.count("release"), counter.count("grab"));
+        assert_eq!(
+            counter.count("submit"),
+            counter.count("start") + counter.count("reject") + counter.count("fail")
+        );
+        assert_eq!(counter.count("pass"), plain.passes);
+        assert!(!probe.samples().is_empty(), "probe sampled the run");
+        let last = probe.samples().last().unwrap();
+        assert_eq!(last.running, 0, "machine drained by the window end");
+        assert_eq!(last.queued, 0);
+    }
+
+    #[test]
+    fn with_observer_factory_builds_one_per_run() {
+        use crate::observe::{Observer, RunLabel};
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        struct Count(Arc<AtomicU64>);
+        impl Observer for Count {
+            fn on_event(&mut self, _: &crate::observe::SimEvent) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let seen = Arc::new(AtomicU64::new(0));
+        let factory = {
+            let seen = Arc::clone(&seen);
+            move |_: &RunLabel| -> Result<Box<dyn Observer>, crate::SimError> {
+                Ok(Box::new(Count(Arc::clone(&seen))))
+            }
+        };
+        let w = Workload::from_jobs(vec![JobBuilder::new(1)
+            .nodes(1)
+            .runtime_secs(100, 200)
+            .mem_per_node(GIB)
+            .build()]);
+        let sim = local_sim().with_observer(Arc::new(factory));
+        let a = sim.run(&w);
+        let b = sim.run(&w);
+        assert_eq!(a.trace_hash, b.trace_hash);
+        // submit + start + grab + pass + release + finish, twice.
+        assert_eq!(seen.load(Ordering::Relaxed), 12);
+    }
+
+    #[test]
+    fn config_progress_observer_is_trace_neutral() {
+        let w = Workload::from_jobs(vec![JobBuilder::new(1)
+            .nodes(1)
+            .runtime_secs(100, 200)
+            .mem_per_node(GIB)
+            .build()]);
+        let quiet = local_sim().run(&w);
+        let sched = SchedulerBuilder::new().build();
+        let cfg = SimConfig::new(machine(PoolTopology::None), sched)
+            .checked()
+            .with_progress_every(1_000_000); // too sparse to print
+        let noisy = Simulation::new(cfg).unwrap().run(&w);
+        assert_eq!(quiet.trace_hash, noisy.trace_hash);
+        assert_eq!(quiet.report.mean_wait_s, noisy.report.mean_wait_s);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use dmhpc_metrics::json::JsonError;
 use dmhpc_platform::PlatformError;
+use dmhpc_workload::WorkloadError;
 use std::fmt;
 
 /// Everything that can go wrong constructing a simulation or experiment.
@@ -30,15 +31,19 @@ pub enum SimError {
         /// What was wrong, human-readable.
         reason: String,
     },
-    /// Filesystem access (result cache, spec files, exports) failed. The
-    /// underlying `io::Error` is flattened to text so the enum stays
-    /// `Clone + PartialEq`.
+    /// Filesystem access (result cache, spec files, exports, trace sinks)
+    /// failed. The underlying `io::Error` is flattened to text so the enum
+    /// stays `Clone + PartialEq`.
     Io {
         /// What the simulator was doing when the I/O failed.
         context: String,
         /// The flattened `io::Error`.
         reason: String,
     },
+    /// A workload model rejected its parameters (typed, from
+    /// `dmhpc-workload` — same fallible-construction convention as
+    /// platform specs).
+    Workload(WorkloadError),
 }
 
 impl SimError {
@@ -72,6 +77,7 @@ impl fmt::Display for SimError {
             SimError::Spec { reason } => write!(f, "experiment spec: {reason}"),
             SimError::Parse { reason } => write!(f, "parse: {reason}"),
             SimError::Io { context, reason } => write!(f, "io ({context}): {reason}"),
+            SimError::Workload(e) => write!(f, "{e}"),
         }
     }
 }
@@ -89,6 +95,12 @@ impl From<JsonError> for SimError {
         SimError::Parse {
             reason: e.to_string(),
         }
+    }
+}
+
+impl From<WorkloadError> for SimError {
+    fn from(e: WorkloadError) -> Self {
+        SimError::Workload(e)
     }
 }
 
@@ -112,5 +124,8 @@ mod tests {
         }
         .into();
         assert!(matches!(j, SimError::Parse { .. }));
+        let w: SimError = WorkloadError::new("sizes", "max_nodes must be >= 1").into();
+        assert!(matches!(w, SimError::Workload(_)));
+        assert!(w.to_string().contains("sizes"), "{w}");
     }
 }

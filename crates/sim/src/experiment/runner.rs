@@ -6,6 +6,7 @@ use super::shard::Shard;
 use super::{ExperimentSpec, RunSpec, WorkloadSource};
 use crate::engine::Simulation;
 use crate::error::SimError;
+use crate::observe::{Observer, ObserverFactory, RunLabel, TraceDir};
 use crate::sweep::run_parallel;
 use dmhpc_workload::{transform, Workload};
 use std::collections::HashMap;
@@ -33,11 +34,24 @@ use std::sync::Arc;
 /// * **Sharding** ([`ExperimentRunner::run_shard`]): N processes each run
 ///   a disjoint slice of the grid; [`ExperimentResults::merge`] (or a warm
 ///   cached run over the full spec) recombines them.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct ExperimentRunner {
     threads: usize,
     cache: Option<ResultCache>,
     event_queue: Option<crate::EventQueueKind>,
+    /// Per-cell observer factories (see [`ExperimentRunner::observe`]).
+    observers: Vec<Arc<dyn ObserverFactory>>,
+}
+
+impl std::fmt::Debug for ExperimentRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExperimentRunner")
+            .field("threads", &self.threads)
+            .field("cache", &self.cache)
+            .field("event_queue", &self.event_queue)
+            .field("observers", &self.observers.len())
+            .finish()
+    }
 }
 
 /// Workload-cache key: `(seed, load bits, cluster node count)`. Loads are
@@ -79,6 +93,25 @@ impl ExperimentRunner {
     pub fn cache(mut self, cache: ResultCache) -> Self {
         self.cache = Some(cache);
         self
+    }
+
+    /// Attach a per-cell observer factory: every *simulated* cell creates
+    /// one fresh observer (named by `spec.name` + cell label) and feeds it
+    /// the cell's event stream. Hash-neutral — observers never change a
+    /// cell's result, its hash, or its cache entry — and cells served
+    /// from the cache are not re-simulated, so they produce no
+    /// observations (run without `cache_dir`, or with a cold cache, to
+    /// observe every cell).
+    pub fn observe(mut self, factory: Arc<dyn ObserverFactory>) -> Self {
+        self.observers.push(factory);
+        self
+    }
+
+    /// Convenience for the common factory: stream every simulated cell's
+    /// event trace to `dir/<spec>.<cell>.jsonl` (constant memory per
+    /// cell; see [`crate::TraceSink`]).
+    pub fn trace_dir(self, dir: impl Into<PathBuf>) -> Result<Self, SimError> {
+        Ok(self.observe(Arc::new(TraceDir::new(dir)?)))
     }
 
     fn workload_key(cell: &RunSpec) -> WorkloadKey {
@@ -188,10 +221,28 @@ impl ExperimentRunner {
             let sim = Simulation::new(config)
                 .and_then(|s| s.with_fault_spec(cell.faults.clone()))
                 .expect("cell config validated by compile()");
-            (*i, cell.clone(), *hash, sim.run(workload))
+            // Observers are created in the worker, right before the cell
+            // runs, so open sinks (trace files, fds, buffers) are bounded
+            // by the thread count, not the grid size. Factory failures
+            // ride the same per-cell channel as deferred sink failures.
+            let run = RunLabel::new(format!("{}.{}", spec.name, cell.key.label()));
+            let made: Result<Vec<Box<dyn Observer>>, SimError> =
+                self.observers.iter().map(|f| f.make(&run)).collect();
+            match made {
+                Err(e) => (*i, cell.clone(), *hash, None, Some(e)),
+                Ok(mut obs) => {
+                    let output = sim.run_boxed(workload, &mut obs);
+                    let failure = obs.iter().find_map(|o| o.failure());
+                    (*i, cell.clone(), *hash, Some(output), failure)
+                }
+            }
         });
 
-        for (i, cell, hash, output) in outputs {
+        for (i, cell, hash, output, failure) in outputs {
+            if let Some(e) = failure {
+                return Err(e);
+            }
+            let output = output.expect("failure-free cells carry an output");
             if let (Some(cache), Some(hash)) = (&self.cache, hash) {
                 cache.store_cell(hash, &output)?;
             }

@@ -19,8 +19,17 @@
 //!   [`dmhpc_sched::Placement`] policies plug in via
 //!   [`Simulation::with_policies`].
 //! * [`SimConfig`] — machine × scheduler × execution-model configuration.
+//! * [`observe`] — the streaming observation API: the engine emits a
+//!   typed [`observe::SimEvent`] per state change, all metrics are
+//!   built-in [`observe::Observer`]s (so [`SimOutput`] is assembled from
+//!   the default observer set, bit-identically), and pluggable consumers
+//!   ride the same stream — a constant-memory JSONL
+//!   [`observe::TraceSink`], a cadence-sampled
+//!   [`observe::SampledSeriesProbe`], progress heartbeats. Observers are
+//!   hash-neutral by construction.
 //! * [`collector`] — time-weighted series (busy nodes, pool use, DRAM use,
-//!   queue depth) recorded exactly at every change.
+//!   queue depth) recorded exactly at every change, maintained by the
+//!   series observer.
 //! * [`sweep`] — scoped-thread parallel fan-out with deterministic result
 //!   ordering (the runner's execution substrate).
 //! * [`scenarios`] — the axis vocabulary (preset machines, calibrated
@@ -41,11 +50,12 @@ mod engine;
 mod error;
 pub mod experiment;
 pub mod faults;
+pub mod observe;
 pub mod scenarios;
 pub mod sweep;
 
 pub use collector::SeriesBundle;
-pub use config::{EventQueueKind, SimConfig};
+pub use config::{EventQueueKind, ObserverSpec, SimConfig};
 pub use engine::{SimOutput, Simulation};
 pub use error::SimError;
 pub use experiment::{
@@ -53,3 +63,7 @@ pub use experiment::{
     ResultCache, RunSpec, RunStats, Shard, WorkloadSource,
 };
 pub use faults::{FaultAction, FaultGenerator, FaultSpec, InterruptPolicy};
+pub use observe::{
+    EventCounter, Observer, ObserverFactory, ProgressObserver, RunLabel, SampledSeriesProbe,
+    SimEvent, TraceDir, TraceSink,
+};

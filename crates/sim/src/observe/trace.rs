@@ -1,0 +1,417 @@
+//! Streaming JSONL trace export with bounded memory.
+
+use super::{Observer, ObserverFactory, RunContext, RunEnd, RunLabel, SimEvent};
+use crate::error::SimError;
+use crate::faults::FaultAction;
+use dmhpc_metrics::{JobOutcome, JobRecord};
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Default write-buffer size (bytes) — the constant that bounds a trace
+/// run's memory footprint.
+pub const DEFAULT_BUFFER: usize = 64 * 1024;
+
+/// Streams the event stream to disk as JSON lines, one object per event,
+/// through a fixed-size buffer: memory stays O(buffer) however many
+/// events the run produces, so arbitrarily long runs export full traces.
+///
+/// The first line is a `run_start` header (label, job count, origin), the
+/// last a `run_end` footer (event counts, passes, trace hash); every line
+/// in between is one [`SimEvent`]. All values are integers (microsecond
+/// times) or shortest-round-trip floats, and the stream is a pure
+/// function of the run — byte-identical across thread counts and
+/// event-queue backends (tested).
+///
+/// I/O errors are deferred: the sink goes quiet and reports via
+/// [`TraceSink::finish`] / [`Observer::failure`] (the experiment runner
+/// checks the latter after every cell).
+#[derive(Debug)]
+pub struct TraceSink {
+    out: BufWriter<File>,
+    path: PathBuf,
+    events: u64,
+    line: String,
+    error: Option<SimError>,
+}
+
+impl TraceSink {
+    /// Create (truncate) `path` with the default buffer size.
+    pub fn create(path: impl Into<PathBuf>) -> Result<Self, SimError> {
+        Self::with_buffer(path, DEFAULT_BUFFER)
+    }
+
+    /// Create (truncate) `path` with an explicit buffer size in bytes —
+    /// the memory bound of the sink.
+    pub fn with_buffer(path: impl Into<PathBuf>, buffer: usize) -> Result<Self, SimError> {
+        let path = path.into();
+        let file = File::create(&path)
+            .map_err(|e| SimError::io(format!("creating trace {}", path.display()), e))?;
+        Ok(TraceSink {
+            out: BufWriter::with_capacity(buffer.max(1), file),
+            path,
+            events: 0,
+            line: String::with_capacity(160),
+            error: None,
+        })
+    }
+
+    /// Where the trace is being written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Events written so far (header/footer lines not counted).
+    pub fn events_written(&self) -> u64 {
+        self.events
+    }
+
+    /// Flush and close, returning the event count — or the first deferred
+    /// I/O error.
+    pub fn finish(mut self) -> Result<u64, SimError> {
+        self.flush();
+        match self.error.take() {
+            Some(e) => Err(e),
+            None => Ok(self.events),
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.error.is_none() {
+            if let Err(e) = self.out.flush() {
+                self.error = Some(SimError::io(
+                    format!("flushing trace {}", self.path.display()),
+                    e,
+                ));
+            }
+        }
+    }
+
+    fn write_line(&mut self) {
+        if self.error.is_some() {
+            return;
+        }
+        self.line.push('\n');
+        if let Err(e) = self.out.write_all(self.line.as_bytes()) {
+            self.error = Some(SimError::io(
+                format!("writing trace {}", self.path.display()),
+                e,
+            ));
+        }
+    }
+
+    fn format_event(line: &mut String, ev: &SimEvent) {
+        let _ = write!(
+            line,
+            r#"{{"t_us":{},"kind":"{}""#,
+            ev.at().as_micros(),
+            ev.kind()
+        );
+        match ev {
+            SimEvent::JobSubmitted { job, resubmit, .. } => {
+                let _ = write!(
+                    line,
+                    r#","job":{},"nodes":{},"runtime_us":{},"mem_mib":{},"resubmit":{}"#,
+                    job.id.0,
+                    job.nodes,
+                    job.runtime.as_micros(),
+                    job.mem_per_node,
+                    resubmit
+                );
+            }
+            SimEvent::JobStarted {
+                job,
+                nodes,
+                dilation,
+                ..
+            } => {
+                let _ = write!(
+                    line,
+                    r#","job":{},"nodes":{nodes},"dilation":{dilation}"#,
+                    job.0
+                );
+            }
+            SimEvent::AllocationGrabbed {
+                job,
+                nodes,
+                local_mib,
+                remote_mib,
+                ..
+            }
+            | SimEvent::AllocationReleased {
+                job,
+                nodes,
+                local_mib,
+                remote_mib,
+                ..
+            } => {
+                let _ = write!(
+                    line,
+                    r#","job":{},"nodes":{nodes},"local_mib":{local_mib},"remote_mib":{remote_mib}"#,
+                    job.0
+                );
+            }
+            SimEvent::JobFinished { record, .. }
+            | SimEvent::JobFailed { record, .. }
+            | SimEvent::JobRejected { record, .. } => Self::format_record(line, record),
+            SimEvent::JobInterrupted {
+                job,
+                rework_s,
+                resubmitted,
+                ..
+            } => {
+                let _ = write!(
+                    line,
+                    r#","job":{},"rework_s":{rework_s},"resubmitted":{resubmitted}"#,
+                    job.0
+                );
+            }
+            SimEvent::FaultApplied {
+                action,
+                nodes_in_service,
+                ..
+            }
+            | SimEvent::FaultCleared {
+                action,
+                nodes_in_service,
+                ..
+            } => {
+                Self::format_action(line, action);
+                let _ = write!(line, r#","in_service":{nodes_in_service}"#);
+            }
+            SimEvent::PassCompleted {
+                started,
+                rejected,
+                queued,
+                ..
+            } => {
+                let _ = write!(
+                    line,
+                    r#","started":{started},"rejected":{rejected},"queued":{queued}"#
+                );
+            }
+        }
+        line.push('}');
+    }
+
+    fn format_record(line: &mut String, r: &JobRecord) {
+        let outcome = match r.outcome {
+            JobOutcome::Completed => "completed",
+            JobOutcome::Killed => "killed",
+            JobOutcome::Rejected => "rejected",
+            JobOutcome::Failed => "failed",
+        };
+        let _ = write!(line, r#","job":{},"outcome":"{outcome}""#, r.job.id.0);
+        if let Some(start) = r.start {
+            let _ = write!(line, r#","start_us":{}"#, start.as_micros());
+        }
+        if let Some(finish) = r.finish {
+            let _ = write!(line, r#","finish_us":{}"#, finish.as_micros());
+        }
+        if r.start.is_some() {
+            let _ = write!(
+                line,
+                r#","nodes":{},"remote_per_node":{},"dilation":{}"#,
+                r.nodes_allocated, r.remote_per_node, r.dilation_actual
+            );
+        }
+    }
+
+    fn format_action(line: &mut String, action: &FaultAction) {
+        match *action {
+            FaultAction::NodeFail(n) => {
+                let _ = write!(line, r#","action":"node_fail","target":{}"#, n.0);
+            }
+            FaultAction::NodeRepair(n) => {
+                let _ = write!(line, r#","action":"node_repair","target":{}"#, n.0);
+            }
+            FaultAction::DrainStart(n) => {
+                let _ = write!(line, r#","action":"drain_start","target":{}"#, n.0);
+            }
+            FaultAction::DrainEnd(n) => {
+                let _ = write!(line, r#","action":"drain_end","target":{}"#, n.0);
+            }
+            FaultAction::PoolDegrade { pool, factor } => {
+                let _ = write!(
+                    line,
+                    r#","action":"pool_degrade","target":{},"factor":{factor}"#,
+                    pool.0
+                );
+            }
+            FaultAction::PoolRepair(p) => {
+                let _ = write!(line, r#","action":"pool_repair","target":{}"#, p.0);
+            }
+        }
+    }
+}
+
+impl Observer for TraceSink {
+    fn on_run_start(&mut self, ctx: &RunContext) {
+        self.line.clear();
+        let label = dmhpc_metrics::json::Json::Str(ctx.label.clone()).to_string_compact();
+        let _ = write!(
+            self.line,
+            r#"{{"kind":"run_start","label":{label},"jobs":{},"nodes":{},"start_us":{}}}"#,
+            ctx.jobs,
+            ctx.cluster.total_nodes(),
+            ctx.start.as_micros()
+        );
+        self.write_line();
+    }
+
+    fn on_event(&mut self, ev: &SimEvent) {
+        self.line.clear();
+        Self::format_event(&mut self.line, ev);
+        self.write_line();
+        self.events += 1;
+    }
+
+    fn on_run_end(&mut self, end: &RunEnd) {
+        self.line.clear();
+        let _ = write!(
+            self.line,
+            r#"{{"kind":"run_end","t_us":{},"end_us":{},"events":{},"engine_events":{},"passes":{},"trace_hash":"{:016x}"}}"#,
+            end.at.as_micros(),
+            end.end.as_micros(),
+            self.events,
+            end.events_processed,
+            end.passes,
+            end.trace_hash
+        );
+        self.write_line();
+        self.flush();
+    }
+
+    fn failure(&self) -> Option<SimError> {
+        self.error.clone()
+    }
+}
+
+/// [`ObserverFactory`] writing one `<run>.jsonl` per run into a
+/// directory — the factory behind `ExperimentRunner::trace_dir` and
+/// `repro … --trace-out DIR`.
+///
+/// File stems come from the lossy [`RunLabel`] sanitization, so two
+/// distinct run labels can collide (e.g. `fcfs|easy` and `fcfs-easy`);
+/// the factory disambiguates repeats with a numeric suffix instead of
+/// letting two concurrent sinks interleave into one file. The used-stem
+/// set is shared across clones of the factory (they target the same
+/// directory).
+#[derive(Debug, Clone)]
+pub struct TraceDir {
+    dir: PathBuf,
+    buffer: usize,
+    used: std::sync::Arc<std::sync::Mutex<std::collections::HashSet<String>>>,
+}
+
+impl TraceDir {
+    /// Create the directory (if missing) and return the factory.
+    pub fn new(dir: impl Into<PathBuf>) -> Result<Self, SimError> {
+        Self::with_buffer(dir, DEFAULT_BUFFER)
+    }
+
+    /// Like [`TraceDir::new`] with an explicit per-sink buffer size.
+    pub fn with_buffer(dir: impl Into<PathBuf>, buffer: usize) -> Result<Self, SimError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| SimError::io(format!("creating trace dir {}", dir.display()), e))?;
+        Ok(TraceDir {
+            dir,
+            buffer,
+            used: std::sync::Arc::default(),
+        })
+    }
+}
+
+impl ObserverFactory for TraceDir {
+    fn make(&self, run: &RunLabel) -> Result<Box<dyn Observer>, SimError> {
+        let stem = {
+            let mut used = self.used.lock().expect("trace stem set poisoned");
+            let mut stem = run.file_stem.clone();
+            let mut n = 1u32;
+            while !used.insert(stem.clone()) {
+                n += 1;
+                stem = format!("{}-{n}", run.file_stem);
+            }
+            stem
+        };
+        let path = self.dir.join(format!("{stem}.jsonl"));
+        Ok(Box::new(TraceSink::with_buffer(path, self.buffer)?))
+    }
+}
+
+/// Parse and validate one line of a streamed trace: it must be a JSON
+/// object carrying a string `"kind"`. Returns the parsed document (CI
+/// smoke checks and notebooks use this to consume traces without a JSON
+/// dependency of their own).
+pub fn parse_trace_line(line: &str) -> Result<dmhpc_metrics::json::Json, SimError> {
+    let doc = dmhpc_metrics::json::parse(line)?;
+    doc.expect_key("kind")?.to_str()?;
+    Ok(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmhpc_des::time::SimTime;
+    use dmhpc_workload::JobBuilder;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("dmhpc-trace-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn writes_parseable_jsonl() {
+        let path = tmp("parse.jsonl");
+        let mut sink = TraceSink::with_buffer(&path, 64).unwrap();
+        sink.on_event(&SimEvent::JobSubmitted {
+            at: SimTime::from_secs(1),
+            job: JobBuilder::new(7).nodes(2).runtime_secs(10, 20).build(),
+            resubmit: false,
+        });
+        sink.on_event(&SimEvent::PassCompleted {
+            at: SimTime::from_secs(1),
+            started: 1,
+            rejected: 0,
+            queued: 0,
+        });
+        assert_eq!(sink.events_written(), 2);
+        sink.finish().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            let doc = dmhpc_metrics::json::parse(line).expect("line parses");
+            assert!(doc.get("kind").is_some());
+        }
+        assert!(lines[0].contains(r#""kind":"submit""#));
+        assert!(lines[0].contains(r#""job":7"#));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trace_dir_names_files_by_run() {
+        let dir = tmp("dir");
+        let factory = TraceDir::new(&dir).unwrap();
+        let mut obs = factory.make(&RunLabel::new("a|b c")).unwrap();
+        obs.on_event(&SimEvent::PassCompleted {
+            at: SimTime::ZERO,
+            started: 0,
+            rejected: 0,
+            queued: 0,
+        });
+        obs.on_run_end(&RunEnd {
+            at: SimTime::ZERO,
+            end: SimTime::ZERO,
+            events_processed: 0,
+            passes: 0,
+            trace_hash: 0,
+        });
+        assert!(obs.failure().is_none());
+        drop(obs);
+        let text = std::fs::read_to_string(dir.join("a-b-c.jsonl")).unwrap();
+        assert!(text.lines().count() == 2, "event + footer");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,56 @@
+//! Typed validation errors for workload models.
+//!
+//! Every component model of a [`crate::SyntheticSpec`] validates its
+//! parameters before sampling; the failures surface as one structured
+//! [`WorkloadError`] instead of bare strings, so callers (notably the
+//! simulator's `SimError`) can carry them without loss.
+
+use std::fmt;
+
+/// A workload model rejected its parameters.
+///
+/// `model` names the component that failed (`"spec"`, `"sizes"`,
+/// `"runtime"`, `"walltime"`, `"memory"`, `"intensity"`), `reason` says
+/// why. The `dmhpc-sim` crate converts this into its `SimError` enum, so
+/// workload validation follows the same fallible-construction convention
+/// as cluster shapes and slowdown models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadError {
+    /// Which component model rejected its parameters.
+    pub model: &'static str,
+    /// What was wrong, human-readable.
+    pub reason: String,
+}
+
+impl WorkloadError {
+    /// A validation failure of `model`.
+    pub fn new(model: &'static str, reason: impl Into<String>) -> Self {
+        WorkloadError {
+            model,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "workload {} model: {}", self.model, self.reason)
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_model_and_reason() {
+        let e = WorkloadError::new("sizes", "max_nodes must be >= 1");
+        assert_eq!(
+            e.to_string(),
+            "workload sizes model: max_nodes must be >= 1"
+        );
+        assert_eq!(e, e.clone());
+    }
+}

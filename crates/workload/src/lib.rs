@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
 mod job;
 pub mod stats;
 pub mod swf;
@@ -32,6 +33,7 @@ pub mod synthetic;
 pub mod transform;
 mod workload_set;
 
+pub use error::WorkloadError;
 pub use job::{Job, JobBuilder, JobId};
 pub use synthetic::{SyntheticSpec, SystemPreset};
 pub use workload_set::{Workload, WorkloadBuilder};

@@ -8,6 +8,7 @@
 //! pool memory (on disaggregated ones), so its weight and tail are the
 //! experiment's most sensitive knobs.
 
+use crate::error::WorkloadError;
 use dmhpc_des::rng::dist::{Distribution, LogNormal, Normal};
 use dmhpc_des::rng::Pcg64;
 
@@ -38,27 +39,28 @@ pub struct MemoryModel {
 
 impl MemoryModel {
     /// Validate parameters.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        let err = |reason: String| Err(WorkloadError::new("memory", reason));
         if self.node_mem_mib == 0 {
-            return Err("node_mem_mib must be positive".into());
+            return err("node_mem_mib must be positive".into());
         }
         if !(self.light_median_frac > 0.0 && self.heavy_median_frac > 0.0) {
-            return Err("median fractions must be positive".into());
+            return err("median fractions must be positive".into());
         }
         if !(self.light_sigma > 0.0 && self.heavy_sigma > 0.0) {
-            return Err("sigmas must be positive".into());
+            return err("sigmas must be positive".into());
         }
         if !(0.0..=1.0).contains(&self.heavy_fraction) {
-            return Err(format!(
+            return err(format!(
                 "heavy_fraction {} outside [0,1]",
                 self.heavy_fraction
             ));
         }
         if self.cap_frac.is_nan() || self.cap_frac < self.light_median_frac {
-            return Err("cap_frac below the light median makes no sense".into());
+            return err("cap_frac below the light median makes no sense".into());
         }
         if self.min_mib == 0 {
-            return Err("min_mib must be positive".into());
+            return err("min_mib must be positive".into());
         }
         Ok(())
     }
@@ -94,12 +96,13 @@ pub struct IntensityModel {
 
 impl IntensityModel {
     /// Validate parameters.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        let err = |reason: String| Err(WorkloadError::new("intensity", reason));
         if !(0.0..=1.0).contains(&self.base) {
-            return Err(format!("base {} outside [0,1]", self.base));
+            return err(format!("base {} outside [0,1]", self.base));
         }
         if !(self.mem_coupling >= 0.0 && self.noise >= 0.0) {
-            return Err("mem_coupling and noise must be >= 0".into());
+            return err("mem_coupling and noise must be >= 0".into());
         }
         Ok(())
     }

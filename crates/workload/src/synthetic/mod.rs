@@ -20,6 +20,7 @@ pub use memory::{IntensityModel, MemoryModel};
 pub use runtime::{round_up_to_bucket, RuntimeModel, WalltimeModel, WALLTIME_BUCKETS};
 pub use sizes::SizeModel;
 
+use crate::error::WorkloadError;
 use crate::job::{Job, JobId};
 use crate::workload_set::Workload;
 use dmhpc_des::rng::dist::Zipf;
@@ -49,13 +50,15 @@ pub struct SyntheticSpec {
 }
 
 impl SyntheticSpec {
-    /// Validate every component model.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validate every component model. Failures are typed
+    /// ([`WorkloadError`]) and name the component that rejected its
+    /// parameters.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
         if self.n_jobs == 0 {
-            return Err("n_jobs must be positive".into());
+            return Err(WorkloadError::new("spec", "n_jobs must be positive"));
         }
         if self.users == 0 {
-            return Err("users must be positive".into());
+            return Err(WorkloadError::new("spec", "users must be positive"));
         }
         self.sizes.validate()?;
         self.runtime.validate()?;

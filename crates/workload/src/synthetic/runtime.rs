@@ -1,5 +1,6 @@
 //! Runtime and walltime-request models.
 
+use crate::error::WorkloadError;
 use dmhpc_des::rng::dist::{Distribution, Exponential, Gamma, HyperGamma};
 use dmhpc_des::rng::Pcg64;
 use dmhpc_des::time::SimDuration;
@@ -23,17 +24,18 @@ pub struct RuntimeModel {
 
 impl RuntimeModel {
     /// Validate parameters.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        let err = |reason: String| Err(WorkloadError::new("runtime", reason));
         if !(0.0..=1.0).contains(&self.p_short) {
-            return Err(format!("p_short {} outside [0,1]", self.p_short));
+            return err(format!("p_short {} outside [0,1]", self.p_short));
         }
         for (name, (shape, scale)) in [("short", self.short), ("long", self.long)] {
             if !(shape > 0.0 && scale > 0.0) {
-                return Err(format!("{name} Gamma requires positive shape/scale"));
+                return err(format!("{name} Gamma requires positive shape/scale"));
             }
         }
         if !(self.min_secs > 0.0 && self.max_secs > self.min_secs) {
-            return Err("need 0 < min_secs < max_secs".into());
+            return err("need 0 < min_secs < max_secs".into());
         }
         Ok(())
     }
@@ -76,18 +78,19 @@ pub const WALLTIME_BUCKETS: [u64; 10] = [
 
 impl WalltimeModel {
     /// Validate parameters.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        let err = |reason: String| Err(WorkloadError::new("walltime", reason));
         if self.overestimate_mean_excess.is_nan() || self.overestimate_mean_excess < 0.0 {
-            return Err("overestimate_mean_excess must be >= 0".into());
+            return err("overestimate_mean_excess must be >= 0".into());
         }
         if !(0.0..=1.0).contains(&self.underestimate_fraction) {
-            return Err(format!(
+            return err(format!(
                 "underestimate_fraction {} outside [0,1]",
                 self.underestimate_fraction
             ));
         }
         if self.max_secs == 0 {
-            return Err("max_secs must be positive".into());
+            return err("max_secs must be positive".into());
         }
         Ok(())
     }

@@ -1,5 +1,6 @@
 //! Job node-count model.
 
+use crate::error::WorkloadError;
 use dmhpc_des::rng::dist::{Distribution, Normal};
 use dmhpc_des::rng::Pcg64;
 
@@ -23,24 +24,25 @@ pub struct SizeModel {
 
 impl SizeModel {
     /// Validate parameters.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        let err = |reason: String| Err(WorkloadError::new("sizes", reason));
         if self.max_nodes < 1 {
-            return Err("max_nodes must be >= 1".into());
+            return err("max_nodes must be >= 1".into());
         }
         if !(0.0..=1.0).contains(&self.serial_fraction) {
-            return Err(format!(
+            return err(format!(
                 "serial_fraction {} outside [0,1]",
                 self.serial_fraction
             ));
         }
         if !(0.0..=1.0).contains(&self.power_of_two_bias) {
-            return Err(format!(
+            return err(format!(
                 "power_of_two_bias {} outside [0,1]",
                 self.power_of_two_bias
             ));
         }
         if self.log_std.is_nan() || self.log_std <= 0.0 {
-            return Err("log_std must be > 0".into());
+            return err("log_std must be > 0".into());
         }
         Ok(())
     }

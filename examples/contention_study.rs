@@ -68,6 +68,32 @@ fn main() -> Result<(), SimError> {
             );
         }
     }
+    // Pool-pressure timeline of the smallest vs largest pool under the
+    // γ=1 contention model, via the shared resampled-series helpers (no
+    // hand-rolled resample/normalize plumbing).
+    println!("\npool occupancy over time (contention-γ1, fraction of capacity):");
+    print!("{:>6}", "hour");
+    let gammas: Vec<&CellResult> = results
+        .cells()
+        .iter()
+        .skip(1) // contention-γ1 is the second scheduler on the axis
+        .step_by(models.len())
+        .collect();
+    for cell in &gammas {
+        print!(" {:>12}", cell.key.cluster);
+    }
+    println!();
+    let series: Vec<Vec<(f64, f64)>> = gammas
+        .iter()
+        .map(|c| c.output.series.pool_util_series(c.output.end_time, 9))
+        .collect();
+    for i in 0..series.first().map(Vec::len).unwrap_or(0) {
+        print!("{:>6.1}", series[0][i].0);
+        for s in &series {
+            print!(" {:>12.3}", s.get(i).map(|p| p.1).unwrap_or(0.0));
+        }
+        println!();
+    }
     println!(
         "\nreading: small pools under the contention model run hot, so borrowers\n\
          dilate harder — walltime inflation keeps them alive (kill=0), but the\n\

@@ -58,6 +58,16 @@
 //! `ExperimentSpec::builder(..).fault(..)`. Fault-free cells hash and
 //! cache exactly as before, so adding the axis never invalidates results.
 //!
+//! Runs are *observed* through a typed event stream ([`sim::observe`]):
+//! the engine emits a [`sim::observe::SimEvent`] per state change and all
+//! metrics are built-in [`sim::observe::Observer`]s, with pluggable extra
+//! consumers — a constant-memory JSONL [`sim::observe::TraceSink`], a
+//! cadence-sampled [`sim::observe::SampledSeriesProbe`], progress
+//! heartbeats — attached per run ([`sim::Simulation::run_observed`]) or
+//! per grid cell (`ExperimentRunner::observe` / `trace_dir`,
+//! `repro … --trace-out`). Observers are hash-neutral: they can never
+//! change a result, a trace hash, or a cache entry.
+//!
 //! For one-off runs without a grid, [`sim::Simulation`] is still the
 //! entry point: `Simulation::new(SimConfig::new(cluster, scheduler))?`.
 //!
@@ -93,10 +103,16 @@ pub mod prelude {
         BackfillPolicy, MemoryPolicy, OrderPolicy, Ordering, Placement, ReleaseIndex, ReleaseView,
         SchedulerBuilder, SchedulerConfig,
     };
+    pub use dmhpc_sim::observe::{
+        EventCounter, Observer, ObserverFactory, ProgressObserver, RunLabel, SampleRow,
+        SampledSeriesProbe, SimEvent, TraceDir, TraceSink,
+    };
     pub use dmhpc_sim::{
         CellKey, CellResult, EventQueueKind, ExperimentResults, ExperimentRunner, ExperimentSpec,
-        FaultAction, FaultGenerator, FaultSpec, InterruptPolicy, ResultCache, RunStats, Shard,
-        SimConfig, SimError, SimOutput, Simulation, WorkloadSource,
+        FaultAction, FaultGenerator, FaultSpec, InterruptPolicy, ObserverSpec, ResultCache,
+        RunStats, Shard, SimConfig, SimError, SimOutput, Simulation, WorkloadSource,
     };
-    pub use dmhpc_workload::{Job, JobId, SyntheticSpec, SystemPreset, Workload, WorkloadBuilder};
+    pub use dmhpc_workload::{
+        Job, JobId, SyntheticSpec, SystemPreset, Workload, WorkloadBuilder, WorkloadError,
+    };
 }

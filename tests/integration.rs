@@ -670,6 +670,57 @@ fn smoke_grid_with_none_fault_spec_matches_golden_hashes() {
     }
 }
 
+/// The golden table once more with the full observer stack attached —
+/// a per-cell streaming `TraceSink`, riding the new observation API.
+/// Observers are hash-neutral by construction (they consume the event
+/// stream, never feed back), so the observed grid must reproduce the
+/// pre-refactor golden hashes exactly: PR-2/3/4 result caches replay
+/// untouched no matter what is watching.
+#[test]
+fn smoke_grid_with_observers_matches_golden_hashes() {
+    let dir = std::env::temp_dir().join(format!("dmhpc-observe-golden-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = smoke_grid();
+    for kind in [EventQueueKind::BinaryHeap, EventQueueKind::Calendar] {
+        let results = ExperimentRunner::with_threads(2)
+            .event_queue(kind)
+            .trace_dir(&dir)
+            .unwrap()
+            .run(&spec)
+            .unwrap();
+        assert_eq!(results.len(), SMOKE_GOLDEN_HASHES.len());
+        for (cell, &golden) in results.cells().iter().zip(&SMOKE_GOLDEN_HASHES) {
+            assert_eq!(
+                cell.output.trace_hash,
+                golden,
+                "{} on {:?}: attached observers changed the trace",
+                cell.key.label(),
+                kind
+            );
+        }
+    }
+    // Every simulated cell streamed a parseable, non-empty trace.
+    let traces: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "jsonl"))
+        .collect();
+    assert_eq!(
+        traces.len(),
+        SMOKE_GOLDEN_HASHES.len(),
+        "one trace per cell"
+    );
+    for path in &traces {
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(!text.trim().is_empty(), "{} is empty", path.display());
+        for line in text.lines() {
+            dmhpc::sim::observe::parse_trace_line(line)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Golden hashes for two contention-model runs (dynamic re-dilation is the
 /// path the pool-scoped borrower index rewrote): HighThroughput preset,
 /// 400 jobs, seed 11, on 4×32 nodes of 32 cores / 192 GiB with 384 GiB
