@@ -14,6 +14,7 @@ use dmhpc_sched::{MemoryPolicy, SchedulerBuilder};
 use dmhpc_sim::observe::{EventCounter, SampledSeriesProbe, TraceSink};
 use dmhpc_sim::scenarios::{default_slowdown, policy_suite, preset_cluster};
 use dmhpc_sim::{EventQueueKind, ExperimentRunner, ExperimentSpec, Shard, SimConfig, Simulation};
+use dmhpc_workload::source::JobSource as _;
 use dmhpc_workload::SystemPreset;
 
 const JOBS: usize = 120;
@@ -314,6 +315,78 @@ fn bench_engine_observers(c: &mut Criterion) {
     let _ = std::fs::remove_file(&trace_path);
 }
 
+fn bench_engine_service(c: &mut Criterion) {
+    // Open-system service cost: the *same job stream* once as an
+    // open-system run (pull-based admission straight from the arrival
+    // source, O(1)-memory sketch metrics) and once pre-materialized into
+    // a closed workload on the record-keeping job-stats path. Identical
+    // jobs at identical submit times, so the ratio isolates the service
+    // machinery — source refills per arrival plus the sketch observer —
+    // from load effects. `bench_gate` bounds the sketch/jobstats time
+    // ratio so streaming admission cannot silently cost more than the
+    // path it replaces.
+    const SERVICE_JOBS: usize = 1_500;
+    let cluster = preset_cluster(
+        SystemPreset::HighThroughput,
+        PoolTopology::PerRack {
+            mib_per_rack: 384 * 1024,
+        },
+    );
+    let scenario = dmhpc_sim::ServiceSpec::open(SystemPreset::HighThroughput)
+        .with_utilization(0.85)
+        .with_horizon_jobs(SERVICE_JOBS as u64)
+        .with_warmup_secs(3_600)
+        .with_seed(37);
+    let mut src = scenario.open_source(&cluster).expect("valid scenario");
+    let workload =
+        dmhpc_workload::Workload::from_jobs(std::iter::from_fn(|| src.next_job()).collect());
+    assert_eq!(workload.len(), SERVICE_JOBS, "whole horizon materialized");
+    let empty = dmhpc_workload::Workload::from_jobs(Vec::new());
+    let sched = SchedulerBuilder::new()
+        .memory(MemoryPolicy::PoolBestFit)
+        .slowdown(SlowdownModel::Contention {
+            penalty: 1.5,
+            gamma: 1.0,
+        })
+        .build();
+    let cfg = SimConfig::new(cluster, sched);
+    let closed = Simulation::new(cfg).expect("valid config");
+    let open = Simulation::new(cfg)
+        .expect("valid config")
+        .with_service_spec(scenario)
+        .expect("valid scenario");
+
+    let reference = open.run(&empty);
+    let svc = reference
+        .service
+        .expect("open runs report a service summary");
+    assert_eq!(
+        svc.observed + svc.warmup_skipped,
+        SERVICE_JOBS as u64,
+        "the stream's whole horizon must be accounted for"
+    );
+    assert!(reference.records.is_empty(), "sketch path keeps no records");
+    // Pull-based admission must be trace-identical to pre-loading the
+    // same stream as a closed batch — otherwise the two bench arms
+    // simulate different histories and the ratio is meaningless.
+    assert_eq!(
+        closed.run(&workload).trace_hash,
+        reference.trace_hash,
+        "open admission replays the materialized stream bit-identically"
+    );
+    eprintln!(
+        "engine_service: {} events, {} jobs measured ({} warmup), p99 wait {:.0}s",
+        reference.events_processed, svc.observed, svc.warmup_skipped, svc.p99_wait_s
+    );
+
+    let mut group = c.benchmark_group("engine_service");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(reference.events_processed));
+    group.bench_function("jobstats", |b| b.iter(|| black_box(closed.run(&workload))));
+    group.bench_function("sketch", |b| b.iter(|| black_box(open.run(&empty))));
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_experiment,
@@ -321,6 +394,7 @@ criterion_group!(
     bench_single_cell,
     bench_engine_kernel,
     bench_engine_faults,
-    bench_engine_observers
+    bench_engine_observers,
+    bench_engine_service
 );
 criterion_main!(benches);

@@ -20,7 +20,13 @@
 //!   observer set attached (`engine_observers/full`: streaming JSONL
 //!   trace sink + sampled series probe + event counter) over the default
 //!   observer set alone (`engine_observers/none`), bounding what
-//!   attaching observers may cost per event.
+//!   attaching observers may cost per event;
+//! * **service sketch path** — an open-system run streaming its jobs
+//!   from the arrival source into O(1)-memory sketch metrics
+//!   (`engine_service/sketch`) over a closed batch of the same size on
+//!   the record-keeping job-stats path (`engine_service/jobstats`),
+//!   bounding what pull-based admission plus the sketch observer may
+//!   cost relative to the path they replace.
 //!
 //! Ratios, not absolute times: CI machines vary wildly in speed, but cost
 //! relative to a same-machine reference is a property of the code. Exits
@@ -41,6 +47,8 @@ const FAULTS_STORM_BENCH: &str = "engine_faults/storm";
 const FAULTS_NONE_BENCH: &str = "engine_faults/none";
 const OBSERVERS_FULL_BENCH: &str = "engine_observers/full";
 const OBSERVERS_NONE_BENCH: &str = "engine_observers/none";
+const SERVICE_SKETCH_BENCH: &str = "engine_service/sketch";
+const SERVICE_JOBSTATS_BENCH: &str = "engine_service/jobstats";
 
 fn mean_of(lines: &str, bench: &str) -> Result<f64, String> {
     // Last occurrence wins: re-runs append.
@@ -142,6 +150,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         mean_of(&results, OBSERVERS_FULL_BENCH)?,
         mean_of(&results, OBSERVERS_NONE_BENCH)?,
         baseline.expect_key("observer_overhead_ratio")?.to_f64()?,
+        max_regression,
+    )?;
+    gate(
+        "service sketch vs jobstats",
+        SERVICE_SKETCH_BENCH,
+        SERVICE_JOBSTATS_BENCH,
+        mean_of(&results, SERVICE_SKETCH_BENCH)?,
+        mean_of(&results, SERVICE_JOBSTATS_BENCH)?,
+        baseline.expect_key("sketch_vs_jobstats_ratio")?.to_f64()?,
         max_regression,
     )?;
     println!("bench gate OK");

@@ -31,10 +31,14 @@ use std::time::Instant;
 
 fn usage() {
     eprintln!("usage: repro [--list] [--cache-dir DIR] [--threads N] [--queue heap|calendar] [--trace-out DIR] <id>... | all");
-    eprintln!("       repro grid  <spec.json|smoke|smoke-contention|smoke-faults> [--shard i/n] [--cache-dir DIR] [--threads N] [--queue heap|calendar] [--trace-out DIR] [--faults]");
-    eprintln!("       repro merge <spec.json|smoke|smoke-contention|smoke-faults> --cache-dir DIR [--faults]");
+    eprintln!("       repro grid  <spec.json|smoke|smoke-contention|smoke-faults|smoke-service> [--shard i/n] [--cache-dir DIR] [--threads N] [--queue heap|calendar] [--trace-out DIR] [--faults|--service]");
+    eprintln!("       repro merge <spec.json|smoke|smoke-contention|smoke-faults|smoke-service> --cache-dir DIR [--faults]");
     eprintln!("       --faults crosses the spec's grid with the built-in fault axis");
     eprintln!("       (fault-free baseline + node failures/drains/pool degradations)");
+    eprintln!("       --service crosses the spec's grid with the built-in open-system");
+    eprintln!("       service axis (closed-batch baseline + a streaming-arrival cell");
+    eprintln!("       with O(1)-memory sketch metrics); grid mode only — use the");
+    eprintln!("       smoke-service built-in for merges");
     eprintln!("       --trace-out DIR streams one <spec>.<cell>.jsonl event trace per");
     eprintln!("       simulated cell into DIR (constant memory per cell; hash-neutral,");
     eprintln!("       so result caches stay warm — cache-hit cells emit no trace)");
@@ -54,6 +58,9 @@ struct Cli {
     trace_out: Option<PathBuf>,
     /// Cross the grid with the built-in fault axis (grid/merge modes).
     faults: bool,
+    /// Cross the grid with the built-in open-system service axis (grid
+    /// mode only).
+    service: bool,
     args: Vec<String>,
 }
 
@@ -74,6 +81,7 @@ fn parse_cli(raw: Vec<String>) -> Result<Cli, Box<dyn std::error::Error>> {
         queue: None,
         trace_out: None,
         faults: false,
+        service: false,
         args: Vec::new(),
     };
     let mut it = raw.into_iter().peekable();
@@ -100,6 +108,7 @@ fn parse_cli(raw: Vec<String>) -> Result<Cli, Box<dyn std::error::Error>> {
         match arg.as_str() {
             "--list" => cli.list = true,
             "--faults" => cli.faults = true,
+            "--service" => cli.service = true,
             "--cache-dir" => cli.cache_dir = Some(PathBuf::from(value(&mut it, "--cache-dir")?)),
             "--trace-out" => cli.trace_out = Some(PathBuf::from(value(&mut it, "--trace-out")?)),
             "--shard" => cli.shard = Some(Shard::parse(&value(&mut it, "--shard")?)?),
@@ -145,6 +154,7 @@ fn load_spec(arg: &str) -> Result<ExperimentSpec, Box<dyn std::error::Error>> {
         "smoke" => return Ok(experiments::smoke_spec()?),
         "smoke-contention" => return Ok(experiments::smoke_contention_spec()?),
         "smoke-faults" => return Ok(experiments::smoke_faults_spec()?),
+        "smoke-service" => return Ok(experiments::smoke_service_spec()?),
         _ => {}
     }
     let text =
@@ -164,9 +174,30 @@ fn run_grid(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
         usage();
         return Err("grid mode needs a spec (a JSON file or `smoke`)".into());
     };
+    if cli.faults && cli.service {
+        return Err(
+            "--faults does not combine with --service (fault scenarios and open-system \
+             service runs are separate experiments)"
+                .into(),
+        );
+    }
+    if cli.list && cli.service {
+        // The listing must show exactly the cells a spec compiles to; a
+        // flag that rewrites the grid under --list invites listing one
+        // grid and running another. Specs with a service axis (or the
+        // smoke-service built-in) list their service cells natively.
+        return Err(
+            "--service does not apply to --list (list a spec with a service axis — \
+             e.g. the smoke-service built-in — instead)"
+                .into(),
+        );
+    }
     let mut spec = load_spec(spec_arg)?;
     if cli.faults {
         spec = experiments::with_default_faults(spec)?;
+    }
+    if cli.service {
+        spec = experiments::with_default_service(spec)?;
     }
     if cli.list {
         // Listing never simulates, so execution knobs make no sense here:
@@ -293,6 +324,14 @@ fn run_merge(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
     if cli.cache_dir.is_none() {
         return Err("merge mode needs --cache-dir (where the shards stored cells)".into());
     }
+    if cli.service {
+        return Err(
+            "--service only applies to grid mode (merge a spec that declares a service \
+             axis — e.g. the smoke-service built-in — so it reconstructs the exact grid \
+             the shards ran)"
+                .into(),
+        );
+    }
     if cli.shard.is_some() {
         return Err(
             "--shard does not apply to merge mode (it always rebuilds the full grid)".into(),
@@ -351,6 +390,9 @@ fn run_tables(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
     if cli.faults {
         return Err("--faults only applies to grid/merge modes (tables run fixed grids)".into());
     }
+    if cli.service {
+        return Err("--service only applies to grid mode (tables run fixed grids)".into());
+    }
     if cli.shard.is_some() {
         // Silently running the *full* suite under a flag that promises a
         // slice would double work in fan-out scripts; refuse instead.
@@ -383,6 +425,8 @@ fn run_tables(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
         );
         let faults = experiments::smoke_faults_spec()?;
         println!("grid: smoke-faults ({} cells)", faults.compile()?.len());
+        let service = experiments::smoke_service_spec()?;
+        println!("grid: smoke-service ({} cells)", service.compile()?.len());
         return Ok(());
     }
     let started_at = std::time::SystemTime::now();
@@ -489,6 +533,46 @@ mod tests {
         let err = experiments::with_default_faults(experiments::smoke_faults_spec().unwrap())
             .unwrap_err();
         assert!(err.to_string().contains("already declares"), "{err}");
+    }
+
+    #[test]
+    fn service_flag_parses_and_is_grid_only() {
+        assert!(parse(&["grid", "smoke", "--service"]).unwrap().service);
+        assert!(!parse(&["grid", "smoke"]).unwrap().service);
+        // tables and merge modes never take the service cross.
+        let err = run_tables(&parse(&["t1", "--service"]).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("only applies to grid"), "{err}");
+        let cli = parse(&["merge", "smoke", "--cache-dir", "/tmp/x", "--service"]).unwrap();
+        let err = run_merge(&cli).unwrap_err();
+        assert!(err.to_string().contains("only applies to grid"), "{err}");
+        // --list shows the spec's own grid, never a flag-rewritten one.
+        let cli = parse(&["grid", "smoke", "--list", "--service"]).unwrap();
+        let err = run_grid(&cli).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("--service does not apply to --list"),
+            "{err}"
+        );
+        // Fault storms and open-system streams are separate experiments.
+        let cli = parse(&["grid", "smoke", "--faults", "--service"]).unwrap();
+        let err = run_grid(&cli).unwrap_err();
+        assert!(err.to_string().contains("does not combine"), "{err}");
+        // Crossing a spec that already has a service axis is refused.
+        let err = experiments::with_default_service(experiments::smoke_service_spec().unwrap())
+            .unwrap_err();
+        assert!(err.to_string().contains("already declares"), "{err}");
+    }
+
+    #[test]
+    fn smoke_service_grid_compiles_with_baseline_cells() {
+        let spec = experiments::smoke_service_spec().unwrap();
+        let cells = spec.compile().unwrap();
+        assert_eq!(
+            cells.len(),
+            2 * experiments::smoke_spec().unwrap().cell_count()
+        );
+        let baseline = cells.iter().filter(|c| c.key.service.is_none()).count();
+        assert_eq!(baseline * 2, cells.len(), "half the cells are closed");
     }
 
     #[test]

@@ -192,6 +192,51 @@ pub fn smoke_faults_spec() -> Result<ExperimentSpec, SimError> {
     )
 }
 
+/// The canned open-system scenario `repro grid --service` attaches and
+/// [`smoke_service_spec`] builds in: a Poisson stream of the
+/// high-throughput job mix at 0.85 target utilization, a 2,000-job
+/// horizon, a one-hour warmup cutoff, and a one-hour wait SLO — small
+/// enough for second-long smoke runs, loaded enough that queues form.
+/// The stream seed is left unset so each grid cell's workload seed
+/// resolves it (distinct seeds stream distinct arrivals).
+pub fn default_service_scenario() -> dmhpc_sim::ServiceSpec {
+    dmhpc_sim::ServiceSpec::open(SystemPreset::HighThroughput)
+        .with_utilization(0.85)
+        .with_horizon_jobs(2_000)
+        .with_warmup_secs(3_600)
+        .with_slo_wait_secs(3_600.0)
+}
+
+/// Cross a spec's grid with the default service axis (a closed-batch
+/// baseline plus [`default_service_scenario`]) — what
+/// `repro grid <spec> --service` applies. The baseline cells hash
+/// identically to the original grid's, so a shared cache serves both.
+pub fn with_default_service(spec: ExperimentSpec) -> Result<ExperimentSpec, SimError> {
+    if !spec.services.is_empty() {
+        return Err(SimError::spec(
+            "--service conflicts with a spec that already declares a service axis",
+        ));
+    }
+    ExperimentBuilder::from_spec(spec)
+        .service(dmhpc_sim::ServiceSpec::none())
+        .service(default_service_scenario())
+        .build()
+}
+
+/// The open-system smoke grid: [`smoke_spec`]'s shape crossed with the
+/// default service axis, so streaming admission, load control, warmup
+/// cutoffs, and the O(1)-memory sketch observer run — sharded — on every
+/// PR, with the closed-baseline half proving service-axis cache keys
+/// stay disjoint from open cells.
+pub fn smoke_service_spec() -> Result<ExperimentSpec, SimError> {
+    let base = smoke_spec()?;
+    with_default_service(
+        ExperimentBuilder::from_spec(base)
+            .name("smoke-service")
+            .build()?,
+    )
+}
+
 fn dispatch(id: &str) -> Option<ExpResult> {
     Some(match id {
         "t1" => t1(),
@@ -883,6 +928,48 @@ mod tests {
             .collect();
         for (_, h) in spec.cell_hashes().unwrap() {
             assert!(!smoke_hashes.contains(&h));
+        }
+    }
+
+    #[test]
+    fn smoke_service_spec_baseline_shares_smoke_cache_keys() {
+        let spec = smoke_service_spec().unwrap();
+        assert_eq!(spec.cell_count(), 2 * smoke_spec().unwrap().cell_count());
+        let smoke: Vec<u64> = smoke_spec()
+            .unwrap()
+            .cell_hashes()
+            .unwrap()
+            .into_iter()
+            .map(|(_, h)| h)
+            .collect();
+        let mut baseline = 0;
+        for (key, h) in spec.cell_hashes().unwrap() {
+            if key.service.is_none() {
+                baseline += 1;
+                assert!(
+                    smoke.contains(&h),
+                    "closed-baseline cells reuse smoke cache entries"
+                );
+            } else {
+                assert!(!smoke.contains(&h), "open cells get their own cache keys");
+            }
+        }
+        assert_eq!(baseline * 2, spec.cell_count(), "half the cells are closed");
+    }
+
+    #[test]
+    fn default_service_scenario_validates_and_resolves_seeds() {
+        default_service_scenario().validate().unwrap();
+        assert_eq!(
+            default_service_scenario().seed,
+            None,
+            "stream seed left to the grid's seed axis"
+        );
+        // Every open cell in the smoke grid carries a resolved stream seed.
+        for cell in smoke_service_spec().unwrap().compile().unwrap() {
+            if !cell.service.is_none() {
+                assert_eq!(cell.service.seed, cell.key.seed);
+            }
         }
     }
 

@@ -23,9 +23,11 @@ pub mod export;
 mod fairness;
 mod jobstats;
 pub mod json;
+mod streaming;
 mod summary;
 
 pub use classes::{ClassBreakdown, ClassRow, ClassThresholds, JobClass};
 pub use fairness::{jain_index, per_user_mean_waits};
 pub use jobstats::{JobOutcome, JobRecord};
+pub use streaming::{ServiceSummary, StreamingJobStats, SystemSeriesStats};
 pub use summary::{FaultSummary, RunData, SimReport};

@@ -1,0 +1,482 @@
+//! O(1)-memory streaming job statistics for open-system (service) runs.
+//!
+//! A closed-batch run keeps every [`JobRecord`] and computes its report
+//! exactly ([`SimReport::compute`]); that is O(jobs) memory — fatal for
+//! service runs streaming millions of arrivals. [`StreamingJobStats`]
+//! consumes records one at a time and keeps only:
+//!
+//! * online moments (Welford) for wait, bounded slowdown, and turnaround;
+//! * P² quantile sketches for p50/p95/p99 wait and p95 bounded slowdown
+//!   (five markers each — see `dmhpc_des::stats::P2Quantile` for the error
+//!   characteristics: exact below five samples, a few percent relative
+//!   error on heavy-tailed inputs at scale);
+//! * outcome/borrowing/inflation counters;
+//! * per-user wait sums for Jain fairness — O(users), which is bounded by
+//!   the workload model's user population, not by job count;
+//! * SLO attainment: the fraction of measured jobs whose wait met a
+//!   configured latency target.
+//!
+//! The footprint is therefore constant in the number of jobs observed, and
+//! [`StreamingJobStats::report`] synthesizes the same [`SimReport`] shape a
+//! batch run produces (quantiles are sketch estimates; the per-class
+//! breakdown, which needs per-job records, is empty).
+
+use crate::classes::{ClassBreakdown, ClassThresholds};
+use crate::fairness::jain_index;
+use crate::jobstats::{JobOutcome, JobRecord};
+use crate::summary::{FaultSummary, SimReport};
+use dmhpc_des::stats::{OnlineStats, P2Quantile};
+use std::collections::BTreeMap;
+
+/// Time-weighted system-level inputs for a streaming report — what
+/// [`crate::RunData`] carries for batch runs, minus the record vector.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SystemSeriesStats {
+    /// Simulated span from first arrival to last finish, seconds.
+    pub makespan_s: f64,
+    /// Time-weighted fraction of nodes busy.
+    pub node_util: f64,
+    /// Time-weighted fraction of pool capacity in use (0 without pools).
+    pub pool_util: f64,
+    /// Time-weighted fraction of node DRAM pinned by jobs.
+    pub dram_util: f64,
+    /// Time-weighted mean queue depth.
+    pub queue_depth_mean: f64,
+    /// Maximum queue depth.
+    pub queue_depth_max: f64,
+}
+
+/// Streaming (constant-memory) accumulator over [`JobRecord`]s.
+///
+/// Outcome filtering matches [`SimReport::compute`] exactly: rejected jobs
+/// count but contribute no latency stats, terminal failures that never
+/// started likewise, and everything that ran feeds the moment/sketch
+/// accumulators.
+#[derive(Debug, Clone)]
+pub struct StreamingJobStats {
+    observed: u64,
+    completed: usize,
+    killed: usize,
+    rejected: usize,
+    failed: usize,
+    ran: usize,
+    wait: OnlineStats,
+    wait_p50: P2Quantile,
+    wait_p95: P2Quantile,
+    wait_p99: P2Quantile,
+    bsld: OnlineStats,
+    bsld_p95: P2Quantile,
+    turnaround: OnlineStats,
+    borrowed: usize,
+    far: OnlineStats,
+    dil: OnlineStats,
+    inflated: usize,
+    inflation_node_s: f64,
+    /// user → (wait sum, count); O(distinct users).
+    user_waits: BTreeMap<u32, (f64, u32)>,
+    slo_wait_s: Option<f64>,
+    slo_met: u64,
+    slo_measured: u64,
+}
+
+impl StreamingJobStats {
+    /// An empty accumulator. `slo_wait_s`, when set, is the wait-time
+    /// target used for SLO attainment.
+    pub fn new(slo_wait_s: Option<f64>) -> Self {
+        StreamingJobStats {
+            observed: 0,
+            completed: 0,
+            killed: 0,
+            rejected: 0,
+            failed: 0,
+            ran: 0,
+            wait: OnlineStats::new(),
+            wait_p50: P2Quantile::new(0.5),
+            wait_p95: P2Quantile::new(0.95),
+            wait_p99: P2Quantile::new(0.99),
+            bsld: OnlineStats::new(),
+            bsld_p95: P2Quantile::new(0.95),
+            turnaround: OnlineStats::new(),
+            borrowed: 0,
+            far: OnlineStats::new(),
+            dil: OnlineStats::new(),
+            inflated: 0,
+            inflation_node_s: 0.0,
+            user_waits: BTreeMap::new(),
+            slo_wait_s,
+            slo_met: 0,
+            slo_measured: 0,
+        }
+    }
+
+    /// Fold one record in; the record is not retained.
+    pub fn observe(&mut self, r: &JobRecord) {
+        self.observed += 1;
+        match r.outcome {
+            JobOutcome::Completed => self.completed += 1,
+            JobOutcome::Killed => self.killed += 1,
+            JobOutcome::Rejected => {
+                self.rejected += 1;
+                return;
+            }
+            JobOutcome::Failed => {
+                self.failed += 1;
+                if r.start.is_none() {
+                    return;
+                }
+            }
+        }
+        self.ran += 1;
+        if let Some(w) = r.wait() {
+            let w = w.as_secs_f64();
+            self.wait.push(w);
+            self.wait_p50.push(w);
+            self.wait_p95.push(w);
+            self.wait_p99.push(w);
+            let e = self.user_waits.entry(r.job.user).or_insert((0.0, 0));
+            e.0 += w;
+            e.1 += 1;
+            self.slo_measured += 1;
+            if let Some(slo) = self.slo_wait_s {
+                if w <= slo {
+                    self.slo_met += 1;
+                }
+            }
+        }
+        if let Some(b) = r.bounded_slowdown() {
+            self.bsld.push(b);
+            self.bsld_p95.push(b);
+        }
+        if let Some(t) = r.turnaround() {
+            self.turnaround.push(t.as_secs_f64());
+        }
+        if r.borrowed_pool() {
+            self.borrowed += 1;
+            self.far.push(r.far_fraction());
+            self.dil.push(r.dilation_actual);
+        }
+        if r.inflated() {
+            self.inflated += 1;
+            self.inflation_node_s += r.inflation_overhead_node_secs();
+        }
+    }
+
+    /// Total records folded in (all outcomes).
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Streaming p99-wait estimate, seconds.
+    pub fn p99_wait_s(&self) -> f64 {
+        self.wait_p99.value()
+    }
+
+    /// Fraction of measured (started) jobs whose wait met the SLO target;
+    /// 1.0 when no target is configured or nothing was measured.
+    pub fn slo_attained(&self) -> f64 {
+        match self.slo_wait_s {
+            Some(_) if self.slo_measured > 0 => self.slo_met as f64 / self.slo_measured as f64,
+            _ => 1.0,
+        }
+    }
+
+    /// The headline SLO numbers of this accumulator.
+    pub fn service_summary(&self, warmup_skipped: u64) -> ServiceSummary {
+        ServiceSummary {
+            observed: self.observed,
+            warmup_skipped,
+            p99_wait_s: self.wait_p99.value(),
+            slo_wait_s: self.slo_wait_s.unwrap_or(0.0),
+            slo_attained: self.slo_attained(),
+        }
+    }
+
+    /// Synthesize the batch-shaped [`SimReport`] from the sketches.
+    /// Quantile fields carry P² estimates; `classes` is empty (per-class
+    /// breakdowns need per-job records, which a streaming run never keeps).
+    pub fn report(
+        &self,
+        label: &str,
+        sys: &SystemSeriesStats,
+        faults: &FaultSummary,
+        thresholds: &ClassThresholds,
+    ) -> SimReport {
+        let days = sys.makespan_s / 86_400.0;
+        let frac = |num: usize| {
+            if self.ran == 0 {
+                0.0
+            } else {
+                num as f64 / self.ran as f64
+            }
+        };
+        let user_means: Vec<f64> = self
+            .user_waits
+            .values()
+            .map(|&(sum, n)| sum / n as f64)
+            .collect();
+        SimReport {
+            label: label.to_string(),
+            completed: self.completed,
+            killed: self.killed,
+            rejected: self.rejected,
+            failed: self.failed,
+            interruptions: faults.interruptions,
+            rework_s: faults.rework_s,
+            avail_util: faults.avail_util,
+            mean_wait_s: self.wait.mean(),
+            p50_wait_s: self.wait_p50.value(),
+            p95_wait_s: self.wait_p95.value(),
+            max_wait_s: self.wait.max().max(0.0),
+            mean_bsld: self.bsld.mean(),
+            p95_bsld: self.bsld_p95.value(),
+            mean_turnaround_s: self.turnaround.mean(),
+            makespan_h: sys.makespan_s / 3600.0,
+            throughput_jobs_per_day: if days > 0.0 {
+                self.completed as f64 / days
+            } else {
+                0.0
+            },
+            node_util: sys.node_util,
+            pool_util: sys.pool_util,
+            dram_util: sys.dram_util,
+            queue_depth_mean: sys.queue_depth_mean,
+            queue_depth_max: sys.queue_depth_max,
+            borrowed_fraction: frac(self.borrowed),
+            mean_far_fraction: self.far.mean(),
+            mean_dilation_borrowers: self.dil.mean(),
+            inflated_fraction: frac(self.inflated),
+            inflation_overhead_node_h: self.inflation_node_s / 3600.0,
+            user_fairness: jain_index(&user_means),
+            classes: ClassBreakdown::compute(&[], thresholds),
+        }
+    }
+}
+
+/// Headline open-system metrics of one service run — what the streaming
+/// observer knows beyond the synthesized [`SimReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ServiceSummary {
+    /// Jobs that finished inside the measurement window (all outcomes).
+    pub observed: u64,
+    /// Jobs discarded by the warmup cutoff (finished before the window).
+    pub warmup_skipped: u64,
+    /// Streaming p99-wait estimate, seconds.
+    pub p99_wait_s: f64,
+    /// Configured wait-SLO target, seconds; 0 when no target was set.
+    pub slo_wait_s: f64,
+    /// Fraction of measured jobs whose wait met the SLO target (1.0 when
+    /// no target was configured).
+    pub slo_attained: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::RunData;
+    use dmhpc_des::rng::Pcg64;
+    use dmhpc_des::time::SimTime;
+    use dmhpc_workload::JobBuilder;
+
+    fn rec(id: u64, user: u32, arrival: u64, wait: u64, run: u64) -> JobRecord {
+        JobRecord {
+            job: JobBuilder::new(id)
+                .user(user)
+                .arrival_secs(arrival)
+                .runtime_secs(run.max(1), 2 * run.max(1))
+                .build(),
+            outcome: JobOutcome::Completed,
+            start: Some(SimTime::from_secs(arrival + wait)),
+            finish: Some(SimTime::from_secs(arrival + wait + run)),
+            nodes_allocated: 1,
+            remote_per_node: 0,
+            dilation_planned: 1.0,
+            dilation_actual: 1.0,
+        }
+    }
+
+    fn sys() -> SystemSeriesStats {
+        SystemSeriesStats {
+            makespan_s: 86_400.0,
+            node_util: 0.8,
+            pool_util: 0.3,
+            dram_util: 0.4,
+            queue_depth_mean: 2.5,
+            queue_depth_max: 10.0,
+        }
+    }
+
+    /// Satellite acceptance: streaming quantile estimates track the exact
+    /// batch quantiles within documented relative-error bounds.
+    #[test]
+    fn sketch_matches_exact_summary_quantiles() {
+        let mut rng = Pcg64::new(41);
+        let mut records = Vec::with_capacity(200_000);
+        for i in 0..200_000u64 {
+            // Exponential waits (mean 600 s) — heavy enough a tail to
+            // stress the sketches the way real queue waits do.
+            let wait = (-rng.next_f64_open().ln() * 600.0) as u64;
+            let run = 100 + (i % 900);
+            records.push(rec(i, (i % 50) as u32, i, wait, run));
+        }
+        let mut stream = StreamingJobStats::new(None);
+        for r in &records {
+            stream.observe(r);
+        }
+        let exact = SimReport::compute(
+            &RunData {
+                label: "exact".into(),
+                records: records.clone(),
+                makespan_s: 86_400.0,
+                node_util: 0.8,
+                pool_util: 0.3,
+                dram_util: 0.4,
+                queue_depth_mean: 2.5,
+                queue_depth_max: 10.0,
+                faults: FaultSummary::default(),
+            },
+            &ClassThresholds::standard(1024),
+        );
+        let approx = stream.report(
+            "approx",
+            &sys(),
+            &FaultSummary::default(),
+            &ClassThresholds::standard(1024),
+        );
+        // Means are exact (same Welford accumulation).
+        assert!((approx.mean_wait_s - exact.mean_wait_s).abs() < 1e-6);
+        assert_eq!(approx.max_wait_s, exact.max_wait_s);
+        assert_eq!(approx.completed, exact.completed);
+        // Documented sketch bounds: ≤ 5% relative error at p50/p95,
+        // ≤ 10% at p99, on 200k exponential samples.
+        let rel = |a: f64, b: f64| (a - b).abs() / b;
+        assert!(
+            rel(approx.p50_wait_s, exact.p50_wait_s) < 0.05,
+            "p50 {} vs exact {}",
+            approx.p50_wait_s,
+            exact.p50_wait_s
+        );
+        assert!(
+            rel(approx.p95_wait_s, exact.p95_wait_s) < 0.05,
+            "p95 {} vs exact {}",
+            approx.p95_wait_s,
+            exact.p95_wait_s
+        );
+        assert!(
+            rel(approx.p95_bsld, exact.p95_bsld) < 0.05,
+            "p95 bsld {} vs exact {}",
+            approx.p95_bsld,
+            exact.p95_bsld
+        );
+        let mut exact_cdf = dmhpc_des::stats::CdfCollector::with_capacity(records.len());
+        for r in &records {
+            exact_cdf.push(r.wait().unwrap().as_secs_f64());
+        }
+        let exact_p99 = exact_cdf.quantile(0.99);
+        assert!(
+            rel(stream.p99_wait_s(), exact_p99) < 0.10,
+            "p99 {} vs exact {exact_p99}",
+            stream.p99_wait_s()
+        );
+        // Fairness agrees exactly: same per-user aggregation.
+        assert!((approx.user_fairness - exact.user_fairness).abs() < 1e-12);
+    }
+
+    /// Acceptance: a multi-million-job stream completes in a fixed
+    /// footprint — the accumulator's only growth dimension is the distinct
+    /// user count, never the job count.
+    #[test]
+    fn multi_million_jobs_through_fixed_footprint() {
+        let mut stats = StreamingJobStats::new(Some(1800.0));
+        let mut rng = Pcg64::new(77);
+        let mut r = rec(0, 0, 0, 0, 600);
+        const N: u64 = 3_000_000;
+        for i in 0..N {
+            // Mutate the one reusable record in place: no per-job
+            // allocation anywhere on this path.
+            let wait = (-rng.next_f64_open().ln() * 900.0) as u64;
+            r.job.user = (i % 128) as u32;
+            r.job.arrival = SimTime::from_secs(i);
+            r.start = Some(SimTime::from_secs(i + wait));
+            r.finish = Some(SimTime::from_secs(i + wait + 600));
+            stats.observe(&r);
+        }
+        assert_eq!(stats.observed(), N);
+        assert!(
+            stats.user_waits.len() <= 128,
+            "state grows with users ({}), never with jobs",
+            stats.user_waits.len()
+        );
+        // Exponential(900): p50 ≈ 624, p99 ≈ 4144; SLO 1800 s ≈ 1 − e⁻²
+        // ≈ 0.865 attainment.
+        let s = stats.service_summary(0);
+        assert!((s.slo_attained - 0.865).abs() < 0.01, "{}", s.slo_attained);
+        assert!(
+            (s.p99_wait_s - 4144.0).abs() / 4144.0 < 0.10,
+            "{}",
+            s.p99_wait_s
+        );
+        assert_eq!(s.observed, N);
+        assert_eq!(s.slo_wait_s, 1800.0);
+    }
+
+    #[test]
+    fn outcome_filtering_matches_batch_compute() {
+        let mut stats = StreamingJobStats::new(None);
+        let mut records = vec![rec(1, 0, 0, 100, 1000), rec(2, 0, 0, 300, 1000)];
+        records.push(JobRecord::rejected(JobBuilder::new(3).build()));
+        let mut killed = rec(4, 0, 0, 0, 500);
+        killed.outcome = JobOutcome::Killed;
+        records.push(killed);
+        let mut failed = rec(5, 0, 0, 0, 400);
+        failed.outcome = JobOutcome::Failed;
+        records.push(failed);
+        records.push(JobRecord::failed_unstarted(JobBuilder::new(6).build()));
+        for r in &records {
+            stats.observe(r);
+        }
+        let exact = SimReport::compute(
+            &RunData {
+                label: "t".into(),
+                records,
+                makespan_s: 86_400.0,
+                node_util: 0.8,
+                pool_util: 0.3,
+                dram_util: 0.4,
+                queue_depth_mean: 2.5,
+                queue_depth_max: 10.0,
+                faults: FaultSummary::default(),
+            },
+            &ClassThresholds::standard(1024),
+        );
+        let got = stats.report(
+            "t",
+            &sys(),
+            &FaultSummary::default(),
+            &ClassThresholds::standard(1024),
+        );
+        assert_eq!(got.completed, exact.completed);
+        assert_eq!(got.killed, exact.killed);
+        assert_eq!(got.rejected, exact.rejected);
+        assert_eq!(got.failed, exact.failed);
+        assert!((got.mean_wait_s - exact.mean_wait_s).abs() < 1e-9);
+        assert_eq!(got.max_wait_s, exact.max_wait_s);
+        assert!((got.throughput_jobs_per_day - exact.throughput_jobs_per_day).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slo_attainment_counts_measured_jobs_only() {
+        let mut stats = StreamingJobStats::new(Some(200.0));
+        stats.observe(&rec(1, 0, 0, 100, 600)); // met
+        stats.observe(&rec(2, 0, 0, 200, 600)); // met (inclusive)
+        stats.observe(&rec(3, 0, 0, 500, 600)); // missed
+        stats.observe(&JobRecord::rejected(JobBuilder::new(4).build())); // not measured
+        assert!((stats.slo_attained() - 2.0 / 3.0).abs() < 1e-12);
+        let s = stats.service_summary(7);
+        assert_eq!(s.observed, 4);
+        assert_eq!(s.warmup_skipped, 7);
+        // Without a target, attainment reads 1.0 and the target reads 0.
+        let none = StreamingJobStats::new(None);
+        assert_eq!(none.slo_attained(), 1.0);
+        assert_eq!(none.service_summary(0).slo_wait_s, 0.0);
+    }
+}

@@ -4,6 +4,7 @@ use super::{pool_label, ExperimentSpec, WorkloadSource};
 use crate::error::SimError;
 use crate::faults::FaultSpec;
 use crate::scenarios;
+use crate::service::ServiceSpec;
 use dmhpc_platform::{ClusterSpec, PoolTopology, SlowdownModel};
 use dmhpc_sched::SchedulerConfig;
 use dmhpc_workload::{SystemPreset, Workload};
@@ -42,6 +43,7 @@ pub struct ExperimentBuilder {
     seeds: Vec<u64>,
     schedulers: Vec<SchedulerConfig>,
     faults: Vec<FaultSpec>,
+    services: Vec<ServiceSpec>,
     enforce_walltime: bool,
     check_invariants: bool,
     deferred_error: Option<String>,
@@ -58,6 +60,7 @@ impl ExperimentBuilder {
             seeds: Vec::new(),
             schedulers: Vec::new(),
             faults: Vec::new(),
+            services: Vec::new(),
             enforce_walltime: true,
             check_invariants: false,
             deferred_error: None,
@@ -86,6 +89,7 @@ impl ExperimentBuilder {
             seeds: spec.seeds,
             schedulers: spec.schedulers,
             faults: spec.faults,
+            services: spec.services,
             enforce_walltime: spec.enforce_walltime,
             check_invariants: spec.check_invariants,
             deferred_error: None,
@@ -209,6 +213,24 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Add one service-scenario axis point. An empty service axis (the
+    /// default) means every cell is a closed batch run; adding open
+    /// scenarios crosses them into the grid like any other dimension. Add
+    /// [`ServiceSpec::none`] explicitly to keep a closed baseline
+    /// alongside open scenarios — its cells hash (and cache) identically
+    /// to a grid without the axis. Open scenarios do not combine with
+    /// fault scenarios (rejected at build).
+    pub fn service(mut self, spec: ServiceSpec) -> Self {
+        self.services.push(spec);
+        self
+    }
+
+    /// Add several service-scenario axis points.
+    pub fn services(mut self, specs: impl IntoIterator<Item = ServiceSpec>) -> Self {
+        self.services.extend(specs);
+        self
+    }
+
     /// Add the paper's four-way policy comparison suite (local-only, pool
     /// first/best fit, slowdown-aware; all FCFS + EASY) under the given
     /// slowdown model.
@@ -251,6 +273,7 @@ impl ExperimentBuilder {
             seeds,
             schedulers: self.schedulers,
             faults: self.faults,
+            services: self.services,
             enforce_walltime: self.enforce_walltime,
             check_invariants: self.check_invariants,
         };

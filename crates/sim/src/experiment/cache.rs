@@ -42,6 +42,7 @@ use dmhpc_metrics::export;
 use dmhpc_metrics::json::{parse, Json, JsonError};
 use dmhpc_platform::{PoolTopology, SlowdownModel};
 use dmhpc_sched::{MemoryPolicy, OrderPolicy};
+use dmhpc_workload::source::{ArrivalProcess, Horizon};
 use std::path::{Path, PathBuf};
 
 /// Bump when the cell-hash recipe or the on-disk layout changes; old
@@ -225,6 +226,55 @@ pub(super) fn cell_hash(workload_digest: u64, cell: &RunSpec) -> u64 {
         }
         h.write_u64(cell.faults.max_resubmits as u64);
     }
+
+    // Service scenario: same convention as faults — the closed-batch
+    // identity writes NOTHING, so service-free cells hash bit-identically
+    // to caches built before open-system runs existed.
+    if !cell.service.is_none() {
+        h.write_str("service");
+        h.write_str(cell.service.preset.map_or("none", |p| p.name()));
+        match cell.service.process {
+            ArrivalProcess::Poisson => h.write_str("poisson"),
+            ArrivalProcess::Daily { peak_to_trough } => {
+                h.write_str("daily");
+                h.write_f64(peak_to_trough);
+            }
+            ArrivalProcess::Mmpp {
+                burst_ratio,
+                mean_dwell_secs,
+            } => {
+                h.write_str("mmpp");
+                h.write_f64(burst_ratio);
+                h.write_f64(mean_dwell_secs);
+            }
+        }
+        match cell.service.load {
+            crate::service::ServiceLoad::Rate {
+                mean_interarrival_secs,
+            } => {
+                h.write_str("rate");
+                h.write_f64(mean_interarrival_secs);
+            }
+            crate::service::ServiceLoad::Utilization { target } => {
+                h.write_str("util");
+                h.write_f64(target);
+            }
+        }
+        match cell.service.horizon {
+            None => h.write_str("none"),
+            Some(Horizon::Jobs(n)) => {
+                h.write_str("jobs");
+                h.write_u64(n);
+            }
+            Some(Horizon::Duration(d)) => {
+                h.write_str("secs");
+                h.write_u64(d.as_secs());
+            }
+        }
+        h.write_u64(cell.service.warmup_s);
+        h.write_opt_u64(cell.service.slo_wait_s.map(f64::to_bits));
+        h.write_opt_u64(cell.service.seed);
+    }
     h.finish()
 }
 
@@ -267,7 +317,7 @@ fn series_from_json(v: &Json) -> Result<Vec<(SimTime, f64)>, JsonError> {
 }
 
 fn output_to_json(hash: u64, output: &SimOutput) -> Json {
-    Json::obj(vec![
+    let mut fields = vec![
         ("format", Json::UInt(CACHE_FORMAT)),
         ("cell_hash", Json::UInt(hash)),
         ("report", export::report_to_value(&output.report)),
@@ -310,7 +360,22 @@ fn output_to_json(hash: u64, output: &SimOutput) -> Json {
                 ("avail_util", Json::F64(output.faults.avail_util)),
             ]),
         ),
-    ])
+    ];
+    // Closed runs omit the key entirely, keeping their documents
+    // byte-identical to pre-service cache entries.
+    if let Some(svc) = &output.service {
+        fields.push((
+            "service",
+            Json::obj(vec![
+                ("observed", Json::UInt(svc.observed)),
+                ("warmup_skipped", Json::UInt(svc.warmup_skipped)),
+                ("p99_wait_s", Json::F64(svc.p99_wait_s)),
+                ("slo_wait_s", Json::F64(svc.slo_wait_s)),
+                ("slo_attained", Json::F64(svc.slo_attained)),
+            ]),
+        ));
+    }
+    Json::obj(fields)
 }
 
 fn output_from_json(doc: &Json, hash: u64, cell: &RunSpec) -> Result<SimOutput, JsonError> {
@@ -354,6 +419,16 @@ fn output_from_json(doc: &Json, hash: u64, cell: &RunSpec) -> Result<SimOutput, 
             ..Default::default()
         },
     };
+    let service = match doc.get("service") {
+        Some(s) => Some(dmhpc_metrics::ServiceSummary {
+            observed: s.expect_key("observed")?.to_u64()?,
+            warmup_skipped: s.expect_key("warmup_skipped")?.to_u64()?,
+            p99_wait_s: s.expect_key("p99_wait_s")?.to_f64()?,
+            slo_wait_s: s.expect_key("slo_wait_s")?.to_f64()?,
+            slo_attained: s.expect_key("slo_attained")?.to_f64()?,
+        }),
+        None => None,
+    };
     Ok(SimOutput {
         report,
         records: doc
@@ -368,6 +443,7 @@ fn output_from_json(doc: &Json, hash: u64, cell: &RunSpec) -> Result<SimOutput, 
         trace_hash: doc.expect_key("trace_hash")?.to_u64()?,
         end_time: SimTime::from_micros(doc.expect_key("end_time_us")?.to_u64()?),
         faults,
+        service,
     })
 }
 

@@ -69,6 +69,7 @@ pub use shard::Shard;
 use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::faults::FaultSpec;
+use crate::service::ServiceSpec;
 use dmhpc_platform::{ClusterSpec, PoolTopology};
 use dmhpc_sched::SchedulerConfig;
 use dmhpc_workload::{SystemPreset, Workload};
@@ -106,6 +107,10 @@ pub struct CellKey {
     /// both when the axis is absent and for an explicit
     /// [`FaultSpec::none`], which is the same run).
     pub fault: Option<String>,
+    /// Service-scenario axis label (`None` for closed batch cells — both
+    /// when the axis is absent and for an explicit [`ServiceSpec::none`],
+    /// which is the same run).
+    pub service: Option<String>,
     /// Scheduler-axis label: the config's *full* label
     /// ([`SchedulerConfig::full_label`]), which distinguishes policy
     /// parameters, the slowdown model, and the inflation switch — so keys
@@ -127,6 +132,9 @@ impl CellKey {
         if let Some(fault) = &self.fault {
             parts.push(fault.clone());
         }
+        if let Some(service) = &self.service {
+            parts.push(service.clone());
+        }
         parts.push(self.scheduler.clone());
         parts.join("|")
     }
@@ -143,6 +151,11 @@ pub struct RunSpec {
     /// The cell's fault scenario ([`FaultSpec::none`] for fault-free
     /// cells; hash-neutral then, so pre-fault caches stay warm).
     pub faults: FaultSpec,
+    /// The cell's service scenario, with the stream seed resolved (the
+    /// cell's seed-axis value unless the spec pinned one).
+    /// [`ServiceSpec::none`] for closed cells; hash-neutral then, so
+    /// pre-service caches stay warm.
+    pub service: ServiceSpec,
 }
 
 /// A declarative description of a whole experiment grid.
@@ -169,6 +182,10 @@ pub struct ExperimentSpec {
     /// Fault-scenario axis. Empty = every cell runs fault-free (identical
     /// to the pre-fault grid, hash-for-hash).
     pub faults: Vec<FaultSpec>,
+    /// Service-scenario axis. Empty = every cell is a closed batch run
+    /// (identical to the pre-service grid, hash-for-hash). Open scenarios
+    /// do not combine with fault scenarios.
+    pub services: Vec<ServiceSpec>,
     /// Kill jobs at their planned walltime (production behaviour).
     pub enforce_walltime: bool,
     /// Run cluster invariant checks after every event batch (tests only).
@@ -209,12 +226,23 @@ impl ExperimentSpec {
         }
     }
 
+    /// Effective service axis: the configured scenarios, or a single
+    /// closed-batch point.
+    fn service_axis(&self) -> Vec<ServiceSpec> {
+        if self.services.is_empty() {
+            vec![ServiceSpec::none()]
+        } else {
+            self.services.clone()
+        }
+    }
+
     /// Number of grid cells `compile` will produce.
     pub fn cell_count(&self) -> usize {
         self.clusters.len()
             * self.load_axis().len()
             * self.seed_axis().len()
             * self.fault_axis().len()
+            * self.service_axis().len()
             * self.schedulers.len()
     }
 
@@ -297,12 +325,36 @@ impl ExperimentSpec {
                  (duplicate or near-duplicate FaultSpecs)",
             ));
         }
+        for service in &self.services {
+            // Machine-aware: a utilization target must bind to every
+            // cluster on the axis.
+            for (_, cluster) in &self.clusters {
+                service.validate_for(cluster)?;
+            }
+        }
+        let mut service_labels: Vec<String> = self.services.iter().map(|s| s.label()).collect();
+        service_labels.sort_unstable();
+        service_labels.dedup();
+        if service_labels.len() != self.services.len() {
+            return Err(SimError::spec(
+                "service axis contains scenarios with colliding labels \
+                 (duplicate or near-duplicate ServiceSpecs)",
+            ));
+        }
+        // The engine rejects the combination per run; surface it here so
+        // the whole grid fails before any cell simulates.
+        if self.services.iter().any(|s| !s.is_none()) && self.faults.iter().any(|f| !f.is_none()) {
+            return Err(SimError::spec(
+                "open-system service scenarios do not combine with fault scenarios \
+                 (split them into separate experiments)",
+            ));
+        }
         Ok(())
     }
 
     /// Expand the grid into concrete cells, in deterministic axis order
-    /// (clusters outermost, then loads, seeds, fault scenarios, and
-    /// schedulers innermost).
+    /// (clusters outermost, then loads, seeds, fault scenarios, service
+    /// scenarios, and schedulers innermost).
     pub fn compile(&self) -> Result<Vec<RunSpec>, SimError> {
         self.validate()?;
         let mut cells = Vec::with_capacity(self.cell_count());
@@ -310,25 +362,45 @@ impl ExperimentSpec {
             for load in self.load_axis() {
                 for seed in self.seed_axis() {
                     for faults in self.fault_axis() {
-                        for sched in &self.schedulers {
-                            let mut config = SimConfig::new(*cluster, *sched);
-                            config.enforce_walltime = self.enforce_walltime;
-                            config.check_invariants = self.check_invariants;
-                            cells.push(RunSpec {
-                                key: CellKey {
-                                    cluster: cluster_label.clone(),
-                                    load,
-                                    seed,
-                                    fault: if faults.is_none() {
-                                        None
-                                    } else {
-                                        Some(faults.label())
+                        for service in self.service_axis() {
+                            for sched in &self.schedulers {
+                                let mut config = SimConfig::new(*cluster, *sched);
+                                config.enforce_walltime = self.enforce_walltime;
+                                config.check_invariants = self.check_invariants;
+                                // The key labels the axis entry as written
+                                // (pre-resolution), so one scenario keeps
+                                // one label across the whole seed axis.
+                                let service_label = if service.is_none() {
+                                    None
+                                } else {
+                                    Some(service.label())
+                                };
+                                // Resolve the stream seed: an unpinned open
+                                // scenario draws from the cell's seed axis,
+                                // so the seed axis varies the stream just
+                                // like it varies closed workloads.
+                                let mut service = service.clone();
+                                if !service.is_none() && service.seed.is_none() {
+                                    service.seed = Some(seed.unwrap_or(ServiceSpec::DEFAULT_SEED));
+                                }
+                                cells.push(RunSpec {
+                                    key: CellKey {
+                                        cluster: cluster_label.clone(),
+                                        load,
+                                        seed,
+                                        fault: if faults.is_none() {
+                                            None
+                                        } else {
+                                            Some(faults.label())
+                                        },
+                                        service: service_label,
+                                        scheduler: sched.full_label(),
                                     },
-                                    scheduler: sched.full_label(),
-                                },
-                                config,
-                                faults: faults.clone(),
-                            });
+                                    config,
+                                    faults: faults.clone(),
+                                    service,
+                                });
+                            }
                         }
                     }
                 }
@@ -544,6 +616,7 @@ mod tests {
             load: Some(0.9),
             seed: Some(42),
             fault: None,
+            service: None,
             scheduler: "fcfs+easy+pool-ff".into(),
         };
         assert_eq!(key.label(), "mid|load0.90|seed42|fcfs+easy+pool-ff");
@@ -551,6 +624,12 @@ mod tests {
         assert_eq!(
             key.label(),
             "mid|load0.90|seed42|gen7-mtbf3600-resub|fcfs+easy+pool-ff"
+        );
+        key.fault = None;
+        key.service = Some("svc-htc-128-poisson-u0.85-j5000".into());
+        assert_eq!(
+            key.label(),
+            "mid|load0.90|seed42|svc-htc-128-poisson-u0.85-j5000|fcfs+easy+pool-ff"
         );
     }
 
@@ -573,6 +652,68 @@ mod tests {
         assert!(cells[1].key.fault.as_deref().unwrap().contains("gen5"));
         assert!(cells[0].faults.is_none());
         assert!(!cells[1].faults.is_none());
+    }
+
+    #[test]
+    fn service_axis_multiplies_grid_and_resolves_seeds() {
+        let svc = ServiceSpec::open(SystemPreset::HighThroughput).with_horizon_jobs(200);
+        let spec = ExperimentSpec::builder("svc")
+            .preset(SystemPreset::HighThroughput, 20)
+            .pool(PoolTopology::None)
+            .seeds([3, 9])
+            .scheduler(dmhpc_sched::SchedulerBuilder::new().build())
+            .service(ServiceSpec::none())
+            .service(svc.clone())
+            .build()
+            .unwrap();
+        assert_eq!(spec.cell_count(), 4);
+        let cells = spec.compile().unwrap();
+        assert_eq!(cells[0].key.service, None, "explicit none stays unlabeled");
+        assert!(cells[0].service.is_none());
+        // The open cells draw their stream seed from the seed axis, but
+        // keep the axis entry's (seed-free) label.
+        assert_eq!(cells[1].service.seed, Some(3));
+        assert_eq!(cells[3].service.seed, Some(9));
+        assert_eq!(cells[1].key.service, cells[3].key.service);
+        assert_eq!(cells[1].key.service.as_deref(), Some(svc.label().as_str()));
+        // A pinned seed wins over the axis.
+        let pinned = ExperimentSpec::builder("svc2")
+            .preset(SystemPreset::HighThroughput, 20)
+            .pool(PoolTopology::None)
+            .seed(3)
+            .scheduler(dmhpc_sched::SchedulerBuilder::new().build())
+            .service(svc.with_seed(77))
+            .build()
+            .unwrap();
+        assert_eq!(pinned.compile().unwrap()[0].service.seed, Some(77));
+    }
+
+    #[test]
+    fn service_axis_rejects_collisions_and_fault_combination() {
+        let svc = ServiceSpec::open(SystemPreset::HighThroughput).with_horizon_jobs(200);
+        let err = ExperimentSpec::builder("dup-svc")
+            .preset(SystemPreset::HighThroughput, 20)
+            .pool(PoolTopology::None)
+            .seed(1)
+            .scheduler(dmhpc_sched::SchedulerBuilder::new().build())
+            .service(svc.clone())
+            .service(svc.clone())
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("colliding"), "{err}");
+
+        let mut gen = crate::FaultGenerator::quiet(5, 40_000);
+        gen.node_mtbf_s = 8_000;
+        let err = ExperimentSpec::builder("svc-faults")
+            .preset(SystemPreset::HighThroughput, 20)
+            .pool(PoolTopology::None)
+            .seed(1)
+            .scheduler(dmhpc_sched::SchedulerBuilder::new().build())
+            .fault(crate::FaultSpec::none().with_generator(gen))
+            .service(svc)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("do not combine"), "{err}");
     }
 
     #[test]

@@ -113,20 +113,22 @@ impl ExperimentResults {
     /// [`dmhpc_metrics::export::REPORT_CSV_HEADER`].
     pub fn to_csv(&self) -> String {
         let mut out = String::with_capacity(256 * (self.cells.len() + 1));
-        out.push_str("experiment,cluster,load,seed,fault,");
+        out.push_str("experiment,cluster,load,seed,fault,service,");
         out.push_str(export::REPORT_CSV_HEADER);
         out.push('\n');
         for c in &self.cells {
             let load = c.key.load.map(|l| format!("{l}")).unwrap_or_default();
             let seed = c.key.seed.map(|s| s.to_string()).unwrap_or_default();
             let fault = c.key.fault.as_deref().unwrap_or_default();
+            let service = c.key.service.as_deref().unwrap_or_default();
             out.push_str(&format!(
-                "{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{}\n",
                 export::sanitize(&self.name),
                 export::sanitize(&c.key.cluster),
                 load,
                 seed,
                 export::sanitize(fault),
+                export::sanitize(service),
                 export::report_csv_row(&c.output.report)
             ));
         }
@@ -147,6 +149,10 @@ impl ExperimentResults {
                     (
                         "fault",
                         c.key.fault.clone().map(Json::Str).unwrap_or(Json::Null),
+                    ),
+                    (
+                        "service",
+                        c.key.service.clone().map(Json::Str).unwrap_or(Json::Null),
                     ),
                     ("scheduler", Json::Str(c.key.scheduler.clone())),
                     ("trace_hash", Json::UInt(c.output.trace_hash)),
@@ -196,7 +202,7 @@ mod tests {
         let csv = r.to_csv();
         let lines: Vec<&str> = csv.trim_end().lines().collect();
         assert_eq!(lines.len(), 1 + r.len());
-        assert!(lines[0].starts_with("experiment,cluster,load,seed,fault,label,"));
+        assert!(lines[0].starts_with("experiment,cluster,load,seed,fault,service,label,"));
         let arity = lines[0].split(',').count();
         for line in &lines[1..] {
             assert_eq!(line.split(',').count(), arity);

@@ -203,8 +203,14 @@ impl ExperimentRunner {
 
         // Materialize each distinct workload once, serially: generation is
         // cheap next to simulation and sharing maximizes cache reuse.
+        // Service cells stream their jobs from the scenario instead, so
+        // they share one empty placeholder workload.
+        let empty = Arc::new(Workload::from_jobs(Vec::new()));
         let mut workloads: HashMap<WorkloadKey, Arc<Workload>> = HashMap::new();
         for (_, cell, _) in &pending {
+            if !cell.service.is_none() {
+                continue;
+            }
             let key = Self::workload_key(cell);
             workloads.entry(key).or_insert_with(|| {
                 Self::materialize(&spec.workload, cell.key.seed, cell.key.load, key.2)
@@ -212,14 +218,20 @@ impl ExperimentRunner {
         }
 
         let outputs = run_parallel(pending, self.threads, |(i, cell, hash)| {
-            let workload = &workloads[&Self::workload_key(cell)];
+            let workload = if cell.service.is_none() {
+                &workloads[&Self::workload_key(cell)]
+            } else {
+                &empty
+            };
             let mut config = cell.config;
             if let Some(kind) = self.event_queue {
                 config.event_queue = kind;
             }
-            // compile() validated every cell config and fault scenario.
+            // compile() validated every cell config and fault/service
+            // scenario.
             let sim = Simulation::new(config)
                 .and_then(|s| s.with_fault_spec(cell.faults.clone()))
+                .and_then(|s| s.with_service_spec(cell.service.clone()))
                 .expect("cell config validated by compile()");
             // Observers are created in the worker, right before the cell
             // runs, so open sinks (trace files, fds, buffers) are bounded
@@ -355,6 +367,44 @@ mod tests {
             .map(|c| c.output.records.len())
             .collect();
         assert!(totals.iter().all(|&t| t == totals[0]));
+    }
+
+    #[test]
+    fn service_cells_stream_and_stay_deterministic() {
+        let spec = ExperimentSpec::builder("svc-runner")
+            .preset(SystemPreset::HighThroughput, 10)
+            .pool(PoolTopology::None)
+            .seeds([1, 2])
+            .scheduler(dmhpc_sched::SchedulerBuilder::new().build())
+            .service(
+                crate::service::ServiceSpec::open(SystemPreset::HighThroughput)
+                    .with_utilization(0.7)
+                    .with_horizon_jobs(300),
+            )
+            .build()
+            .unwrap();
+        let serial = ExperimentRunner::with_threads(1).run(&spec).unwrap();
+        let parallel = ExperimentRunner::with_threads(4).run(&spec).unwrap();
+        for (a, b) in serial.cells().iter().zip(parallel.cells()) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(
+                a.output.trace_hash,
+                b.output.trace_hash,
+                "{}",
+                a.key.label()
+            );
+            let svc = a.output.service.expect("service cells carry a summary");
+            assert!(svc.observed > 0);
+            assert!(
+                a.output.records.is_empty(),
+                "service mode keeps no per-job records"
+            );
+        }
+        // Distinct seed-axis points stream distinct jobs.
+        assert_ne!(
+            serial.cells()[0].output.trace_hash,
+            serial.cells()[1].output.trace_hash
+        );
     }
 
     #[test]

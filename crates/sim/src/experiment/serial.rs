@@ -10,10 +10,12 @@
 use super::{ExperimentSpec, WorkloadSource};
 use crate::error::SimError;
 use crate::faults::{FaultAction, FaultGenerator, FaultSpec, InterruptPolicy};
-use dmhpc_des::time::SimTime;
+use crate::service::{ServiceLoad, ServiceSpec};
+use dmhpc_des::time::{SimDuration, SimTime};
 use dmhpc_metrics::json::{parse, Json, JsonError};
 use dmhpc_platform::{ClusterSpec, NodeId, NodeSpec, PoolId, PoolTopology, SlowdownModel};
 use dmhpc_sched::{BackfillPolicy, MemoryPolicy, OrderPolicy, SchedulerConfig};
+use dmhpc_workload::source::{ArrivalProcess, Horizon};
 use dmhpc_workload::SystemPreset;
 
 fn shape(reason: impl Into<String>) -> JsonError {
@@ -189,6 +191,63 @@ fn fault_to_json(f: &FaultSpec) -> Json {
     Json::obj(pairs)
 }
 
+fn service_to_json(s: &ServiceSpec) -> Json {
+    let process = match s.process {
+        ArrivalProcess::Poisson => Json::Str("poisson".into()),
+        ArrivalProcess::Daily { peak_to_trough } => Json::obj(vec![(
+            "daily",
+            Json::obj(vec![("peak_to_trough", Json::F64(peak_to_trough))]),
+        )]),
+        ArrivalProcess::Mmpp {
+            burst_ratio,
+            mean_dwell_secs,
+        } => Json::obj(vec![(
+            "mmpp",
+            Json::obj(vec![
+                ("burst_ratio", Json::F64(burst_ratio)),
+                ("mean_dwell_secs", Json::F64(mean_dwell_secs)),
+            ]),
+        )]),
+    };
+    let load = match s.load {
+        ServiceLoad::Rate {
+            mean_interarrival_secs,
+        } => Json::obj(vec![(
+            "rate",
+            Json::obj(vec![(
+                "mean_interarrival_secs",
+                Json::F64(mean_interarrival_secs),
+            )]),
+        )]),
+        ServiceLoad::Utilization { target } => Json::obj(vec![(
+            "utilization",
+            Json::obj(vec![("target", Json::F64(target))]),
+        )]),
+    };
+    let mut pairs = Vec::new();
+    if let Some(preset) = s.preset {
+        pairs.push(("preset", Json::Str(preset.name().into())));
+    }
+    pairs.push(("process", process));
+    pairs.push(("load", load));
+    match s.horizon {
+        Some(Horizon::Jobs(n)) => pairs.push(("horizon", Json::obj(vec![("jobs", Json::UInt(n))]))),
+        Some(Horizon::Duration(d)) => pairs.push((
+            "horizon",
+            Json::obj(vec![("secs", Json::UInt(d.as_secs()))]),
+        )),
+        None => {}
+    }
+    pairs.push(("warmup_s", Json::UInt(s.warmup_s)));
+    if let Some(slo) = s.slo_wait_s {
+        pairs.push(("slo_wait_s", Json::F64(slo)));
+    }
+    if let Some(seed) = s.seed {
+        pairs.push(("seed", Json::UInt(seed)));
+    }
+    Json::obj(pairs)
+}
+
 pub(super) fn spec_to_json(spec: &ExperimentSpec) -> Result<String, SimError> {
     let workload = match &spec.workload {
         WorkloadSource::Preset { preset, jobs } => Json::obj(vec![(
@@ -229,6 +288,10 @@ pub(super) fn spec_to_json(spec: &ExperimentSpec) -> Result<String, SimError> {
         (
             "faults",
             Json::Arr(spec.faults.iter().map(fault_to_json).collect()),
+        ),
+        (
+            "services",
+            Json::Arr(spec.services.iter().map(service_to_json).collect()),
         ),
         ("enforce_walltime", Json::Bool(spec.enforce_walltime)),
         ("check_invariants", Json::Bool(spec.check_invariants)),
@@ -407,6 +470,66 @@ fn fault_from_json(v: &Json) -> Result<FaultSpec, JsonError> {
     })
 }
 
+fn service_from_json(v: &Json) -> Result<ServiceSpec, JsonError> {
+    let process = match tagged(v.expect_key("process")?)? {
+        ("poisson", _) => ArrivalProcess::Poisson,
+        ("daily", data) => ArrivalProcess::Daily {
+            peak_to_trough: payload(data, "daily")?
+                .expect_key("peak_to_trough")?
+                .to_f64()?,
+        },
+        ("mmpp", data) => {
+            let p = payload(data, "mmpp")?;
+            ArrivalProcess::Mmpp {
+                burst_ratio: p.expect_key("burst_ratio")?.to_f64()?,
+                mean_dwell_secs: p.expect_key("mean_dwell_secs")?.to_f64()?,
+            }
+        }
+        (other, _) => return Err(shape(format!("unknown arrival process {other:?}"))),
+    };
+    let load = match tagged(v.expect_key("load")?)? {
+        ("rate", data) => ServiceLoad::Rate {
+            mean_interarrival_secs: payload(data, "rate")?
+                .expect_key("mean_interarrival_secs")?
+                .to_f64()?,
+        },
+        ("utilization", data) => ServiceLoad::Utilization {
+            target: payload(data, "utilization")?
+                .expect_key("target")?
+                .to_f64()?,
+        },
+        (other, _) => return Err(shape(format!("unknown service load control {other:?}"))),
+    };
+    let horizon = match v.get("horizon") {
+        None => None,
+        Some(h) => Some(match tagged(h)? {
+            ("jobs", data) => Horizon::Jobs(payload(data, "jobs")?.to_u64()?),
+            ("secs", data) => {
+                Horizon::Duration(SimDuration::from_secs(payload(data, "secs")?.to_u64()?))
+            }
+            (other, _) => return Err(shape(format!("unknown horizon kind {other:?}"))),
+        }),
+    };
+    Ok(ServiceSpec {
+        preset: match v.get("preset") {
+            Some(p) => Some(preset_from_name(p.to_str()?)?),
+            None => None,
+        },
+        process,
+        load,
+        horizon,
+        warmup_s: v.expect_key("warmup_s")?.to_u64()?,
+        slo_wait_s: match v.get("slo_wait_s") {
+            Some(s) => Some(s.to_f64()?),
+            None => None,
+        },
+        seed: match v.get("seed") {
+            Some(s) => Some(s.to_u64()?),
+            None => None,
+        },
+    })
+}
+
 fn preset_from_name(name: &str) -> Result<SystemPreset, JsonError> {
     SystemPreset::ALL
         .into_iter()
@@ -462,6 +585,16 @@ pub(super) fn spec_from_json(text: &str) -> Result<ExperimentSpec, SimError> {
                     .to_arr()?
                     .iter()
                     .map(fault_from_json)
+                    .collect::<Result<_, _>>()?,
+                None => Vec::new(),
+            },
+            // Absent in documents written before service mode existed:
+            // those grids are closed, exactly what an empty axis means.
+            services: match doc.get("services") {
+                Some(s) => s
+                    .to_arr()?
+                    .iter()
+                    .map(service_from_json)
                     .collect::<Result<_, _>>()?,
                 None => Vec::new(),
             },
@@ -532,6 +665,10 @@ mod tests {
         assert_eq!(back.seeds, spec.seeds);
         assert_eq!(back.schedulers, spec.schedulers);
         assert_eq!(back.faults, spec.faults, "fault axis round-trips exactly");
+        assert_eq!(
+            back.services, spec.services,
+            "service axis round-trips exactly"
+        );
         assert_eq!(back.enforce_walltime, spec.enforce_walltime);
         assert_eq!(back.check_invariants, spec.check_invariants);
         match (&back.workload, &spec.workload) {
@@ -564,6 +701,46 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.key, y.key);
             assert_eq!(x.config, y.config);
+        }
+    }
+
+    #[test]
+    fn service_axis_round_trips_exactly() {
+        let spec = ExperimentSpec::builder("svc-trip")
+            .preset(SystemPreset::HighThroughput, 40)
+            .pool(PoolTopology::None)
+            .seed(5)
+            .scheduler(dmhpc_sched::SchedulerBuilder::new().build())
+            .service(ServiceSpec::none())
+            .service(
+                ServiceSpec::open(SystemPreset::HighThroughput)
+                    .with_process(ArrivalProcess::Mmpp {
+                        burst_ratio: 1.8,
+                        mean_dwell_secs: 1800.0,
+                    })
+                    .with_rate(45.0)
+                    .with_horizon_jobs(2000)
+                    .with_warmup_secs(3600)
+                    .with_slo_wait_secs(900.0),
+            )
+            .service(
+                ServiceSpec::open(SystemPreset::MidCluster)
+                    .with_utilization(0.9)
+                    .with_horizon_secs(86_400)
+                    .with_seed(11),
+            )
+            .build()
+            .unwrap();
+        let json = spec.to_json().unwrap();
+        let back = ExperimentSpec::from_json(&json).unwrap();
+        assert_eq!(back.services, spec.services);
+        assert_eq!(back.to_json().unwrap(), json, "canonical form is stable");
+        // And the compiled grids (with resolved stream seeds) agree.
+        let a = spec.compile().unwrap();
+        let b = back.compile().unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.key, y.key);
+            assert_eq!(x.service, y.service);
         }
     }
 

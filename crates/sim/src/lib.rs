@@ -30,6 +30,13 @@
 //! * [`collector`] — time-weighted series (busy nodes, pool use, DRAM use,
 //!   queue depth) recorded exactly at every change, maintained by the
 //!   series observer.
+//! * [`service`] — open-system service mode: a [`ServiceSpec`] describes
+//!   a streaming arrival scenario (Poisson / diurnal / MMPP process,
+//!   load control by rate or target utilization, a run horizon by job
+//!   count or duration, a warmup cutoff). The engine admits jobs
+//!   pull-based — one pending arrival in flight, refilled from the
+//!   source — and metrics come from O(1)-memory sketches
+//!   ([`observe::SketchStatsObserver`]) instead of per-job records.
 //! * [`sweep`] — scoped-thread parallel fan-out with deterministic result
 //!   ordering (the runner's execution substrate).
 //! * [`scenarios`] — the axis vocabulary (preset machines, calibrated
@@ -52,6 +59,7 @@ pub mod experiment;
 pub mod faults;
 pub mod observe;
 pub mod scenarios;
+pub mod service;
 pub mod sweep;
 
 pub use collector::SeriesBundle;
@@ -65,5 +73,6 @@ pub use experiment::{
 pub use faults::{FaultAction, FaultGenerator, FaultSpec, InterruptPolicy};
 pub use observe::{
     EventCounter, Observer, ObserverFactory, ProgressObserver, RunLabel, SampledSeriesProbe,
-    SimEvent, TraceDir, TraceSink,
+    SimEvent, SketchStatsObserver, TraceDir, TraceSink,
 };
+pub use service::{ServiceLoad, ServiceSpec};

@@ -12,6 +12,10 @@
 //!   ([`crate::SeriesBundle`]: busy nodes, pool/DRAM occupancy, queue
 //!   depth);
 //! * [`JobStatsObserver`] — the per-job outcome records;
+//! * [`SketchStatsObserver`] — the O(1)-memory alternative for
+//!   open-system service runs: streaming quantile sketches and online
+//!   moments over a post-warmup measurement window, in place of the
+//!   per-job record list;
 //! * [`FaultObserver`] — interruption/rework counters and the
 //!   availability integral ([`dmhpc_metrics::FaultSummary`]);
 //!
@@ -42,10 +46,12 @@
 
 mod builtin;
 mod probe;
+mod sketch;
 mod trace;
 
 pub use builtin::{FaultObserver, JobStatsObserver, SeriesObserver};
 pub use probe::{EventCounter, ProgressObserver, SampleRow, SampledSeriesProbe};
+pub use sketch::SketchStatsObserver;
 pub use trace::{parse_trace_line, TraceDir, TraceSink};
 
 use crate::error::SimError;

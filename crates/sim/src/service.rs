@@ -1,0 +1,416 @@
+//! Open-system (service-mode) scenarios as first-class, deterministic
+//! inputs.
+//!
+//! A [`ServiceSpec`] switches a run from the closed batch model — a fully
+//! materialized [`dmhpc_workload::Workload`] replayed to completion — to an
+//! **open system**: arrivals stream lazily from a seeded
+//! [`dmhpc_workload::JobSource`] until a [`Horizon`] is reached, and
+//! per-job metrics are folded into O(1)-memory sketches instead of a
+//! record vector (see [`crate::observe::SketchStatsObserver`]). That is
+//! what queueing studies need: offered load becomes a *control parameter*
+//! (a target arrival rate, or a target utilization derived from the
+//! machine's capacity), run length is a horizon rather than a job list,
+//! and steady-state statistics exclude a configurable warmup window.
+//!
+//! [`ServiceSpec::none`] is the identity scenario: the engine takes the
+//! exact closed-batch code path, producing bit-identical traces, and the
+//! experiment layer hashes nothing for it — existing result caches stay
+//! warm (tested in `tests/integration.rs`).
+//!
+//! Like [`crate::faults::FaultSpec`], everything here is pure data:
+//! a service run is a pure function of `(SimConfig, ServiceSpec)`, with
+//! the job stream itself a pure function of
+//! `(preset, process, load, horizon, seed)`.
+
+use crate::error::SimError;
+use dmhpc_platform::ClusterSpec;
+use dmhpc_workload::source::{ArrivalProcess, Horizon, LoadControl, StreamingSynthetic};
+use dmhpc_workload::SystemPreset;
+
+/// How the offered load of an open stream is set. The cluster-independent
+/// half of [`dmhpc_workload::LoadControl`]: a utilization target binds to
+/// the machine shape only when the source is opened.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServiceLoad {
+    /// Fixed mean inter-arrival time, seconds.
+    Rate {
+        /// Mean seconds between submissions.
+        mean_interarrival_secs: f64,
+    },
+    /// Target long-run node utilization (offered load) of the run's
+    /// cluster, in `(0, 2]`. The arrival rate is derived from the job
+    /// size/runtime models and the machine's node count when the source is
+    /// opened.
+    Utilization {
+        /// Target offered load.
+        target: f64,
+    },
+}
+
+impl ServiceLoad {
+    /// Bind to a machine: the workload-crate [`LoadControl`] this resolves
+    /// to for `total_nodes` nodes.
+    fn bind(&self, total_nodes: u32) -> LoadControl {
+        match *self {
+            ServiceLoad::Rate {
+                mean_interarrival_secs,
+            } => LoadControl::Rate {
+                mean_interarrival_secs,
+            },
+            ServiceLoad::Utilization { target } => LoadControl::Utilization {
+                target,
+                total_nodes,
+            },
+        }
+    }
+}
+
+/// A complete open-system scenario for one run. See the module docs;
+/// build with [`ServiceSpec::open`] and the `with_*` methods.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceSpec {
+    /// Which preset's job-mix models (sizes, runtimes, memory, users) the
+    /// stream draws from. `None` is the identity scenario: a closed batch
+    /// run.
+    pub preset: Option<SystemPreset>,
+    /// Inter-arrival process shape.
+    pub process: ArrivalProcess,
+    /// How the mean arrival rate is set.
+    pub load: ServiceLoad,
+    /// When the stream stops emitting arrivals. Required for open runs —
+    /// an open system without a horizon never terminates.
+    pub horizon: Option<Horizon>,
+    /// Warmup cutoff, seconds from the run origin: jobs that finish (or
+    /// are rejected) before it are excluded from the measured statistics,
+    /// so reported numbers describe the steady state rather than the
+    /// empty-system transient.
+    pub warmup_s: u64,
+    /// Optional wait-time SLO target, seconds; when set, the run reports
+    /// the fraction of measured jobs whose wait met it.
+    pub slo_wait_s: Option<f64>,
+    /// Stream seed. `None` defers to the context: the experiment layer
+    /// fills in the cell's seed-axis value, stand-alone runs default to
+    /// [`ServiceSpec::DEFAULT_SEED`].
+    pub seed: Option<u64>,
+}
+
+impl Default for ServiceSpec {
+    fn default() -> Self {
+        ServiceSpec::none()
+    }
+}
+
+impl ServiceSpec {
+    /// Stream seed used by stand-alone runs when none is set (the same
+    /// default the experiment seed axis uses).
+    pub const DEFAULT_SEED: u64 = 42;
+
+    /// The identity scenario: a closed batch run, bit-identical engine
+    /// behaviour, and hash-neutral in the experiment cache.
+    pub fn none() -> Self {
+        ServiceSpec {
+            preset: None,
+            process: ArrivalProcess::Poisson,
+            load: ServiceLoad::Utilization { target: 0.8 },
+            horizon: None,
+            warmup_s: 0,
+            slo_wait_s: None,
+            seed: None,
+        }
+    }
+
+    /// An open-system scenario streaming `preset`'s job mix (Poisson
+    /// arrivals at 0.8 target utilization until a horizon is set — set one
+    /// with [`ServiceSpec::with_horizon_jobs`] /
+    /// [`ServiceSpec::with_horizon_secs`]; validation rejects horizonless
+    /// open scenarios).
+    pub fn open(preset: SystemPreset) -> Self {
+        ServiceSpec {
+            preset: Some(preset),
+            ..ServiceSpec::none()
+        }
+    }
+
+    /// True when this scenario is the closed-batch identity.
+    pub fn is_none(&self) -> bool {
+        self.preset.is_none()
+    }
+
+    /// Set the inter-arrival process shape.
+    pub fn with_process(mut self, process: ArrivalProcess) -> Self {
+        self.process = process;
+        self
+    }
+
+    /// Target a fixed mean inter-arrival time, seconds.
+    pub fn with_rate(mut self, mean_interarrival_secs: f64) -> Self {
+        self.load = ServiceLoad::Rate {
+            mean_interarrival_secs,
+        };
+        self
+    }
+
+    /// Target a long-run node utilization of the run's cluster.
+    pub fn with_utilization(mut self, target: f64) -> Self {
+        self.load = ServiceLoad::Utilization { target };
+        self
+    }
+
+    /// Stop after exactly `jobs` arrivals.
+    pub fn with_horizon_jobs(mut self, jobs: u64) -> Self {
+        self.horizon = Some(Horizon::Jobs(jobs));
+        self
+    }
+
+    /// Stop at the first arrival past `secs` from the origin.
+    pub fn with_horizon_secs(mut self, secs: u64) -> Self {
+        self.horizon = Some(Horizon::Duration(dmhpc_des::time::SimDuration::from_secs(
+            secs,
+        )));
+        self
+    }
+
+    /// Exclude jobs finishing in the first `secs` from measured stats.
+    pub fn with_warmup_secs(mut self, secs: u64) -> Self {
+        self.warmup_s = secs;
+        self
+    }
+
+    /// Report SLO attainment against a wait-time target, seconds.
+    pub fn with_slo_wait_secs(mut self, secs: f64) -> Self {
+        self.slo_wait_s = Some(secs);
+        self
+    }
+
+    /// Pin the stream seed (otherwise the experiment seed axis, or
+    /// [`ServiceSpec::DEFAULT_SEED`] stand-alone, supplies it).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Check the scenario for ill-formed parameters. The identity
+    /// scenario always validates; open scenarios must carry a horizon
+    /// (an open system without one never terminates) and well-formed
+    /// process/load/SLO parameters.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.is_none() {
+            return Ok(());
+        }
+        self.process.validate()?;
+        match self.horizon {
+            None => {
+                return Err(SimError::spec(
+                    "open-system service runs need a horizon (job count or duration) — \
+                     a horizonless open run never terminates",
+                ))
+            }
+            Some(h) => h.validate()?,
+        }
+        if let ServiceLoad::Rate {
+            mean_interarrival_secs,
+        } = self.load
+        {
+            if !(mean_interarrival_secs > 0.0 && mean_interarrival_secs.is_finite()) {
+                return Err(SimError::spec(format!(
+                    "service mean inter-arrival must be positive and finite, \
+                     got {mean_interarrival_secs}"
+                )));
+            }
+        }
+        if let ServiceLoad::Utilization { target } = self.load {
+            if !(target > 0.0 && target <= 2.0 && target.is_finite()) {
+                return Err(SimError::spec(format!(
+                    "service utilization target must be in (0, 2], got {target}"
+                )));
+            }
+        }
+        if let Some(slo) = self.slo_wait_s {
+            if !(slo > 0.0 && slo.is_finite()) {
+                return Err(SimError::spec(format!(
+                    "service SLO wait target must be positive and finite, got {slo}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// [`validate`](ServiceSpec::validate) plus machine-shape checks: the
+    /// load control must bind to this cluster (a utilization target needs
+    /// nodes to load), proven by constructing the stream once.
+    pub fn validate_for(&self, cluster: &ClusterSpec) -> Result<(), SimError> {
+        self.validate()?;
+        if !self.is_none() {
+            // Surfaces every construction-time error (including ones the
+            // workload models raise) before any run starts.
+            self.open_source(cluster)?;
+        }
+        Ok(())
+    }
+
+    /// Open the job stream against a machine. Identity scenarios have no
+    /// stream ([`SimError::Spec`]); validated open scenarios cannot fail.
+    pub fn open_source(&self, cluster: &ClusterSpec) -> Result<StreamingSynthetic, SimError> {
+        let Some(preset) = self.preset else {
+            return Err(SimError::spec(
+                "ServiceSpec::none() has no job stream to open",
+            ));
+        };
+        let horizon = self.horizon.ok_or_else(|| {
+            SimError::spec("open-system service runs need a horizon (job count or duration)")
+        })?;
+        let spec = preset.synthetic_spec(1);
+        let source = StreamingSynthetic::new(
+            spec,
+            self.process,
+            self.load.bind(cluster.total_nodes()),
+            horizon,
+            self.seed.unwrap_or(Self::DEFAULT_SEED),
+        )?;
+        Ok(source)
+    }
+
+    /// Short, distinguishing label for grid axes (e.g.
+    /// `svc-htc-128-poisson-u0.85-j5000-w3600`). Axis validation rejects
+    /// colliding labels, so scenarios differing only in sub-label
+    /// precision must nudge a parameter.
+    pub fn label(&self) -> String {
+        let Some(preset) = self.preset else {
+            return "no-service".into();
+        };
+        let mut parts: Vec<String> = vec!["svc".into(), preset.name().into()];
+        parts.push(match self.process {
+            ArrivalProcess::Poisson => "poisson".into(),
+            ArrivalProcess::Daily { peak_to_trough } => format!("daily{peak_to_trough}"),
+            ArrivalProcess::Mmpp {
+                burst_ratio,
+                mean_dwell_secs,
+            } => format!("mmpp{burst_ratio}d{mean_dwell_secs:.0}"),
+        });
+        parts.push(match self.load {
+            ServiceLoad::Rate {
+                mean_interarrival_secs,
+            } => format!("ia{mean_interarrival_secs:.0}"),
+            ServiceLoad::Utilization { target } => format!("u{target:.2}"),
+        });
+        parts.push(match self.horizon {
+            Some(Horizon::Jobs(n)) => format!("j{n}"),
+            Some(Horizon::Duration(d)) => format!("t{}", d.as_secs()),
+            None => "nohorizon".into(),
+        });
+        if self.warmup_s > 0 {
+            parts.push(format!("w{}", self.warmup_s));
+        }
+        if let Some(slo) = self.slo_wait_s {
+            parts.push(format!("slo{slo:.0}"));
+        }
+        if let Some(seed) = self.seed {
+            parts.push(format!("s{seed}"));
+        }
+        parts.join("-")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmhpc_workload::JobSource;
+
+    fn machine() -> ClusterSpec {
+        let (racks, npr, cores, mem) = SystemPreset::HighThroughput.machine();
+        ClusterSpec::new(
+            racks,
+            npr,
+            dmhpc_platform::NodeSpec::new(cores, mem),
+            dmhpc_platform::PoolTopology::None,
+        )
+    }
+
+    #[test]
+    fn none_is_none_and_validates() {
+        let none = ServiceSpec::none();
+        assert!(none.is_none());
+        assert_eq!(none.label(), "no-service");
+        none.validate().unwrap();
+        none.validate_for(&machine()).unwrap();
+        assert!(none.open_source(&machine()).is_err());
+        assert_eq!(ServiceSpec::default(), ServiceSpec::none());
+    }
+
+    #[test]
+    fn open_scenarios_require_a_horizon() {
+        let open = ServiceSpec::open(SystemPreset::HighThroughput);
+        assert!(!open.is_none());
+        let err = open.validate().unwrap_err();
+        assert!(err.to_string().contains("horizon"), "{err}");
+        open.clone().with_horizon_jobs(100).validate().unwrap();
+        open.clone().with_horizon_secs(3600).validate().unwrap();
+        // Empty horizons are typed workload errors.
+        assert!(open.clone().with_horizon_jobs(0).validate().is_err());
+        assert!(open.with_horizon_secs(0).validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        let base = ServiceSpec::open(SystemPreset::MidCluster).with_horizon_jobs(10);
+        assert!(base.clone().with_rate(-3.0).validate().is_err());
+        assert!(base.clone().with_utilization(0.0).validate().is_err());
+        assert!(base.clone().with_utilization(5.0).validate().is_err());
+        assert!(base.clone().with_slo_wait_secs(-1.0).validate().is_err());
+        assert!(base
+            .clone()
+            .with_process(ArrivalProcess::Mmpp {
+                burst_ratio: 3.0,
+                mean_dwell_secs: 60.0,
+            })
+            .validate()
+            .is_err());
+        base.validate_for(&machine()).unwrap();
+    }
+
+    #[test]
+    fn open_source_binds_utilization_to_the_machine() {
+        let spec = ServiceSpec::open(SystemPreset::HighThroughput)
+            .with_utilization(0.85)
+            .with_horizon_jobs(50)
+            .with_seed(7);
+        let mut a = spec.open_source(&machine()).unwrap();
+        let mut b = spec.open_source(&machine()).unwrap();
+        let ja: Vec<_> = std::iter::from_fn(|| a.next_job()).collect();
+        let jb: Vec<_> = std::iter::from_fn(|| b.next_job()).collect();
+        assert_eq!(ja, jb, "stream is a pure function of the spec");
+        assert_eq!(ja.len(), 50);
+        // A bigger machine absorbs the same target at a faster rate.
+        let big = ClusterSpec::new(
+            16,
+            64,
+            dmhpc_platform::NodeSpec::new(32, 192 * 1024),
+            dmhpc_platform::PoolTopology::None,
+        );
+        let fast = spec.open_source(&big).unwrap();
+        assert!(fast.mean_interarrival_secs() < a.mean_interarrival_secs());
+    }
+
+    #[test]
+    fn labels_distinguish_scenarios() {
+        let a = ServiceSpec::open(SystemPreset::HighThroughput)
+            .with_utilization(0.85)
+            .with_horizon_jobs(5000);
+        let b = a.clone().with_utilization(0.9);
+        let c = a.clone().with_horizon_secs(86_400);
+        let d = a.clone().with_warmup_secs(3600).with_slo_wait_secs(1800.0);
+        let e = a.clone().with_seed(9);
+        let labels = [a.label(), b.label(), c.label(), d.label(), e.label()];
+        for (i, x) in labels.iter().enumerate() {
+            for (j, y) in labels.iter().enumerate() {
+                if i != j {
+                    assert_ne!(x, y);
+                }
+            }
+        }
+        assert!(labels[0].starts_with("svc-htc-128-poisson-u0.85-j5000"));
+        // Labels are RunLabel-safe already (no sanitizing needed).
+        let rl = crate::observe::RunLabel::new(labels[3].clone());
+        assert_eq!(rl.file_stem, labels[3]);
+    }
+}

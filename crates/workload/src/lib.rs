@@ -17,6 +17,10 @@
 //!   characterization studies report (most jobs use a small fraction of node
 //!   DRAM; a few percent need more than the node has). Three
 //!   [`SystemPreset`]s package calibrations used throughout the experiments.
+//! * [`source`] — lazy streaming job sources for open-system (service)
+//!   runs: Poisson/daily/MMPP arrival processes, rate- or
+//!   utilization-targeted load control, and duration/job-count horizons,
+//!   all deterministic per seed.
 //! * [`transform`] — trace surgery: load rescaling against a target
 //!   machine, truncation, filtering, arrival-origin shifts.
 //! * [`stats`] — workload characterization tables (T1/F1 in the
@@ -27,6 +31,7 @@
 
 mod error;
 mod job;
+pub mod source;
 pub mod stats;
 pub mod swf;
 pub mod synthetic;
@@ -35,5 +40,6 @@ mod workload_set;
 
 pub use error::WorkloadError;
 pub use job::{Job, JobBuilder, JobId};
+pub use source::{ArrivalProcess, Horizon, JobSource, LoadControl, StreamingSynthetic};
 pub use synthetic::{SyntheticSpec, SystemPreset};
 pub use workload_set::{Workload, WorkloadBuilder};

@@ -1,5 +1,6 @@
 //! Job arrival processes.
 
+use crate::error::WorkloadError;
 use dmhpc_des::rng::Pcg64;
 use dmhpc_des::time::SimTime;
 
@@ -40,6 +41,30 @@ impl ArrivalModel {
         }
     }
 
+    /// Validate parameters; [`generate`](ArrivalModel::generate) and the
+    /// streaming sources ([`crate::source`]) require this to pass.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        if !(self.mean_interarrival_secs > 0.0 && self.mean_interarrival_secs.is_finite()) {
+            return Err(WorkloadError::new(
+                "arrivals",
+                format!(
+                    "mean inter-arrival must be positive and finite, got {}",
+                    self.mean_interarrival_secs
+                ),
+            ));
+        }
+        if !(self.peak_to_trough >= 1.0 && self.peak_to_trough.is_finite()) {
+            return Err(WorkloadError::new(
+                "arrivals",
+                format!(
+                    "peak_to_trough must be >= 1 and finite, got {}",
+                    self.peak_to_trough
+                ),
+            ));
+        }
+        Ok(())
+    }
+
     /// Relative rate multiplier at time `t` (mean 1 over a day). Peak is at
     /// 15:00, matching the afternoon submission maximum in archive traces.
     pub fn rate_multiplier(&self, t_secs: f64) -> f64 {
@@ -51,13 +76,14 @@ impl ArrivalModel {
         1.0 + a * phase.cos()
     }
 
-    /// Generate `n` arrival instants starting from t=0.
-    pub fn generate(&self, rng: &mut Pcg64, n: usize) -> Vec<SimTime> {
-        assert!(
-            self.mean_interarrival_secs > 0.0 && self.mean_interarrival_secs.is_finite(),
-            "mean inter-arrival must be positive"
-        );
-        assert!(self.peak_to_trough >= 1.0, "peak_to_trough must be >= 1");
+    /// The next arrival instant strictly after `t_secs` (seconds), sampled
+    /// by Lewis–Shedler thinning. Consumes exactly the RNG draws the batch
+    /// [`generate`](ArrivalModel::generate) loop would, so a stream advanced
+    /// from `t = 0` reproduces the batch arrival sequence bit for bit.
+    ///
+    /// Parameters must satisfy [`validate`](ArrivalModel::validate); invalid
+    /// rates make this loop forever or return NaN.
+    pub fn next_after(&self, rng: &mut Pcg64, mut t_secs: f64) -> f64 {
         let base_rate = 1.0 / self.mean_interarrival_secs;
         let a = if self.daily_cycle {
             (self.peak_to_trough - 1.0) / (self.peak_to_trough + 1.0)
@@ -65,16 +91,25 @@ impl ArrivalModel {
             0.0
         };
         let max_rate = base_rate * (1.0 + a);
+        loop {
+            // Candidate from the dominating homogeneous process…
+            t_secs += -rng.next_f64_open().ln() / max_rate;
+            // …thinned by the instantaneous relative rate.
+            let keep = self.rate_multiplier(t_secs) / (1.0 + a);
+            if rng.next_f64() < keep {
+                return t_secs;
+            }
+        }
+    }
+
+    /// Generate `n` arrival instants starting from t=0.
+    pub fn generate(&self, rng: &mut Pcg64, n: usize) -> Vec<SimTime> {
+        self.validate().expect("invalid ArrivalModel");
         let mut out = Vec::with_capacity(n);
         let mut t = 0.0f64;
         while out.len() < n {
-            // Candidate from the dominating homogeneous process…
-            t += -rng.next_f64_open().ln() / max_rate;
-            // …thinned by the instantaneous relative rate.
-            let keep = self.rate_multiplier(t) / (1.0 + a);
-            if rng.next_f64() < keep {
-                out.push(SimTime::from_secs_f64(t));
-            }
+            t = self.next_after(rng, t);
+            out.push(SimTime::from_secs_f64(t));
         }
         out
     }
@@ -141,6 +176,32 @@ mod tests {
             .sum::<f64>()
             / 1440.0;
         assert!((mean - 1.0).abs() < 1e-6, "cycle mean {mean}");
+    }
+
+    #[test]
+    fn validation_is_typed() {
+        assert!(ArrivalModel::poisson(100.0).validate().is_ok());
+        assert!(ArrivalModel::daily(60.0, 3.0).validate().is_ok());
+        let err = ArrivalModel::poisson(-1.0).validate().unwrap_err();
+        assert_eq!(err.model, "arrivals");
+        assert!(err.reason.contains("positive"), "{err}");
+        assert!(ArrivalModel::poisson(f64::NAN).validate().is_err());
+        assert!(ArrivalModel::poisson(0.0).validate().is_err());
+        let err = ArrivalModel::daily(10.0, 0.5).validate().unwrap_err();
+        assert!(err.reason.contains("peak_to_trough"), "{err}");
+    }
+
+    #[test]
+    fn next_after_streams_the_batch_sequence() {
+        let m = ArrivalModel::daily(45.0, 3.0);
+        let mut batch_rng = Pcg64::new(17);
+        let batch = m.generate(&mut batch_rng, 500);
+        let mut stream_rng = Pcg64::new(17);
+        let mut t = 0.0f64;
+        for expect in &batch {
+            t = m.next_after(&mut stream_rng, t);
+            assert_eq!(SimTime::from_secs_f64(t), *expect);
+        }
     }
 
     #[test]

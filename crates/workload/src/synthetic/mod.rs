@@ -60,6 +60,7 @@ impl SyntheticSpec {
         if self.users == 0 {
             return Err(WorkloadError::new("spec", "users must be positive"));
         }
+        self.arrivals.validate()?;
         self.sizes.validate()?;
         self.runtime.validate()?;
         self.walltime.validate()?;

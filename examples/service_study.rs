@@ -1,0 +1,97 @@
+//! Open-system service study: where is the knee of the latency curve?
+//!
+//! A closed batch answers "how long does this job list take"; a service
+//! study answers the operator's question instead — *how hard can I drive
+//! the machine before tail latency explodes?* This example sweeps the
+//! target utilization of a streaming Poisson arrival process over one
+//! machine and policy, measuring each operating point in steady state:
+//!
+//! * arrivals come from a seeded [`ServiceSpec`] stream (no job list —
+//!   the engine pulls each arrival on demand, one in flight);
+//! * per-job metrics fold into O(1)-memory quantile sketches, so the
+//!   horizon can grow without the observer growing with it;
+//! * a one-hour warmup is excluded, so the numbers describe the steady
+//!   state rather than the empty-machine transient;
+//! * each point reports the fraction of jobs that started within a
+//!   one-hour wait SLO.
+//!
+//! The printout is the classic open-system latency curve: p99 wait is
+//! flat at low load, then turns sharply upward at the knee — the highest
+//! utilization the machine sustains before queueing becomes unbounded.
+//! The knee readout picks the sweep point with the largest relative p99
+//! jump.
+//!
+//! ```text
+//! cargo run --release --example service_study
+//! ```
+
+use dmhpc::prelude::*;
+
+fn main() -> Result<(), SimError> {
+    let utils = [0.60, 0.70, 0.80, 0.85, 0.90, 0.95];
+    let mut builder = ExperimentSpec::builder("service-study")
+        .preset(SystemPreset::HighThroughput, 1)
+        .pool(PoolTopology::PerRack {
+            mib_per_rack: 384 * 1024,
+        })
+        .seed(42)
+        .scheduler(
+            SchedulerBuilder::new()
+                .memory(MemoryPolicy::PoolBestFit)
+                .slowdown(SlowdownModel::Saturating {
+                    penalty: 1.5,
+                    curvature: 3.0,
+                })
+                .build(),
+        );
+    for &util in &utils {
+        builder = builder.service(
+            ServiceSpec::open(SystemPreset::HighThroughput)
+                .with_utilization(util)
+                .with_horizon_jobs(6_000)
+                .with_warmup_secs(3_600)
+                .with_slo_wait_secs(3_600.0),
+        );
+    }
+    let spec = builder.build()?;
+
+    println!("service study: {} operating points\n", spec.cell_count());
+    let results = ExperimentRunner::new().run(&spec)?;
+
+    println!(
+        "{:>6} {:>9} {:>12} {:>12} {:>10} {:>10}",
+        "util", "measured", "mean_wait_s", "p99_wait_s", "slo_1h", "node_util"
+    );
+    let mut curve = Vec::new();
+    for (cell, &util) in results.cells().iter().zip(&utils) {
+        let svc = cell
+            .output
+            .service
+            .expect("open cells report a service summary");
+        println!(
+            "{:>6.2} {:>9} {:>12.0} {:>12.0} {:>9.1}% {:>10.3}",
+            util,
+            svc.observed,
+            cell.output.report.mean_wait_s,
+            svc.p99_wait_s,
+            100.0 * svc.slo_attained,
+            cell.output.report.node_util,
+        );
+        curve.push((util, svc.p99_wait_s));
+    }
+
+    // Knee of the curve: the operating point with the largest relative
+    // p99 jump from its predecessor — past it, waiting time grows faster
+    // than the machine's remaining headroom.
+    let knee = curve
+        .windows(2)
+        .map(|w| (w[1].0, w[1].1 / w[0].1.max(1.0)))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite p99 waits"))
+        .expect("at least two operating points");
+    println!(
+        "\nknee of the curve: p99 wait jumps {:.1}x entering util {:.2} — \
+         operate below it, or buy pool capacity",
+        knee.1, knee.0
+    );
+    Ok(())
+}

@@ -105,12 +105,13 @@ pub mod prelude {
     };
     pub use dmhpc_sim::observe::{
         EventCounter, Observer, ObserverFactory, ProgressObserver, RunLabel, SampleRow,
-        SampledSeriesProbe, SimEvent, TraceDir, TraceSink,
+        SampledSeriesProbe, SimEvent, SketchStatsObserver, TraceDir, TraceSink,
     };
     pub use dmhpc_sim::{
         CellKey, CellResult, EventQueueKind, ExperimentResults, ExperimentRunner, ExperimentSpec,
         FaultAction, FaultGenerator, FaultSpec, InterruptPolicy, ObserverSpec, ResultCache,
-        RunStats, Shard, SimConfig, SimError, SimOutput, Simulation, WorkloadSource,
+        RunStats, ServiceLoad, ServiceSpec, Shard, SimConfig, SimError, SimOutput, Simulation,
+        WorkloadSource,
     };
     pub use dmhpc_workload::{
         Job, JobId, SyntheticSpec, SystemPreset, Workload, WorkloadBuilder, WorkloadError,

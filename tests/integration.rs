@@ -957,6 +957,261 @@ fn fault_spec_fields_move_cell_hashes_but_none_is_hash_neutral() {
     }
 }
 
+// ------------------------------------------------- open-system service mode
+
+/// A representative open-system scenario for grid-level tests: Poisson
+/// stream of the HTC job mix, utilization-targeted load, short horizon.
+fn open_scenario() -> ServiceSpec {
+    ServiceSpec::open(SystemPreset::HighThroughput)
+        .with_utilization(0.85)
+        .with_horizon_jobs(400)
+        .with_warmup_secs(3_600)
+        .with_slo_wait_secs(3_600.0)
+}
+
+/// The golden table with an *explicit* `ServiceSpec::none()` axis, on
+/// both event-queue backends: the service subsystem's identity scenario
+/// must be bit-identical to the pre-service engine — same traces, same
+/// pass counts, no service summary — so PR-2/3/4 result caches replay
+/// untouched.
+#[test]
+fn smoke_grid_with_none_service_spec_matches_golden_hashes() {
+    let spec = dmhpc::sim::ExperimentBuilder::from_spec(smoke_grid())
+        .service(ServiceSpec::none())
+        .build()
+        .unwrap();
+    assert_eq!(spec.cell_count(), SMOKE_GOLDEN_HASHES.len());
+    for kind in [EventQueueKind::BinaryHeap, EventQueueKind::Calendar] {
+        let results = ExperimentRunner::with_threads(1)
+            .event_queue(kind)
+            .run(&spec)
+            .unwrap();
+        for (cell, &golden) in results.cells().iter().zip(&SMOKE_GOLDEN_HASHES) {
+            assert_eq!(
+                cell.output.trace_hash,
+                golden,
+                "{} on {:?}: ServiceSpec::none() diverged from the closed-batch engine",
+                cell.key.label(),
+                kind
+            );
+            assert_eq!(cell.key.service, None, "identity scenario is unlabeled");
+            assert!(
+                cell.output.service.is_none(),
+                "closed cells carry no service summary"
+            );
+        }
+    }
+}
+
+/// Cache correctness (ISSUE satellite): changing any `ServiceSpec` field
+/// moves the cell hash (cold re-run), while attaching
+/// `ServiceSpec::none()` leaves hashes — and therefore existing caches —
+/// untouched.
+#[test]
+fn service_spec_fields_move_cell_hashes_but_none_is_hash_neutral() {
+    let base = smoke_grid();
+    let hashes = |spec: &ExperimentSpec| -> Vec<u64> {
+        spec.cell_hashes()
+            .unwrap()
+            .into_iter()
+            .map(|(_, h)| h)
+            .collect()
+    };
+    let base_hashes = hashes(&base);
+
+    // Attaching the identity scenario: bit-identical hashes.
+    let with_none = dmhpc::sim::ExperimentBuilder::from_spec(base.clone())
+        .service(ServiceSpec::none())
+        .build()
+        .unwrap();
+    assert_eq!(hashes(&with_none), base_hashes);
+
+    // Every field of an open scenario is hash-relevant.
+    let open = open_scenario();
+    let spec_with = |s: ServiceSpec| {
+        dmhpc::sim::ExperimentBuilder::from_spec(base.clone())
+            .service(s)
+            .build()
+            .unwrap()
+    };
+    let reference = hashes(&spec_with(open.clone()));
+    assert_ne!(reference, base_hashes, "open scenario re-keys cells");
+
+    let variants: Vec<ServiceSpec> = vec![
+        ServiceSpec::open(SystemPreset::MidCluster)
+            .with_utilization(0.85)
+            .with_horizon_jobs(400)
+            .with_warmup_secs(3_600)
+            .with_slo_wait_secs(3_600.0),
+        open.clone()
+            .with_process(dmhpc::workload::source::ArrivalProcess::Daily {
+                peak_to_trough: 3.0,
+            }),
+        open.clone()
+            .with_process(dmhpc::workload::source::ArrivalProcess::Mmpp {
+                burst_ratio: 1.8,
+                mean_dwell_secs: 1_800.0,
+            }),
+        open.clone().with_rate(45.0),
+        open.clone().with_utilization(0.9),
+        open.clone().with_horizon_jobs(401),
+        open.clone().with_horizon_secs(86_400),
+        open.clone().with_warmup_secs(7_200),
+        open.clone().with_slo_wait_secs(1_800.0),
+        open.clone().with_seed(9),
+    ];
+    for variant in variants {
+        assert_ne!(
+            hashes(&spec_with(variant.clone())),
+            reference,
+            "ServiceSpec edit must re-key cells: {}",
+            variant.label()
+        );
+    }
+}
+
+/// Determinism for open-system cells: identical per-cell traces and
+/// service summaries for 1 vs N runner threads and for heap vs calendar
+/// event queues, with closed baseline cells riding the same grid.
+#[test]
+fn service_grids_are_deterministic_across_threads_and_backends() {
+    let spec = dmhpc::sim::ExperimentBuilder::from_spec(smoke_grid())
+        .name("smoke-service-det")
+        .service(ServiceSpec::none())
+        .service(open_scenario())
+        .build()
+        .unwrap();
+    assert_eq!(spec.cell_count(), 2 * 8);
+    let serial = ExperimentRunner::with_threads(1).run(&spec).unwrap();
+    let parallel = ExperimentRunner::with_threads(8).run(&spec).unwrap();
+    let calendar = ExperimentRunner::with_threads(4)
+        .event_queue(EventQueueKind::Calendar)
+        .run(&spec)
+        .unwrap();
+    let mut open_cells = 0;
+    for ((a, b), c) in serial
+        .cells()
+        .iter()
+        .zip(parallel.cells())
+        .zip(calendar.cells())
+    {
+        assert_eq!(a.key, b.key, "grid order independent of threads");
+        assert_eq!(a.key, c.key, "grid order independent of backend");
+        assert_eq!(
+            a.output.trace_hash,
+            b.output.trace_hash,
+            "{}",
+            a.key.label()
+        );
+        assert_eq!(
+            a.output.trace_hash,
+            c.output.trace_hash,
+            "{}",
+            a.key.label()
+        );
+        assert_eq!(a.output.service, b.output.service);
+        assert_eq!(a.output.service, c.output.service);
+        if a.key.service.is_some() {
+            open_cells += 1;
+            let svc = a.output.service.expect("open cells report a summary");
+            assert!(svc.observed > 0, "{}", a.key.label());
+            assert!(a.output.records.is_empty(), "sketch path keeps no records");
+        }
+    }
+    assert_eq!(open_cells, 8, "half the grid streams");
+    // The service axis changes results: an open cell's trace differs from
+    // its closed twin's.
+    let twin = |service: Option<&str>| {
+        serial
+            .cells()
+            .iter()
+            .find(|c| c.key.service.as_deref() == service)
+            .unwrap()
+    };
+    assert_ne!(
+        twin(None).output.trace_hash,
+        twin(Some(&open_scenario().label())).output.trace_hash
+    );
+}
+
+/// Pull-based admission is trace-identical to pre-loading the same
+/// stream as a closed batch: materialize the open source into a
+/// `Workload`, run it closed, and compare hashes with the open run.
+#[test]
+fn open_admission_matches_materialized_closed_batch() {
+    use dmhpc::workload::source::JobSource as _;
+    let cluster = preset_cluster(SystemPreset::HighThroughput, per_rack(384));
+    let scenario = open_scenario().with_seed(17);
+    let mut src = scenario.open_source(&cluster).unwrap();
+    let workload = Workload::from_jobs(std::iter::from_fn(|| src.next_job()).collect());
+    assert_eq!(workload.len(), 400, "whole horizon materialized");
+    let sched = SchedulerBuilder::new()
+        .memory(MemoryPolicy::PoolFirstFit)
+        .slowdown(default_slowdown())
+        .build();
+    let cfg = SimConfig::new(cluster, sched);
+    let closed = Simulation::new(cfg).unwrap().run(&workload);
+    let open = Simulation::new(cfg)
+        .unwrap()
+        .with_service_spec(scenario)
+        .unwrap()
+        .run(&Workload::from_jobs(Vec::new()));
+    assert_eq!(
+        open.trace_hash, closed.trace_hash,
+        "open admission replays the materialized stream bit-identically"
+    );
+    assert_eq!(open.events_processed, closed.events_processed);
+    assert_eq!(open.passes, closed.passes);
+}
+
+/// Service cells participate in the content-addressed cache end to end:
+/// an open grid populates it cold, replays warm with byte-identical
+/// exports (service summary included), and the closed baseline cells
+/// collide with — i.e. are served by — a cache populated by the plain
+/// grid.
+#[test]
+fn service_cells_cache_and_replay_byte_identically() {
+    let dir = std::env::temp_dir().join(format!("dmhpc-service-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = dmhpc::sim::ExperimentBuilder::from_spec(smoke_grid())
+        .name("smoke-service-cache")
+        .service(ServiceSpec::none())
+        .service(open_scenario())
+        .build()
+        .unwrap();
+    // Pre-populate with the plain (service-free) grid: its cells must
+    // serve the closed half of the service grid.
+    let plain = ExperimentRunner::with_threads(2)
+        .cache_dir(&dir)
+        .unwrap()
+        .run(&smoke_grid())
+        .unwrap();
+    assert_eq!(plain.stats().simulated, smoke_grid().cell_count());
+    let cold = ExperimentRunner::with_threads(2)
+        .cache_dir(&dir)
+        .unwrap()
+        .run(&spec)
+        .unwrap();
+    assert_eq!(
+        cold.stats().cache_hits,
+        smoke_grid().cell_count(),
+        "closed baseline cells replay from the pre-service cache"
+    );
+    assert_eq!(cold.stats().simulated, spec.cell_count() / 2);
+    let warm = ExperimentRunner::with_threads(2)
+        .cache_dir(&dir)
+        .unwrap()
+        .run(&spec)
+        .unwrap();
+    assert_eq!(warm.stats().simulated, 0, "all cells replay from cache");
+    assert_eq!(warm.to_csv(), cold.to_csv());
+    assert_eq!(warm.to_json(), cold.to_json());
+    for (a, b) in warm.cells().iter().zip(cold.cells()) {
+        assert_eq!(a.output.service, b.output.service, "summary round-trips");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Fault cells participate in the content-addressed cache end to end: a
 /// faulty grid populates it cold, replays warm with byte-identical
 /// exports, and never collides with the fault-free twin cells.
