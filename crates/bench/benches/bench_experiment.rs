@@ -10,12 +10,12 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dmhpc_des::time::SimDuration;
 use dmhpc_platform::{PoolTopology, SlowdownModel};
-use dmhpc_sched::{MemoryPolicy, SchedulerBuilder};
+use dmhpc_sched::{MemoryPolicy, OrderPolicy, SchedulerBuilder};
 use dmhpc_sim::observe::{EventCounter, SampledSeriesProbe, TraceSink};
 use dmhpc_sim::scenarios::{default_slowdown, policy_suite, preset_cluster};
 use dmhpc_sim::{EventQueueKind, ExperimentRunner, ExperimentSpec, Shard, SimConfig, Simulation};
 use dmhpc_workload::source::JobSource as _;
-use dmhpc_workload::SystemPreset;
+use dmhpc_workload::{SloModel, SystemPreset};
 
 const JOBS: usize = 120;
 
@@ -285,7 +285,13 @@ fn bench_engine_observers(c: &mut Criterion) {
         let mut trace = TraceSink::create(&trace_path).expect("temp trace");
         let mut probe = SampledSeriesProbe::new(SimDuration::from_secs(3600));
         let mut counter = EventCounter::new();
-        let observed = sim.run_observed(&workload, &mut [&mut trace, &mut probe, &mut counter]);
+        let observed = sim.run_with(
+            &workload,
+            dmhpc_sim::ObserverSet::new()
+                .watch(&mut trace)
+                .watch(&mut probe)
+                .watch(&mut counter),
+        );
         assert_eq!(
             observed.trace_hash, reference.trace_hash,
             "observers must be neutral"
@@ -308,7 +314,15 @@ fn bench_engine_observers(c: &mut Criterion) {
             let mut trace = TraceSink::create(&trace_path).expect("temp trace");
             let mut probe = SampledSeriesProbe::new(SimDuration::from_secs(3600));
             let mut counter = EventCounter::new();
-            black_box(sim.run_observed(&workload, &mut [&mut trace, &mut probe, &mut counter]))
+            black_box(
+                sim.run_with(
+                    &workload,
+                    dmhpc_sim::ObserverSet::new()
+                        .watch(&mut trace)
+                        .watch(&mut probe)
+                        .watch(&mut counter),
+                ),
+            )
         })
     });
     group.finish();
@@ -387,6 +401,70 @@ fn bench_engine_service(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_engine_deadline(c: &mut Criterion) {
+    // Deadline-ordering cost: the same deadline-stamped high-load
+    // contention workload once under FCFS (the stamps are carried but
+    // ignored) and once under EDF (every scheduling pass orders the queue
+    // by the stamped absolute deadline through the policy context).
+    // `bench_gate` bounds the edf/fcfs time ratio so deadline-aware
+    // ordering cannot silently tax the scheduler — the stamps are data
+    // the comparator reads, never extra simulation work, so the only
+    // admissible cost is the deadline lookups inside the pass sort.
+    const DEADLINE_JOBS: usize = 1_500;
+    let mut wl_spec = SystemPreset::HighThroughput.synthetic_spec(DEADLINE_JOBS);
+    wl_spec.slo = Some(SloModel {
+        factor_min: 1.5,
+        factor_max: 4.0,
+    });
+    let workload = wl_spec.generate(41);
+    assert!(
+        workload.jobs().iter().all(|j| j.slo.is_some()),
+        "every job must carry a deadline stamp"
+    );
+    let cluster = preset_cluster(
+        SystemPreset::HighThroughput,
+        PoolTopology::PerRack {
+            mib_per_rack: 384 * 1024,
+        },
+    );
+    let sched_for = |order: OrderPolicy| {
+        SchedulerBuilder::new()
+            .order(order)
+            .memory(MemoryPolicy::PoolBestFit)
+            .slowdown(SlowdownModel::Contention {
+                penalty: 1.5,
+                gamma: 1.0,
+            })
+            .build()
+    };
+    let fcfs = Simulation::new(SimConfig::new(cluster, sched_for(OrderPolicy::Fcfs)))
+        .expect("valid config");
+    let edf = Simulation::new(SimConfig::new(cluster, sched_for(OrderPolicy::Edf)))
+        .expect("valid config");
+
+    // One reference run per arm: fix the throughput denominator and make
+    // sure the two arms actually schedule different histories (otherwise
+    // the heterogeneous stamps did not reorder anything and the ratio
+    // measures nothing).
+    let reference = fcfs.run(&workload);
+    let edf_reference = edf.run(&workload);
+    assert_ne!(
+        reference.trace_hash, edf_reference.trace_hash,
+        "EDF must reorder the deadline-stamped queue"
+    );
+    eprintln!(
+        "engine_deadline: fcfs {} events, edf {} events",
+        reference.events_processed, edf_reference.events_processed
+    );
+
+    let mut group = c.benchmark_group("engine_deadline");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(reference.events_processed));
+    group.bench_function("fcfs", |b| b.iter(|| black_box(fcfs.run(&workload))));
+    group.bench_function("edf", |b| b.iter(|| black_box(edf.run(&workload))));
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_experiment,
@@ -395,6 +473,7 @@ criterion_group!(
     bench_engine_kernel,
     bench_engine_faults,
     bench_engine_observers,
-    bench_engine_service
+    bench_engine_service,
+    bench_engine_deadline
 );
 criterion_main!(benches);

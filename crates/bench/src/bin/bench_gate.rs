@@ -26,7 +26,12 @@
 //!   (`engine_service/sketch`) over a closed batch of the same size on
 //!   the record-keeping job-stats path (`engine_service/jobstats`),
 //!   bounding what pull-based admission plus the sketch observer may
-//!   cost relative to the path they replace.
+//!   cost relative to the path they replace;
+//! * **deadline ordering** — the same deadline-stamped workload under
+//!   EDF ordering (`engine_deadline/edf`) over FCFS on identical stamps
+//!   (`engine_deadline/fcfs`), bounding what deadline-aware queue
+//!   ordering may cost per run (the stamps are data the pass comparator
+//!   reads, never extra simulation work).
 //!
 //! Ratios, not absolute times: CI machines vary wildly in speed, but cost
 //! relative to a same-machine reference is a property of the code. Exits
@@ -49,6 +54,8 @@ const OBSERVERS_FULL_BENCH: &str = "engine_observers/full";
 const OBSERVERS_NONE_BENCH: &str = "engine_observers/none";
 const SERVICE_SKETCH_BENCH: &str = "engine_service/sketch";
 const SERVICE_JOBSTATS_BENCH: &str = "engine_service/jobstats";
+const DEADLINE_EDF_BENCH: &str = "engine_deadline/edf";
+const DEADLINE_FCFS_BENCH: &str = "engine_deadline/fcfs";
 
 fn mean_of(lines: &str, bench: &str) -> Result<f64, String> {
     // Last occurrence wins: re-runs append.
@@ -159,6 +166,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         mean_of(&results, SERVICE_SKETCH_BENCH)?,
         mean_of(&results, SERVICE_JOBSTATS_BENCH)?,
         baseline.expect_key("sketch_vs_jobstats_ratio")?.to_f64()?,
+        max_regression,
+    )?;
+    gate(
+        "deadline ordering vs fcfs",
+        DEADLINE_EDF_BENCH,
+        DEADLINE_FCFS_BENCH,
+        mean_of(&results, DEADLINE_EDF_BENCH)?,
+        mean_of(&results, DEADLINE_FCFS_BENCH)?,
+        baseline.expect_key("deadline_vs_fcfs_ratio")?.to_f64()?,
         max_regression,
     )?;
     println!("bench gate OK");

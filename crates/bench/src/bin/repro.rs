@@ -20,6 +20,12 @@
 //!
 //! Table/figure output is printed and mirrored to `results/<id>.txt`;
 //! grid/merge output lands in `results/<name>.*.{csv,json}`.
+//!
+//! Internally every invocation is parsed ([`parse_cli`]) and then
+//! *resolved* ([`RunMode::resolve`]) into one [`RunMode`] variant carrying
+//! exactly the knobs that apply to it. Every flag × mode combination rule
+//! lives in `resolve` — the run functions below cannot even see a flag
+//! that is meaningless in their mode.
 
 use dmhpc_bench::experiments::{self, RunOptions};
 use dmhpc_sim::{
@@ -29,10 +35,12 @@ use std::io::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
 
+const BUILTIN_GRIDS: &str = "smoke|smoke-contention|smoke-faults|smoke-service|smoke-deadline";
+
 fn usage() {
     eprintln!("usage: repro [--list] [--cache-dir DIR] [--threads N] [--queue heap|calendar] [--trace-out DIR] <id>... | all");
-    eprintln!("       repro grid  <spec.json|smoke|smoke-contention|smoke-faults|smoke-service> [--shard i/n] [--cache-dir DIR] [--threads N] [--queue heap|calendar] [--trace-out DIR] [--faults|--service]");
-    eprintln!("       repro merge <spec.json|smoke|smoke-contention|smoke-faults|smoke-service> --cache-dir DIR [--faults]");
+    eprintln!("       repro grid  <spec.json|{BUILTIN_GRIDS}> [--shard i/n] [--cache-dir DIR] [--threads N] [--queue heap|calendar] [--trace-out DIR] [--faults|--service]");
+    eprintln!("       repro merge <spec.json|{BUILTIN_GRIDS}> --cache-dir DIR [--faults]");
     eprintln!("       --faults crosses the spec's grid with the built-in fault axis");
     eprintln!("       (fault-free baseline + node failures/drains/pool degradations)");
     eprintln!("       --service crosses the spec's grid with the built-in open-system");
@@ -45,6 +53,8 @@ fn usage() {
     eprintln!("ids: {}", experiments::all_ids().join(" "));
 }
 
+/// Raw flags exactly as given — parsed, but not yet checked against each
+/// other. [`RunMode::resolve`] turns this into something runnable.
 #[derive(Debug)]
 struct Cli {
     mode: Mode,
@@ -69,6 +79,214 @@ enum Mode {
     Tables,
     Grid,
     Merge,
+}
+
+/// Everything the simulated-run modes share: cache, workers, event-queue
+/// backend, trace export.
+#[derive(Debug)]
+struct ExecKnobs {
+    cache_dir: Option<PathBuf>,
+    /// `0` = auto (one worker per core).
+    threads: usize,
+    queue: Option<EventQueueKind>,
+    trace_out: Option<PathBuf>,
+}
+
+/// One fully validated invocation. Each variant carries exactly the knobs
+/// that apply to it; every rejected flag combination is refused in
+/// [`RunMode::resolve`] — the single source of truth for the CLI's
+/// flag × mode matrix (exhaustively pinned by
+/// `rejected_flag_combinations`).
+#[derive(Debug)]
+enum RunMode {
+    /// `repro --list`: print experiment ids and the built-in grid
+    /// inventory. Never simulates.
+    ListTables,
+    /// `repro <id>... | all`: regenerate tables/figures.
+    Tables {
+        ids: Vec<String>,
+        options: RunOptions,
+    },
+    /// `repro grid <spec> --list`: print the cells (optionally one
+    /// shard's) the spec compiles to. Never simulates.
+    ListGrid {
+        spec_arg: String,
+        shard: Option<Shard>,
+        faults: bool,
+    },
+    /// `repro grid <spec>`: run a grid, optionally one shard of it.
+    Grid {
+        spec_arg: String,
+        shard: Option<Shard>,
+        faults: bool,
+        service: bool,
+        exec: ExecKnobs,
+    },
+    /// `repro merge <spec>`: recombine a fully cached grid.
+    Merge {
+        spec_arg: String,
+        cache_dir: PathBuf,
+        faults: bool,
+    },
+}
+
+impl RunMode {
+    /// The one place flag combinations are accepted or refused. Checks
+    /// keep the historical order so every long-standing error message
+    /// (and the CI scripts grepping for them) is preserved verbatim.
+    fn resolve(cli: Cli) -> Result<RunMode, String> {
+        // Listing never simulates, in any mode: execution knobs are
+        // refused, not silently dropped.
+        fn reject_exec_knobs_under_list(cli: &Cli) -> Result<(), String> {
+            if cli.threads.is_some() {
+                return Err("--threads does not apply to --list (listing never simulates)".into());
+            }
+            if cli.queue.is_some() {
+                return Err("--queue does not apply to --list (listing never simulates)".into());
+            }
+            if cli.trace_out.is_some() {
+                return Err(
+                    "--trace-out does not apply to --list (listing never simulates)".into(),
+                );
+            }
+            Ok(())
+        }
+        match cli.mode {
+            Mode::Grid => {
+                let Some(spec_arg) = cli.args.first().cloned() else {
+                    return Err("grid mode needs a spec (a JSON file or `smoke`)".into());
+                };
+                if cli.faults && cli.service {
+                    return Err(
+                        "--faults does not combine with --service (fault scenarios and \
+                         open-system service runs are separate experiments)"
+                            .into(),
+                    );
+                }
+                if cli.list {
+                    // The listing must show exactly the cells a spec
+                    // compiles to; a flag that rewrites the grid under
+                    // --list invites listing one grid and running
+                    // another. Specs with a service axis (or the
+                    // smoke-service / smoke-deadline built-ins) list
+                    // their service cells natively. (--faults is the
+                    // historical exception: the listing applies the same
+                    // cross the run would.)
+                    if cli.service {
+                        return Err(
+                            "--service does not apply to --list (list a spec with a service \
+                             axis — e.g. the smoke-service built-in — instead)"
+                                .into(),
+                        );
+                    }
+                    reject_exec_knobs_under_list(&cli)?;
+                    return Ok(RunMode::ListGrid {
+                        spec_arg,
+                        shard: cli.shard,
+                        faults: cli.faults,
+                    });
+                }
+                Ok(RunMode::Grid {
+                    spec_arg,
+                    shard: cli.shard,
+                    faults: cli.faults,
+                    service: cli.service,
+                    exec: ExecKnobs {
+                        cache_dir: cli.cache_dir,
+                        threads: cli.threads.unwrap_or(0),
+                        queue: cli.queue,
+                        trace_out: cli.trace_out,
+                    },
+                })
+            }
+            Mode::Merge => {
+                let Some(spec_arg) = cli.args.first().cloned() else {
+                    return Err("merge mode needs a spec (a JSON file or `smoke`)".into());
+                };
+                if cli.cache_dir.is_none() {
+                    return Err(
+                        "merge mode needs --cache-dir (where the shards stored cells)".to_string(),
+                    );
+                }
+                if cli.service {
+                    return Err(
+                        "--service only applies to grid mode (merge a spec that declares a \
+                         service axis — e.g. the smoke-service built-in — so it reconstructs \
+                         the exact grid the shards ran)"
+                            .into(),
+                    );
+                }
+                if cli.shard.is_some() {
+                    return Err(
+                        "--shard does not apply to merge mode (it always rebuilds the full grid)"
+                            .into(),
+                    );
+                }
+                if cli.threads.is_some() {
+                    // Merge demands all-cache-hits and therefore
+                    // simulates nothing: a worker count here means the
+                    // caller expected simulations.
+                    return Err(
+                        "--threads does not apply to merge mode (merge loads cells, never \
+                         simulates; use `grid` to run missing cells)"
+                            .into(),
+                    );
+                }
+                if cli.queue.is_some() {
+                    return Err(
+                        "--queue does not apply to merge mode (merge loads cells, never \
+                         simulates)"
+                            .into(),
+                    );
+                }
+                if cli.trace_out.is_some() {
+                    return Err(
+                        "--trace-out does not apply to merge mode (merge loads cells, never \
+                         simulates)"
+                            .into(),
+                    );
+                }
+                Ok(RunMode::Merge {
+                    spec_arg,
+                    cache_dir: cli.cache_dir.expect("checked above"),
+                    faults: cli.faults,
+                })
+            }
+            Mode::Tables => {
+                if cli.faults {
+                    return Err(
+                        "--faults only applies to grid/merge modes (tables run fixed grids)".into(),
+                    );
+                }
+                if cli.service {
+                    return Err(
+                        "--service only applies to grid mode (tables run fixed grids)".into(),
+                    );
+                }
+                if cli.shard.is_some() {
+                    // Silently running the *full* suite under a flag
+                    // that promises a slice would double work in fan-out
+                    // scripts; refuse instead.
+                    return Err(
+                        "--shard only applies to grid mode (tables always run whole grids)".into(),
+                    );
+                }
+                if cli.list {
+                    reject_exec_knobs_under_list(&cli)?;
+                    return Ok(RunMode::ListTables);
+                }
+                Ok(RunMode::Tables {
+                    ids: cli.args,
+                    options: RunOptions {
+                        cache_dir: cli.cache_dir,
+                        threads: cli.threads.unwrap_or(0),
+                        event_queue: cli.queue,
+                        trace_dir: cli.trace_out,
+                    },
+                })
+            }
+        }
+    }
 }
 
 fn parse_cli(raw: Vec<String>) -> Result<Cli, Box<dyn std::error::Error>> {
@@ -147,14 +365,15 @@ fn parse_cli(raw: Vec<String>) -> Result<Cli, Box<dyn std::error::Error>> {
 }
 
 /// Resolve a grid-mode spec argument: a JSON file path, or one of the
-/// built-in grids (`smoke`, `smoke-contention`). Compile errors surface as
-/// `SimError` → non-zero exit.
+/// built-in grids (`smoke`, `smoke-contention`, …). Compile errors surface
+/// as `SimError` → non-zero exit.
 fn load_spec(arg: &str) -> Result<ExperimentSpec, Box<dyn std::error::Error>> {
     match arg {
         "smoke" => return Ok(experiments::smoke_spec()?),
         "smoke-contention" => return Ok(experiments::smoke_contention_spec()?),
         "smoke-faults" => return Ok(experiments::smoke_faults_spec()?),
         "smoke-service" => return Ok(experiments::smoke_service_spec()?),
+        "smoke-deadline" => return Ok(experiments::smoke_deadline_spec()?),
         _ => {}
     }
     let text =
@@ -169,71 +388,53 @@ fn export(results: &ExperimentResults, stem: &str) -> std::io::Result<()> {
     Ok(())
 }
 
-fn run_grid(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
-    let Some(spec_arg) = cli.args.first() else {
-        usage();
-        return Err("grid mode needs a spec (a JSON file or `smoke`)".into());
-    };
-    if cli.faults && cli.service {
-        return Err(
-            "--faults does not combine with --service (fault scenarios and open-system \
-             service runs are separate experiments)"
-                .into(),
-        );
-    }
-    if cli.list && cli.service {
-        // The listing must show exactly the cells a spec compiles to; a
-        // flag that rewrites the grid under --list invites listing one
-        // grid and running another. Specs with a service axis (or the
-        // smoke-service built-in) list their service cells natively.
-        return Err(
-            "--service does not apply to --list (list a spec with a service axis — \
-             e.g. the smoke-service built-in — instead)"
-                .into(),
-        );
-    }
+fn list_grid(
+    spec_arg: &str,
+    shard: Option<Shard>,
+    faults: bool,
+) -> Result<(), Box<dyn std::error::Error>> {
     let mut spec = load_spec(spec_arg)?;
-    if cli.faults {
+    if faults {
         spec = experiments::with_default_faults(spec)?;
     }
-    if cli.service {
+    // Listing compiles the grid, so an ill-formed spec fails loudly here
+    // instead of being discovered mid-CI. With --shard, list exactly the
+    // cells that shard would run.
+    for (i, (key, hash)) in spec.cell_hashes()?.into_iter().enumerate() {
+        if shard.is_none_or(|s| s.owns(i)) {
+            println!("{:016x}  {}", hash, key.label());
+        }
+    }
+    Ok(())
+}
+
+fn run_grid(
+    spec_arg: &str,
+    shard: Option<Shard>,
+    faults: bool,
+    service: bool,
+    exec: &ExecKnobs,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let mut spec = load_spec(spec_arg)?;
+    if faults {
+        spec = experiments::with_default_faults(spec)?;
+    }
+    if service {
         spec = experiments::with_default_service(spec)?;
     }
-    if cli.list {
-        // Listing never simulates, so execution knobs make no sense here:
-        // refuse instead of silently ignoring them.
-        if cli.threads.is_some() {
-            return Err("--threads does not apply to --list (listing never simulates)".into());
-        }
-        if cli.queue.is_some() {
-            return Err("--queue does not apply to --list (listing never simulates)".into());
-        }
-        if cli.trace_out.is_some() {
-            return Err("--trace-out does not apply to --list (listing never simulates)".into());
-        }
-        // Listing compiles the grid, so an ill-formed spec fails loudly
-        // here instead of being discovered mid-CI. With --shard, list
-        // exactly the cells that shard would run.
-        for (i, (key, hash)) in spec.cell_hashes()?.into_iter().enumerate() {
-            if cli.shard.is_none_or(|s| s.owns(i)) {
-                println!("{:016x}  {}", hash, key.label());
-            }
-        }
-        return Ok(());
-    }
-    let mut runner = ExperimentRunner::with_threads(cli.threads.unwrap_or(0));
-    if let Some(dir) = &cli.cache_dir {
+    let mut runner = ExperimentRunner::with_threads(exec.threads);
+    if let Some(dir) = &exec.cache_dir {
         runner = runner.cache_dir(dir)?;
     }
-    if let Some(kind) = cli.queue {
+    if let Some(kind) = exec.queue {
         runner = runner.event_queue(kind);
     }
-    if let Some(dir) = &cli.trace_out {
+    if let Some(dir) = &exec.trace_out {
         runner = runner.trace_dir(dir)?;
     }
     let started_at = std::time::SystemTime::now();
     let start = Instant::now();
-    let (results, stem) = match cli.shard {
+    let (results, stem) = match shard {
         Some(shard) => (
             runner.run_shard(&spec, shard)?,
             format!("{}.shard{}of{}", spec.name, shard.index(), shard.count()),
@@ -250,7 +451,7 @@ fn run_grid(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
         stats.cache_hits,
         start.elapsed().as_secs_f64()
     );
-    if let Some(dir) = &cli.trace_out {
+    if let Some(dir) = &exec.trace_out {
         verify_traces(dir, stats.simulated, started_at)?;
     }
     Ok(())
@@ -316,53 +517,17 @@ fn verify_traces(
     Ok(())
 }
 
-fn run_merge(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
-    let Some(spec_arg) = cli.args.first() else {
-        usage();
-        return Err("merge mode needs a spec (a JSON file or `smoke`)".into());
-    };
-    if cli.cache_dir.is_none() {
-        return Err("merge mode needs --cache-dir (where the shards stored cells)".into());
-    }
-    if cli.service {
-        return Err(
-            "--service only applies to grid mode (merge a spec that declares a service \
-             axis — e.g. the smoke-service built-in — so it reconstructs the exact grid \
-             the shards ran)"
-                .into(),
-        );
-    }
-    if cli.shard.is_some() {
-        return Err(
-            "--shard does not apply to merge mode (it always rebuilds the full grid)".into(),
-        );
-    }
-    if cli.threads.is_some() {
-        // Merge demands all-cache-hits and therefore simulates nothing:
-        // a worker count here means the caller expected simulations.
-        return Err(
-            "--threads does not apply to merge mode (merge loads cells, never simulates; \
-                    use `grid` to run missing cells)"
-                .into(),
-        );
-    }
-    if cli.queue.is_some() {
-        return Err(
-            "--queue does not apply to merge mode (merge loads cells, never simulates)".into(),
-        );
-    }
-    if cli.trace_out.is_some() {
-        return Err(
-            "--trace-out does not apply to merge mode (merge loads cells, never simulates)".into(),
-        );
-    }
+fn run_merge(
+    spec_arg: &str,
+    cache_dir: &PathBuf,
+    faults: bool,
+) -> Result<(), Box<dyn std::error::Error>> {
     let mut spec = load_spec(spec_arg)?;
-    if cli.faults {
+    if faults {
         // Merge must reconstruct exactly the grid the shards ran.
         spec = experiments::with_default_faults(spec)?;
     }
-    let runner = ExperimentRunner::with_threads(1)
-        .cache_dir(cli.cache_dir.as_ref().expect("checked above"))?;
+    let runner = ExperimentRunner::with_threads(1).cache_dir(cache_dir)?;
     let start = Instant::now();
     let results = runner.run(&spec)?;
     let stats = results.stats();
@@ -386,66 +551,39 @@ fn run_merge(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn run_tables(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
-    if cli.faults {
-        return Err("--faults only applies to grid/merge modes (tables run fixed grids)".into());
+fn list_tables() -> Result<(), Box<dyn std::error::Error>> {
+    for id in experiments::all_ids() {
+        println!("{id}");
     }
-    if cli.service {
-        return Err("--service only applies to grid mode (tables run fixed grids)".into());
-    }
-    if cli.shard.is_some() {
-        // Silently running the *full* suite under a flag that promises a
-        // slice would double work in fan-out scripts; refuse instead.
-        return Err("--shard only applies to grid mode (tables always run whole grids)".into());
-    }
-    if cli.list {
-        // Same contract as `grid --list`: listing never simulates, so
-        // execution knobs are refused, not silently dropped.
-        if cli.threads.is_some() {
-            return Err("--threads does not apply to --list (listing never simulates)".into());
-        }
-        if cli.queue.is_some() {
-            return Err("--queue does not apply to --list (listing never simulates)".into());
-        }
-        if cli.trace_out.is_some() {
-            return Err("--trace-out does not apply to --list (listing never simulates)".into());
-        }
-        for id in experiments::all_ids() {
-            println!("{id}");
-        }
-        // The built-in grid specs are part of the CLI surface; an
-        // ill-formed one must fail the listing (and therefore CI), not
-        // exit 0 silently.
-        let smoke = experiments::smoke_spec()?;
-        println!("grid: smoke ({} cells)", smoke.compile()?.len());
-        let contention = experiments::smoke_contention_spec()?;
-        println!(
-            "grid: smoke-contention ({} cells)",
-            contention.compile()?.len()
-        );
-        let faults = experiments::smoke_faults_spec()?;
-        println!("grid: smoke-faults ({} cells)", faults.compile()?.len());
-        let service = experiments::smoke_service_spec()?;
-        println!("grid: smoke-service ({} cells)", service.compile()?.len());
-        return Ok(());
-    }
+    // The built-in grid specs are part of the CLI surface; an ill-formed
+    // one must fail the listing (and therefore CI), not exit 0 silently.
+    let smoke = experiments::smoke_spec()?;
+    println!("grid: smoke ({} cells)", smoke.compile()?.len());
+    let contention = experiments::smoke_contention_spec()?;
+    println!(
+        "grid: smoke-contention ({} cells)",
+        contention.compile()?.len()
+    );
+    let faults = experiments::smoke_faults_spec()?;
+    println!("grid: smoke-faults ({} cells)", faults.compile()?.len());
+    let service = experiments::smoke_service_spec()?;
+    println!("grid: smoke-service ({} cells)", service.compile()?.len());
+    let deadline = experiments::smoke_deadline_spec()?;
+    println!("grid: smoke-deadline ({} cells)", deadline.compile()?.len());
+    Ok(())
+}
+
+fn run_tables(ids: &[String], options: &RunOptions) -> Result<(), Box<dyn std::error::Error>> {
     let started_at = std::time::SystemTime::now();
-    let ids: Vec<&str> = if cli.args.iter().any(|a| a == "all") {
+    let ids: Vec<&str> = if ids.iter().any(|a| a == "all") {
         experiments::all_ids().to_vec()
     } else {
-        cli.args.iter().map(String::as_str).collect()
+        ids.iter().map(String::as_str).collect()
     };
-    let options = RunOptions {
-        cache_dir: cli.cache_dir.clone(),
-        threads: cli.threads.unwrap_or(0),
-        event_queue: cli.queue,
-        trace_dir: cli.trace_out.clone(),
-    };
-
     std::fs::create_dir_all("results")?;
     for id in ids {
         let start = Instant::now();
-        let Some(result) = experiments::run_with(id, &options)? else {
+        let Some(result) = experiments::run_with(id, options)? else {
             return Err(format!("unknown experiment id {id:?} (try --list)").into());
         };
         let elapsed = start.elapsed();
@@ -460,7 +598,7 @@ fn run_tables(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
         writeln!(f, "# {} — {}", result.id, result.title)?;
         f.write_all(result.body.as_bytes())?;
     }
-    if let Some(dir) = &cli.trace_out {
+    if let Some(dir) = &options.trace_dir {
         // Tables runs may be fully cache-served (zero simulations, zero
         // traces): validate whatever was written without demanding files.
         verify_traces(dir, 0, started_at)?;
@@ -474,11 +612,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         usage();
         return Ok(());
     }
-    let cli = parse_cli(args)?;
-    match cli.mode {
-        Mode::Tables => run_tables(&cli),
-        Mode::Grid => run_grid(&cli),
-        Mode::Merge => run_merge(&cli),
+    let mode = match RunMode::resolve(parse_cli(args)?) {
+        Ok(mode) => mode,
+        Err(e) => {
+            usage();
+            return Err(e.into());
+        }
+    };
+    match mode {
+        RunMode::ListTables => list_tables(),
+        RunMode::Tables { ids, options } => run_tables(&ids, &options),
+        RunMode::ListGrid {
+            spec_arg,
+            shard,
+            faults,
+        } => list_grid(&spec_arg, shard, faults),
+        RunMode::Grid {
+            spec_arg,
+            shard,
+            faults,
+            service,
+            exec,
+        } => run_grid(&spec_arg, shard, faults, service, &exec),
+        RunMode::Merge {
+            spec_arg,
+            cache_dir,
+            faults,
+        } => run_merge(&spec_arg, &cache_dir, faults),
     }
 }
 
@@ -488,6 +648,162 @@ mod tests {
 
     fn parse(args: &[&str]) -> Result<Cli, Box<dyn std::error::Error>> {
         parse_cli(args.iter().map(|s| s.to_string()).collect())
+    }
+
+    fn resolve(args: &[&str]) -> Result<RunMode, String> {
+        RunMode::resolve(parse(args).unwrap())
+    }
+
+    /// The whole rejected-combination matrix, in one table: every flag
+    /// that is meaningless in a mode is refused by [`RunMode::resolve`]
+    /// with its long-standing message. Adding a flag or a mode means
+    /// extending this table.
+    #[test]
+    fn rejected_flag_combinations() {
+        let table: &[(&[&str], &str)] = &[
+            // grid mode
+            (&["grid"], "grid mode needs a spec"),
+            (
+                &["grid", "smoke", "--faults", "--service"],
+                "--faults does not combine with --service",
+            ),
+            (
+                &["grid", "smoke", "--list", "--service"],
+                "--service does not apply to --list",
+            ),
+            (
+                &["grid", "smoke", "--list", "--threads", "2"],
+                "--threads does not apply to --list (listing never simulates)",
+            ),
+            (
+                &["grid", "smoke", "--list", "--queue", "heap"],
+                "--queue does not apply to --list (listing never simulates)",
+            ),
+            (
+                &["grid", "smoke", "--list", "--trace-out", "/tmp/t"],
+                "--trace-out does not apply to --list (listing never simulates)",
+            ),
+            // merge mode
+            (&["merge"], "merge mode needs a spec"),
+            (&["merge", "smoke"], "merge mode needs --cache-dir"),
+            (
+                &["merge", "smoke", "--cache-dir", "/tmp/x", "--service"],
+                "--service only applies to grid mode",
+            ),
+            (
+                &["merge", "smoke", "--cache-dir", "/tmp/x", "--shard", "0/2"],
+                "--shard does not apply to merge mode",
+            ),
+            (
+                &["merge", "smoke", "--cache-dir", "/tmp/x", "--threads", "2"],
+                "--threads does not apply to merge mode",
+            ),
+            (
+                &["merge", "smoke", "--cache-dir", "/tmp/x", "--queue", "heap"],
+                "--queue does not apply to merge mode",
+            ),
+            (
+                &[
+                    "merge",
+                    "smoke",
+                    "--cache-dir",
+                    "/tmp/x",
+                    "--trace-out",
+                    "/tmp/t",
+                ],
+                "--trace-out does not apply to merge mode",
+            ),
+            // tables mode
+            (
+                &["t1", "--faults"],
+                "--faults only applies to grid/merge modes",
+            ),
+            (&["t1", "--service"], "--service only applies to grid mode"),
+            (
+                &["t1", "--shard", "0/2"],
+                "--shard only applies to grid mode",
+            ),
+            (
+                &["--list", "--threads", "2"],
+                "--threads does not apply to --list (listing never simulates)",
+            ),
+            (
+                &["--list", "--queue", "heap"],
+                "--queue does not apply to --list (listing never simulates)",
+            ),
+            (
+                &["--list", "--trace-out", "/tmp/t"],
+                "--trace-out does not apply to --list (listing never simulates)",
+            ),
+        ];
+        for (args, want) in table {
+            let err = resolve(args).unwrap_err();
+            assert!(err.contains(want), "{args:?}: {err}");
+        }
+    }
+
+    /// Valid combinations all resolve — including the ones that pair
+    /// flags the rejected table refuses in *other* modes.
+    #[test]
+    fn accepted_flag_combinations_resolve() {
+        let accepted: &[&[&str]] = &[
+            &["t1", "t2"],
+            &["all", "--cache-dir", "/tmp/x", "--threads", "2"],
+            &["--list"],
+            &["--list", "--cache-dir", "/tmp/x"],
+            &["grid", "smoke"],
+            &["grid", "smoke-deadline", "--shard", "1/2", "--threads", "4"],
+            &["grid", "smoke", "--faults", "--trace-out", "/tmp/t"],
+            &["grid", "smoke", "--service", "--queue", "calendar"],
+            &["grid", "smoke", "--list"],
+            &["grid", "smoke", "--list", "--shard", "0/2", "--faults"],
+            &["merge", "smoke", "--cache-dir", "/tmp/x"],
+            &["merge", "smoke", "--cache-dir", "/tmp/x", "--faults"],
+        ];
+        for args in accepted {
+            resolve(args).unwrap_or_else(|e| panic!("{args:?} should resolve: {e}"));
+        }
+    }
+
+    #[test]
+    fn resolved_modes_carry_only_their_knobs() {
+        match resolve(&["grid", "smoke-deadline", "--shard", "0/2", "--threads", "3"]).unwrap() {
+            RunMode::Grid {
+                spec_arg,
+                shard,
+                exec,
+                ..
+            } => {
+                assert_eq!(spec_arg, "smoke-deadline");
+                assert_eq!(shard.unwrap().index(), 0);
+                assert_eq!(exec.threads, 3);
+            }
+            other => panic!("expected Grid, got {other:?}"),
+        }
+        match resolve(&["grid", "smoke"]).unwrap() {
+            RunMode::Grid { exec, .. } => assert_eq!(exec.threads, 0, "omitted flag means auto"),
+            other => panic!("expected Grid, got {other:?}"),
+        }
+        match resolve(&["merge", "smoke", "--cache-dir", "/tmp/x", "--faults"]).unwrap() {
+            RunMode::Merge {
+                cache_dir, faults, ..
+            } => {
+                assert_eq!(cache_dir, PathBuf::from("/tmp/x"));
+                assert!(faults);
+            }
+            other => panic!("expected Merge, got {other:?}"),
+        }
+        match resolve(&["--list"]).unwrap() {
+            RunMode::ListTables => {}
+            other => panic!("expected ListTables, got {other:?}"),
+        }
+        match resolve(&["t1", "all"]).unwrap() {
+            RunMode::Tables { ids, options } => {
+                assert_eq!(ids, ["t1", "all"]);
+                assert_eq!(options.threads, 0);
+            }
+            other => panic!("expected Tables, got {other:?}"),
+        }
     }
 
     #[test]
@@ -519,7 +835,7 @@ mod tests {
     }
 
     #[test]
-    fn faults_flag_parses_and_is_grid_only() {
+    fn faults_flag_parses_and_crossing_twice_is_refused() {
         assert!(parse(&["grid", "smoke", "--faults"]).unwrap().faults);
         assert!(!parse(&["grid", "smoke"]).unwrap().faults);
         assert!(
@@ -527,37 +843,11 @@ mod tests {
                 .unwrap()
                 .faults
         );
-        let err = run_tables(&parse(&["t1", "--faults"]).unwrap()).unwrap_err();
-        assert!(err.to_string().contains("grid/merge"), "{err}");
         // Crossing a spec that already has a fault axis is refused.
         let err = experiments::with_default_faults(experiments::smoke_faults_spec().unwrap())
             .unwrap_err();
         assert!(err.to_string().contains("already declares"), "{err}");
-    }
-
-    #[test]
-    fn service_flag_parses_and_is_grid_only() {
-        assert!(parse(&["grid", "smoke", "--service"]).unwrap().service);
-        assert!(!parse(&["grid", "smoke"]).unwrap().service);
-        // tables and merge modes never take the service cross.
-        let err = run_tables(&parse(&["t1", "--service"]).unwrap()).unwrap_err();
-        assert!(err.to_string().contains("only applies to grid"), "{err}");
-        let cli = parse(&["merge", "smoke", "--cache-dir", "/tmp/x", "--service"]).unwrap();
-        let err = run_merge(&cli).unwrap_err();
-        assert!(err.to_string().contains("only applies to grid"), "{err}");
-        // --list shows the spec's own grid, never a flag-rewritten one.
-        let cli = parse(&["grid", "smoke", "--list", "--service"]).unwrap();
-        let err = run_grid(&cli).unwrap_err();
-        assert!(
-            err.to_string()
-                .contains("--service does not apply to --list"),
-            "{err}"
-        );
-        // Fault storms and open-system streams are separate experiments.
-        let cli = parse(&["grid", "smoke", "--faults", "--service"]).unwrap();
-        let err = run_grid(&cli).unwrap_err();
-        assert!(err.to_string().contains("does not combine"), "{err}");
-        // Crossing a spec that already has a service axis is refused.
+        // Same for the service cross.
         let err = experiments::with_default_service(experiments::smoke_service_spec().unwrap())
             .unwrap_err();
         assert!(err.to_string().contains("already declares"), "{err}");
@@ -588,7 +878,14 @@ mod tests {
     }
 
     #[test]
-    fn trace_out_parses_and_is_simulation_only() {
+    fn smoke_deadline_is_a_builtin_spec() {
+        let spec = load_spec("smoke-deadline").unwrap();
+        assert_eq!(spec.name, "smoke-deadline");
+        assert_eq!(spec.cell_count(), 8);
+    }
+
+    #[test]
+    fn trace_out_parses() {
         assert_eq!(
             parse(&["grid", "smoke", "--trace-out", "/tmp/t"])
                 .unwrap()
@@ -596,64 +893,5 @@ mod tests {
             Some(PathBuf::from("/tmp/t"))
         );
         assert_eq!(parse(&["grid", "smoke"]).unwrap().trace_out, None);
-        // merge never simulates: nothing would produce a trace.
-        let cli = parse(&[
-            "merge",
-            "smoke",
-            "--cache-dir",
-            "/tmp/x",
-            "--trace-out",
-            "/tmp/t",
-        ])
-        .unwrap();
-        let err = run_merge(&cli).unwrap_err();
-        assert!(
-            err.to_string().contains("--trace-out does not apply"),
-            "{err}"
-        );
-        // Same for --list in both modes.
-        let cli = parse(&["grid", "smoke", "--list", "--trace-out", "/tmp/t"]).unwrap();
-        let err = run_grid(&cli).unwrap_err();
-        assert!(
-            err.to_string().contains("--trace-out does not apply"),
-            "{err}"
-        );
-        let err = run_tables(&parse(&["--list", "--trace-out", "/tmp/t"]).unwrap()).unwrap_err();
-        assert!(
-            err.to_string().contains("--trace-out does not apply"),
-            "{err}"
-        );
-    }
-
-    #[test]
-    fn conflicting_modes_and_flags_error() {
-        // merge never simulates: worker counts and queue backends conflict.
-        let cli = parse(&["merge", "smoke", "--cache-dir", "/tmp/x", "--threads", "2"]).unwrap();
-        let err = run_merge(&cli).unwrap_err();
-        assert!(
-            err.to_string().contains("--threads does not apply"),
-            "{err}"
-        );
-        let cli = parse(&["merge", "smoke", "--cache-dir", "/tmp/x", "--queue", "heap"]).unwrap();
-        let err = run_merge(&cli).unwrap_err();
-        assert!(err.to_string().contains("--queue does not apply"), "{err}");
-        // merge still demands a cache dir and rejects shards.
-        let err = run_merge(&parse(&["merge", "smoke"]).unwrap()).unwrap_err();
-        assert!(err.to_string().contains("needs --cache-dir"), "{err}");
-        let cli = parse(&["merge", "smoke", "--cache-dir", "/tmp/x", "--shard", "0/2"]).unwrap();
-        let err = run_merge(&cli).unwrap_err();
-        assert!(err.to_string().contains("--shard does not apply"), "{err}");
-        // --list never simulates, in grid mode or tables mode.
-        let cli = parse(&["grid", "smoke", "--list", "--threads", "2"]).unwrap();
-        let err = run_grid(&cli).unwrap_err();
-        assert!(
-            err.to_string().contains("--threads does not apply"),
-            "{err}"
-        );
-        let err = run_tables(&parse(&["--list", "--queue", "heap"]).unwrap()).unwrap_err();
-        assert!(err.to_string().contains("--queue does not apply"), "{err}");
-        // tables mode still rejects --shard.
-        let err = run_tables(&parse(&["t1", "--shard", "0/2"]).unwrap()).unwrap_err();
-        assert!(err.to_string().contains("only applies to grid"), "{err}");
     }
 }

@@ -237,6 +237,42 @@ pub fn smoke_service_spec() -> Result<ExperimentSpec, SimError> {
     )
 }
 
+/// The deadline service scenario the `smoke-deadline` grid runs:
+/// [`default_service_scenario`]'s stream with per-job budget-factor SLO
+/// stamping (deadline = arrival + factor × walltime, factor uniform in
+/// [1.5, 4)). Budget factors — not a uniform wait target — so deadline
+/// order genuinely differs from arrival order and EDF/least-laxity have
+/// something to exploit.
+pub fn default_deadline_scenario() -> dmhpc_sim::ServiceSpec {
+    default_service_scenario().with_slo_budget_factor(1.5, 4.0)
+}
+
+/// The deadline-scheduling smoke grid: the [`smoke_spec`] machine under
+/// the budget-factor-stamped open stream, sweeping the deadline-aware
+/// ordering family (FCFS baseline, EDF, least-laxity, batched-budget
+/// release) with everything else held fixed — so the only grid axis that
+/// moves is *ordering*, and per-cell `slo_attainment` columns compare
+/// directly. Sharded in CI like the other smoke grids.
+pub fn smoke_deadline_spec() -> Result<ExperimentSpec, SimError> {
+    let order_sched = |order: OrderPolicy| {
+        SchedulerBuilder::new()
+            .order(order)
+            .slowdown(default_slowdown())
+            .build()
+    };
+    ExperimentSpec::builder("smoke-deadline")
+        .preset(SystemPreset::HighThroughput, 80)
+        .pool(PoolTopology::None)
+        .load(0.8)
+        .seeds([1, 2])
+        .service(default_deadline_scenario())
+        .scheduler(order_sched(OrderPolicy::Fcfs))
+        .scheduler(order_sched(OrderPolicy::Edf))
+        .scheduler(order_sched(OrderPolicy::LeastLaxity))
+        .scheduler(order_sched(OrderPolicy::BatchBudget { hold_s: 60.0 }))
+        .build()
+}
+
 fn dispatch(id: &str) -> Option<ExpResult> {
     Some(match id {
         "t1" => t1(),
@@ -971,6 +1007,36 @@ mod tests {
                 assert_eq!(cell.service.seed, cell.key.seed);
             }
         }
+    }
+
+    #[test]
+    fn smoke_deadline_spec_sweeps_only_ordering() {
+        let spec = smoke_deadline_spec().unwrap();
+        assert_eq!(
+            spec.cell_count(),
+            8,
+            "1 pool × 1 load × 2 seeds × 4 orderings"
+        );
+        let cells = spec.compile().unwrap();
+        // Every cell is open and stamps per-job budget-factor deadlines.
+        for cell in &cells {
+            assert!(!cell.service.is_none());
+            assert_eq!(cell.service.slo_budget_factor, Some((1.5, 4.0)));
+            assert_eq!(cell.service.seed, cell.key.seed);
+        }
+        let orders: std::collections::BTreeSet<&'static str> = cells
+            .iter()
+            .map(|c| c.config.scheduler.order.name())
+            .collect();
+        assert_eq!(
+            orders.into_iter().collect::<Vec<_>>(),
+            ["batch-budget", "edf", "fcfs", "llf"]
+        );
+        // Round-trips through JSON with identical cache keys, like the
+        // other CI smoke grids.
+        let json = spec.to_json().unwrap();
+        let back = ExperimentSpec::from_json(&json).unwrap();
+        assert_eq!(back.cell_hashes().unwrap(), spec.cell_hashes().unwrap());
     }
 
     #[test]

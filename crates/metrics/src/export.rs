@@ -9,7 +9,7 @@ use crate::jobstats::{JobOutcome, JobRecord};
 use crate::json::{Json, JsonError};
 use crate::summary::SimReport;
 use dmhpc_des::time::{SimDuration, SimTime};
-use dmhpc_workload::{Job, JobId};
+use dmhpc_workload::{Job, JobId, Slo};
 use std::fmt::Write as _;
 
 /// Column headers matching [`report_csv_row`].
@@ -223,7 +223,7 @@ pub fn record_to_value(r: &JobRecord) -> Json {
         Some(t) => Json::UInt(t.as_micros()),
         None => Json::Null,
     };
-    Json::obj(vec![
+    let mut pairs = vec![
         ("id", Json::UInt(r.job.id.as_u64())),
         ("user", Json::UInt(r.job.user as u64)),
         ("arrival_us", Json::UInt(r.job.arrival.as_micros())),
@@ -232,6 +232,15 @@ pub fn record_to_value(r: &JobRecord) -> Json {
         ("runtime_us", Json::UInt(r.job.runtime.as_micros())),
         ("mem_per_node", Json::UInt(r.job.mem_per_node)),
         ("intensity", Json::F64(r.job.intensity)),
+    ];
+    // SLO stamps are written only when present, so records of unstamped
+    // jobs serialize byte-identically to pre-SLO exports.
+    match r.job.slo {
+        Some(Slo::Deadline { deadline_s }) => pairs.push(("slo_deadline_s", Json::F64(deadline_s))),
+        Some(Slo::BudgetFactor { factor }) => pairs.push(("slo_budget_factor", Json::F64(factor))),
+        None => {}
+    }
+    pairs.extend([
         ("outcome", Json::Str(outcome_name(r.outcome).into())),
         ("start_us", time(r.start)),
         ("finish_us", time(r.finish)),
@@ -239,7 +248,8 @@ pub fn record_to_value(r: &JobRecord) -> Json {
         ("remote_per_node", Json::UInt(r.remote_per_node)),
         ("dilation_planned", Json::F64(r.dilation_planned)),
         ("dilation_actual", Json::F64(r.dilation_actual)),
-    ])
+    ]);
+    Json::obj(pairs)
 }
 
 /// Rebuild a per-job record from its JSON document model.
@@ -262,6 +272,17 @@ pub fn record_from_value(v: &Json) -> Result<JobRecord, JsonError> {
             })
         }
     };
+    let slo = if let Some(d) = v.get("slo_deadline_s") {
+        Some(Slo::Deadline {
+            deadline_s: d.to_f64()?,
+        })
+    } else if let Some(f) = v.get("slo_budget_factor") {
+        Some(Slo::BudgetFactor {
+            factor: f.to_f64()?,
+        })
+    } else {
+        None
+    };
     Ok(JobRecord {
         job: Job {
             id: JobId(v.expect_key("id")?.to_u64()?),
@@ -272,6 +293,7 @@ pub fn record_from_value(v: &Json) -> Result<JobRecord, JsonError> {
             runtime: SimDuration::from_micros(v.expect_key("runtime_us")?.to_u64()?),
             mem_per_node: v.expect_key("mem_per_node")?.to_u64()?,
             intensity: v.expect_key("intensity")?.to_f64()?,
+            slo,
         },
         outcome,
         start: time("start_us")?,
@@ -407,6 +429,7 @@ mod tests {
                 runtime: SimDuration::from_micros(987_654_321),
                 mem_per_node: 96 * 1024,
                 intensity: 0.62,
+                slo: Some(Slo::BudgetFactor { factor: 2.5 }),
             },
             outcome: JobOutcome::Killed,
             start: Some(SimTime::from_micros(200_000_000)),
@@ -428,6 +451,15 @@ mod tests {
         assert_eq!(back.start, rec.start);
         assert_eq!(back.finish, None);
         assert_eq!(back.dilation_planned, rec.dilation_planned);
+        assert_eq!(back.job.slo, rec.job.slo, "stamp round-trips");
+
+        // An unstamped job writes no SLO key at all and reads back as None.
+        let mut plain = rec.clone();
+        plain.job.slo = None;
+        let doc = record_to_value(&plain).to_string_pretty();
+        assert!(!doc.contains("slo"), "absent stamp leaves no trace");
+        let back = record_from_value(&crate::json::parse(&doc).unwrap()).unwrap();
+        assert_eq!(back.job.slo, None);
     }
 
     #[test]

@@ -6,8 +6,11 @@
 //! The crate decomposes a scheduler into three orthogonal policies, combined
 //! by [`Scheduler`]:
 //!
-//! * [`OrderPolicy`] — who goes first: FCFS, shortest-job-first, or the
-//!   WFP-style utility function used on leadership systems.
+//! * [`OrderPolicy`] — who goes first: FCFS, shortest-job-first, the
+//!   WFP-style utility function used on leadership systems, and the
+//!   deadline-aware family (EDF, least-laxity, budget-bounded batch
+//!   formation) driven by per-job [`dmhpc_workload::Slo`] stamps or a
+//!   run-wide SLO target.
 //! * [`MemoryPolicy`] — how a job's footprint is placed: `LocalOnly`
 //!   (conventional cluster: memory-hungry jobs inflate their node count),
 //!   `PoolFirstFit` / `PoolBestFit` (borrow pool memory, first-fit or
@@ -23,6 +26,11 @@
 //! [`Placement`] traits define the behaviour, the enums above are the
 //! built-in implementations, and [`Scheduler::with_policies`] accepts any
 //! boxed pair — downstream users add policies without forking the enums.
+//! Every policy call receives a [`SchedContext`]: the pass instant, the
+//! read-only cluster, the slowdown model, the running-job release plan,
+//! and the active SLO target, plus derived per-job wait/deadline/laxity
+//! accessors. Orderings may additionally return a [`PassDirective`] to
+//! hold a pass's start set until a latency budget expires.
 //!
 //! Construction is fallible: [`SchedulerBuilder::build`] yields a plain
 //! [`SchedulerConfig`] value, and [`Scheduler::new`] validates it with
@@ -54,4 +62,4 @@ pub use policy::{
 pub use profile::{AvailabilityProfile, Demand, Release};
 pub use queue::{QueuedJob, WaitQueue};
 pub use release::{ReleaseIndex, ReleaseView, RunningRelease};
-pub use traits::{Ordering, Placement};
+pub use traits::{Ordering, PassDirective, Placement, SchedContext};

@@ -220,19 +220,13 @@ impl crate::traits::Placement for MemoryPolicy {
     fn nominal_shape(
         &self,
         job: &Job,
-        cluster: &Cluster,
-        model: &SlowdownModel,
+        ctx: &crate::traits::SchedContext<'_>,
     ) -> Option<(Demand, f64)> {
-        MemoryPolicy::nominal_shape(self, job, cluster, model)
+        MemoryPolicy::nominal_shape(self, job, ctx.cluster, ctx.model)
     }
 
-    fn plan(
-        &self,
-        job: &Job,
-        cluster: &Cluster,
-        model: &SlowdownModel,
-    ) -> Option<PlannedAllocation> {
-        MemoryPolicy::plan(self, job, cluster, model)
+    fn plan(&self, job: &Job, ctx: &crate::traits::SchedContext<'_>) -> Option<PlannedAllocation> {
+        MemoryPolicy::plan(self, job, ctx.cluster, ctx.model)
     }
 }
 

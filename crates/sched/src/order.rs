@@ -1,7 +1,8 @@
 //! Queue-ordering policies.
 
 use crate::queue::QueuedJob;
-use dmhpc_des::time::SimTime;
+use crate::traits::{PassDirective, SchedContext};
+use dmhpc_des::time::{SimDuration, SimTime};
 
 /// How the wait queue is ordered before each scheduling pass.
 ///
@@ -23,6 +24,25 @@ pub enum OrderPolicy {
         /// Exponent on the normalized wait (3 at ALCF).
         exponent: f64,
     },
+    /// Earliest deadline first: ascending absolute start deadline (per-job
+    /// [`dmhpc_workload::Slo`] stamp, else the run-wide SLO target).
+    /// Deadline-free jobs sort last; with no deadlines anywhere this
+    /// degrades to FCFS exactly.
+    Edf,
+    /// Least laxity first: ascending [`SchedContext::laxity_s`] — the job
+    /// closest to missing its deadline (walltime included) goes first.
+    /// Deadline-free jobs have infinite laxity and sort last.
+    LeastLaxity,
+    /// Batch formation with a latency budget: order FCFS, but hold every
+    /// pass's start set until the oldest queued job has waited `hold_s`
+    /// seconds — then release the whole accumulated batch. Larger batches
+    /// give placement more choice per pass at bounded added wait (the
+    /// InferSim-style batching policy).
+    BatchBudget {
+        /// Latency budget: the longest the oldest queued job may wait
+        /// before the batch is forced out (seconds, ≥ 0).
+        hold_s: f64,
+    },
 }
 
 impl OrderPolicy {
@@ -33,13 +53,16 @@ impl OrderPolicy {
             OrderPolicy::Sjf => "sjf",
             OrderPolicy::LargestFirst => "largest-first",
             OrderPolicy::Wfp { .. } => "wfp",
+            OrderPolicy::Edf => "edf",
+            OrderPolicy::LeastLaxity => "llf",
+            OrderPolicy::BatchBudget { .. } => "batch-budget",
         }
     }
 
     /// Sort the queue in scheduling order (front = next to run).
-    pub fn order(&self, entries: &mut [QueuedJob], now: SimTime) {
+    pub fn order(&self, entries: &mut [QueuedJob], ctx: &SchedContext<'_>) {
         match *self {
-            OrderPolicy::Fcfs => {
+            OrderPolicy::Fcfs | OrderPolicy::BatchBudget { .. } => {
                 entries.sort_by_key(|e| (e.job.arrival, e.job.id));
             }
             OrderPolicy::Sjf => {
@@ -48,9 +71,29 @@ impl OrderPolicy {
             OrderPolicy::LargestFirst => {
                 entries.sort_by_key(|e| (std::cmp::Reverse(e.job.nodes), e.job.arrival, e.job.id));
             }
+            OrderPolicy::Edf => {
+                // Deadline-free jobs get the MAX sentinel: they queue
+                // behind every constrained job, FCFS among themselves.
+                entries.sort_by_key(|e| {
+                    (
+                        ctx.deadline(&e.job).unwrap_or(SimTime::MAX),
+                        e.job.arrival,
+                        e.job.id,
+                    )
+                });
+            }
+            OrderPolicy::LeastLaxity => {
+                entries.sort_by(|a, b| {
+                    let la = ctx.laxity_s(&a.job).unwrap_or(f64::INFINITY);
+                    let lb = ctx.laxity_s(&b.job).unwrap_or(f64::INFINITY);
+                    la.total_cmp(&lb)
+                        .then_with(|| (a.job.arrival, a.job.id).cmp(&(b.job.arrival, b.job.id)))
+                });
+            }
             OrderPolicy::Wfp { exponent } => {
                 // Score is recomputed against `now` each pass; cache it so
                 // the comparator stays cheap and consistent.
+                let now = ctx.now;
                 let mut scored: Vec<(f64, usize)> = entries
                     .iter()
                     .enumerate()
@@ -72,6 +115,25 @@ impl OrderPolicy {
             }
         }
     }
+
+    /// Proceed or hold (see [`PassDirective`]): every built-in except
+    /// [`OrderPolicy::BatchBudget`] always proceeds.
+    pub fn directive(&self, entries: &[QueuedJob], ctx: &SchedContext<'_>) -> PassDirective {
+        let OrderPolicy::BatchBudget { hold_s } = *self else {
+            return PassDirective::Proceed;
+        };
+        // Release when the oldest enqueued job exhausts the budget; until
+        // then, hold and let the batch accumulate.
+        let Some(oldest) = entries.iter().map(|e| e.enqueued).min() else {
+            return PassDirective::Proceed;
+        };
+        let until = oldest.saturating_add(SimDuration::from_secs_f64(hold_s));
+        if ctx.now >= until {
+            PassDirective::Proceed
+        } else {
+            PassDirective::Hold { until }
+        }
+    }
 }
 
 impl crate::traits::Ordering for OrderPolicy {
@@ -79,8 +141,12 @@ impl crate::traits::Ordering for OrderPolicy {
         OrderPolicy::name(self)
     }
 
-    fn order(&self, entries: &mut [QueuedJob], now: SimTime) {
-        OrderPolicy::order(self, entries, now)
+    fn order(&self, entries: &mut [QueuedJob], ctx: &SchedContext<'_>) {
+        OrderPolicy::order(self, entries, ctx)
+    }
+
+    fn directive(&self, entries: &[QueuedJob], ctx: &SchedContext<'_>) -> PassDirective {
+        OrderPolicy::directive(self, entries, ctx)
     }
 }
 
@@ -95,8 +161,42 @@ fn apply_permutation(entries: &mut [QueuedJob], order: &[usize]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::release::ReleaseView;
     use dmhpc_des::time::SimDuration;
-    use dmhpc_workload::{JobBuilder, JobId};
+    use dmhpc_platform::{Cluster, ClusterSpec, NodeSpec, PoolTopology, SlowdownModel};
+    use dmhpc_workload::{JobBuilder, JobId, Slo};
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterSpec::new(
+            1,
+            2,
+            NodeSpec::new(8, 64 * 1024),
+            PoolTopology::None,
+        ))
+    }
+
+    /// Run `policy` at `now` with an otherwise empty context.
+    fn order_at(policy: OrderPolicy, entries: &mut [QueuedJob], now_s: u64) {
+        order_with(policy, entries, now_s, None);
+    }
+
+    fn order_with(
+        policy: OrderPolicy,
+        entries: &mut [QueuedJob],
+        now_s: u64,
+        slo_wait_s: Option<f64>,
+    ) {
+        let c = cluster();
+        let model = SlowdownModel::None;
+        let ctx = SchedContext::new(
+            SimTime::from_secs(now_s),
+            &c,
+            &model,
+            ReleaseView::empty(),
+            slo_wait_s,
+        );
+        policy.order(entries, &ctx);
+    }
 
     fn queued(id: u64, arrival_s: u64, nodes: u32, wall_s: u64) -> QueuedJob {
         QueuedJob {
@@ -110,6 +210,12 @@ mod tests {
         }
     }
 
+    fn queued_slo(id: u64, arrival_s: u64, wall_s: u64, slo: Slo) -> QueuedJob {
+        let mut e = queued(id, arrival_s, 1, wall_s);
+        e.job.slo = Some(slo);
+        e
+    }
+
     fn ids(entries: &[QueuedJob]) -> Vec<u64> {
         entries.iter().map(|e| e.job.id.0).collect()
     }
@@ -121,7 +227,7 @@ mod tests {
             queued(2, 10, 1, 100),
             queued(3, 20, 1, 100),
         ];
-        OrderPolicy::Fcfs.order(&mut q, SimTime::from_secs(100));
+        order_at(OrderPolicy::Fcfs, &mut q, 100);
         assert_eq!(ids(&q), vec![2, 3, 1]);
     }
 
@@ -132,7 +238,7 @@ mod tests {
             queued(2, 1, 1, 100),
             queued(3, 2, 1, 300),
         ];
-        OrderPolicy::Sjf.order(&mut q, SimTime::from_secs(100));
+        order_at(OrderPolicy::Sjf, &mut q, 100);
         assert_eq!(ids(&q), vec![2, 3, 1]);
     }
 
@@ -143,7 +249,7 @@ mod tests {
             queued(2, 1, 64, 100),
             queued(3, 2, 16, 100),
         ];
-        OrderPolicy::LargestFirst.order(&mut q, SimTime::from_secs(100));
+        order_at(OrderPolicy::LargestFirst, &mut q, 100);
         assert_eq!(ids(&q), vec![2, 3, 1]);
     }
 
@@ -156,7 +262,7 @@ mod tests {
             queued(2, 3500, 32, 3600),
             queued(3, 0, 1, 3600),
         ];
-        OrderPolicy::Wfp { exponent: 3.0 }.order(&mut q, SimTime::from_secs(3600));
+        order_at(OrderPolicy::Wfp { exponent: 3.0 }, &mut q, 3600);
         assert_eq!(ids(&q)[0], 1, "old+large first");
         // Old small beats fresh large here: (1·1)·1 = 1 vs (0.027)^3·32 ≈ 6e-4.
         assert_eq!(ids(&q), vec![1, 3, 2]);
@@ -165,9 +271,104 @@ mod tests {
     #[test]
     fn wfp_ties_fall_back_to_fcfs() {
         let mut q = vec![queued(2, 5, 1, 100), queued(1, 5, 1, 100)];
-        OrderPolicy::Wfp { exponent: 3.0 }.order(&mut q, SimTime::from_secs(5));
+        order_at(OrderPolicy::Wfp { exponent: 3.0 }, &mut q, 5);
         // Zero wait for both → scores equal → arrival/id order.
         assert_eq!(ids(&q), vec![1, 2]);
+    }
+
+    #[test]
+    fn edf_by_stamped_deadline_with_fcfs_degradation() {
+        // Tight relative budget beats loose absolute one; unstamped last.
+        let mut q = vec![
+            queued(1, 0, 100, 100),
+            queued_slo(2, 10, 1000, Slo::Deadline { deadline_s: 500.0 }),
+            queued_slo(3, 20, 1000, Slo::BudgetFactor { factor: 0.1 }),
+        ];
+        order_at(OrderPolicy::Edf, &mut q, 50);
+        // Deadlines: job 2 at 510, job 3 at 120, job 1 none → MAX.
+        assert_eq!(ids(&q), vec![3, 2, 1]);
+
+        // No deadlines anywhere: EDF must equal FCFS.
+        let mut a = vec![
+            queued(1, 30, 1, 100),
+            queued(2, 10, 1, 100),
+            queued(3, 20, 1, 100),
+        ];
+        order_at(OrderPolicy::Edf, &mut a, 100);
+        assert_eq!(ids(&a), vec![2, 3, 1]);
+
+        // Run-wide SLO target applies to unstamped jobs: a constant offset
+        // preserves arrival order among them.
+        let mut b = vec![queued(1, 30, 1, 100), queued(2, 10, 1, 100)];
+        order_with(OrderPolicy::Edf, &mut b, 100, Some(600.0));
+        assert_eq!(ids(&b), vec![2, 1]);
+    }
+
+    #[test]
+    fn least_laxity_accounts_for_walltime() {
+        // Same deadline, different walltime: the longer job has less slack
+        // and must go first — where EDF would tie-break by arrival.
+        let mut q = vec![
+            queued_slo(1, 0, 100, Slo::Deadline { deadline_s: 900.0 }),
+            queued_slo(2, 10, 800, Slo::Deadline { deadline_s: 890.0 }),
+            queued(3, 0, 1, 100),
+        ];
+        order_at(OrderPolicy::LeastLaxity, &mut q, 50);
+        // Laxity: job 1 = 900-50-100 = 750; job 2 = 900-50-800 = 50;
+        // job 3 = +inf.
+        assert_eq!(ids(&q), vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn batch_budget_orders_fcfs_and_holds_until_budget() {
+        let policy = OrderPolicy::BatchBudget { hold_s: 120.0 };
+        let mut q = vec![queued(2, 40, 1, 100), queued(1, 10, 1, 100)];
+        let c = cluster();
+        let model = SlowdownModel::None;
+
+        // Ordering is FCFS.
+        order_at(policy, &mut q, 50);
+        assert_eq!(ids(&q), vec![1, 2]);
+
+        // Budget not exhausted at t=50 (oldest enqueued t=10): hold until
+        // t=130.
+        let ctx = SchedContext::new(
+            SimTime::from_secs(50),
+            &c,
+            &model,
+            ReleaseView::empty(),
+            None,
+        );
+        assert_eq!(
+            policy.directive(&q, &ctx),
+            PassDirective::Hold {
+                until: SimTime::from_secs(130)
+            }
+        );
+
+        // At the release instant (and beyond) the batch goes out.
+        let ctx = SchedContext::new(
+            SimTime::from_secs(130),
+            &c,
+            &model,
+            ReleaseView::empty(),
+            None,
+        );
+        assert_eq!(policy.directive(&q, &ctx), PassDirective::Proceed);
+
+        // An empty queue never holds.
+        assert_eq!(policy.directive(&[], &ctx), PassDirective::Proceed);
+
+        // A zero budget is plain FCFS.
+        let zero = OrderPolicy::BatchBudget { hold_s: 0.0 };
+        let ctx = SchedContext::new(
+            SimTime::from_secs(10),
+            &c,
+            &model,
+            ReleaseView::empty(),
+            None,
+        );
+        assert_eq!(zero.directive(&q, &ctx), PassDirective::Proceed);
     }
 
     #[test]
@@ -182,8 +383,11 @@ mod tests {
             OrderPolicy::Sjf,
             OrderPolicy::LargestFirst,
             OrderPolicy::Wfp { exponent: 3.0 },
+            OrderPolicy::Edf,
+            OrderPolicy::LeastLaxity,
+            OrderPolicy::BatchBudget { hold_s: 60.0 },
         ] {
-            policy.order(&mut q, SimTime::from_secs(50));
+            order_at(policy, &mut q, 50);
             assert_eq!(ids(&q), vec![5, 6, 7], "{}", policy.name());
         }
     }
@@ -192,14 +396,20 @@ mod tests {
     fn names() {
         assert_eq!(OrderPolicy::Fcfs.name(), "fcfs");
         assert_eq!(OrderPolicy::Wfp { exponent: 3.0 }.name(), "wfp");
+        assert_eq!(OrderPolicy::Edf.name(), "edf");
+        assert_eq!(OrderPolicy::LeastLaxity.name(), "llf");
+        assert_eq!(
+            OrderPolicy::BatchBudget { hold_s: 60.0 }.name(),
+            "batch-budget"
+        );
     }
 
     #[test]
     fn empty_and_single() {
         let mut q: Vec<QueuedJob> = vec![];
-        OrderPolicy::Fcfs.order(&mut q, SimTime::ZERO);
+        order_at(OrderPolicy::Fcfs, &mut q, 0);
         let mut q = vec![queued(1, 0, 1, 10)];
-        OrderPolicy::Wfp { exponent: 2.0 }.order(&mut q, SimTime::ZERO);
+        order_at(OrderPolicy::Wfp { exponent: 2.0 }, &mut q, 0);
         assert_eq!(q[0].job.id, JobId(1));
     }
 }

@@ -24,7 +24,7 @@ use crate::order::OrderPolicy;
 use crate::profile::{AvailabilityProfile, Release};
 use crate::queue::WaitQueue;
 use crate::release::ReleaseView;
-use crate::traits::{Ordering, Placement};
+use crate::traits::{Ordering, PassDirective, Placement, SchedContext};
 use dmhpc_des::time::{SimDuration, SimTime};
 use dmhpc_platform::{Cluster, MemoryAssignment, PlatformError, SlowdownModel};
 use dmhpc_workload::Job;
@@ -87,6 +87,7 @@ impl SchedulerConfig {
     pub fn full_label(&self) -> String {
         let order = match self.order {
             OrderPolicy::Wfp { exponent } => format!("wfp{exponent}"),
+            OrderPolicy::BatchBudget { hold_s } => format!("batch-budget{hold_s}"),
             other => other.name().to_string(),
         };
         let memory = match self.memory {
@@ -198,6 +199,10 @@ pub struct PassResult {
     pub started: Vec<StartedJob>,
     /// Jobs that can never run on this machine (removed from the queue).
     pub rejected: Vec<(Job, String)>,
+    /// Set when the ordering held the batch ([`PassDirective::Hold`]):
+    /// nothing was started or rejected, and the engine should re-pass at
+    /// this instant.
+    pub hold_until: Option<SimTime>,
 }
 
 /// The scheduler. Stateless between passes: all state lives in the queue,
@@ -213,6 +218,11 @@ pub struct Scheduler {
     cfg: SchedulerConfig,
     order: Box<dyn Ordering>,
     placement: Box<dyn Placement>,
+    /// Run-wide SLO wait target (seconds), surfaced to policies through
+    /// [`SchedContext::slo_wait_s`]. Deliberately *not* part of
+    /// [`SchedulerConfig`]: it describes the workload's service objective,
+    /// not the policy, so labels and cell hashes ignore it.
+    slo_wait_s: Option<f64>,
 }
 
 impl Scheduler {
@@ -241,12 +251,37 @@ impl Scheduler {
             cfg,
             order,
             placement,
+            slo_wait_s: None,
         })
     }
 
     /// This scheduler's configuration.
     pub fn config(&self) -> &SchedulerConfig {
         &self.cfg
+    }
+
+    /// Set (or clear) the run-wide SLO wait target policies see through
+    /// [`SchedContext::slo_wait_s`]. The engine wires this from an open
+    /// run's service objective; standalone users may set it directly.
+    pub fn set_slo_target(&mut self, slo_wait_s: Option<f64>) {
+        self.slo_wait_s = slo_wait_s;
+    }
+
+    /// The active run-wide SLO wait target, if any.
+    pub fn slo_target(&self) -> Option<f64> {
+        self.slo_wait_s
+    }
+
+    /// The context all policy calls in a pass receive. Cheap to build, so
+    /// passes materialize one wherever the previous cluster mutation ended
+    /// its predecessor's borrow.
+    fn ctx<'a>(
+        &'a self,
+        now: SimTime,
+        cluster: &'a Cluster,
+        running: ReleaseView<'a>,
+    ) -> SchedContext<'a> {
+        SchedContext::new(now, cluster, &self.cfg.slowdown, running, self.slo_wait_s)
     }
 
     /// Human-readable policy triple, using the *active* policies (which
@@ -283,18 +318,28 @@ impl Scheduler {
         running: ReleaseView<'_>,
     ) -> PassResult {
         let mut result = PassResult::default();
-        self.order.order(queue.entries_mut(), now);
+        {
+            let ctx = self.ctx(now, cluster, running);
+            let entries = queue.entries_mut();
+            self.order.order(entries, &ctx);
+            // Batch-forming orderings may hold the whole start set until
+            // their latency budget expires (directives with `until ≤ now`
+            // proceed — the budget is already spent).
+            if let PassDirective::Hold { until } = self.order.directive(entries, &ctx) {
+                if until > now {
+                    result.hold_until = Some(until);
+                    return result;
+                }
+            }
+        }
 
         // Phase 1: greedy head starts.
         while let Some(head) = queue.front() {
             let job = &head.job;
+            let ctx = self.ctx(now, cluster, running);
             // Jobs impossible even on an idle machine are rejected here so
             // they cannot block the queue forever.
-            if self
-                .placement
-                .nominal_shape(job, cluster, &self.cfg.slowdown)
-                .is_none()
-            {
+            if self.placement.nominal_shape(job, &ctx).is_none() {
                 let entry = queue.pop_front();
                 result.rejected.push((
                     entry.job,
@@ -302,7 +347,7 @@ impl Scheduler {
                 ));
                 continue;
             }
-            let Some(plan) = self.placement.plan(job, cluster, &self.cfg.slowdown) else {
+            let Some(plan) = self.placement.plan(job, &ctx) else {
                 break; // head blocked
             };
             let entry = queue.pop_front();
@@ -354,22 +399,36 @@ impl Scheduler {
 
         match self.cfg.backfill {
             BackfillPolicy::None => unreachable!("handled above"),
-            BackfillPolicy::Easy => {
-                self.easy_pass(now, queue, cluster, degraded, &mut profile, &mut result)
-            }
-            BackfillPolicy::Conservative => {
-                self.conservative_pass(now, queue, cluster, degraded, &mut profile, &mut result)
-            }
+            BackfillPolicy::Easy => self.easy_pass(
+                now,
+                queue,
+                cluster,
+                running,
+                degraded,
+                &mut profile,
+                &mut result,
+            ),
+            BackfillPolicy::Conservative => self.conservative_pass(
+                now,
+                queue,
+                cluster,
+                running,
+                degraded,
+                &mut profile,
+                &mut result,
+            ),
         }
         result
     }
 
     /// EASY: reserve the head, then start any later job that fits alongside.
+    #[allow(clippy::too_many_arguments)]
     fn easy_pass(
         &self,
         now: SimTime,
         queue: &mut WaitQueue,
         cluster: &mut Cluster,
+        running: ReleaseView<'_>,
         degraded: bool,
         profile: &mut AvailabilityProfile,
         result: &mut PassResult,
@@ -377,7 +436,7 @@ impl Scheduler {
         let head = &queue.front().expect("easy pass needs a head").job;
         let (head_demand, head_dilation) = self
             .placement
-            .nominal_shape(head, cluster, &self.cfg.slowdown)
+            .nominal_shape(head, &self.ctx(now, cluster, running))
             .expect("head rejected in phase 1 if impossible");
         let head_wall = self.planned_walltime(head, head_dilation);
         let Some((shadow, head_split)) = profile.earliest_fit(now, head_wall, &head_demand) else {
@@ -401,7 +460,7 @@ impl Scheduler {
         let mut idx = 1;
         while idx < queue.len() {
             let job = &queue.get(idx).expect("idx < len").job;
-            let Some(plan) = self.placement.plan(job, cluster, &self.cfg.slowdown) else {
+            let Some(plan) = self.placement.plan(job, &self.ctx(now, cluster, running)) else {
                 idx += 1;
                 continue;
             };
@@ -427,11 +486,13 @@ impl Scheduler {
     }
 
     /// Conservative: a reservation per queued job, in queue order.
+    #[allow(clippy::too_many_arguments)]
     fn conservative_pass(
         &self,
         now: SimTime,
         queue: &mut WaitQueue,
         cluster: &mut Cluster,
+        running: ReleaseView<'_>,
         degraded: bool,
         profile: &mut AvailabilityProfile,
         result: &mut PassResult,
@@ -441,7 +502,7 @@ impl Scheduler {
             let job = &queue.get(idx).expect("idx < len").job;
             let (demand, dilation) = self
                 .placement
-                .nominal_shape(job, cluster, &self.cfg.slowdown)
+                .nominal_shape(job, &self.ctx(now, cluster, running))
                 .expect("impossible jobs rejected in phase 1");
             let wall = self.planned_walltime(job, dilation);
             let Some((start, split)) = profile.earliest_fit(now, wall, &demand) else {
@@ -458,7 +519,7 @@ impl Scheduler {
                 continue;
             };
             if start == now {
-                if let Some(plan) = self.placement.plan(job, cluster, &self.cfg.slowdown) {
+                if let Some(plan) = self.placement.plan(job, &self.ctx(now, cluster, running)) {
                     let plan_wall = self.planned_walltime(job, plan.dilation);
                     let plan_split = split_of(cluster, &plan.assignment);
                     if profile.fits_split(
@@ -844,5 +905,86 @@ mod tests {
     #[test]
     fn config_label() {
         assert_eq!(fcfs_easy().config().label(), "fcfs+easy+pool-ff");
+    }
+
+    #[test]
+    fn batch_budget_holds_then_releases() {
+        let sched = Scheduler::new(
+            SchedulerBuilder::new()
+                .order(OrderPolicy::BatchBudget { hold_s: 100.0 })
+                .memory(MemoryPolicy::PoolFirstFit)
+                .build(),
+        )
+        .unwrap();
+        let mut cluster = small_cluster();
+        let mut queue = WaitQueue::new();
+        queue.push(job(1, 1, 50, 100), SimTime::from_secs(10));
+        queue.push(job(2, 1, 50, 100), SimTime::from_secs(40));
+
+        // Budget not exhausted: nothing starts, the pass asks for a
+        // wake-up at oldest-enqueued + budget.
+        let held = sched.schedule(
+            SimTime::from_secs(50),
+            &mut queue,
+            &mut cluster,
+            ReleaseView::empty(),
+        );
+        assert!(held.started.is_empty() && held.rejected.is_empty());
+        assert_eq!(held.hold_until, Some(SimTime::from_secs(110)));
+        assert_eq!(queue.len(), 2, "held jobs stay queued");
+        assert_eq!(cluster.free_nodes(), 4, "nothing allocated while held");
+
+        // At the release instant the whole batch goes out at once.
+        let released = sched.schedule(
+            SimTime::from_secs(110),
+            &mut queue,
+            &mut cluster,
+            ReleaseView::empty(),
+        );
+        assert_eq!(ids(&released.started), vec![1, 2]);
+        assert_eq!(released.hold_until, None);
+        cluster.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn edf_uses_run_wide_slo_target_via_scheduler() {
+        // Two jobs, both unstamped; per-job budget-factor stamp on the
+        // later arrival gives it the earlier deadline, so EDF flips FCFS.
+        let mut sched = Scheduler::new(
+            SchedulerBuilder::new()
+                .order(OrderPolicy::Edf)
+                .memory(MemoryPolicy::PoolFirstFit)
+                .build(),
+        )
+        .unwrap();
+        assert_eq!(sched.slo_target(), None);
+        sched.set_slo_target(Some(3600.0));
+        assert_eq!(sched.slo_target(), Some(3600.0));
+
+        let mut cluster = small_cluster();
+        let mut queue = WaitQueue::new();
+        let early = JobBuilder::new(1)
+            .arrival_secs(0)
+            .nodes(1)
+            .runtime_secs(50, 100)
+            .mem_per_node(32 * GIB)
+            .build();
+        let mut urgent = JobBuilder::new(2)
+            .arrival_secs(10)
+            .nodes(1)
+            .runtime_secs(50, 100)
+            .mem_per_node(32 * GIB)
+            .build();
+        urgent.slo = Some(dmhpc_workload::Slo::Deadline { deadline_s: 30.0 });
+        queue.push(early, SimTime::ZERO);
+        queue.push(urgent, SimTime::from_secs(10));
+        let result = sched.schedule(
+            SimTime::from_secs(20),
+            &mut queue,
+            &mut cluster,
+            ReleaseView::empty(),
+        );
+        // Deadlines: job 2 at t=40 (stamp), job 1 at t=3600 (run-wide).
+        assert_eq!(ids(&result.started), vec![2, 1]);
     }
 }

@@ -1,13 +1,22 @@
-//! Pluggable policy traits.
+//! Pluggable policy traits and the scheduling context they receive.
 //!
 //! The scheduler decomposes into two behavioural axes that downstream
 //! users may want to replace without forking this crate:
 //!
 //! * [`Ordering`] — who goes first. The built-in implementation is the
-//!   [`crate::OrderPolicy`] enum (FCFS, SJF, largest-first, WFP).
+//!   [`crate::OrderPolicy`] enum (FCFS, SJF, largest-first, WFP, EDF,
+//!   least-laxity, batch-budget).
 //! * [`Placement`] — how a job's memory footprint maps onto nodes and
 //!   pools. The built-in implementation is the [`crate::MemoryPolicy`]
 //!   enum (local-only, pool first/best fit, slowdown-aware).
+//!
+//! Both traits receive a [`SchedContext`]: one read-only bundle of
+//! everything the engine already maintains — the pass instant, the cluster
+//! (capacity indexes included), the slowdown model, the running-job
+//! release plan, and the active SLO target — plus per-job wait/deadline/
+//! laxity accessors derived from them. Policies compose this information
+//! freely; adding a new input extends the context instead of growing every
+//! trait signature.
 //!
 //! [`crate::Scheduler::with_policies`] accepts any pair of boxed
 //! implementations; [`crate::Scheduler::new`] wires up the enums from a
@@ -16,7 +25,7 @@
 //! reproducibility guarantees.
 //!
 //! Policies run inside [`crate::Scheduler::schedule`], whose pass state is
-//! incremental: running-job releases arrive as a [`crate::ReleaseView`]
+//! incremental: running-job releases arrive as [`SchedContext::releases`]
 //! over the engine's persistent [`crate::ReleaseIndex`], and placement
 //! implementations should prefer the cluster's free-capacity indexes
 //! ([`Cluster::free_node_iter`], [`Cluster::free_nodes_in_rack_iter`],
@@ -26,9 +35,90 @@
 use crate::memory::PlannedAllocation;
 use crate::profile::Demand;
 use crate::queue::QueuedJob;
-use dmhpc_des::time::SimTime;
+use crate::release::ReleaseView;
+use dmhpc_des::time::{SimDuration, SimTime};
 use dmhpc_platform::{Cluster, SlowdownModel};
 use dmhpc_workload::Job;
+
+/// Read-only context for one scheduling pass: everything a policy may
+/// consult, borrowed from the engine's state. Construction is cheap (a
+/// bundle of references), so the scheduler materializes one wherever a
+/// policy is about to run.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedContext<'a> {
+    /// The pass instant.
+    pub now: SimTime,
+    /// The cluster, read-only: capacity indexes, pool states, topology.
+    pub cluster: &'a Cluster,
+    /// The far-memory slowdown model the scheduler plans with.
+    pub model: &'a SlowdownModel,
+    /// Planned releases of running jobs, in ascending planned-end order.
+    pub releases: ReleaseView<'a>,
+    /// The run-wide SLO wait target (seconds), when the engine is driving
+    /// an open service run with one. Per-job [`Job::slo`] stamps take
+    /// precedence in [`SchedContext::deadline`]; this is the fallback for
+    /// unstamped jobs.
+    pub slo_wait_s: Option<f64>,
+}
+
+impl<'a> SchedContext<'a> {
+    /// Assemble a context from its parts.
+    pub fn new(
+        now: SimTime,
+        cluster: &'a Cluster,
+        model: &'a SlowdownModel,
+        releases: ReleaseView<'a>,
+        slo_wait_s: Option<f64>,
+    ) -> Self {
+        SchedContext {
+            now,
+            cluster,
+            model,
+            releases,
+            slo_wait_s,
+        }
+    }
+
+    /// How long `entry` has waited in the queue as of this pass.
+    pub fn wait(&self, entry: &QueuedJob) -> SimDuration {
+        self.now.saturating_since(entry.enqueued)
+    }
+
+    /// `job`'s absolute start deadline: arrival plus its wait budget. The
+    /// job's own [`Job::slo`] stamp wins; jobs without one fall back to
+    /// the run-wide [`SchedContext::slo_wait_s`] target. `None` when
+    /// neither constrains the job.
+    pub fn deadline(&self, job: &Job) -> Option<SimTime> {
+        if let Some(slo) = &job.slo {
+            return Some(slo.deadline_for(job.arrival, job.walltime));
+        }
+        self.slo_wait_s
+            .map(|w| job.arrival.saturating_add(SimDuration::from_secs_f64(w)))
+    }
+
+    /// `job`'s laxity in seconds: the slack left before starting it can no
+    /// longer both meet its start deadline and run out its walltime —
+    /// `deadline − now − walltime`. Negative means the deadline is already
+    /// tight or lost; `None` means the job carries no deadline.
+    pub fn laxity_s(&self, job: &Job) -> Option<f64> {
+        let deadline = self.deadline(job)?;
+        Some(deadline.as_secs_f64() - self.now.as_secs_f64() - job.walltime.as_secs_f64())
+    }
+}
+
+/// What an [`Ordering`] tells the pass to do after sorting the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PassDirective {
+    /// Schedule normally.
+    Proceed,
+    /// Start nothing this pass; re-pass at `until` (the engine schedules a
+    /// wake-up). Batch-forming policies hold the start set until a latency
+    /// budget forces release. A directive with `until ≤ now` proceeds.
+    Hold {
+        /// When the held batch must be released.
+        until: SimTime,
+    },
+}
 
 /// Queue-ordering behaviour: sort the wait queue before each pass.
 ///
@@ -39,9 +129,16 @@ pub trait Ordering: std::fmt::Debug + Send + Sync {
     /// Stable name used in report labels.
     fn name(&self) -> &str;
 
-    /// Sort `entries` into scheduling order (front = next to run) as of
-    /// simulated time `now`.
-    fn order(&self, entries: &mut [QueuedJob], now: SimTime);
+    /// Sort `entries` into scheduling order (front = next to run) under
+    /// `ctx`.
+    fn order(&self, entries: &mut [QueuedJob], ctx: &SchedContext<'_>);
+
+    /// After ordering: proceed with the pass, or hold the batch? The
+    /// default always proceeds; batch-forming policies override it.
+    fn directive(&self, entries: &[QueuedJob], ctx: &SchedContext<'_>) -> PassDirective {
+        let (_, _) = (entries, ctx);
+        PassDirective::Proceed
+    }
 }
 
 /// Memory-placement behaviour: decide a job's shape (node count, node
@@ -59,27 +156,28 @@ pub trait Placement: std::fmt::Debug + Send + Sync {
     /// The shape this policy would give `job` on an otherwise idle
     /// machine, with its predicted dilation — what reservations are made
     /// of. `None` means the job can never run on this machine.
-    fn nominal_shape(
-        &self,
-        job: &Job,
-        cluster: &Cluster,
-        model: &SlowdownModel,
-    ) -> Option<(Demand, f64)>;
+    fn nominal_shape(&self, job: &Job, ctx: &SchedContext<'_>) -> Option<(Demand, f64)>;
 
     /// Try to place `job` on the cluster **right now**. `None` when no
     /// placement exists under this policy at this instant.
-    fn plan(
-        &self,
-        job: &Job,
-        cluster: &Cluster,
-        model: &SlowdownModel,
-    ) -> Option<PlannedAllocation>;
+    fn plan(&self, job: &Job, ctx: &SchedContext<'_>) -> Option<PlannedAllocation>;
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::{MemoryPolicy, OrderPolicy};
+    use dmhpc_platform::{ClusterSpec, NodeSpec, PoolTopology};
+    use dmhpc_workload::{JobBuilder, Slo};
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterSpec::new(
+            1,
+            2,
+            NodeSpec::new(8, 64 * 1024),
+            PoolTopology::None,
+        ))
+    }
 
     #[test]
     fn enums_are_object_safe_policies() {
@@ -87,5 +185,60 @@ mod tests {
         let placement: Box<dyn Placement> = Box::new(MemoryPolicy::LocalOnly);
         assert_eq!(order.name(), "sjf");
         assert_eq!(placement.name(), "local-only");
+    }
+
+    #[test]
+    fn context_accessors_derive_wait_deadline_laxity() {
+        let c = cluster();
+        let model = SlowdownModel::None;
+        let ctx = SchedContext::new(
+            SimTime::from_secs(1000),
+            &c,
+            &model,
+            ReleaseView::empty(),
+            Some(600.0),
+        );
+
+        let plain = JobBuilder::new(1)
+            .arrival_secs(700)
+            .runtime_secs(100, 200)
+            .build();
+        let entry = QueuedJob {
+            job: plain.clone(),
+            enqueued: SimTime::from_secs(700),
+        };
+        assert_eq!(ctx.wait(&entry), SimDuration::from_secs(300));
+        // No per-job stamp: the run-wide target applies.
+        assert_eq!(ctx.deadline(&plain), Some(SimTime::from_secs(1300)));
+        assert!((ctx.laxity_s(&plain).unwrap() - 100.0).abs() < 1e-9);
+
+        // A per-job stamp overrides the run-wide target.
+        let stamped = JobBuilder::new(2)
+            .arrival_secs(700)
+            .runtime_secs(100, 200)
+            .slo(Slo::Deadline { deadline_s: 50.0 })
+            .build();
+        assert_eq!(ctx.deadline(&stamped), Some(SimTime::from_secs(750)));
+        assert!(ctx.laxity_s(&stamped).unwrap() < 0.0, "deadline lost");
+
+        // Neither: unconstrained.
+        let free_ctx = SchedContext::new(
+            SimTime::from_secs(1000),
+            &c,
+            &model,
+            ReleaseView::empty(),
+            None,
+        );
+        assert_eq!(free_ctx.deadline(&plain), None);
+        assert_eq!(free_ctx.laxity_s(&plain), None);
+    }
+
+    #[test]
+    fn default_directive_proceeds() {
+        let c = cluster();
+        let model = SlowdownModel::None;
+        let ctx = SchedContext::new(SimTime::ZERO, &c, &model, ReleaseView::empty(), None);
+        let order: Box<dyn Ordering> = Box::new(OrderPolicy::Fcfs);
+        assert_eq!(order.directive(&[], &ctx), PassDirective::Proceed);
     }
 }

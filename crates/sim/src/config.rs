@@ -100,6 +100,7 @@ impl SimConfig {
 
     /// Same config with a progress heartbeat every `every` observed
     /// events (hash-neutral: purely observational).
+    #[deprecated(note = "attach per run: `run_with(w, ObserverSet::new().progress_every(n))`")]
     pub fn with_progress_every(mut self, every: u64) -> Self {
         self.observers.progress_every = Some(every);
         self
@@ -133,9 +134,8 @@ mod tests {
         assert_eq!(cal.event_queue.name(), "calendar");
         assert_eq!(EventQueueKind::BinaryHeap.name(), "heap");
         assert_eq!(cfg.observers, ObserverSpec::default());
-        assert_eq!(
-            cfg.with_progress_every(500).observers.progress_every,
-            Some(500)
-        );
+        #[allow(deprecated)]
+        let with_progress = cfg.with_progress_every(500);
+        assert_eq!(with_progress.observers.progress_every, Some(500));
     }
 }

@@ -44,7 +44,7 @@
 //! [`SimOutput`] is assembled from their final state, performing exactly
 //! the operations the pre-observer engine performed, in the same order
 //! (golden-hash pinned). User observers ride the same stream through
-//! [`Simulation::run_observed`] / [`Simulation::with_observer`]; they are
+//! [`Simulation::run_with`] and an [`ObserverSet`]; they are
 //! strictly read-only, so attaching any number of them is trace-exact.
 //!
 //! ## Fault events
@@ -99,6 +99,12 @@ enum Event {
     /// pending job, pulls the next from the [`JobSource`], and reschedules
     /// — pull-based admission, O(1) pending arrivals.
     OpenArrival,
+    /// Re-pass after a held batch's latency budget expires (scheduled only
+    /// when an ordering returns [`dmhpc_sched::PassDirective::Hold`];
+    /// never on runs without batch-forming policies). Hash-neutral: the
+    /// wake itself writes nothing into the trace hash — only the starts it
+    /// triggers do.
+    Wake,
 }
 
 /// Per-job fault bookkeeping, kept only for jobs that were interrupted.
@@ -157,6 +163,95 @@ pub struct SimOutput {
     /// bundle — per-job and per-event state is folded into O(1) sketches
     /// instead (see [`crate::observe::SketchStatsObserver`]).
     pub service: Option<ServiceSummary>,
+}
+
+/// Everything one run should watch, gathered into a single value for
+/// [`Simulation::run_with`].
+///
+/// The observer-attachment surface historically grew one entry point at a
+/// time — a ref-slice (`run_observed`), a box-slice (`run_boxed`),
+/// persistent factories (`with_observer`), and a declarative heartbeat
+/// (`SimConfig::with_progress_every`). This builder is the one coherent
+/// replacement; the old names survive as thin deprecated shims over it.
+/// Observation is always hash-neutral: attaching any combination below
+/// leaves the run's trace hash and output bit-identical.
+///
+/// ```
+/// use dmhpc_sim::ObserverSet;
+/// # use dmhpc_sim::observe::EventCounter;
+/// let mut counter = EventCounter::new();
+/// let set = ObserverSet::new().watch(&mut counter).progress_every(10_000);
+/// // sim.run_with(&workload, set); counter is inspectable afterwards.
+/// ```
+#[derive(Default)]
+pub struct ObserverSet<'a> {
+    /// Caller-owned observers: inspectable after the run; the caller is
+    /// responsible for checking [`Observer::failure`].
+    borrowed: Vec<&'a mut dyn Observer>,
+    /// Per-run factories: one fresh observer is built per run; creation
+    /// or deferred sink failures panic (the observer dies with the run,
+    /// so there is nowhere else to report them).
+    factories: Vec<Arc<dyn ObserverFactory>>,
+    /// Emit a progress heartbeat to stderr every N observed events.
+    progress_every: Option<u64>,
+}
+
+impl<'a> ObserverSet<'a> {
+    /// An empty set (the built-in metric observers always run).
+    pub fn new() -> Self {
+        ObserverSet::default()
+    }
+
+    /// Watch with a caller-owned observer. The caller keeps the borrow
+    /// after the run, so sink state (samples, counters, trace buffers)
+    /// stays inspectable — and failures are the caller's to check.
+    pub fn watch(mut self, observer: &'a mut dyn Observer) -> Self {
+        self.borrowed.push(observer);
+        self
+    }
+
+    /// Watch with every observer in a caller-owned box slice (the
+    /// experiment runner's calling convention).
+    pub fn watch_boxed(mut self, observers: &'a mut [Box<dyn Observer>]) -> Self {
+        for b in observers.iter_mut() {
+            self.borrowed.push(&mut **b);
+        }
+        self
+    }
+
+    /// Build one fresh observer from this factory when the run starts.
+    /// Factory errors and end-of-run sink failures panic; use
+    /// [`ObserverSet::watch`] where errors must be handled instead.
+    pub fn factory(mut self, factory: Arc<dyn ObserverFactory>) -> Self {
+        self.factories.push(factory);
+        self
+    }
+
+    /// Emit a progress heartbeat to stderr every `every` observed events.
+    pub fn progress_every(mut self, every: u64) -> Self {
+        self.progress_every = Some(every);
+        self
+    }
+
+    /// Number of attachments (borrowed + factories + heartbeat).
+    pub fn len(&self) -> usize {
+        self.borrowed.len() + self.factories.len() + usize::from(self.progress_every.is_some())
+    }
+
+    /// Whether nothing beyond the built-ins is attached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for ObserverSet<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObserverSet")
+            .field("borrowed", &self.borrowed.len())
+            .field("factories", &self.factories.len())
+            .field("progress_every", &self.progress_every)
+            .finish()
+    }
 }
 
 /// A configured simulator. `run` is a pure function of the workload (and
@@ -247,6 +342,10 @@ impl Simulation {
                 "open-system service runs do not combine with fault scenarios",
             ));
         }
+        // The run's wait objective becomes the fallback deadline policies
+        // see through `SchedContext::slo_wait_s` (a no-op for orderings
+        // that ignore deadlines).
+        self.scheduler.set_slo_target(service.slo_wait_s);
         self.service = service;
         Ok(self)
     }
@@ -280,8 +379,9 @@ impl Simulation {
     /// trace file that cannot be created) and at end of run (a deferred
     /// sink I/O error would otherwise vanish with the observer — `run`
     /// returns a plain [`SimOutput`] and has nowhere to report it). Use
-    /// [`Simulation::run_observed`] with pre-built, caller-owned
-    /// observers where errors must be handled instead.
+    /// caller-owned observers ([`ObserverSet::watch`]) where errors must
+    /// be handled instead.
+    #[deprecated(note = "attach per run: `run_with(workload, ObserverSet::new().factory(f))`")]
     pub fn with_observer(mut self, factory: Arc<dyn ObserverFactory>) -> Self {
         self.observers.push(factory);
         self
@@ -290,29 +390,46 @@ impl Simulation {
     /// Simulate the workload to completion with the default observer set
     /// (the built-in metric observers that assemble [`SimOutput`]).
     pub fn run(&self, workload: &Workload) -> SimOutput {
-        self.run_observed(workload, &mut [])
+        self.run_with(workload, ObserverSet::new())
     }
 
-    /// Simulate the workload with additional [`Observer`]s attached (on
-    /// top of the built-ins and any [`Simulation::with_observer`]
-    /// factories). The callers keep ownership, so sink state (samples,
-    /// trace files) is inspectable after the run; the output itself is
-    /// bit-identical to an unobserved run.
-    pub fn run_observed(
-        &self,
-        workload: &Workload,
-        observers: &mut [&mut dyn Observer],
-    ) -> SimOutput {
+    /// Simulate the workload with everything in `observers` watching, on
+    /// top of the built-in metric observers that assemble [`SimOutput`].
+    ///
+    /// This is the single observed-run entry point: borrowed observers,
+    /// boxed observer slices, per-run factories, and the progress
+    /// heartbeat all attach through one [`ObserverSet`] (the historical
+    /// `run_observed` / `run_boxed` / `with_observer` /
+    /// `SimConfig::with_progress_every` surfaces survive as thin
+    /// deprecated shims over it). Observation is hash-neutral: the output
+    /// is bit-identical to an unobserved run.
+    ///
+    /// Caller-owned observers ([`ObserverSet::watch`] /
+    /// [`ObserverSet::watch_boxed`]) stay inspectable after the run and
+    /// report their own failures through [`Observer::failure`];
+    /// factory-made observers die here, so their creation or deferred
+    /// sink failures panic — there is nowhere left to report them.
+    pub fn run_with(&self, workload: &Workload, observers: ObserverSet<'_>) -> SimOutput {
+        let ObserverSet {
+            mut borrowed,
+            factories,
+            progress_every,
+        } = observers;
+        let label = RunLabel::new(self.scheduler.label());
         let mut made: Vec<Box<dyn Observer>> = self
             .observers
             .iter()
+            .chain(factories.iter())
             .map(|f| {
-                f.make(&RunLabel::new(self.scheduler.label()))
+                f.make(&label)
                     .unwrap_or_else(|e| panic!("observer factory failed: {e}"))
             })
             .collect();
-        let mut extras: Vec<&mut dyn Observer> = Vec::with_capacity(observers.len() + made.len());
-        for o in observers.iter_mut() {
+        if let Some(every) = progress_every {
+            made.push(Box::new(ProgressObserver::every(every)));
+        }
+        let mut extras: Vec<&mut dyn Observer> = Vec::with_capacity(borrowed.len() + made.len());
+        for o in borrowed.iter_mut() {
             extras.push(&mut **o);
         }
         for b in made.iter_mut() {
@@ -354,19 +471,29 @@ impl Simulation {
         // caller keeps their own observers and can check those, but these
         // are ours to account for.
         if let Some(e) = made.iter().find_map(|o| o.failure()) {
-            panic!("observer attached via with_observer failed: {e}");
+            panic!("factory-attached observer failed: {e}");
         }
         output
     }
 
-    /// [`Simulation::run_observed`] for observers owned as boxes (the
-    /// experiment runner's calling convention).
-    pub fn run_boxed(&self, workload: &Workload, observers: &mut [Box<dyn Observer>]) -> SimOutput {
-        let mut refs: Vec<&mut dyn Observer> = Vec::with_capacity(observers.len());
-        for b in observers.iter_mut() {
-            refs.push(&mut **b);
+    /// Simulate with additional borrowed [`Observer`]s attached.
+    #[deprecated(note = "use `run_with` with `ObserverSet::new().watch(...)`")]
+    pub fn run_observed(
+        &self,
+        workload: &Workload,
+        observers: &mut [&mut dyn Observer],
+    ) -> SimOutput {
+        let mut set = ObserverSet::new();
+        for o in observers.iter_mut() {
+            set = set.watch(&mut **o);
         }
-        self.run_observed(workload, &mut refs)
+        self.run_with(workload, set)
+    }
+
+    /// Simulate with observers owned as boxes.
+    #[deprecated(note = "use `run_with` with `ObserverSet::new().watch_boxed(observers)`")]
+    pub fn run_boxed(&self, workload: &Workload, observers: &mut [Box<dyn Observer>]) -> SimOutput {
+        self.run_with(workload, ObserverSet::new().watch_boxed(observers))
     }
 
     /// Drive the monomorphized engine on one event-queue backend.
@@ -458,6 +585,10 @@ struct Engine<'a, 'o, Q: EventQueue<Event>> {
     /// this instant: repair/drain-end events trailing the last job must
     /// not stretch makespan and dilute the utilizations.
     last_job_time: SimTime,
+    /// The pending [`Event::Wake`] target, if one is scheduled — dedupes
+    /// the wake a held pass asks for (every pass while held recomputes the
+    /// same release instant).
+    next_wake: Option<SimTime>,
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -550,6 +681,7 @@ impl<'a, 'o, Q: EventQueue<Event>> Engine<'a, 'o, Q> {
             trace_hash: FNV_OFFSET,
             fault_meta: BTreeMap::new(),
             last_job_time: start_time,
+            next_wake: None,
             cfg,
             scheduler,
             faults,
@@ -611,6 +743,11 @@ impl<'a, 'o, Q: EventQueue<Event>> Engine<'a, 'o, Q> {
                 let before = self.queue.len();
                 let started = self.pass();
                 if started == 0 && self.queue.len() == before {
+                    if self.events.peek_time().is_some() {
+                        // The pass held its batch and scheduled a wake-up;
+                        // the loop continues on that event.
+                        continue;
+                    }
                     if self.faults_active {
                         // Permanent capacity loss (failed nodes with no
                         // pending repair) can leave a job unservable even
@@ -707,6 +844,13 @@ impl<'a, 'o, Q: EventQueue<Event>> Engine<'a, 'o, Q> {
                         self.pending = Some(next);
                     }
                 }
+                true
+            }
+            Event::Wake => {
+                // A held batch's budget expired: nothing to apply, but the
+                // state "changed" so batch_end runs a pass.
+                self.next_wake = None;
+                self.events_processed += 1;
                 true
             }
         }
@@ -1070,6 +1214,15 @@ impl<'a, 'o, Q: EventQueue<Event>> Engine<'a, 'o, Q> {
             self.releases.view(),
         );
         self.passes += 1;
+        if let Some(until) = result.hold_until {
+            // Batch held: make sure a wake-up exists at the release
+            // instant (deduped — holds recompute the same target until
+            // the batch goes out).
+            if self.next_wake != Some(until) {
+                self.events.schedule(until, Event::Wake);
+                self.next_wake = Some(until);
+            }
+        }
         let rejected = result.rejected.len();
         for (job, _reason) in result.rejected {
             self.hash_mix([3, self.now.as_micros(), job.id.0]);
@@ -2148,7 +2301,7 @@ mod tests {
         let mut probe = crate::observe::SampledSeriesProbe::new(SimDuration::from_secs(3600));
         let observed = Simulation::new(cfg)
             .unwrap()
-            .run_observed(&w, &mut [&mut counter, &mut probe]);
+            .run_with(&w, ObserverSet::new().watch(&mut counter).watch(&mut probe));
         assert_eq!(
             plain.trace_hash, observed.trace_hash,
             "observers are neutral"
@@ -2194,12 +2347,41 @@ mod tests {
             .runtime_secs(100, 200)
             .mem_per_node(GIB)
             .build()]);
-        let sim = local_sim().with_observer(Arc::new(factory));
-        let a = sim.run(&w);
-        let b = sim.run(&w);
+        let factory: Arc<dyn crate::observe::ObserverFactory> = Arc::new(factory);
+        let sim = local_sim();
+        let a = sim.run_with(&w, ObserverSet::new().factory(Arc::clone(&factory)));
+        let b = sim.run_with(&w, ObserverSet::new().factory(Arc::clone(&factory)));
         assert_eq!(a.trace_hash, b.trace_hash);
         // submit + start + grab + pass + release + finish, twice.
         assert_eq!(seen.load(Ordering::Relaxed), 12);
+        // The deprecated persistent-attachment shim builds one fresh
+        // observer per run through the same path.
+        #[allow(deprecated)]
+        let sim = local_sim().with_observer(factory);
+        let c = sim.run(&w);
+        assert_eq!(a.trace_hash, c.trace_hash);
+        assert_eq!(seen.load(Ordering::Relaxed), 18);
+    }
+
+    #[test]
+    fn deprecated_run_shims_delegate_to_run_with() {
+        use crate::observe::EventCounter;
+        let w = Workload::from_jobs(vec![JobBuilder::new(1)
+            .nodes(1)
+            .runtime_secs(100, 200)
+            .mem_per_node(GIB)
+            .build()]);
+        let sim = local_sim();
+        let plain = sim.run(&w);
+        let mut counter = EventCounter::new();
+        #[allow(deprecated)]
+        let observed = sim.run_observed(&w, &mut [&mut counter]);
+        assert_eq!(plain.trace_hash, observed.trace_hash);
+        assert_eq!(counter.count("submit"), 1);
+        let mut boxed: Vec<Box<dyn Observer>> = vec![Box::new(EventCounter::new())];
+        #[allow(deprecated)]
+        let observed = sim.run_boxed(&w, &mut boxed);
+        assert_eq!(plain.trace_hash, observed.trace_hash);
     }
 
     #[test]
@@ -2210,7 +2392,13 @@ mod tests {
             .mem_per_node(GIB)
             .build()]);
         let quiet = local_sim().run(&w);
+        // Per-run attachment is the front door…
+        let noisy = local_sim().run_with(&w, ObserverSet::new().progress_every(1_000_000));
+        assert_eq!(quiet.trace_hash, noisy.trace_hash);
+        assert_eq!(quiet.report.mean_wait_s, noisy.report.mean_wait_s);
+        // …and the deprecated config knob still works through the shim.
         let sched = SchedulerBuilder::new().build();
+        #[allow(deprecated)]
         let cfg = SimConfig::new(machine(PoolTopology::None), sched)
             .checked()
             .with_progress_every(1_000_000); // too sparse to print
@@ -2406,7 +2594,7 @@ mod tests {
             .with_utilization(0.9)
             .with_horizon_jobs(8000);
         let mut cap = WaitCapture { waits: Vec::new() };
-        let out = service_sim(svc).run_observed(&no_jobs(), &mut [&mut cap]);
+        let out = service_sim(svc).run_with(&no_jobs(), ObserverSet::new().watch(&mut cap));
         assert!(cap.waits.len() > 1000, "saturation produced waits");
         cap.waits.sort_by(f64::total_cmp);
         let exact = |q: f64| cap.waits[((cap.waits.len() - 1) as f64 * q).round() as usize];

@@ -124,6 +124,20 @@ pub(super) fn workload_digest(source: &WorkloadSource) -> u64 {
                 h.write_u64(job.runtime.as_micros());
                 h.write_u64(job.mem_per_node);
                 h.write_f64(job.intensity);
+                // SLO stamps digest only when present: unstamped jobs
+                // hash byte-identically to pre-SLO digests, keeping old
+                // caches warm.
+                match job.slo {
+                    None => {}
+                    Some(dmhpc_workload::Slo::Deadline { deadline_s }) => {
+                        h.write_str("slo-deadline");
+                        h.write_f64(deadline_s);
+                    }
+                    Some(dmhpc_workload::Slo::BudgetFactor { factor }) => {
+                        h.write_str("slo-bf");
+                        h.write_f64(factor);
+                    }
+                }
             }
         }
     }
@@ -161,6 +175,10 @@ pub(super) fn cell_hash(workload_digest: u64, cell: &RunSpec) -> u64 {
         OrderPolicy::Wfp { exponent } => {
             h.write_str("wfp");
             h.write_f64(exponent);
+        }
+        OrderPolicy::BatchBudget { hold_s } => {
+            h.write_str("batch-budget");
+            h.write_f64(hold_s);
         }
         other => h.write_str(other.name()),
     }
@@ -273,6 +291,13 @@ pub(super) fn cell_hash(workload_digest: u64, cell: &RunSpec) -> u64 {
         }
         h.write_u64(cell.service.warmup_s);
         h.write_opt_u64(cell.service.slo_wait_s.map(f64::to_bits));
+        // Budget-factor stamping hashes only when set: pre-SLO service
+        // cells keep their hashes (and caches) unchanged.
+        if let Some((lo, hi)) = cell.service.slo_budget_factor {
+            h.write_str("slo-bf");
+            h.write_f64(lo);
+            h.write_f64(hi);
+        }
         h.write_opt_u64(cell.service.seed);
     }
     h.finish()

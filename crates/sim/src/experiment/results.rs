@@ -19,6 +19,35 @@ pub struct CellResult {
     pub output: SimOutput,
 }
 
+impl CellResult {
+    /// This cell's SLO attainment, when it has a service objective:
+    ///
+    /// * open service cells report the sketch-measured fraction of jobs
+    ///   whose wait met the run's wait target;
+    /// * closed batch cells derive it from per-job records — the fraction
+    ///   of [`dmhpc_workload::Slo`]-stamped jobs that started by their
+    ///   deadline (unstarted stamped jobs count as missed).
+    ///
+    /// `None` when nothing in the cell carries a deadline, so SLO-free
+    /// grids report exactly what they did before deadlines existed.
+    pub fn slo_attainment(&self) -> Option<f64> {
+        if let Some(svc) = &self.output.service {
+            return (svc.slo_wait_s > 0.0).then_some(svc.slo_attained);
+        }
+        let mut met = 0u64;
+        let mut total = 0u64;
+        for r in &self.output.records {
+            let Some(slo) = r.job.slo else { continue };
+            let deadline = slo.deadline_for(r.job.arrival, r.job.walltime);
+            total += 1;
+            if r.start.is_some_and(|s| s <= deadline) {
+                met += 1;
+            }
+        }
+        (total > 0).then(|| met as f64 / total as f64)
+    }
+}
+
 /// How a result table was produced: how many cells were simulated versus
 /// loaded from a [`super::ResultCache`]. A warm re-run of an unchanged
 /// spec reports `simulated == 0` — the property the CI grid smoke
@@ -115,21 +144,26 @@ impl ExperimentResults {
         let mut out = String::with_capacity(256 * (self.cells.len() + 1));
         out.push_str("experiment,cluster,load,seed,fault,service,");
         out.push_str(export::REPORT_CSV_HEADER);
-        out.push('\n');
+        out.push_str(",slo_attainment\n");
         for c in &self.cells {
             let load = c.key.load.map(|l| format!("{l}")).unwrap_or_default();
             let seed = c.key.seed.map(|s| s.to_string()).unwrap_or_default();
             let fault = c.key.fault.as_deref().unwrap_or_default();
             let service = c.key.service.as_deref().unwrap_or_default();
+            let slo = c
+                .slo_attainment()
+                .map(|a| format!("{a}"))
+                .unwrap_or_default();
             out.push_str(&format!(
-                "{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{}\n",
                 export::sanitize(&self.name),
                 export::sanitize(&c.key.cluster),
                 load,
                 seed,
                 export::sanitize(fault),
                 export::sanitize(service),
-                export::report_csv_row(&c.output.report)
+                export::report_csv_row(&c.output.report),
+                slo
             ));
         }
         out
@@ -142,7 +176,7 @@ impl ExperimentResults {
             .cells
             .iter()
             .map(|c| {
-                Json::obj(vec![
+                let mut pairs = vec![
                     ("cluster", Json::Str(c.key.cluster.clone())),
                     ("load", c.key.load.map(Json::F64).unwrap_or(Json::Null)),
                     ("seed", c.key.seed.map(Json::UInt).unwrap_or(Json::Null)),
@@ -156,8 +190,15 @@ impl ExperimentResults {
                     ),
                     ("scheduler", Json::Str(c.key.scheduler.clone())),
                     ("trace_hash", Json::UInt(c.output.trace_hash)),
-                    ("report", export::report_to_value(&c.output.report)),
-                ])
+                ];
+                // Key present only for cells with a deadline objective:
+                // SLO-free grids serialize byte-identically to pre-SLO
+                // documents.
+                if let Some(a) = c.slo_attainment() {
+                    pairs.push(("slo_attainment", Json::F64(a)));
+                }
+                pairs.push(("report", export::report_to_value(&c.output.report)));
+                Json::obj(pairs)
             })
             .collect();
         Json::obj(vec![
@@ -203,11 +244,59 @@ mod tests {
         let lines: Vec<&str> = csv.trim_end().lines().collect();
         assert_eq!(lines.len(), 1 + r.len());
         assert!(lines[0].starts_with("experiment,cluster,load,seed,fault,service,label,"));
+        assert!(lines[0].ends_with(",slo_attainment"));
         let arity = lines[0].split(',').count();
         for line in &lines[1..] {
             assert_eq!(line.split(',').count(), arity);
             assert!(line.starts_with("table-test,rack-384gib,"));
+            // No deadlines anywhere in this grid: the trailing attainment
+            // field stays empty and the JSON key is absent entirely.
+            assert!(line.ends_with(','));
         }
+        assert!(!r.to_json().contains("slo_attainment"));
+        for c in r.cells() {
+            assert_eq!(c.slo_attainment(), None);
+        }
+    }
+
+    #[test]
+    fn closed_cells_report_deadline_attainment() {
+        use dmhpc_platform::{ClusterSpec, NodeSpec};
+        use dmhpc_workload::{JobBuilder, Slo, Workload};
+
+        // Two single-node jobs on a one-node machine: job 1 runs [0, 100)
+        // and trivially meets its generous deadline; job 2 (arrival 0,
+        // start 100) has a 50 s start deadline it cannot make.
+        let jobs = vec![
+            JobBuilder::new(1)
+                .nodes(1)
+                .runtime_secs(100, 100)
+                .mem_per_node(100)
+                .slo(Slo::Deadline { deadline_s: 1000.0 })
+                .build(),
+            JobBuilder::new(2)
+                .nodes(1)
+                .runtime_secs(100, 100)
+                .mem_per_node(100)
+                .slo(Slo::Deadline { deadline_s: 50.0 })
+                .build(),
+        ];
+        let spec = ExperimentSpec::builder("slo-table")
+            .fixed_workload(Workload::from_jobs(jobs))
+            .cluster(
+                "one",
+                ClusterSpec::new(1, 1, NodeSpec::new(4, 1024), PoolTopology::None),
+            )
+            .scheduler(SchedulerBuilder::new().slowdown(default_slowdown()).build())
+            .build()
+            .unwrap();
+        let r = ExperimentRunner::with_threads(1).run(&spec).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.cells()[0].slo_attainment(), Some(0.5));
+        let csv = r.to_csv();
+        let row = csv.trim_end().lines().last().unwrap();
+        assert!(row.ends_with(",0.5"), "{row}");
+        assert!(r.to_json().contains("\"slo_attainment\": 0.5"));
     }
 
     #[test]

@@ -4,7 +4,7 @@ use super::cache::{self, ResultCache};
 use super::results::{CellResult, ExperimentResults, RunStats};
 use super::shard::Shard;
 use super::{ExperimentSpec, RunSpec, WorkloadSource};
-use crate::engine::Simulation;
+use crate::engine::{ObserverSet, Simulation};
 use crate::error::SimError;
 use crate::observe::{Observer, ObserverFactory, RunLabel, TraceDir};
 use crate::sweep::run_parallel;
@@ -243,7 +243,7 @@ impl ExperimentRunner {
             match made {
                 Err(e) => (*i, cell.clone(), *hash, None, Some(e)),
                 Ok(mut obs) => {
-                    let output = sim.run_boxed(workload, &mut obs);
+                    let output = sim.run_with(workload, ObserverSet::new().watch_boxed(&mut obs));
                     let failure = obs.iter().find_map(|o| o.failure());
                     (*i, cell.clone(), *hash, Some(output), failure)
                 }

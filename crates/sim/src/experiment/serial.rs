@@ -71,6 +71,10 @@ fn order_to_json(order: &OrderPolicy) -> Json {
             "wfp",
             Json::obj(vec![("exponent", Json::F64(exponent))]),
         )]),
+        OrderPolicy::BatchBudget { hold_s } => Json::obj(vec![(
+            "batch-budget",
+            Json::obj(vec![("hold_s", Json::F64(hold_s))]),
+        )]),
         _ => Json::Str(order.name().into()),
     }
 }
@@ -242,6 +246,12 @@ fn service_to_json(s: &ServiceSpec) -> Json {
     if let Some(slo) = s.slo_wait_s {
         pairs.push(("slo_wait_s", Json::F64(slo)));
     }
+    if let Some((lo, hi)) = s.slo_budget_factor {
+        pairs.push((
+            "slo_budget_factor",
+            Json::obj(vec![("min", Json::F64(lo)), ("max", Json::F64(hi))]),
+        ));
+    }
     if let Some(seed) = s.seed {
         pairs.push(("seed", Json::UInt(seed)));
     }
@@ -338,8 +348,13 @@ fn order_from_json(v: &Json) -> Result<OrderPolicy, JsonError> {
         "fcfs" => Ok(OrderPolicy::Fcfs),
         "sjf" => Ok(OrderPolicy::Sjf),
         "largest-first" => Ok(OrderPolicy::LargestFirst),
+        "edf" => Ok(OrderPolicy::Edf),
+        "llf" => Ok(OrderPolicy::LeastLaxity),
         "wfp" => Ok(OrderPolicy::Wfp {
             exponent: payload(data, tag)?.expect_key("exponent")?.to_f64()?,
+        }),
+        "batch-budget" => Ok(OrderPolicy::BatchBudget {
+            hold_s: payload(data, tag)?.expect_key("hold_s")?.to_f64()?,
         }),
         other => Err(shape(format!("unknown order policy {other:?}"))),
     }
@@ -521,6 +536,13 @@ fn service_from_json(v: &Json) -> Result<ServiceSpec, JsonError> {
         warmup_s: v.expect_key("warmup_s")?.to_u64()?,
         slo_wait_s: match v.get("slo_wait_s") {
             Some(s) => Some(s.to_f64()?),
+            None => None,
+        },
+        slo_budget_factor: match v.get("slo_budget_factor") {
+            Some(b) => Some((
+                b.expect_key("min")?.to_f64()?,
+                b.expect_key("max")?.to_f64()?,
+            )),
             None => None,
         },
         seed: match v.get("seed") {

@@ -64,7 +64,7 @@ pub mod sweep;
 
 pub use collector::SeriesBundle;
 pub use config::{EventQueueKind, ObserverSpec, SimConfig};
-pub use engine::{SimOutput, Simulation};
+pub use engine::{ObserverSet, SimOutput, Simulation};
 pub use error::SimError;
 pub use experiment::{
     CellKey, CellResult, ExperimentBuilder, ExperimentResults, ExperimentRunner, ExperimentSpec,

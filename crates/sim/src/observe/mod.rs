@@ -37,12 +37,13 @@
 //! experiment cell hashes (like `event_queue`) — so result caches built
 //! before this API replay untouched.
 //!
-//! Attach points, innermost to outermost: pre-built observers via
-//! [`crate::Simulation::run_observed`]; per-run factories via
-//! [`crate::Simulation::with_observer`] or
-//! [`crate::SimConfig::observers`]; per-cell factories on a whole grid
-//! via `ExperimentRunner::observe` / `ExperimentRunner::trace_dir`; and
-//! `repro … --trace-out DIR` from the command line.
+//! Attach points, innermost to outermost: per run, everything goes
+//! through one [`crate::ObserverSet`] passed to
+//! [`crate::Simulation::run_with`] — caller-owned observers, per-run
+//! factories, and the progress heartbeat alike; per-cell factories on a
+//! whole grid via `ExperimentRunner::observe` /
+//! `ExperimentRunner::trace_dir`; and `repro … --trace-out DIR` from the
+//! command line.
 
 mod builtin;
 mod probe;
@@ -307,7 +308,7 @@ impl RunLabel {
 /// Builds one fresh observer per run. Grids execute many runs (cells)
 /// concurrently, and stateful observers cannot be shared between them —
 /// so the attach points that outlive a single run
-/// ([`crate::Simulation::with_observer`], `ExperimentRunner::observe`)
+/// ([`crate::ObserverSet::factory`], `ExperimentRunner::observe`)
 /// take factories.
 pub trait ObserverFactory: Send + Sync {
     /// Create the observer for one run. Fallible so file-backed sinks can

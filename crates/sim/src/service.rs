@@ -25,7 +25,7 @@
 use crate::error::SimError;
 use dmhpc_platform::ClusterSpec;
 use dmhpc_workload::source::{ArrivalProcess, Horizon, LoadControl, StreamingSynthetic};
-use dmhpc_workload::SystemPreset;
+use dmhpc_workload::{Slo, SloModel, SystemPreset};
 
 /// How the offered load of an open stream is set. The cluster-independent
 /// half of [`dmhpc_workload::LoadControl`]: a utilization target binds to
@@ -86,8 +86,18 @@ pub struct ServiceSpec {
     /// empty-system transient.
     pub warmup_s: u64,
     /// Optional wait-time SLO target, seconds; when set, the run reports
-    /// the fraction of measured jobs whose wait met it.
+    /// the fraction of measured jobs whose wait met it, and — unless
+    /// [`ServiceSpec::slo_budget_factor`] overrides it — every streamed
+    /// job is stamped with a fixed [`Slo::Deadline`] at this budget, so
+    /// deadline-aware orderings see the run's objective on the jobs
+    /// themselves.
     pub slo_wait_s: Option<f64>,
+    /// Optional per-job budget-factor stamping range `(min, max)`: each
+    /// streamed job draws a seeded [`Slo::BudgetFactor`] uniformly inside
+    /// it (deadline ∝ its own walltime). Takes precedence over the fixed
+    /// [`ServiceSpec::slo_wait_s`] stamp; drawn from its own RNG stream,
+    /// so arrivals and job bodies are unchanged by stamping.
+    pub slo_budget_factor: Option<(f64, f64)>,
     /// Stream seed. `None` defers to the context: the experiment layer
     /// fills in the cell's seed-axis value, stand-alone runs default to
     /// [`ServiceSpec::DEFAULT_SEED`].
@@ -115,6 +125,7 @@ impl ServiceSpec {
             horizon: None,
             warmup_s: 0,
             slo_wait_s: None,
+            slo_budget_factor: None,
             seed: None,
         }
     }
@@ -182,6 +193,15 @@ impl ServiceSpec {
         self
     }
 
+    /// Stamp every streamed job with a seeded per-job
+    /// [`Slo::BudgetFactor`] drawn uniformly from `[factor_min,
+    /// factor_max]` (wait budget ∝ the job's walltime). Overrides the
+    /// fixed [`ServiceSpec::with_slo_wait_secs`] stamp.
+    pub fn with_slo_budget_factor(mut self, factor_min: f64, factor_max: f64) -> Self {
+        self.slo_budget_factor = Some((factor_min, factor_max));
+        self
+    }
+
     /// Pin the stream seed (otherwise the experiment seed axis, or
     /// [`ServiceSpec::DEFAULT_SEED`] stand-alone, supplies it).
     pub fn with_seed(mut self, seed: u64) -> Self {
@@ -232,6 +252,14 @@ impl ServiceSpec {
                 )));
             }
         }
+        if let Some((factor_min, factor_max)) = self.slo_budget_factor {
+            SloModel {
+                factor_min,
+                factor_max,
+            }
+            .validate()
+            .map_err(|e| SimError::spec(format!("service SLO stamping: {e}")))?;
+        }
         Ok(())
     }
 
@@ -259,14 +287,27 @@ impl ServiceSpec {
         let horizon = self.horizon.ok_or_else(|| {
             SimError::spec("open-system service runs need a horizon (job count or duration)")
         })?;
-        let spec = preset.synthetic_spec(1);
-        let source = StreamingSynthetic::new(
+        let mut spec = preset.synthetic_spec(1);
+        if let Some((factor_min, factor_max)) = self.slo_budget_factor {
+            spec.slo = Some(SloModel {
+                factor_min,
+                factor_max,
+            });
+        }
+        let mut source = StreamingSynthetic::new(
             spec,
             self.process,
             self.load.bind(cluster.total_nodes()),
             horizon,
             self.seed.unwrap_or(Self::DEFAULT_SEED),
         )?;
+        // The run-wide wait target doubles as the default per-job stamp
+        // (fixed, consumes no randomness) when no stamping model is set.
+        if self.slo_budget_factor.is_none() {
+            if let Some(deadline_s) = self.slo_wait_s {
+                source = source.with_default_slo(Slo::Deadline { deadline_s })?;
+            }
+        }
         Ok(source)
     }
 
@@ -303,6 +344,9 @@ impl ServiceSpec {
         }
         if let Some(slo) = self.slo_wait_s {
             parts.push(format!("slo{slo:.0}"));
+        }
+        if let Some((lo, hi)) = self.slo_budget_factor {
+            parts.push(format!("bf{lo}-{hi}"));
         }
         if let Some(seed) = self.seed {
             parts.push(format!("s{seed}"));
@@ -359,13 +403,91 @@ mod tests {
         assert!(base.clone().with_slo_wait_secs(-1.0).validate().is_err());
         assert!(base
             .clone()
+            .with_slo_budget_factor(2.0, 1.0)
+            .validate()
+            .is_err());
+        assert!(base
+            .clone()
+            .with_slo_budget_factor(0.0, 1.0)
+            .validate()
+            .is_err());
+        // Burst ratios ≥ 2 are valid since the MMPP bound was lifted;
+        // sub-1 ratios still are not.
+        base.clone()
             .with_process(ArrivalProcess::Mmpp {
                 burst_ratio: 3.0,
                 mean_dwell_secs: 60.0,
             })
             .validate()
+            .unwrap();
+        assert!(base
+            .clone()
+            .with_process(ArrivalProcess::Mmpp {
+                burst_ratio: 0.5,
+                mean_dwell_secs: 60.0,
+            })
+            .validate()
             .is_err());
         base.validate_for(&machine()).unwrap();
+    }
+
+    #[test]
+    fn slo_targets_stamp_streamed_jobs() {
+        let base = ServiceSpec::open(SystemPreset::HighThroughput)
+            .with_horizon_jobs(40)
+            .with_seed(7);
+
+        // No SLO anywhere: jobs stream unstamped.
+        let jobs: Vec<_> = {
+            let mut s = base.clone().open_source(&machine()).unwrap();
+            std::iter::from_fn(|| s.next_job()).collect()
+        };
+        assert!(jobs.iter().all(|j| j.slo.is_none()));
+
+        // A wait target stamps a fixed deadline, leaving everything else
+        // about the stream untouched.
+        let stamped: Vec<_> = {
+            let mut s = base
+                .clone()
+                .with_slo_wait_secs(1800.0)
+                .open_source(&machine())
+                .unwrap();
+            std::iter::from_fn(|| s.next_job()).collect()
+        };
+        assert!(stamped
+            .iter()
+            .all(|j| j.slo == Some(Slo::Deadline { deadline_s: 1800.0 })));
+        for (a, b) in jobs.iter().zip(stamped.iter()) {
+            assert_eq!(a.arrival, b.arrival);
+            assert_eq!(a.walltime, b.walltime);
+        }
+
+        // A budget-factor range wins over the wait target and draws
+        // per-job factors inside it.
+        let drawn: Vec<_> = {
+            let mut s = base
+                .clone()
+                .with_slo_wait_secs(1800.0)
+                .with_slo_budget_factor(1.5, 4.0)
+                .open_source(&machine())
+                .unwrap();
+            std::iter::from_fn(|| s.next_job()).collect()
+        };
+        let mut factors = Vec::new();
+        for j in &drawn {
+            match j.slo {
+                Some(Slo::BudgetFactor { factor }) => {
+                    assert!((1.5..=4.0).contains(&factor));
+                    factors.push(factor);
+                }
+                other => panic!("expected a budget-factor stamp, got {other:?}"),
+            }
+        }
+        factors.dedup();
+        assert!(factors.len() > 1, "factors vary per job");
+        for (a, b) in jobs.iter().zip(drawn.iter()) {
+            assert_eq!(a.arrival, b.arrival, "stamping never moves arrivals");
+        }
     }
 
     #[test]

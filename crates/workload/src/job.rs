@@ -1,5 +1,6 @@
 //! The job model.
 
+use crate::slo::Slo;
 use dmhpc_des::time::{SimDuration, SimTime};
 use std::fmt;
 
@@ -48,6 +49,10 @@ pub struct Job {
     /// Memory-access intensity in `[0, 1]`: how much of the far-memory
     /// penalty this job feels. 0 = compute-bound, 1 = fully memory-bound.
     pub intensity: f64,
+    /// Optional service-level objective (a wait budget). `None` means the
+    /// job is unconstrained; SLO-free workloads hash and serialize exactly
+    /// as they did before the field existed.
+    pub slo: Option<Slo>,
 }
 
 impl Job {
@@ -100,6 +105,9 @@ impl Job {
         if self.mem_per_node == 0 {
             return Err(format!("{}: zero memory", self.id));
         }
+        if let Some(slo) = &self.slo {
+            slo.validate().map_err(|e| format!("{}: {e}", self.id))?;
+        }
         Ok(())
     }
 }
@@ -125,6 +133,7 @@ impl JobBuilder {
                 runtime: SimDuration::from_mins(30),
                 mem_per_node: 1024,
                 intensity: 0.5,
+                slo: None,
             },
         }
     }
@@ -185,6 +194,12 @@ impl JobBuilder {
         self
     }
 
+    /// Attach a service-level objective.
+    pub fn slo(mut self, slo: Slo) -> Self {
+        self.job.slo = Some(slo);
+        self
+    }
+
     /// Finish; panics if the job is inconsistent (construction-time bug).
     pub fn build(self) -> Job {
         self.job
@@ -235,6 +250,18 @@ mod tests {
         let mut j = JobBuilder::new(6).build();
         j.mem_per_node = 0;
         assert!(j.validate().is_err());
+        let mut j = JobBuilder::new(7).build();
+        j.slo = Some(Slo::Deadline { deadline_s: -5.0 });
+        assert!(j.validate().is_err());
+    }
+
+    #[test]
+    fn slo_attaches_via_builder() {
+        let j = JobBuilder::new(8)
+            .slo(Slo::BudgetFactor { factor: 2.0 })
+            .build();
+        assert_eq!(j.slo, Some(Slo::BudgetFactor { factor: 2.0 }));
+        assert_eq!(JobBuilder::new(9).build().slo, None);
     }
 
     #[test]

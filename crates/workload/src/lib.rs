@@ -31,6 +31,7 @@
 
 mod error;
 mod job;
+mod slo;
 pub mod source;
 pub mod stats;
 pub mod swf;
@@ -40,6 +41,7 @@ mod workload_set;
 
 pub use error::WorkloadError;
 pub use job::{Job, JobBuilder, JobId};
+pub use slo::{Slo, SloModel};
 pub use source::{ArrivalProcess, Horizon, JobSource, LoadControl, StreamingSynthetic};
 pub use synthetic::{SyntheticSpec, SystemPreset};
 pub use workload_set::{Workload, WorkloadBuilder};

@@ -1,0 +1,184 @@
+//! Per-job service-level objectives.
+//!
+//! An [`Slo`] is a *wait budget*: how long a job may sit queued past its
+//! arrival before the objective is missed. Deadline-aware orderings (EDF,
+//! least-laxity) consume the derived absolute deadline; the attainment
+//! metric counts jobs whose actual wait stayed inside the budget. Jobs
+//! without an SLO are unconstrained — every serialization and hashing layer
+//! treats `None` as "write nothing", so SLO-free workloads stay
+//! bit-identical to their pre-SLO form.
+
+use crate::error::WorkloadError;
+use dmhpc_des::rng::Pcg64;
+use dmhpc_des::time::{SimDuration, SimTime};
+
+/// A job's service-level objective, expressed as a wait budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Slo {
+    /// Absolute wait budget: the job should start within `deadline_s`
+    /// seconds of its arrival.
+    Deadline {
+        /// Wait budget in seconds from arrival (> 0, finite).
+        deadline_s: f64,
+    },
+    /// Relative wait budget: the job should start within
+    /// `factor × walltime` of its arrival. Short jobs get tight deadlines,
+    /// long jobs lenient ones — the window-based job-value framing.
+    BudgetFactor {
+        /// Multiplier on the walltime request (> 0, finite).
+        factor: f64,
+    },
+}
+
+impl Slo {
+    /// Validate the objective's parameters.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        match *self {
+            Slo::Deadline { deadline_s } => {
+                if !(deadline_s.is_finite() && deadline_s > 0.0) {
+                    return Err(WorkloadError::new(
+                        "slo",
+                        format!("deadline_s must be positive and finite, got {deadline_s}"),
+                    ));
+                }
+            }
+            Slo::BudgetFactor { factor } => {
+                if !(factor.is_finite() && factor > 0.0) {
+                    return Err(WorkloadError::new(
+                        "slo",
+                        format!("budget factor must be positive and finite, got {factor}"),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The wait budget for a job with the given walltime request.
+    pub fn wait_budget(&self, walltime: SimDuration) -> SimDuration {
+        match *self {
+            Slo::Deadline { deadline_s } => SimDuration::from_secs_f64(deadline_s),
+            Slo::BudgetFactor { factor } => walltime.scale(factor),
+        }
+    }
+
+    /// The absolute start deadline for a job arriving at `arrival` with the
+    /// given walltime request.
+    pub fn deadline_for(&self, arrival: SimTime, walltime: SimDuration) -> SimTime {
+        arrival.saturating_add(self.wait_budget(walltime))
+    }
+}
+
+/// A seeded stamping model: draws a [`Slo::BudgetFactor`] per job, uniform
+/// in `[factor_min, factor_max]`. Used by the synthetic generators to attach
+/// heterogeneous deadlines, which is what makes deadline-aware orderings
+/// diverge from FCFS (a constant absolute deadline preserves arrival order).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloModel {
+    /// Smallest budget factor (> 0).
+    pub factor_min: f64,
+    /// Largest budget factor (≥ `factor_min`).
+    pub factor_max: f64,
+}
+
+impl SloModel {
+    /// Validate the model's parameters.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        if !(self.factor_min.is_finite() && self.factor_min > 0.0) {
+            return Err(WorkloadError::new(
+                "slo",
+                format!(
+                    "factor_min must be positive and finite, got {}",
+                    self.factor_min
+                ),
+            ));
+        }
+        if !(self.factor_max.is_finite() && self.factor_max >= self.factor_min) {
+            return Err(WorkloadError::new(
+                "slo",
+                format!(
+                    "factor_max must be finite and >= factor_min, got {}",
+                    self.factor_max
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Draw one objective. One uniform per job, from the caller's stream.
+    pub fn sample(&self, rng: &mut Pcg64) -> Slo {
+        Slo::BudgetFactor {
+            factor: rng.range_f64(self.factor_min, self.factor_max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        assert!(Slo::Deadline { deadline_s: 0.0 }.validate().is_err());
+        assert!(Slo::Deadline {
+            deadline_s: f64::INFINITY
+        }
+        .validate()
+        .is_err());
+        assert!(Slo::BudgetFactor { factor: -1.0 }.validate().is_err());
+        assert!(Slo::Deadline { deadline_s: 60.0 }.validate().is_ok());
+        assert!(Slo::BudgetFactor { factor: 0.5 }.validate().is_ok());
+        assert!(SloModel {
+            factor_min: 0.0,
+            factor_max: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(SloModel {
+            factor_min: 2.0,
+            factor_max: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(SloModel {
+            factor_min: 0.5,
+            factor_max: 2.0
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn budgets_and_deadlines() {
+        let wall = SimDuration::from_secs(1000);
+        let arr = SimTime::from_secs(50);
+        let abs = Slo::Deadline { deadline_s: 300.0 };
+        assert_eq!(abs.wait_budget(wall), SimDuration::from_secs(300));
+        assert_eq!(abs.deadline_for(arr, wall), SimTime::from_secs(350));
+        let rel = Slo::BudgetFactor { factor: 0.5 };
+        assert_eq!(rel.wait_budget(wall), SimDuration::from_secs(500));
+        assert_eq!(rel.deadline_for(arr, wall), SimTime::from_secs(550));
+    }
+
+    #[test]
+    fn model_samples_inside_range_and_deterministically() {
+        let m = SloModel {
+            factor_min: 0.25,
+            factor_max: 4.0,
+        };
+        let mut a = Pcg64::new(7);
+        let mut b = Pcg64::new(7);
+        for _ in 0..256 {
+            let sa = m.sample(&mut a);
+            let sb = m.sample(&mut b);
+            assert_eq!(sa, sb);
+            sa.validate().unwrap();
+            match sa {
+                Slo::BudgetFactor { factor } => {
+                    assert!((0.25..=4.0).contains(&factor));
+                }
+                other => panic!("unexpected variant {other:?}"),
+            }
+        }
+    }
+}

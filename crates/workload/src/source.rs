@@ -15,9 +15,10 @@
 //! * [`ArrivalProcess::Daily`] — the daily-cycle nonhomogeneous Poisson of
 //!   [`ArrivalModel`], thinned exactly;
 //! * [`ArrivalProcess::Mmpp`] — a two-state Markov-modulated Poisson process
-//!   for bursty traffic: phases alternate between `burst_ratio ×` and
-//!   `(2 − burst_ratio) ×` the mean rate with exponential dwell times, which
-//!   preserves the long-run mean rate while adding burst-scale correlation.
+//!   for bursty traffic: phases alternate between a burst rate and a quiet
+//!   rate with exponential dwell times, balanced so the long-run mean rate
+//!   is preserved exactly while adding burst-scale correlation (see the
+//!   variant docs for the phase-rate derivation).
 //!
 //! Load is controlled either by a fixed mean inter-arrival time
 //! ([`LoadControl::Rate`]) or by a target machine utilization
@@ -31,6 +32,7 @@
 
 use crate::error::WorkloadError;
 use crate::job::{Job, JobId};
+use crate::slo::Slo;
 use crate::synthetic::{ArrivalModel, SyntheticSpec};
 use dmhpc_des::rng::dist::Zipf;
 use dmhpc_des::rng::Pcg64;
@@ -86,13 +88,23 @@ pub enum ArrivalProcess {
         peak_to_trough: f64,
     },
     /// Two-state Markov-modulated Poisson process. The burst phase runs at
-    /// `burst_ratio ×` the mean rate, the quiet phase at
-    /// `(2 − burst_ratio) ×`; with equal mean dwell times this preserves
-    /// the long-run mean rate exactly.
+    /// `burst_ratio ×` the mean rate `r`; the quiet phase and the dwell
+    /// balance are derived so the long-run mean rate is exactly `r`:
+    ///
+    /// * `burst_ratio ∈ [1, 2)` — quiet rate `(2 − burst_ratio) × r` with
+    ///   equal mean dwell times in both phases (the historical derivation,
+    ///   kept bit-exact);
+    /// * `burst_ratio ≥ 2` — an interrupted Poisson process: the quiet
+    ///   phase is silent (rate 0) and its mean dwell is stretched to
+    ///   `(burst_ratio − 1) ×` the burst dwell, so the burst phase holds
+    ///   `1 / burst_ratio` of the time and `burst_ratio × r / burst_ratio
+    ///   = r` on average. The two branches agree in the limit at 2.
     Mmpp {
-        /// Burst-phase rate as a multiple of the mean rate, in `[1, 2)`.
+        /// Burst-phase rate as a multiple of the mean rate (≥ 1).
         burst_ratio: f64,
-        /// Mean dwell time in each phase, seconds.
+        /// Mean dwell time in the burst phase, seconds. For
+        /// `burst_ratio < 2` the quiet phase dwells equally long on
+        /// average; above, its dwell scales up to keep the mean rate.
         mean_dwell_secs: f64,
     },
 }
@@ -116,13 +128,10 @@ impl ArrivalProcess {
                 burst_ratio,
                 mean_dwell_secs,
             } => {
-                if !(1.0..2.0).contains(&burst_ratio) {
+                if !(burst_ratio >= 1.0 && burst_ratio.is_finite()) {
                     return Err(WorkloadError::new(
                         "arrivals",
-                        format!(
-                            "MMPP burst_ratio must be in [1, 2) so both phase rates \
-                             stay positive, got {burst_ratio}"
-                        ),
+                        format!("MMPP burst_ratio must be >= 1 and finite, got {burst_ratio}"),
                     ));
                 }
                 if !(mean_dwell_secs > 0.0 && mean_dwell_secs.is_finite()) {
@@ -225,7 +234,11 @@ const PILOT_RUNTIME_STREAM: u64 = 0x9102;
 struct MmppState {
     rate_high: f64,
     rate_low: f64,
-    mean_dwell_secs: f64,
+    /// Mean dwell in the burst phase, seconds.
+    dwell_high_secs: f64,
+    /// Mean dwell in the quiet phase, seconds (equal to the burst dwell for
+    /// `burst_ratio < 2`, stretched above — see [`ArrivalProcess::Mmpp`]).
+    dwell_low_secs: f64,
     /// Currently in the burst phase?
     high: bool,
     /// Absolute time (seconds) of the next phase switch.
@@ -245,13 +258,22 @@ impl MmppState {
             } else {
                 self.rate_low
             };
+            // A silent quiet phase (interrupted Poisson, burst_ratio ≥ 2)
+            // yields dt = +inf here, which correctly falls through to the
+            // phase switch while consuming one draw — the same draw count
+            // per loop iteration as an audible phase.
             let dt = -rng.next_f64_open().ln() / rate;
             if t + dt <= self.switch_at {
                 return t + dt;
             }
             t = self.switch_at;
             self.high = !self.high;
-            let dwell = -rng.next_f64_open().ln() * self.mean_dwell_secs;
+            let mean_dwell = if self.high {
+                self.dwell_high_secs
+            } else {
+                self.dwell_low_secs
+            };
+            let dwell = -rng.next_f64_open().ln() * mean_dwell;
             self.switch_at = t + dwell;
         }
     }
@@ -275,6 +297,10 @@ pub struct StreamingSynthetic {
     r_memory: Pcg64,
     r_intensity: Pcg64,
     r_user: Pcg64,
+    r_slo: Pcg64,
+    /// Fixed objective stamped on every job when the spec carries no
+    /// [`crate::SloModel`] of its own (the service layer's default stamp).
+    default_slo: Option<Slo>,
     user_dist: Zipf,
     t_secs: f64,
     emitted: u64,
@@ -341,11 +367,21 @@ impl StreamingSynthetic {
                 mean_dwell_secs,
             } => {
                 let rate = 1.0 / mean_interarrival_secs;
+                // Phase-rate balance: below 2 the quiet phase absorbs the
+                // burst surplus at equal dwell; from 2 up the quiet phase
+                // goes silent and its dwell stretches instead. Both keep
+                // the long-run mean at `rate` exactly.
+                let (rate_low, dwell_low_secs) = if burst_ratio < 2.0 {
+                    (rate * (2.0 - burst_ratio), mean_dwell_secs)
+                } else {
+                    (0.0, (burst_ratio - 1.0) * mean_dwell_secs)
+                };
                 let dwell = -r_arrival.next_f64_open().ln() * mean_dwell_secs;
                 Some(MmppState {
                     rate_high: rate * burst_ratio,
-                    rate_low: rate * (2.0 - burst_ratio),
-                    mean_dwell_secs,
+                    rate_low,
+                    dwell_high_secs: mean_dwell_secs,
+                    dwell_low_secs,
                     high: true,
                     switch_at: dwell,
                 })
@@ -362,6 +398,8 @@ impl StreamingSynthetic {
             r_memory: root.fork(5),
             r_intensity: root.fork(6),
             r_user: root.fork(7),
+            r_slo: root.fork(8),
+            default_slo: None,
             spec,
             arrivals,
             mmpp,
@@ -370,6 +408,15 @@ impl StreamingSynthetic {
             emitted: 0,
             done: false,
         })
+    }
+
+    /// Stamp every emitted job with a fixed objective. The spec's own
+    /// [`crate::SloModel`], when present, takes precedence (it draws a
+    /// per-job budget factor); this fixed stamp consumes no randomness.
+    pub fn with_default_slo(mut self, slo: Slo) -> Result<Self, WorkloadError> {
+        slo.validate()?;
+        self.default_slo = Some(slo);
+        Ok(self)
     }
 
     /// The resolved mean inter-arrival time, seconds (after any
@@ -415,6 +462,12 @@ impl JobSource for StreamingSynthetic {
         let mem_frac = mem_per_node as f64 / self.spec.memory.node_mem_mib as f64;
         let intensity = self.spec.intensity.sample(&mut self.r_intensity, mem_frac);
         let user = self.user_dist.sample_index(&mut self.r_user) as u32;
+        // Matches the batch generator: the SLO stream advances only when
+        // the spec stamps, so unstamped streams replay bit-identically.
+        let slo = match &self.spec.slo {
+            Some(m) => Some(m.sample(&mut self.r_slo)),
+            None => self.default_slo,
+        };
         let id = JobId(self.emitted);
         self.emitted += 1;
         Some(Job {
@@ -426,6 +479,7 @@ impl JobSource for StreamingSynthetic {
             runtime,
             mem_per_node,
             intensity,
+            slo,
         })
     }
 
@@ -561,6 +615,43 @@ mod tests {
     }
 
     #[test]
+    fn mmpp_high_burst_ratio_preserves_mean_rate() {
+        // Interrupted-Poisson regime: at burst_ratio 4 the quiet phase is
+        // silent and three times as long as the burst on average; the
+        // long-run mean must still hold, and the gaps must be burstier
+        // than at ratio 1.8.
+        let mean = 50.0;
+        for ratio in [2.0, 4.0] {
+            // Short dwells give the estimator plenty of phase cycles; the
+            // long-run mean concentrates as cycles accumulate.
+            let mut src = StreamingSynthetic::new(
+                spec(),
+                ArrivalProcess::Mmpp {
+                    burst_ratio: ratio,
+                    mean_dwell_secs: 600.0,
+                },
+                LoadControl::Rate {
+                    mean_interarrival_secs: mean,
+                },
+                Horizon::Jobs(40_000),
+                11,
+            )
+            .unwrap();
+            let mut last = 0.0;
+            let mut n = 0u64;
+            while let Some(j) = src.next_job() {
+                last = j.arrival.as_secs_f64();
+                n += 1;
+            }
+            let realized_mean = last / n as f64;
+            assert!(
+                (realized_mean - mean).abs() / mean < 0.08,
+                "ratio {ratio}: long-run mean {realized_mean} should stay near {mean}"
+            );
+        }
+    }
+
+    #[test]
     fn duration_horizon_stops_at_cutoff() {
         let mut src = StreamingSynthetic::new(
             spec(),
@@ -603,7 +694,7 @@ mod tests {
 
         let err = ok(
             ArrivalProcess::Mmpp {
-                burst_ratio: 2.5,
+                burst_ratio: 0.5,
                 mean_dwell_secs: 100.0,
             },
             rate,
@@ -612,6 +703,36 @@ mod tests {
         .unwrap_err();
         assert_eq!(err.model, "arrivals");
         assert!(err.reason.contains("burst_ratio"), "{err}");
+        let err = ok(
+            ArrivalProcess::Mmpp {
+                burst_ratio: f64::INFINITY,
+                mean_dwell_secs: 100.0,
+            },
+            rate,
+            horizon,
+        )
+        .unwrap_err();
+        assert!(err.reason.contains("burst_ratio"), "{err}");
+        // The old [1, 2) upper bound is lifted: ratios at and above 2 are
+        // valid (interrupted-Poisson regime).
+        ok(
+            ArrivalProcess::Mmpp {
+                burst_ratio: 2.0,
+                mean_dwell_secs: 100.0,
+            },
+            rate,
+            horizon,
+        )
+        .unwrap();
+        ok(
+            ArrivalProcess::Mmpp {
+                burst_ratio: 6.0,
+                mean_dwell_secs: 100.0,
+            },
+            rate,
+            horizon,
+        )
+        .unwrap();
 
         let err = ok(
             ArrivalProcess::Mmpp {
@@ -664,6 +785,67 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.reason.contains("node"), "{err}");
+    }
+
+    #[test]
+    fn slo_stamping_replays_batch_and_defaults_apply() {
+        use crate::slo::SloModel;
+        // Spec-model stamping: the stream must replay the batch generator
+        // bit-exactly, stamped budgets included.
+        let mut spec_m = spec();
+        spec_m.slo = Some(SloModel {
+            factor_min: 0.5,
+            factor_max: 3.0,
+        });
+        let batch = spec_m.generate(9);
+        let mut src = StreamingSynthetic::new(
+            spec_m.clone(),
+            ArrivalProcess::Daily {
+                peak_to_trough: spec_m.arrivals.peak_to_trough,
+            },
+            LoadControl::Rate {
+                mean_interarrival_secs: spec_m.arrivals.mean_interarrival_secs,
+            },
+            Horizon::Jobs(300),
+            9,
+        )
+        .unwrap();
+        for expect in batch.iter() {
+            assert_eq!(&src.next_job().unwrap(), expect);
+        }
+
+        // Default stamp: fixed objective on every job, no randomness
+        // consumed, and the spec model (when present) wins.
+        let fixed = Slo::Deadline { deadline_s: 900.0 };
+        let mut plain = StreamingSynthetic::new(
+            spec(),
+            ArrivalProcess::Poisson,
+            LoadControl::Rate {
+                mean_interarrival_secs: 60.0,
+            },
+            Horizon::Jobs(20),
+            3,
+        )
+        .unwrap();
+        let mut stamped = plain.clone().with_default_slo(fixed).unwrap();
+        while let (Some(a), Some(b)) = (plain.next_job(), stamped.next_job()) {
+            assert_eq!(a.slo, None);
+            assert_eq!(b.slo, Some(fixed));
+            assert_eq!(a.arrival, b.arrival, "stamp consumes no randomness");
+            assert_eq!(a.runtime, b.runtime);
+        }
+        assert!(StreamingSynthetic::new(
+            spec(),
+            ArrivalProcess::Poisson,
+            LoadControl::Rate {
+                mean_interarrival_secs: 60.0,
+            },
+            Horizon::Jobs(20),
+            3,
+        )
+        .unwrap()
+        .with_default_slo(Slo::Deadline { deadline_s: -1.0 })
+        .is_err());
     }
 
     #[test]

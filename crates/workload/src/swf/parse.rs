@@ -148,6 +148,7 @@ fn parse_data_line(line: &str, cfg: &SwfConfig) -> Result<Option<Job>, String> {
         runtime: SimDuration::from_secs(runtime_s as u64),
         mem_per_node,
         intensity,
+        slo: None,
     };
     job.validate().map_err(|e| format!("invalid job: {e}"))?;
     Ok(Some(job))

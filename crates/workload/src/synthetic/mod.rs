@@ -22,6 +22,7 @@ pub use sizes::SizeModel;
 
 use crate::error::WorkloadError;
 use crate::job::{Job, JobId};
+use crate::slo::SloModel;
 use crate::workload_set::Workload;
 use dmhpc_des::rng::dist::Zipf;
 use dmhpc_des::rng::Pcg64;
@@ -47,6 +48,10 @@ pub struct SyntheticSpec {
     pub memory: MemoryModel,
     /// Memory-intensity model.
     pub intensity: IntensityModel,
+    /// Optional SLO stamping model. `None` (the presets' default) leaves
+    /// jobs unconstrained and keeps generation bit-identical to pre-SLO
+    /// output; `Some` stamps every job from its own forked stream.
+    pub slo: Option<SloModel>,
 }
 
 impl SyntheticSpec {
@@ -66,6 +71,9 @@ impl SyntheticSpec {
         self.walltime.validate()?;
         self.memory.validate()?;
         self.intensity.validate()?;
+        if let Some(slo) = &self.slo {
+            slo.validate()?;
+        }
         Ok(())
     }
 
@@ -82,6 +90,7 @@ impl SyntheticSpec {
         let mut r_memory = root.fork(5);
         let mut r_intensity = root.fork(6);
         let mut r_user = root.fork(7);
+        let mut r_slo = root.fork(8);
 
         let arrivals = self.arrivals.generate(&mut r_arrival, self.n_jobs);
         let user_dist = Zipf::new(self.users, self.user_zipf_s);
@@ -95,6 +104,7 @@ impl SyntheticSpec {
             let mem_frac = mem_per_node as f64 / self.memory.node_mem_mib as f64;
             let intensity = self.intensity.sample(&mut r_intensity, mem_frac);
             let user = user_dist.sample_index(&mut r_user) as u32;
+            let slo = self.slo.as_ref().map(|m| m.sample(&mut r_slo));
             jobs.push(Job {
                 id: JobId(i as u64),
                 user,
@@ -104,6 +114,7 @@ impl SyntheticSpec {
                 runtime,
                 mem_per_node,
                 intensity,
+                slo,
             });
         }
         Workload::from_jobs(jobs)
@@ -206,6 +217,7 @@ impl SystemPreset {
                     mem_coupling: 0.55,
                     noise: 0.1,
                 },
+                slo: None,
             },
             SystemPreset::Capability => SyntheticSpec {
                 n_jobs,
@@ -247,6 +259,7 @@ impl SystemPreset {
                     mem_coupling: 0.5,
                     noise: 0.1,
                 },
+                slo: None,
             },
             SystemPreset::HighThroughput => SyntheticSpec {
                 n_jobs,
@@ -288,6 +301,7 @@ impl SystemPreset {
                     mem_coupling: 0.6,
                     noise: 0.12,
                 },
+                slo: None,
             },
         }
     }
@@ -360,6 +374,40 @@ mod tests {
             assert_eq!(a.nodes, b.nodes);
             assert_eq!(a.runtime, b.runtime);
         }
+    }
+
+    #[test]
+    fn slo_stamping_is_seeded_and_stream_independent() {
+        let spec_a = SystemPreset::MidCluster.synthetic_spec(300);
+        let mut spec_b = spec_a.clone();
+        spec_b.slo = Some(SloModel {
+            factor_min: 0.5,
+            factor_max: 2.0,
+        });
+        let wa = spec_a.generate(9);
+        let wb = spec_b.generate(9);
+        for (a, b) in wa.iter().zip(wb.iter()) {
+            assert_eq!(a.slo, None);
+            b.slo.expect("stamped").validate().unwrap();
+            // The stamp draws from its own stream: all other fields match
+            // the unstamped generation bit-for-bit.
+            assert_eq!(a.arrival, b.arrival);
+            assert_eq!(a.nodes, b.nodes);
+            assert_eq!(a.runtime, b.runtime);
+            assert_eq!(a.mem_per_node, b.mem_per_node);
+            assert_eq!(a.user, b.user);
+        }
+        assert_eq!(spec_b.generate(9), wb, "stamping is deterministic");
+    }
+
+    #[test]
+    fn slo_model_is_validated() {
+        let mut spec = SystemPreset::MidCluster.synthetic_spec(10);
+        spec.slo = Some(SloModel {
+            factor_min: -1.0,
+            factor_max: 2.0,
+        });
+        assert!(spec.validate().is_err());
     }
 
     #[test]

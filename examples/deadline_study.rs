@@ -1,0 +1,128 @@
+//! Deadline study: does deadline-aware ordering buy SLO attainment?
+//!
+//! FCFS treats every queued job alike; a service operator cares which
+//! jobs are about to blow their deadline. This example runs the same
+//! streaming arrival process — same machine, same utilization, same
+//! seeds, same per-job budget-factor deadlines (deadline = arrival +
+//! factor × walltime, factor uniform in [1.5, 4)) — under four queue
+//! orderings and compares what fraction of jobs met the one-hour wait
+//! SLO:
+//!
+//! * `fcfs` — arrival order, the baseline;
+//! * `edf` — earliest stamped deadline first;
+//! * `llf` — least laxity first (deadline minus remaining slack, so a
+//!   long job with a near deadline outranks a short one);
+//! * `batch-budget` — FCFS order, but each scheduling pass holds its
+//!   start decisions until a latency budget forces release.
+//!
+//! Only the ordering policy differs between cells, so any attainment gap
+//! is the ordering's doing. Across seeds, EDF and least-laxity strictly
+//! beat FCFS: pulling deadline-critical jobs forward costs the
+//! deadline-rich jobs slack they can afford.
+//!
+//! ```text
+//! cargo run --release --example deadline_study
+//! ```
+
+use dmhpc::prelude::*;
+
+fn main() -> Result<(), SimError> {
+    let seeds = [1_u64, 2, 3];
+    let orders = [
+        OrderPolicy::Fcfs,
+        OrderPolicy::Edf,
+        OrderPolicy::LeastLaxity,
+        OrderPolicy::BatchBudget { hold_s: 60.0 },
+    ];
+    let mut builder = ExperimentSpec::builder("deadline-study")
+        .preset(SystemPreset::HighThroughput, 1)
+        .pool(PoolTopology::None)
+        .seeds(seeds)
+        .service(
+            ServiceSpec::open(SystemPreset::HighThroughput)
+                .with_utilization(0.9)
+                .with_horizon_jobs(4_000)
+                .with_warmup_secs(3_600)
+                .with_slo_wait_secs(3_600.0)
+                .with_slo_budget_factor(1.5, 4.0),
+        );
+    for &order in &orders {
+        builder = builder.scheduler(
+            SchedulerBuilder::new()
+                .order(order)
+                .slowdown(SlowdownModel::Saturating {
+                    penalty: 1.5,
+                    curvature: 3.0,
+                })
+                .build(),
+        );
+    }
+    let spec = builder.build()?;
+
+    println!(
+        "deadline study: {} cells ({} seeds × {} orderings)\n",
+        spec.cell_count(),
+        seeds.len(),
+        orders.len()
+    );
+    let results = ExperimentRunner::new().run(&spec)?;
+
+    println!(
+        "{:>6} {:>14} {:>9} {:>12} {:>10} {:>10}",
+        "seed", "order", "measured", "p99_wait_s", "slo_1h", "node_util"
+    );
+    // (order name → attainments across seeds), in sweep order.
+    let mut by_order: Vec<(&'static str, Vec<f64>)> =
+        orders.iter().map(|o| (o.name(), Vec::new())).collect();
+    for cell in results.cells() {
+        let svc = cell
+            .output
+            .service
+            .expect("open cells report a service summary");
+        let attained = cell
+            .slo_attainment()
+            .expect("cells with a wait SLO report attainment");
+        println!(
+            "{:>6} {:>14} {:>9} {:>12.0} {:>9.1}% {:>10.3}",
+            cell.key.seed.expect("preset grids carry a seed"),
+            cell.config.scheduler.order.name(),
+            svc.observed,
+            svc.p99_wait_s,
+            100.0 * attained,
+            cell.output.report.node_util,
+        );
+        let slot = by_order
+            .iter_mut()
+            .find(|(name, _)| *name == cell.config.scheduler.order.name())
+            .expect("every cell's ordering is in the sweep");
+        slot.1.push(attained);
+    }
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let fcfs = mean(&by_order[0].1);
+    println!("\nmean SLO attainment over {} seeds:", seeds.len());
+    for (name, attained) in &by_order {
+        let m = mean(attained);
+        println!(
+            "  {:>14}: {:>5.1}%  ({:+.1} pts vs fcfs)",
+            name,
+            100.0 * m,
+            100.0 * (m - fcfs)
+        );
+    }
+
+    let edf = mean(&by_order[1].1);
+    let llf = mean(&by_order[2].1);
+    assert!(
+        edf > fcfs && llf > fcfs,
+        "deadline-aware ordering should beat FCFS on SLO attainment \
+         (fcfs {fcfs:.3}, edf {edf:.3}, llf {llf:.3})"
+    );
+    println!(
+        "\ndeadline-aware ordering wins: edf {:+.1} pts, llf {:+.1} pts over fcfs \
+         at identical offered load.",
+        100.0 * (edf - fcfs),
+        100.0 * (llf - fcfs)
+    );
+    Ok(())
+}

@@ -59,7 +59,13 @@ fn main() -> Result<(), SimError> {
     let mut trace = TraceSink::create("results/trace_study.jsonl")?;
     let mut probe = SampledSeriesProbe::new(SimDuration::from_secs(3600));
     let mut counts = EventCounter::new();
-    let out = sim.run_observed(&workload, &mut [&mut trace, &mut probe, &mut counts]);
+    let out = sim.run_with(
+        &workload,
+        ObserverSet::new()
+            .watch(&mut trace)
+            .watch(&mut probe)
+            .watch(&mut counts),
+    );
     let events = trace.finish()?;
 
     // Per-phase timeline, straight from the probe — no series plumbing.

@@ -63,7 +63,8 @@
 //! metrics are built-in [`sim::observe::Observer`]s, with pluggable extra
 //! consumers — a constant-memory JSONL [`sim::observe::TraceSink`], a
 //! cadence-sampled [`sim::observe::SampledSeriesProbe`], progress
-//! heartbeats — attached per run ([`sim::Simulation::run_observed`]) or
+//! heartbeats — attached per run through one [`sim::ObserverSet`]
+//! ([`sim::Simulation::run_with`]) or
 //! per grid cell (`ExperimentRunner::observe` / `trace_dir`,
 //! `repro … --trace-out`). Observers are hash-neutral: they can never
 //! change a result, a trace hash, or a cache entry.
@@ -100,8 +101,8 @@ pub mod prelude {
         SlowdownModel,
     };
     pub use dmhpc_sched::{
-        BackfillPolicy, MemoryPolicy, OrderPolicy, Ordering, Placement, ReleaseIndex, ReleaseView,
-        SchedulerBuilder, SchedulerConfig,
+        BackfillPolicy, MemoryPolicy, OrderPolicy, Ordering, PassDirective, Placement,
+        ReleaseIndex, ReleaseView, SchedContext, SchedulerBuilder, SchedulerConfig,
     };
     pub use dmhpc_sim::observe::{
         EventCounter, Observer, ObserverFactory, ProgressObserver, RunLabel, SampleRow,
@@ -109,11 +110,12 @@ pub mod prelude {
     };
     pub use dmhpc_sim::{
         CellKey, CellResult, EventQueueKind, ExperimentResults, ExperimentRunner, ExperimentSpec,
-        FaultAction, FaultGenerator, FaultSpec, InterruptPolicy, ObserverSpec, ResultCache,
-        RunStats, ServiceLoad, ServiceSpec, Shard, SimConfig, SimError, SimOutput, Simulation,
-        WorkloadSource,
+        FaultAction, FaultGenerator, FaultSpec, InterruptPolicy, ObserverSet, ObserverSpec,
+        ResultCache, RunStats, ServiceLoad, ServiceSpec, Shard, SimConfig, SimError, SimOutput,
+        Simulation, WorkloadSource,
     };
     pub use dmhpc_workload::{
-        Job, JobId, SyntheticSpec, SystemPreset, Workload, WorkloadBuilder, WorkloadError,
+        Job, JobId, Slo, SloModel, SyntheticSpec, SystemPreset, Workload, WorkloadBuilder,
+        WorkloadError,
     };
 }

@@ -390,7 +390,11 @@ fn custom_ordering_plugs_into_simulation() {
         fn name(&self) -> &str {
             "lifo"
         }
-        fn order(&self, entries: &mut [dmhpc::sched::QueuedJob], _now: SimTime) {
+        fn order(
+            &self,
+            entries: &mut [dmhpc::sched::QueuedJob],
+            _ctx: &dmhpc::sched::SchedContext<'_>,
+        ) {
             // Latest arrival first; ties by id to stay total.
             entries.sort_by_key(|e| {
                 (

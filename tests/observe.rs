@@ -108,7 +108,7 @@ fn traces_are_byte_identical_across_queue_backends() {
             .with_fault_spec(faults.clone())
             .unwrap();
         let mut sink = TraceSink::create(&path).unwrap();
-        let out = sim.run_observed(&w, &mut [&mut sink]);
+        let out = sim.run_with(&w, ObserverSet::new().watch(&mut sink));
         assert!(out.faults.interruptions > 0, "scenario actually bites");
         sink.finish().unwrap();
         texts.push(std::fs::read_to_string(&path).unwrap());
@@ -137,7 +137,7 @@ fn trace_sink_streams_full_event_count_through_small_buffer() {
     let path = tmp("bounded.jsonl");
     // 256 bytes: smaller than a single line, so the sink must stream.
     let mut sink = TraceSink::with_buffer(&path, 256).unwrap();
-    let out = sim.run_observed(&w, &mut [&mut sink]);
+    let out = sim.run_with(&w, ObserverSet::new().watch(&mut sink));
     let written = sink.finish().unwrap();
 
     let text = std::fs::read_to_string(&path).unwrap();
@@ -227,7 +227,7 @@ fn sampled_probe_output_is_cadence_bounded() {
         .build();
     let sim = Simulation::new(SimConfig::new(cluster, sched)).unwrap();
     let mut probe = SampledSeriesProbe::new(SimDuration::from_secs(6 * 3600));
-    let out = sim.run_observed(&w, &mut [&mut probe]);
+    let out = sim.run_with(&w, ObserverSet::new().watch(&mut probe));
     let span_h = out.end_time.as_hours_f64();
     let expected = (span_h / 6.0).floor() as usize + 2; // cadence points + closing sample
     assert!(

@@ -214,6 +214,7 @@ fn random_job(rng: &mut Pcg64, id: u64, max_nodes: u32) -> Job {
         runtime: SimDuration::from_secs(runtime),
         mem_per_node: 256 + rng.bounded_u64(400_000 - 256),
         intensity: rng.next_f64(),
+        slo: None,
     }
 }
 
