@@ -10,10 +10,13 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dmhpc_des::time::SimDuration;
 use dmhpc_platform::{PoolTopology, SlowdownModel};
-use dmhpc_sched::{MemoryPolicy, OrderPolicy, SchedulerBuilder};
+use dmhpc_sched::{MemoryPolicy, MetaPolicyKind, OrderPolicy, SchedulerBuilder};
 use dmhpc_sim::observe::{EventCounter, SampledSeriesProbe, TraceSink};
 use dmhpc_sim::scenarios::{default_slowdown, policy_suite, preset_cluster};
-use dmhpc_sim::{EventQueueKind, ExperimentRunner, ExperimentSpec, Shard, SimConfig, Simulation};
+use dmhpc_sim::{
+    EventQueueKind, ExperimentRunner, ExperimentSpec, FleetSimulation, FleetSpec, Shard, SimConfig,
+    Simulation,
+};
 use dmhpc_workload::source::JobSource as _;
 use dmhpc_workload::{SloModel, SystemPreset};
 
@@ -465,6 +468,98 @@ fn bench_engine_deadline(c: &mut Criterion) {
     group.finish();
 }
 
+/// Append one extra line to the `BENCH_JSON` results file in the same
+/// shape the criterion shim emits, so `bench_gate` can read host facts
+/// (like available parallelism) next to the timings.
+fn emit_bench_entry(name: &str, value: f64) {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let line = format!("{{\"name\": \"{name}\", \"mean_ns\": {value:.3}, \"std_ns\": 0.000}}\n");
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("bench_experiment: cannot append to BENCH_JSON: {e}");
+    }
+}
+
+fn bench_engine_scale(c: &mut Criterion) {
+    // Federation scaling: the same 4-site fleet advanced by one worker
+    // (`serial`) and by one worker per site (`threaded`), in conservative
+    // lockstep epochs either way. Worker count is purely an execution
+    // knob — the aggregates are byte-identical (asserted below) — so the
+    // threaded/serial time ratio isolates the within-run parallelism win.
+    // `bench_gate` bounds that ratio (`fleet_scale_ratio`) on multi-core
+    // CI runners and skips the gate on single-core hosts, where lockstep
+    // threading cannot beat serial; the `engine_scale/parallelism`
+    // pseudo-entry emitted here is how the gate learns which case it is.
+    const SCALE_JOBS: usize = 4_000;
+    let workload = SystemPreset::HighThroughput
+        .synthetic_spec(SCALE_JOBS)
+        .generate(43);
+    let cluster = preset_cluster(
+        SystemPreset::HighThroughput,
+        PoolTopology::PerRack {
+            mib_per_rack: 384 * 1024,
+        },
+    );
+    let sched = SchedulerBuilder::new()
+        .memory(MemoryPolicy::PoolBestFit)
+        .slowdown(SlowdownModel::Contention {
+            penalty: 1.5,
+            gamma: 1.0,
+        })
+        .build();
+    let cfg = SimConfig::new(cluster, sched);
+    let fleet = FleetSpec::symmetric(4, 300.0, MetaPolicyKind::LeastQueueDepth);
+    let serial = FleetSimulation::new(&fleet, cfg)
+        .expect("valid fleet")
+        .workers(1);
+    let threaded = FleetSimulation::new(&fleet, cfg)
+        .expect("valid fleet")
+        .workers(4);
+
+    // One reference run per arm: worker count must be invisible in the
+    // results, or the two arms time different computations.
+    let ref_serial = serial.run(&workload);
+    let ref_threaded = threaded.run(&workload);
+    assert_eq!(
+        ref_serial.aggregate.trace_hash, ref_threaded.aggregate.trace_hash,
+        "worker count must not change fleet results"
+    );
+    assert_eq!(
+        ref_serial.routed_jobs.iter().sum::<u64>(),
+        SCALE_JOBS as u64
+    );
+
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    emit_bench_entry("engine_scale/parallelism", parallelism as f64);
+    eprintln!(
+        "engine_scale: {} jobs over {} sites, routed {:?}, host parallelism {}",
+        SCALE_JOBS,
+        ref_serial.site_outputs.len(),
+        ref_serial.routed_jobs,
+        parallelism
+    );
+
+    let mut group = c.benchmark_group("engine_scale");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(SCALE_JOBS as u64));
+    group.bench_function("serial", |b| b.iter(|| black_box(serial.run(&workload))));
+    group.bench_function("threaded", |b| {
+        b.iter(|| black_box(threaded.run(&workload)))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_experiment,
@@ -474,6 +569,7 @@ criterion_group!(
     bench_engine_faults,
     bench_engine_observers,
     bench_engine_service,
-    bench_engine_deadline
+    bench_engine_deadline,
+    bench_engine_scale
 );
 criterion_main!(benches);

@@ -35,11 +35,12 @@ use std::io::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
 
-const BUILTIN_GRIDS: &str = "smoke|smoke-contention|smoke-faults|smoke-service|smoke-deadline";
+const BUILTIN_GRIDS: &str =
+    "smoke|smoke-contention|smoke-faults|smoke-service|smoke-deadline|smoke-fleet";
 
 fn usage() {
     eprintln!("usage: repro [--list] [--cache-dir DIR] [--threads N] [--queue heap|calendar] [--trace-out DIR] <id>... | all");
-    eprintln!("       repro grid  <spec.json|{BUILTIN_GRIDS}> [--shard i/n] [--cache-dir DIR] [--threads N] [--queue heap|calendar] [--trace-out DIR] [--faults|--service]");
+    eprintln!("       repro grid  <spec.json|{BUILTIN_GRIDS}> [--shard i/n] [--cache-dir DIR] [--threads N] [--queue heap|calendar] [--trace-out DIR] [--faults|--service|--fleet]");
     eprintln!("       repro merge <spec.json|{BUILTIN_GRIDS}> --cache-dir DIR [--faults]");
     eprintln!("       --faults crosses the spec's grid with the built-in fault axis");
     eprintln!("       (fault-free baseline + node failures/drains/pool degradations)");
@@ -47,6 +48,11 @@ fn usage() {
     eprintln!("       service axis (closed-batch baseline + a streaming-arrival cell");
     eprintln!("       with O(1)-memory sketch metrics); grid mode only — use the");
     eprintln!("       smoke-service built-in for merges");
+    eprintln!("       --fleet crosses the spec's grid with the built-in federation");
+    eprintln!("       axis (no-fleet baseline + a 4-site epoch-synchronized fleet");
+    eprintln!("       behind a least-queue-depth meta-scheduler); grid mode only —");
+    eprintln!("       use the smoke-fleet built-in for merges. Federated cells run");
+    eprintln!("       observation-free, so --fleet does not combine with --trace-out");
     eprintln!("       --trace-out DIR streams one <spec>.<cell>.jsonl event trace per");
     eprintln!("       simulated cell into DIR (constant memory per cell; hash-neutral,");
     eprintln!("       so result caches stay warm — cache-hit cells emit no trace)");
@@ -71,6 +77,8 @@ struct Cli {
     /// Cross the grid with the built-in open-system service axis (grid
     /// mode only).
     service: bool,
+    /// Cross the grid with the built-in federation axis (grid mode only).
+    fleet: bool,
     args: Vec<String>,
 }
 
@@ -120,6 +128,7 @@ enum RunMode {
         shard: Option<Shard>,
         faults: bool,
         service: bool,
+        fleet: bool,
         exec: ExecKnobs,
     },
     /// `repro merge <spec>`: recombine a fully cached grid.
@@ -163,7 +172,39 @@ impl RunMode {
                             .into(),
                     );
                 }
+                if cli.fleet && cli.faults {
+                    return Err(
+                        "--fleet does not combine with --faults (federated fleet scenarios \
+                         and fault scenarios are separate experiments)"
+                            .into(),
+                    );
+                }
+                if cli.fleet && cli.service {
+                    return Err(
+                        "--fleet does not combine with --service (federated fleet scenarios \
+                         and open-system service runs are separate experiments)"
+                            .into(),
+                    );
+                }
+                if cli.fleet && cli.trace_out.is_some() {
+                    // Federated cells run observation-free (no per-event
+                    // probes cross site engines), so a trace-out run over
+                    // a fleet cross would promise traces it cannot write.
+                    return Err(
+                        "--trace-out does not combine with --fleet (federated cells run \
+                         observation-free and emit no traces; trace the fleet-free grid \
+                         instead)"
+                            .into(),
+                    );
+                }
                 if cli.list {
+                    if cli.fleet {
+                        return Err(
+                            "--fleet does not apply to --list (list a spec with a fleet \
+                             axis — e.g. the smoke-fleet built-in — instead)"
+                                .into(),
+                        );
+                    }
                     // The listing must show exactly the cells a spec
                     // compiles to; a flag that rewrites the grid under
                     // --list invites listing one grid and running
@@ -191,6 +232,7 @@ impl RunMode {
                     shard: cli.shard,
                     faults: cli.faults,
                     service: cli.service,
+                    fleet: cli.fleet,
                     exec: ExecKnobs {
                         cache_dir: cli.cache_dir,
                         threads: cli.threads.unwrap_or(0),
@@ -212,6 +254,14 @@ impl RunMode {
                     return Err(
                         "--service only applies to grid mode (merge a spec that declares a \
                          service axis — e.g. the smoke-service built-in — so it reconstructs \
+                         the exact grid the shards ran)"
+                            .into(),
+                    );
+                }
+                if cli.fleet {
+                    return Err(
+                        "--fleet only applies to grid mode (merge a spec that declares a \
+                         fleet axis — e.g. the smoke-fleet built-in — so it reconstructs \
                          the exact grid the shards ran)"
                             .into(),
                     );
@@ -263,6 +313,9 @@ impl RunMode {
                         "--service only applies to grid mode (tables run fixed grids)".into(),
                     );
                 }
+                if cli.fleet {
+                    return Err("--fleet only applies to grid mode (tables run fixed grids)".into());
+                }
                 if cli.shard.is_some() {
                     // Silently running the *full* suite under a flag
                     // that promises a slice would double work in fan-out
@@ -300,6 +353,7 @@ fn parse_cli(raw: Vec<String>) -> Result<Cli, Box<dyn std::error::Error>> {
         trace_out: None,
         faults: false,
         service: false,
+        fleet: false,
         args: Vec::new(),
     };
     let mut it = raw.into_iter().peekable();
@@ -327,6 +381,7 @@ fn parse_cli(raw: Vec<String>) -> Result<Cli, Box<dyn std::error::Error>> {
             "--list" => cli.list = true,
             "--faults" => cli.faults = true,
             "--service" => cli.service = true,
+            "--fleet" => cli.fleet = true,
             "--cache-dir" => cli.cache_dir = Some(PathBuf::from(value(&mut it, "--cache-dir")?)),
             "--trace-out" => cli.trace_out = Some(PathBuf::from(value(&mut it, "--trace-out")?)),
             "--shard" => cli.shard = Some(Shard::parse(&value(&mut it, "--shard")?)?),
@@ -374,6 +429,7 @@ fn load_spec(arg: &str) -> Result<ExperimentSpec, Box<dyn std::error::Error>> {
         "smoke-faults" => return Ok(experiments::smoke_faults_spec()?),
         "smoke-service" => return Ok(experiments::smoke_service_spec()?),
         "smoke-deadline" => return Ok(experiments::smoke_deadline_spec()?),
+        "smoke-fleet" => return Ok(experiments::smoke_fleet_spec()?),
         _ => {}
     }
     let text =
@@ -413,6 +469,7 @@ fn run_grid(
     shard: Option<Shard>,
     faults: bool,
     service: bool,
+    fleet: bool,
     exec: &ExecKnobs,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let mut spec = load_spec(spec_arg)?;
@@ -421,6 +478,9 @@ fn run_grid(
     }
     if service {
         spec = experiments::with_default_service(spec)?;
+    }
+    if fleet {
+        spec = experiments::with_default_fleet(spec)?;
     }
     let mut runner = ExperimentRunner::with_threads(exec.threads);
     if let Some(dir) = &exec.cache_dir {
@@ -570,6 +630,8 @@ fn list_tables() -> Result<(), Box<dyn std::error::Error>> {
     println!("grid: smoke-service ({} cells)", service.compile()?.len());
     let deadline = experiments::smoke_deadline_spec()?;
     println!("grid: smoke-deadline ({} cells)", deadline.compile()?.len());
+    let fleet = experiments::smoke_fleet_spec()?;
+    println!("grid: smoke-fleet ({} cells)", fleet.compile()?.len());
     Ok(())
 }
 
@@ -632,8 +694,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             shard,
             faults,
             service,
+            fleet,
             exec,
-        } => run_grid(&spec_arg, shard, faults, service, &exec),
+        } => run_grid(&spec_arg, shard, faults, service, fleet, &exec),
         RunMode::Merge {
             spec_arg,
             cache_dir,
@@ -672,6 +735,22 @@ mod tests {
                 "--service does not apply to --list",
             ),
             (
+                &["grid", "smoke", "--fleet", "--faults"],
+                "--fleet does not combine with --faults",
+            ),
+            (
+                &["grid", "smoke", "--fleet", "--service"],
+                "--fleet does not combine with --service",
+            ),
+            (
+                &["grid", "smoke", "--fleet", "--trace-out", "/tmp/t"],
+                "--trace-out does not combine with --fleet",
+            ),
+            (
+                &["grid", "smoke", "--list", "--fleet"],
+                "--fleet does not apply to --list",
+            ),
+            (
                 &["grid", "smoke", "--list", "--threads", "2"],
                 "--threads does not apply to --list (listing never simulates)",
             ),
@@ -689,6 +768,10 @@ mod tests {
             (
                 &["merge", "smoke", "--cache-dir", "/tmp/x", "--service"],
                 "--service only applies to grid mode",
+            ),
+            (
+                &["merge", "smoke", "--cache-dir", "/tmp/x", "--fleet"],
+                "--fleet only applies to grid mode",
             ),
             (
                 &["merge", "smoke", "--cache-dir", "/tmp/x", "--shard", "0/2"],
@@ -719,6 +802,7 @@ mod tests {
                 "--faults only applies to grid/merge modes",
             ),
             (&["t1", "--service"], "--service only applies to grid mode"),
+            (&["t1", "--fleet"], "--fleet only applies to grid mode"),
             (
                 &["t1", "--shard", "0/2"],
                 "--shard only applies to grid mode",
@@ -755,6 +839,16 @@ mod tests {
             &["grid", "smoke-deadline", "--shard", "1/2", "--threads", "4"],
             &["grid", "smoke", "--faults", "--trace-out", "/tmp/t"],
             &["grid", "smoke", "--service", "--queue", "calendar"],
+            &["grid", "smoke", "--fleet"],
+            &[
+                "grid",
+                "smoke-fleet",
+                "--shard",
+                "0/2",
+                "--cache-dir",
+                "/tmp/x",
+            ],
+            &["merge", "smoke-fleet", "--cache-dir", "/tmp/x"],
             &["grid", "smoke", "--list"],
             &["grid", "smoke", "--list", "--shard", "0/2", "--faults"],
             &["merge", "smoke", "--cache-dir", "/tmp/x"],
@@ -875,6 +969,29 @@ mod tests {
         );
         let baseline = cells.iter().filter(|c| c.key.fault.is_none()).count();
         assert_eq!(baseline * 2, cells.len(), "half the cells are fault-free");
+    }
+
+    #[test]
+    fn smoke_fleet_grid_compiles_with_baseline_cells() {
+        let spec = experiments::smoke_fleet_spec().unwrap();
+        let cells = spec.compile().unwrap();
+        assert_eq!(
+            cells.len(),
+            2 * experiments::smoke_spec().unwrap().cell_count()
+        );
+        let baseline = cells.iter().filter(|c| c.key.fleet.is_none()).count();
+        assert_eq!(baseline * 2, cells.len(), "half the cells are fleet-free");
+        // Crossing a spec that already has a fleet axis is refused.
+        let err =
+            experiments::with_default_fleet(experiments::smoke_fleet_spec().unwrap()).unwrap_err();
+        assert!(err.to_string().contains("already declares"), "{err}");
+    }
+
+    #[test]
+    fn smoke_fleet_is_a_builtin_spec() {
+        let spec = load_spec("smoke-fleet").unwrap();
+        assert_eq!(spec.name, "smoke-fleet");
+        assert_eq!(spec.cell_count(), 16);
     }
 
     #[test]

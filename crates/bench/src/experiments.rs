@@ -237,6 +237,46 @@ pub fn smoke_service_spec() -> Result<ExperimentSpec, SimError> {
     )
 }
 
+/// The canned federation scenario `repro grid --fleet` attaches and
+/// [`smoke_fleet_spec`] builds in: a four-site symmetric fleet (every
+/// site inherits the cell's cluster and scheduler) behind a
+/// least-queue-depth meta-scheduler routing on 300 s epochs — small
+/// enough for second-long smoke runs, federated enough that the
+/// epoch-synchronized lockstep and snapshot routing are exercised end
+/// to end.
+pub fn default_fleet_scenario() -> dmhpc_sim::FleetSpec {
+    dmhpc_sim::FleetSpec::symmetric(4, 300.0, dmhpc_sched::MetaPolicyKind::LeastQueueDepth)
+}
+
+/// Cross a spec's grid with the default fleet axis (a no-federation
+/// baseline plus [`default_fleet_scenario`]) — what
+/// `repro grid <spec> --fleet` applies. The baseline cells hash
+/// identically to the original grid's, so a shared cache serves both.
+pub fn with_default_fleet(spec: ExperimentSpec) -> Result<ExperimentSpec, SimError> {
+    if !spec.fleets.is_empty() {
+        return Err(SimError::spec(
+            "--fleet conflicts with a spec that already declares a fleet axis",
+        ));
+    }
+    ExperimentBuilder::from_spec(spec)
+        .fleet(dmhpc_sim::FleetSpec::none())
+        .fleet(default_fleet_scenario())
+        .build()
+}
+
+/// The federation smoke grid: [`smoke_spec`]'s shape crossed with the
+/// default fleet axis, so epoch-synchronized multi-site routing runs —
+/// sharded — on every PR, with the no-fleet half proving fleet-axis
+/// cache keys stay disjoint from federated cells.
+pub fn smoke_fleet_spec() -> Result<ExperimentSpec, SimError> {
+    let base = smoke_spec()?;
+    with_default_fleet(
+        ExperimentBuilder::from_spec(base)
+            .name("smoke-fleet")
+            .build()?,
+    )
+}
+
 /// The deadline service scenario the `smoke-deadline` grid runs:
 /// [`default_service_scenario`]'s stream with per-job budget-factor SLO
 /// stamping (deadline = arrival + factor × walltime, factor uniform in
@@ -1006,6 +1046,42 @@ mod tests {
             if !cell.service.is_none() {
                 assert_eq!(cell.service.seed, cell.key.seed);
             }
+        }
+    }
+
+    #[test]
+    fn smoke_fleet_spec_baseline_shares_smoke_cache_keys() {
+        let spec = smoke_fleet_spec().unwrap();
+        assert_eq!(spec.cell_count(), 2 * smoke_spec().unwrap().cell_count());
+        let smoke: Vec<u64> = smoke_spec()
+            .unwrap()
+            .cell_hashes()
+            .unwrap()
+            .into_iter()
+            .map(|(_, h)| h)
+            .collect();
+        let mut baseline = 0;
+        for (key, h) in spec.cell_hashes().unwrap() {
+            if key.fleet.is_none() {
+                baseline += 1;
+                assert!(
+                    smoke.contains(&h),
+                    "no-fleet baseline cells reuse smoke cache entries"
+                );
+            } else {
+                assert!(!smoke.contains(&h), "federated cells get their own keys");
+            }
+        }
+        assert_eq!(baseline * 2, spec.cell_count(), "half the cells are plain");
+    }
+
+    #[test]
+    fn default_fleet_scenario_validates_against_smoke_clusters() {
+        let fleet = default_fleet_scenario();
+        fleet.validate().unwrap();
+        assert_eq!(fleet.sites.len(), 4);
+        for cluster in &smoke_spec().unwrap().clusters {
+            fleet.validate_for(&cluster.1).unwrap();
         }
     }
 

@@ -148,6 +148,75 @@ fn smoke_deadline_cell_keys_are_disjoint_from_goldens() {
     }
 }
 
+/// The federation grid splits the same way the service grid does: its
+/// no-fleet baseline half must keep the exact pre-federation smoke keys
+/// (so a shared cache serves both grids), while every federated cell
+/// must be disjoint from *all* pre-federation goldens — a cache can
+/// never serve a fleet cell from a single-cluster run or vice versa.
+#[test]
+fn smoke_fleet_baseline_keeps_goldens_and_fleet_cells_are_disjoint() {
+    let spec = experiments::smoke_fleet_spec().unwrap();
+    let golden: Vec<u64> = SMOKE_GOLDEN_CELLS
+        .iter()
+        .chain(SMOKE_FAULTS_GOLDEN_CELLS)
+        .chain(SMOKE_SERVICE_GOLDEN_CELLS)
+        .map(|&(_, h)| h)
+        .collect();
+    let smoke: Vec<u64> = SMOKE_GOLDEN_CELLS.iter().map(|&(_, h)| h).collect();
+    let mut baseline = 0;
+    for (key, hash) in spec.cell_hashes().unwrap() {
+        match &key.fleet {
+            None => {
+                baseline += 1;
+                assert!(
+                    smoke.contains(&hash),
+                    "no-fleet cell {} must keep its pre-federation smoke key",
+                    key.label()
+                );
+            }
+            Some(label) => {
+                assert_eq!(label, "fleet4-least-queue-e300");
+                assert!(
+                    !golden.contains(&hash),
+                    "fleet cell {} collides with a pre-federation cache key",
+                    key.label()
+                );
+            }
+        }
+    }
+    assert_eq!(baseline, SMOKE_GOLDEN_CELLS.len());
+}
+
+/// Federated cells round-trip through the result cache like plain cells:
+/// cold-run the fleet grid on the heap backend, warm-replay on the
+/// calendar backend — zero simulations, byte-identical exports. This
+/// pins both cache replay of fleet aggregates and heap-vs-calendar
+/// byte-identity of the federation engine, end to end through the grid
+/// runner.
+#[test]
+fn smoke_fleet_warm_replay_is_byte_identical_across_backends() {
+    let dir = std::env::temp_dir().join(format!("dmhpc-golden-fleet-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = experiments::smoke_fleet_spec().unwrap();
+
+    let cold_runner = ExperimentRunner::with_threads(2)
+        .event_queue(EventQueueKind::BinaryHeap)
+        .cache_dir(&dir)
+        .unwrap();
+    let cold = cold_runner.run(&spec).unwrap();
+    assert_eq!(cold.stats().simulated, cold.len(), "cold run simulates all");
+
+    let warm_runner = ExperimentRunner::with_threads(2)
+        .event_queue(EventQueueKind::Calendar)
+        .cache_dir(&dir)
+        .unwrap();
+    let warm = warm_runner.run(&spec).unwrap();
+    assert_eq!(warm.stats().simulated, 0, "warm run is all cache hits");
+    assert_eq!(cold.to_csv(), warm.to_csv(), "CSV replays byte-identically");
+    assert_eq!(cold.to_json(), warm.to_json(), "JSON too");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Cold-run the smoke grid into a cache on one event-queue backend, then
 /// warm-replay it on the *other* backend: zero simulations, and the
 /// exported CSV and JSON documents are byte-identical. Backend choice and

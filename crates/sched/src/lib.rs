@@ -36,6 +36,12 @@
 //! [`SchedulerConfig`] value, and [`Scheduler::new`] validates it with
 //! typed [`dmhpc_platform::PlatformError`]s instead of panicking.
 //!
+//! Above single-cluster scheduling sits the fleet layer: a
+//! [`MetaPolicy`] routes each arriving job to one of N federated sites
+//! from [`SiteSnapshot`]s taken at epoch barriers (round-robin,
+//! least-queue-depth, and least-memory-pressure built-ins via
+//! [`MetaPolicyKind`]); the federation engine in `dmhpc-sim` drives it.
+//!
 //! Scheduling passes mutate a [`dmhpc_platform::Cluster`] directly and
 //! return the jobs started; the simulation engine in `dmhpc-sim` wires
 //! passes to events. Passes are **incremental** on the engine side: the
@@ -47,6 +53,7 @@
 #![warn(missing_docs)]
 
 mod memory;
+mod meta;
 mod order;
 mod policy;
 mod profile;
@@ -55,6 +62,9 @@ mod release;
 mod traits;
 
 pub use memory::{MemoryPolicy, PlannedAllocation};
+pub use meta::{
+    LeastMemoryPressure, LeastQueueDepth, MetaPolicy, MetaPolicyKind, RoundRobin, SiteSnapshot,
+};
 pub use order::OrderPolicy;
 pub use policy::{
     BackfillPolicy, PassResult, Scheduler, SchedulerBuilder, SchedulerConfig, StartedJob,

@@ -3,6 +3,19 @@
 use crate::queue::QueuedJob;
 use crate::traits::{PassDirective, SchedContext};
 use dmhpc_des::time::{SimDuration, SimTime};
+use std::cell::RefCell;
+
+/// WFP pass scratch: the scored index buffer and the permutation snapshot.
+type WfpScratch = (Vec<(f64, usize)>, Vec<QueuedJob>);
+
+thread_local! {
+    /// Per-thread scratch reused across WFP passes: the scored index
+    /// buffer and the permutation snapshot. Ordering runs on every
+    /// scheduling pass of every engine, and engines are thread-confined,
+    /// so reusing these buffers drops the pass's steady-state allocations
+    /// to zero without changing the produced order.
+    static WFP_SCRATCH: RefCell<WfpScratch> = const { RefCell::new((Vec::new(), Vec::new())) };
+}
 
 /// How the wait queue is ordered before each scheduling pass.
 ///
@@ -94,24 +107,28 @@ impl OrderPolicy {
                 // Score is recomputed against `now` each pass; cache it so
                 // the comparator stays cheap and consistent.
                 let now = ctx.now;
-                let mut scored: Vec<(f64, usize)> = entries
-                    .iter()
-                    .enumerate()
-                    .map(|(i, e)| {
+                WFP_SCRATCH.with(|scratch| {
+                    let (scored, snapshot) = &mut *scratch.borrow_mut();
+                    scored.clear();
+                    scored.extend(entries.iter().enumerate().map(|(i, e)| {
                         let wait = now.saturating_since(e.job.arrival).as_secs_f64();
                         let wall = e.job.walltime.as_secs_f64().max(1.0);
                         let score = (wait / wall).powf(exponent) * e.job.nodes as f64;
                         (score, i)
-                    })
-                    .collect();
-                scored.sort_by(|a, b| {
-                    b.0.partial_cmp(&a.0).expect("finite scores").then_with(|| {
-                        let (ja, jb) = (&entries[a.1].job, &entries[b.1].job);
-                        (ja.arrival, ja.id).cmp(&(jb.arrival, jb.id))
-                    })
+                    }));
+                    scored.sort_by(|a, b| {
+                        b.0.partial_cmp(&a.0).expect("finite scores").then_with(|| {
+                            let (ja, jb) = (&entries[a.1].job, &entries[b.1].job);
+                            (ja.arrival, ja.id).cmp(&(jb.arrival, jb.id))
+                        })
+                    });
+                    // Apply the permutation: entries[k] = old entries[scored[k].1].
+                    snapshot.clear();
+                    snapshot.extend_from_slice(entries);
+                    for (dst, &(_, src)) in scored.iter().enumerate() {
+                        entries[dst] = snapshot[src].clone();
+                    }
                 });
-                let order: Vec<usize> = scored.into_iter().map(|(_, i)| i).collect();
-                apply_permutation(entries, &order);
             }
         }
     }
@@ -147,14 +164,6 @@ impl crate::traits::Ordering for OrderPolicy {
 
     fn directive(&self, entries: &[QueuedJob], ctx: &SchedContext<'_>) -> PassDirective {
         OrderPolicy::directive(self, entries, ctx)
-    }
-}
-
-/// Reorder `entries` so that `entries_new[k] = entries_old[order[k]]`.
-fn apply_permutation(entries: &mut [QueuedJob], order: &[usize]) {
-    let snapshot: Vec<QueuedJob> = entries.to_vec();
-    for (dst, &src) in order.iter().enumerate() {
-        entries[dst] = snapshot[src].clone();
     }
 }
 

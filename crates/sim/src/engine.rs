@@ -77,7 +77,7 @@ use dmhpc_metrics::{
     ClassThresholds, FaultSummary, JobOutcome, JobRecord, RunData, ServiceSummary, SimReport,
 };
 use dmhpc_platform::{Cluster, DilationInputs, MemoryAssignment, NodeState};
-use dmhpc_sched::{ReleaseIndex, RunningRelease, Scheduler, StartedJob, WaitQueue};
+use dmhpc_sched::{ReleaseIndex, RunningRelease, Scheduler, SiteSnapshot, StartedJob, WaitQueue};
 use dmhpc_workload::{Job, JobId, JobSource, Workload};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -85,7 +85,7 @@ use std::sync::Arc;
 
 /// One simulation event.
 #[derive(Debug, Clone, Copy)]
-enum Event {
+pub(crate) enum Event {
     /// Index into the workload's job list.
     Arrival(usize),
     /// A running job reached its (possibly superseded) end time.
@@ -515,6 +515,7 @@ impl Simulation {
             fault_events,
             source,
             extras,
+            None,
         );
         engine.drive(workload);
         engine.finalize()
@@ -535,7 +536,7 @@ struct Builtins {
     faults: FaultObserver,
 }
 
-struct Engine<'a, 'o, Q: EventQueue<Event>> {
+pub(crate) struct Engine<'a, 'o, Q: EventQueue<Event>> {
     cfg: &'a SimConfig,
     scheduler: &'a Scheduler,
     faults: &'a FaultSpec,
@@ -589,10 +590,17 @@ struct Engine<'a, 'o, Q: EventQueue<Event>> {
     /// the wake a held pass asks for (every pass while held recomputes the
     /// same release instant).
     next_wake: Option<SimTime>,
+    /// Jobs handed to this engine mid-run by a federation meta-scheduler,
+    /// in arrival order. Kept outside the event queue so an injected
+    /// arrival wins a same-instant tie against any already-scheduled
+    /// event — exactly the order a plain run produces, where every
+    /// arrival enters the queue before the run starts. Always empty on
+    /// plain runs.
+    injections: std::collections::VecDeque<Job>,
 }
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 impl<'a, 'o, Q: EventQueue<Event>> Engine<'a, 'o, Q> {
     #[allow(clippy::too_many_arguments)]
@@ -606,13 +614,19 @@ impl<'a, 'o, Q: EventQueue<Event>> Engine<'a, 'o, Q> {
         fault_events: &[(SimTime, FaultAction)],
         mut source: Option<Box<dyn JobSource>>,
         extras: &'a mut [&'o mut dyn Observer],
+        origin: Option<SimTime>,
     ) -> Self {
         let cluster = Cluster::new(cfg.cluster);
         let open = source.is_some();
         // Open runs pull their first arrival up front: it pins the time
         // origin exactly like a materialized workload's first arrival.
         let pending = source.as_mut().and_then(|s| s.next_job());
-        let mut start_time = if open {
+        let mut start_time = if let Some(origin) = origin {
+            // Federated site engines start empty and receive jobs by
+            // injection; all sites share the fleet's time origin so their
+            // clocks (and series origins) agree at every epoch barrier.
+            origin
+        } else if open {
             pending.as_ref().map(|j| j.arrival).unwrap_or(SimTime::ZERO)
         } else {
             workload.first_arrival().unwrap_or(SimTime::ZERO)
@@ -682,6 +696,7 @@ impl<'a, 'o, Q: EventQueue<Event>> Engine<'a, 'o, Q> {
             fault_meta: BTreeMap::new(),
             last_job_time: start_time,
             next_wake: None,
+            injections: std::collections::VecDeque::new(),
             cfg,
             scheduler,
             faults,
@@ -733,47 +748,89 @@ impl<'a, 'o, Q: EventQueue<Event>> Engine<'a, 'o, Q> {
     }
 
     fn drive(&mut self, workload: &Workload) {
+        self.drive_bounded(workload, None);
+        assert!(self.running.is_empty(), "jobs still running at drain");
+        assert_eq!(self.cluster.lease_count(), 0, "leaked leases");
+    }
+
+    /// Process events strictly before `limit`, or every event when
+    /// `limit` is `None`.
+    ///
+    /// A bounded call is the federation epoch step: the site advances to
+    /// the barrier and returns with events at or past it still queued.
+    /// While bounded, a drained event queue simply returns — more
+    /// injections arrive at later barriers, so an idle queue is not the
+    /// wedge it would be on a terminal drain.
+    fn drive_bounded(&mut self, workload: &Workload, limit: Option<SimTime>) {
         loop {
-            let Some((t, ev)) = self.events.pop() else {
-                if self.queue.is_empty() {
-                    break;
-                }
-                // Events drained but jobs still queued: they must start on
-                // the (partially) empty machine now.
-                let before = self.queue.len();
-                let started = self.pass();
-                if started == 0 && self.queue.len() == before {
-                    if self.events.peek_time().is_some() {
-                        // The pass held its batch and scheduled a wake-up;
-                        // the loop continues on that event.
-                        continue;
+            // Two event sources: the queue proper, and pending federation
+            // injections. An injected arrival wins a same-instant tie
+            // against any queued event, reproducing plain-run order (where
+            // every arrival is scheduled before anything else exists).
+            let queued = self.events.peek_time();
+            let injected = self.injections.front().map(|j| j.arrival);
+            let next = match (queued, injected) {
+                (Some(q), Some(i)) => Some(q.min_of(i)),
+                (q, i) => q.or(i),
+            };
+            let t = match next {
+                Some(t) if limit.is_none_or(|lim| t < lim) => t,
+                Some(_) => return,
+                None => {
+                    if limit.is_some() {
+                        // Mid-run idle: later barriers bring more work.
+                        return;
                     }
-                    if self.faults_active {
-                        // Permanent capacity loss (failed nodes with no
-                        // pending repair) can leave a job unservable even
-                        // though it fit the healthy machine. No event can
-                        // change anything anymore, so it fails terminally
-                        // instead of wedging the drain.
-                        let entry = self.queue.pop_front();
-                        self.hash_mix([13, self.now.as_micros(), entry.job.id.0]);
-                        self.emit(SimEvent::JobFailed {
-                            at: self.now,
-                            record: JobRecord::failed_unstarted(entry.job),
-                        });
-                        self.last_job_time = self.now;
-                        continue;
+                    if self.queue.is_empty() {
+                        break;
                     }
-                    panic!(
-                        "scheduler wedged: {} queued jobs, {} running, no events",
-                        self.queue.len(),
-                        self.running.len()
-                    );
+                    // Events drained but jobs still queued: they must start
+                    // on the (partially) empty machine now.
+                    let before = self.queue.len();
+                    let started = self.pass();
+                    if started == 0 && self.queue.len() == before {
+                        if self.events.peek_time().is_some() {
+                            // The pass held its batch and scheduled a
+                            // wake-up; the loop continues on that event.
+                            continue;
+                        }
+                        if self.faults_active {
+                            // Permanent capacity loss (failed nodes with no
+                            // pending repair) can leave a job unservable
+                            // even though it fit the healthy machine. No
+                            // event can change anything anymore, so it
+                            // fails terminally instead of wedging the
+                            // drain.
+                            let entry = self.queue.pop_front();
+                            self.hash_mix([13, self.now.as_micros(), entry.job.id.0]);
+                            self.emit(SimEvent::JobFailed {
+                                at: self.now,
+                                record: JobRecord::failed_unstarted(entry.job),
+                            });
+                            self.last_job_time = self.now;
+                            continue;
+                        }
+                        panic!(
+                            "scheduler wedged: {} queued jobs, {} running, no events",
+                            self.queue.len(),
+                            self.running.len()
+                        );
+                    }
+                    continue;
                 }
-                continue;
             };
             debug_assert!(t >= self.now, "event time went backwards");
             self.now = t;
-            let mut changed = self.process(ev, workload);
+            let mut changed = false;
+            while self
+                .injections
+                .front()
+                .is_some_and(|j| j.arrival == self.now)
+            {
+                let job = self.injections.pop_front().expect("checked front");
+                self.admit(job);
+                changed = true;
+            }
             while self.events.peek_time() == Some(self.now) {
                 let (_, ev) = self.events.pop().expect("peeked");
                 changed |= self.process(ev, workload);
@@ -782,24 +839,44 @@ impl<'a, 'o, Q: EventQueue<Event>> Engine<'a, 'o, Q> {
                 self.batch_end();
             }
         }
-        assert!(self.running.is_empty(), "jobs still running at drain");
-        assert_eq!(self.cluster.lease_count(), 0, "leaked leases");
+    }
+
+    /// Admit a job into this site engine at its true arrival time
+    /// (federation routing). The coordinator routes each epoch's arrivals
+    /// at the epoch barrier — before any site simulates past it — and in
+    /// arrival order, so injections form a sorted pending-arrival list.
+    fn inject(&mut self, job: Job) {
+        debug_assert!(job.arrival >= self.now, "injected job arrives in the past");
+        debug_assert!(
+            self.injections
+                .back()
+                .is_none_or(|b| b.arrival <= job.arrival),
+            "injections must be issued in arrival order"
+        );
+        self.injections.push_back(job);
+    }
+
+    /// The arrival path shared by workload arrivals, open-stream
+    /// arrivals, and federation injections: same hash tag, same emitted
+    /// event, same counters — which is what makes a one-site fleet run
+    /// bit-identical to the plain run of the same workload.
+    fn admit(&mut self, job: Job) {
+        self.hash_mix([1, self.now.as_micros(), job.id.0]);
+        self.emit(SimEvent::JobSubmitted {
+            at: self.now,
+            job: job.clone(),
+            resubmit: false,
+        });
+        self.queue.push(job, self.now);
+        self.events_processed += 1;
+        self.last_job_time = self.now;
     }
 
     /// Process one event; returns whether system state changed.
     fn process(&mut self, ev: Event, workload: &Workload) -> bool {
         match ev {
             Event::Arrival(idx) => {
-                let job = workload.jobs()[idx].clone();
-                self.hash_mix([1, self.now.as_micros(), job.id.0]);
-                self.emit(SimEvent::JobSubmitted {
-                    at: self.now,
-                    job: job.clone(),
-                    resubmit: false,
-                });
-                self.queue.push(job, self.now);
-                self.events_processed += 1;
-                self.last_job_time = self.now;
+                self.admit(workload.jobs()[idx].clone());
                 true
             }
             Event::Finish { job, generation } => {
@@ -827,15 +904,7 @@ impl<'a, 'o, Q: EventQueue<Event>> Engine<'a, 'o, Q> {
                     .pending
                     .take()
                     .expect("open arrival without pending job");
-                self.hash_mix([1, self.now.as_micros(), job.id.0]);
-                self.emit(SimEvent::JobSubmitted {
-                    at: self.now,
-                    job: job.clone(),
-                    resubmit: false,
-                });
-                self.queue.push(job, self.now);
-                self.events_processed += 1;
-                self.last_job_time = self.now;
+                self.admit(job);
                 // Refill: materialize the next arrival on demand, keeping
                 // exactly one in flight until the source's horizon.
                 if let Some(src) = self.source.as_mut() {
@@ -1494,6 +1563,117 @@ fn release_info(
         planned_end,
         nodes_per_rack,
         pool_per_domain,
+    }
+}
+
+/// One federated site's engine with the event-queue backend erased, so
+/// the federation coordinator can hold a homogeneous site list.
+///
+/// Site engines start with an empty workload and a caller-pinned time
+/// origin; jobs enter via [`SiteEngine::inject`] as the meta-scheduler
+/// routes them at epoch barriers. They never carry faults, services, or
+/// extra observers — those attach at the fleet level (or not at all)
+/// so site traces stay bit-identical to standalone runs.
+pub(crate) enum SiteEngine<'a> {
+    /// Binary-heap event queue backend.
+    Heap(Box<Engine<'a, 'static, BinaryHeapQueue<Event>>>),
+    /// Calendar event queue backend.
+    Calendar(Box<Engine<'a, 'static, CalendarQueue<Event>>>),
+}
+
+impl<'a> SiteEngine<'a> {
+    /// Build a site engine on `cfg.event_queue`'s backend, clock pinned
+    /// to the fleet `origin`. `faults` and `service` must be the none
+    /// specs (sites borrow them from the caller so the engine's borrowed
+    /// fields have somewhere to point).
+    pub(crate) fn new(
+        cfg: &'a SimConfig,
+        scheduler: &'a Scheduler,
+        faults: &'a FaultSpec,
+        service: &ServiceSpec,
+        empty: &Workload,
+        origin: SimTime,
+    ) -> Self {
+        debug_assert!(faults.is_none() && service.is_none());
+        match cfg.event_queue {
+            EventQueueKind::BinaryHeap => SiteEngine::Heap(Box::new(Engine::new(
+                cfg,
+                scheduler,
+                faults,
+                service,
+                BinaryHeapQueue::with_capacity(64),
+                empty,
+                &[],
+                None,
+                &mut [],
+                Some(origin),
+            ))),
+            EventQueueKind::Calendar => SiteEngine::Calendar(Box::new(Engine::new(
+                cfg,
+                scheduler,
+                faults,
+                service,
+                CalendarQueue::new(),
+                empty,
+                &[],
+                None,
+                &mut [],
+                Some(origin),
+            ))),
+        }
+    }
+
+    /// Admit a routed job at its true arrival time.
+    pub(crate) fn inject(&mut self, job: Job) {
+        match self {
+            SiteEngine::Heap(e) => e.inject(job),
+            SiteEngine::Calendar(e) => e.inject(job),
+        }
+    }
+
+    /// Simulate every event strictly before `limit` (the epoch barrier).
+    pub(crate) fn advance_until(&mut self, empty: &Workload, limit: SimTime) {
+        match self {
+            SiteEngine::Heap(e) => e.drive_bounded(empty, Some(limit)),
+            SiteEngine::Calendar(e) => e.drive_bounded(empty, Some(limit)),
+        }
+    }
+
+    /// Observe the site for the meta-scheduler, tagged with its fleet
+    /// index. Pure data — snapshots cross the worker channel by value.
+    pub(crate) fn snapshot(&self, site: usize) -> SiteSnapshot {
+        let (cfg, cluster, queue) = match self {
+            SiteEngine::Heap(e) => (e.cfg, &e.cluster, &e.queue),
+            SiteEngine::Calendar(e) => (e.cfg, &e.cluster, &e.queue),
+        };
+        let total_mem = (cfg.cluster.total_local_mem() + cfg.cluster.total_pool_mem()) as f64;
+        let used = (cluster.total_local_used() + cluster.total_pool_used()) as f64;
+        SiteSnapshot {
+            site,
+            queue_depth: queue.len(),
+            queued_nodes: queue.total_requested_nodes(),
+            free_nodes: cluster.free_nodes(),
+            total_nodes: cfg.cluster.total_nodes(),
+            mem_pressure: if total_mem > 0.0 {
+                used / total_mem
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Drain every remaining event and assemble the site's [`SimOutput`].
+    pub(crate) fn finish(self, empty: &Workload) -> SimOutput {
+        match self {
+            SiteEngine::Heap(mut e) => {
+                e.drive(empty);
+                e.finalize()
+            }
+            SiteEngine::Calendar(mut e) => {
+                e.drive(empty);
+                e.finalize()
+            }
+        }
     }
 }
 

@@ -3,6 +3,7 @@
 use super::{pool_label, ExperimentSpec, WorkloadSource};
 use crate::error::SimError;
 use crate::faults::FaultSpec;
+use crate::federation::FleetSpec;
 use crate::scenarios;
 use crate::service::ServiceSpec;
 use dmhpc_platform::{ClusterSpec, PoolTopology, SlowdownModel};
@@ -44,6 +45,7 @@ pub struct ExperimentBuilder {
     schedulers: Vec<SchedulerConfig>,
     faults: Vec<FaultSpec>,
     services: Vec<ServiceSpec>,
+    fleets: Vec<FleetSpec>,
     enforce_walltime: bool,
     check_invariants: bool,
     deferred_error: Option<String>,
@@ -61,6 +63,7 @@ impl ExperimentBuilder {
             schedulers: Vec::new(),
             faults: Vec::new(),
             services: Vec::new(),
+            fleets: Vec::new(),
             enforce_walltime: true,
             check_invariants: false,
             deferred_error: None,
@@ -90,6 +93,7 @@ impl ExperimentBuilder {
             schedulers: spec.schedulers,
             faults: spec.faults,
             services: spec.services,
+            fleets: spec.fleets,
             enforce_walltime: spec.enforce_walltime,
             check_invariants: spec.check_invariants,
             deferred_error: None,
@@ -231,6 +235,24 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Add one fleet-axis point. An empty fleet axis (the default) means
+    /// every cell runs on a single cluster; adding federated scenarios
+    /// crosses them into the grid like any other dimension. Add
+    /// [`FleetSpec::none`] explicitly to keep a single-cluster baseline
+    /// alongside fleets — its cells hash (and cache) identically to a
+    /// grid without the axis. Fleets do not combine with fault or service
+    /// scenarios (rejected at build).
+    pub fn fleet(mut self, spec: FleetSpec) -> Self {
+        self.fleets.push(spec);
+        self
+    }
+
+    /// Add several fleet-axis points.
+    pub fn fleets(mut self, specs: impl IntoIterator<Item = FleetSpec>) -> Self {
+        self.fleets.extend(specs);
+        self
+    }
+
     /// Add the paper's four-way policy comparison suite (local-only, pool
     /// first/best fit, slowdown-aware; all FCFS + EASY) under the given
     /// slowdown model.
@@ -274,6 +296,7 @@ impl ExperimentBuilder {
             schedulers: self.schedulers,
             faults: self.faults,
             services: self.services,
+            fleets: self.fleets,
             enforce_walltime: self.enforce_walltime,
             check_invariants: self.check_invariants,
         };

@@ -144,16 +144,9 @@ pub(super) fn workload_digest(source: &WorkloadSource) -> u64 {
     h.finish()
 }
 
-/// The content hash of one compiled grid cell. Two cells with equal
-/// hashes run the same simulation and produce the same [`SimOutput`].
-pub(super) fn cell_hash(workload_digest: u64, cell: &RunSpec) -> u64 {
-    let mut h = Fnv64::new();
-    h.write_u64(CACHE_FORMAT);
-    h.write_u64(workload_digest);
-    h.write_opt_u64(cell.key.load.map(f64::to_bits));
-    h.write_opt_u64(cell.key.seed);
-
-    let cluster = &cell.config.cluster;
+/// Hash a cluster's machine shape (labels are presentation-only and
+/// excluded). Shared by the cell's own cluster and pinned fleet sites.
+fn hash_cluster(h: &mut Fnv64, cluster: &dmhpc_platform::ClusterSpec) {
     h.write_u64(cluster.racks as u64);
     h.write_u64(cluster.nodes_per_rack as u64);
     h.write_u64(cluster.node.cores as u64);
@@ -169,8 +162,11 @@ pub(super) fn cell_hash(workload_digest: u64, cell: &RunSpec) -> u64 {
             h.write_u64(mib);
         }
     }
+}
 
-    let sched = &cell.config.scheduler;
+/// Hash a full scheduler configuration. Shared by the cell's own
+/// scheduler and pinned fleet sites.
+fn hash_scheduler(h: &mut Fnv64, sched: &dmhpc_sched::SchedulerConfig) {
     match sched.order {
         OrderPolicy::Wfp { exponent } => {
             h.write_str("wfp");
@@ -208,6 +204,19 @@ pub(super) fn cell_hash(workload_digest: u64, cell: &RunSpec) -> u64 {
         }
     }
     h.write_u64(sched.inflate_walltime as u64);
+}
+
+/// The content hash of one compiled grid cell. Two cells with equal
+/// hashes run the same simulation and produce the same [`SimOutput`].
+pub(super) fn cell_hash(workload_digest: u64, cell: &RunSpec) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(CACHE_FORMAT);
+    h.write_u64(workload_digest);
+    h.write_opt_u64(cell.key.load.map(f64::to_bits));
+    h.write_opt_u64(cell.key.seed);
+
+    hash_cluster(&mut h, &cell.config.cluster);
+    hash_scheduler(&mut h, &cell.config.scheduler);
     h.write_u64(cell.config.enforce_walltime as u64);
 
     // Fault scenario: a fault-free cell writes NOTHING, so its hash is
@@ -299,6 +308,33 @@ pub(super) fn cell_hash(workload_digest: u64, cell: &RunSpec) -> u64 {
             h.write_f64(hi);
         }
         h.write_opt_u64(cell.service.seed);
+    }
+
+    // Fleet scenario: same convention again — the single-cluster identity
+    // writes NOTHING, so fleet-free cells hash bit-identically to caches
+    // built before federation existed. Site labels are presentation-only
+    // (like cluster labels) and excluded.
+    if !cell.fleet.is_none() {
+        h.write_str("fleet");
+        h.write_f64(cell.fleet.epoch_s);
+        h.write_str(cell.fleet.policy.name());
+        h.write_u64(cell.fleet.sites.len() as u64);
+        for site in &cell.fleet.sites {
+            match &site.cluster {
+                None => h.write_u64(0),
+                Some(c) => {
+                    h.write_u64(1);
+                    hash_cluster(&mut h, c);
+                }
+            }
+            match &site.scheduler {
+                None => h.write_u64(0),
+                Some(s) => {
+                    h.write_u64(1);
+                    hash_scheduler(&mut h, s);
+                }
+            }
+        }
     }
     h.finish()
 }
@@ -619,6 +655,52 @@ mod tests {
         let mut reseeded = cells[0].clone();
         reseeded.key.seed = Some(999);
         assert_ne!(cell_hash(digest, &cells[0]), cell_hash(digest, &reseeded));
+    }
+
+    #[test]
+    fn fleet_axis_is_hash_neutral_when_none_and_content_otherwise() {
+        use crate::federation::FleetSpec;
+        let base = spec();
+        let digest = workload_digest(&base.workload);
+        let plain: Vec<u64> = base
+            .compile()
+            .unwrap()
+            .iter()
+            .map(|c| cell_hash(digest, c))
+            .collect();
+        // An explicit no-fleet axis writes nothing: pre-federation caches
+        // stay warm.
+        let with_none = crate::ExperimentBuilder::from_spec(base.clone())
+            .fleet(FleetSpec::none())
+            .build()
+            .unwrap();
+        let none_hashes: Vec<u64> = with_none
+            .compile()
+            .unwrap()
+            .iter()
+            .map(|c| cell_hash(digest, c))
+            .collect();
+        assert_eq!(plain, none_hashes, "no-fleet axis is hash-neutral");
+        // A real fleet moves every cell.
+        let with_fleet = crate::ExperimentBuilder::from_spec(base)
+            .fleet(FleetSpec::symmetric(
+                2,
+                120.0,
+                dmhpc_sched::MetaPolicyKind::RoundRobin,
+            ))
+            .build()
+            .unwrap();
+        for (cell, old) in with_fleet.compile().unwrap().iter().zip(&plain) {
+            assert_ne!(cell_hash(digest, cell), *old, "federated cells move");
+        }
+        // And the epoch length is content.
+        let mut longer = with_fleet.clone();
+        longer.fleets[0].epoch_s = 240.0;
+        assert_ne!(
+            cell_hash(digest, &with_fleet.compile().unwrap()[0]),
+            cell_hash(digest, &longer.compile().unwrap()[0]),
+            "epoch length is result-determining content"
+        );
     }
 
     #[test]

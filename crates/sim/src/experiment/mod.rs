@@ -69,6 +69,7 @@ pub use shard::Shard;
 use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::faults::FaultSpec;
+use crate::federation::FleetSpec;
 use crate::service::ServiceSpec;
 use dmhpc_platform::{ClusterSpec, PoolTopology};
 use dmhpc_sched::SchedulerConfig;
@@ -111,6 +112,10 @@ pub struct CellKey {
     /// when the axis is absent and for an explicit [`ServiceSpec::none`],
     /// which is the same run).
     pub service: Option<String>,
+    /// Fleet axis label (`None` for single-cluster cells — both when the
+    /// axis is absent and for an explicit [`FleetSpec::none`], which is
+    /// the same run).
+    pub fleet: Option<String>,
     /// Scheduler-axis label: the config's *full* label
     /// ([`SchedulerConfig::full_label`]), which distinguishes policy
     /// parameters, the slowdown model, and the inflation switch — so keys
@@ -135,6 +140,9 @@ impl CellKey {
         if let Some(service) = &self.service {
             parts.push(service.clone());
         }
+        if let Some(fleet) = &self.fleet {
+            parts.push(fleet.clone());
+        }
         parts.push(self.scheduler.clone());
         parts.join("|")
     }
@@ -156,6 +164,10 @@ pub struct RunSpec {
     /// [`ServiceSpec::none`] for closed cells; hash-neutral then, so
     /// pre-service caches stay warm.
     pub service: ServiceSpec,
+    /// The cell's fleet scenario ([`FleetSpec::none`] for single-cluster
+    /// cells; hash-neutral then, so pre-federation caches stay warm).
+    /// Unpinned sites inherit the cell's cluster and scheduler axes.
+    pub fleet: FleetSpec,
 }
 
 /// A declarative description of a whole experiment grid.
@@ -186,6 +198,10 @@ pub struct ExperimentSpec {
     /// (identical to the pre-service grid, hash-for-hash). Open scenarios
     /// do not combine with fault scenarios.
     pub services: Vec<ServiceSpec>,
+    /// Fleet axis. Empty = every cell runs on a single cluster (identical
+    /// to the pre-federation grid, hash-for-hash). Federated scenarios do
+    /// not combine with fault or service scenarios.
+    pub fleets: Vec<FleetSpec>,
     /// Kill jobs at their planned walltime (production behaviour).
     pub enforce_walltime: bool,
     /// Run cluster invariant checks after every event batch (tests only).
@@ -236,6 +252,16 @@ impl ExperimentSpec {
         }
     }
 
+    /// Effective fleet axis: the configured scenarios, or a single
+    /// single-cluster point.
+    fn fleet_axis(&self) -> Vec<FleetSpec> {
+        if self.fleets.is_empty() {
+            vec![FleetSpec::none()]
+        } else {
+            self.fleets.clone()
+        }
+    }
+
     /// Number of grid cells `compile` will produce.
     pub fn cell_count(&self) -> usize {
         self.clusters.len()
@@ -243,6 +269,7 @@ impl ExperimentSpec {
             * self.seed_axis().len()
             * self.fault_axis().len()
             * self.service_axis().len()
+            * self.fleet_axis().len()
             * self.schedulers.len()
     }
 
@@ -349,12 +376,37 @@ impl ExperimentSpec {
                  (split them into separate experiments)",
             ));
         }
+        for fleet in &self.fleets {
+            // Machine-aware: unpinned sites inherit each cluster on the
+            // axis, so the fleet must resolve against every one.
+            for (_, cluster) in &self.clusters {
+                fleet.validate_for(cluster)?;
+            }
+        }
+        let mut fleet_labels: Vec<String> = self.fleets.iter().map(|f| f.label()).collect();
+        fleet_labels.sort_unstable();
+        fleet_labels.dedup();
+        if fleet_labels.len() != self.fleets.len() {
+            return Err(SimError::spec(
+                "fleet axis contains scenarios with colliding labels \
+                 (duplicate or near-duplicate FleetSpecs)",
+            ));
+        }
+        if self.fleets.iter().any(|f| !f.is_none())
+            && (self.faults.iter().any(|f| !f.is_none())
+                || self.services.iter().any(|s| !s.is_none()))
+        {
+            return Err(SimError::spec(
+                "federated fleet scenarios do not combine with fault or service \
+                 scenarios (split them into separate experiments)",
+            ));
+        }
         Ok(())
     }
 
     /// Expand the grid into concrete cells, in deterministic axis order
     /// (clusters outermost, then loads, seeds, fault scenarios, service
-    /// scenarios, and schedulers innermost).
+    /// scenarios, fleets, and schedulers innermost).
     pub fn compile(&self) -> Result<Vec<RunSpec>, SimError> {
         self.validate()?;
         let mut cells = Vec::with_capacity(self.cell_count());
@@ -363,43 +415,54 @@ impl ExperimentSpec {
                 for seed in self.seed_axis() {
                     for faults in self.fault_axis() {
                         for service in self.service_axis() {
-                            for sched in &self.schedulers {
-                                let mut config = SimConfig::new(*cluster, *sched);
-                                config.enforce_walltime = self.enforce_walltime;
-                                config.check_invariants = self.check_invariants;
-                                // The key labels the axis entry as written
-                                // (pre-resolution), so one scenario keeps
-                                // one label across the whole seed axis.
-                                let service_label = if service.is_none() {
-                                    None
-                                } else {
-                                    Some(service.label())
-                                };
-                                // Resolve the stream seed: an unpinned open
-                                // scenario draws from the cell's seed axis,
-                                // so the seed axis varies the stream just
-                                // like it varies closed workloads.
-                                let mut service = service.clone();
-                                if !service.is_none() && service.seed.is_none() {
-                                    service.seed = Some(seed.unwrap_or(ServiceSpec::DEFAULT_SEED));
-                                }
-                                cells.push(RunSpec {
-                                    key: CellKey {
-                                        cluster: cluster_label.clone(),
-                                        load,
-                                        seed,
-                                        fault: if faults.is_none() {
-                                            None
-                                        } else {
-                                            Some(faults.label())
+                            for fleet in self.fleet_axis() {
+                                for sched in &self.schedulers {
+                                    let mut config = SimConfig::new(*cluster, *sched);
+                                    config.enforce_walltime = self.enforce_walltime;
+                                    config.check_invariants = self.check_invariants;
+                                    // The key labels the axis entry as
+                                    // written (pre-resolution), so one
+                                    // scenario keeps one label across the
+                                    // whole seed axis.
+                                    let service_label = if service.is_none() {
+                                        None
+                                    } else {
+                                        Some(service.label())
+                                    };
+                                    // Resolve the stream seed: an unpinned
+                                    // open scenario draws from the cell's
+                                    // seed axis, so the seed axis varies
+                                    // the stream just like it varies
+                                    // closed workloads.
+                                    let mut service = service.clone();
+                                    if !service.is_none() && service.seed.is_none() {
+                                        service.seed =
+                                            Some(seed.unwrap_or(ServiceSpec::DEFAULT_SEED));
+                                    }
+                                    cells.push(RunSpec {
+                                        key: CellKey {
+                                            cluster: cluster_label.clone(),
+                                            load,
+                                            seed,
+                                            fault: if faults.is_none() {
+                                                None
+                                            } else {
+                                                Some(faults.label())
+                                            },
+                                            service: service_label,
+                                            fleet: if fleet.is_none() {
+                                                None
+                                            } else {
+                                                Some(fleet.label())
+                                            },
+                                            scheduler: sched.full_label(),
                                         },
-                                        service: service_label,
-                                        scheduler: sched.full_label(),
-                                    },
-                                    config,
-                                    faults: faults.clone(),
-                                    service,
-                                });
+                                        config,
+                                        faults: faults.clone(),
+                                        service,
+                                        fleet: fleet.clone(),
+                                    });
+                                }
                             }
                         }
                     }
@@ -617,6 +680,7 @@ mod tests {
             seed: Some(42),
             fault: None,
             service: None,
+            fleet: None,
             scheduler: "fcfs+easy+pool-ff".into(),
         };
         assert_eq!(key.label(), "mid|load0.90|seed42|fcfs+easy+pool-ff");
@@ -630,6 +694,12 @@ mod tests {
         assert_eq!(
             key.label(),
             "mid|load0.90|seed42|svc-htc-128-poisson-u0.85-j5000|fcfs+easy+pool-ff"
+        );
+        key.service = None;
+        key.fleet = Some("fleet4-least-queue-e300".into());
+        assert_eq!(
+            key.label(),
+            "mid|load0.90|seed42|fleet4-least-queue-e300|fcfs+easy+pool-ff"
         );
     }
 
@@ -711,6 +781,72 @@ mod tests {
             .scheduler(dmhpc_sched::SchedulerBuilder::new().build())
             .fault(crate::FaultSpec::none().with_generator(gen))
             .service(svc)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("do not combine"), "{err}");
+    }
+
+    #[test]
+    fn fleet_axis_multiplies_grid_and_labels_cells() {
+        let spec = ExperimentSpec::builder("fed")
+            .preset(SystemPreset::HighThroughput, 20)
+            .pool(PoolTopology::None)
+            .seed(1)
+            .scheduler(dmhpc_sched::SchedulerBuilder::new().build())
+            .fleet(FleetSpec::none())
+            .fleet(FleetSpec::symmetric(
+                4,
+                300.0,
+                dmhpc_sched::MetaPolicyKind::LeastQueueDepth,
+            ))
+            .build()
+            .unwrap();
+        assert_eq!(spec.cell_count(), 2);
+        let cells = spec.compile().unwrap();
+        assert_eq!(cells[0].key.fleet, None, "explicit none stays unlabeled");
+        assert!(cells[0].fleet.is_none());
+        assert_eq!(
+            cells[1].key.fleet.as_deref(),
+            Some("fleet4-least-queue-e300")
+        );
+        assert_eq!(cells[1].fleet.sites.len(), 4);
+    }
+
+    #[test]
+    fn fleet_axis_rejects_collisions_and_fault_service_combination() {
+        let fleet = FleetSpec::symmetric(2, 60.0, dmhpc_sched::MetaPolicyKind::RoundRobin);
+        let err = ExperimentSpec::builder("dup-fleet")
+            .preset(SystemPreset::HighThroughput, 20)
+            .pool(PoolTopology::None)
+            .seed(1)
+            .scheduler(dmhpc_sched::SchedulerBuilder::new().build())
+            .fleet(fleet.clone())
+            .fleet(fleet.clone())
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("colliding"), "{err}");
+
+        let mut gen = crate::FaultGenerator::quiet(5, 40_000);
+        gen.node_mtbf_s = 8_000;
+        let err = ExperimentSpec::builder("fleet-faults")
+            .preset(SystemPreset::HighThroughput, 20)
+            .pool(PoolTopology::None)
+            .seed(1)
+            .scheduler(dmhpc_sched::SchedulerBuilder::new().build())
+            .fault(crate::FaultSpec::none().with_generator(gen))
+            .fleet(fleet.clone())
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("do not combine"), "{err}");
+
+        let svc = ServiceSpec::open(SystemPreset::HighThroughput).with_horizon_jobs(200);
+        let err = ExperimentSpec::builder("fleet-svc")
+            .preset(SystemPreset::HighThroughput, 20)
+            .pool(PoolTopology::None)
+            .seed(1)
+            .scheduler(dmhpc_sched::SchedulerBuilder::new().build())
+            .service(svc)
+            .fleet(fleet)
             .build()
             .unwrap_err();
         assert!(err.to_string().contains("do not combine"), "{err}");

@@ -142,7 +142,7 @@ impl ExperimentResults {
     /// [`dmhpc_metrics::export::REPORT_CSV_HEADER`].
     pub fn to_csv(&self) -> String {
         let mut out = String::with_capacity(256 * (self.cells.len() + 1));
-        out.push_str("experiment,cluster,load,seed,fault,service,");
+        out.push_str("experiment,cluster,load,seed,fault,service,fleet,");
         out.push_str(export::REPORT_CSV_HEADER);
         out.push_str(",slo_attainment\n");
         for c in &self.cells {
@@ -150,18 +150,20 @@ impl ExperimentResults {
             let seed = c.key.seed.map(|s| s.to_string()).unwrap_or_default();
             let fault = c.key.fault.as_deref().unwrap_or_default();
             let service = c.key.service.as_deref().unwrap_or_default();
+            let fleet = c.key.fleet.as_deref().unwrap_or_default();
             let slo = c
                 .slo_attainment()
                 .map(|a| format!("{a}"))
                 .unwrap_or_default();
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{}\n",
                 export::sanitize(&self.name),
                 export::sanitize(&c.key.cluster),
                 load,
                 seed,
                 export::sanitize(fault),
                 export::sanitize(service),
+                export::sanitize(fleet),
                 export::report_csv_row(&c.output.report),
                 slo
             ));
@@ -187,6 +189,10 @@ impl ExperimentResults {
                     (
                         "service",
                         c.key.service.clone().map(Json::Str).unwrap_or(Json::Null),
+                    ),
+                    (
+                        "fleet",
+                        c.key.fleet.clone().map(Json::Str).unwrap_or(Json::Null),
                     ),
                     ("scheduler", Json::Str(c.key.scheduler.clone())),
                     ("trace_hash", Json::UInt(c.output.trace_hash)),
@@ -243,7 +249,7 @@ mod tests {
         let csv = r.to_csv();
         let lines: Vec<&str> = csv.trim_end().lines().collect();
         assert_eq!(lines.len(), 1 + r.len());
-        assert!(lines[0].starts_with("experiment,cluster,load,seed,fault,service,label,"));
+        assert!(lines[0].starts_with("experiment,cluster,load,seed,fault,service,fleet,label,"));
         assert!(lines[0].ends_with(",slo_attainment"));
         let arity = lines[0].split(',').count();
         for line in &lines[1..] {

@@ -6,6 +6,7 @@ use super::shard::Shard;
 use super::{ExperimentSpec, RunSpec, WorkloadSource};
 use crate::engine::{ObserverSet, Simulation};
 use crate::error::SimError;
+use crate::federation::FleetSimulation;
 use crate::observe::{Observer, ObserverFactory, RunLabel, TraceDir};
 use crate::sweep::run_parallel;
 use dmhpc_workload::{transform, Workload};
@@ -115,11 +116,15 @@ impl ExperimentRunner {
     }
 
     fn workload_key(cell: &RunSpec) -> WorkloadKey {
-        (
-            cell.key.seed,
-            cell.key.load.map(f64::to_bits),
-            cell.config.cluster.total_nodes(),
-        )
+        // Fleet cells scale offered load against the whole fleet's
+        // capacity (with unpinned sites resolved to the cell's cluster),
+        // so `load 0.8` means the same relative pressure federated or not.
+        let nodes = if cell.fleet.is_none() {
+            cell.config.cluster.total_nodes()
+        } else {
+            cell.fleet.total_nodes(&cell.config.cluster)
+        };
+        (cell.key.seed, cell.key.load.map(f64::to_bits), nodes)
     }
 
     /// Materialize the workload for one cache key.
@@ -226,6 +231,17 @@ impl ExperimentRunner {
             let mut config = cell.config;
             if let Some(kind) = self.event_queue {
                 config.event_queue = kind;
+            }
+            // Fleet cells run the federation engine serially (the grid
+            // already parallelizes across cells) and report the
+            // fleet-level aggregate. They are observation-free: per-site
+            // event streams have no single-run identity to attach
+            // observers to yet.
+            if !cell.fleet.is_none() {
+                let fleet = FleetSimulation::new(&cell.fleet, config)
+                    .expect("cell fleet validated by compile()");
+                let output = fleet.run(workload).aggregate;
+                return (*i, cell.clone(), *hash, Some(output), None);
             }
             // compile() validated every cell config and fault/service
             // scenario.
@@ -405,6 +421,88 @@ mod tests {
             serial.cells()[0].output.trace_hash,
             serial.cells()[1].output.trace_hash
         );
+    }
+
+    #[test]
+    fn fleet_cells_run_federated_and_stay_deterministic() {
+        use crate::federation::FleetSpec;
+        let spec = ExperimentSpec::builder("fleet-runner")
+            .preset(SystemPreset::HighThroughput, 40)
+            .pool(PoolTopology::None)
+            .load(0.8)
+            .seed(5)
+            .scheduler(dmhpc_sched::SchedulerBuilder::new().build())
+            .fleet(FleetSpec::none())
+            .fleet(FleetSpec::symmetric(
+                2,
+                300.0,
+                dmhpc_sched::MetaPolicyKind::RoundRobin,
+            ))
+            .build()
+            .unwrap();
+        let serial = ExperimentRunner::with_threads(1).run(&spec).unwrap();
+        let parallel = ExperimentRunner::with_threads(4).run(&spec).unwrap();
+        assert_eq!(serial.len(), 2);
+        for (a, b) in serial.cells().iter().zip(parallel.cells()) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(
+                a.output.trace_hash,
+                b.output.trace_hash,
+                "{}",
+                a.key.label()
+            );
+        }
+        let fleet_cell = &serial.cells()[1];
+        assert!(fleet_cell.key.fleet.is_some());
+        assert_eq!(
+            fleet_cell.output.records.len(),
+            40,
+            "fleet aggregate merges every site's records"
+        );
+        // The fleet cell's workload is rescaled against twice the
+        // capacity, so it is a genuinely different run.
+        assert_ne!(
+            serial.cells()[0].output.trace_hash,
+            fleet_cell.output.trace_hash
+        );
+    }
+
+    #[test]
+    fn fleet_cells_round_trip_through_the_cache() {
+        use crate::federation::FleetSpec;
+        let dir =
+            std::env::temp_dir().join(format!("dmhpc-fleet-runner-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = ExperimentSpec::builder("fleet-cache")
+            .preset(SystemPreset::HighThroughput, 30)
+            .pool(PoolTopology::None)
+            .seed(3)
+            .scheduler(dmhpc_sched::SchedulerBuilder::new().build())
+            .fleet(FleetSpec::symmetric(
+                2,
+                120.0,
+                dmhpc_sched::MetaPolicyKind::LeastQueueDepth,
+            ))
+            .build()
+            .unwrap();
+        let cold = ExperimentRunner::with_threads(1)
+            .cache_dir(&dir)
+            .unwrap()
+            .run(&spec)
+            .unwrap();
+        assert_eq!(cold.stats().simulated, 1);
+        let warm = ExperimentRunner::with_threads(1)
+            .cache_dir(&dir)
+            .unwrap()
+            .run(&spec)
+            .unwrap();
+        assert_eq!(warm.stats().cache_hits, 1, "fleet cells replay from cache");
+        assert_eq!(warm.to_csv(), cold.to_csv(), "CSV byte-identical");
+        assert_eq!(
+            warm.cells()[0].output.trace_hash,
+            cold.cells()[0].output.trace_hash
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -10,11 +10,12 @@
 use super::{ExperimentSpec, WorkloadSource};
 use crate::error::SimError;
 use crate::faults::{FaultAction, FaultGenerator, FaultSpec, InterruptPolicy};
+use crate::federation::{FleetSpec, SiteSpec};
 use crate::service::{ServiceLoad, ServiceSpec};
 use dmhpc_des::time::{SimDuration, SimTime};
 use dmhpc_metrics::json::{parse, Json, JsonError};
 use dmhpc_platform::{ClusterSpec, NodeId, NodeSpec, PoolId, PoolTopology, SlowdownModel};
-use dmhpc_sched::{BackfillPolicy, MemoryPolicy, OrderPolicy, SchedulerConfig};
+use dmhpc_sched::{BackfillPolicy, MemoryPolicy, MetaPolicyKind, OrderPolicy, SchedulerConfig};
 use dmhpc_workload::source::{ArrivalProcess, Horizon};
 use dmhpc_workload::SystemPreset;
 
@@ -54,15 +55,20 @@ fn pool_to_json(pool: &PoolTopology) -> Json {
     }
 }
 
-fn cluster_to_json(label: &str, spec: &ClusterSpec) -> Json {
-    Json::obj(vec![
-        ("label", Json::Str(label.into())),
+fn cluster_shape_fields(spec: &ClusterSpec) -> Vec<(&'static str, Json)> {
+    vec![
         ("racks", Json::UInt(spec.racks as u64)),
         ("nodes_per_rack", Json::UInt(spec.nodes_per_rack as u64)),
         ("cores", Json::UInt(spec.node.cores as u64)),
         ("node_mem_mib", Json::UInt(spec.node.local_mem)),
         ("pool", pool_to_json(&spec.pool)),
-    ])
+    ]
+}
+
+fn cluster_to_json(label: &str, spec: &ClusterSpec) -> Json {
+    let mut pairs = vec![("label", Json::Str(label.into()))];
+    pairs.extend(cluster_shape_fields(spec));
+    Json::obj(pairs)
 }
 
 fn order_to_json(order: &OrderPolicy) -> Json {
@@ -258,6 +264,30 @@ fn service_to_json(s: &ServiceSpec) -> Json {
     Json::obj(pairs)
 }
 
+fn site_to_json(s: &SiteSpec) -> Json {
+    let mut pairs = vec![("label", Json::Str(s.label.clone()))];
+    // Pinned fields only: an unpinned site serializes as a bare label,
+    // keeping "inherit the cell's axes" the visible default.
+    if let Some(c) = &s.cluster {
+        pairs.push(("cluster", Json::obj(cluster_shape_fields(c))));
+    }
+    if let Some(sc) = &s.scheduler {
+        pairs.push(("scheduler", scheduler_to_json(sc)));
+    }
+    Json::obj(pairs)
+}
+
+fn fleet_to_json(f: &FleetSpec) -> Json {
+    Json::obj(vec![
+        ("epoch_s", Json::F64(f.epoch_s)),
+        ("policy", Json::Str(f.policy.name().into())),
+        (
+            "sites",
+            Json::Arr(f.sites.iter().map(site_to_json).collect()),
+        ),
+    ])
+}
+
 pub(super) fn spec_to_json(spec: &ExperimentSpec) -> Result<String, SimError> {
     let workload = match &spec.workload {
         WorkloadSource::Preset { preset, jobs } => Json::obj(vec![(
@@ -303,6 +333,10 @@ pub(super) fn spec_to_json(spec: &ExperimentSpec) -> Result<String, SimError> {
             "services",
             Json::Arr(spec.services.iter().map(service_to_json).collect()),
         ),
+        (
+            "fleets",
+            Json::Arr(spec.fleets.iter().map(fleet_to_json).collect()),
+        ),
         ("enforce_walltime", Json::Bool(spec.enforce_walltime)),
         ("check_invariants", Json::Bool(spec.check_invariants)),
     ]);
@@ -325,21 +359,24 @@ fn pool_from_json(v: &Json) -> Result<PoolTopology, JsonError> {
     }
 }
 
-fn cluster_from_json(v: &Json) -> Result<(String, ClusterSpec), JsonError> {
-    let label = v.expect_key("label")?.to_str()?.to_string();
+fn cluster_shape_from_json(v: &Json) -> Result<ClusterSpec, JsonError> {
     let node = NodeSpec::try_new(
         v.expect_key("cores")?.to_u64()? as u32,
         v.expect_key("node_mem_mib")?.to_u64()?,
     )
     .map_err(|e| shape(e.to_string()))?;
-    let spec = ClusterSpec::try_new(
+    ClusterSpec::try_new(
         v.expect_key("racks")?.to_u64()? as u32,
         v.expect_key("nodes_per_rack")?.to_u64()? as u32,
         node,
         pool_from_json(v.expect_key("pool")?)?,
     )
-    .map_err(|e| shape(e.to_string()))?;
-    Ok((label, spec))
+    .map_err(|e| shape(e.to_string()))
+}
+
+fn cluster_from_json(v: &Json) -> Result<(String, ClusterSpec), JsonError> {
+    let label = v.expect_key("label")?.to_str()?.to_string();
+    Ok((label, cluster_shape_from_json(v)?))
 }
 
 fn order_from_json(v: &Json) -> Result<OrderPolicy, JsonError> {
@@ -552,6 +589,35 @@ fn service_from_json(v: &Json) -> Result<ServiceSpec, JsonError> {
     })
 }
 
+fn site_from_json(v: &Json) -> Result<SiteSpec, JsonError> {
+    Ok(SiteSpec {
+        label: v.expect_key("label")?.to_str()?.to_string(),
+        cluster: match v.get("cluster") {
+            Some(c) => Some(cluster_shape_from_json(c)?),
+            None => None,
+        },
+        scheduler: match v.get("scheduler") {
+            Some(s) => Some(scheduler_from_json(s)?),
+            None => None,
+        },
+    })
+}
+
+fn fleet_from_json(v: &Json) -> Result<FleetSpec, JsonError> {
+    let policy_name = v.expect_key("policy")?.to_str()?;
+    Ok(FleetSpec {
+        sites: v
+            .expect_key("sites")?
+            .to_arr()?
+            .iter()
+            .map(site_from_json)
+            .collect::<Result<_, _>>()?,
+        epoch_s: v.expect_key("epoch_s")?.to_f64()?,
+        policy: MetaPolicyKind::parse(policy_name)
+            .ok_or_else(|| shape(format!("unknown meta policy {policy_name:?}")))?,
+    })
+}
+
 fn preset_from_name(name: &str) -> Result<SystemPreset, JsonError> {
     SystemPreset::ALL
         .into_iter()
@@ -617,6 +683,17 @@ pub(super) fn spec_from_json(text: &str) -> Result<ExperimentSpec, SimError> {
                     .to_arr()?
                     .iter()
                     .map(service_from_json)
+                    .collect::<Result<_, _>>()?,
+                None => Vec::new(),
+            },
+            // Absent in documents written before federation existed:
+            // those grids are single-cluster, exactly what an empty axis
+            // means.
+            fleets: match doc.get("fleets") {
+                Some(f) => f
+                    .to_arr()?
+                    .iter()
+                    .map(fleet_from_json)
                     .collect::<Result<_, _>>()?,
                 None => Vec::new(),
             },
@@ -764,6 +841,76 @@ mod tests {
             assert_eq!(x.key, y.key);
             assert_eq!(x.service, y.service);
         }
+    }
+
+    #[test]
+    fn fleet_axis_round_trips_exactly() {
+        let big = ClusterSpec::new(4, 16, NodeSpec::new(16, 256 * 1024), PoolTopology::None);
+        let spec = ExperimentSpec::builder("fleet-trip")
+            .preset(SystemPreset::HighThroughput, 40)
+            .pool(PoolTopology::None)
+            .seed(5)
+            .scheduler(dmhpc_sched::SchedulerBuilder::new().build())
+            .fleet(FleetSpec::none())
+            .fleet(FleetSpec::symmetric(
+                3,
+                300.0,
+                MetaPolicyKind::LeastMemoryPressure,
+            ))
+            .fleet(
+                FleetSpec {
+                    sites: Vec::new(),
+                    epoch_s: 120.0,
+                    policy: MetaPolicyKind::RoundRobin,
+                }
+                .with_site("plain", None, None)
+                .with_site(
+                    "big",
+                    Some(big),
+                    Some(
+                        dmhpc_sched::SchedulerBuilder::new()
+                            .memory(MemoryPolicy::PoolBestFit)
+                            .build(),
+                    ),
+                ),
+            )
+            .build()
+            .unwrap();
+        let json = spec.to_json().unwrap();
+        let back = ExperimentSpec::from_json(&json).unwrap();
+        assert_eq!(back.fleets, spec.fleets, "fleet axis round-trips exactly");
+        assert_eq!(back.to_json().unwrap(), json, "canonical form is stable");
+        let a = spec.compile().unwrap();
+        let b = back.compile().unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.key, y.key);
+            assert_eq!(x.fleet, y.fleet);
+        }
+    }
+
+    #[test]
+    fn pre_fleet_documents_parse_as_single_cluster() {
+        // Documents written before federation have no "fleets" key; they
+        // must keep parsing (as single-cluster grids).
+        let old = r#"{
+            "name": "legacy",
+            "workload": {"preset": {"system": "htc-128", "jobs": 10}},
+            "clusters": [{
+                "label": "c0", "racks": 1, "nodes_per_rack": 4,
+                "cores": 8, "node_mem_mib": 65536, "pool": "none"
+            }],
+            "loads": [],
+            "seeds": [1],
+            "schedulers": [{
+                "order": "fcfs", "backfill": "easy", "memory": "local-only",
+                "slowdown": "none", "inflate_walltime": true
+            }],
+            "enforce_walltime": true,
+            "check_invariants": false
+        }"#;
+        let spec = ExperimentSpec::from_json(old).unwrap();
+        assert!(spec.fleets.is_empty());
+        assert_eq!(spec.compile().unwrap()[0].key.fleet, None);
     }
 
     #[test]

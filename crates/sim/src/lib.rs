@@ -57,6 +57,7 @@ mod engine;
 mod error;
 pub mod experiment;
 pub mod faults;
+pub mod federation;
 pub mod observe;
 pub mod scenarios;
 pub mod service;
@@ -71,6 +72,7 @@ pub use experiment::{
     ResultCache, RunSpec, RunStats, Shard, WorkloadSource,
 };
 pub use faults::{FaultAction, FaultGenerator, FaultSpec, InterruptPolicy};
+pub use federation::{FleetOutput, FleetSimulation, FleetSpec, SiteSpec};
 pub use observe::{
     EventCounter, Observer, ObserverFactory, ProgressObserver, RunLabel, SampledSeriesProbe,
     SimEvent, SketchStatsObserver, TraceDir, TraceSink,

@@ -1,0 +1,128 @@
+//! Federation study: does state-aware meta-scheduling tame bursts?
+//!
+//! A single cluster answers "how do I schedule my machine"; a federated
+//! fleet asks the level above — *which machine should each job go to?*
+//! This example drives a heterogeneous 4-site fleet (two full-size
+//! sites, two quarter-size) with a bursty MMPP arrival stream and
+//! compares two meta-scheduling policies at identical offered load:
+//!
+//! * **round-robin** — deal jobs to sites in fixed rotation, blind to
+//!   state. Quarter-size sites receive the same share as full-size
+//!   ones, so their queues grow without bound while the big sites
+//!   coast half-idle;
+//! * **least-pressure** — route each job to the site with the lowest
+//!   committed-memory fraction, read from the epoch-barrier snapshots
+//!   the conservative lockstep publishes. State-aware routing sheds
+//!   burst overflow toward whichever site has headroom *now*.
+//!
+//! Both runs use the same [`FleetSimulation`] engine, the same 300 s
+//! routing epochs, and byte-identical workloads, so the p99-wait gap at
+//! the end is purely the routing policy. The example asserts the gap:
+//! least-pressure must beat round-robin on p99 wait.
+//!
+//! ```text
+//! cargo run --release --example federation_study
+//! ```
+
+use dmhpc::prelude::*;
+
+/// p99 job wait (seconds) over every started job in a run.
+fn p99_wait_s(out: &SimOutput) -> f64 {
+    let mut waits: Vec<f64> = out
+        .records
+        .iter()
+        .filter_map(|r| {
+            r.start
+                .map(|s| s.saturating_since(r.job.arrival).as_secs_f64())
+        })
+        .collect();
+    assert!(!waits.is_empty(), "runs must start jobs");
+    waits.sort_by(|a, b| a.partial_cmp(b).expect("finite waits"));
+    waits[(waits.len() - 1) * 99 / 100]
+}
+
+fn main() -> Result<(), SimError> {
+    // The fleet: two full-size HighThroughput sites (inherited from the
+    // base config) and two quarter-size sites (pinned), all per-rack
+    // pooled — skewed enough that a blind 25% share per site overloads
+    // the small machines (10% of fleet capacity each) outright.
+    let (racks, npr, cores, node_mib) = SystemPreset::HighThroughput.machine();
+    let pool = PoolTopology::PerRack {
+        mib_per_rack: 384 * 1024,
+    };
+    let big = ClusterSpec::new(racks, npr, NodeSpec::new(cores, node_mib), pool);
+    let small = ClusterSpec::new(racks / 4, npr, NodeSpec::new(cores, node_mib), pool);
+    let scheduler = SchedulerBuilder::new()
+        .memory(MemoryPolicy::PoolBestFit)
+        .slowdown(SlowdownModel::Saturating {
+            penalty: 1.5,
+            curvature: 3.0,
+        })
+        .build();
+    let base = SimConfig::new(big, scheduler);
+    let fleet_with = |policy: MetaPolicyKind| {
+        FleetSpec::symmetric(2, 300.0, policy)
+            .with_site("small0", Some(small), None)
+            .with_site("small1", Some(small), None)
+    };
+
+    // The burst stream: an interrupted-Poisson MMPP (4× the mean rate
+    // while bursting, ~30 min dwells) sized for the *fleet's* combined
+    // capacity, materialized once so both policies route byte-identical
+    // arrivals.
+    let fleet_nodes = fleet_with(MetaPolicyKind::RoundRobin).total_nodes(&base.cluster);
+    let rate_racks = fleet_nodes / npr;
+    let rate_cluster = ClusterSpec::new(rate_racks, npr, NodeSpec::new(cores, node_mib), pool);
+    let stream = ServiceSpec::open(SystemPreset::HighThroughput)
+        .with_utilization(0.6)
+        .with_horizon_jobs(6_000)
+        .with_seed(7)
+        .with_process(ArrivalProcess::Mmpp {
+            burst_ratio: 4.0,
+            mean_dwell_secs: 1_800.0,
+        });
+    let mut source = stream.open_source(&rate_cluster)?;
+    let workload = Workload::from_jobs(std::iter::from_fn(|| source.next_job()).collect());
+    println!(
+        "federation study: {} MMPP jobs over {} sites ({} nodes), 300 s epochs\n",
+        workload.len(),
+        4,
+        fleet_nodes
+    );
+
+    println!(
+        "{:<16} {:>12} {:>12} {:>10}  routed per site",
+        "meta-policy", "mean_wait_s", "p99_wait_s", "node_util"
+    );
+    let mut p99 = Vec::new();
+    for policy in [
+        MetaPolicyKind::RoundRobin,
+        MetaPolicyKind::LeastMemoryPressure,
+    ] {
+        let out = FleetSimulation::new(&fleet_with(policy), base)?.run(&workload);
+        let p = p99_wait_s(&out.aggregate);
+        println!(
+            "{:<16} {:>12.0} {:>12.0} {:>10.3}  {:?}",
+            policy.name(),
+            out.aggregate.report.mean_wait_s,
+            p,
+            out.aggregate.report.node_util,
+            out.routed_jobs,
+        );
+        p99.push(p);
+    }
+
+    // The point of state-aware routing: under bursts on a heterogeneous
+    // fleet, reading the snapshots must beat dealing cards.
+    let (rr, lp) = (p99[0], p99[1]);
+    assert!(
+        lp < rr,
+        "least-pressure p99 wait ({lp:.0}s) must beat round-robin ({rr:.0}s)"
+    );
+    println!(
+        "\nleast-pressure cuts p99 wait {:.1}x vs round-robin at identical \
+         offered load — burst overflow drains to whichever site has headroom",
+        rr / lp
+    );
+    Ok(())
+}

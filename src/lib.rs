@@ -101,8 +101,9 @@ pub mod prelude {
         SlowdownModel,
     };
     pub use dmhpc_sched::{
-        BackfillPolicy, MemoryPolicy, OrderPolicy, Ordering, PassDirective, Placement,
-        ReleaseIndex, ReleaseView, SchedContext, SchedulerBuilder, SchedulerConfig,
+        BackfillPolicy, MemoryPolicy, MetaPolicy, MetaPolicyKind, OrderPolicy, Ordering,
+        PassDirective, Placement, ReleaseIndex, ReleaseView, SchedContext, SchedulerBuilder,
+        SchedulerConfig, SiteSnapshot,
     };
     pub use dmhpc_sim::observe::{
         EventCounter, Observer, ObserverFactory, ProgressObserver, RunLabel, SampleRow,
@@ -110,10 +111,11 @@ pub mod prelude {
     };
     pub use dmhpc_sim::{
         CellKey, CellResult, EventQueueKind, ExperimentResults, ExperimentRunner, ExperimentSpec,
-        FaultAction, FaultGenerator, FaultSpec, InterruptPolicy, ObserverSet, ObserverSpec,
-        ResultCache, RunStats, ServiceLoad, ServiceSpec, Shard, SimConfig, SimError, SimOutput,
-        Simulation, WorkloadSource,
+        FaultAction, FaultGenerator, FaultSpec, FleetOutput, FleetSimulation, FleetSpec,
+        InterruptPolicy, ObserverSet, ObserverSpec, ResultCache, RunStats, ServiceLoad,
+        ServiceSpec, Shard, SimConfig, SimError, SimOutput, Simulation, SiteSpec, WorkloadSource,
     };
+    pub use dmhpc_workload::source::{ArrivalProcess, JobSource};
     pub use dmhpc_workload::{
         Job, JobId, Slo, SloModel, SyntheticSpec, SystemPreset, Workload, WorkloadBuilder,
         WorkloadError,
