@@ -10,7 +10,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dmhpc_des::time::SimDuration;
 use dmhpc_platform::{PoolTopology, SlowdownModel};
-use dmhpc_sched::{MemoryPolicy, MetaPolicyKind, OrderPolicy, SchedulerBuilder};
+use dmhpc_sched::{AdmissionPolicy, MemoryPolicy, MetaPolicyKind, OrderPolicy, SchedulerBuilder};
 use dmhpc_sim::observe::{EventCounter, SampledSeriesProbe, TraceSink};
 use dmhpc_sim::scenarios::{default_slowdown, policy_suite, preset_cluster};
 use dmhpc_sim::{
@@ -468,6 +468,77 @@ fn bench_engine_deadline(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_engine_admission(c: &mut Criterion) {
+    // Admission-control cost: the same deadline-stamped workload once
+    // under EDF with slowdown-aware placement (every stamped job is
+    // admitted) and once under the full deadline stack — laxity-aware
+    // placement plus infeasibility rejection. Both arms enumerate the
+    // same candidate shapes, so the guarded arm's only extra work is the
+    // laxity sort key and one feasibility probe per admission;
+    // `bench_gate` bounds the guarded/edf time ratio so the admission
+    // path cannot silently tax schedulers that never reject anything.
+    const ADMISSION_JOBS: usize = 1_500;
+    let mut wl_spec = SystemPreset::HighThroughput.synthetic_spec(ADMISSION_JOBS);
+    wl_spec.slo = Some(SloModel {
+        factor_min: 1.5,
+        factor_max: 4.0,
+    });
+    let workload = wl_spec.generate(41);
+    let cluster = preset_cluster(
+        SystemPreset::HighThroughput,
+        PoolTopology::PerRack {
+            mib_per_rack: 384 * 1024,
+        },
+    );
+    let sched_for = |memory: MemoryPolicy, admission: AdmissionPolicy| {
+        SchedulerBuilder::new()
+            .order(OrderPolicy::Edf)
+            .memory(memory)
+            .slowdown(SlowdownModel::Contention {
+                penalty: 1.5,
+                gamma: 1.0,
+            })
+            .admission(admission)
+            .build()
+    };
+    let edf = Simulation::new(SimConfig::new(
+        cluster,
+        sched_for(
+            MemoryPolicy::SlowdownAware { max_dilation: 1.4 },
+            AdmissionPolicy::AdmitAll,
+        ),
+    ))
+    .expect("valid config");
+    let guarded = Simulation::new(SimConfig::new(
+        cluster,
+        sched_for(
+            MemoryPolicy::LaxityAware { max_dilation: 1.4 },
+            AdmissionPolicy::RejectInfeasible,
+        ),
+    ))
+    .expect("valid config");
+
+    let reference = edf.run(&workload);
+    let guarded_reference = guarded.run(&workload);
+    assert_ne!(
+        reference.trace_hash, guarded_reference.trace_hash,
+        "the admission stack must change the schedule it guards"
+    );
+    eprintln!(
+        "engine_admission: edf {} events, guarded {} events ({} rejected)",
+        reference.events_processed,
+        guarded_reference.events_processed,
+        guarded_reference.report.rejected
+    );
+
+    let mut group = c.benchmark_group("engine_admission");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(reference.events_processed));
+    group.bench_function("edf", |b| b.iter(|| black_box(edf.run(&workload))));
+    group.bench_function("guarded", |b| b.iter(|| black_box(guarded.run(&workload))));
+    group.finish();
+}
+
 /// Append one extra line to the `BENCH_JSON` results file in the same
 /// shape the criterion shim emits, so `bench_gate` can read host facts
 /// (like available parallelism) next to the timings.
@@ -570,6 +641,7 @@ criterion_group!(
     bench_engine_observers,
     bench_engine_service,
     bench_engine_deadline,
+    bench_engine_admission,
     bench_engine_scale
 );
 criterion_main!(benches);

@@ -32,6 +32,11 @@
 //!   (`engine_deadline/fcfs`), bounding what deadline-aware queue
 //!   ordering may cost per run (the stamps are data the pass comparator
 //!   reads, never extra simulation work);
+//! * **admission control** — the same deadline-stamped workload under
+//!   the full deadline stack — laxity-aware placement plus infeasibility
+//!   rejection (`engine_admission/guarded`) — over plain EDF on the same
+//!   stamps (`engine_admission/edf`), bounding what the per-admission
+//!   feasibility probe and the laxity-priced placement scan may cost;
 //! * **federation scaling** — the 4-site fleet advanced by one worker
 //!   per site (`engine_scale/threaded`) over the same fleet on a single
 //!   worker (`engine_scale/serial`). The arms are byte-identical, so
@@ -64,6 +69,8 @@ const SERVICE_SKETCH_BENCH: &str = "engine_service/sketch";
 const SERVICE_JOBSTATS_BENCH: &str = "engine_service/jobstats";
 const DEADLINE_EDF_BENCH: &str = "engine_deadline/edf";
 const DEADLINE_FCFS_BENCH: &str = "engine_deadline/fcfs";
+const ADMISSION_GUARDED_BENCH: &str = "engine_admission/guarded";
+const ADMISSION_EDF_BENCH: &str = "engine_admission/edf";
 const SCALE_THREADED_BENCH: &str = "engine_scale/threaded";
 const SCALE_SERIAL_BENCH: &str = "engine_scale/serial";
 const SCALE_PARALLELISM: &str = "engine_scale/parallelism";
@@ -186,6 +193,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         mean_of(&results, DEADLINE_EDF_BENCH)?,
         mean_of(&results, DEADLINE_FCFS_BENCH)?,
         baseline.expect_key("deadline_vs_fcfs_ratio")?.to_f64()?,
+        max_regression,
+    )?;
+    gate(
+        "admission stack vs edf",
+        ADMISSION_GUARDED_BENCH,
+        ADMISSION_EDF_BENCH,
+        mean_of(&results, ADMISSION_GUARDED_BENCH)?,
+        mean_of(&results, ADMISSION_EDF_BENCH)?,
+        baseline.expect_key("admission_vs_edf_ratio")?.to_f64()?,
         max_regression,
     )?;
     // The federation gate bounds a speedup, so it only means anything on

@@ -36,7 +36,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 const BUILTIN_GRIDS: &str =
-    "smoke|smoke-contention|smoke-faults|smoke-service|smoke-deadline|smoke-fleet";
+    "smoke|smoke-contention|smoke-faults|smoke-service|smoke-deadline|smoke-admission|smoke-fleet";
 
 fn usage() {
     eprintln!("usage: repro [--list] [--cache-dir DIR] [--threads N] [--queue heap|calendar] [--trace-out DIR] <id>... | all");
@@ -429,6 +429,7 @@ fn load_spec(arg: &str) -> Result<ExperimentSpec, Box<dyn std::error::Error>> {
         "smoke-faults" => return Ok(experiments::smoke_faults_spec()?),
         "smoke-service" => return Ok(experiments::smoke_service_spec()?),
         "smoke-deadline" => return Ok(experiments::smoke_deadline_spec()?),
+        "smoke-admission" => return Ok(experiments::smoke_admission_spec()?),
         "smoke-fleet" => return Ok(experiments::smoke_fleet_spec()?),
         _ => {}
     }
@@ -630,6 +631,11 @@ fn list_tables() -> Result<(), Box<dyn std::error::Error>> {
     println!("grid: smoke-service ({} cells)", service.compile()?.len());
     let deadline = experiments::smoke_deadline_spec()?;
     println!("grid: smoke-deadline ({} cells)", deadline.compile()?.len());
+    let admission = experiments::smoke_admission_spec()?;
+    println!(
+        "grid: smoke-admission ({} cells)",
+        admission.compile()?.len()
+    );
     let fleet = experiments::smoke_fleet_spec()?;
     println!("grid: smoke-fleet ({} cells)", fleet.compile()?.len());
     Ok(())
@@ -999,6 +1005,18 @@ mod tests {
         let spec = load_spec("smoke-deadline").unwrap();
         assert_eq!(spec.name, "smoke-deadline");
         assert_eq!(spec.cell_count(), 8);
+    }
+
+    #[test]
+    fn smoke_admission_is_a_builtin_spec() {
+        let spec = load_spec("smoke-admission").unwrap();
+        assert_eq!(spec.name, "smoke-admission");
+        assert_eq!(spec.cell_count(), 8);
+        // The admission/placement knobs must keep cell labels (and hence
+        // cache keys) distinct across the four scheduler columns.
+        let cells = spec.compile().unwrap();
+        let labels: std::collections::BTreeSet<_> = cells.iter().map(|c| c.key.label()).collect();
+        assert_eq!(labels.len(), cells.len(), "every cell label is unique");
     }
 
     #[test]

@@ -12,7 +12,9 @@
 
 use dmhpc_metrics::{JobClass, SimReport};
 use dmhpc_platform::{NodeSpec, PoolTopology, SlowdownModel};
-use dmhpc_sched::{BackfillPolicy, MemoryPolicy, OrderPolicy, SchedulerBuilder, SchedulerConfig};
+use dmhpc_sched::{
+    AdmissionPolicy, BackfillPolicy, MemoryPolicy, OrderPolicy, SchedulerBuilder, SchedulerConfig,
+};
 use dmhpc_sim::scenarios::default_slowdown;
 use dmhpc_sim::{ExperimentBuilder, ExperimentResults, ExperimentRunner, ExperimentSpec, SimError};
 use dmhpc_workload::{stats as wstats, SystemPreset};
@@ -310,6 +312,41 @@ pub fn smoke_deadline_spec() -> Result<ExperimentSpec, SimError> {
         .scheduler(order_sched(OrderPolicy::Edf))
         .scheduler(order_sched(OrderPolicy::LeastLaxity))
         .scheduler(order_sched(OrderPolicy::BatchBudget { hold_s: 60.0 }))
+        .build()
+}
+
+/// The admission-control smoke grid: the deadline-stamped stream of
+/// [`default_deadline_scenario`] with ordering pinned at EDF and the
+/// *other* two deadline decisions sweeping — cost-based vs laxity-aware
+/// placement, and admit-all vs reject-infeasible vs defer admission — on
+/// a pooled machine, so per-cell `slo_attainment`/`rejected` columns
+/// isolate what placement and admission add over EDF alone. Sharded in
+/// CI like the other smoke grids.
+pub fn smoke_admission_spec() -> Result<ExperimentSpec, SimError> {
+    let sched = |memory: MemoryPolicy, admission: AdmissionPolicy| {
+        SchedulerBuilder::new()
+            .order(OrderPolicy::Edf)
+            .memory(memory)
+            .slowdown(default_slowdown())
+            .admission(admission)
+            .build()
+    };
+    let laxity = MemoryPolicy::LaxityAware { max_dilation: 1.4 };
+    ExperimentSpec::builder("smoke-admission")
+        .preset(SystemPreset::HighThroughput, 80)
+        .pool(PoolTopology::PerRack {
+            mib_per_rack: 384 * GIB,
+        })
+        .load(0.8)
+        .seeds([1, 2])
+        .service(default_deadline_scenario())
+        .scheduler(sched(
+            MemoryPolicy::SlowdownAware { max_dilation: 1.4 },
+            AdmissionPolicy::AdmitAll,
+        ))
+        .scheduler(sched(laxity, AdmissionPolicy::AdmitAll))
+        .scheduler(sched(laxity, AdmissionPolicy::RejectInfeasible))
+        .scheduler(sched(laxity, AdmissionPolicy::DeferUntilFeasible))
         .build()
 }
 

@@ -171,13 +171,18 @@ impl StreamingJobStats {
         self.wait_p99.value()
     }
 
-    /// Fraction of measured (started) jobs whose wait met the SLO target;
-    /// 1.0 when no target is configured or nothing was measured.
-    pub fn slo_attained(&self) -> f64 {
-        match self.slo_wait_s {
-            Some(_) if self.slo_measured > 0 => self.slo_met as f64 / self.slo_measured as f64,
-            _ => 1.0,
-        }
+    /// Fraction of measured (started) jobs whose wait met the SLO target.
+    /// `None` when no target is configured — absence, not a vacuous 1.0,
+    /// so a legitimate 0-second target stays measurable. With a target but
+    /// nothing measured yet, attainment is vacuously `Some(1.0)`.
+    pub fn slo_attained(&self) -> Option<f64> {
+        self.slo_wait_s.map(|_| {
+            if self.slo_measured > 0 {
+                self.slo_met as f64 / self.slo_measured as f64
+            } else {
+                1.0
+            }
+        })
     }
 
     /// The headline SLO numbers of this accumulator.
@@ -186,7 +191,7 @@ impl StreamingJobStats {
             observed: self.observed,
             warmup_skipped,
             p99_wait_s: self.wait_p99.value(),
-            slo_wait_s: self.slo_wait_s.unwrap_or(0.0),
+            slo_wait_s: self.slo_wait_s,
             slo_attained: self.slo_attained(),
         }
     }
@@ -262,11 +267,13 @@ pub struct ServiceSummary {
     pub warmup_skipped: u64,
     /// Streaming p99-wait estimate, seconds.
     pub p99_wait_s: f64,
-    /// Configured wait-SLO target, seconds; 0 when no target was set.
-    pub slo_wait_s: f64,
-    /// Fraction of measured jobs whose wait met the SLO target (1.0 when
-    /// no target was configured).
-    pub slo_attained: f64,
+    /// Configured wait-SLO target, seconds; `None` when no target was set
+    /// (absence is not the same as a 0-second target, which is legal and
+    /// measurable).
+    pub slo_wait_s: Option<f64>,
+    /// Fraction of measured jobs whose wait met the SLO target; `None`
+    /// when no target was configured.
+    pub slo_attained: Option<f64>,
 }
 
 #[cfg(test)]
@@ -409,14 +416,15 @@ mod tests {
         // Exponential(900): p50 ≈ 624, p99 ≈ 4144; SLO 1800 s ≈ 1 − e⁻²
         // ≈ 0.865 attainment.
         let s = stats.service_summary(0);
-        assert!((s.slo_attained - 0.865).abs() < 0.01, "{}", s.slo_attained);
+        let attained = s.slo_attained.expect("target configured");
+        assert!((attained - 0.865).abs() < 0.01, "{attained}");
         assert!(
             (s.p99_wait_s - 4144.0).abs() / 4144.0 < 0.10,
             "{}",
             s.p99_wait_s
         );
         assert_eq!(s.observed, N);
-        assert_eq!(s.slo_wait_s, 1800.0);
+        assert_eq!(s.slo_wait_s, Some(1800.0));
     }
 
     #[test]
@@ -470,13 +478,28 @@ mod tests {
         stats.observe(&rec(2, 0, 0, 200, 600)); // met (inclusive)
         stats.observe(&rec(3, 0, 0, 500, 600)); // missed
         stats.observe(&JobRecord::rejected(JobBuilder::new(4).build())); // not measured
-        assert!((stats.slo_attained() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((stats.slo_attained().unwrap() - 2.0 / 3.0).abs() < 1e-12);
         let s = stats.service_summary(7);
         assert_eq!(s.observed, 4);
         assert_eq!(s.warmup_skipped, 7);
-        // Without a target, attainment reads 1.0 and the target reads 0.
+        // Without a target, attainment and target are absent, not the
+        // 0.0/1.0 sentinels that used to shadow a real 0-second target.
         let none = StreamingJobStats::new(None);
-        assert_eq!(none.slo_attained(), 1.0);
-        assert_eq!(none.service_summary(0).slo_wait_s, 0.0);
+        assert_eq!(none.slo_attained(), None);
+        assert_eq!(none.service_summary(0).slo_wait_s, None);
+        assert_eq!(none.service_summary(0).slo_attained, None);
+    }
+
+    /// A 0-second target is legal and measurable — it used to be
+    /// conflated with "no target" and read a vacuous 1.0.
+    #[test]
+    fn zero_second_target_is_measurable() {
+        let mut stats = StreamingJobStats::new(Some(0.0));
+        stats.observe(&rec(1, 0, 0, 0, 600)); // started instantly: met
+        stats.observe(&rec(2, 0, 0, 50, 600)); // waited: missed
+        assert_eq!(stats.slo_attained(), Some(0.5));
+        let s = stats.service_summary(0);
+        assert_eq!(s.slo_wait_s, Some(0.0));
+        assert_eq!(s.slo_attained, Some(0.5));
     }
 }

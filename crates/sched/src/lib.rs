@@ -32,6 +32,15 @@
 //! accessors. Orderings may additionally return a [`PassDirective`] to
 //! hold a pass's start set until a latency budget expires.
 //!
+//! Deadlines flow through all three scheduling decisions, not just
+//! ordering: [`MemoryPolicy::LaxityAware`] placement prefers shapes whose
+//! dilated finish still meets the job's deadline, an [`AdmissionPolicy`]
+//! rejects or defers jobs whose deadline no up-capacity placement can
+//! meet (with typed [`RejectReason`]s), and a [`PreemptPolicy`] lets a
+//! deadline-critical arrival checkpoint the laxity-richest running jobs.
+//! All three default to inert variants that leave labels, hashes, and
+//! serialized specs untouched.
+//!
 //! Construction is fallible: [`SchedulerBuilder::build`] yields a plain
 //! [`SchedulerConfig`] value, and [`Scheduler::new`] validates it with
 //! typed [`dmhpc_platform::PlatformError`]s instead of panicking.
@@ -52,6 +61,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod admission;
 mod memory;
 mod meta;
 mod order;
@@ -61,6 +71,7 @@ mod queue;
 mod release;
 mod traits;
 
+pub use admission::{AdmissionPolicy, AdmissionVerdict, PreemptPolicy, RejectReason};
 pub use memory::{MemoryPolicy, PlannedAllocation};
 pub use meta::{
     LeastMemoryPressure, LeastQueueDepth, MetaPolicy, MetaPolicyKind, RoundRobin, SiteSnapshot,

@@ -19,6 +19,13 @@
 //!   borrowing, every partial inflation in between) and picks the one
 //!   minimizing expected node-seconds `k × dilation(k)`, subject to a
 //!   per-job dilation budget.
+//! * [`MemoryPolicy::LaxityAware`] — slowdown-aware with a deadline
+//!   filter: shapes whose predicted dilated finish would overrun the
+//!   job's remaining laxity sort behind those that still meet the
+//!   deadline, so a deadline-tight job takes a cheaper-to-finish shape
+//!   (usually more nodes, less borrowing) even when it costs more
+//!   node-seconds. Jobs without a deadline see exactly the
+//!   slowdown-aware order, bit for bit.
 
 use crate::profile::Demand;
 use dmhpc_platform::{
@@ -54,6 +61,16 @@ pub enum MemoryPolicy {
         /// predicted dilation exceeds this are discarded.
         max_dilation: f64,
     },
+    /// Slowdown-aware, but deadline-feasible shapes come first: among
+    /// shapes that still meet the job's deadline started now, the
+    /// node-seconds-cheapest wins; when none can, the one finishing
+    /// earliest (lowest dilation) does. Without a deadline this is
+    /// bit-identical to [`MemoryPolicy::SlowdownAware`].
+    LaxityAware {
+        /// Upper bound on acceptable planned dilation (≥ 1), as for
+        /// [`MemoryPolicy::SlowdownAware`].
+        max_dilation: f64,
+    },
 }
 
 impl MemoryPolicy {
@@ -64,6 +81,7 @@ impl MemoryPolicy {
             MemoryPolicy::PoolFirstFit => "pool-ff",
             MemoryPolicy::PoolBestFit => "pool-bf",
             MemoryPolicy::SlowdownAware { .. } => "slowdown-aware",
+            MemoryPolicy::LaxityAware { .. } => "laxity-aware",
         }
     }
 
@@ -136,7 +154,12 @@ impl MemoryPolicy {
                     }
                 }
             }
-            MemoryPolicy::SlowdownAware { max_dilation } => {
+            // Without a scheduling context there is no laxity to consult,
+            // so laxity-aware degenerates to slowdown-aware here; the
+            // [`crate::traits::Placement`] impl routes context-bearing
+            // calls through the laxity ordering.
+            MemoryPolicy::SlowdownAware { max_dilation }
+            | MemoryPolicy::LaxityAware { max_dilation } => {
                 best_shape(job, cluster, model, *max_dilation, 0.0)?
             }
         };
@@ -176,40 +199,74 @@ impl MemoryPolicy {
                         place_local(job, cluster, k)
                     })
             }
-            MemoryPolicy::SlowdownAware { max_dilation } => {
+            // As in `nominal_shape`: no context, no laxity — slowdown-aware
+            // order. The `Placement` impl supplies the laxity-aware path.
+            MemoryPolicy::SlowdownAware { max_dilation }
+            | MemoryPolicy::LaxityAware { max_dilation } => {
                 let pressure = current_pressure(cluster);
                 // Enumerate shapes in cost order and take the first that is
                 // placeable right now.
                 let mut shapes = enumerate_shapes(job, cluster, model, *max_dilation, pressure);
-                shapes.sort_by(|a, b| {
-                    let ca = a.0.nodes as f64 * a.1;
-                    let cb = b.0.nodes as f64 * b.1;
-                    ca.partial_cmp(&cb)
-                        .expect("finite costs")
-                        .then(a.0.nodes.cmp(&b.0.nodes))
-                });
-                for (demand, _) in shapes {
-                    let placed = if demand.remote_per_node == 0 {
-                        place_local(job, cluster, demand.nodes)
-                    } else {
-                        place_with_pool(
-                            job,
-                            cluster,
-                            model,
-                            demand.nodes,
-                            node_local,
-                            demand.remote_per_node,
-                            true,
-                        )
-                    };
-                    if placed.is_some() {
-                        return placed;
-                    }
-                }
-                None
+                sort_shapes_for_laxity(&mut shapes, job.walltime.as_secs_f64(), None);
+                place_first(job, cluster, model, node_local, shapes)
             }
         }
     }
+}
+
+/// Walk `shapes` in order and commit the first that is placeable now.
+fn place_first(
+    job: &Job,
+    cluster: &Cluster,
+    model: &SlowdownModel,
+    node_local: MiB,
+    shapes: Vec<(Demand, f64)>,
+) -> Option<PlannedAllocation> {
+    for (demand, _) in shapes {
+        let placed = if demand.remote_per_node == 0 {
+            place_local(job, cluster, demand.nodes)
+        } else {
+            place_with_pool(
+                job,
+                cluster,
+                model,
+                demand.nodes,
+                node_local,
+                demand.remote_per_node,
+                true,
+            )
+        };
+        if placed.is_some() {
+            return placed;
+        }
+    }
+    None
+}
+
+/// Sort shapes for the laxity-aware policy: deadline-feasible shapes first
+/// in node-seconds cost order (exactly the slowdown-aware order), then
+/// infeasible shapes by dilation (finish as early as possible). With no
+/// laxity every shape counts as feasible, so the order — and hence every
+/// decision — is bit-identical to [`MemoryPolicy::SlowdownAware`].
+fn sort_shapes_for_laxity(shapes: &mut [(Demand, f64)], walltime_s: f64, laxity: Option<f64>) {
+    let feasible = |dil: f64| match laxity {
+        None => true,
+        Some(l) => walltime_s * (dil - 1.0) <= l,
+    };
+    shapes.sort_by(|a, b| {
+        feasible(b.1)
+            .cmp(&feasible(a.1))
+            .then_with(|| {
+                if feasible(a.1) && feasible(b.1) {
+                    let ca = a.0.nodes as f64 * a.1;
+                    let cb = b.0.nodes as f64 * b.1;
+                    ca.partial_cmp(&cb).expect("finite costs")
+                } else {
+                    a.1.partial_cmp(&b.1).expect("finite dilations")
+                }
+            })
+            .then(a.0.nodes.cmp(&b.0.nodes))
+    });
 }
 
 impl crate::traits::Placement for MemoryPolicy {
@@ -222,11 +279,54 @@ impl crate::traits::Placement for MemoryPolicy {
         job: &Job,
         ctx: &crate::traits::SchedContext<'_>,
     ) -> Option<(Demand, f64)> {
+        if let MemoryPolicy::LaxityAware { max_dilation } = self {
+            let mut shapes = enumerate_shapes(job, ctx.cluster, ctx.model, *max_dilation, 0.0);
+            sort_shapes_for_laxity(&mut shapes, job.walltime.as_secs_f64(), ctx.laxity_s(job));
+            let shape = shapes.into_iter().next()?;
+            if shape.0.nodes > ctx.cluster.spec().total_nodes() {
+                return None;
+            }
+            return Some(shape);
+        }
         MemoryPolicy::nominal_shape(self, job, ctx.cluster, ctx.model)
     }
 
     fn plan(&self, job: &Job, ctx: &crate::traits::SchedContext<'_>) -> Option<PlannedAllocation> {
+        if let MemoryPolicy::LaxityAware { max_dilation } = self {
+            let cluster = ctx.cluster;
+            let mut shapes = enumerate_shapes(
+                job,
+                cluster,
+                ctx.model,
+                *max_dilation,
+                current_pressure(cluster),
+            );
+            sort_shapes_for_laxity(&mut shapes, job.walltime.as_secs_f64(), ctx.laxity_s(job));
+            return place_first(
+                job,
+                cluster,
+                ctx.model,
+                cluster.spec().node.local_mem,
+                shapes,
+            );
+        }
         MemoryPolicy::plan(self, job, ctx.cluster, ctx.model)
+    }
+
+    fn best_dilation(&self, job: &Job, ctx: &crate::traits::SchedContext<'_>) -> Option<f64> {
+        match self {
+            // Shape-enumerating policies can do better than their nominal
+            // (cost-optimal) shape when feasibility is what matters.
+            MemoryPolicy::SlowdownAware { max_dilation }
+            | MemoryPolicy::LaxityAware { max_dilation } => {
+                enumerate_shapes(job, ctx.cluster, ctx.model, *max_dilation, 0.0)
+                    .into_iter()
+                    .map(|(_, dil)| dil)
+                    .min_by(|a, b| a.partial_cmp(b).expect("finite dilations"))
+            }
+            _ => MemoryPolicy::nominal_shape(self, job, ctx.cluster, ctx.model)
+                .map(|(_, dilation)| dilation),
+        }
     }
 }
 
@@ -669,5 +769,93 @@ mod tests {
             MemoryPolicy::SlowdownAware { max_dilation: 1.3 }.name(),
             "slowdown-aware"
         );
+        assert_eq!(
+            MemoryPolicy::LaxityAware { max_dilation: 1.3 }.name(),
+            "laxity-aware"
+        );
+    }
+
+    #[test]
+    fn laxity_aware_without_deadline_matches_slowdown_aware() {
+        use crate::release::ReleaseView;
+        use crate::traits::{Placement, SchedContext};
+        use dmhpc_des::time::SimTime;
+        let c = cluster(per_rack());
+        let ctx = SchedContext::new(SimTime::ZERO, &c, &LINEAR, ReleaseView::empty(), None);
+        let sa = MemoryPolicy::SlowdownAware { max_dilation: 1.5 };
+        let la = MemoryPolicy::LaxityAware { max_dilation: 1.5 };
+        for job in [light_job(2), heavy_job()] {
+            assert_eq!(
+                Placement::nominal_shape(&sa, &job, &ctx),
+                Placement::nominal_shape(&la, &job, &ctx),
+            );
+            assert_eq!(
+                Placement::plan(&sa, &job, &ctx),
+                Placement::plan(&la, &job, &ctx),
+            );
+        }
+    }
+
+    #[test]
+    fn laxity_aware_trades_cost_for_feasibility() {
+        use crate::release::ReleaseView;
+        use crate::traits::{Placement, SchedContext};
+        use dmhpc_des::time::SimTime;
+        use dmhpc_workload::Slo;
+        let c = cluster(per_rack());
+        let ctx = SchedContext::new(SimTime::ZERO, &c, &LINEAR, ReleaseView::empty(), None);
+        // Heavy job with 1000 s walltime and only 50 s of laxity: the
+        // cost-optimal borrowing shape (2 nodes, dilation ≈ 1.13) would
+        // finish ≈133 s past the deadline; the inflation shape (3 nodes,
+        // dilation 1) still meets it.
+        let job = JobBuilder::new(7)
+            .nodes(2)
+            .mem_per_node(384 * GIB)
+            .intensity(0.8)
+            .runtime_secs(900, 1000)
+            .slo(Slo::Deadline { deadline_s: 1050.0 })
+            .build();
+        let sa = MemoryPolicy::SlowdownAware { max_dilation: 1.5 };
+        let la = MemoryPolicy::LaxityAware { max_dilation: 1.5 };
+        let sa_plan = Placement::plan(&sa, &job, &ctx).unwrap();
+        assert_eq!(sa_plan.assignment.node_count(), 2, "cost-optimal borrows");
+        let la_plan = Placement::plan(&la, &job, &ctx).unwrap();
+        assert_eq!(la_plan.assignment.node_count(), 3, "feasible shape wins");
+        assert_eq!(la_plan.dilation, 1.0);
+        let (demand, dil) = Placement::nominal_shape(&la, &job, &ctx).unwrap();
+        assert_eq!((demand.nodes, dil), (3, 1.0));
+        // The minimum achievable dilation both policies can price
+        // feasibility with is the fully-local shape's.
+        assert_eq!(Placement::best_dilation(&la, &job, &ctx), Some(1.0));
+    }
+
+    #[test]
+    fn laxity_aware_lost_deadline_finishes_earliest() {
+        use crate::release::ReleaseView;
+        use crate::traits::{Placement, SchedContext};
+        use dmhpc_des::time::SimTime;
+        use dmhpc_workload::Slo;
+        // Pool too small for the whole rack: only borrowing shapes exist
+        // up to k=2... actually make the deadline already lost so *no*
+        // shape is feasible — the lowest-dilation shape must win.
+        let c = cluster(per_rack());
+        let ctx = SchedContext::new(
+            SimTime::from_secs(2000),
+            &c,
+            &LINEAR,
+            ReleaseView::empty(),
+            None,
+        );
+        let job = JobBuilder::new(8)
+            .nodes(2)
+            .mem_per_node(384 * GIB)
+            .intensity(0.8)
+            .runtime_secs(900, 1000)
+            .slo(Slo::Deadline { deadline_s: 100.0 })
+            .build();
+        let la = MemoryPolicy::LaxityAware { max_dilation: 1.5 };
+        let plan = Placement::plan(&la, &job, &ctx).unwrap();
+        assert_eq!(plan.dilation, 1.0, "finish-earliest shape");
+        assert_eq!(plan.assignment.node_count(), 3);
     }
 }

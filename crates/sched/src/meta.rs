@@ -42,14 +42,25 @@ pub struct SiteSnapshot {
     /// Committed memory fraction across local + pool capacity, in
     /// `[0, 1]`: `(local_used + pool_used) / (total_local + total_pool)`.
     pub mem_pressure: f64,
+    /// Total memory capacity (local + pool, MiB) the pressure fraction is
+    /// taken over — what lets in-batch routing charge a routed job's
+    /// demand back into `mem_pressure`.
+    pub mem_capacity: u64,
 }
 
 impl SiteSnapshot {
     /// Account for a job routed to this site within the current barrier
-    /// batch, so later routing decisions in the same batch see it.
+    /// batch, so later routing decisions in the same batch see it. The
+    /// job's memory demand is folded into `mem_pressure` (not just its
+    /// queue footprint): without that, every job of a barrier batch sees
+    /// the same pressure ordering and the whole batch herds onto one
+    /// site under [`MetaPolicyKind::LeastMemoryPressure`].
     pub fn note_routed(&mut self, job: &Job) {
         self.queue_depth += 1;
         self.queued_nodes += job.nodes as u64;
+        if self.mem_capacity > 0 {
+            self.mem_pressure += job.total_mem() as f64 / self.mem_capacity as f64;
+        }
     }
 }
 
@@ -195,6 +206,7 @@ mod tests {
             free_nodes: 8,
             total_nodes: 8,
             mem_pressure: mem,
+            mem_capacity: 8_000,
         }
     }
 
@@ -267,6 +279,34 @@ mod tests {
         s.note_routed(&job());
         assert_eq!(s.queue_depth, 2);
         assert_eq!(s.queued_nodes, 6);
+        // 4 nodes × 100 MiB against 8000 MiB of capacity.
+        assert!((s.mem_pressure - 0.05).abs() < 1e-12);
+        // Zero-capacity sites (degenerate specs) must not divide by zero.
+        let mut z = snap(0, 0, 0, 0.0);
+        z.mem_capacity = 0;
+        z.note_routed(&job());
+        assert_eq!(z.mem_pressure, 0.0);
+    }
+
+    /// The herding regression: a barrier batch routed under
+    /// least-pressure must spread across equally-pressured sites instead
+    /// of dumping every job on the first one.
+    #[test]
+    fn least_pressure_batch_spreads_instead_of_herding() {
+        let mut p = MetaPolicyKind::LeastMemoryPressure.build();
+        let mut sites = vec![snap(0, 0, 0, 0.2), snap(1, 0, 0, 0.2)];
+        let j = job();
+        let mut routed = Vec::new();
+        for _ in 0..4 {
+            let site = p.route(&j, &sites);
+            sites[site].note_routed(&j);
+            routed.push(site);
+        }
+        assert_eq!(
+            routed,
+            vec![0, 1, 0, 1],
+            "in-batch pressure must alternate sites"
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //!      placement agrees with the profile. No job is ever delayed by a
 //!      later-queued one.
 
+use crate::admission::{AdmissionPolicy, AdmissionVerdict, PreemptPolicy, RejectReason};
 use crate::memory::MemoryPolicy;
 use crate::order::OrderPolicy;
 use crate::profile::{AvailabilityProfile, Release};
@@ -27,7 +28,7 @@ use crate::release::ReleaseView;
 use crate::traits::{Ordering, PassDirective, Placement, SchedContext};
 use dmhpc_des::time::{SimDuration, SimTime};
 use dmhpc_platform::{Cluster, MemoryAssignment, PlatformError, SlowdownModel};
-use dmhpc_workload::Job;
+use dmhpc_workload::{Job, JobId};
 
 /// Backfilling flavour.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,6 +67,13 @@ pub struct SchedulerConfig {
     /// the predicted dilation, so borrowing jobs are not killed for running
     /// exactly as slow as predicted. Ablation A1 turns this off.
     pub inflate_walltime: bool,
+    /// Admission control for deadline-stamped jobs. The default
+    /// ([`AdmissionPolicy::AdmitAll`]) is inert: it contributes nothing to
+    /// labels, cell hashes, or serialized specs.
+    pub admission: AdmissionPolicy,
+    /// Deadline-priced preemption of running jobs. The default
+    /// ([`PreemptPolicy::Never`]) is inert, exactly as for `admission`.
+    pub preempt: PreemptPolicy,
 }
 
 impl SchedulerConfig {
@@ -94,6 +102,9 @@ impl SchedulerConfig {
             MemoryPolicy::SlowdownAware { max_dilation } => {
                 format!("slowdown-aware{max_dilation}")
             }
+            MemoryPolicy::LaxityAware { max_dilation } => {
+                format!("laxity-aware{max_dilation}")
+            }
             other => other.name().to_string(),
         };
         let slowdown = match self.slowdown {
@@ -107,6 +118,13 @@ impl SchedulerConfig {
         let mut label = format!("{order}+{}+{memory}+{slowdown}", self.backfill.name());
         if !self.inflate_walltime {
             label.push_str("+noinfl");
+        }
+        if self.admission != AdmissionPolicy::AdmitAll {
+            label.push('+');
+            label.push_str(self.admission.name());
+        }
+        if let PreemptPolicy::LaxityCheckpoint { overhead_s } = self.preempt {
+            label.push_str(&format!("+preempt{overhead_s}"));
         }
         label
     }
@@ -130,6 +148,8 @@ impl Default for SchedulerBuilder {
                 memory: MemoryPolicy::LocalOnly,
                 slowdown: SlowdownModel::Linear { penalty: 1.5 },
                 inflate_walltime: true,
+                admission: AdmissionPolicy::AdmitAll,
+                preempt: PreemptPolicy::Never,
             },
         }
     }
@@ -171,6 +191,18 @@ impl SchedulerBuilder {
         self
     }
 
+    /// Set the admission policy for deadline-stamped jobs.
+    pub fn admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.cfg.admission = admission;
+        self
+    }
+
+    /// Set the preemption policy.
+    pub fn preempt(mut self, preempt: PreemptPolicy) -> Self {
+        self.cfg.preempt = preempt;
+        self
+    }
+
     /// Finish, yielding the configuration value. Pass it to
     /// [`Scheduler::new`] (or a `dmhpc-sim` constructor), which validates
     /// it and reports problems as typed errors.
@@ -197,8 +229,18 @@ pub struct StartedJob {
 pub struct PassResult {
     /// Jobs started now (already allocated on the cluster).
     pub started: Vec<StartedJob>,
-    /// Jobs that can never run on this machine (removed from the queue).
-    pub rejected: Vec<(Job, String)>,
+    /// Jobs refused admission (removed from the queue): either they can
+    /// never run on this machine, or the active [`AdmissionPolicy`]
+    /// declared their deadline unmeetable.
+    pub rejected: Vec<(Job, RejectReason)>,
+    /// Jobs the admission policy deferred this pass (still queued, in
+    /// queue order), each with its re-check instant. The engine surfaces
+    /// each job's *first* deferral as an event.
+    pub deferred: Vec<(JobId, SimTime)>,
+    /// Earliest instant a deferred job's deadline feasibility lapses; the
+    /// engine schedules a wake-up so the lapse is assessed even if no
+    /// natural event intervenes. `None` when nothing was deferred.
+    pub recheck_at: Option<SimTime>,
     /// Set when the ordering held the batch ([`PassDirective::Hold`]):
     /// nothing was started or rejected, and the engine should re-pass at
     /// this instant.
@@ -272,6 +314,13 @@ impl Scheduler {
         self.slo_wait_s
     }
 
+    /// The active placement policy. The engine prices deadline feasibility
+    /// with it ([`Placement::best_dilation`]) when deciding whether a
+    /// queued job justifies preempting running work.
+    pub fn placement(&self) -> &dyn Placement {
+        self.placement.as_ref()
+    }
+
     /// The context all policy calls in a pass receive. Cheap to build, so
     /// passes materialize one wherever the previous cluster mutation ended
     /// its predecessor's borrow.
@@ -341,10 +390,9 @@ impl Scheduler {
             // they cannot block the queue forever.
             if self.placement.nominal_shape(job, &ctx).is_none() {
                 let entry = queue.pop_front();
-                result.rejected.push((
-                    entry.job,
-                    "demand exceeds machine capacity under this policy".into(),
-                ));
+                result
+                    .rejected
+                    .push((entry.job, RejectReason::CapacityExceeded));
                 continue;
             }
             let Some(plan) = self.placement.plan(job, &ctx) else {
@@ -364,6 +412,7 @@ impl Scheduler {
         }
 
         if queue.is_empty() || self.cfg.backfill == BackfillPolicy::None {
+            self.admission_pass(now, queue, cluster, running, &mut result);
             return result;
         }
 
@@ -418,7 +467,55 @@ impl Scheduler {
                 &mut result,
             ),
         }
+        self.admission_pass(now, queue, cluster, running, &mut result);
         result
+    }
+
+    /// Assess every job the pass left queued against the admission
+    /// policy: rejects are removed from the queue and recorded with their
+    /// typed reason; deferrals stay queued and surface with the earliest
+    /// re-check instant. A no-op under the default
+    /// [`AdmissionPolicy::AdmitAll`] — and on held passes, which return
+    /// before scheduling anything (the engine re-passes at `hold_until`,
+    /// well inside any deadline a batch budget could threaten).
+    fn admission_pass(
+        &self,
+        now: SimTime,
+        queue: &mut WaitQueue,
+        cluster: &Cluster,
+        running: ReleaseView<'_>,
+        result: &mut PassResult,
+    ) {
+        if self.cfg.admission == AdmissionPolicy::AdmitAll {
+            return;
+        }
+        let mut idx = 0;
+        while idx < queue.len() {
+            let verdict = {
+                let ctx = self.ctx(now, cluster, running);
+                let job = &queue.get(idx).expect("idx < len").job;
+                self.cfg
+                    .admission
+                    .assess(job, &ctx, self.placement.as_ref())
+            };
+            match verdict {
+                AdmissionVerdict::Admit => idx += 1,
+                AdmissionVerdict::Defer { recheck_at } => {
+                    result
+                        .deferred
+                        .push((queue.get(idx).expect("idx < len").job.id, recheck_at));
+                    result.recheck_at = Some(match result.recheck_at {
+                        Some(t) => t.min(recheck_at),
+                        None => recheck_at,
+                    });
+                    idx += 1;
+                }
+                AdmissionVerdict::Reject(reason) => {
+                    let entry = queue.remove(idx);
+                    result.rejected.push((entry.job, reason));
+                }
+            }
+        }
     }
 
     /// EASY: reserve the head, then start any later job that fits alongside.
@@ -451,7 +548,7 @@ impl Scheduler {
             let entry = queue.pop_front();
             result
                 .rejected
-                .push((entry.job, "nominal shape never fits the profile".into()));
+                .push((entry.job, RejectReason::ProfileInfeasible));
             return;
         };
         profile.reserve(shadow, head_wall, &head_split, head_demand.remote_per_node);
@@ -515,7 +612,7 @@ impl Scheduler {
                 let entry = queue.remove(idx);
                 result
                     .rejected
-                    .push((entry.job, "nominal shape never fits the profile".into()));
+                    .push((entry.job, RejectReason::ProfileInfeasible));
                 continue;
             };
             if start == now {
@@ -944,6 +1041,103 @@ mod tests {
         assert_eq!(ids(&released.started), vec![1, 2]);
         assert_eq!(released.hold_until, None);
         cluster.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn full_label_admission_and_preempt_suffixes() {
+        let default = SchedulerBuilder::new().build();
+        assert_eq!(default.full_label(), "fcfs+easy+local-only+lin1.5");
+        let loaded = SchedulerBuilder::new()
+            .memory(MemoryPolicy::LaxityAware { max_dilation: 1.5 })
+            .admission(AdmissionPolicy::RejectInfeasible)
+            .preempt(PreemptPolicy::LaxityCheckpoint { overhead_s: 60 })
+            .build();
+        assert_eq!(
+            loaded.full_label(),
+            "fcfs+easy+laxity-aware1.5+lin1.5+reject-infeasible+preempt60"
+        );
+        let deferred = SchedulerBuilder::new()
+            .admission(AdmissionPolicy::DeferUntilFeasible)
+            .build();
+        assert_eq!(deferred.full_label(), "fcfs+easy+local-only+lin1.5+defer");
+    }
+
+    fn stamped_job(id: u64, wall_s: u64, deadline_s: f64) -> Job {
+        JobBuilder::new(id)
+            .arrival_secs(0)
+            .nodes(1)
+            .runtime_secs(wall_s / 2, wall_s)
+            .mem_per_node(32 * GIB)
+            .slo(dmhpc_workload::Slo::Deadline { deadline_s })
+            .build()
+    }
+
+    /// Fill the whole machine until `end_s` so nothing can start.
+    fn park_all(cluster: &mut Cluster, running: &mut ReleaseIndex, end_s: u64) {
+        park(cluster, running, 900, &[0, 1, 2, 3], 0, end_s);
+    }
+
+    #[test]
+    fn admission_rejects_laxity_exhausted_jobs() {
+        let sched = Scheduler::new(
+            SchedulerBuilder::new()
+                .memory(MemoryPolicy::PoolFirstFit)
+                .admission(AdmissionPolicy::RejectInfeasible)
+                .build(),
+        )
+        .unwrap();
+        let mut cluster = small_cluster();
+        let mut running = ReleaseIndex::new();
+        park_all(&mut cluster, &mut running, 1000);
+        let mut queue = WaitQueue::new();
+        // Deadline t=50 but walltime 100: lost before it could ever start.
+        queue.push(stamped_job(1, 100, 50.0), SimTime::ZERO);
+        // Deadline t=5000: plenty of laxity, stays queued.
+        queue.push(stamped_job(2, 100, 5000.0), SimTime::ZERO);
+        let result = sched.schedule(SimTime::ZERO, &mut queue, &mut cluster, running.view());
+        assert!(result.started.is_empty());
+        assert_eq!(result.rejected.len(), 1);
+        assert_eq!(result.rejected[0].0.id, JobId(1));
+        assert_eq!(
+            result.rejected[0].1,
+            crate::RejectReason::DeadlineInfeasible
+        );
+        assert_eq!(queue.len(), 1, "feasible job still queued");
+        assert!(result.deferred.is_empty(), "reject mode never defers");
+    }
+
+    #[test]
+    fn admission_defers_then_rejects_on_lapse() {
+        let sched = Scheduler::new(
+            SchedulerBuilder::new()
+                .memory(MemoryPolicy::PoolFirstFit)
+                .admission(AdmissionPolicy::DeferUntilFeasible)
+                .build(),
+        )
+        .unwrap();
+        let mut cluster = small_cluster();
+        let mut running = ReleaseIndex::new();
+        park_all(&mut cluster, &mut running, 1000);
+        let mut queue = WaitQueue::new();
+        // Deadline t=500, walltime 100: feasible until t=400.
+        queue.push(stamped_job(1, 100, 500.0), SimTime::ZERO);
+        let held = sched.schedule(SimTime::ZERO, &mut queue, &mut cluster, running.view());
+        assert!(held.started.is_empty() && held.rejected.is_empty());
+        assert_eq!(held.deferred, vec![(JobId(1), SimTime::from_secs(400))]);
+        assert_eq!(held.recheck_at, Some(SimTime::from_secs(400)));
+        assert_eq!(queue.len(), 1, "deferred jobs stay queued");
+
+        // Past the lapse instant even an idle healthy machine cannot meet
+        // the deadline: the deferral converts to a typed reject.
+        let late = sched.schedule(
+            SimTime::from_secs(450),
+            &mut queue,
+            &mut cluster,
+            running.view(),
+        );
+        assert_eq!(late.rejected.len(), 1);
+        assert_eq!(late.rejected[0].1, crate::RejectReason::DeadlineInfeasible);
+        assert!(queue.is_empty());
     }
 
     #[test]

@@ -161,6 +161,17 @@ pub trait Placement: std::fmt::Debug + Send + Sync {
     /// Try to place `job` on the cluster **right now**. `None` when no
     /// placement exists under this policy at this instant.
     fn plan(&self, job: &Job, ctx: &SchedContext<'_>) -> Option<PlannedAllocation>;
+
+    /// The smallest dilation any shape this policy would consider can
+    /// achieve for `job` on an idle machine — what admission control and
+    /// deadline-aware placement price feasibility with (a shape of
+    /// dilation `d` started now meets the deadline iff
+    /// `walltime × (d − 1) ≤ laxity`). The default is the nominal shape's
+    /// dilation; policies that enumerate several shapes should override it
+    /// with the true minimum.
+    fn best_dilation(&self, job: &Job, ctx: &SchedContext<'_>) -> Option<f64> {
+        self.nominal_shape(job, ctx).map(|(_, dilation)| dilation)
+    }
 }
 
 #[cfg(test)]

@@ -77,7 +77,10 @@ use dmhpc_metrics::{
     ClassThresholds, FaultSummary, JobOutcome, JobRecord, RunData, ServiceSummary, SimReport,
 };
 use dmhpc_platform::{Cluster, DilationInputs, MemoryAssignment, NodeState};
-use dmhpc_sched::{ReleaseIndex, RunningRelease, Scheduler, SiteSnapshot, StartedJob, WaitQueue};
+use dmhpc_sched::{
+    PreemptPolicy, ReleaseIndex, RunningRelease, SchedContext, Scheduler, SiteSnapshot, StartedJob,
+    WaitQueue,
+};
 use dmhpc_workload::{Job, JobId, JobSource, Workload};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -158,6 +161,10 @@ pub struct SimOutput {
     /// Fault/availability counters (all-default for fault-free runs,
     /// where `faults.avail_util == report.node_util` exactly).
     pub faults: FaultSummary,
+    /// Jobs checkpoint-preempted to make room for deadline-critical
+    /// arrivals (always 0 unless a [`dmhpc_sched::PreemptPolicy`] is
+    /// active).
+    pub preemptions: u64,
     /// Open-system headline metrics; `None` for closed batch runs. On
     /// service runs `records` is empty and `series` is the empty origin
     /// bundle — per-job and per-event state is folded into O(1) sketches
@@ -590,6 +597,12 @@ pub(crate) struct Engine<'a, 'o, Q: EventQueue<Event>> {
     /// the wake a held pass asks for (every pass while held recomputes the
     /// same release instant).
     next_wake: Option<SimTime>,
+    /// Jobs checkpoint-preempted for deadline-critical arrivals.
+    preemptions: u64,
+    /// Jobs currently deferred by `DeferUntilFeasible` admission — the
+    /// set makes the `JobDeferred` observation fire once per job, not
+    /// once per pass.
+    deferred: BTreeSet<JobId>,
     /// Jobs handed to this engine mid-run by a federation meta-scheduler,
     /// in arrival order. Kept outside the event queue so an injected
     /// arrival wins a same-instant tie against any already-scheduled
@@ -696,6 +709,8 @@ impl<'a, 'o, Q: EventQueue<Event>> Engine<'a, 'o, Q> {
             fault_meta: BTreeMap::new(),
             last_job_time: start_time,
             next_wake: None,
+            preemptions: 0,
+            deferred: BTreeSet::new(),
             injections: std::collections::VecDeque::new(),
             cfg,
             scheduler,
@@ -1126,6 +1141,168 @@ impl<'a, 'o, Q: EventQueue<Event>> Engine<'a, 'o, Q> {
         self.queue.push(job, self.now);
     }
 
+    /// The policy context the engine itself prices feasibility with —
+    /// the same bundle `Scheduler::schedule` hands to policies.
+    fn sched_ctx(&self) -> SchedContext<'_> {
+        SchedContext::new(
+            self.now,
+            &self.cluster,
+            &self.scheduler.config().slowdown,
+            self.releases.view(),
+            self.scheduler.slo_target(),
+        )
+    }
+
+    /// The front-most queued job that justifies preemption: stamped with
+    /// a still-feasible deadline (laxity prices its best up-capacity
+    /// shape) that would be lost by waiting for the earliest planned
+    /// release. Returns its id, laxity, and nominal node demand.
+    fn preempt_candidate(&self) -> Option<(JobId, f64, usize)> {
+        let first_release = self.releases.view().iter().next()?.planned_end;
+        let ctx = self.sched_ctx();
+        let placement = self.scheduler.placement();
+        for entry in self.queue.iter() {
+            let job = &entry.job;
+            let Some(deadline) = ctx.deadline(job) else {
+                continue;
+            };
+            let Some(laxity) = ctx.laxity_s(job) else {
+                continue;
+            };
+            if laxity < 0.0 {
+                continue; // deadline already lost: preemption cannot help
+            }
+            let Some((demand, _)) = placement.nominal_shape(job, &ctx) else {
+                continue;
+            };
+            let Some(best) = placement.best_dilation(job, &ctx) else {
+                continue;
+            };
+            let wall = job.walltime.as_secs_f64();
+            if wall * (best - 1.0) > laxity {
+                continue; // cannot meet even if started this instant
+            }
+            if first_release.as_secs_f64() + wall * best <= deadline.as_secs_f64() {
+                continue; // waiting for the next natural release still meets
+            }
+            return Some((job.id, laxity, demand.nodes as usize));
+        }
+        None
+    }
+
+    /// Deadline-priced preemption (opt-in via [`PreemptPolicy`]): when a
+    /// queued stamped job could still meet its deadline by starting now
+    /// but not by waiting for the next natural release, checkpoint the
+    /// laxity-richest running jobs until its nominal shape has the nodes,
+    /// re-pass, and resubmit the checkpointed work only after that pass —
+    /// the critical job must win the freed capacity, not its evictees.
+    fn maybe_preempt(&mut self) {
+        let PreemptPolicy::LaxityCheckpoint { overhead_s } = self.scheduler.config().preempt else {
+            return;
+        };
+        if self.queue.is_empty() || self.running.is_empty() {
+            return;
+        }
+        let Some((for_job, cand_laxity, needed_nodes)) = self.preempt_candidate() else {
+            return;
+        };
+        // Victims in descending laxity (deadline-free jobs, laxity ∞,
+        // first), ties by ascending id — and never a job as critical as
+        // the one being rescued.
+        let mut victims: Vec<(f64, JobId)> = {
+            let ctx = self.sched_ctx();
+            self.running
+                .values()
+                .filter_map(|r| {
+                    let laxity = ctx.laxity_s(&r.job).unwrap_or(f64::INFINITY);
+                    (laxity > cand_laxity).then_some((laxity, r.job.id))
+                })
+                .collect()
+        };
+        victims.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .expect("laxities are comparable")
+                .then(a.1.cmp(&b.1))
+        });
+        let mut free = self.cluster.free_nodes();
+        let mut resubmits = Vec::new();
+        for (_, victim) in victims {
+            if free >= needed_nodes {
+                break;
+            }
+            free += self.running[&victim].assignment.node_count();
+            resubmits.push(self.preempt_release(victim, for_job, overhead_s));
+        }
+        if resubmits.is_empty() {
+            return;
+        }
+        self.re_dilate();
+        let mut started = self.pass();
+        for job in resubmits {
+            self.hash_mix([16, self.now.as_micros(), job.id.0]);
+            self.emit(SimEvent::JobSubmitted {
+                at: self.now,
+                job: job.clone(),
+                resubmit: true,
+            });
+            self.queue.push(job, self.now);
+        }
+        // One more pass so leftover capacity (and anything the evictions
+        // freed beyond the critical job's shape) is claimed at this
+        // instant — preemption must stay work-conserving.
+        started += self.pass();
+        if started > 0 {
+            self.re_dilate();
+        }
+    }
+
+    /// Checkpoint-release one running job to free capacity for `for_job`:
+    /// the capacity-release half of [`Engine::interrupt_job`], but never
+    /// terminal — preemption is a scheduling decision, not a fault, so it
+    /// neither consumes the fault model's resubmission budget nor can it
+    /// fail a job. Returns the checkpointed job; the caller resubmits it
+    /// after the rescue pass.
+    fn preempt_release(&mut self, id: JobId, for_job: JobId, overhead_s: u64) -> Job {
+        self.last_job_time = self.now;
+        let mut r = self.running.remove(&id).expect("preempt of unknown job");
+        // Settle work consumed at the current rate up to the preemption.
+        let elapsed = self.now - r.last_update;
+        let consumed_now = elapsed.scale(1.0 / r.dilation);
+        r.work_remaining = r.work_remaining.saturating_sub(consumed_now);
+
+        self.cluster
+            .release(id.as_u64())
+            .expect("running job holds a lease");
+        let release = self
+            .releases
+            .remove(id.as_u64())
+            .expect("running job is release-indexed");
+        self.note_pool_change(id, &release.pool_per_domain, false);
+        self.emit(SimEvent::AllocationReleased {
+            at: self.now,
+            job: id,
+            nodes: r.assignment.node_count() as u32,
+            local_mib: r.assignment.local_per_node * r.assignment.node_count() as u64,
+            remote_mib: r.assignment.total_remote(),
+        });
+        self.hash_mix([15, self.now.as_micros(), id.0]);
+        // Restart generations guard against the aborted attempt's
+        // in-flight finish event, exactly as fault interruptions do.
+        self.fault_meta.entry(id).or_default().next_gen = r.generation + 1;
+        // Checkpointed: completed work survives; the restore overhead is
+        // the only rework.
+        let overhead = SimDuration::from_secs(overhead_s);
+        let mut job = r.job;
+        job.runtime = r.work_remaining + overhead;
+        self.emit(SimEvent::JobPreempted {
+            at: self.now,
+            job: id,
+            for_job,
+        });
+        self.preemptions += 1;
+        job
+    }
+
     fn finish_job(&mut self, id: JobId) {
         self.last_job_time = self.now;
         let mut r = self.running.remove(&id).expect("finish of unknown job");
@@ -1300,6 +1477,27 @@ impl<'a, 'o, Q: EventQueue<Event>> Engine<'a, 'o, Q> {
                 record: JobRecord::rejected(job),
             });
         }
+        for (id, recheck_at) in result.deferred {
+            // Deferred jobs stay queued; the observation fires once per
+            // job. Nothing here under `AdmitAll`, which never defers.
+            if self.deferred.insert(id) {
+                self.hash_mix([17, self.now.as_micros(), id.0]);
+                self.emit(SimEvent::JobDeferred {
+                    at: self.now,
+                    job: id,
+                    recheck_at,
+                });
+            }
+        }
+        if let Some(recheck) = result.recheck_at {
+            // Make sure admission re-assesses at the earliest feasibility
+            // lapse even if no natural event intervenes (same deduped
+            // wake-up the batch hold uses).
+            if recheck > self.now && self.next_wake != Some(recheck) {
+                self.events.schedule(recheck, Event::Wake);
+                self.next_wake = Some(recheck);
+            }
+        }
         let n = result.started.len();
         if n > 0 || rejected > 0 {
             self.last_job_time = self.now;
@@ -1397,6 +1595,7 @@ impl<'a, 'o, Q: EventQueue<Event>> Engine<'a, 'o, Q> {
                 // New borrowers raise pressure for everyone already running.
                 self.re_dilate();
             }
+            self.maybe_preempt();
         }
         if self.cfg.check_invariants {
             self.cluster
@@ -1445,6 +1644,7 @@ impl<'a, 'o, Q: EventQueue<Event>> Engine<'a, 'o, Q> {
             passes,
             trace_hash,
             last_job_time,
+            preemptions,
             ..
         } = self;
         // Fault runs clamp the metrics window to the last job-affecting
@@ -1492,6 +1692,7 @@ impl<'a, 'o, Q: EventQueue<Event>> Engine<'a, 'o, Q> {
                 trace_hash,
                 end_time: now,
                 faults,
+                preemptions,
                 service: Some(summary),
             };
         }
@@ -1537,6 +1738,7 @@ impl<'a, 'o, Q: EventQueue<Event>> Engine<'a, 'o, Q> {
             trace_hash,
             end_time: now,
             faults: summary,
+            preemptions,
             service: None,
         }
     }
@@ -1646,7 +1848,8 @@ impl<'a> SiteEngine<'a> {
             SiteEngine::Heap(e) => (e.cfg, &e.cluster, &e.queue),
             SiteEngine::Calendar(e) => (e.cfg, &e.cluster, &e.queue),
         };
-        let total_mem = (cfg.cluster.total_local_mem() + cfg.cluster.total_pool_mem()) as f64;
+        let mem_capacity = cfg.cluster.total_local_mem() + cfg.cluster.total_pool_mem();
+        let total_mem = mem_capacity as f64;
         let used = (cluster.total_local_used() + cluster.total_pool_used()) as f64;
         SiteSnapshot {
             site,
@@ -1659,6 +1862,7 @@ impl<'a> SiteEngine<'a> {
             } else {
                 0.0
             },
+            mem_capacity,
         }
     }
 
@@ -2691,8 +2895,8 @@ mod tests {
             svc_out.observed,
             "every in-window job lands in exactly one outcome bucket"
         );
-        assert_eq!(svc_out.slo_wait_s, 3600.0);
-        assert!((0.0..=1.0).contains(&svc_out.slo_attained));
+        assert_eq!(svc_out.slo_wait_s, Some(3600.0));
+        assert!((0.0..=1.0).contains(&svc_out.slo_attained.expect("target configured")));
         assert!(out.report.node_util > 0.0 && out.report.node_util <= 1.0);
         assert!(out.report.makespan_h > 0.0);
     }
@@ -2821,5 +3025,215 @@ mod tests {
         // breakpoints from ten million jobs.
         assert_eq!(out.series.nodes_busy.points().len(), 1);
         assert_eq!(out.series.queue_depth.points().len(), 1);
+    }
+
+    /// Records `(kind, at_secs)` for defer/preempt/reject events so tests
+    /// can pin not just that an admission decision happened, but *when*.
+    struct AdmissionCapture {
+        seen: Vec<(&'static str, u64)>,
+    }
+
+    impl Observer for AdmissionCapture {
+        fn on_event(&mut self, ev: &SimEvent) {
+            match ev {
+                SimEvent::JobDeferred { .. }
+                | SimEvent::JobPreempted { .. }
+                | SimEvent::JobRejected { .. } => {
+                    self.seen.push((ev.kind(), ev.at().as_secs()));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn defer_keeps_transiently_infeasible_job_alive() {
+        // The job needs a pool borrow in *both* racks (total memory
+        // exceeds any all-local spread, and one rack's pool cannot carry
+        // two borrows), and one pool is degraded at arrival: under
+        // `DeferUntilFeasible` it must defer — not terminally fail — and
+        // start once the pool repairs, well inside its deadline.
+        let spec = ClusterSpec::new(
+            2,
+            2,
+            NodeSpec::new(64, 256 * GIB),
+            PoolTopology::PerRack {
+                mib_per_rack: 512 * GIB,
+            },
+        );
+        let sched = SchedulerBuilder::new()
+            .memory(MemoryPolicy::PoolFirstFit)
+            .slowdown(SlowdownModel::Linear { penalty: 1.6 })
+            .admission(dmhpc_sched::AdmissionPolicy::DeferUntilFeasible)
+            .build();
+        let sim = Simulation::new(SimConfig::new(spec, sched).checked())
+            .unwrap()
+            .with_fault_spec(
+                FaultSpec::none()
+                    .with_action(
+                        SimTime::from_secs(5),
+                        FaultAction::PoolDegrade {
+                            pool: dmhpc_platform::PoolId(0),
+                            factor: 0.01,
+                        },
+                    )
+                    .with_action(
+                        SimTime::from_secs(500),
+                        FaultAction::PoolRepair(dmhpc_platform::PoolId(0)),
+                    ),
+            )
+            .unwrap();
+        // 2×600 GiB = 1200 GiB total: more than the 1024 GiB of machine
+        // DRAM (no all-local spread exists, inflated or not) and more
+        // remote than one 512 GiB rack pool serves — the only healthy
+        // shape borrows 344 GiB in each rack, so degrading one pool
+        // leaves the job transiently unservable.
+        let w = Workload::from_jobs(vec![JobBuilder::new(1)
+            .arrival_secs(10)
+            .nodes(2)
+            .runtime_secs(100, 200)
+            .mem_per_node(600 * GIB)
+            .slo(dmhpc_workload::Slo::Deadline { deadline_s: 2000.0 })
+            .build()]);
+        let mut cap = AdmissionCapture { seen: Vec::new() };
+        let out = sim.run_with(&w, ObserverSet::new().watch(&mut cap));
+        assert_eq!(cap.seen, vec![("defer", 10)], "one deferral, no reject");
+        let r = &out.records[0];
+        assert_eq!(r.outcome, JobOutcome::Completed, "never terminally failed");
+        assert_eq!(r.start.unwrap().as_secs(), 500, "starts at pool repair");
+    }
+
+    #[test]
+    fn defer_rejects_at_the_deadline_wake() {
+        // The machine is held by an unstamped job past the stamped job's
+        // deadline. Deferral schedules a wake-up at the feasibility lapse,
+        // so the rejection lands *at* the deadline — not whenever the next
+        // natural event happens to run a pass (t = 1000 here).
+        let sched = SchedulerBuilder::new()
+            .admission(dmhpc_sched::AdmissionPolicy::DeferUntilFeasible)
+            .build();
+        let sim =
+            Simulation::new(SimConfig::new(machine(PoolTopology::None), sched).checked()).unwrap();
+        let w = Workload::from_jobs(vec![
+            JobBuilder::new(1)
+                .arrival_secs(0)
+                .nodes(4)
+                .runtime_secs(1000, 1200)
+                .mem_per_node(GIB)
+                .build(),
+            JobBuilder::new(2)
+                .arrival_secs(10)
+                .nodes(1)
+                .runtime_secs(50, 100)
+                .mem_per_node(GIB)
+                .slo(dmhpc_workload::Slo::Deadline { deadline_s: 100.0 })
+                .build(),
+        ]);
+        let mut cap = AdmissionCapture { seen: Vec::new() };
+        let out = sim.run_with(&w, ObserverSet::new().watch(&mut cap));
+        assert_eq!(cap.seen, vec![("defer", 10), ("reject", 110)]);
+        let by_id = |id: u64| out.records.iter().find(|r| r.job.id.0 == id).unwrap();
+        assert_eq!(by_id(2).outcome, JobOutcome::Rejected);
+        assert_eq!(by_id(1).outcome, JobOutcome::Completed);
+    }
+
+    #[test]
+    fn laxity_preemption_rescues_deadline_critical_job() {
+        // A deadline-free job holds the whole machine until t = 1000; a
+        // stamped job arriving at t = 10 must start by t = 190 to meet its
+        // deadline at 310. Without preemption it misses; with
+        // `LaxityCheckpoint` the holder is checkpointed, the stamped job
+        // starts immediately, and the holder resumes with only the
+        // restore overhead as rework.
+        let mk_workload = || {
+            Workload::from_jobs(vec![
+                JobBuilder::new(1)
+                    .arrival_secs(0)
+                    .nodes(4)
+                    .runtime_secs(1000, 1200)
+                    .mem_per_node(GIB)
+                    .build(),
+                JobBuilder::new(2)
+                    .arrival_secs(10)
+                    .nodes(2)
+                    .runtime_secs(100, 120)
+                    .mem_per_node(GIB)
+                    .slo(dmhpc_workload::Slo::Deadline { deadline_s: 300.0 })
+                    .build(),
+            ])
+        };
+        let run = |queue: EventQueueKind| {
+            let sched = SchedulerBuilder::new()
+                .preempt(dmhpc_sched::PreemptPolicy::LaxityCheckpoint { overhead_s: 50 })
+                .build();
+            let cfg = SimConfig::new(machine(PoolTopology::None), sched)
+                .checked()
+                .with_event_queue(queue);
+            let mut cap = AdmissionCapture { seen: Vec::new() };
+            let out = Simulation::new(cfg)
+                .unwrap()
+                .run_with(&mk_workload(), ObserverSet::new().watch(&mut cap));
+            (out, cap.seen)
+        };
+        let (out, seen) = run(EventQueueKind::BinaryHeap);
+        assert_eq!(seen, vec![("preempt", 10)]);
+        assert_eq!(out.preemptions, 1);
+        let by_id = |id: u64| out.records.iter().find(|r| r.job.id.0 == id).unwrap();
+        let rescued = by_id(2);
+        assert_eq!(rescued.start.unwrap().as_secs(), 10, "starts on eviction");
+        assert_eq!(rescued.finish.unwrap().as_secs(), 110, "meets deadline 310");
+        // The victim resumes once capacity frees: 990 s of surviving work
+        // plus the 50 s restore overhead, restarted at t = 110.
+        let victim = by_id(1);
+        assert_eq!(victim.outcome, JobOutcome::Completed, "never failed");
+        assert_eq!(victim.finish.unwrap().as_secs(), 110 + 990 + 50);
+
+        // Identical on both event-queue backends.
+        let (cal, cal_seen) = run(EventQueueKind::Calendar);
+        assert_eq!(cal.trace_hash, out.trace_hash);
+        assert_eq!(cal_seen, seen);
+
+        // Ablation: without preemption the stamped job waits for the
+        // natural release at t = 1000 and misses its deadline.
+        let plain = local_sim().run(&mk_workload());
+        let waited = plain.records.iter().find(|r| r.job.id.0 == 2).unwrap();
+        assert_eq!(waited.start.unwrap().as_secs(), 1000, "deadline missed");
+    }
+
+    #[test]
+    fn admission_and_preempt_are_inert_on_unstamped_workloads() {
+        // Admission control and preemption are deadline mechanisms: on a
+        // workload without SLO stamps (and no run-wide target), enabling
+        // them must leave the run bit-identical to the default config.
+        let w = Workload::from_jobs(vec![
+            JobBuilder::new(1)
+                .arrival_secs(0)
+                .nodes(4)
+                .runtime_secs(300, 400)
+                .mem_per_node(GIB)
+                .build(),
+            JobBuilder::new(2)
+                .arrival_secs(10)
+                .nodes(2)
+                .runtime_secs(100, 150)
+                .mem_per_node(GIB)
+                .build(),
+            JobBuilder::new(3)
+                .arrival_secs(20)
+                .nodes(1)
+                .runtime_secs(50, 80)
+                .mem_per_node(GIB)
+                .build(),
+        ]);
+        let base = local_sim().run(&w);
+        let armed = SchedulerBuilder::new()
+            .admission(dmhpc_sched::AdmissionPolicy::DeferUntilFeasible)
+            .preempt(dmhpc_sched::PreemptPolicy::LaxityCheckpoint { overhead_s: 60 })
+            .build();
+        let out = Simulation::new(SimConfig::new(machine(PoolTopology::None), armed).checked())
+            .unwrap()
+            .run(&w);
+        assert_eq!(out.trace_hash, base.trace_hash);
+        assert_eq!(out.preemptions, 0);
     }
 }

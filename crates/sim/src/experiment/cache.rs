@@ -184,6 +184,10 @@ fn hash_scheduler(h: &mut Fnv64, sched: &dmhpc_sched::SchedulerConfig) {
             h.write_str("slowdown-aware");
             h.write_f64(max_dilation);
         }
+        MemoryPolicy::LaxityAware { max_dilation } => {
+            h.write_str("laxity-aware");
+            h.write_f64(max_dilation);
+        }
         other => h.write_str(other.name()),
     }
     match sched.slowdown {
@@ -204,6 +208,16 @@ fn hash_scheduler(h: &mut Fnv64, sched: &dmhpc_sched::SchedulerConfig) {
         }
     }
     h.write_u64(sched.inflate_walltime as u64);
+    // Admission/preemption digest only when non-default, so cells compiled
+    // before the knobs existed keep their hashes — and their caches.
+    if sched.admission != dmhpc_sched::AdmissionPolicy::AdmitAll {
+        h.write_str("admission");
+        h.write_str(sched.admission.name());
+    }
+    if let dmhpc_sched::PreemptPolicy::LaxityCheckpoint { overhead_s } = sched.preempt {
+        h.write_str("preempt");
+        h.write_u64(overhead_s);
+    }
 }
 
 /// The content hash of one compiled grid cell. Two cells with equal
@@ -422,19 +436,31 @@ fn output_to_json(hash: u64, output: &SimOutput) -> Json {
             ]),
         ),
     ];
+    // Preemption-free runs (every run without an opt-in PreemptPolicy)
+    // omit the key, keeping their documents byte-identical to
+    // pre-preemption cache entries.
+    if output.preemptions > 0 {
+        fields.push(("preemptions", Json::UInt(output.preemptions)));
+    }
     // Closed runs omit the key entirely, keeping their documents
     // byte-identical to pre-service cache entries.
     if let Some(svc) = &output.service {
-        fields.push((
-            "service",
-            Json::obj(vec![
-                ("observed", Json::UInt(svc.observed)),
-                ("warmup_skipped", Json::UInt(svc.warmup_skipped)),
-                ("p99_wait_s", Json::F64(svc.p99_wait_s)),
-                ("slo_wait_s", Json::F64(svc.slo_wait_s)),
-                ("slo_attained", Json::F64(svc.slo_attained)),
-            ]),
-        ));
+        // Target-free runs keep the historical 0.0/1.0 sentinel encoding
+        // so their documents stay byte-identical to pre-Option entries;
+        // only the newly-legal explicit 0-second target (which the
+        // sentinels used to shadow) needs a marker key to survive the
+        // round trip.
+        let mut svc_fields = vec![
+            ("observed", Json::UInt(svc.observed)),
+            ("warmup_skipped", Json::UInt(svc.warmup_skipped)),
+            ("p99_wait_s", Json::F64(svc.p99_wait_s)),
+            ("slo_wait_s", Json::F64(svc.slo_wait_s.unwrap_or(0.0))),
+            ("slo_attained", Json::F64(svc.slo_attained.unwrap_or(1.0))),
+        ];
+        if svc.slo_wait_s == Some(0.0) {
+            svc_fields.push(("slo_zero_target", Json::Bool(true)));
+        }
+        fields.push(("service", Json::obj(svc_fields)));
     }
     Json::obj(fields)
 }
@@ -481,13 +507,26 @@ fn output_from_json(doc: &Json, hash: u64, cell: &RunSpec) -> Result<SimOutput, 
         },
     };
     let service = match doc.get("service") {
-        Some(s) => Some(dmhpc_metrics::ServiceSummary {
-            observed: s.expect_key("observed")?.to_u64()?,
-            warmup_skipped: s.expect_key("warmup_skipped")?.to_u64()?,
-            p99_wait_s: s.expect_key("p99_wait_s")?.to_f64()?,
-            slo_wait_s: s.expect_key("slo_wait_s")?.to_f64()?,
-            slo_attained: s.expect_key("slo_attained")?.to_f64()?,
-        }),
+        Some(s) => {
+            // Invert the sentinel encoding: a positive stored target is a
+            // real target, 0.0 is "no target" unless the explicit
+            // zero-target marker says otherwise.
+            let raw_slo = s.expect_key("slo_wait_s")?.to_f64()?;
+            let raw_attained = s.expect_key("slo_attained")?.to_f64()?;
+            let zero_target = s.get("slo_zero_target").is_some();
+            let slo_wait_s = if raw_slo > 0.0 || zero_target {
+                Some(raw_slo)
+            } else {
+                None
+            };
+            Some(dmhpc_metrics::ServiceSummary {
+                observed: s.expect_key("observed")?.to_u64()?,
+                warmup_skipped: s.expect_key("warmup_skipped")?.to_u64()?,
+                p99_wait_s: s.expect_key("p99_wait_s")?.to_f64()?,
+                slo_wait_s,
+                slo_attained: slo_wait_s.map(|_| raw_attained),
+            })
+        }
         None => None,
     };
     Ok(SimOutput {
@@ -504,6 +543,10 @@ fn output_from_json(doc: &Json, hash: u64, cell: &RunSpec) -> Result<SimOutput, 
         trace_hash: doc.expect_key("trace_hash")?.to_u64()?,
         end_time: SimTime::from_micros(doc.expect_key("end_time_us")?.to_u64()?),
         faults,
+        preemptions: match doc.get("preemptions") {
+            Some(p) => p.to_u64()?,
+            None => 0,
+        },
         service,
     })
 }

@@ -26,13 +26,22 @@ impl CellResult {
     ///   whose wait met the run's wait target;
     /// * closed batch cells derive it from per-job records — the fraction
     ///   of [`dmhpc_workload::Slo`]-stamped jobs that started by their
-    ///   deadline (unstarted stamped jobs count as missed).
+    ///   deadline.
+    ///
+    /// Never-started stamped jobs — admission rejections, terminal
+    /// failures, jobs still mid-resubmission at drain — count as misses,
+    /// not as unmeasured: an admission policy must not be able to raise
+    /// its attainment by rejecting the jobs it would have missed. (A
+    /// fault-resubmitted job that *did* start is judged by its final
+    /// attempt's start, the one its record carries.) This is the
+    /// `r.start.is_some_and(..)` below, pinned by
+    /// `never_started_stamped_jobs_count_as_misses`.
     ///
     /// `None` when nothing in the cell carries a deadline, so SLO-free
     /// grids report exactly what they did before deadlines existed.
     pub fn slo_attainment(&self) -> Option<f64> {
         if let Some(svc) = &self.output.service {
-            return (svc.slo_wait_s > 0.0).then_some(svc.slo_attained);
+            return svc.slo_attained;
         }
         let mut met = 0u64;
         let mut total = 0u64;
@@ -144,7 +153,7 @@ impl ExperimentResults {
         let mut out = String::with_capacity(256 * (self.cells.len() + 1));
         out.push_str("experiment,cluster,load,seed,fault,service,fleet,");
         out.push_str(export::REPORT_CSV_HEADER);
-        out.push_str(",slo_attainment\n");
+        out.push_str(",preempted,slo_attainment\n");
         for c in &self.cells {
             let load = c.key.load.map(|l| format!("{l}")).unwrap_or_default();
             let seed = c.key.seed.map(|s| s.to_string()).unwrap_or_default();
@@ -156,7 +165,7 @@ impl ExperimentResults {
                 .map(|a| format!("{a}"))
                 .unwrap_or_default();
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{}\n",
                 export::sanitize(&self.name),
                 export::sanitize(&c.key.cluster),
                 load,
@@ -165,6 +174,7 @@ impl ExperimentResults {
                 export::sanitize(service),
                 export::sanitize(fleet),
                 export::report_csv_row(&c.output.report),
+                c.output.preemptions,
                 slo
             ));
         }
@@ -197,9 +207,12 @@ impl ExperimentResults {
                     ("scheduler", Json::Str(c.key.scheduler.clone())),
                     ("trace_hash", Json::UInt(c.output.trace_hash)),
                 ];
-                // Key present only for cells with a deadline objective:
-                // SLO-free grids serialize byte-identically to pre-SLO
-                // documents.
+                // Keys present only for cells where the feature fired:
+                // SLO-free, preemption-free grids serialize byte-identically
+                // to the documents they produced before either existed.
+                if c.output.preemptions > 0 {
+                    pairs.push(("preempted", Json::UInt(c.output.preemptions)));
+                }
                 if let Some(a) = c.slo_attainment() {
                     pairs.push(("slo_attainment", Json::F64(a)));
                 }
@@ -303,6 +316,53 @@ mod tests {
         let row = csv.trim_end().lines().last().unwrap();
         assert!(row.ends_with(",0.5"), "{row}");
         assert!(r.to_json().contains("\"slo_attainment\": 0.5"));
+    }
+
+    /// Satellite pin: never-started stamped jobs are misses, not
+    /// unmeasured. An admission policy that rejects the jobs it would
+    /// miss must not thereby report higher attainment; a terminally
+    /// failed stamped job counts the same way; a fault-resubmitted job
+    /// that did start is judged by its final attempt's start.
+    #[test]
+    fn never_started_stamped_jobs_count_as_misses() {
+        use dmhpc_metrics::{JobOutcome, JobRecord};
+        use dmhpc_workload::{JobBuilder, Slo};
+
+        let stamped = |id: u64| {
+            JobBuilder::new(id)
+                .nodes(1)
+                .runtime_secs(100, 100)
+                .mem_per_node(100)
+                .slo(Slo::Deadline { deadline_s: 500.0 })
+                .build()
+        };
+        let r = results();
+        let mut cell = r.cells()[0].clone();
+        let started = |id: u64, start_s: u64, outcome: JobOutcome| JobRecord {
+            job: stamped(id),
+            outcome,
+            start: Some(dmhpc_des::time::SimTime::from_secs(start_s)),
+            finish: Some(dmhpc_des::time::SimTime::from_secs(start_s + 100)),
+            nodes_allocated: 1,
+            remote_per_node: 0,
+            dilation_planned: 1.0,
+            dilation_actual: 1.0,
+        };
+        cell.output.records = vec![
+            // Met: completed, started inside the deadline.
+            started(1, 100, JobOutcome::Completed),
+            // Miss: admission-rejected, never started.
+            JobRecord::rejected(stamped(2)),
+            // Miss: terminally failed without ever starting.
+            JobRecord::failed_unstarted(stamped(3)),
+            // Met: fault-resubmitted job whose *final* attempt started in
+            // time (the record carries the last attempt's start), even
+            // though the attempt itself then failed.
+            started(4, 200, JobOutcome::Failed),
+            // Miss: started, but only after the deadline passed.
+            started(5, 900, JobOutcome::Completed),
+        ];
+        assert_eq!(cell.slo_attainment(), Some(0.4));
     }
 
     #[test]

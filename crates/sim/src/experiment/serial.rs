@@ -15,7 +15,10 @@ use crate::service::{ServiceLoad, ServiceSpec};
 use dmhpc_des::time::{SimDuration, SimTime};
 use dmhpc_metrics::json::{parse, Json, JsonError};
 use dmhpc_platform::{ClusterSpec, NodeId, NodeSpec, PoolId, PoolTopology, SlowdownModel};
-use dmhpc_sched::{BackfillPolicy, MemoryPolicy, MetaPolicyKind, OrderPolicy, SchedulerConfig};
+use dmhpc_sched::{
+    AdmissionPolicy, BackfillPolicy, MemoryPolicy, MetaPolicyKind, OrderPolicy, PreemptPolicy,
+    SchedulerConfig,
+};
 use dmhpc_workload::source::{ArrivalProcess, Horizon};
 use dmhpc_workload::SystemPreset;
 
@@ -91,6 +94,10 @@ fn memory_to_json(memory: &MemoryPolicy) -> Json {
             "slowdown-aware",
             Json::obj(vec![("max_dilation", Json::F64(max_dilation))]),
         )]),
+        MemoryPolicy::LaxityAware { max_dilation } => Json::obj(vec![(
+            "laxity-aware",
+            Json::obj(vec![("max_dilation", Json::F64(max_dilation))]),
+        )]),
         _ => Json::Str(memory.name().into()),
     }
 }
@@ -120,13 +127,28 @@ fn slowdown_to_json(model: &SlowdownModel) -> Json {
 }
 
 fn scheduler_to_json(cfg: &SchedulerConfig) -> Json {
-    Json::obj(vec![
+    let mut pairs = vec![
         ("order", order_to_json(&cfg.order)),
         ("backfill", Json::Str(cfg.backfill.name().into())),
         ("memory", memory_to_json(&cfg.memory)),
         ("slowdown", slowdown_to_json(&cfg.slowdown)),
         ("inflate_walltime", Json::Bool(cfg.inflate_walltime)),
-    ])
+    ];
+    // Admission/preemption keys appear only when non-default, so documents
+    // written before these knobs existed stay byte-identical.
+    if cfg.admission != AdmissionPolicy::AdmitAll {
+        pairs.push(("admission", Json::Str(cfg.admission.name().into())));
+    }
+    if let PreemptPolicy::LaxityCheckpoint { overhead_s } = cfg.preempt {
+        pairs.push((
+            "preempt",
+            Json::obj(vec![(
+                "laxity-checkpoint",
+                Json::obj(vec![("overhead_s", Json::UInt(overhead_s))]),
+            )]),
+        ));
+    }
+    Json::obj(pairs)
 }
 
 fn fault_action_to_json(at: SimTime, action: &FaultAction) -> Json {
@@ -415,6 +437,9 @@ fn memory_from_json(v: &Json) -> Result<MemoryPolicy, JsonError> {
         "slowdown-aware" => Ok(MemoryPolicy::SlowdownAware {
             max_dilation: payload(data, tag)?.expect_key("max_dilation")?.to_f64()?,
         }),
+        "laxity-aware" => Ok(MemoryPolicy::LaxityAware {
+            max_dilation: payload(data, tag)?.expect_key("max_dilation")?.to_f64()?,
+        }),
         other => Err(shape(format!("unknown memory policy {other:?}"))),
     }
 }
@@ -444,6 +469,23 @@ fn slowdown_from_json(v: &Json) -> Result<SlowdownModel, JsonError> {
     }
 }
 
+fn admission_from_json(v: &Json) -> Result<AdmissionPolicy, JsonError> {
+    let name = v.to_str()?;
+    AdmissionPolicy::from_name(name)
+        .ok_or_else(|| shape(format!("unknown admission policy {name:?}")))
+}
+
+fn preempt_from_json(v: &Json) -> Result<PreemptPolicy, JsonError> {
+    let (tag, data) = tagged(v)?;
+    match tag {
+        "never" => Ok(PreemptPolicy::Never),
+        "laxity-checkpoint" => Ok(PreemptPolicy::LaxityCheckpoint {
+            overhead_s: payload(data, tag)?.expect_key("overhead_s")?.to_u64()?,
+        }),
+        other => Err(shape(format!("unknown preempt policy {other:?}"))),
+    }
+}
+
 fn scheduler_from_json(v: &Json) -> Result<SchedulerConfig, JsonError> {
     Ok(SchedulerConfig {
         order: order_from_json(v.expect_key("order")?)?,
@@ -451,6 +493,15 @@ fn scheduler_from_json(v: &Json) -> Result<SchedulerConfig, JsonError> {
         memory: memory_from_json(v.expect_key("memory")?)?,
         slowdown: slowdown_from_json(v.expect_key("slowdown")?)?,
         inflate_walltime: v.expect_key("inflate_walltime")?.to_bool()?,
+        // Absent in pre-admission documents: default.
+        admission: match v.get("admission") {
+            Some(a) => admission_from_json(a)?,
+            None => AdmissionPolicy::AdmitAll,
+        },
+        preempt: match v.get("preempt") {
+            Some(p) => preempt_from_json(p)?,
+            None => PreemptPolicy::Never,
+        },
     })
 }
 

@@ -393,6 +393,7 @@ impl FleetSimulation {
         let mut records = Vec::new();
         let mut events_processed = 0u64;
         let mut passes = 0u64;
+        let mut preemptions = 0u64;
         let mut trace_hash = FNV_OFFSET;
         for (site, out) in self.sites.iter().zip(outputs) {
             let span = site_span(out);
@@ -410,6 +411,7 @@ impl FleetSimulation {
             records.extend(out.records.iter().cloned());
             events_processed += out.events_processed;
             passes += out.passes;
+            preemptions += out.preemptions;
             for byte in out.trace_hash.to_le_bytes() {
                 trace_hash ^= byte as u64;
                 trace_hash = trace_hash.wrapping_mul(FNV_PRIME);
@@ -454,6 +456,7 @@ impl FleetSimulation {
             trace_hash,
             end_time,
             faults: data.faults,
+            preemptions,
             service: None,
         }
     }

@@ -171,6 +171,29 @@ pub enum SimEvent {
         /// In-service (`Up`) node count after the transition.
         nodes_in_service: usize,
     },
+    /// Admission control deferred a queued job: no up-capacity placement
+    /// meets its deadline right now, but one could once running jobs
+    /// release. Emitted once per job, at its first deferral.
+    JobDeferred {
+        /// Event time.
+        at: SimTime,
+        /// The deferred job.
+        job: JobId,
+        /// When admission will re-examine the job.
+        recheck_at: SimTime,
+    },
+    /// The preemption policy checkpointed a running job to make room for a
+    /// deadline-critical queued job (its allocation was already released
+    /// in the preceding [`SimEvent::AllocationReleased`]; the
+    /// [`SimEvent::JobSubmitted`] resubmission follows).
+    JobPreempted {
+        /// Event time.
+        at: SimTime,
+        /// The preempted (checkpointed) job.
+        job: JobId,
+        /// The queued job the capacity was freed for.
+        for_job: JobId,
+    },
     /// A scheduling pass ran to completion.
     PassCompleted {
         /// Event time.
@@ -198,6 +221,8 @@ impl SimEvent {
             | SimEvent::JobRejected { at, .. }
             | SimEvent::FaultApplied { at, .. }
             | SimEvent::FaultCleared { at, .. }
+            | SimEvent::JobDeferred { at, .. }
+            | SimEvent::JobPreempted { at, .. }
             | SimEvent::PassCompleted { at, .. } => at,
         }
     }
@@ -215,6 +240,8 @@ impl SimEvent {
             SimEvent::JobRejected { .. } => "reject",
             SimEvent::FaultApplied { .. } => "fault",
             SimEvent::FaultCleared { .. } => "fault_clear",
+            SimEvent::JobDeferred { .. } => "defer",
+            SimEvent::JobPreempted { .. } => "preempt",
             SimEvent::PassCompleted { .. } => "pass",
         }
     }

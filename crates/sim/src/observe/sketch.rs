@@ -314,8 +314,8 @@ mod tests {
         assert_eq!(report.avail_util, report.node_util);
         assert_eq!(summary.warmup_skipped, 1);
         assert_eq!(summary.observed, 1);
-        assert_eq!(summary.slo_attained, 1.0);
-        assert_eq!(summary.slo_wait_s, 30.0);
+        assert_eq!(summary.slo_attained, Some(1.0));
+        assert_eq!(summary.slo_wait_s, Some(30.0));
     }
 
     #[test]

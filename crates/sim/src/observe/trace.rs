@@ -180,6 +180,19 @@ impl TraceSink {
                 Self::format_action(line, action);
                 let _ = write!(line, r#","in_service":{nodes_in_service}"#);
             }
+            SimEvent::JobDeferred {
+                job, recheck_at, ..
+            } => {
+                let _ = write!(
+                    line,
+                    r#","job":{},"recheck_us":{}"#,
+                    job.0,
+                    recheck_at.as_micros()
+                );
+            }
+            SimEvent::JobPreempted { job, for_job, .. } => {
+                let _ = write!(line, r#","job":{},"for_job":{}"#, job.0, for_job.0);
+            }
             SimEvent::PassCompleted {
                 started,
                 rejected,

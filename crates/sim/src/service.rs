@@ -246,9 +246,11 @@ impl ServiceSpec {
             }
         }
         if let Some(slo) = self.slo_wait_s {
-            if !(slo > 0.0 && slo.is_finite()) {
+            // 0 is legal: "starts instantly" is a measurable target now
+            // that the metrics encode absence as None, not 0.0.
+            if !(slo >= 0.0 && slo.is_finite()) {
                 return Err(SimError::spec(format!(
-                    "service SLO wait target must be positive and finite, got {slo}"
+                    "service SLO wait target must be non-negative and finite, got {slo}"
                 )));
             }
         }

@@ -74,7 +74,7 @@ fn main() -> Result<(), SimError> {
             svc.observed,
             cell.output.report.mean_wait_s,
             svc.p99_wait_s,
-            100.0 * svc.slo_attained,
+            100.0 * svc.slo_attained.expect("study sets a wait target"),
             cell.output.report.node_util,
         );
         curve.push((util, svc.p99_wait_s));

@@ -101,9 +101,10 @@ pub mod prelude {
         SlowdownModel,
     };
     pub use dmhpc_sched::{
-        BackfillPolicy, MemoryPolicy, MetaPolicy, MetaPolicyKind, OrderPolicy, Ordering,
-        PassDirective, Placement, ReleaseIndex, ReleaseView, SchedContext, SchedulerBuilder,
-        SchedulerConfig, SiteSnapshot,
+        AdmissionPolicy, AdmissionVerdict, BackfillPolicy, MemoryPolicy, MetaPolicy,
+        MetaPolicyKind, OrderPolicy, Ordering, PassDirective, Placement, PreemptPolicy,
+        RejectReason, ReleaseIndex, ReleaseView, SchedContext, SchedulerBuilder, SchedulerConfig,
+        SiteSnapshot,
     };
     pub use dmhpc_sim::observe::{
         EventCounter, Observer, ObserverFactory, ProgressObserver, RunLabel, SampleRow,
