@@ -252,6 +252,7 @@ impl<T> EventQueue<T> for CalendarQueue<T> {
                 .last()
                 .is_some_and(|e| (e.time as u128) < top);
             if hit {
+                // lint: allow(panic) — the scan above selected this bucket because it is non-empty
                 let e = self.buckets[i].pop().expect("non-empty bucket");
                 self.cur = i;
                 self.bucket_top = top;
@@ -264,8 +265,10 @@ impl<T> EventQueue<T> for CalendarQueue<T> {
         }
         // A whole year scanned with no event in-window: the next event is
         // more than a year ahead. Find it directly and jump the calendar.
+        // lint: allow(panic) — caller branch checked count > 0; an entry must exist
         let (bi, t, _) = self.direct_min().expect("count > 0 implies an entry");
         self.rewind_to(t);
+        // lint: allow(panic) — direct_min just located the minimum inside this bucket
         let e = self.buckets[bi].pop().expect("bucket holds the minimum");
         self.count -= 1;
         self.maybe_resize();

@@ -422,6 +422,7 @@ impl Empirical {
             samples.iter().all(|x| x.is_finite()),
             "Empirical requires finite samples"
         );
+        // lint: allow(panic) — the samplers never produce NaN; a non-finite sample is a distribution bug
         samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         Empirical { sorted: samples }
     }

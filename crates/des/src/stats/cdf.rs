@@ -42,6 +42,7 @@ impl CdfCollector {
     fn ensure_sorted(&mut self) {
         if !self.sorted {
             self.samples
+                // lint: allow(panic) — recorders only admit finite observations; NaN here is a recorder bug
                 .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
             self.sorted = true;
         }

@@ -59,6 +59,7 @@ impl P2Quantile {
             self.startup.push(x);
             if self.startup.len() == 5 {
                 self.startup
+                    // lint: allow(panic) — recorders only admit finite observations; NaN here is a recorder bug
                     .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
                 for i in 0..5 {
                     self.h[i] = self.startup[i];
@@ -78,6 +79,7 @@ impl P2Quantile {
             // h[k] <= x < h[k+1]
             (0..4)
                 .find(|&i| self.h[i] <= x && x < self.h[i + 1])
+                // lint: allow(panic) — the P² marker heights bracket x by the branch condition above
                 .expect("x is within [h0, h4)")
         };
 
@@ -127,6 +129,7 @@ impl P2Quantile {
             return 0.0;
         }
         let mut v = self.startup.clone();
+        // lint: allow(panic) — recorders only admit finite observations; NaN here is a recorder bug
         v.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
         let pos = self.q * (v.len() - 1) as f64;
         let lo = pos.floor() as usize;

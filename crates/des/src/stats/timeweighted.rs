@@ -43,6 +43,7 @@ impl TimeWeighted {
     pub fn update(&mut self, at: SimTime, value: f64) {
         let dt = at
             .checked_since(self.last_time)
+            // lint: allow(panic) — the engine feeds monotone event times; going backwards is a DES bug
             .expect("TimeWeighted updates must be causal (non-decreasing time)");
         self.integral += self.last_value * dt.as_secs_f64();
         self.last_time = at;

@@ -249,6 +249,7 @@ impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     #[inline]
     fn add(self, rhs: SimDuration) -> SimTime {
+        // lint: allow(panic) — operator impls cannot return Result; wrapping the clock silently would corrupt results
         SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
     }
 }
@@ -264,6 +265,7 @@ impl Sub<SimDuration> for SimTime {
     type Output = SimTime;
     #[inline]
     fn sub(self, rhs: SimDuration) -> SimTime {
+        // lint: allow(panic) — operator impls cannot return Result; wrapping the clock silently would corrupt results
         SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow"))
     }
 }
@@ -272,6 +274,7 @@ impl Sub<SimTime> for SimTime {
     type Output = SimDuration;
     #[inline]
     fn sub(self, rhs: SimTime) -> SimDuration {
+        // lint: allow(panic) — operator impls cannot return Result; a negative duration is a model bug
         SimDuration(self.0.checked_sub(rhs.0).expect("negative SimDuration"))
     }
 }
@@ -280,6 +283,7 @@ impl Add for SimDuration {
     type Output = SimDuration;
     #[inline]
     fn add(self, rhs: SimDuration) -> SimDuration {
+        // lint: allow(panic) — operator impls cannot return Result; wrapping a duration silently would corrupt results
         SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow"))
     }
 }
@@ -295,6 +299,7 @@ impl Sub for SimDuration {
     type Output = SimDuration;
     #[inline]
     fn sub(self, rhs: SimDuration) -> SimDuration {
+        // lint: allow(panic) — operator impls cannot return Result; a negative duration is a model bug
         SimDuration(self.0.checked_sub(rhs.0).expect("negative SimDuration"))
     }
 }
@@ -310,6 +315,7 @@ impl Mul<u64> for SimDuration {
     type Output = SimDuration;
     #[inline]
     fn mul(self, rhs: u64) -> SimDuration {
+        // lint: allow(panic) — operator impls cannot return Result; wrapping a duration silently would corrupt results
         SimDuration(self.0.checked_mul(rhs).expect("SimDuration overflow"))
     }
 }

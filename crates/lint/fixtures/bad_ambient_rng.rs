@@ -1,0 +1,6 @@
+// Fixture: ambient (per-process) randomness (line 4).
+
+pub fn seed() -> u64 {
+    let state = std::collections::hash_map::RandomState::new();
+    std::hash::BuildHasher::hash_one(&state, 1u64)
+}

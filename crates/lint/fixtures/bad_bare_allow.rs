@@ -1,0 +1,6 @@
+// Fixture: a suppression with no justification (line 5). Bareness is
+// reported before staleness, so this is exactly one finding.
+
+pub fn double(x: u32) -> u32 {
+    x.saturating_mul(2) // lint: allow(panic)
+}

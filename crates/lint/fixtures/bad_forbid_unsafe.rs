@@ -1,0 +1,5 @@
+// Fixture: a crate root missing `#![forbid(unsafe_code)]`.
+
+pub fn fine() -> u32 {
+    7
+}

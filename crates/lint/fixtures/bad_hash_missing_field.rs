@@ -1,0 +1,12 @@
+// Fixture: `warmup_s` (line 7) is a result-determining field that the
+// registered digest fn forgets to fold — the exact drift the rule
+// exists to catch.
+
+pub struct FixtureSpec {
+    pub rate: u64,
+    pub warmup_s: u64,
+}
+
+pub fn fixture_digest(s: &FixtureSpec) -> u64 {
+    s.rate.wrapping_mul(0x100000001b3)
+}

@@ -1,0 +1,15 @@
+// Fixture: every face of the panic rule — `.unwrap()` (line 5),
+// `.expect()` (line 6), `panic!` (line 8), `todo!` (line 14).
+
+pub fn first(xs: &[u32]) -> u32 {
+    let head = xs.first().unwrap();
+    let tail = xs.last().expect("non-empty");
+    if head > tail {
+        panic!("unsorted");
+    }
+    *head
+}
+
+pub fn later() {
+    todo!()
+}

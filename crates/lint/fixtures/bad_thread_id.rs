@@ -1,0 +1,5 @@
+// Fixture: thread identity in a result-affecting path (line 4).
+
+pub fn who() -> std::thread::ThreadId {
+    std::thread::current().id()
+}

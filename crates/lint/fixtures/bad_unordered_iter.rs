@@ -1,0 +1,9 @@
+// Fixture: `HashMap` in a result-affecting path (line 4).
+
+pub fn tally(xs: &[u32]) -> usize {
+    let mut seen = std::collections::HashMap::new();
+    for x in xs {
+        *seen.entry(*x).or_insert(0usize) += 1;
+    }
+    seen.len()
+}

@@ -1,0 +1,6 @@
+// Fixture: a justified suppression that matches no finding (line 4).
+
+pub fn double(x: u32) -> u32 {
+    // lint: allow(panic) — this line cannot actually panic
+    x.saturating_mul(2)
+}

@@ -1,0 +1,5 @@
+// Fixture: wall-clock read in a result-affecting path (line 4).
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

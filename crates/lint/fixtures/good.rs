@@ -1,0 +1,39 @@
+// Fixture: a file the lint has nothing to say about — ordered
+// collections, a complete digest, a justified (and used) allow, and
+// the crate-root safety pin.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+
+pub struct GoodSpec {
+    pub rate: u64,
+    pub warmup_s: u64,
+}
+
+pub fn good_digest(s: &GoodSpec) -> u64 {
+    s.rate.wrapping_mul(31).wrapping_add(s.warmup_s)
+}
+
+pub fn count(xs: &[u32]) -> usize {
+    let mut seen: BTreeMap<u32, usize> = BTreeMap::new();
+    for x in xs {
+        *seen.entry(*x).or_insert(0) += 1;
+    }
+    seen.len()
+}
+
+pub fn head(xs: &[u32]) -> u32 {
+    // lint: allow(panic) — fixture-documented invariant: callers pass
+    // non-empty slices.
+    *xs.first().expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is out of scope: this unwrap must not count.
+    #[test]
+    fn t() {
+        assert_eq!(super::head(&[1]), [1u32].first().copied().unwrap());
+    }
+}

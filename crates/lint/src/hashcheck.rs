@@ -1,0 +1,258 @@
+//! The hash-discipline rule: every field of a hash-relevant spec type
+//! must be referenced inside its digest function.
+//!
+//! The experiment cache addresses results by a content hash of
+//! everything that determines them (`cell_hash`, `hash_scheduler`,
+//! `workload_digest`, ...). The failure mode this rule exists for:
+//! someone adds a field to `ServiceSpec`, forgets to fold it into the
+//! digest, and two *different* cells now share a hash — a warm cache
+//! silently replays the wrong result. That is a cache-corruption
+//! incident; this makes it a lint error instead.
+//!
+//! The check is deliberately name-based and conservative: the lint
+//! extracts the named fields of each registered struct/enum (tests
+//! excluded) and demands that every field identifier appear somewhere in
+//! the body of the registered digest function. It cannot prove the field
+//! is folded *correctly* — that is what the golden-hash tests are for —
+//! but it catches the "forgot entirely" drift, which is the dangerous
+//! one, at the moment the field is added. Deliberately-excluded fields
+//! (presentation-only labels, models that act through per-job stamps)
+//! carry a `// lint: allow(hash-field) — why` on their declaration line,
+//! so every exclusion is visible and justified in the type definition
+//! itself.
+
+use crate::lexer::{TokKind, Token};
+use crate::scan::ScannedFile;
+use crate::{Finding, Rule};
+
+/// One registered (spec type, digest function) obligation.
+#[derive(Debug, Clone)]
+pub struct HashPair {
+    /// Struct or enum name, e.g. `ServiceSpec`.
+    pub spec: String,
+    /// Function whose body must reference every field, e.g. `cell_hash`.
+    pub digest: String,
+}
+
+impl HashPair {
+    /// Convenience constructor.
+    pub fn new(spec: &str, digest: &str) -> Self {
+        HashPair {
+            spec: spec.to_string(),
+            digest: digest.to_string(),
+        }
+    }
+}
+
+/// A named field of a scanned type.
+struct Field {
+    name: String,
+    line: u32,
+}
+
+/// Where a type or function was found.
+struct Located<T> {
+    path: String,
+    item: T,
+}
+
+/// Run the rule over all scanned files, appending findings.
+pub fn check(files: &[ScannedFile], pairs: &[HashPair], findings: &mut Vec<Finding>) {
+    for pair in pairs {
+        let spec = files.iter().find_map(|sf| {
+            extract_fields(&sf.tokens, &pair.spec).map(|fields| Located {
+                path: sf.path.clone(),
+                item: fields,
+            })
+        });
+        let digest = files.iter().find_map(|sf| {
+            fn_body_idents(&sf.tokens, &pair.digest).map(|idents| Located {
+                path: sf.path.clone(),
+                item: idents,
+            })
+        });
+        let (spec, digest) = match (spec, digest) {
+            (Some(s), Some(d)) => (s, d),
+            (s, d) => {
+                let missing = match (&s, &d) {
+                    (None, None) => format!("type `{}` and fn `{}`", pair.spec, pair.digest),
+                    (None, _) => format!("type `{}`", pair.spec),
+                    _ => format!("fn `{}`", pair.digest),
+                };
+                findings.push(Finding {
+                    rule: Rule::HashField,
+                    path: "(lint config)".to_string(),
+                    line: 0,
+                    message: format!(
+                        "registered hash pair `{}` → `{}` is stale: {missing} not found in the scanned sources",
+                        pair.spec, pair.digest
+                    ),
+                });
+                continue;
+            }
+        };
+        for field in &spec.item {
+            if !digest.item.contains(&field.name) {
+                findings.push(Finding {
+                    rule: Rule::HashField,
+                    path: spec.path.clone(),
+                    line: field.line,
+                    message: format!(
+                        "field `{}` of `{}` is not referenced in digest fn `{}` ({}) — fold it into the hash or justify the exclusion",
+                        field.name, pair.spec, pair.digest, digest.path
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Extract the named fields of `struct name { ... }` or the named
+/// variant-payload fields of `enum name { ... }`. Returns `None` when
+/// the type is not defined in this token stream.
+fn extract_fields(tokens: &[Token], name: &str) -> Option<Vec<Field>> {
+    let mut i = 0;
+    while i + 1 < tokens.len() {
+        let kw = tokens[i].ident();
+        let is_struct = kw == Some("struct");
+        let is_enum = kw == Some("enum");
+        if (is_struct || is_enum) && tokens[i + 1].ident() == Some(name) {
+            // Find the body's opening brace (skipping generics, which
+            // contain no braces). `struct Name;` / tuple structs have no
+            // named fields — treat as empty.
+            let mut j = i + 2;
+            while j < tokens.len() && !tokens[j].is_punct('{') && !tokens[j].is_punct(';') {
+                if tokens[j].is_punct('(') {
+                    return Some(Vec::new());
+                }
+                j += 1;
+            }
+            if j >= tokens.len() || tokens[j].is_punct(';') {
+                return Some(Vec::new());
+            }
+            let field_depth = if is_struct { 1 } else { 2 };
+            return Some(fields_in_body(tokens, j, field_depth));
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Collect identifiers at exactly `want_depth` inside the body opened at
+/// `open` that are followed by a single `:` (a field declaration), where
+/// depth counts all bracket kinds from the body's own brace.
+fn fields_in_body(tokens: &[Token], open: usize, want_depth: usize) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        match &t.kind {
+            TokKind::Punct('{' | '(' | '[') => depth += 1,
+            TokKind::Punct('}' | ')' | ']') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    break;
+                }
+            }
+            TokKind::Ident(id) if depth == want_depth => {
+                let single_colon = tokens.get(j + 1).is_some_and(|n| n.is_punct(':'))
+                    && !tokens.get(j + 2).is_some_and(|n| n.is_punct(':'));
+                if single_colon {
+                    fields.push(Field {
+                        name: id.clone(),
+                        line: t.line,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    fields
+}
+
+/// The set of identifiers inside the body of `fn name(...) { ... }`, or
+/// `None` when the function is not defined in this token stream.
+fn fn_body_idents(tokens: &[Token], name: &str) -> Option<Vec<String>> {
+    let mut i = 0;
+    while i + 1 < tokens.len() {
+        if tokens[i].ident() == Some("fn") && tokens[i + 1].ident() == Some(name) {
+            // The body is the first `{` at zero bracket depth after the
+            // signature (the parameter list raises depth).
+            let mut depth = 0usize;
+            let mut j = i + 2;
+            while j < tokens.len() {
+                match tokens[j].kind {
+                    TokKind::Punct('(' | '[') => depth += 1,
+                    TokKind::Punct(')' | ']') => depth = depth.saturating_sub(1),
+                    TokKind::Punct('{') if depth == 0 => break,
+                    TokKind::Punct(';') if depth == 0 => return Some(Vec::new()),
+                    _ => {}
+                }
+                j += 1;
+            }
+            let mut idents = Vec::new();
+            let mut body_depth = 0usize;
+            for t in tokens.iter().skip(j) {
+                match &t.kind {
+                    TokKind::Punct('{' | '(' | '[') => body_depth += 1,
+                    TokKind::Punct('}' | ')' | ']') => {
+                        body_depth = body_depth.saturating_sub(1);
+                        if body_depth == 0 {
+                            break;
+                        }
+                    }
+                    TokKind::Ident(id) => idents.push(id.clone()),
+                    _ => {}
+                }
+            }
+            return Some(idents);
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    fn run(src: &str, pairs: &[HashPair]) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        check(&[scan("x.rs", src)], pairs, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn missing_field_is_reported_at_its_declaration() {
+        let src = "pub struct Spec {\n    pub a: u64,\n    pub warmup_s: u64,\n}\nfn digest(s: &Spec) -> u64 {\n    s.a\n}\n";
+        let f = run(src, &[HashPair::new("Spec", "digest")]);
+        assert_eq!(f.len(), 1);
+        assert_eq!((f[0].line, f[0].rule), (3, Rule::HashField));
+        assert!(f[0].message.contains("warmup_s"));
+    }
+
+    #[test]
+    fn complete_digests_and_enum_payloads_pass() {
+        let src = "pub enum P {\n    A,\n    B { knob: f64 },\n}\npub struct Spec {\n    pub p: P,\n    pub list: Vec<(u64, String)>,\n}\nfn digest(s: &Spec) -> u64 {\n    let _ = &s.list;\n    match s.p { P::A => 1, P::B { knob } => knob as u64 }\n}\n";
+        let pairs = [
+            HashPair::new("Spec", "digest"),
+            HashPair::new("P", "digest"),
+        ];
+        assert!(run(src, &pairs).is_empty());
+    }
+
+    #[test]
+    fn stale_pair_registration_is_a_finding() {
+        let f = run("fn other() {}", &[HashPair::new("Gone", "other")]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("`Gone`"));
+    }
+
+    #[test]
+    fn path_types_in_fields_are_not_fields() {
+        // `std::collections` inside a field type must not register
+        // `std` as a field name.
+        let src = "pub struct Spec {\n    pub m: std::vec::Vec<u64>,\n}\nfn digest(s: &Spec) -> usize {\n    s.m.len()\n}\n";
+        assert!(run(src, &[HashPair::new("Spec", "digest")]).is_empty());
+    }
+}

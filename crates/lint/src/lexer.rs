@@ -1,0 +1,431 @@
+//! A hand-rolled Rust tokenizer — just enough lexical structure for the
+//! lint rules.
+//!
+//! The lexer splits a source file into identifiers, punctuation, and
+//! opaque literal markers, tagging every token with its 1-based line.
+//! `//` comments are captured separately (the suppression grammar lives
+//! in them); block comments, strings (including raw/byte strings with
+//! arbitrary `#` fences), character literals, and lifetimes are
+//! recognized so that the words inside them — `"unwrap"` in an error
+//! message, `'h'` in a char — can never be mistaken for code. That is
+//! the whole point of lexing instead of grepping: a rule match is a
+//! match on *code*.
+//!
+//! The lexer is loss-tolerant by design (it never fails): an input byte
+//! it does not understand becomes ordinary punctuation. Lint rules only
+//! ever look for specific token patterns, so unknown input is inert.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    /// What the token is.
+    pub kind: TokKind,
+}
+
+/// Token payloads. Literals are opaque: rules never inspect their text,
+/// only that they are not identifiers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `fn`, `unwrap`, ...).
+    Ident(String),
+    /// A single punctuation character; multi-character operators arrive
+    /// as consecutive tokens (`::` is two `:`).
+    Punct(char),
+    /// A string literal (regular, raw, byte, or byte-raw).
+    Str,
+    /// A character or byte literal.
+    Char,
+    /// A numeric literal.
+    Num,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+impl Token {
+    /// The identifier text, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True when the token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// A `//` comment: the line it ends on and its text (everything after
+/// the `//`, excluding the newline). Doc comments (`///`, `//!`) arrive
+/// with their extra `/` or `!` as the first text character.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineComment {
+    /// 1-based source line.
+    pub line: u32,
+    /// Comment text after the leading `//`.
+    pub text: String,
+}
+
+/// A fully lexed source file.
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    /// Code tokens, in source order.
+    pub tokens: Vec<Token>,
+    /// `//` comments, in source order.
+    pub comments: Vec<LineComment>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Tokenize one source file. Infallible — see the module docs.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Lexed {
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                _ if b.is_ascii_digit() => self.number(),
+                _ if is_ident_start(b) => self.ident(),
+                _ => {
+                    // Punctuation, or a stray non-ASCII byte (skipped:
+                    // such bytes only legally occur inside literals and
+                    // comments, which are handled above).
+                    if b.is_ascii() {
+                        self.push(TokKind::Punct(b as char));
+                    }
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind) {
+        self.out.tokens.push(Token {
+            line: self.line,
+            kind,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos + 2;
+        let mut end = start;
+        while end < self.src.len() && self.src[end] != b'\n' {
+            end += 1;
+        }
+        let text = String::from_utf8_lossy(&self.src[start..end]).into_owned();
+        self.out.comments.push(LineComment {
+            line: self.line,
+            text,
+        });
+        self.pos = end;
+    }
+
+    fn block_comment(&mut self) {
+        // Rust block comments nest.
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            match (self.src[self.pos], self.peek(1)) {
+                (b'/', Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (b'*', Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (b'\n', _) => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// A regular `"..."` string starting at the current `"`.
+    fn string(&mut self) {
+        let line = self.line;
+        self.pos += 1;
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => {
+                    // The escaped byte may itself be a newline (a string
+                    // line-continuation) — keep the line count honest.
+                    if self.peek(1) == Some(b'\n') {
+                        self.line += 1;
+                    }
+                    self.pos += 2;
+                }
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.out.tokens.push(Token {
+            line,
+            kind: TokKind::Str,
+        });
+    }
+
+    /// A raw string starting at the current `#` or `"` (the `r`/`br`
+    /// prefix has already been consumed): `r"..."`, `r#"..."#`, etc.
+    fn raw_string(&mut self) {
+        let line = self.line;
+        let mut fence = 0usize;
+        while self.peek(0) == Some(b'#') {
+            fence += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // the opening quote
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'"' if self.closes_fence(fence) => {
+                    self.pos += 1 + fence;
+                    break;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.out.tokens.push(Token {
+            line,
+            kind: TokKind::Str,
+        });
+    }
+
+    fn closes_fence(&self, fence: usize) -> bool {
+        (1..=fence).all(|i| self.peek(i) == Some(b'#'))
+    }
+
+    /// `'` begins either a char literal or a lifetime. Heuristic: a run
+    /// of identifier characters terminated by another `'` is a char
+    /// literal (`'a'`); otherwise it is a lifetime (`'a`, `'static`).
+    fn char_or_lifetime(&mut self) {
+        match self.peek(1) {
+            // Escaped char ('\n', '\\', '\u{..}') — a char literal holds
+            // exactly one escape, so consume the `'\` and the escape's
+            // determinant byte, then scan plainly to the closing quote
+            // (`\u{..}` and `\x..` carry extra payload before it). The
+            // determinant must be consumed blind: in `'\\'` it is itself
+            // a backslash, and in `'\''` it is a quote.
+            Some(b'\\') => {
+                self.pos += 3;
+                while self.pos < self.src.len() {
+                    let b = self.src[self.pos];
+                    self.pos += 1;
+                    if b == b'\'' {
+                        break;
+                    }
+                    if b == b'\n' {
+                        // Malformed literal — bail at end of line rather
+                        // than silently swallowing the rest of the file.
+                        self.line += 1;
+                        break;
+                    }
+                }
+                self.push(TokKind::Char);
+            }
+            Some(b) if is_ident_start(b) => {
+                let mut end = self.pos + 2;
+                while end < self.src.len() && is_ident_continue(self.src[end]) {
+                    end += 1;
+                }
+                if self.src.get(end) == Some(&b'\'') {
+                    self.push(TokKind::Char);
+                    self.pos = end + 1;
+                } else {
+                    self.push(TokKind::Lifetime);
+                    self.pos = end;
+                }
+            }
+            // Any other char literal ('0', '♥', '(' ...): scan to the
+            // closing quote on the same line.
+            _ => {
+                self.pos += 1;
+                while self.pos < self.src.len() {
+                    let b = self.src[self.pos];
+                    self.pos += 1;
+                    if b == b'\'' || b == b'\n' {
+                        if b == b'\n' {
+                            self.line += 1;
+                        }
+                        break;
+                    }
+                }
+                self.push(TokKind::Char);
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        while let Some(b) = self.peek(0) {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.pos += 1;
+            } else if b == b'.' && self.peek(1).is_some_and(|n| n.is_ascii_digit()) {
+                // A fractional part, but never a `..` range or a method
+                // call on a literal.
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Num);
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        while self.pos < self.src.len() && is_ident_continue(self.src[self.pos]) {
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        // String-literal prefixes and raw identifiers.
+        match (text.as_str(), self.peek(0)) {
+            ("r" | "br", Some(b'#')) if self.peek(1).is_some_and(|b| b == b'"' || b == b'#') => {
+                return self.raw_string();
+            }
+            ("r" | "br", Some(b'"')) => return self.raw_string(),
+            ("b", Some(b'"')) => return self.string(),
+            ("b", Some(b'\'')) => {
+                self.pos += 1;
+                return self.char_or_lifetime();
+            }
+            ("r", Some(b'#')) if self.peek(1).is_some_and(is_ident_start) => {
+                // Raw identifier r#ident: emit the identifier itself.
+                self.pos += 1;
+                let start = self.pos;
+                while self.pos < self.src.len() && is_ident_continue(self.src[self.pos]) {
+                    self.pos += 1;
+                }
+                let raw = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                self.push(TokKind::Ident(raw));
+                return;
+            }
+            _ => {}
+        }
+        self.push(TokKind::Ident(text));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn words_in_strings_and_comments_are_not_code() {
+        let src = r##"
+            // unwrap in a comment
+            /* HashMap in /* a nested */ block */
+            let s = "Instant::now and .unwrap()";
+            let r = r#"SystemTime "quoted" HashSet"#;
+            let c = 'H';
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        for bad in ["unwrap", "HashMap", "Instant", "SystemTime", "HashSet"] {
+            assert!(!ids.contains(&bad.to_string()), "leaked {bad} from literal");
+        }
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let e = '\\n'; }").tokens;
+        let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!((lifetimes, chars), (2, 2));
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_literals() {
+        let src = "let a = \"one\ntwo\";\nlet b = 1;";
+        let toks = lex(src).tokens;
+        let b = toks.iter().find(|t| t.ident() == Some("b"));
+        assert_eq!(b.map(|t| t.line), Some(3));
+    }
+
+    #[test]
+    fn comments_carry_text_and_line() {
+        let lexed = lex("x();\n// lint: allow(panic) — fine\ny();");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert!(lexed.comments[0].text.contains("allow(panic)"));
+    }
+
+    #[test]
+    fn backslash_and_quote_char_literals_do_not_desync() {
+        // `'\\'` and `'\''` end at their own closing quote; the lexer
+        // must not scan past it into the following lines (a desync here
+        // silently drops newlines and shifts every later finding).
+        let src = "match c {\n    '\\\\' => a(),\n    '\\'' => b(),\n    '\"' => q(),\n}\nfn after() {}\n";
+        let toks = lex(src).tokens;
+        let after = toks.iter().find(|t| t.ident() == Some("after"));
+        assert_eq!(after.map(|t| t.line), Some(6));
+        let names: Vec<_> = toks.iter().filter_map(|t| t.ident()).collect();
+        assert!(names.contains(&"a") && names.contains(&"b") && names.contains(&"q"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_method_calls() {
+        let toks = lex("0..n; 1.0_f64; 2.max(3);").tokens;
+        let ids = toks.iter().filter_map(|t| t.ident()).collect::<Vec<_>>();
+        assert!(ids.contains(&"n"));
+        assert!(ids.contains(&"max"));
+    }
+}

@@ -1,0 +1,68 @@
+//! `cargo run -p dmhpc-lint [--root <dir>]` — lint the workspace and
+//! exit non-zero on findings.
+//!
+//! The root defaults to the workspace this binary was built from (two
+//! levels above this crate's manifest), so it runs correctly from any
+//! working directory — in CI, from `cargo run`, or by hand.
+
+#![forbid(unsafe_code)]
+
+use dmhpc_lint::{collect_sources, lint, Config};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!("usage: dmhpc-lint [--root <workspace-dir>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("dmhpc-lint: unknown argument `{other}` (see --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+    });
+    let cfg = Config::workspace();
+    let files = match collect_sources(&root, &cfg) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!(
+                "dmhpc-lint: cannot read sources under {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    if files.is_empty() {
+        eprintln!(
+            "dmhpc-lint: no sources found under {} — wrong --root?",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+    let findings = lint(&files, &cfg);
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("dmhpc-lint: clean ({} files)", files.len());
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "dmhpc-lint: {} finding(s) in {} files",
+            findings.len(),
+            files.len()
+        );
+        ExitCode::FAILURE
+    }
+}

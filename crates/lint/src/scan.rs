@@ -1,0 +1,321 @@
+//! Per-file scanning: `#[cfg(test)]` exclusion and the suppression
+//! grammar.
+//!
+//! The rules only apply to *shipping* code, so everything under a
+//! `#[cfg(test)]` attribute — a test module, a test-only function or
+//! `use` — is dropped from the token stream before any rule looks at
+//! it. Detection is token-level: an attribute whose `cfg(...)` argument
+//! mentions `test` (and is not a `not(...)` inversion) swallows the
+//! item it decorates, tracked by brace/paren/bracket depth.
+//!
+//! Suppressions are the audit trail of every deliberate rule violation:
+//!
+//! ```text
+//! // lint: allow(<rule>) — <justification>
+//! ```
+//!
+//! either trailing on the offending line or standing alone on the line
+//! directly above it (then it applies to the next code line). The
+//! justification is **mandatory** — a bare `lint: allow(rule)` is itself
+//! a finding (`bare-suppression`), as is an allow that matches nothing
+//! (`unused-suppression`): stale annotations rot into misdocumentation
+//! and are rejected the same way bare ones are.
+
+use crate::lexer::{lex, LineComment, Token};
+
+/// One parsed suppression comment.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// The rule name inside `allow(...)`, verbatim.
+    pub rule: String,
+    /// Line of the comment itself.
+    pub line: u32,
+    /// Line that findings must be on for this allow to apply.
+    pub target: u32,
+    /// True when a non-empty justification follows the `allow(...)`.
+    pub justified: bool,
+    /// Set during matching: at least one finding hit this allow.
+    pub used: bool,
+    /// True when the comment started with `lint:` but did not parse as
+    /// `allow(<rule>)` — always reported, never applied.
+    pub malformed: bool,
+}
+
+/// One scanned source file: non-test tokens plus its suppressions.
+#[derive(Debug, Clone)]
+pub struct ScannedFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Tokens outside `#[cfg(test)]` regions, in source order.
+    pub tokens: Vec<Token>,
+    /// Parsed suppression comments outside `#[cfg(test)]` regions.
+    pub suppressions: Vec<Suppression>,
+}
+
+/// Lex and scan one file.
+pub fn scan(path: &str, text: &str) -> ScannedFile {
+    let lexed = lex(text);
+    let keep = non_test_mask(&lexed.tokens);
+    let tokens: Vec<Token> = lexed
+        .tokens
+        .iter()
+        .zip(&keep)
+        .filter(|(_, k)| **k)
+        .map(|(t, _)| t.clone())
+        .collect();
+    // Line spans of the dropped regions, to ignore comments inside them.
+    let test_spans = dropped_line_spans(&lexed.tokens, &keep);
+    let code_lines: Vec<u32> = tokens.iter().map(|t| t.line).collect();
+    let suppressions = lexed
+        .comments
+        .iter()
+        .filter(|c| {
+            !test_spans
+                .iter()
+                .any(|&(lo, hi)| c.line >= lo && c.line <= hi)
+        })
+        .filter_map(|c| parse_suppression(c, &code_lines))
+        .collect();
+    ScannedFile {
+        path: path.to_string(),
+        tokens,
+        suppressions,
+    }
+}
+
+/// For each token, whether it survives `#[cfg(test)]` exclusion.
+fn non_test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut keep = vec![true; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if let Some(end) = test_region_end(tokens, i) {
+            for k in keep.iter_mut().take(end).skip(i) {
+                *k = false;
+            }
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+    keep
+}
+
+/// If a `#[cfg(test)]`-style attribute starts at `i`, return the index
+/// one past the item it decorates.
+fn test_region_end(tokens: &[Token], i: usize) -> Option<usize> {
+    if !tokens[i].is_punct('#') || !tokens.get(i + 1)?.is_punct('[') {
+        return None;
+    }
+    let attr_close = matching(tokens, i + 1)?;
+    if !cfg_names_test(&tokens[i + 2..attr_close]) {
+        return None;
+    }
+    // Skip any further attributes between the cfg and the item.
+    let mut j = attr_close + 1;
+    while j < tokens.len() && tokens[j].is_punct('#') {
+        if tokens.get(j + 1).is_some_and(|t| t.is_punct('[')) {
+            j = matching(tokens, j + 1)? + 1;
+        } else {
+            break;
+        }
+    }
+    // The item ends at the close of its first top-level block, or at a
+    // `;` before any block opens (`#[cfg(test)] use ...;`).
+    let mut depth = 0usize;
+    while j < tokens.len() {
+        match &tokens[j].kind {
+            crate::lexer::TokKind::Punct('{' | '(' | '[') => depth += 1,
+            crate::lexer::TokKind::Punct(c @ ('}' | ')' | ']')) => {
+                let closes_block = *c == '}';
+                depth = depth.saturating_sub(1);
+                if depth == 0 && closes_block {
+                    return Some(j + 1);
+                }
+            }
+            crate::lexer::TokKind::Punct(';') if depth == 0 => return Some(j + 1),
+            _ => {}
+        }
+        j += 1;
+    }
+    Some(tokens.len())
+}
+
+/// True when an attribute body is `cfg(...)` whose argument mentions
+/// `test` without a `not(...)` inversion.
+fn cfg_names_test(attr: &[Token]) -> bool {
+    if attr.first().and_then(Token::ident) != Some("cfg") {
+        return false;
+    }
+    let mut saw_test = false;
+    let mut saw_not = false;
+    for t in attr {
+        match t.ident() {
+            Some("test") => saw_test = true,
+            Some("not") => saw_not = true,
+            _ => {}
+        }
+    }
+    saw_test && !saw_not
+}
+
+/// Index of the punctuation closing the bracket at `open` (any of
+/// `{ ( [`), counting all bracket kinds together.
+fn matching(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        match t.kind {
+            crate::lexer::TokKind::Punct('{' | '(' | '[') => depth += 1,
+            crate::lexer::TokKind::Punct('}' | ')' | ']') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Line spans `(first, last)` covered by dropped (test) tokens.
+fn dropped_line_spans(tokens: &[Token], keep: &[bool]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut open: Option<(u32, u32)> = None;
+    for (t, k) in tokens.iter().zip(keep) {
+        if *k {
+            if let Some(span) = open.take() {
+                spans.push(span);
+            }
+        } else {
+            open = Some(match open {
+                None => (t.line, t.line),
+                Some((lo, _)) => (lo, t.line),
+            });
+        }
+    }
+    if let Some(span) = open {
+        spans.push(span);
+    }
+    spans
+}
+
+/// Parse one comment as a suppression, if it is `lint:`-prefixed.
+fn parse_suppression(c: &LineComment, code_lines: &[u32]) -> Option<Suppression> {
+    let text = c.text.trim();
+    let rest = text.strip_prefix("lint:")?.trim_start();
+    let trailing_code = code_lines.contains(&c.line);
+    let target = if trailing_code {
+        c.line
+    } else {
+        // Standalone comment: applies to the next line carrying code.
+        code_lines
+            .iter()
+            .copied()
+            .filter(|&l| l > c.line)
+            .min()
+            .unwrap_or(c.line)
+    };
+    let malformed = Suppression {
+        rule: String::new(),
+        line: c.line,
+        target,
+        justified: false,
+        used: false,
+        malformed: true,
+    };
+    let Some(args) = rest.strip_prefix("allow(") else {
+        return Some(malformed);
+    };
+    let Some(close) = args.find(')') else {
+        return Some(malformed);
+    };
+    let rule = args[..close].trim().to_string();
+    if rule.is_empty() || !rule.bytes().all(|b| b.is_ascii_lowercase() || b == b'-') {
+        return Some(malformed);
+    }
+    // Justification: a dash separator (`—`, `–`, `-`, `:`) followed by
+    // actual words. Anything less is a bare suppression.
+    let tail = args[close + 1..].trim_start();
+    let words = tail.trim_start_matches(['—', '–', '-', ':', ' ']);
+    let justified = words.len() < tail.len() && !words.trim().is_empty();
+    Some(Suppression {
+        rule,
+        line: c.line,
+        target,
+        justified,
+        used: false,
+        malformed: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(sf: &ScannedFile) -> Vec<&str> {
+        sf.tokens.iter().filter_map(Token::ident).collect()
+    }
+
+    #[test]
+    fn cfg_test_modules_are_dropped() {
+        let sf = scan(
+            "x.rs",
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn also_live() {}\n",
+        );
+        let ids = idents(&sf);
+        assert!(ids.contains(&"live"));
+        assert!(ids.contains(&"also_live"));
+        assert!(!ids.contains(&"unwrap"));
+    }
+
+    #[test]
+    fn cfg_not_test_is_kept() {
+        let sf = scan("x.rs", "#[cfg(not(test))]\nfn shipping() { x.unwrap(); }\n");
+        assert!(idents(&sf).contains(&"unwrap"));
+    }
+
+    #[test]
+    fn cfg_test_fn_and_use_are_dropped() {
+        let sf = scan(
+            "x.rs",
+            "#[cfg(test)]\nuse helper::thing;\n#[cfg(test)]\n#[allow(dead_code)]\nfn probe() {}\nfn live() {}\n",
+        );
+        let ids = idents(&sf);
+        assert!(!ids.contains(&"thing"));
+        assert!(!ids.contains(&"probe"));
+        assert!(ids.contains(&"live"));
+    }
+
+    #[test]
+    fn trailing_and_standalone_suppressions_target_correct_lines() {
+        let sf = scan(
+            "x.rs",
+            "fn f() {\n    // lint: allow(panic) — checked above\n    x.unwrap();\n    y.unwrap(); // lint: allow(panic) — infallible\n}\n",
+        );
+        assert_eq!(sf.suppressions.len(), 2);
+        assert_eq!(sf.suppressions[0].target, 3);
+        assert_eq!(sf.suppressions[1].target, 4);
+        assert!(sf.suppressions.iter().all(|s| s.justified));
+    }
+
+    #[test]
+    fn bare_and_malformed_suppressions_are_flagged() {
+        let sf = scan(
+            "x.rs",
+            "x.unwrap(); // lint: allow(panic)\ny(); // lint: alow(panic) — typo\n",
+        );
+        assert_eq!(sf.suppressions.len(), 2);
+        assert!(!sf.suppressions[0].justified);
+        assert!(!sf.suppressions[0].malformed);
+        assert!(sf.suppressions[1].malformed);
+    }
+
+    #[test]
+    fn suppressions_inside_test_modules_are_ignored() {
+        let sf = scan(
+            "x.rs",
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    // lint: allow(panic) — test-only\n    fn t() {}\n}\n",
+        );
+        assert!(sf.suppressions.is_empty());
+    }
+}

@@ -1,0 +1,115 @@
+//! Self-test: every rule proves it fires on its fixture — at the exact
+//! line — and stays quiet on the known-good file.
+
+use dmhpc_lint::hashcheck::HashPair;
+use dmhpc_lint::{lint, Config, Finding, Rule, SourceFile};
+
+/// Load one fixture from `crates/lint/fixtures/`.
+fn fixture(name: &str) -> SourceFile {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    SourceFile {
+        path: format!("fixtures/{name}"),
+        text: std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}")),
+    }
+}
+
+/// A config that applies every rule to the `fixtures/` prefix.
+fn cfg(crate_roots: Vec<String>, hash_pairs: Vec<HashPair>) -> Config {
+    Config {
+        scan_dirs: vec!["fixtures".to_string()],
+        determinism_paths: vec!["fixtures".to_string()],
+        panic_paths: vec!["fixtures".to_string()],
+        crate_roots,
+        hash_pairs,
+    }
+}
+
+/// Lint one fixture alone and return its `(rule, line)` pairs.
+fn rules_and_lines(name: &str, c: &Config) -> Vec<(Rule, u32)> {
+    let findings: Vec<Finding> = lint(&[fixture(name)], c);
+    findings.iter().map(|f| (f.rule, f.line)).collect()
+}
+
+#[test]
+fn unordered_iter_fires_at_the_hashmap() {
+    let got = rules_and_lines("bad_unordered_iter.rs", &cfg(vec![], vec![]));
+    assert_eq!(got, vec![(Rule::UnorderedIter, 4)]);
+}
+
+#[test]
+fn wall_clock_fires_at_instant_now() {
+    let got = rules_and_lines("bad_wall_clock.rs", &cfg(vec![], vec![]));
+    assert_eq!(got, vec![(Rule::WallClock, 4)]);
+}
+
+#[test]
+fn thread_id_fires_at_thread_current() {
+    let got = rules_and_lines("bad_thread_id.rs", &cfg(vec![], vec![]));
+    assert_eq!(got, vec![(Rule::ThreadId, 4)]);
+}
+
+#[test]
+fn ambient_rng_fires_at_randomstate() {
+    let got = rules_and_lines("bad_ambient_rng.rs", &cfg(vec![], vec![]));
+    assert_eq!(got, vec![(Rule::AmbientRng, 4)]);
+}
+
+#[test]
+fn panic_rule_fires_on_all_four_forms() {
+    let got = rules_and_lines("bad_panic.rs", &cfg(vec![], vec![]));
+    assert_eq!(
+        got,
+        vec![
+            (Rule::Panic, 5),  // .unwrap()
+            (Rule::Panic, 6),  // .expect()
+            (Rule::Panic, 8),  // panic!
+            (Rule::Panic, 14), // todo!
+        ]
+    );
+}
+
+#[test]
+fn hash_field_fires_at_the_undigested_field() {
+    let c = cfg(vec![], vec![HashPair::new("FixtureSpec", "fixture_digest")]);
+    let findings = lint(&[fixture("bad_hash_missing_field.rs")], &c);
+    assert_eq!(
+        findings
+            .iter()
+            .map(|f| (f.rule, f.line))
+            .collect::<Vec<_>>(),
+        vec![(Rule::HashField, 7)]
+    );
+    assert!(findings[0].message.contains("warmup_s"));
+}
+
+#[test]
+fn forbid_unsafe_fires_on_an_unpinned_crate_root() {
+    let c = cfg(vec!["fixtures/bad_forbid_unsafe.rs".to_string()], vec![]);
+    let got = rules_and_lines("bad_forbid_unsafe.rs", &c);
+    assert_eq!(got, vec![(Rule::ForbidUnsafe, 1)]);
+}
+
+#[test]
+fn bare_allow_is_exactly_one_finding() {
+    let got = rules_and_lines("bad_bare_allow.rs", &cfg(vec![], vec![]));
+    assert_eq!(got, vec![(Rule::BareSuppression, 5)]);
+}
+
+#[test]
+fn unused_allow_is_exactly_one_finding() {
+    let got = rules_and_lines("bad_unused_allow.rs", &cfg(vec![], vec![]));
+    assert_eq!(got, vec![(Rule::UnusedSuppression, 4)]);
+}
+
+#[test]
+fn the_good_file_is_clean_under_every_rule() {
+    let c = cfg(
+        vec!["fixtures/good.rs".to_string()],
+        vec![HashPair::new("GoodSpec", "good_digest")],
+    );
+    let findings = lint(&[fixture("good.rs")], &c);
+    assert_eq!(findings, Vec::new());
+}

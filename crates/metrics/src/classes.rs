@@ -144,6 +144,7 @@ impl ClassBreakdown {
         self.rows
             .iter()
             .find(|r| r.class == class)
+            // lint: allow(panic) — the class table is seeded with every class key at construction
             .expect("all classes present")
     }
 }

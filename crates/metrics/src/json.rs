@@ -447,6 +447,7 @@ impl Parser<'_> {
                     let end = (self.pos + len).min(self.bytes.len());
                     let chunk = std::str::from_utf8(&self.bytes[self.pos..end])
                         .map_err(|_| self.err("invalid utf-8"))?;
+                    // lint: allow(panic) — the slice was sized from the utf-8 width byte just decoded
                     let c = chunk.chars().next().expect("validated non-empty");
                     s.push(c);
                     self.pos += c.len_utf8();
@@ -499,6 +500,7 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
+        // lint: allow(panic) — the number scanner matched only ASCII digit/sign/exponent bytes
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number bytes");
         if integral {
             if let Ok(u) = text.parse::<u64>() {

@@ -52,6 +52,7 @@ impl ClusterSpec {
     /// as literals. Fallible paths (config files, experiment grids) should
     /// use `try_new`.
     pub fn new(racks: u32, nodes_per_rack: u32, node: NodeSpec, pool: PoolTopology) -> Self {
+        // lint: allow(panic) — documented panicking shorthand; try_new is the fallible form
         Self::try_new(racks, nodes_per_rack, node, pool).expect("invalid ClusterSpec")
     }
 
@@ -518,10 +519,12 @@ impl Cluster {
         self.busy_count += assignment.nodes.len();
         for (pool, amount) in self
             .remote_by_pool(&assignment)
+            // lint: allow(panic) — can_allocate approved this exact assignment under the same state
             .expect("validated by can_allocate")
         {
             let p = &mut self.pools[pool.0 as usize];
             self.pool_order.remove(&(p.free(), pool.0));
+            // lint: allow(panic) — can_allocate approved this exact assignment under the same state
             p.grab(lease, amount).expect("validated by can_allocate");
             self.pool_order.insert((p.free(), pool.0));
         }
@@ -547,6 +550,7 @@ impl Cluster {
         // assignment, as allocate did) — not every pool on the machine.
         for (pool, _) in self
             .remote_by_pool(&assignment)
+            // lint: allow(panic) — releasing what allocate granted; disagreement is a lease-bookkeeping bug
             .expect("released assignment was allocatable")
         {
             let p = &mut self.pools[pool.0 as usize];

@@ -62,6 +62,7 @@ impl NodeSpec {
     /// literals. Fallible paths (config files, experiment grids) should use
     /// `try_new`.
     pub fn new(cores: u32, local_mem_mib: MiB) -> Self {
+        // lint: allow(panic) — documented panicking shorthand; try_new is the fallible form
         Self::try_new(cores, local_mem_mib).expect("invalid NodeSpec")
     }
 

@@ -260,8 +260,10 @@ fn sort_shapes_for_laxity(shapes: &mut [(Demand, f64)], walltime_s: f64, laxity:
                 if feasible(a.1) && feasible(b.1) {
                     let ca = a.0.nodes as f64 * a.1;
                     let cb = b.0.nodes as f64 * b.1;
+                    // lint: allow(panic) — placement costs are finite arithmetic on validated specs; NaN is a policy bug
                     ca.partial_cmp(&cb).expect("finite costs")
                 } else {
+                    // lint: allow(panic) — dilations are finite arithmetic on validated specs; NaN is a policy bug
                     a.1.partial_cmp(&b.1).expect("finite dilations")
                 }
             })
@@ -322,6 +324,7 @@ impl crate::traits::Placement for MemoryPolicy {
                 enumerate_shapes(job, ctx.cluster, ctx.model, *max_dilation, 0.0)
                     .into_iter()
                     .map(|(_, dil)| dil)
+                    // lint: allow(panic) — dilations are finite arithmetic on validated specs; NaN is a policy bug
                     .min_by(|a, b| a.partial_cmp(b).expect("finite dilations"))
             }
             _ => MemoryPolicy::nominal_shape(self, job, ctx.cluster, ctx.model)
@@ -420,6 +423,7 @@ fn best_shape(
             let ca = a.0.nodes as f64 * a.1;
             let cb = b.0.nodes as f64 * b.1;
             ca.partial_cmp(&cb)
+                // lint: allow(panic) — placement costs are finite arithmetic on validated specs; NaN is a policy bug
                 .expect("finite costs")
                 .then(a.0.nodes.cmp(&b.0.nodes))
         })

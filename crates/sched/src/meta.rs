@@ -158,6 +158,7 @@ impl MetaPolicy for LeastQueueDepth {
         sites
             .iter()
             .min_by_key(|s| (s.queue_depth, s.queued_nodes, s.site))
+            // lint: allow(panic) — construction validated a non-empty site list
             .expect("sites is never empty")
             .site
     }
@@ -180,6 +181,7 @@ impl MetaPolicy for LeastMemoryPressure {
                     .total_cmp(&b.mem_pressure)
                     .then_with(|| (a.queue_depth, a.site).cmp(&(b.queue_depth, b.site)))
             })
+            // lint: allow(panic) — construction validated a non-empty site list
             .expect("sites is never empty")
             .site
     }

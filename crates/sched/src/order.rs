@@ -117,6 +117,7 @@ impl OrderPolicy {
                         (score, i)
                     }));
                     scored.sort_by(|a, b| {
+                        // lint: allow(panic) — ordering scores are finite arithmetic on validated jobs; NaN is a policy bug
                         b.0.partial_cmp(&a.0).expect("finite scores").then_with(|| {
                             let (ja, jb) = (&entries[a.1].job, &entries[b.1].job);
                             (ja.arrival, ja.id).cmp(&(jb.arrival, jb.id))

@@ -402,6 +402,7 @@ impl Scheduler {
             let planned_walltime = self.planned_walltime(&entry.job, plan.dilation);
             cluster
                 .allocate(entry.job.id.as_u64(), plan.assignment.clone())
+                // lint: allow(panic) — plan() only returns assignments the cluster can satisfy right now
                 .expect("plan() returned an unallocatable assignment");
             result.started.push(StartedJob {
                 job: entry.job,
@@ -493,6 +494,7 @@ impl Scheduler {
         while idx < queue.len() {
             let verdict = {
                 let ctx = self.ctx(now, cluster, running);
+                // lint: allow(panic) — the loop condition maintains idx < queue.len()
                 let job = &queue.get(idx).expect("idx < len").job;
                 self.cfg
                     .admission
@@ -503,6 +505,7 @@ impl Scheduler {
                 AdmissionVerdict::Defer { recheck_at } => {
                     result
                         .deferred
+                        // lint: allow(panic) — the loop condition maintains idx < queue.len()
                         .push((queue.get(idx).expect("idx < len").job.id, recheck_at));
                     result.recheck_at = Some(match result.recheck_at {
                         Some(t) => t.min(recheck_at),
@@ -530,10 +533,12 @@ impl Scheduler {
         profile: &mut AvailabilityProfile,
         result: &mut PassResult,
     ) {
+        // lint: allow(panic) — the caller enters the easy pass only with a non-empty queue
         let head = &queue.front().expect("easy pass needs a head").job;
         let (head_demand, head_dilation) = self
             .placement
             .nominal_shape(head, &self.ctx(now, cluster, running))
+            // lint: allow(panic) — phase 1 rejected jobs that can never fit, so the head has a shape
             .expect("head rejected in phase 1 if impossible");
         let head_wall = self.planned_walltime(head, head_dilation);
         let Some((shadow, head_split)) = profile.earliest_fit(now, head_wall, &head_demand) else {
@@ -556,6 +561,7 @@ impl Scheduler {
         // Scan the rest of the queue in order.
         let mut idx = 1;
         while idx < queue.len() {
+            // lint: allow(panic) — the loop condition maintains idx < queue.len()
             let job = &queue.get(idx).expect("idx < len").job;
             let Some(plan) = self.placement.plan(job, &self.ctx(now, cluster, running)) else {
                 idx += 1;
@@ -570,6 +576,7 @@ impl Scheduler {
             let entry = queue.remove(idx);
             cluster
                 .allocate(entry.job.id.as_u64(), plan.assignment.clone())
+                // lint: allow(panic) — plan() only returns assignments the cluster can satisfy right now
                 .expect("plan() returned an unallocatable assignment");
             profile.reserve(now, wall, &split, plan.assignment.remote_per_node);
             result.started.push(StartedJob {
@@ -596,10 +603,12 @@ impl Scheduler {
     ) {
         let mut idx = 0;
         while idx < queue.len() {
+            // lint: allow(panic) — the loop condition maintains idx < queue.len()
             let job = &queue.get(idx).expect("idx < len").job;
             let (demand, dilation) = self
                 .placement
                 .nominal_shape(job, &self.ctx(now, cluster, running))
+                // lint: allow(panic) — phase 1 rejected jobs that can never fit, so a shape exists
                 .expect("impossible jobs rejected in phase 1");
             let wall = self.planned_walltime(job, dilation);
             let Some((start, split)) = profile.earliest_fit(now, wall, &demand) else {
@@ -628,6 +637,7 @@ impl Scheduler {
                         let entry = queue.remove(idx);
                         cluster
                             .allocate(entry.job.id.as_u64(), plan.assignment.clone())
+                            // lint: allow(panic) — plan() only returns assignments the cluster can satisfy right now
                             .expect("plan() returned an unallocatable assignment");
                         profile.reserve(
                             now,
@@ -673,6 +683,7 @@ fn release_of(cluster: &Cluster, assignment: &MemoryAssignment, end: SimTime) ->
         if assignment.remote_per_node > 0 {
             let pool = cluster
                 .pool_of(node)
+                // lint: allow(panic) — assignments with remote memory are only planned on pool-backed nodes
                 .expect("remote memory implies a pool domain");
             pool_per_domain[pool.0 as usize] += assignment.remote_per_node;
         }

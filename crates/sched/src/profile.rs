@@ -108,9 +108,11 @@ impl AvailabilityProfile {
         }];
         for rel in sorted {
             debug_assert_eq!(rel.nodes_per_rack.len(), racks, "release rack arity");
+            // lint: allow(panic) — the profile is seeded with an origin point it never pops
             let last = points.last().expect("origin exists");
             let mut next = if rel.time <= last.time {
                 // Late or simultaneous release: merge into the last point.
+                // lint: allow(panic) — the profile is seeded with an origin point it never pops
                 points.pop().expect("origin exists")
             } else {
                 Point {
@@ -328,21 +330,25 @@ impl AvailabilityProfile {
                 break;
             }
             for (f, &k) in p.free_nodes.iter_mut().zip(split) {
+                // lint: allow(panic) — reservations come from earliest_fit, which bounded them by free capacity
                 *f = f.checked_sub(k).expect("reservation exceeds free nodes");
             }
             if remote_per_node > 0 {
                 match self.kind {
+                    // lint: allow(panic) — remote reservations are only produced for pool-backed clusters
                     DomainKind::None => panic!("remote reservation without pools"),
                     DomainKind::PerRack => {
                         for (f, &k) in p.free_pool.iter_mut().zip(split) {
                             *f = f
                                 .checked_sub(k as u64 * remote_per_node)
+                                // lint: allow(panic) — reservations come from earliest_fit, which bounded them by pool capacity
                                 .expect("reservation exceeds pool");
                         }
                     }
                     DomainKind::Global => {
                         p.free_pool[0] = p.free_pool[0]
                             .checked_sub(total_nodes * remote_per_node)
+                            // lint: allow(panic) — reservations come from earliest_fit, which bounded them by pool capacity
                             .expect("reservation exceeds pool");
                     }
                 }

@@ -76,6 +76,7 @@ impl WaitQueue {
     /// # Panics
     /// Panics on an empty queue — passes check emptiness first.
     pub fn pop_front(&mut self) -> QueuedJob {
+        // lint: allow(panic) — documented contract: callers check is_empty first
         self.entries.pop_front().expect("pop_front on empty queue")
     }
 
@@ -84,6 +85,7 @@ impl WaitQueue {
     /// # Panics
     /// Panics when `idx` is out of bounds.
     pub fn remove(&mut self, idx: usize) -> QueuedJob {
+        // lint: allow(panic) — documented contract: callers pass indexes below len
         self.entries.remove(idx).expect("queue index out of bounds")
     }
 

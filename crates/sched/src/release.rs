@@ -81,6 +81,7 @@ impl ReleaseIndex {
         let release = self
             .by_end
             .remove(&(end, lease))
+            // lint: allow(panic) — ends and by_end are updated together; disagreement is a bookkeeping bug
             .expect("ends and by_end agree");
         Some(release)
     }
@@ -101,6 +102,7 @@ impl ReleaseIndex {
             let mut release = self
                 .by_end
                 .remove(&(*end, lease))
+                // lint: allow(panic) — ends and by_end are updated together; disagreement is a bookkeeping bug
                 .expect("ends and by_end agree");
             release.planned_end = new_end;
             *end = new_end;

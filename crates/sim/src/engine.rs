@@ -416,7 +416,24 @@ impl Simulation {
     /// report their own failures through [`Observer::failure`];
     /// factory-made observers die here, so their creation or deferred
     /// sink failures panic — there is nowhere left to report them.
+    /// [`Simulation::try_run_with`] is the non-panicking form.
     pub fn run_with(&self, workload: &Workload, observers: ObserverSet<'_>) -> SimOutput {
+        self.try_run_with(workload, observers)
+            // lint: allow(panic) — documented contract of the infallible
+            // surface: observation errors have nowhere else to go here.
+            .unwrap_or_else(|e| panic!("observed run failed: {e}"))
+    }
+
+    /// [`Simulation::run_with`], but observation failures — a factory
+    /// that cannot open its sink, or a factory-made observer whose
+    /// deferred sink write failed — come back as `Err` instead of
+    /// panicking. The simulation itself is still infallible by
+    /// construction; only attached observation can fail.
+    pub fn try_run_with(
+        &self,
+        workload: &Workload,
+        observers: ObserverSet<'_>,
+    ) -> Result<SimOutput, SimError> {
         let ObserverSet {
             mut borrowed,
             factories,
@@ -427,11 +444,8 @@ impl Simulation {
             .observers
             .iter()
             .chain(factories.iter())
-            .map(|f| {
-                f.make(&label)
-                    .unwrap_or_else(|e| panic!("observer factory failed: {e}"))
-            })
-            .collect();
+            .map(|f| f.make(&label))
+            .collect::<Result<_, _>>()?;
         if let Some(every) = progress_every {
             made.push(Box::new(ProgressObserver::every(every)));
         }
@@ -450,10 +464,7 @@ impl Simulation {
         let source: Option<Box<dyn JobSource>> = if self.service.is_none() {
             None
         } else {
-            let src = self
-                .service
-                .open_source(&self.cfg.cluster)
-                .expect("service spec validated by with_service_spec");
+            let src = self.service.open_source(&self.cfg.cluster)?;
             Some(Box::new(src))
         };
         let output = match self.cfg.event_queue {
@@ -478,9 +489,9 @@ impl Simulation {
         // caller keeps their own observers and can check those, but these
         // are ours to account for.
         if let Some(e) = made.iter().find_map(|o| o.failure()) {
-            panic!("factory-attached observer failed: {e}");
+            return Err(e);
         }
-        output
+        Ok(output)
     }
 
     /// Simulate with additional borrowed [`Observer`]s attached.
@@ -825,6 +836,7 @@ impl<'a, 'o, Q: EventQueue<Event>> Engine<'a, 'o, Q> {
                             self.last_job_time = self.now;
                             continue;
                         }
+                        // lint: allow(panic) — a live simulation always has a next event; a wedged scheduler is an engine bug worth dying loudly for
                         panic!(
                             "scheduler wedged: {} queued jobs, {} running, no events",
                             self.queue.len(),
@@ -842,11 +854,13 @@ impl<'a, 'o, Q: EventQueue<Event>> Engine<'a, 'o, Q> {
                 .front()
                 .is_some_and(|j| j.arrival == self.now)
             {
+                // lint: allow(panic) — the surrounding branch peeked this injection
                 let job = self.injections.pop_front().expect("checked front");
                 self.admit(job);
                 changed = true;
             }
             while self.events.peek_time() == Some(self.now) {
+                // lint: allow(panic) — the surrounding branch peeked this event
                 let (_, ev) = self.events.pop().expect("peeked");
                 changed |= self.process(ev, workload);
             }
@@ -918,6 +932,7 @@ impl<'a, 'o, Q: EventQueue<Event>> Engine<'a, 'o, Q> {
                 let job = self
                     .pending
                     .take()
+                    // lint: allow(panic) — open-system arrivals stage the job before the event fires
                     .expect("open arrival without pending job");
                 self.admit(job);
                 // Refill: materialize the next arrival on demand, keeping
@@ -947,6 +962,7 @@ impl<'a, 'o, Q: EventQueue<Event>> Engine<'a, 'o, Q> {
         match action {
             FaultAction::NodeFail(node) => {
                 self.hash_mix([5, self.now.as_micros(), node.0 as u64]);
+                // lint: allow(panic) — FaultSpec validation pinned every target node to the cluster
                 if self.cluster.fail_node(node).expect("validated fault node") {
                     self.emit_fault(action, true);
                     if let Some(lease) = self.cluster.holder(node) {
@@ -959,6 +975,7 @@ impl<'a, 'o, Q: EventQueue<Event>> Engine<'a, 'o, Q> {
                 if self
                     .cluster
                     .repair_node(node)
+                    // lint: allow(panic) — FaultSpec validation pinned every target node to the cluster
                     .expect("validated fault node")
                 {
                     self.emit_fault(action, false);
@@ -966,6 +983,7 @@ impl<'a, 'o, Q: EventQueue<Event>> Engine<'a, 'o, Q> {
             }
             FaultAction::DrainStart(node) => {
                 self.hash_mix([7, self.now.as_micros(), node.0 as u64]);
+                // lint: allow(panic) — FaultSpec validation pinned every target node to the cluster
                 if self.cluster.drain_node(node).expect("validated fault node") {
                     self.emit_fault(action, true);
                     // Hard drain: running work is checkpointed/resubmitted
@@ -980,6 +998,7 @@ impl<'a, 'o, Q: EventQueue<Event>> Engine<'a, 'o, Q> {
                 if self
                     .cluster
                     .undrain_node(node)
+                    // lint: allow(panic) — FaultSpec validation pinned every target node to the cluster
                     .expect("validated fault node")
                 {
                     self.emit_fault(action, false);
@@ -989,6 +1008,7 @@ impl<'a, 'o, Q: EventQueue<Event>> Engine<'a, 'o, Q> {
                 self.hash_mix([9, self.now.as_micros(), pool.0 as u64]);
                 self.cluster
                     .set_pool_health(pool, factor)
+                    // lint: allow(panic) — FaultSpec validation pinned the pool id and factor range
                     .expect("validated pool and factor");
                 self.emit_fault(action, true);
                 // Evict borrowers — lowest lease id first, deterministic —
@@ -998,6 +1018,7 @@ impl<'a, 'o, Q: EventQueue<Event>> Engine<'a, 'o, Q> {
                     if p.used() <= p.effective_capacity() {
                         break;
                     }
+                    // lint: allow(panic) — a pool over its shrunk capacity necessarily has at least one holder
                     let (lease, _) = p.holders().next().expect("over-committed pool has holders");
                     self.interrupt_job(JobId(lease));
                 }
@@ -1007,6 +1028,7 @@ impl<'a, 'o, Q: EventQueue<Event>> Engine<'a, 'o, Q> {
                 self.hash_mix([10, self.now.as_micros(), pool.0 as u64]);
                 self.cluster
                     .set_pool_health(pool, 1.0)
+                    // lint: allow(panic) — FaultSpec validation pinned the pool id
                     .expect("validated pool");
                 self.emit_fault(action, false);
                 self.mark_pool_dirty(pool);
@@ -1053,6 +1075,7 @@ impl<'a, 'o, Q: EventQueue<Event>> Engine<'a, 'o, Q> {
     /// budget is spent.
     fn interrupt_job(&mut self, id: JobId) {
         self.last_job_time = self.now;
+        // lint: allow(panic) — interrupts are generated from the running set itself
         let mut r = self.running.remove(&id).expect("interrupt of unknown job");
         // Settle work consumed at the current rate up to the interruption.
         let elapsed = self.now - r.last_update;
@@ -1061,10 +1084,12 @@ impl<'a, 'o, Q: EventQueue<Event>> Engine<'a, 'o, Q> {
 
         self.cluster
             .release(id.as_u64())
+            // lint: allow(panic) — every started job allocated a lease; missing one is an engine bug
             .expect("running job holds a lease");
         let release = self
             .releases
             .remove(id.as_u64())
+            // lint: allow(panic) — every started job is registered in the release index
             .expect("running job is release-indexed");
         self.note_pool_change(id, &release.pool_per_domain, false);
         self.emit(SimEvent::AllocationReleased {
@@ -1221,6 +1246,7 @@ impl<'a, 'o, Q: EventQueue<Event>> Engine<'a, 'o, Q> {
         };
         victims.sort_by(|a, b| {
             b.0.partial_cmp(&a.0)
+                // lint: allow(panic) — laxities are finite arithmetic on validated deadlines; NaN is an engine bug
                 .expect("laxities are comparable")
                 .then(a.1.cmp(&b.1))
         });
@@ -1264,6 +1290,7 @@ impl<'a, 'o, Q: EventQueue<Event>> Engine<'a, 'o, Q> {
     /// after the rescue pass.
     fn preempt_release(&mut self, id: JobId, for_job: JobId, overhead_s: u64) -> Job {
         self.last_job_time = self.now;
+        // lint: allow(panic) — preemption victims are chosen from the running set itself
         let mut r = self.running.remove(&id).expect("preempt of unknown job");
         // Settle work consumed at the current rate up to the preemption.
         let elapsed = self.now - r.last_update;
@@ -1272,10 +1299,12 @@ impl<'a, 'o, Q: EventQueue<Event>> Engine<'a, 'o, Q> {
 
         self.cluster
             .release(id.as_u64())
+            // lint: allow(panic) — every started job allocated a lease; missing one is an engine bug
             .expect("running job holds a lease");
         let release = self
             .releases
             .remove(id.as_u64())
+            // lint: allow(panic) — every started job is registered in the release index
             .expect("running job is release-indexed");
         self.note_pool_change(id, &release.pool_per_domain, false);
         self.emit(SimEvent::AllocationReleased {
@@ -1305,6 +1334,7 @@ impl<'a, 'o, Q: EventQueue<Event>> Engine<'a, 'o, Q> {
 
     fn finish_job(&mut self, id: JobId) {
         self.last_job_time = self.now;
+        // lint: allow(panic) — finish events are scheduled only for running jobs
         let mut r = self.running.remove(&id).expect("finish of unknown job");
         // Convert elapsed wall time into consumed work.
         let elapsed = self.now - r.last_update;
@@ -1329,10 +1359,12 @@ impl<'a, 'o, Q: EventQueue<Event>> Engine<'a, 'o, Q> {
 
         self.cluster
             .release(id.as_u64())
+            // lint: allow(panic) — every started job allocated a lease; missing one is an engine bug
             .expect("running job holds a lease");
         let release = self
             .releases
             .remove(id.as_u64())
+            // lint: allow(panic) — every started job is registered in the release index
             .expect("running job is release-indexed");
         self.note_pool_change(id, &release.pool_per_domain, false);
         self.emit(SimEvent::AllocationReleased {
@@ -1420,6 +1452,7 @@ impl<'a, 'o, Q: EventQueue<Event>> Engine<'a, 'o, Q> {
                 let r = &self.running[&id];
                 self.job_pressure(&r.assignment)
             };
+            // lint: allow(panic) — the id came from iterating this same map moments ago
             let r = self.running.get_mut(&id).expect("listed above");
             let new_dilation = self.cfg.scheduler.slowdown.dilation(DilationInputs {
                 far_fraction: r.assignment.far_fraction(),
@@ -1600,6 +1633,7 @@ impl<'a, 'o, Q: EventQueue<Event>> Engine<'a, 'o, Q> {
         if self.cfg.check_invariants {
             self.cluster
                 .verify_invariants()
+                // lint: allow(panic) — repair restores exactly what the failure removed
                 .expect("cluster invariants violated");
             let busy = self.cluster.used_nodes() as f64;
             if let Some(series) = &self.obs.series {
@@ -1704,10 +1738,12 @@ impl<'a, 'o, Q: EventQueue<Event>> Engine<'a, 'o, Q> {
         // unchanged).
         let series = obs
             .series
+            // lint: allow(panic) — close() sealed the series before output assembly
             .expect("closed runs carry a series")
             .into_bundle();
         let records = obs
             .stats
+            // lint: allow(panic) — close() sealed the job stats before output assembly
             .expect("closed runs carry job stats")
             .into_records();
         let node_util = series.node_util(end);
@@ -1757,6 +1793,7 @@ fn release_info(
     for &node in &assignment.nodes {
         nodes_per_rack[cluster.rack_of(node).0 as usize] += 1;
         if assignment.remote_per_node > 0 {
+            // lint: allow(panic) — jobs borrow remote memory only from pool-backed nodes
             let pool = cluster.pool_of(node).expect("borrower has a pool");
             pool_per_domain[pool.0 as usize] += assignment.remote_per_node;
         }

@@ -10,7 +10,7 @@ use crate::federation::FleetSimulation;
 use crate::observe::{Observer, ObserverFactory, RunLabel, TraceDir};
 use crate::sweep::run_parallel;
 use dmhpc_workload::{transform, Workload};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -136,6 +136,7 @@ impl ExperimentRunner {
     ) -> Arc<Workload> {
         let base = match source {
             WorkloadSource::Preset { preset, jobs } => {
+                // lint: allow(panic) — compile() stamps a seed on every preset cell
                 let seed = seed.expect("preset cells carry a seed");
                 Arc::new(preset.synthetic_spec(*jobs).generate(seed))
             }
@@ -211,7 +212,7 @@ impl ExperimentRunner {
         // Service cells stream their jobs from the scenario instead, so
         // they share one empty placeholder workload.
         let empty = Arc::new(Workload::from_jobs(Vec::new()));
-        let mut workloads: HashMap<WorkloadKey, Arc<Workload>> = HashMap::new();
+        let mut workloads: BTreeMap<WorkloadKey, Arc<Workload>> = BTreeMap::new();
         for (_, cell, _) in &pending {
             if !cell.service.is_none() {
                 continue;
@@ -236,41 +237,42 @@ impl ExperimentRunner {
             // already parallelizes across cells) and report the
             // fleet-level aggregate. They are observation-free: per-site
             // event streams have no single-run identity to attach
-            // observers to yet.
+            // observers to yet. compile() validated every cell config and
+            // fault/service scenario, so construction errors here are
+            // bugs — but they ride the per-cell error channel rather than
+            // panicking a worker thread.
             if !cell.fleet.is_none() {
-                let fleet = FleetSimulation::new(&cell.fleet, config)
-                    .expect("cell fleet validated by compile()");
-                let output = fleet.run(workload).aggregate;
-                return (*i, cell.clone(), *hash, Some(output), None);
+                let result = FleetSimulation::new(&cell.fleet, config)
+                    .map(|fleet| fleet.run(workload).aggregate);
+                return (*i, cell.clone(), *hash, result);
             }
-            // compile() validated every cell config and fault/service
-            // scenario.
-            let sim = Simulation::new(config)
+            let result = Simulation::new(config)
                 .and_then(|s| s.with_fault_spec(cell.faults.clone()))
                 .and_then(|s| s.with_service_spec(cell.service.clone()))
-                .expect("cell config validated by compile()");
-            // Observers are created in the worker, right before the cell
-            // runs, so open sinks (trace files, fds, buffers) are bounded
-            // by the thread count, not the grid size. Factory failures
-            // ride the same per-cell channel as deferred sink failures.
-            let run = RunLabel::new(format!("{}.{}", spec.name, cell.key.label()));
-            let made: Result<Vec<Box<dyn Observer>>, SimError> =
-                self.observers.iter().map(|f| f.make(&run)).collect();
-            match made {
-                Err(e) => (*i, cell.clone(), *hash, None, Some(e)),
-                Ok(mut obs) => {
-                    let output = sim.run_with(workload, ObserverSet::new().watch_boxed(&mut obs));
-                    let failure = obs.iter().find_map(|o| o.failure());
-                    (*i, cell.clone(), *hash, Some(output), failure)
-                }
-            }
+                .and_then(|sim| {
+                    // Observers are created in the worker, right before
+                    // the cell runs, so open sinks (trace files, fds,
+                    // buffers) are bounded by the thread count, not the
+                    // grid size. Factory failures ride the same per-cell
+                    // channel as deferred sink failures.
+                    let run = RunLabel::new(format!("{}.{}", spec.name, cell.key.label()));
+                    let mut obs: Vec<Box<dyn Observer>> = self
+                        .observers
+                        .iter()
+                        .map(|f| f.make(&run))
+                        .collect::<Result<_, SimError>>()?;
+                    let output =
+                        sim.try_run_with(workload, ObserverSet::new().watch_boxed(&mut obs))?;
+                    match obs.iter().find_map(|o| o.failure()) {
+                        Some(e) => Err(e),
+                        None => Ok(output),
+                    }
+                });
+            (*i, cell.clone(), *hash, result)
         });
 
-        for (i, cell, hash, output, failure) in outputs {
-            if let Some(e) = failure {
-                return Err(e);
-            }
-            let output = output.expect("failure-free cells carry an output");
+        for (i, cell, hash, result) in outputs {
+            let output = result?;
             if let (Some(cache), Some(hash)) = (&self.cache, hash) {
                 cache.store_cell(hash, &output)?;
             }
@@ -285,6 +287,7 @@ impl ExperimentRunner {
             spec.name.clone(),
             slots
                 .into_iter()
+                // lint: allow(panic) — the result loop above filled every slot or returned the error
                 .map(|slot| slot.expect("every grid slot filled"))
                 .collect(),
             RunStats {

@@ -17,7 +17,7 @@
 use super::results::RunStats;
 use super::{CellKey, ExperimentResults, ExperimentSpec, RunSpec};
 use crate::error::SimError;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// One slice of a grid: shard `index` of `count`.
@@ -116,7 +116,7 @@ impl ExperimentResults {
         parts: impl IntoIterator<Item = ExperimentResults>,
     ) -> Result<ExperimentResults, SimError> {
         let grid = spec.compile()?;
-        let mut by_key: HashMap<MergeKey, super::CellResult> = HashMap::new();
+        let mut by_key: BTreeMap<MergeKey, super::CellResult> = BTreeMap::new();
         let mut stats = RunStats::default();
         for part in parts {
             if part.name != spec.name {

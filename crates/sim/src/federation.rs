@@ -61,6 +61,7 @@ use std::sync::mpsc;
 #[derive(Debug, Clone, PartialEq)]
 pub struct SiteSpec {
     /// Site name for per-site reporting (must be unique in the fleet).
+    // lint: allow(hash-field) — presentation-only site name; cell identity hashes the site's cluster, scheduler, and weight
     pub label: String,
     /// Machine shape; `None` inherits the cell's cluster.
     pub cluster: Option<ClusterSpec>,
@@ -475,6 +476,7 @@ struct SiteRuntime {
 impl SiteRuntime {
     fn new(cfg: SimConfig) -> Self {
         SiteRuntime {
+            // lint: allow(panic) — compile()/FleetSpec validation vetted every site scheduler
             scheduler: Scheduler::new(cfg.scheduler).expect("fleet site scheduler validated"),
             faults: FaultSpec::none(),
             service: ServiceSpec::none(),
@@ -653,10 +655,12 @@ impl EpochTransport for ThreadedTransport {
         for (link, jobs) in self.links.iter().zip(self.partition(batch)) {
             link.cmd
                 .send(Cmd::Step { jobs, until })
+                // lint: allow(panic) — site workers outlive the epoch loop; a dead worker is a panic we should propagate
                 .expect("worker alive");
         }
         let mut snaps: Vec<Option<SiteSnapshot>> = vec![None; self.sites];
         for link in &self.links {
+            // lint: allow(panic) — site workers outlive the epoch loop; a dead worker is a panic we should propagate
             match link.reply.recv().expect("worker alive") {
                 Reply::Snaps(s) => {
                     for snap in s {
@@ -668,6 +672,7 @@ impl EpochTransport for ThreadedTransport {
         }
         snaps
             .into_iter()
+            // lint: allow(panic) — the reply loop above snapshotted every site
             .map(|s| s.expect("every site snapshotted"))
             .collect()
     }
@@ -675,10 +680,12 @@ impl EpochTransport for ThreadedTransport {
     fn finish(self, batch: Vec<(usize, Job)>) -> Vec<SimOutput> {
         let per = self.partition(batch);
         for (link, jobs) in self.links.iter().zip(per) {
+            // lint: allow(panic) — site workers outlive the epoch loop; a dead worker is a panic we should propagate
             link.cmd.send(Cmd::Finish { jobs }).expect("worker alive");
         }
         let mut outputs: Vec<Option<SimOutput>> = (0..self.sites).map(|_| None).collect();
         for link in &self.links {
+            // lint: allow(panic) — site workers outlive the epoch loop; a dead worker is a panic we should propagate
             match link.reply.recv().expect("worker alive") {
                 Reply::Done(outs) => {
                     for (site, out) in outs {
@@ -690,6 +697,7 @@ impl EpochTransport for ThreadedTransport {
         }
         outputs
             .into_iter()
+            // lint: allow(panic) — the finish loop above collected every site
             .map(|o| o.expect("every site finished"))
             .collect()
     }
@@ -718,6 +726,7 @@ fn worker_loop(
             let e = engines
                 .iter_mut()
                 .find(|(g, _)| *g == site)
+                // lint: allow(panic) — the router only dispatches jobs to the worker owning their site
                 .expect("job routed to a site this worker owns");
             e.1.inject(job);
         }

@@ -143,6 +143,7 @@ impl FaultObserver {
     }
 
     fn note_avail(&mut self, at: SimTime, count: usize) {
+        // lint: allow(panic) — the series is seeded with a t=0 point at construction
         if count != self.avail_points.last().expect("seeded at start").1 {
             self.avail_points.push((at, count));
         }

@@ -315,7 +315,7 @@ impl Observer for TraceSink {
 pub struct TraceDir {
     dir: PathBuf,
     buffer: usize,
-    used: std::sync::Arc<std::sync::Mutex<std::collections::HashSet<String>>>,
+    used: std::sync::Arc<std::sync::Mutex<std::collections::BTreeSet<String>>>,
 }
 
 impl TraceDir {
@@ -340,6 +340,7 @@ impl TraceDir {
 impl ObserverFactory for TraceDir {
     fn make(&self, run: &RunLabel) -> Result<Box<dyn Observer>, SimError> {
         let stem = {
+            // lint: allow(panic) — a poisoned lock means a sibling observer already panicked
             let mut used = self.used.lock().expect("trace stem set poisoned");
             let mut stem = run.file_stem.clone();
             let mut n = 1u32;

@@ -42,9 +42,11 @@ where
             scope.spawn(|| loop {
                 // Self-scheduling work queue: long simulations don't stall
                 // a static partition.
+                // lint: allow(panic) — a poisoned lock means a sibling worker already panicked
                 let item = queue.lock().expect("sweep queue poisoned").pop();
                 let Some((idx, input)) = item else { break };
                 let out = f(&input);
+                // lint: allow(panic) — a poisoned lock means a sibling worker already panicked
                 results.lock().expect("sweep results poisoned")[idx] = Some(out);
             });
         }
@@ -52,8 +54,10 @@ where
 
     results
         .into_inner()
+        // lint: allow(panic) — a poisoned lock means a sibling worker already panicked
         .expect("sweep results poisoned")
         .into_iter()
+        // lint: allow(panic) — the worker loop stored an output for every index before the join
         .map(|r| r.expect("every index filled"))
         .collect()
 }

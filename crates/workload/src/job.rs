@@ -204,6 +204,7 @@ impl JobBuilder {
     pub fn build(self) -> Job {
         self.job
             .validate()
+            // lint: allow(panic) — documented panicking builder contract; invalid field combinations are caller bugs
             .expect("JobBuilder produced invalid job");
         self.job
     }

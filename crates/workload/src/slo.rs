@@ -76,8 +76,10 @@ impl Slo {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SloModel {
     /// Smallest budget factor (> 0).
+    // lint: allow(hash-field) — the model acts through per-job Slo stamps, which workload_digest folds
     pub factor_min: f64,
     /// Largest budget factor (≥ `factor_min`).
+    // lint: allow(hash-field) — the model acts through per-job Slo stamps, which workload_digest folds
     pub factor_max: f64,
 }
 

@@ -104,6 +104,7 @@ impl ArrivalModel {
 
     /// Generate `n` arrival instants starting from t=0.
     pub fn generate(&self, rng: &mut Pcg64, n: usize) -> Vec<SimTime> {
+        // lint: allow(panic) — documented panicking contract mirroring SyntheticSpec::generate
         self.validate().expect("invalid ArrivalModel");
         let mut out = Vec::with_capacity(n);
         let mut t = 0.0f64;

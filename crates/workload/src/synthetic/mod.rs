@@ -80,6 +80,7 @@ impl SyntheticSpec {
     /// Generate the workload for `seed`. Deterministic: the same
     /// `(spec, seed)` always yields the identical job list.
     pub fn generate(&self, seed: u64) -> Workload {
+        // lint: allow(panic) — documented panicking contract; validate() is the fallible check
         self.validate().expect("invalid SyntheticSpec");
         let root = Pcg64::new(seed);
         // Independent streams per component: stream labels are stable ABI.

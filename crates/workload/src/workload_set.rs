@@ -24,6 +24,7 @@ impl Workload {
     /// workloads come from generators/parsers that must not emit garbage.
     pub fn from_jobs(mut jobs: Vec<Job>) -> Self {
         for j in &jobs {
+            // lint: allow(panic) — documented panicking constructor; generators and parsers must not emit garbage
             j.validate().expect("invalid job in workload");
         }
         jobs.sort_by_key(|j| (j.arrival, j.id));

@@ -1,0 +1,61 @@
+//! Workspace enforcement of `dmhpc-lint`: plain `cargo test` fails on
+//! any determinism, hash-discipline, panic-discipline, or suppression
+//! finding — the same check `cargo run -p dmhpc-lint` and CI run.
+//!
+//! The second test is the rule proving its own worth: edit the cell
+//! hash in memory, delete one digest fold, and watch the lint catch
+//! the exact field at a file:line.
+
+use dmhpc_lint::{collect_sources, lint, Config, Rule, SourceFile};
+use std::path::Path;
+
+fn workspace_sources() -> Vec<SourceFile> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    collect_sources(root, &Config::workspace()).expect("workspace sources readable")
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let files = workspace_sources();
+    assert!(files.len() > 50, "scanned only {} files", files.len());
+    let findings = lint(&files, &Config::workspace());
+    assert!(
+        findings.is_empty(),
+        "dmhpc-lint found {} problem(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// Deleting the `warmup_s` fold from the cell hash must fail the
+/// hash-field rule with a diagnostic at the field's declaration — this
+/// is the acceptance test for the whole hash-discipline check.
+#[test]
+fn deleting_a_digest_fold_is_caught() {
+    let mut files = workspace_sources();
+    let cache = files
+        .iter_mut()
+        .find(|f| f.path == "crates/sim/src/experiment/cache.rs")
+        .expect("cell-hash module present");
+    let fold = "h.write_u64(cell.service.warmup_s);";
+    assert!(
+        cache.text.contains(fold),
+        "cache.rs no longer folds warmup_s the way this test expects — \
+         update the probe string"
+    );
+    cache.text = cache.text.replacen(fold, "", 1);
+
+    let findings = lint(&files, &Config::workspace());
+    let hit = findings
+        .iter()
+        .find(|f| f.rule == Rule::HashField && f.message.contains("`warmup_s`"))
+        .unwrap_or_else(|| {
+            panic!("dropping the warmup_s fold went undetected; findings: {findings:?}")
+        });
+    assert_eq!(hit.path, "crates/sim/src/service.rs");
+    assert!(hit.line > 0, "diagnostic should point at the declaration");
+}
